@@ -1,0 +1,61 @@
+//! Catalogue search ablation: inverted index vs a scoring linear scan.
+//!
+//! The paper's catalogue behaves "similar to modern search engines"; this
+//! bench compares the inverted index against a baseline that does the same
+//! work (tokenize every document, accumulate per-term scores) without an
+//! index, as the published-service population grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mathcloud_catalogue::index::{tokenize, InvertedIndex};
+
+const VOCAB: [&str; 16] = [
+    "matrix", "inversion", "exact", "scattering", "optimization", "solver", "grid", "cluster",
+    "transport", "workflow", "schur", "hilbert", "simplex", "nanostructure", "spectra", "fit",
+];
+
+fn document(i: usize) -> String {
+    let words: Vec<&str> = (0..24).map(|j| VOCAB[(i * 7 + j * 3) % VOCAB.len()]).collect();
+    format!("svc-{i} {}", words.join(" "))
+}
+
+/// The index-free baseline: tokenize each document on the fly and score by
+/// query-term frequency (what the catalogue would do without an index).
+fn linear_scan(docs: &[String], query: &str) -> Vec<(usize, usize)> {
+    let terms = tokenize(query);
+    let mut hits: Vec<(usize, usize)> = docs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, doc)| {
+            let tokens = tokenize(doc);
+            let score = tokens.iter().filter(|t| terms.contains(t)).count();
+            if score > 0 {
+                Some((i, score))
+            } else {
+                None
+            }
+        })
+        .collect();
+    hits.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    hits
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalogue_search");
+    for size in [100usize, 1000] {
+        let docs: Vec<String> = (0..size).map(document).collect();
+        let mut index = InvertedIndex::new();
+        for (i, doc) in docs.iter().enumerate() {
+            index.insert(i as u64, doc);
+        }
+        group.bench_with_input(BenchmarkId::new("inverted_index", size), &index, |b, idx| {
+            b.iter(|| idx.search("matrix inversion solver"));
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", size), &docs, |b, docs| {
+            b.iter(|| linear_scan(docs, "matrix inversion solver"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Distributed Dantzig–Wolfe scaling: wall-clock vs the number of remote
+//! solver services (§4's "increasing overall performance in accordance with
+//! the number of available services").
+//!
+//! Each solver service carries a simulated 15 ms queueing/network latency so
+//! the pool-size effect is visible at benchmark-friendly problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mathcloud_bench::dw::{spawn_solver_pool, RemoteSolverPool, SolverLatency};
+use mathcloud_opt::transport::MultiCommodityProblem;
+use mathcloud_opt::{solve_dantzig_wolfe, DwOptions};
+use std::time::Duration;
+
+fn bench_dw(c: &mut Criterion) {
+    let problem = MultiCommodityProblem::random(6, 2, 3, 2024);
+
+    let mut group = c.benchmark_group("dantzig_wolfe_pool");
+    group.sample_size(10);
+    for pool_size in [1usize, 2, 4] {
+        let servers = spawn_solver_pool(pool_size, SolverLatency(Duration::from_millis(15)));
+        let bases: Vec<String> = servers.iter().map(|s| s.base_url()).collect();
+        let solver = RemoteSolverPool::new(problem.clone(), &bases);
+        group.bench_with_input(BenchmarkId::new("services", pool_size), &solver, |b, solver| {
+            b.iter(|| {
+                solve_dantzig_wolfe(&problem, solver, &DwOptions::default())
+                    .expect("decomposition converges")
+            });
+        });
+        drop(servers);
+    }
+    group.finish();
+
+    // Baseline: the monolithic LP without decomposition.
+    let mut group = c.benchmark_group("dantzig_wolfe_baseline");
+    group.sample_size(10);
+    let lp = problem.to_lp();
+    group.bench_function("monolithic_simplex", |b| {
+        b.iter(|| mathcloud_opt::solve(&lp).optimal().expect("feasible"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dw);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Encoding ablation: JSON vs an XML-like encoding of job payloads.
+//!
+//! §2 of the paper argues for JSON over XML ("more compact and readable
+//! representation of data structures"). This bench quantifies the choice on
+//! representative job representations: encode + decode cost and size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mathcloud_json::{json, parse, Value};
+
+/// A representative DONE job representation with a medium result payload.
+fn job_payload(result_len: usize) -> Value {
+    json!({
+        "id": "j-123",
+        "uri": "/services/inverse/jobs/j-123",
+        "state": "DONE",
+        "outputs": {
+            "result": ("1/2 0; 0 1/4; ".repeat(result_len / 14 + 1)),
+            "bits": 4096,
+        },
+        "runtime_ms": 15233,
+    })
+}
+
+/// A deliberately faithful "big web services"-style XML rendering of the
+/// same document (element per field, no attributes).
+fn to_xml(v: &Value, tag: &str, out: &mut String) {
+    match v {
+        Value::Object(o) => {
+            out.push('<');
+            out.push_str(tag);
+            out.push('>');
+            for (k, val) in o.iter() {
+                to_xml(val, k, out);
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+        Value::Array(items) => {
+            for item in items {
+                to_xml(item, tag, out);
+            }
+        }
+        other => {
+            out.push('<');
+            out.push_str(tag);
+            out.push('>');
+            let text = match other {
+                Value::String(s) => s.replace('&', "&amp;").replace('<', "&lt;"),
+                v => v.to_string(),
+            };
+            out.push_str(&text);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// A minimal XML scanner standing in for decode cost (tag + text extraction).
+fn scan_xml(xml: &str) -> usize {
+    let mut elements = 0;
+    let mut in_tag = false;
+    for c in xml.chars() {
+        match c {
+            '<' => {
+                in_tag = true;
+                elements += 1;
+            }
+            '>' => in_tag = false,
+            _ => {
+                let _ = in_tag;
+            }
+        }
+    }
+    elements
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_ablation");
+    for size in [1024usize, 64 * 1024] {
+        let doc = job_payload(size);
+        let json_text = doc.to_string();
+        let mut xml_text = String::new();
+        to_xml(&doc, "job", &mut xml_text);
+
+        group.bench_with_input(BenchmarkId::new("json_encode", size), &doc, |b, doc| {
+            b.iter(|| doc.to_string());
+        });
+        group.bench_with_input(BenchmarkId::new("json_decode", size), &json_text, |b, text| {
+            b.iter(|| parse(text).expect("valid json"));
+        });
+        group.bench_with_input(BenchmarkId::new("xml_encode", size), &doc, |b, doc| {
+            b.iter(|| {
+                let mut out = String::new();
+                to_xml(doc, "job", &mut out);
+                out
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("xml_scan", size), &xml_text, |b, text| {
+            b.iter(|| scan_xml(text));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Microbenchmarks of the substrates: exact arithmetic, JSON, routing,
+//! mcscript and SHA-256. These track the constant factors everything else
+//! is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mathcloud_exact::{hilbert, BigInt, Rational};
+use mathcloud_http::{Method, Request, Response, Router};
+use mathcloud_json::parse;
+use mathcloud_security::sha256;
+use mathcloud_workflow::run_script;
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+
+    let a = BigInt::from(7).pow(400);
+    let b = BigInt::from(11).pow(350);
+    group.bench_function("bigint_mul_400x350_digits", |bch| {
+        bch.iter(|| &a * &b);
+    });
+    group.bench_function("bigint_divrem", |bch| {
+        bch.iter(|| &a / &b);
+    });
+
+    let r1 = Rational::new(BigInt::from(3).pow(50), BigInt::from(7).pow(40));
+    let r2 = Rational::new(BigInt::from(5).pow(45), BigInt::from(11).pow(35));
+    group.bench_function("rational_add_normalized", |bch| {
+        bch.iter(|| &r1 + &r2);
+    });
+
+    let h = hilbert(12);
+    group.bench_function("hilbert12_inverse", |bch| {
+        bch.iter(|| h.inverse().expect("invertible"));
+    });
+
+    let json_text = {
+        let mut s = String::from("{\"jobs\":[");
+        for i in 0..200 {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"id\":\"j-{i}\",\"state\":\"DONE\",\"outputs\":{{\"v\":{i}}}}}"
+            ));
+        }
+        s.push_str("]}");
+        s
+    };
+    group.bench_function("json_parse_200_jobs", |bch| {
+        bch.iter(|| parse(&json_text).expect("valid"));
+    });
+
+    let mut router = Router::new();
+    router.get("/services/{name}/jobs/{id}/files/{file}", |_r, _p| Response::empty(200));
+    router.get("/services/{name}/jobs/{id}", |_r, _p| Response::empty(200));
+    router.get("/services/{name}", |_r, _p| Response::empty(200));
+    let req = Request::new(Method::Get, "/services/inverse/jobs/j-42");
+    group.bench_function("router_dispatch", |bch| {
+        bch.iter(|| router.dispatch(&req));
+    });
+
+    let inputs = [("rows".to_string(), mathcloud_json::json!(["1 2", "3 4", "5 6"]))]
+        .into_iter()
+        .collect();
+    group.bench_function("mcscript_join_program", |bch| {
+        bch.iter(|| {
+            run_script("let s = join(rows, \"; \"); out = s + \"!\"; n = len(rows);", &inputs)
+                .expect("script runs")
+        });
+    });
+
+    let block = vec![0xabu8; 64 * 1024];
+    group.bench_function("sha256_64kb", |bch| {
+        bch.iter(|| sha256::digest(&block));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

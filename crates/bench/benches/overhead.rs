@@ -1,0 +1,42 @@
+//! Platform-overhead benchmark (§4's "about 2-5% of total computing time").
+//!
+//! Compares the same computation executed in-process and through the full
+//! REST stack, across compute durations and payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mathcloud_bench::overhead::{busy_compute, spawn_compute_server};
+use mathcloud_client::ServiceClient;
+use mathcloud_json::json;
+use std::time::Duration;
+
+fn bench_overhead(c: &mut Criterion) {
+    let server = spawn_compute_server();
+    let base = server.base_url();
+
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+    for (compute_ms, payload_kb) in [(2u64, 4usize), (20, 4), (20, 256)] {
+        let label = format!("{compute_ms}ms_{payload_kb}kb");
+        let payload = "p".repeat(payload_kb * 1024);
+        group.bench_with_input(BenchmarkId::new("direct", &label), &payload, |b, payload| {
+            b.iter(|| busy_compute(payload, compute_ms, 1024));
+        });
+        let client = ServiceClient::connect(&format!("{base}/services/compute")).expect("url");
+        let request = json!({
+            "payload": payload,
+            "compute_ms": (compute_ms as i64),
+            "reply_bytes": 1024,
+        });
+        group.bench_with_input(BenchmarkId::new("via_platform", &label), &request, |b, request| {
+            b.iter(|| {
+                client
+                    .call(request, Duration::from_secs(60))
+                    .expect("compute service")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

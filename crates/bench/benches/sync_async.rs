@@ -1,0 +1,58 @@
+//! Sync vs async job processing (§2's dual-mode design).
+//!
+//! Short jobs complete inside the POST's synchronous window (one HTTP round
+//! trip); the pure-async path always pays at least one extra poll. This
+//! bench quantifies the latency the synchronous fast-path saves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mathcloud_client::ServiceClient;
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_json::{json, Schema, Value};
+use std::time::Duration;
+
+fn spawn() -> (mathcloud_http::Server, String) {
+    let e = Everest::with_handlers("sync-async", 4);
+    e.deploy(
+        ServiceDescription::new("fast", "returns immediately")
+            .input(Parameter::new("x", Schema::integer()))
+            .output(Parameter::new("y", Schema::integer())),
+        NativeAdapter::from_fn(|inputs, _| {
+            let x = inputs.get("x").and_then(Value::as_i64).unwrap_or(0);
+            Ok([("y".to_string(), json!(x + 1))].into_iter().collect())
+        }),
+    );
+    let server = mathcloud_everest::serve(e, "127.0.0.1:0", None).expect("bind");
+    let base = server.base_url();
+    (server, base)
+}
+
+fn bench_sync_async(c: &mut Criterion) {
+    let (_server, base) = spawn();
+    let svc = ServiceClient::connect(&format!("{base}/services/fast")).expect("url");
+    let request = json!({"x": 41});
+
+    let mut group = c.benchmark_group("sync_async");
+    // Fast path: POST returns the DONE representation directly.
+    group.bench_function("sync_window", |b| {
+        b.iter(|| {
+            let rep = svc
+                .call(&request, Duration::from_secs(10))
+                .expect("fast job");
+            assert!(rep.outputs.is_some());
+        });
+    });
+    // Forced async: submit, then always poll the job resource once.
+    group.bench_function("submit_then_poll", |b| {
+        b.iter(|| {
+            let mut job = svc.submit(&request).expect("submit");
+            let rep = job.refresh().expect("poll");
+            assert!(rep.state.is_terminal() || rep.state == mathcloud_core::JobState::Running);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_async);
+criterion_main!(benches);

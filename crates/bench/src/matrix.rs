@@ -1,0 +1,325 @@
+//! Exact-matrix computational services and the distributed Schur workflow.
+//!
+//! Reproduces the paper's first application: "a distributed algorithm of
+//! matrix inversion has been implemented via Maxima CAS system exposed as a
+//! computational web service … as a workflow based on block decomposition of
+//! input matrix and Schur complement" (§4, Table 2).
+
+use std::time::Duration;
+
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_exact::{hilbert, Matrix};
+use mathcloud_http::Server;
+use mathcloud_json::value::Object;
+use mathcloud_json::{Schema, Value};
+use mathcloud_workflow::{Engine, HttpDescriptions, Workflow};
+
+fn matrix_of(inputs: &Object, name: &str) -> Result<Matrix, String> {
+    let text = inputs
+        .get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing matrix input {name:?}"))?;
+    Matrix::from_text(text).map_err(|e| format!("{name}: {e}"))
+}
+
+fn out(pairs: Vec<(&str, Value)>) -> Object {
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+fn mat_param(name: &str) -> Parameter {
+    Parameter::new(name, Schema::string().min_length(1).description("matrix in MathCloud text form"))
+}
+
+/// Deploys the exact-matrix service family on a container:
+/// `mat-invert`, `mat-mul`, `mat-add`, `mat-sub`, `mat-neg`, `mat-split`,
+/// `mat-assemble`.
+pub fn deploy_matrix_services(everest: &Everest) {
+    everest.deploy(
+        ServiceDescription::new("mat-invert", "Exact (error-free) inversion of a rational matrix")
+            .input(mat_param("matrix"))
+            .output(mat_param("result"))
+            .output(Parameter::new("bits", Schema::integer().description("max entry bit size")))
+            .tag("linear-algebra")
+            .tag("exact"),
+        NativeAdapter::from_fn(|inputs, _| {
+            let m = matrix_of(inputs, "matrix")?;
+            let inv = m.inverse().map_err(|e| e.to_string())?;
+            Ok(out(vec![
+                ("result", Value::from(inv.to_text())),
+                ("bits", Value::from(inv.max_entry_bits())),
+            ]))
+        }),
+    );
+    everest.deploy(
+        ServiceDescription::new("mat-mul", "Exact matrix product")
+            .input(mat_param("a"))
+            .input(mat_param("b"))
+            .output(mat_param("result"))
+            .tag("linear-algebra"),
+        NativeAdapter::from_fn(|inputs, _| {
+            let a = matrix_of(inputs, "a")?;
+            let b = matrix_of(inputs, "b")?;
+            if a.cols() != b.rows() {
+                return Err("shape mismatch in product".to_string());
+            }
+            Ok(out(vec![("result", Value::from((&a * &b).to_text()))]))
+        }),
+    );
+    everest.deploy(
+        ServiceDescription::new("mat-add", "Exact matrix sum")
+            .input(mat_param("a"))
+            .input(mat_param("b"))
+            .output(mat_param("result"))
+            .tag("linear-algebra"),
+        NativeAdapter::from_fn(|inputs, _| {
+            let a = matrix_of(inputs, "a")?;
+            let b = matrix_of(inputs, "b")?;
+            if (a.rows(), a.cols()) != (b.rows(), b.cols()) {
+                return Err("shape mismatch in sum".to_string());
+            }
+            Ok(out(vec![("result", Value::from((&a + &b).to_text()))]))
+        }),
+    );
+    everest.deploy(
+        ServiceDescription::new("mat-sub", "Exact matrix difference")
+            .input(mat_param("a"))
+            .input(mat_param("b"))
+            .output(mat_param("result"))
+            .tag("linear-algebra"),
+        NativeAdapter::from_fn(|inputs, _| {
+            let a = matrix_of(inputs, "a")?;
+            let b = matrix_of(inputs, "b")?;
+            if (a.rows(), a.cols()) != (b.rows(), b.cols()) {
+                return Err("shape mismatch in difference".to_string());
+            }
+            Ok(out(vec![("result", Value::from((&a - &b).to_text()))]))
+        }),
+    );
+    everest.deploy(
+        ServiceDescription::new("mat-neg", "Exact matrix negation")
+            .input(mat_param("a"))
+            .output(mat_param("result"))
+            .tag("linear-algebra"),
+        NativeAdapter::from_fn(|inputs, _| {
+            let a = matrix_of(inputs, "a")?;
+            Ok(out(vec![("result", Value::from((-1 * &a).to_text()))]))
+        }),
+    );
+    everest.deploy(
+        ServiceDescription::new("mat-split", "2x2 block split of a square matrix")
+            .input(mat_param("matrix"))
+            .input(Parameter::new("k", Schema::integer().minimum(1.0).description("leading block size")))
+            .output(mat_param("a"))
+            .output(mat_param("b"))
+            .output(mat_param("c"))
+            .output(mat_param("d"))
+            .tag("linear-algebra"),
+        NativeAdapter::from_fn(|inputs, _| {
+            let m = matrix_of(inputs, "matrix")?;
+            let k = inputs
+                .get("k")
+                .and_then(Value::as_i64)
+                .ok_or("missing split point k")? as usize;
+            if !m.is_square() || k == 0 || k >= m.rows() {
+                return Err("invalid split of a non-square matrix or out-of-range k".to_string());
+            }
+            let n = m.rows();
+            Ok(out(vec![
+                ("a", Value::from(m.submatrix(0, k, 0, k).to_text())),
+                ("b", Value::from(m.submatrix(0, k, k, n).to_text())),
+                ("c", Value::from(m.submatrix(k, n, 0, k).to_text())),
+                ("d", Value::from(m.submatrix(k, n, k, n).to_text())),
+            ]))
+        }),
+    );
+    everest.deploy(
+        ServiceDescription::new("mat-assemble", "Assemble a matrix from 2x2 blocks")
+            .input(mat_param("tl"))
+            .input(mat_param("tr"))
+            .input(mat_param("bl"))
+            .input(mat_param("br"))
+            .output(mat_param("result"))
+            .tag("linear-algebra"),
+        NativeAdapter::from_fn(|inputs, _| {
+            let tl = matrix_of(inputs, "tl")?;
+            let tr = matrix_of(inputs, "tr")?;
+            let bl = matrix_of(inputs, "bl")?;
+            let br = matrix_of(inputs, "br")?;
+            let m = Matrix::from_blocks(&tl, &tr, &bl, &br).map_err(|e| e.to_string())?;
+            Ok(out(vec![("result", Value::from(m.to_text()))]))
+        }),
+    );
+}
+
+/// Starts `count` independent containers, each publishing the matrix
+/// services — the paper's pool of computational web services.
+///
+/// # Panics
+///
+/// Panics on socket errors (benchmarks cannot proceed without servers).
+pub fn spawn_matrix_farm(count: usize, handlers: usize) -> Vec<Server> {
+    (0..count)
+        .map(|i| {
+            let everest = Everest::with_handlers(&format!("matrix-node-{i}"), handlers);
+            deploy_matrix_services(&everest);
+            mathcloud_everest::serve(everest, "127.0.0.1:0", None).expect("bind matrix container")
+        })
+        .collect()
+}
+
+/// Builds the distributed Schur-complement inversion workflow over a pool of
+/// containers (4 in the paper's Table 2 configuration). Operations are
+/// spread round-robin so independent steps land on different services.
+///
+/// Inputs: `matrix` (text form), `k` (split point). Output: `inverse`.
+pub fn schur_workflow(bases: &[String]) -> Workflow {
+    assert!(!bases.is_empty(), "need at least one container");
+    let svc = |i: usize, name: &str| format!("{}/services/{}", bases[i % bases.len()], name);
+    Workflow::new("schur-inverse", "Distributed error-free matrix inversion via Schur complement")
+        .input("matrix", Schema::string())
+        .input("k", Schema::integer())
+        .service("split", &svc(0, "mat-split"))
+        .service("inv_a", &svc(0, "mat-invert"))
+        .service("aib", &svc(1, "mat-mul")) // A⁻¹·B
+        .service("cai", &svc(2, "mat-mul")) // C·A⁻¹
+        .service("caib", &svc(3, "mat-mul")) // C·(A⁻¹B)
+        .service("s", &svc(3, "mat-sub")) // S = D − C·A⁻¹·B
+        .service("inv_s", &svc(3, "mat-invert")) // S⁻¹
+        .service("aibsi", &svc(1, "mat-mul")) // (A⁻¹B)·S⁻¹
+        .service("tr", &svc(1, "mat-neg")) // −(A⁻¹B)·S⁻¹
+        .service("sicai", &svc(2, "mat-mul")) // S⁻¹·(CA⁻¹)
+        .service("bl", &svc(2, "mat-neg")) // −S⁻¹·CA⁻¹
+        .service("corr", &svc(0, "mat-mul")) // (A⁻¹B·S⁻¹)·(CA⁻¹)
+        .service("tl", &svc(0, "mat-add")) // A⁻¹ + correction
+        .service("assemble", &svc(0, "mat-assemble"))
+        .output("inverse", Schema::string())
+        .wire(("matrix", "value"), ("split", "matrix"))
+        .wire(("k", "value"), ("split", "k"))
+        .wire(("split", "a"), ("inv_a", "matrix"))
+        .wire(("inv_a", "result"), ("aib", "a"))
+        .wire(("split", "b"), ("aib", "b"))
+        .wire(("split", "c"), ("cai", "a"))
+        .wire(("inv_a", "result"), ("cai", "b"))
+        .wire(("split", "c"), ("caib", "a"))
+        .wire(("aib", "result"), ("caib", "b"))
+        .wire(("split", "d"), ("s", "a"))
+        .wire(("caib", "result"), ("s", "b"))
+        .wire(("s", "result"), ("inv_s", "matrix"))
+        .wire(("aib", "result"), ("aibsi", "a"))
+        .wire(("inv_s", "result"), ("aibsi", "b"))
+        .wire(("aibsi", "result"), ("tr", "a"))
+        .wire(("inv_s", "result"), ("sicai", "a"))
+        .wire(("cai", "result"), ("sicai", "b"))
+        .wire(("sicai", "result"), ("bl", "a"))
+        .wire(("aibsi", "result"), ("corr", "a"))
+        .wire(("cai", "result"), ("corr", "b"))
+        .wire(("inv_a", "result"), ("tl", "a"))
+        .wire(("corr", "result"), ("tl", "b"))
+        .wire(("tl", "result"), ("assemble", "tl"))
+        .wire(("tr", "result"), ("assemble", "tr"))
+        .wire(("bl", "result"), ("assemble", "bl"))
+        .wire(("inv_s", "result"), ("assemble", "br"))
+        .wire(("assemble", "result"), ("inverse", "value"))
+}
+
+/// One row of the Table 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Serial in-process inversion time.
+    pub serial: Duration,
+    /// Distributed (4-service workflow) time, including all platform
+    /// overhead.
+    pub parallel: Duration,
+    /// `serial / parallel`.
+    pub speedup: f64,
+}
+
+/// Runs the Table 2 experiment for one Hilbert size against a live farm.
+///
+/// # Panics
+///
+/// Panics if the workflow fails — the experiment is meaningless otherwise.
+pub fn table2_row(n: usize, bases: &[String]) -> Table2Row {
+    let h = hilbert(n);
+
+    let t0 = std::time::Instant::now();
+    let serial_inverse = h.inverse().expect("hilbert matrices are invertible");
+    let serial = t0.elapsed();
+
+    let workflow = schur_workflow(bases);
+    let validated = mathcloud_workflow::validate(&workflow, &HttpDescriptions::new())
+        .expect("schur workflow validates");
+    let engine = Engine::new(validated);
+    let inputs: Object = [
+        ("matrix".to_string(), Value::from(h.to_text())),
+        ("k".to_string(), Value::from(n / 2)),
+    ]
+    .into_iter()
+    .collect();
+    let t0 = std::time::Instant::now();
+    let outputs = engine.run(&inputs).expect("distributed inversion succeeds");
+    let parallel = t0.elapsed();
+
+    let distributed = Matrix::from_text(outputs.get("inverse").and_then(Value::as_str).expect("inverse output"))
+        .expect("well-formed result");
+    assert_eq!(distributed, serial_inverse, "distributed result must be error-free");
+
+    Table2Row { n, serial, parallel, speedup: serial.as_secs_f64() / parallel.as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_services_compute_correctly() {
+        let e = Everest::new("t");
+        deploy_matrix_services(&e);
+        let rep = e
+            .submit_sync(
+                "mat-invert",
+                &mathcloud_json::json!({"matrix": "2 0; 0 4"}),
+                None,
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        let outputs = rep.outputs.expect("done");
+        assert_eq!(outputs.get("result").unwrap().as_str(), Some("1/2 0; 0 1/4"));
+    }
+
+    #[test]
+    fn matrix_services_reject_bad_shapes() {
+        let e = Everest::new("t");
+        deploy_matrix_services(&e);
+        let rep = e
+            .submit_sync(
+                "mat-mul",
+                &mathcloud_json::json!({"a": "1 2; 3 4", "b": "1 2 3"}),
+                None,
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        assert_eq!(rep.state, mathcloud_core::JobState::Failed);
+    }
+
+    #[test]
+    fn distributed_schur_matches_serial_inverse() {
+        let servers = spawn_matrix_farm(4, 2);
+        let bases: Vec<String> = servers.iter().map(Server::base_url).collect();
+        let row = table2_row(12, &bases);
+        assert_eq!(row.n, 12);
+        assert!(row.parallel > Duration::ZERO);
+    }
+
+    #[test]
+    fn workflow_works_with_a_single_container_too() {
+        let servers = spawn_matrix_farm(1, 4);
+        let bases: Vec<String> = servers.iter().map(Server::base_url).collect();
+        let row = table2_row(8, &bases);
+        assert!(row.speedup > 0.0);
+    }
+}

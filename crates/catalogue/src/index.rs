@@ -1,0 +1,274 @@
+//! Full-text search: tokenizer, inverted index, TF-IDF ranking, snippets.
+
+use std::collections::HashMap;
+
+/// Splits text into lowercase alphanumeric tokens.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_catalogue::index::tokenize;
+///
+/// assert_eq!(tokenize("Exact Matrix-Inversion, v2!"), ["exact", "matrix", "inversion", "v2"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// A document registered in the index.
+#[derive(Debug, Clone)]
+struct Doc {
+    /// Original text, kept for snippet extraction.
+    text: String,
+    /// Total token count (for TF normalization).
+    len: usize,
+}
+
+/// An inverted index with TF-IDF ranking over small corpora.
+///
+/// The catalogue "supports full text search in service descriptions and
+/// tags" with "short snippets of each found service with highlighted query
+/// terms" (§3.2); this is that engine.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_catalogue::index::InvertedIndex;
+///
+/// let mut idx = InvertedIndex::new();
+/// idx.insert(1, "exact inversion of ill-conditioned matrices");
+/// idx.insert(2, "x-ray scattering curves for nanostructures");
+/// let hits = idx.search("matrix inversion");
+/// assert_eq!(hits.first().map(|h| h.doc), Some(1));
+/// ```
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, HashMap<u64, usize>>,
+    docs: HashMap<u64, Doc>,
+}
+
+/// One ranked search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The matching document id.
+    pub doc: u64,
+    /// TF-IDF relevance score (higher is better).
+    pub score: f64,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        InvertedIndex::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Returns `true` when no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Adds (or replaces) a document.
+    pub fn insert(&mut self, id: u64, text: &str) {
+        self.remove(id);
+        let tokens = tokenize(text);
+        let len = tokens.len();
+        for token in &tokens {
+            // Light stemming: index the raw token and its singular-ish stem
+            // so "matrices"/"matrix" cross-match through shared prefixes.
+            *self
+                .postings
+                .entry(token.clone())
+                .or_default()
+                .entry(id)
+                .or_insert(0) += 1;
+            let stem = stem(token);
+            if stem != *token {
+                *self.postings.entry(stem).or_default().entry(id).or_insert(0) += 1;
+            }
+        }
+        self.docs.insert(id, Doc { text: text.to_string(), len: len.max(1) });
+    }
+
+    /// Removes a document.
+    pub fn remove(&mut self, id: u64) {
+        if self.docs.remove(&id).is_none() {
+            return;
+        }
+        self.postings.retain(|_, posting| {
+            posting.remove(&id);
+            !posting.is_empty()
+        });
+    }
+
+    /// Searches for documents matching any query term, ranked by TF-IDF.
+    pub fn search(&self, query: &str) -> Vec<Hit> {
+        let n_docs = self.docs.len() as f64;
+        if n_docs == 0.0 {
+            return Vec::new();
+        }
+        let mut scores: HashMap<u64, f64> = HashMap::new();
+        for term in tokenize(query) {
+            for candidate in [term.clone(), stem(&term)] {
+                let Some(posting) = self.postings.get(&candidate) else { continue };
+                let idf = (n_docs / posting.len() as f64).ln() + 1.0;
+                for (&doc, &tf) in posting {
+                    let norm_tf = tf as f64 / self.docs[&doc].len as f64;
+                    *scores.entry(doc).or_insert(0.0) += norm_tf * idf;
+                }
+                if candidate == term {
+                    // Don't double-score when stem == term.
+                    if stem(&term) == term {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<Hit> = scores.into_iter().map(|(doc, score)| Hit { doc, score }).collect();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        hits
+    }
+
+    /// Builds a snippet of roughly `window` tokens around the first query
+    /// match, wrapping matched terms in `<b>…</b>`.
+    pub fn snippet(&self, doc: u64, query: &str, window: usize) -> Option<String> {
+        let text = &self.docs.get(&doc)?.text;
+        let terms: Vec<String> = tokenize(query).iter().map(|t| stem(t)).collect();
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let is_match =
+            |w: &str| -> bool { tokenize(w).iter().any(|t| terms.contains(&stem(t))) };
+        let first = words.iter().position(|w| is_match(w)).unwrap_or(0);
+        let start = first.saturating_sub(window / 2);
+        let end = (start + window).min(words.len());
+        let mut out = String::new();
+        if start > 0 {
+            out.push_str("… ");
+        }
+        for (i, w) in words[start..end].iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            if is_match(w) {
+                out.push_str(&format!("<b>{w}</b>"));
+            } else {
+                out.push_str(w);
+            }
+        }
+        if end < words.len() {
+            out.push_str(" …");
+        }
+        Some(out)
+    }
+}
+
+/// A deliberately small stemmer: trims common English plural/verb suffixes.
+/// Enough to make "matrices" find "matrix"-adjacent vocabulary and
+/// "solvers" find "solver" without a full Porter implementation.
+pub fn stem(token: &str) -> String {
+    let t = token;
+    for (suffix, replacement) in [
+        ("ices", "ix"), // matrices -> matrix
+        ("sses", "ss"),
+        ("ies", "y"),
+        ("ing", ""),
+        ("ers", "er"),
+        ("es", "e"),
+        ("s", ""),
+    ] {
+        if let Some(base) = t.strip_suffix(suffix) {
+            if base.len() >= 3 {
+                return format!("{base}{replacement}");
+            }
+        }
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_handles_punctuation_and_unicode() {
+        assert_eq!(tokenize("Schur-complement (exact)!"), ["schur", "complement", "exact"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("Обращение матриц"), ["обращение", "матриц"]);
+    }
+
+    #[test]
+    fn ranking_prefers_focused_documents() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(1, "matrix inversion matrix inversion exact");
+        idx.insert(2, "a long description mentioning matrix once among many many other words here");
+        idx.insert(3, "optimization solvers for transportation");
+        let hits = idx.search("matrix");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc, 1);
+        assert!(hits[0].score > hits[1].score);
+        assert!(idx.search("quantum").is_empty());
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(1, "solver alpha");
+        idx.insert(2, "solver beta");
+        idx.insert(3, "solver gamma unique");
+        let hits = idx.search("solver unique");
+        assert_eq!(hits[0].doc, 3);
+    }
+
+    #[test]
+    fn stemming_crosses_plurals() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(1, "inverts matrices exactly");
+        assert!(!idx.search("matrix").is_empty(), "matrix should match matrices");
+        let mut idx = InvertedIndex::new();
+        idx.insert(1, "optimization solvers");
+        assert!(!idx.search("solver").is_empty());
+    }
+
+    #[test]
+    fn remove_purges_postings() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(1, "alpha beta");
+        idx.insert(2, "alpha gamma");
+        idx.remove(1);
+        let hits = idx.search("alpha");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 2);
+        assert!(idx.search("beta").is_empty());
+        idx.remove(99); // no-op
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces_existing_document() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(1, "old text");
+        idx.insert(1, "new content");
+        assert!(idx.search("old").is_empty());
+        assert!(!idx.search("content").is_empty());
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn snippets_highlight_terms_and_bound_the_window() {
+        let mut idx = InvertedIndex::new();
+        let long = format!("{} inversion target {}", "pad ".repeat(30).trim(), "tail ".repeat(30).trim());
+        idx.insert(1, &long);
+        let snip = idx.snippet(1, "inversion", 8).unwrap();
+        assert!(snip.contains("<b>inversion</b>"), "{snip}");
+        assert!(snip.starts_with("… "));
+        assert!(snip.ends_with(" …"));
+        assert!(snip.split_whitespace().count() <= 12);
+        assert!(idx.snippet(42, "x", 8).is_none());
+    }
+}

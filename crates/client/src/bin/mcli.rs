@@ -1,0 +1,105 @@
+//! `mcli` — the MathCloud command-line client (§3.5 of the paper).
+//!
+//! ```text
+//! mcli list <container-url>                 list deployed services
+//! mcli describe <service-url>               print a service description
+//! mcli submit <service-url> k=v [k=v ...]   submit a job, print its URL
+//! mcli call <service-url> k=v [k=v ...]     submit, wait, print outputs
+//! mcli status <job-url>                     print a job representation
+//! mcli cancel <job-url>                     cancel / delete a job
+//! ```
+//!
+//! Values parse as JSON when possible (`n=250` is a number, `m='"text"'` a
+//! string) and fall back to plain strings.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mathcloud_client::{list_services, ServiceClient, ServiceError};
+use mathcloud_http::Client;
+use mathcloud_json::value::Object;
+use mathcloud_json::Value;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mcli: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: mcli <list|describe|submit|call|status|cancel> <url> [k=v ...]";
+    let command = args.first().ok_or(usage)?;
+    let url = args.get(1).ok_or(usage)?;
+    match command.as_str() {
+        "list" => {
+            for d in list_services(url).map_err(stringify)? {
+                println!("{}\t{}", d.name(), d.description());
+            }
+            Ok(())
+        }
+        "describe" => {
+            let svc = ServiceClient::connect(url).map_err(stringify)?;
+            let desc = svc.describe().map_err(stringify)?;
+            println!("{}", desc.to_value().to_pretty_string());
+            Ok(())
+        }
+        "submit" => {
+            let svc = ServiceClient::connect(url).map_err(stringify)?;
+            let inputs = parse_inputs(&args[2..])?;
+            let job = svc.submit(&Value::Object(inputs)).map_err(stringify)?;
+            println!("{}", job.job_url());
+            Ok(())
+        }
+        "call" => {
+            let svc = ServiceClient::connect(url).map_err(stringify)?;
+            let inputs = parse_inputs(&args[2..])?;
+            let rep = svc
+                .call(&Value::Object(inputs), Duration::from_secs(3600))
+                .map_err(stringify)?;
+            println!("{}", rep.to_value().to_pretty_string());
+            Ok(())
+        }
+        "status" => {
+            let resp = Client::new().get(url).map_err(|e| e.to_string())?;
+            if !resp.status.is_success() {
+                return Err(format!("{}: {}", resp.status, resp.body_string()));
+            }
+            let doc = resp.body_json().map_err(|e| e.to_string())?;
+            println!("{}", doc.to_pretty_string());
+            Ok(())
+        }
+        "cancel" => {
+            let resp = Client::new().delete(url).map_err(|e| e.to_string())?;
+            if resp.status.is_success() {
+                println!("cancelled");
+                Ok(())
+            } else {
+                Err(format!("{}: {}", resp.status, resp.body_string()))
+            }
+        }
+        other => Err(format!("unknown command {other:?}\n{usage}")),
+    }
+}
+
+fn stringify(e: ServiceError) -> String {
+    e.to_string()
+}
+
+/// Parses `key=value` arguments, interpreting each value as JSON when it
+/// parses and as a plain string otherwise.
+fn parse_inputs(pairs: &[String]) -> Result<Object, String> {
+    let mut inputs = Object::new();
+    for pair in pairs {
+        let (key, raw) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("argument {pair:?} is not key=value"))?;
+        let value = mathcloud_json::parse(raw).unwrap_or_else(|_| Value::from(raw));
+        inputs.insert(key.to_string(), value);
+    }
+    Ok(inputs)
+}

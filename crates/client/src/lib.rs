@@ -1,0 +1,383 @@
+//! High-level client for MathCloud computational web services.
+//!
+//! The paper ships Java, Python and command-line clients (§3.5); this crate
+//! is the Rust equivalent plus the `mcli` binary. Because services implement
+//! the unified REST API, one client type talks to *any* MathCloud service:
+//!
+//! ```no_run
+//! use mathcloud_client::ServiceClient;
+//! use mathcloud_json::json;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let svc = ServiceClient::connect("http://localhost:9000/services/inverse")?;
+//! println!("{}", svc.describe()?.description());
+//! let job = svc.submit(&json!({"matrix": "2 0; 0 4"}))?;
+//! let done = job.wait(Duration::from_secs(60))?;
+//! println!("{}", done.outputs.unwrap().get("result").unwrap());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use mathcloud_core::{JobRepresentation, JobState, ServiceDescription};
+use mathcloud_http::{Client, Url};
+use mathcloud_json::Value;
+use mathcloud_security::cert::{Certificate, OpenIdToken};
+use mathcloud_security::middleware::CLIENT_CERT_HEADER;
+
+/// Errors from client operations.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Transport-level failure.
+    Transport(String),
+    /// The server returned an HTTP error status.
+    Http {
+        /// The status code.
+        status: u16,
+        /// The error payload or body text.
+        message: String,
+    },
+    /// The server returned a payload the client cannot interpret.
+    Protocol(String),
+    /// The job finished in FAILED or CANCELLED state.
+    JobFailed(String),
+    /// The job did not finish within the wait deadline.
+    Timeout,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Transport(m) => write!(f, "transport error: {m}"),
+            ServiceError::Http { status, message } => write!(f, "http {status}: {message}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::JobFailed(m) => write!(f, "job failed: {m}"),
+            ServiceError::Timeout => write!(f, "timed out waiting for the job"),
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+fn http_error(resp: &mathcloud_http::Response) -> ServiceError {
+    let message = resp
+        .body_json()
+        .ok()
+        .and_then(|v| v.str_field("error").map(String::from))
+        .unwrap_or_else(|| resp.body_string());
+    ServiceError::Http { status: resp.status.as_u16(), message }
+}
+
+/// A client bound to one computational web service.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    client: Client,
+    url: Url,
+}
+
+impl ServiceClient {
+    /// Binds to a service URL (no network traffic yet).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] when the URL does not parse.
+    pub fn connect(url: &str) -> Result<Self, ServiceError> {
+        let url: Url = url.parse().map_err(|e| ServiceError::Protocol(format!("{e}")))?;
+        Ok(ServiceClient { client: Client::new(), url })
+    }
+
+    /// Attaches certificate credentials to every request (builder style).
+    pub fn with_certificate(mut self, cert: &Certificate) -> Self {
+        self.client = self.client.with_default_header(CLIENT_CERT_HEADER, &cert.encode());
+        self
+    }
+
+    /// Attaches OpenID credentials to every request (builder style).
+    pub fn with_openid(mut self, token: &OpenIdToken) -> Self {
+        self.client = self
+            .client
+            .with_default_header("Authorization", &format!("OpenId {}", token.encode()));
+        self
+    }
+
+    /// The bound service URL.
+    pub fn url(&self) -> &Url {
+        &self.url
+    }
+
+    /// Fetches the service description (introspection).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] on transport, HTTP or payload problems.
+    pub fn describe(&self) -> Result<ServiceDescription, ServiceError> {
+        let resp = self
+            .client
+            .get(&self.url.to_string())
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        if !resp.status.is_success() {
+            return Err(http_error(&resp));
+        }
+        let doc = resp
+            .body_json()
+            .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+        ServiceDescription::from_value(&doc).map_err(|e| ServiceError::Protocol(e.to_string()))
+    }
+
+    /// Submits a request, returning a handle on the created job.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] on rejection (validation, authorization) or
+    /// transport failure.
+    pub fn submit(&self, inputs: &Value) -> Result<JobHandle, ServiceError> {
+        let resp = self
+            .client
+            .post_json(&self.url.to_string(), inputs)
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        if !resp.status.is_success() {
+            return Err(http_error(&resp));
+        }
+        let rep = JobRepresentation::from_value(
+            &resp.body_json().map_err(|e| ServiceError::Protocol(e.to_string()))?,
+        )
+        .map_err(ServiceError::Protocol)?;
+        Ok(JobHandle { client: self.client.clone(), base: self.url.clone(), rep })
+    }
+
+    /// Submits and waits for completion in one call.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::submit`] and [`JobHandle::wait`].
+    pub fn call(&self, inputs: &Value, timeout: Duration) -> Result<JobRepresentation, ServiceError> {
+        self.submit(inputs)?.wait(timeout)
+    }
+}
+
+/// A handle on a submitted job.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    client: Client,
+    base: Url,
+    rep: JobRepresentation,
+}
+
+impl JobHandle {
+    /// The most recently fetched representation.
+    pub fn representation(&self) -> &JobRepresentation {
+        &self.rep
+    }
+
+    /// The job's absolute URL.
+    pub fn job_url(&self) -> String {
+        self.base.with_target(&self.rep.uri).to_string()
+    }
+
+    /// Re-fetches the job representation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] on transport or payload problems.
+    pub fn refresh(&mut self) -> Result<&JobRepresentation, ServiceError> {
+        let resp = self
+            .client
+            .get(&self.job_url())
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        if !resp.status.is_success() {
+            return Err(http_error(&resp));
+        }
+        self.rep = JobRepresentation::from_value(
+            &resp.body_json().map_err(|e| ServiceError::Protocol(e.to_string()))?,
+        )
+        .map_err(ServiceError::Protocol)?;
+        Ok(&self.rep)
+    }
+
+    /// Polls until the job is DONE, failing on FAILED/CANCELLED/timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::JobFailed`] with the server's reason, or
+    /// [`ServiceError::Timeout`].
+    pub fn wait(mut self, timeout: Duration) -> Result<JobRepresentation, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        let mut pause = Duration::from_millis(10);
+        loop {
+            match self.rep.state {
+                JobState::Done => return Ok(self.rep),
+                JobState::Failed => {
+                    return Err(ServiceError::JobFailed(
+                        self.rep.error.unwrap_or_else(|| "unknown reason".into()),
+                    ))
+                }
+                JobState::Cancelled => {
+                    return Err(ServiceError::JobFailed("job was cancelled".into()))
+                }
+                JobState::Waiting | JobState::Running => {
+                    if Instant::now() >= deadline {
+                        return Err(ServiceError::Timeout);
+                    }
+                    std::thread::sleep(pause);
+                    // Gentle backoff capped at 25 ms: long jobs stay cheap
+                    // to poll while mid-length jobs are detected promptly
+                    // (an uncapped backoff inflates measured overhead for
+                    // jobs of a few hundred milliseconds).
+                    pause = (pause * 2).min(Duration::from_millis(25));
+                    self.refresh()?;
+                }
+            }
+        }
+    }
+
+    /// Cancels the job (or deletes a finished job's data).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when the DELETE is rejected.
+    pub fn cancel(&self) -> Result<(), ServiceError> {
+        let resp = self
+            .client
+            .delete(&self.job_url())
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        if resp.status.is_success() {
+            Ok(())
+        } else {
+            Err(http_error(&resp))
+        }
+    }
+
+    /// Downloads a file output (an absolute URL from a DONE representation).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] on transport or HTTP failure.
+    pub fn download(&self, file_url: &str) -> Result<Vec<u8>, ServiceError> {
+        let resp = self
+            .client
+            .get(file_url)
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        if !resp.status.is_success() {
+            return Err(http_error(&resp));
+        }
+        Ok(resp.body)
+    }
+}
+
+/// Lists the services deployed on a container.
+///
+/// # Errors
+///
+/// [`ServiceError`] on transport, HTTP or payload problems.
+pub fn list_services(container_url: &str) -> Result<Vec<ServiceDescription>, ServiceError> {
+    let client = Client::new();
+    let url = format!("{}/services", container_url.trim_end_matches('/'));
+    let resp = client
+        .get(&url)
+        .map_err(|e| ServiceError::Transport(e.to_string()))?;
+    if !resp.status.is_success() {
+        return Err(http_error(&resp));
+    }
+    let doc = resp
+        .body_json()
+        .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+    let arr = doc
+        .as_array()
+        .ok_or_else(|| ServiceError::Protocol("service list is not an array".into()))?;
+    arr.iter()
+        .map(|v| ServiceDescription::from_value(v).map_err(|e| ServiceError::Protocol(e.to_string())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathcloud_core::Parameter;
+    use mathcloud_everest::adapter::NativeAdapter;
+    use mathcloud_everest::Everest;
+    use mathcloud_json::{json, Schema};
+
+    fn demo_server() -> (mathcloud_http::Server, String) {
+        let e = Everest::new("demo");
+        e.deploy(
+            ServiceDescription::new("sum", "adds")
+                .input(Parameter::new("a", Schema::integer()))
+                .input(Parameter::new("b", Schema::integer()))
+                .output(Parameter::new("total", Schema::integer())),
+            NativeAdapter::from_fn(|inputs, _| {
+                let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+                let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+                Ok([("total".to_string(), json!(a + b))].into_iter().collect())
+            }),
+        );
+        e.deploy(
+            ServiceDescription::new("slow", "sleeps then fails"),
+            NativeAdapter::from_fn(|_, _| {
+                std::thread::sleep(Duration::from_millis(50));
+                Err("exhausted".into())
+            }),
+        );
+        let server = mathcloud_everest::serve(e, "127.0.0.1:0", None).unwrap();
+        let base = server.base_url();
+        (server, base)
+    }
+
+    #[test]
+    fn describe_submit_wait_round_trip() {
+        let (_server, base) = demo_server();
+        let svc = ServiceClient::connect(&format!("{base}/services/sum")).unwrap();
+        let desc = svc.describe().unwrap();
+        assert_eq!(desc.name(), "sum");
+        let done = svc.call(&json!({"a": 4, "b": 38}), Duration::from_secs(5)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.outputs.unwrap().get("total").unwrap().as_i64(), Some(42));
+    }
+
+    #[test]
+    fn failed_jobs_surface_the_server_reason() {
+        let (_server, base) = demo_server();
+        let svc = ServiceClient::connect(&format!("{base}/services/slow")).unwrap();
+        let err = svc.call(&json!({}), Duration::from_secs(5)).unwrap_err();
+        assert!(matches!(&err, ServiceError::JobFailed(m) if m.contains("exhausted")), "{err}");
+    }
+
+    #[test]
+    fn validation_errors_map_to_http_400() {
+        let (_server, base) = demo_server();
+        let svc = ServiceClient::connect(&format!("{base}/services/sum")).unwrap();
+        let err = svc.submit(&json!({"a": "wrong"})).unwrap_err();
+        assert!(matches!(err, ServiceError::Http { status: 400, .. }), "{err}");
+    }
+
+    #[test]
+    fn cancel_deletes_finished_jobs() {
+        let (_server, base) = demo_server();
+        let svc = ServiceClient::connect(&format!("{base}/services/sum")).unwrap();
+        let job = svc.submit(&json!({"a": 1, "b": 1})).unwrap();
+        let mut polled = job.clone();
+        // Wait for completion, then DELETE the job resource.
+        while !polled.refresh().unwrap().state.is_terminal() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        job.cancel().unwrap();
+        let mut gone = job.clone();
+        assert!(matches!(gone.refresh().unwrap_err(), ServiceError::Http { status: 404, .. }));
+    }
+
+    #[test]
+    fn list_services_enumerates_container() {
+        let (_server, base) = demo_server();
+        let services = list_services(&base).unwrap();
+        let names: Vec<&str> = services.iter().map(|d| d.name()).collect();
+        assert_eq!(names, ["sum", "slow"]);
+    }
+
+    #[test]
+    fn connect_rejects_garbage_urls() {
+        assert!(ServiceClient::connect("ftp://nope").is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end tests of the `mcli` command-line client (§3.5 of the paper)
+//! against a live container, invoked as a real subprocess.
+
+use std::process::Command;
+use std::time::Duration;
+
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_json::{json, Schema, Value};
+
+fn server() -> (mathcloud_http::Server, String) {
+    let e = Everest::new("cli-demo");
+    e.deploy(
+        ServiceDescription::new("sum", "adds two integers")
+            .input(Parameter::new("a", Schema::integer()))
+            .input(Parameter::new("b", Schema::integer()))
+            .output(Parameter::new("total", Schema::integer())),
+        NativeAdapter::from_fn(|inputs, _| {
+            let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+            let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+            Ok([("total".to_string(), json!(a + b))].into_iter().collect())
+        }),
+    );
+    e.deploy(
+        ServiceDescription::new("slow", "cancellable sleeper"),
+        NativeAdapter::from_fn(|_, ctx| {
+            while !ctx.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err("cancelled".into())
+        }),
+    );
+    let s = mathcloud_everest::serve(e, "127.0.0.1:0", None).unwrap();
+    let base = s.base_url();
+    (s, base)
+}
+
+fn mcli(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcli"))
+        .args(args)
+        .output()
+        .expect("mcli runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_and_describe() {
+    let (_s, base) = server();
+    let (ok, stdout, _) = mcli(&["list", &base]);
+    assert!(ok);
+    assert!(stdout.contains("sum\tadds two integers"), "{stdout}");
+
+    let (ok, stdout, _) = mcli(&["describe", &format!("{base}/services/sum")]);
+    assert!(ok);
+    assert!(stdout.contains("\"name\": \"sum\""), "{stdout}");
+}
+
+#[test]
+fn call_parses_key_value_arguments_as_json() {
+    let (_s, base) = server();
+    let (ok, stdout, stderr) = mcli(&["call", &format!("{base}/services/sum"), "a=40", "b=2"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"state\": \"DONE\""), "{stdout}");
+    assert!(stdout.contains("\"total\": 42"), "{stdout}");
+}
+
+#[test]
+fn submit_status_cancel_flow() {
+    let (_s, base) = server();
+    let (ok, stdout, _) = mcli(&["submit", &format!("{base}/services/slow")]);
+    assert!(ok);
+    let job_url = stdout.trim().to_string();
+    assert!(job_url.contains("/jobs/"), "{job_url}");
+
+    let (ok, stdout, _) = mcli(&["status", &job_url]);
+    assert!(ok);
+    assert!(stdout.contains("WAITING") || stdout.contains("RUNNING"), "{stdout}");
+
+    let (ok, stdout, _) = mcli(&["cancel", &job_url]);
+    assert!(ok);
+    assert!(stdout.contains("cancelled"));
+}
+
+#[test]
+fn errors_exit_nonzero_with_reasons() {
+    let (_s, base) = server();
+    // Unknown command.
+    let (ok, _, stderr) = mcli(&["frobnicate", &base]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    // Bad key=value.
+    let (ok, _, stderr) = mcli(&["call", &format!("{base}/services/sum"), "not-a-pair"]);
+    assert!(!ok);
+    assert!(stderr.contains("key=value"), "{stderr}");
+    // Validation failure from the server.
+    let (ok, _, stderr) = mcli(&["call", &format!("{base}/services/sum"), "a=\"text\""]);
+    assert!(!ok);
+    assert!(stderr.contains("400"), "{stderr}");
+    // Dead server.
+    let (ok, _, stderr) = mcli(&["list", "http://127.0.0.1:1"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+}

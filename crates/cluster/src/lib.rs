@@ -1,0 +1,32 @@
+//! A TORQUE-like batch resource manager, simulated with real threads.
+//!
+//! The paper's Cluster adapter translates MathCloud service requests into
+//! batch jobs "submitted to computing cluster via TORQUE resource manager"
+//! (§3.1). This crate is the substrate for that adapter: a multi-node batch
+//! system with a FIFO + backfill scheduler, per-node core accounting,
+//! walltime enforcement and the familiar `qsub`/`qstat`/`qdel` verbs.
+//!
+//! Jobs are Rust closures receiving a [`JobContext`]; a well-behaved job
+//! polls [`JobContext::should_stop`] so cancellation and walltime kills take
+//! effect (exactly the cooperative model of real batch signals).
+//!
+//! # Examples
+//!
+//! ```
+//! use mathcloud_cluster::{BatchSystem, JobSpec};
+//! use std::time::Duration;
+//!
+//! let cluster = BatchSystem::builder("test-cluster")
+//!     .node("node-1", 4)
+//!     .build();
+//! let id = cluster.qsub(JobSpec::new("hello", 1, |_ctx| Ok("done".to_string())));
+//! let status = cluster.wait(id, Duration::from_secs(5)).unwrap();
+//! assert_eq!(status.output.as_deref(), Some("done"));
+//! ```
+
+pub mod scheduler;
+
+pub use scheduler::{
+    BatchSystem, BatchSystemBuilder, ClusterStats, JobContext, JobId, JobSpec, JobState, JobStatus,
+    SubmitError,
+};

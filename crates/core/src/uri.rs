@@ -1,0 +1,79 @@
+//! The hierarchical resource URI layout.
+//!
+//! The paper deliberately leaves URI templates implementation-defined but
+//! asks that the Service → Job → File hierarchy be respected. This module is
+//! this implementation's layout, shared by the container, clients, catalogue
+//! and workflow system:
+//!
+//! ```text
+//! /services                    list of deployed services (container extra)
+//! /services/{name}             the service resource
+//! /services/{name}/jobs/{id}   a job resource
+//! /services/{name}/jobs/{id}/files/{file}   a file resource
+//! ```
+
+/// Path of the service list resource.
+pub const SERVICES_ROOT: &str = "/services";
+
+/// Path of a service resource.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mathcloud_core::uri::service("inverse"), "/services/inverse");
+/// ```
+pub fn service(name: &str) -> String {
+    format!("{SERVICES_ROOT}/{name}")
+}
+
+/// Path of a job resource.
+pub fn job(service_name: &str, job_id: &str) -> String {
+    format!("{SERVICES_ROOT}/{service_name}/jobs/{job_id}")
+}
+
+/// Path of a file resource belonging to a job.
+pub fn file(service_name: &str, job_id: &str, file_id: &str) -> String {
+    format!("{SERVICES_ROOT}/{service_name}/jobs/{job_id}/files/{file_id}")
+}
+
+/// Splits a job URI back into `(service, job)` if it matches the layout.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_core::uri;
+///
+/// assert_eq!(uri::parse_job("/services/inv/jobs/7"), Some(("inv".into(), "7".into())));
+/// assert_eq!(uri::parse_job("/elsewhere"), None);
+/// ```
+pub fn parse_job(path: &str) -> Option<(String, String)> {
+    let rest = path.strip_prefix("/services/")?;
+    let (service, rest) = rest.split_once("/jobs/")?;
+    if service.is_empty() || rest.is_empty() || rest.contains('/') {
+        return None;
+    }
+    Some((service.to_string(), rest.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_hierarchical() {
+        assert_eq!(service("s"), "/services/s");
+        assert_eq!(job("s", "j"), "/services/s/jobs/j");
+        assert_eq!(file("s", "j", "f"), "/services/s/jobs/j/files/f");
+        assert!(file("s", "j", "f").starts_with(&job("s", "j")));
+        assert!(job("s", "j").starts_with(&service("s")));
+    }
+
+    #[test]
+    fn parse_job_accepts_only_job_uris() {
+        assert_eq!(parse_job(&job("inverse", "j-1")), Some(("inverse".into(), "j-1".into())));
+        assert_eq!(parse_job("/services/x"), None);
+        assert_eq!(parse_job("/services//jobs/1"), None);
+        assert_eq!(parse_job("/services/x/jobs/"), None);
+        assert_eq!(parse_job(&file("s", "j", "f")), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the unified REST API model.
+
+use mathcloud_core::{uri, JobId, JobRepresentation, JobState, Parameter, ServiceDescription};
+use mathcloud_json::value::Object;
+use mathcloud_json::{Schema, Value};
+use proptest::prelude::*;
+
+fn arb_state() -> impl Strategy<Value = JobState> {
+    prop_oneof![
+        Just(JobState::Waiting),
+        Just(JobState::Running),
+        Just(JobState::Done),
+        Just(JobState::Failed),
+        Just(JobState::Cancelled),
+    ]
+}
+
+fn arb_outputs() -> impl Strategy<Value = Option<Object>> {
+    prop::option::of(prop::collection::vec(("[a-z]{1,6}", any::<i64>()), 0..4).prop_map(
+        |pairs| {
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k, Value::from(v)))
+                .collect::<Object>()
+        },
+    ))
+}
+
+proptest! {
+    /// Job representations round-trip through their wire form.
+    #[test]
+    fn job_representation_round_trip(
+        id in "[a-z0-9-]{1,12}",
+        state in arb_state(),
+        outputs in arb_outputs(),
+        error in prop::option::of("\\PC{0,30}"),
+        runtime in prop::option::of(0u64..1_000_000),
+    ) {
+        let mut rep = JobRepresentation::new(JobId::new(&id), &uri::job("svc", &id), state);
+        rep.outputs = outputs;
+        rep.error = error;
+        rep.runtime_ms = runtime;
+        let back = JobRepresentation::from_value(&rep.to_value()).unwrap();
+        prop_assert_eq!(back, rep);
+    }
+
+    /// Service descriptions round-trip through their wire form for
+    /// arbitrary parameter sets.
+    #[test]
+    fn description_round_trip(
+        inputs in prop::collection::vec(("[a-z]{1,8}", any::<bool>()), 0..5),
+        tags in prop::collection::vec("[a-z-]{1,10}", 0..3),
+    ) {
+        let mut desc = ServiceDescription::new("svc", "generated description");
+        let mut seen = std::collections::HashSet::new();
+        for (name, optional) in &inputs {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            let mut p = Parameter::new(name, Schema::string());
+            if *optional {
+                p = p.optional();
+            }
+            desc = desc.input(p);
+        }
+        for t in &tags {
+            desc = desc.tag(t);
+        }
+        let back = ServiceDescription::from_value(&desc.to_value()).unwrap();
+        prop_assert_eq!(back, desc);
+    }
+
+    /// `uri::parse_job` inverts `uri::job` for arbitrary safe names.
+    #[test]
+    fn job_uri_round_trip(service in "[a-z0-9-]{1,12}", job in "[a-z0-9-]{1,12}") {
+        let path = uri::job(&service, &job);
+        prop_assert_eq!(uri::parse_job(&path), Some((service, job)));
+    }
+
+    /// Validation with defaults is total: it never panics, and accepted
+    /// objects contain every required input.
+    #[test]
+    fn validation_is_total(present in prop::collection::vec(any::<bool>(), 3)) {
+        let desc = ServiceDescription::new("svc", "")
+            .input(Parameter::new("a", Schema::integer()))
+            .input(Parameter::new("b", Schema::integer()).optional())
+            .input(Parameter::new("c", Schema::integer().default_value(Value::from(7))).optional());
+        let mut body = Object::new();
+        for (name, &give) in ["a", "b", "c"].iter().zip(&present) {
+            if give {
+                body.insert(name.to_string(), Value::from(1));
+            }
+        }
+        match desc.validate_inputs(&Value::Object(body)) {
+            Ok(effective) => {
+                prop_assert!(present[0], "a is required");
+                prop_assert!(effective.get("a").is_some());
+                // The default for c is always present.
+                prop_assert!(effective.get("c").is_some());
+            }
+            Err(_) => prop_assert!(!present[0], "only a missing 'a' may fail"),
+        }
+    }
+}

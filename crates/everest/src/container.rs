@@ -1,0 +1,661 @@
+//! The container core: Service Manager + Job Manager.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use mathcloud_core::{uri, JobId, JobRepresentation, JobState, ServiceDescription};
+use mathcloud_json::value::Object;
+use mathcloud_json::Value;
+use mathcloud_security::{AccessPolicy, Identity};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::adapter::{Adapter, AdapterContext};
+use crate::filestore::FileStore;
+
+/// Default number of job handler threads ("a configurable pool of handler
+/// threads", §3.1).
+const DEFAULT_HANDLERS: usize = 4;
+
+/// The authenticated originator of a request, as established by the security
+/// middleware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Caller {
+    /// The (possibly delegated) user identity.
+    pub identity: Identity,
+    /// When the call is made by a trusted service on the user's behalf, the
+    /// service certificate DN.
+    pub proxy_dn: Option<String>,
+}
+
+impl Caller {
+    /// An unauthenticated caller.
+    pub fn anonymous() -> Self {
+        Caller { identity: Identity::Anonymous, proxy_dn: None }
+    }
+
+    /// A directly-authenticated caller.
+    pub fn direct(identity: Identity) -> Self {
+        Caller { identity, proxy_dn: None }
+    }
+
+    /// A delegated call by `proxy_dn` on behalf of `identity`.
+    pub fn proxied(identity: Identity, proxy_dn: &str) -> Self {
+        Caller { identity, proxy_dn: Some(proxy_dn.to_string()) }
+    }
+}
+
+/// Why a submission (or access) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitRejection {
+    /// No deployed service has that name.
+    NoSuchService(String),
+    /// The caller failed the service's access policy.
+    AccessDenied(String),
+    /// Inputs failed validation against the service description.
+    InvalidInputs(Vec<String>),
+}
+
+impl SubmitRejection {
+    /// The HTTP status this rejection maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            SubmitRejection::NoSuchService(_) => 404,
+            SubmitRejection::AccessDenied(_) => 403,
+            SubmitRejection::InvalidInputs(_) => 400,
+        }
+    }
+}
+
+impl fmt::Display for SubmitRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitRejection::NoSuchService(name) => write!(f, "no such service: {name}"),
+            SubmitRejection::AccessDenied(why) => write!(f, "access denied: {why}"),
+            SubmitRejection::InvalidInputs(errs) => write!(f, "invalid inputs: {}", errs.join("; ")),
+        }
+    }
+}
+
+impl std::error::Error for SubmitRejection {}
+
+struct ServiceEntry {
+    description: ServiceDescription,
+    adapter: Arc<dyn Adapter>,
+    policy: AccessPolicy,
+}
+
+struct JobRecord {
+    state: JobState,
+    outputs: Option<Object>,
+    error: Option<String>,
+    cancel: Arc<AtomicBool>,
+    inputs: Object,
+    runtime_ms: Option<u64>,
+}
+
+/// Aggregate container statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContainerStats {
+    /// Jobs accepted so far.
+    pub submitted: usize,
+    /// Jobs that completed successfully.
+    pub completed: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Jobs cancelled by clients.
+    pub cancelled: usize,
+}
+
+struct Shared {
+    name: String,
+    services: RwLock<Vec<Arc<ServiceEntry>>>,
+    jobs: Mutex<HashMap<(String, String), JobRecord>>,
+    job_done: Condvar,
+    files: Arc<FileStore>,
+    next_job: AtomicU64,
+    stats: Mutex<ContainerStats>,
+}
+
+/// The Everest service container. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Everest {
+    shared: Arc<Shared>,
+    queue: Sender<(String, String)>,
+}
+
+impl fmt::Debug for Everest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Everest")
+            .field("name", &self.shared.name)
+            .field("services", &self.shared.services.read().len())
+            .finish()
+    }
+}
+
+impl Everest {
+    /// Creates a container with the default handler-pool size.
+    pub fn new(name: &str) -> Self {
+        Everest::with_handlers(name, DEFAULT_HANDLERS)
+    }
+
+    /// Creates a container with an explicit handler-pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handlers` is zero.
+    pub fn with_handlers(name: &str, handlers: usize) -> Self {
+        assert!(handlers > 0, "the job manager needs at least one handler thread");
+        let shared = Arc::new(Shared {
+            name: name.to_string(),
+            services: RwLock::new(Vec::new()),
+            jobs: Mutex::new(HashMap::new()),
+            job_done: Condvar::new(),
+            files: Arc::new(FileStore::new()),
+            next_job: AtomicU64::new(1),
+            stats: Mutex::new(ContainerStats::default()),
+        });
+        let (tx, rx) = unbounded::<(String, String)>();
+        for _ in 0..handlers {
+            let shared = Arc::clone(&shared);
+            let rx = rx.clone();
+            std::thread::spawn(move || {
+                while let Ok((service, job)) = rx.recv() {
+                    run_job(&shared, &service, &job);
+                }
+            });
+        }
+        Everest { shared, queue: tx }
+    }
+
+    /// The container name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// The container's file store.
+    pub fn files(&self) -> &Arc<FileStore> {
+        &self.shared.files
+    }
+
+    /// Deploys a service with a public (empty) access policy.
+    pub fn deploy<A: Adapter + 'static>(&self, description: ServiceDescription, adapter: A) {
+        self.deploy_with_policy(description, adapter, AccessPolicy::new());
+    }
+
+    /// Deploys a service with an explicit access policy. Redeploying a name
+    /// replaces the previous service.
+    pub fn deploy_with_policy<A: Adapter + 'static>(
+        &self,
+        description: ServiceDescription,
+        adapter: A,
+        policy: AccessPolicy,
+    ) {
+        self.deploy_with_policy_boxed(description, Box::new(adapter), policy);
+    }
+
+    /// [`Everest::deploy_with_policy`] for already-boxed adapters (the
+    /// configuration loader and the PaaS layer build adapters dynamically).
+    pub fn deploy_with_policy_boxed(
+        &self,
+        description: ServiceDescription,
+        adapter: Box<dyn Adapter>,
+        policy: AccessPolicy,
+    ) {
+        let entry = Arc::new(ServiceEntry { description, adapter: Arc::from(adapter), policy });
+        let mut services = self.shared.services.write();
+        if let Some(slot) = services
+            .iter_mut()
+            .find(|e| e.description.name() == entry.description.name())
+        {
+            *slot = entry;
+        } else {
+            services.push(entry);
+        }
+    }
+
+    /// Replaces the access policy of a deployed service without touching its
+    /// adapter or description. Returns `false` for unknown services.
+    pub fn replace_policy(&self, name: &str, policy: AccessPolicy) -> bool {
+        let mut services = self.shared.services.write();
+        if let Some(slot) = services.iter_mut().find(|e| e.description.name() == name) {
+            *slot = Arc::new(ServiceEntry {
+                description: slot.description.clone(),
+                adapter: Arc::clone(&slot.adapter),
+                policy,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a deployed service. Existing jobs keep their records.
+    pub fn undeploy(&self, name: &str) -> bool {
+        let mut services = self.shared.services.write();
+        let before = services.len();
+        services.retain(|e| e.description.name() != name);
+        services.len() != before
+    }
+
+    /// Lists deployed service descriptions in deployment order.
+    pub fn list_services(&self) -> Vec<ServiceDescription> {
+        self.shared
+            .services
+            .read()
+            .iter()
+            .map(|e| e.description.clone())
+            .collect()
+    }
+
+    /// The description of one service.
+    pub fn description(&self, name: &str) -> Option<ServiceDescription> {
+        self.find(name).map(|e| e.description.clone())
+    }
+
+    fn find(&self, name: &str) -> Option<Arc<ServiceEntry>> {
+        self.shared
+            .services
+            .read()
+            .iter()
+            .find(|e| e.description.name() == name)
+            .cloned()
+    }
+
+    /// Checks the caller against a service's access policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitRejection::AccessDenied`] or `NoSuchService`.
+    pub fn authorize(&self, service: &str, caller: &Caller) -> Result<(), SubmitRejection> {
+        let entry = self
+            .find(service)
+            .ok_or_else(|| SubmitRejection::NoSuchService(service.to_string()))?;
+        let decision = match &caller.proxy_dn {
+            Some(proxy) => entry.policy.decide_proxied(proxy, &caller.identity),
+            None => entry.policy.decide(&caller.identity),
+        };
+        if decision.is_allowed() {
+            Ok(())
+        } else {
+            Err(SubmitRejection::AccessDenied(format!(
+                "{} may not access service {service}",
+                caller.identity
+            )))
+        }
+    }
+
+    /// Submits a request: authorization, validation, job creation. Returns
+    /// the initial (WAITING) job representation immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitRejection`] describing the failure; maps to an HTTP status
+    /// via [`SubmitRejection::status`].
+    pub fn submit(
+        &self,
+        service: &str,
+        body: &Value,
+        caller: Option<&Caller>,
+    ) -> Result<JobRepresentation, SubmitRejection> {
+        let anonymous = Caller::anonymous();
+        let caller = caller.unwrap_or(&anonymous);
+        self.authorize(service, caller)?;
+        let entry = self
+            .find(service)
+            .ok_or_else(|| SubmitRejection::NoSuchService(service.to_string()))?;
+        let inputs = entry
+            .description
+            .validate_inputs(body)
+            .map_err(|e| match e {
+                mathcloud_core::DescriptionError::InvalidInputs(errs) => {
+                    SubmitRejection::InvalidInputs(errs)
+                }
+                other => SubmitRejection::InvalidInputs(vec![other.to_string()]),
+            })?;
+
+        let job_id = format!("j-{}", self.shared.next_job.fetch_add(1, Ordering::Relaxed));
+        {
+            let mut jobs = self.shared.jobs.lock();
+            jobs.insert(
+                (service.to_string(), job_id.clone()),
+                JobRecord {
+                    state: JobState::Waiting,
+                    outputs: None,
+                    error: None,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    inputs,
+                    runtime_ms: None,
+                },
+            );
+        }
+        self.shared.stats.lock().submitted += 1;
+        self.queue
+            .send((service.to_string(), job_id.clone()))
+            .expect("job manager queue lives as long as the container");
+        Ok(self.representation(service, &job_id).expect("job just inserted"))
+    }
+
+    /// Submit-and-wait: the synchronous mode of §2. If the job finishes
+    /// within `sync_wait` the returned representation is already terminal.
+    ///
+    /// # Errors
+    ///
+    /// See [`Everest::submit`].
+    pub fn submit_sync(
+        &self,
+        service: &str,
+        body: &Value,
+        caller: Option<&Caller>,
+        sync_wait: Duration,
+    ) -> Result<JobRepresentation, SubmitRejection> {
+        let rep = self.submit(service, body, caller)?;
+        Ok(self
+            .wait(service, rep.id.as_str(), sync_wait)
+            .unwrap_or(rep))
+    }
+
+    /// The current representation of a job.
+    pub fn representation(&self, service: &str, job_id: &str) -> Option<JobRepresentation> {
+        let jobs = self.shared.jobs.lock();
+        let record = jobs.get(&(service.to_string(), job_id.to_string()))?;
+        let mut rep = JobRepresentation::new(
+            JobId::new(job_id),
+            &uri::job(service, job_id),
+            record.state,
+        );
+        rep.outputs = record.outputs.clone();
+        rep.error = record.error.clone();
+        rep.runtime_ms = record.runtime_ms;
+        Some(rep)
+    }
+
+    /// Blocks until the job is terminal or `timeout` elapses; returns the
+    /// terminal representation, or `None` on timeout / unknown job.
+    pub fn wait(&self, service: &str, job_id: &str, timeout: Duration) -> Option<JobRepresentation> {
+        let key = (service.to_string(), job_id.to_string());
+        let deadline = Instant::now() + timeout;
+        let mut jobs = self.shared.jobs.lock();
+        loop {
+            match jobs.get(&key) {
+                None => return None,
+                Some(r) if r.state.is_terminal() => break,
+                Some(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.job_done.wait_for(&mut jobs, deadline - now);
+        }
+        drop(jobs);
+        self.representation(service, job_id)
+    }
+
+    /// The `DELETE` verb on a job resource: cancels a live job, or deletes a
+    /// terminal job's record and files.
+    ///
+    /// Returns `false` for unknown jobs.
+    pub fn delete_job(&self, service: &str, job_id: &str) -> bool {
+        let key = (service.to_string(), job_id.to_string());
+        let mut jobs = self.shared.jobs.lock();
+        match jobs.get_mut(&key) {
+            None => false,
+            Some(record) if record.state.is_terminal() => {
+                jobs.remove(&key);
+                drop(jobs);
+                self.shared.files.remove_job(service, job_id);
+                true
+            }
+            Some(record) => {
+                record.cancel.store(true, Ordering::Relaxed);
+                record.state = JobState::Cancelled;
+                self.shared.stats.lock().cancelled += 1;
+                drop(jobs);
+                self.shared.job_done.notify_all();
+                true
+            }
+        }
+    }
+
+    /// Reads a job's file resource.
+    pub fn file(&self, service: &str, job_id: &str, file_id: &str) -> Option<Vec<u8>> {
+        self.shared.files.get(service, job_id, file_id)
+    }
+
+    /// Stores a file under a job (used by the REST layer for uploads).
+    pub fn put_file(&self, service: &str, job_id: &str, data: Vec<u8>) -> String {
+        self.shared.files.put(service, job_id, data)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ContainerStats {
+        *self.shared.stats.lock()
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
+    let key = (service.to_string(), job_id.to_string());
+    // Snapshot what we need, flipping the job to RUNNING.
+    let (inputs, cancel) = {
+        let mut jobs = shared.jobs.lock();
+        match jobs.get_mut(&key) {
+            None => return, // deleted before starting
+            Some(r) if r.state != JobState::Waiting => return, // cancelled while queued
+            Some(r) => {
+                r.state = JobState::Running;
+                (r.inputs.clone(), Arc::clone(&r.cancel))
+            }
+        }
+    };
+    let adapter = {
+        let services = shared.services.read();
+        services
+            .iter()
+            .find(|e| e.description.name() == service)
+            .map(|e| Arc::clone(&e.adapter))
+    };
+    let started = Instant::now();
+    let result = match adapter {
+        Some(adapter) => {
+            let ctx = AdapterContext::new(service, job_id, Arc::clone(&shared.files), cancel);
+            // A buggy adapter must fail its own job, not kill the handler
+            // thread serving every other job.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                adapter.execute(&inputs, &ctx)
+            }))
+            .unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "adapter panicked".to_string());
+                Err(format!("adapter panicked: {msg}"))
+            })
+        }
+        None => Err(format!("service {service} was undeployed")),
+    };
+    let runtime_ms = started.elapsed().as_millis() as u64;
+
+    let mut jobs = shared.jobs.lock();
+    if let Some(record) = jobs.get_mut(&key) {
+        record.runtime_ms = Some(runtime_ms);
+        if record.state == JobState::Running {
+            match result {
+                Ok(outputs) => {
+                    record.state = JobState::Done;
+                    record.outputs = Some(outputs);
+                    shared.stats.lock().completed += 1;
+                }
+                Err(error) => {
+                    record.state = JobState::Failed;
+                    record.error = Some(error);
+                    shared.stats.lock().failed += 1;
+                }
+            }
+        }
+        // Cancelled while running: keep the CANCELLED state, drop results.
+    }
+    drop(jobs);
+    shared.job_done.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::NativeAdapter;
+    use mathcloud_core::Parameter;
+    use mathcloud_json::{json, Schema};
+
+    fn sum_container() -> Everest {
+        let e = Everest::with_handlers("test", 2);
+        e.deploy(
+            ServiceDescription::new("sum", "adds")
+                .input(Parameter::new("a", Schema::integer()))
+                .input(Parameter::new("b", Schema::integer()))
+                .output(Parameter::new("total", Schema::integer())),
+            NativeAdapter::from_fn(|inputs, _| {
+                let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+                let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+                Ok([("total".to_string(), json!(a + b))].into_iter().collect())
+            }),
+        );
+        e
+    }
+
+    #[test]
+    fn submit_runs_job_to_done() {
+        let e = sum_container();
+        let rep = e.submit("sum", &json!({"a": 20, "b": 22}), None).unwrap();
+        assert_eq!(rep.state, JobState::Waiting);
+        let done = e.wait("sum", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.outputs.unwrap().get("total").unwrap().as_i64(), Some(42));
+        assert!(done.runtime_ms.is_some());
+        assert_eq!(done.uri, format!("/services/sum/jobs/{}", done.id));
+    }
+
+    #[test]
+    fn submit_sync_returns_terminal_state_for_fast_jobs() {
+        let e = sum_container();
+        let rep = e
+            .submit_sync("sum", &json!({"a": 1, "b": 2}), None, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(rep.state, JobState::Done);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_with_400() {
+        let e = sum_container();
+        let err = e.submit("sum", &json!({"a": "x"}), None).unwrap_err();
+        assert!(matches!(err, SubmitRejection::InvalidInputs(_)));
+        assert_eq!(err.status(), 400);
+        let err = e.submit("nope", &json!({}), None).unwrap_err();
+        assert_eq!(err.status(), 404);
+    }
+
+    #[test]
+    fn failing_adapter_yields_failed_job() {
+        let e = Everest::new("t");
+        e.deploy(
+            ServiceDescription::new("bad", "always fails"),
+            NativeAdapter::from_fn(|_, _| Err("no luck".into())),
+        );
+        let rep = e.submit("bad", &json!({}), None).unwrap();
+        let done = e.wait("bad", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+        assert_eq!(done.state, JobState::Failed);
+        assert_eq!(done.error.as_deref(), Some("no luck"));
+        assert_eq!(e.stats().failed, 1);
+    }
+
+    #[test]
+    fn delete_cancels_then_deletes() {
+        let e = Everest::with_handlers("t", 1);
+        e.deploy(
+            ServiceDescription::new("slow", "sleeps"),
+            NativeAdapter::from_fn(|_, ctx| {
+                while !ctx.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err("cancelled".into())
+            }),
+        );
+        let rep = e.submit("slow", &json!({}), None).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(e.delete_job("slow", rep.id.as_str()), "cancel");
+        let st = e.wait("slow", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+        assert_eq!(st.state, JobState::Cancelled);
+        assert!(e.delete_job("slow", rep.id.as_str()), "delete record");
+        assert!(e.representation("slow", rep.id.as_str()).is_none());
+        assert!(!e.delete_job("slow", rep.id.as_str()), "already gone");
+    }
+
+    #[test]
+    fn policies_are_enforced_per_service() {
+        let e = Everest::new("t");
+        let mut policy = AccessPolicy::new();
+        policy.allow(Identity::openid("https://id/alice"));
+        policy.trust_proxy("CN=wms");
+        e.deploy_with_policy(
+            ServiceDescription::new("private", "restricted"),
+            NativeAdapter::from_fn(|_, _| Ok(Object::new())),
+            policy,
+        );
+        let alice = Caller::direct(Identity::openid("https://id/alice"));
+        let bob = Caller::direct(Identity::openid("https://id/bob"));
+        assert!(e.submit("private", &json!({}), Some(&alice)).is_ok());
+        let err = e.submit("private", &json!({}), Some(&bob)).unwrap_err();
+        assert_eq!(err.status(), 403);
+        // Delegation through a trusted proxy works for allowed users only.
+        let via_wms = Caller::proxied(Identity::openid("https://id/alice"), "CN=wms");
+        assert!(e.submit("private", &json!({}), Some(&via_wms)).is_ok());
+        let bob_via_wms = Caller::proxied(Identity::openid("https://id/bob"), "CN=wms");
+        assert!(e.submit("private", &json!({}), Some(&bob_via_wms)).is_err());
+        let via_rogue = Caller::proxied(Identity::openid("https://id/alice"), "CN=rogue");
+        assert!(e.submit("private", &json!({}), Some(&via_rogue)).is_err());
+    }
+
+    #[test]
+    fn redeploy_replaces_and_undeploy_removes() {
+        let e = sum_container();
+        assert_eq!(e.list_services().len(), 1);
+        e.deploy(
+            ServiceDescription::new("sum", "v2").output(Parameter::new("x", Schema::any())),
+            NativeAdapter::from_fn(|_, _| Ok(Object::new())),
+        );
+        assert_eq!(e.list_services().len(), 1);
+        assert_eq!(e.description("sum").unwrap().description(), "v2");
+        assert!(e.undeploy("sum"));
+        assert!(!e.undeploy("sum"));
+        assert!(e.list_services().is_empty());
+    }
+
+    #[test]
+    fn concurrent_jobs_respect_handler_pool() {
+        let e = Everest::with_handlers("t", 4);
+        e.deploy(
+            ServiceDescription::new("sleep", "naps").input(Parameter::new("ms", Schema::integer())),
+            NativeAdapter::from_fn(|inputs, _| {
+                let ms = inputs.get("ms").and_then(Value::as_i64).unwrap_or(0) as u64;
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(Object::new())
+            }),
+        );
+        let t0 = Instant::now();
+        let reps: Vec<_> = (0..4)
+            .map(|_| e.submit("sleep", &json!({"ms": 100}), None).unwrap())
+            .collect();
+        for rep in &reps {
+            assert_eq!(
+                e.wait("sleep", rep.id.as_str(), Duration::from_secs(5)).unwrap().state,
+                JobState::Done
+            );
+        }
+        // 4 jobs × 100 ms on 4 handlers should take ~100 ms, not ~400.
+        assert!(t0.elapsed() < Duration::from_millis(350), "{:?}", t0.elapsed());
+        assert_eq!(e.stats().completed, 4);
+    }
+}

@@ -1,0 +1,122 @@
+//! The per-job file store backing `mc-file:` parameters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Files of one job, keyed by file id.
+type JobFiles = HashMap<String, Vec<u8>>;
+
+/// In-memory storage for job file resources.
+///
+/// Files belong to a `(service, job)` pair and are destroyed together with
+/// the job resource, matching the subordinate-resource semantics of §2 of the
+/// paper ("this method destroys the job resource and its subordinate file
+/// resources").
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_everest::FileStore;
+///
+/// let store = FileStore::new();
+/// let id = store.put("inverse", "j-1", b"1 0; 0 1".to_vec());
+/// assert_eq!(store.get("inverse", "j-1", &id).as_deref(), Some(&b"1 0; 0 1"[..]));
+/// store.remove_job("inverse", "j-1");
+/// assert!(store.get("inverse", "j-1", &id).is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct FileStore {
+    files: RwLock<HashMap<(String, String), JobFiles>>,
+    next_id: AtomicU64,
+}
+
+impl FileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        FileStore::default()
+    }
+
+    /// Stores a file under a fresh id, returning the id.
+    pub fn put(&self, service: &str, job: &str, data: Vec<u8>) -> String {
+        let id = format!("f-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.files
+            .write()
+            .entry((service.to_string(), job.to_string()))
+            .or_default()
+            .insert(id.clone(), data);
+        id
+    }
+
+    /// Reads a file.
+    pub fn get(&self, service: &str, job: &str, file_id: &str) -> Option<Vec<u8>> {
+        self.files
+            .read()
+            .get(&(service.to_string(), job.to_string()))
+            .and_then(|m| m.get(file_id))
+            .cloned()
+    }
+
+    /// Lists the file ids of a job.
+    pub fn list(&self, service: &str, job: &str) -> Vec<String> {
+        self.files
+            .read()
+            .get(&(service.to_string(), job.to_string()))
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Deletes every file of a job (job deletion semantics).
+    pub fn remove_job(&self, service: &str, job: &str) {
+        self.files.write().remove(&(service.to_string(), job.to_string()));
+    }
+
+    /// Total bytes currently stored (capacity monitoring).
+    pub fn total_bytes(&self) -> usize {
+        self.files
+            .read()
+            .values()
+            .flat_map(|m| m.values())
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_across_jobs() {
+        let s = FileStore::new();
+        let a = s.put("svc", "j1", vec![1]);
+        let b = s.put("svc", "j2", vec![2]);
+        let c = s.put("svc", "j1", vec![3]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(s.get("svc", "j1", &a), Some(vec![1]));
+        assert_eq!(s.get("svc", "j1", &c), Some(vec![3]));
+    }
+
+    #[test]
+    fn files_are_scoped_to_their_job() {
+        let s = FileStore::new();
+        let id = s.put("svc", "j1", vec![7]);
+        assert!(s.get("svc", "j2", &id).is_none());
+        assert!(s.get("other", "j1", &id).is_none());
+    }
+
+    #[test]
+    fn remove_job_deletes_all_files() {
+        let s = FileStore::new();
+        let a = s.put("svc", "j1", vec![0; 100]);
+        let _b = s.put("svc", "j1", vec![0; 50]);
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.list("svc", "j1").len(), 2);
+        s.remove_job("svc", "j1");
+        assert!(s.get("svc", "j1", &a).is_none());
+        assert_eq!(s.total_bytes(), 0);
+        assert!(s.list("svc", "j1").is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! The REST resource layer: Table 1 of the paper over HTTP.
+
+use std::time::Duration;
+
+use mathcloud_core::{uri, FileRef, JobRepresentation};
+use mathcloud_http::{PathParams, Request, Response, Router, Server};
+use mathcloud_json::value::Object;
+use mathcloud_json::{json, Value};
+use mathcloud_security::AuthConfig;
+
+use crate::container::{Caller, Everest};
+use crate::webui;
+
+/// How long `POST` waits for synchronous completion before returning an
+/// in-progress job representation (§2's dual sync/async behaviour).
+const SYNC_WAIT: Duration = Duration::from_millis(100);
+
+/// Builds the container's HTTP router.
+///
+/// When `auth` is provided every request passes the security middleware
+/// first; per-service policies are enforced on job submission either way.
+pub fn router(everest: Everest, auth: Option<AuthConfig>) -> Router {
+    let mut r = Router::new();
+
+    if let Some(auth) = auth {
+        r.middleware(move |req: &mut Request| auth.authenticate(req));
+    }
+
+    // Container root: introspection entry point.
+    let e = everest.clone();
+    r.get("/", move |_req, _p| {
+        let services: Vec<Value> = e
+            .list_services()
+            .iter()
+            .map(|d| Value::from(uri::service(d.name())))
+            .collect();
+        Response::json(
+            200,
+            &json!({
+                "container": (e.name()),
+                "protocol": (mathcloud_core::PROTOCOL_VERSION),
+                "services": services,
+            }),
+        )
+    });
+
+    // Service list.
+    let e = everest.clone();
+    r.get(uri::SERVICES_ROOT, move |_req, _p| {
+        let list: Vec<Value> = e
+            .list_services()
+            .iter()
+            .map(|d| {
+                let mut v = d.to_value();
+                if let Some(o) = v.as_object_mut() {
+                    o.insert("uri".into(), Value::from(uri::service(d.name())));
+                }
+                v
+            })
+            .collect();
+        Response::json(200, &Value::Array(list))
+    });
+
+    // Service resource: GET description.
+    let e = everest.clone();
+    r.get("/services/{name}", move |_req, p: &PathParams| {
+        let name = p.get("name").expect("route has {name}");
+        match e.description(name) {
+            Some(d) => {
+                let mut v = d.to_value();
+                if let Some(o) = v.as_object_mut() {
+                    o.insert("uri".into(), Value::from(uri::service(name)));
+                }
+                Response::json(200, &v)
+            }
+            None => Response::error(404, &format!("no such service: {name}")),
+        }
+    });
+
+    // Service resource: POST submit.
+    let e = everest.clone();
+    r.post("/services/{name}", move |req: &Request, p: &PathParams| {
+        let name = p.get("name").expect("route has {name}");
+        let body = match req.body_json() {
+            Ok(v) => v,
+            Err(err) => return Response::error(400, &format!("request body is not json: {err}")),
+        };
+        let caller = caller_from(req);
+        match e.submit_sync(name, &body, Some(&caller), SYNC_WAIT) {
+            Ok(rep) => {
+                let location = rep.uri.clone();
+                Response::json(201, &rep_to_wire(&e, req, name, rep))
+                    .with_header("Location", &location)
+            }
+            Err(rej) => Response::error(rej.status(), &rej.to_string()),
+        }
+    });
+
+    // Job resource: GET status/results.
+    let e = everest.clone();
+    r.get("/services/{name}/jobs/{id}", move |req: &Request, p: &PathParams| {
+        let name = p.get("name").expect("route has {name}");
+        let id = p.get("id").expect("route has {id}");
+        match e.representation(name, id) {
+            Some(rep) => Response::json(200, &rep_to_wire(&e, req, name, rep)),
+            None => Response::error(404, "no such job"),
+        }
+    });
+
+    // Job resource: DELETE cancel / delete data.
+    let e = everest.clone();
+    r.delete("/services/{name}/jobs/{id}", move |_req, p: &PathParams| {
+        let name = p.get("name").expect("route has {name}");
+        let id = p.get("id").expect("route has {id}");
+        if e.delete_job(name, id) {
+            Response::empty(204)
+        } else {
+            Response::error(404, "no such job")
+        }
+    });
+
+    // File resource: GET data.
+    let e = everest.clone();
+    r.get(
+        "/services/{name}/jobs/{id}/files/{file}",
+        move |_req, p: &PathParams| {
+            let name = p.get("name").expect("route has {name}");
+            let id = p.get("id").expect("route has {id}");
+            let file = p.get("file").expect("route has {file}");
+            match e.file(name, id, file) {
+                Some(data) => Response::bytes(200, "application/octet-stream", data),
+                None => Response::error(404, "no such file"),
+            }
+        },
+    );
+
+    webui::mount(&mut r, everest);
+    r
+}
+
+/// Binds the container's REST interface on `addr`.
+///
+/// # Errors
+///
+/// Propagates socket errors from the HTTP server.
+pub fn serve(
+    everest: Everest,
+    addr: &str,
+    auth: Option<AuthConfig>,
+) -> std::io::Result<Server> {
+    Server::bind(addr, router(everest, auth))
+}
+
+fn caller_from(req: &Request) -> Caller {
+    let identity = AuthConfig::identity_of(req);
+    match AuthConfig::proxy_of(req) {
+        Some(proxy) => Caller::proxied(identity, &proxy),
+        None => Caller::direct(identity),
+    }
+}
+
+/// Converts a job representation to its wire form, rewriting local
+/// `mc-file:` output references into absolute URLs on this container so
+/// remote clients (and other services) can fetch them.
+fn rep_to_wire(_e: &Everest, req: &Request, service: &str, mut rep: JobRepresentation) -> Value {
+    if let Some(outputs) = &mut rep.outputs {
+        let host = req.headers.get("host").unwrap_or("localhost").to_string();
+        let job_id = rep.id.as_str().to_string();
+        let mut rewritten = Object::new();
+        for (k, v) in outputs.iter() {
+            let new_v = match FileRef::detect(v) {
+                Some(FileRef::Local(fid)) => {
+                    Value::from(format!("http://{host}{}", uri::file(service, &job_id, &fid)))
+                }
+                _ => v.clone(),
+            };
+            rewritten.insert(k.clone(), new_v);
+        }
+        *outputs = rewritten;
+    }
+    rep.to_value()
+}
+
+/// Re-export used by tests and the workflow system.
+pub use mathcloud_security::IDENTITY_HEADER;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::NativeAdapter;
+    use mathcloud_core::{Parameter, ServiceDescription};
+    use mathcloud_http::Client;
+    use mathcloud_json::Schema;
+    use mathcloud_security::{AccessPolicy, CertificateAuthority, Identity};
+
+    fn demo() -> Everest {
+        let e = Everest::new("demo");
+        e.deploy(
+            ServiceDescription::new("sum", "adds two integers")
+                .input(Parameter::new("a", Schema::integer()))
+                .input(Parameter::new("b", Schema::integer()))
+                .output(Parameter::new("total", Schema::integer())),
+            NativeAdapter::from_fn(|inputs, _| {
+                let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+                let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+                Ok([("total".to_string(), json!(a + b))].into_iter().collect())
+            }),
+        );
+        e.deploy(
+            ServiceDescription::new("store", "stores a payload as a file")
+                .input(Parameter::new("payload", Schema::string()))
+                .output(Parameter::new("file", Schema::string().format("mc-file"))),
+            NativeAdapter::from_fn(|inputs, ctx| {
+                let payload = inputs.get("payload").and_then(Value::as_str).unwrap_or("");
+                let reference = ctx.store_file(payload.as_bytes().to_vec());
+                Ok([("file".to_string(), reference)].into_iter().collect())
+            }),
+        );
+        e
+    }
+
+    #[test]
+    fn full_rest_lifecycle_over_http() {
+        let server = serve(demo(), "127.0.0.1:0", None).unwrap();
+        let base = server.base_url();
+        let client = Client::new();
+
+        // Introspection.
+        let root = client.get(&base).unwrap().body_json().unwrap();
+        assert_eq!(root["container"].as_str(), Some("demo"));
+        let desc = client.get(&format!("{base}/services/sum")).unwrap().body_json().unwrap();
+        assert_eq!(desc["name"].as_str(), Some("sum"));
+
+        // Submit; fast job completes synchronously.
+        let resp = client
+            .post_json(&format!("{base}/services/sum"), &json!({"a": 2, "b": 40}))
+            .unwrap();
+        assert_eq!(resp.status.as_u16(), 201);
+        let rep = resp.body_json().unwrap();
+        assert_eq!(rep["state"].as_str(), Some("DONE"));
+        assert_eq!(rep["outputs"]["total"].as_i64(), Some(42));
+
+        // Poll the job resource.
+        let job_uri = rep["uri"].as_str().unwrap();
+        let polled = client.get(&format!("{base}{job_uri}")).unwrap().body_json().unwrap();
+        assert_eq!(polled["state"].as_str(), Some("DONE"));
+
+        // Delete the job, then it is gone.
+        assert_eq!(client.delete(&format!("{base}{job_uri}")).unwrap().status.as_u16(), 204);
+        assert_eq!(client.get(&format!("{base}{job_uri}")).unwrap().status.as_u16(), 404);
+    }
+
+    #[test]
+    fn output_file_refs_become_absolute_urls() {
+        let server = serve(demo(), "127.0.0.1:0", None).unwrap();
+        let base = server.base_url();
+        let client = Client::new();
+        let rep = client
+            .post_json(&format!("{base}/services/store"), &json!({"payload": "big data"}))
+            .unwrap()
+            .body_json()
+            .unwrap();
+        let file_url = rep["outputs"]["file"].as_str().unwrap().to_string();
+        assert!(file_url.starts_with("http://"), "{file_url}");
+        let data = client.get(&file_url).unwrap();
+        assert_eq!(data.body, b"big data");
+        assert_eq!(data.headers.get("content-type"), Some("application/octet-stream"));
+    }
+
+    #[test]
+    fn validation_and_missing_resources_map_to_http_statuses() {
+        let server = serve(demo(), "127.0.0.1:0", None).unwrap();
+        let base = server.base_url();
+        let client = Client::new();
+        assert_eq!(
+            client.post_json(&format!("{base}/services/sum"), &json!({"a": "x"})).unwrap().status.as_u16(),
+            400
+        );
+        assert_eq!(
+            client.post_bytes(&format!("{base}/services/sum"), "application/json", b"{bad".to_vec()).unwrap().status.as_u16(),
+            400
+        );
+        assert_eq!(client.get(&format!("{base}/services/none")).unwrap().status.as_u16(), 404);
+        assert_eq!(
+            client.get(&format!("{base}/services/sum/jobs/j-999")).unwrap().status.as_u16(),
+            404
+        );
+        assert_eq!(
+            client.delete(&format!("{base}/services/sum/jobs/j-999")).unwrap().status.as_u16(),
+            404
+        );
+    }
+
+    #[test]
+    fn auth_and_policy_are_enforced_end_to_end() {
+        let ca = CertificateAuthority::new("test-ca");
+        let e = Everest::new("secure");
+        let mut policy = AccessPolicy::new();
+        policy.allow(Identity::certificate("CN=alice"));
+        e.deploy_with_policy(
+            ServiceDescription::new("private", "restricted"),
+            NativeAdapter::from_fn(|_, _| Ok(Object::new())),
+            policy,
+        );
+        let server = serve(e, "127.0.0.1:0", Some(AuthConfig::new(ca.clone()))).unwrap();
+        let base = server.base_url();
+
+        // Anonymous: policy rejects with 403.
+        let anon = Client::new();
+        assert_eq!(
+            anon.post_json(&format!("{base}/services/private"), &json!({})).unwrap().status.as_u16(),
+            403
+        );
+        // Alice with a valid certificate: accepted.
+        let cert = ca.issue("CN=alice", 600);
+        let alice = Client::new().with_default_header(
+            mathcloud_security::middleware::CLIENT_CERT_HEADER,
+            &cert.encode(),
+        );
+        let resp = alice.post_json(&format!("{base}/services/private"), &json!({})).unwrap();
+        assert_eq!(resp.status.as_u16(), 201, "{}", resp.body_string());
+        // Mallory with a forged certificate: 401 from the middleware.
+        let mut forged = ca.issue("CN=alice", 600);
+        forged.subject = "CN=mallory".into();
+        let mallory = Client::new().with_default_header(
+            mathcloud_security::middleware::CLIENT_CERT_HEADER,
+            &forged.encode(),
+        );
+        assert_eq!(
+            mallory.post_json(&format!("{base}/services/private"), &json!({})).unwrap().status.as_u16(),
+            401
+        );
+    }
+}

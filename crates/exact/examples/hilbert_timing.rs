@@ -1,0 +1,25 @@
+//! Rough timing probe for Hilbert inversion used to calibrate benches.
+use mathcloud_exact::{block_inverse, hilbert};
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes: Vec<usize> = if args.len() > 1 {
+        args[1..].iter().map(|a| a.parse().unwrap()).collect()
+    } else {
+        vec![10, 20, 30, 40, 50]
+    };
+    for n in sizes {
+        let h = hilbert(n);
+        let t = Instant::now();
+        let inv = h.inverse().unwrap();
+        let direct = t.elapsed();
+        let t = Instant::now();
+        let binv = block_inverse(&h, n / 2).unwrap();
+        let blocked = t.elapsed();
+        assert_eq!(inv, binv);
+        println!("n={n}: direct={direct:?} blocked={blocked:?} max_bits={}", inv.max_entry_bits());
+        std::io::stdout().flush().unwrap();
+    }
+}

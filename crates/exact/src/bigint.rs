@@ -1,0 +1,799 @@
+//! Sign-magnitude arbitrary-precision integers.
+//!
+//! The representation is a little-endian vector of 32-bit limbs with no
+//! trailing zero limbs, plus a sign flag (`negative` is never set for zero).
+//! Multiplication uses schoolbook below `KARATSUBA_THRESHOLD` limbs and
+//! Karatsuba above it; division is Knuth's Algorithm D.
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub};
+use std::str::FromStr;
+
+/// Limb count above which multiplication switches to Karatsuba.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_exact::BigInt;
+///
+/// let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+/// let b = BigInt::from(42);
+/// assert_eq!((&a * &b).to_string(), "5185185138518518513851851851380");
+/// assert_eq!(&a % &BigInt::from(43), BigInt::from(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigInt {
+    /// Little-endian limbs with no trailing zeros; empty means zero.
+    limbs: Vec<u32>,
+    /// Sign; always `false` when the value is zero.
+    negative: bool,
+}
+
+/// Error returned when parsing a [`BigInt`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError(String);
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {:?}", self.0)
+    }
+}
+
+impl Error for ParseBigIntError {}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt::default()
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigInt::from(1)
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        !self.negative && !self.is_zero()
+    }
+
+    /// The sign as -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        if self.is_zero() {
+            0
+        } else if self.negative {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt { limbs: self.limbs.clone(), negative: false }
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 32 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.limbs.len() > 2 {
+            return None;
+        }
+        let mag: u64 = self.limbs.first().copied().unwrap_or(0) as u64
+            | (self.limbs.get(1).copied().unwrap_or(0) as u64) << 32;
+        if self.negative {
+            if mag <= i64::MAX as u64 + 1 {
+                Some((mag as i64).wrapping_neg())
+            } else {
+                None
+            }
+        } else if mag <= i64::MAX as u64 {
+            Some(mag as i64)
+        } else {
+            None
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let mut x = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            x = x * 4294967296.0 + limb as f64;
+        }
+        if self.negative {
+            -x
+        } else {
+            x
+        }
+    }
+
+    fn from_limbs(limbs: Vec<u32>, negative: bool) -> Self {
+        let mut b = BigInt { limbs, negative };
+        b.normalize();
+        b
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        if self.limbs.is_empty() {
+            self.negative = false;
+        }
+    }
+
+    /// Compares magnitudes, ignoring sign.
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for (i, &l) in long.iter().enumerate() {
+            let sum = l as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// `a - b` for `a >= b` (magnitudes). Operands may carry trailing zero
+    /// limbs (Karatsuba intermediates do).
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(trim(a), trim(b)) != Ordering::Less);
+        let b = if b.len() > a.len() { trim(b) } else { b };
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow: i64 = 0;
+        for (i, &av) in a.iter().enumerate() {
+            let diff = av as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if diff < 0 {
+                out.push((diff + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(diff as u32);
+                borrow = 0;
+            }
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        if a.len().min(b.len()) >= KARATSUBA_THRESHOLD {
+            return Self::karatsuba(a, b);
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry: u64 = 0;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u64 + ai as u64 * bj as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + b.len();
+            while carry > 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    fn karatsuba(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let half = a.len().max(b.len()).div_ceil(2);
+        let (a0, a1) = a.split_at(half.min(a.len()));
+        let (b0, b1) = b.split_at(half.min(b.len()));
+        let a0 = trim(a0);
+        let b0 = trim(b0);
+
+        let z0 = Self::mul_mag(a0, b0);
+        let z2 = Self::mul_mag(a1, b1);
+        let a01 = Self::add_mag(a0, a1);
+        let b01 = Self::add_mag(b0, b1);
+        let mut z1 = Self::mul_mag(&a01, &b01);
+        // z1 = (a0+a1)(b0+b1) - z0 - z2
+        z1 = Self::sub_mag(&z1, &z0);
+        z1 = {
+            let t = trim(&z1).to_vec();
+            Self::sub_mag(&t, &z2)
+        };
+
+        let mut out = vec![0u32; a.len() + b.len() + 1];
+        add_into(&mut out, &z0, 0);
+        add_into(&mut out, trim(&z1), half);
+        add_into(&mut out, &z2, 2 * half);
+        out
+    }
+
+    /// Quotient and remainder of magnitudes (`u / v`, `u % v`).
+    ///
+    /// Knuth, TAOCP vol. 2, Algorithm 4.3.1 D.
+    fn divrem_mag(u: &[u32], v: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!v.is_empty(), "division by zero");
+        if Self::cmp_mag(u, v) == Ordering::Less {
+            return (Vec::new(), u.to_vec());
+        }
+        if v.len() == 1 {
+            let d = v[0] as u64;
+            let mut q = vec![0u32; u.len()];
+            let mut rem: u64 = 0;
+            for i in (0..u.len()).rev() {
+                let cur = (rem << 32) | u[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            return (q, r);
+        }
+
+        let shift = v.last().expect("v nonempty").leading_zeros() as usize;
+        let vn = shl_bits(v, shift);
+        let mut un = shl_bits(u, shift);
+        un.push(0); // extra high limb for the algorithm
+        let n = vn.len();
+        let m = un.len() - n - 1;
+        let mut q = vec![0u32; m + 1];
+
+        for j in (0..=m).rev() {
+            let top = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut qhat = top / vn[n - 1] as u64;
+            let mut rhat = top % vn[n - 1] as u64;
+            while qhat >= 1 << 32
+                || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u64;
+                if rhat >= 1 << 32 {
+                    break;
+                }
+            }
+            // Multiply and subtract.
+            let mut borrow: i64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[i + j] as i64 - borrow - (p as u32) as i64;
+                un[i + j] = t as u32;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i64 - borrow - carry as i64;
+            un[j + n] = t as u32;
+
+            if t < 0 {
+                // qhat was one too large: add v back.
+                qhat -= 1;
+                let mut carry: u64 = 0;
+                for i in 0..n {
+                    let sum = un[i + j] as u64 + vn[i] as u64 + carry;
+                    un[i + j] = sum as u32;
+                    carry = sum >> 32;
+                }
+                un[j + n] = (un[j + n] as u64).wrapping_add(carry) as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        let r = shr_bits(&un[..n], shift);
+        (q, r)
+    }
+
+    /// Greatest common divisor (always non-negative).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mathcloud_exact::BigInt;
+    ///
+    /// let g = BigInt::from(48).gcd(&BigInt::from(-18));
+    /// assert_eq!(g, BigInt::from(6));
+    /// ```
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// Raises to a non-negative integer power (square-and-multiply).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mathcloud_exact::BigInt;
+    ///
+    /// assert_eq!(BigInt::from(2).pow(100).to_string(), "1267650600228229401496703205376");
+    /// ```
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+}
+
+fn trim(limbs: &[u32]) -> &[u32] {
+    let mut end = limbs.len();
+    while end > 0 && limbs[end - 1] == 0 {
+        end -= 1;
+    }
+    &limbs[..end]
+}
+
+/// Adds `src` into `dst` starting at limb `offset`.
+fn add_into(dst: &mut [u32], src: &[u32], offset: usize) {
+    let mut carry: u64 = 0;
+    for (i, &s) in src.iter().enumerate() {
+        let sum = dst[offset + i] as u64 + s as u64 + carry;
+        dst[offset + i] = sum as u32;
+        carry = sum >> 32;
+    }
+    let mut k = offset + src.len();
+    while carry > 0 {
+        let sum = dst[k] as u64 + carry;
+        dst[k] = sum as u32;
+        carry = sum >> 32;
+        k += 1;
+    }
+}
+
+/// Shifts limbs left by `shift` bits (0 <= shift < 32), may grow by one limb.
+fn shl_bits(limbs: &[u32], shift: usize) -> Vec<u32> {
+    if shift == 0 {
+        return limbs.to_vec();
+    }
+    let mut out = Vec::with_capacity(limbs.len() + 1);
+    let mut carry = 0u32;
+    for &l in limbs {
+        out.push((l << shift) | carry);
+        carry = l >> (32 - shift);
+    }
+    if carry > 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Shifts limbs right by `shift` bits (0 <= shift < 32), dropping zeros.
+fn shr_bits(limbs: &[u32], shift: usize) -> Vec<u32> {
+    let mut out = if shift == 0 {
+        limbs.to_vec()
+    } else {
+        let mut out = Vec::with_capacity(limbs.len());
+        for i in 0..limbs.len() {
+            let lo = limbs[i] >> shift;
+            let hi = if i + 1 < limbs.len() { limbs[i + 1] << (32 - shift) } else { 0 };
+            out.push(lo | hi);
+        }
+        out
+    };
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        let negative = v < 0;
+        let mag = v.unsigned_abs();
+        BigInt::from_limbs(vec![mag as u32, (mag >> 32) as u32], negative)
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(i64::from(v))
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_limbs(vec![v as u32, (v >> 32) as u32], false)
+    }
+}
+
+impl From<usize> for BigInt {
+    fn from(v: usize) -> Self {
+        BigInt::from(v as u64)
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (negative, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError(s.to_string()));
+        }
+        // Consume 9 decimal digits at a time: acc = acc * 10^9 + chunk.
+        let mut acc = BigInt::zero();
+        let ten9 = BigInt::from(1_000_000_000i64);
+        let bytes = digits.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(9);
+            let chunk: i64 = digits[i..i + take].parse().expect("ascii digits");
+            let scale = if take == 9 { ten9.clone() } else { BigInt::from(10i64.pow(take as u32)) };
+            acc = &(&acc * &scale) + &BigInt::from(chunk);
+            i += take;
+        }
+        acc.negative = negative && !acc.is_zero();
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel 9 decimal digits at a time.
+        let mut mag = self.limbs.clone();
+        let mut chunks: Vec<u32> = Vec::new();
+        while !mag.is_empty() {
+            let mut rem: u64 = 0;
+            for i in (0..mag.len()).rev() {
+                let cur = (rem << 32) | mag[i] as u64;
+                mag[i] = (cur / 1_000_000_000) as u32;
+                rem = cur % 1_000_000_000;
+            }
+            while mag.last() == Some(&0) {
+                mag.pop();
+            }
+            chunks.push(rem as u32);
+        }
+        if self.negative {
+            f.write_str("-")?;
+        }
+        let mut iter = chunks.iter().rev();
+        if let Some(first) = iter.next() {
+            write!(f, "{first}")?;
+        }
+        for chunk in iter {
+            write!(f, "{chunk:09}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.signum(), other.signum()) {
+            (a, b) if a != b => a.cmp(&b),
+            (0, _) => Ordering::Equal,
+            (1, _) => Self::cmp_mag(&self.limbs, &other.limbs),
+            _ => Self::cmp_mag(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+
+    fn neg(self) -> BigInt {
+        if self.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { limbs: self.limbs.clone(), negative: !self.negative }
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+
+    fn neg(mut self) -> BigInt {
+        if !self.is_zero() {
+            self.negative = !self.negative;
+        }
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.negative == rhs.negative {
+            BigInt::from_limbs(BigInt::add_mag(&self.limbs, &rhs.limbs), self.negative)
+        } else {
+            match BigInt::cmp_mag(&self.limbs, &rhs.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_limbs(BigInt::sub_mag(&self.limbs, &rhs.limbs), self.negative)
+                }
+                Ordering::Less => {
+                    BigInt::from_limbs(BigInt::sub_mag(&rhs.limbs, &self.limbs), rhs.negative)
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let negative = self.negative != rhs.negative;
+        BigInt::from_limbs(BigInt::mul_mag(&self.limbs, &rhs.limbs), negative)
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+
+    /// Truncated division (quotient rounds toward zero, like `i64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: &BigInt) -> BigInt {
+        let (q, _) = BigInt::divrem_mag(&self.limbs, &rhs.limbs);
+        BigInt::from_limbs(q, self.negative != rhs.negative)
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+
+    /// Remainder with the sign of the dividend (like `i64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        let (_, r) = BigInt::divrem_mag(&self.limbs, &rhs.limbs);
+        BigInt::from_limbs(r, self.negative)
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    )*};
+}
+
+forward_owned_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigInt {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-1", "999999999", "1000000000", "-123456789012345678901234567890"] {
+            assert_eq!(big(s).to_string(), s);
+        }
+        assert_eq!(big("+17").to_string(), "17");
+        assert_eq!(big("-0").to_string(), "0");
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("--5".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn small_arithmetic_matches_i64() {
+        let cases: [(i64, i64); 8] = [
+            (0, 5),
+            (5, 0),
+            (-3, 7),
+            (1 << 40, -(1 << 20)),
+            (i64::MAX / 2, i64::MAX / 3),
+            (-42, -58),
+            (1, -1),
+            (123456789, 987654321),
+        ];
+        for (a, b) in cases {
+            let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+            assert_eq!((&ba + &bb).to_i64(), Some(a + b), "{a} + {b}");
+            assert_eq!((&ba - &bb).to_i64(), Some(a - b), "{a} - {b}");
+            if let Some(prod) = a.checked_mul(b) {
+                assert_eq!((&ba * &bb).to_i64(), Some(prod), "{a} * {b}");
+            } else {
+                // Product exceeds i64: verify digit-wise via i128 instead.
+                assert_eq!((&ba * &bb).to_string(), (a as i128 * b as i128).to_string());
+            }
+            if b != 0 {
+                assert_eq!((&ba / &bb).to_i64(), Some(a / b), "{a} / {b}");
+                assert_eq!((&ba % &bb).to_i64(), Some(a % b), "{a} % {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_limb_multiplication() {
+        let a = big("340282366920938463463374607431768211456"); // 2^128
+        let b = big("18446744073709551616"); // 2^64
+        assert_eq!((&a * &b).to_string(), "6277101735386680763835789423207666416102355444464034512896"); // 2^192
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands long enough to trigger Karatsuba (>=32 limbs ≈ >=1024 bits).
+        let a = BigInt::from(7).pow(500);
+        let b = BigInt::from(11).pow(450);
+        let product = &a * &b;
+        // Verify via modular checks against several primes.
+        for p in [1_000_000_007i64, 998_244_353, 777_767_777] {
+            let pm = BigInt::from(p);
+            let lhs = &product % &pm;
+            let rhs = &(&(&a % &pm) * &(&b % &pm)) % &pm;
+            assert_eq!(lhs, rhs, "mod {p}");
+        }
+    }
+
+    #[test]
+    fn division_identity_on_large_values() {
+        let a = BigInt::from(3).pow(300);
+        let b = BigInt::from(17).pow(40);
+        let q = &a / &b;
+        let r = &a % &b;
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn division_sign_conventions_match_i64() {
+        for (a, b) in [(7i64, 3i64), (-7, 3), (7, -3), (-7, -3)] {
+            let q = &BigInt::from(a) / &BigInt::from(b);
+            let r = &BigInt::from(a) % &BigInt::from(b);
+            assert_eq!(q.to_i64(), Some(a / b), "{a}/{b}");
+            assert_eq!(r.to_i64(), Some(a % b), "{a}%{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = &BigInt::from(1) / &BigInt::zero();
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // Force the rare "add back" branch: u = b^2(b-1), v = b(b-1)+1 with b=2^32
+        // is a classic trigger family; verify identity holds regardless.
+        let b32 = BigInt::from(1u64 << 32);
+        let u = &(&b32 * &b32) * &(&b32 - &BigInt::one());
+        let v = &(&b32 * &(&b32 - &BigInt::one())) + &BigInt::one();
+        let q = &u / &v;
+        let r = &u % &v;
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn gcd_properties() {
+        assert_eq!(BigInt::zero().gcd(&BigInt::from(5)), BigInt::from(5));
+        assert_eq!(BigInt::from(5).gcd(&BigInt::zero()), BigInt::from(5));
+        let a = BigInt::from(2).pow(90) * BigInt::from(3).pow(30);
+        let b = BigInt::from(2).pow(60) * BigInt::from(5).pow(20);
+        assert_eq!(a.gcd(&b), BigInt::from(2).pow(60));
+    }
+
+    #[test]
+    fn comparisons_are_total_ordering() {
+        let vals = [big("-100"), big("-1"), big("0"), big("1"), big("99999999999999999999")];
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                assert_eq!(vals[i].cmp(&vals[j]), i.cmp(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_len() {
+        assert_eq!(BigInt::zero().bit_len(), 0);
+        assert_eq!(BigInt::one().bit_len(), 1);
+        assert_eq!(BigInt::from(255).bit_len(), 8);
+        assert_eq!(BigInt::from(256).bit_len(), 9);
+        assert_eq!(BigInt::from(2).pow(100).bit_len(), 101);
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        let x = BigInt::from(2).pow(70);
+        assert!((x.to_f64() - 2f64.powi(70)).abs() < 1e-6 * 2f64.powi(70));
+        assert_eq!(BigInt::from(-5).to_f64(), -5.0);
+    }
+}

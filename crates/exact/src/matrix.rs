@@ -1,0 +1,518 @@
+//! Dense matrices over exact rationals.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::rational::Rational;
+
+/// A dense `rows × cols` matrix of [`Rational`] entries.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_exact::{Matrix, Rational};
+///
+/// let a = Matrix::from_fn(2, 2, |i, j| Rational::from_ratio((i + j) as i64 + 1, 1));
+/// let inv = a.inverse().unwrap();
+/// assert_eq!(&a * &inv, Matrix::identity(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+/// Errors from exact linear algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The matrix is singular and cannot be inverted.
+    Singular,
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// The operation requires a square matrix.
+    NotSquare(usize, usize),
+    /// Text parsing failed.
+    Parse(String),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {}x{} vs {}x{}", left.0, left.1, right.0, right.1)
+            }
+            MatrixError::NotSquare(r, c) => write!(f, "matrix is not square: {r}x{c}"),
+            MatrixError::Parse(msg) => write!(f, "invalid matrix text: {msg}"),
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+impl Matrix {
+    /// Builds a matrix from a generator function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn from_fn<F>(rows: usize, cols: usize, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize) -> Rational,
+    {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Rational>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// The all-zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| Rational::zero())
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| if i == j { Rational::one() } else { Rational::zero() })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].clone())
+    }
+
+    /// Extracts the sub-matrix with rows `r0..r1` and columns `c0..c1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 < r1 && r1 <= self.rows && c0 < c1 && c1 <= self.cols, "invalid block range");
+        Matrix::from_fn(r1 - r0, c1 - c0, |i, j| self[(r0 + i, c0 + j)].clone())
+    }
+
+    /// Assembles a matrix from four blocks `[[a, b], [c, d]]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when block shapes disagree.
+    pub fn from_blocks(a: &Matrix, b: &Matrix, c: &Matrix, d: &Matrix) -> Result<Matrix, MatrixError> {
+        if a.rows != b.rows || c.rows != d.rows || a.cols != c.cols || b.cols != d.cols {
+            return Err(MatrixError::ShapeMismatch {
+                left: (a.rows, a.cols),
+                right: (d.rows, d.cols),
+            });
+        }
+        let rows = a.rows + c.rows;
+        let cols = a.cols + b.cols;
+        Ok(Matrix::from_fn(rows, cols, |i, j| {
+            match (i < a.rows, j < a.cols) {
+                (true, true) => a[(i, j)].clone(),
+                (true, false) => b[(i, j - a.cols)].clone(),
+                (false, true) => c[(i - a.rows, j)].clone(),
+                (false, false) => d[(i - a.rows, j - a.cols)].clone(),
+            }
+        }))
+    }
+
+    /// Exact inverse via Gauss–Jordan elimination with partial pivoting
+    /// (pivoting on the largest-magnitude entry keeps intermediate rationals
+    /// smaller).
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::NotSquare`] for rectangular input and
+    /// [`MatrixError::Singular`] when no nonzero pivot exists.
+    pub fn inverse(&self) -> Result<Matrix, MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare(self.rows, self.cols));
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot.
+            let pivot_row = (col..n)
+                .filter(|&r| !a[(r, col)].is_zero())
+                .max_by(|&x, &y| a[(x, col)].abs().cmp(&a[(y, col)].abs()))
+                .ok_or(MatrixError::Singular)?;
+            if pivot_row != col {
+                a.swap_rows(pivot_row, col);
+                inv.swap_rows(pivot_row, col);
+            }
+            let pivot = a[(col, col)].clone();
+            let pivot_inv = pivot.recip();
+            for j in 0..n {
+                let v = &a[(col, j)] * &pivot_inv;
+                a[(col, j)] = v;
+                let v = &inv[(col, j)] * &pivot_inv;
+                inv[(col, j)] = v;
+            }
+            for row in 0..n {
+                if row == col || a[(row, col)].is_zero() {
+                    continue;
+                }
+                let factor = a[(row, col)].clone();
+                for j in 0..n {
+                    let v = &a[(row, j)] - &(&factor * &a[(col, j)]);
+                    a[(row, j)] = v;
+                    let v = &inv[(row, j)] - &(&factor * &inv[(col, j)]);
+                    inv[(row, j)] = v;
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Exact determinant via fraction-preserving Gaussian elimination.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::NotSquare`] for rectangular input.
+    pub fn determinant(&self) -> Result<Rational, MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare(self.rows, self.cols));
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut det = Rational::one();
+        for col in 0..n {
+            let pivot_row = match (col..n).find(|&r| !a[(r, col)].is_zero()) {
+                Some(r) => r,
+                None => return Ok(Rational::zero()),
+            };
+            if pivot_row != col {
+                a.swap_rows(pivot_row, col);
+                det = -det;
+            }
+            let pivot = a[(col, col)].clone();
+            det = &det * &pivot;
+            let pivot_inv = pivot.recip();
+            for row in col + 1..n {
+                if a[(row, col)].is_zero() {
+                    continue;
+                }
+                let factor = &a[(row, col)] * &pivot_inv;
+                for j in col..n {
+                    let v = &a[(row, j)] - &(&factor * &a[(col, j)]);
+                    a[(row, j)] = v;
+                }
+            }
+        }
+        Ok(det)
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(r1 * self.cols + j, r2 * self.cols + j);
+        }
+    }
+
+    /// Largest `bit_size` over all entries — the "symbolic blow-up" metric
+    /// the paper discusses for intermediate Hilbert inversion results.
+    pub fn max_entry_bits(&self) -> usize {
+        self.data.iter().map(Rational::bit_size).max().unwrap_or(0)
+    }
+
+    /// Serializes to a compact text form: rows separated by `;`, entries by
+    /// spaces, each entry in `num` or `num/den` form. This is the wire format
+    /// MathCloud matrix services exchange as file parameters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mathcloud_exact::Matrix;
+    ///
+    /// let m = Matrix::identity(2);
+    /// assert_eq!(m.to_text(), "1 0; 0 1");
+    /// assert_eq!(Matrix::from_text(&m.to_text()).unwrap(), m);
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.rows {
+            if i > 0 {
+                out.push_str("; ");
+            }
+            for j in 0..self.cols {
+                if j > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&self[(i, j)].to_string());
+            }
+        }
+        out
+    }
+
+    /// Parses the [`Matrix::to_text`] format.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::Parse`] on empty input, ragged rows, or bad entries.
+    pub fn from_text(text: &str) -> Result<Matrix, MatrixError> {
+        let mut rows: Vec<Vec<Rational>> = Vec::new();
+        for (i, row_text) in text.split(';').enumerate() {
+            let row: Result<Vec<Rational>, _> = row_text
+                .split_whitespace()
+                .map(|t| t.parse::<Rational>())
+                .collect();
+            let row = row.map_err(|e| MatrixError::Parse(format!("row {i}: {e}")))?;
+            if row.is_empty() {
+                return Err(MatrixError::Parse(format!("row {i} is empty")));
+            }
+            if let Some(first) = rows.first() {
+                if row.len() != first.len() {
+                    return Err(MatrixError::Parse(format!(
+                        "row {i} has {} entries, expected {}",
+                        row.len(),
+                        first.len()
+                    )));
+                }
+            }
+            rows.push(row);
+        }
+        if rows.is_empty() {
+            return Err(MatrixError::Parse("empty matrix".into()));
+        }
+        let cols = rows[0].len();
+        let r = rows.len();
+        Ok(Matrix::from_vec(r, cols, rows.into_iter().flatten().collect()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Rational;
+
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix addition shape mismatch");
+        Matrix::from_fn(self.rows, self.cols, |i, j| &self[(i, j)] + &rhs[(i, j)])
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix subtraction shape mismatch");
+        Matrix::from_fn(self.rows, self.cols, |i, j| &self[(i, j)] - &rhs[(i, j)])
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics when `self.cols != rhs.rows`.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matrix product shape mismatch");
+        Matrix::from_fn(self.rows, rhs.cols, |i, j| {
+            let mut acc = Rational::zero();
+            for k in 0..self.cols {
+                if self[(i, k)].is_zero() || rhs[(k, j)].is_zero() {
+                    continue;
+                }
+                acc += &(&self[(i, k)] * &rhs[(k, j)]);
+            }
+            acc
+        })
+    }
+}
+
+impl Mul<&Rational> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Rational) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| &self[(i, j)] * rhs)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            if i + 1 < self.rows {
+                f.write_str("\n")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hilbert;
+
+    fn mat(text: &str) -> Matrix {
+        Matrix::from_text(text).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = mat("1 2; 3 4");
+        let b = mat("5 6; 7 8");
+        assert_eq!(&a + &b, mat("6 8; 10 12"));
+        assert_eq!(&b - &a, mat("4 4; 4 4"));
+        assert_eq!(&a * &b, mat("19 22; 43 50"));
+        assert_eq!(&a * &Matrix::identity(2), a);
+        assert_eq!(&Matrix::identity(2) * &a, a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = mat("1 2 3; 4 5 6");
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 3);
+    }
+
+    #[test]
+    fn inverse_of_known_matrix() {
+        let a = mat("2 0; 0 4");
+        assert_eq!(a.inverse().unwrap(), mat("1/2 0; 0 1/4"));
+        let a = mat("1 2; 3 4");
+        assert_eq!(a.inverse().unwrap(), mat("-2 1; 3/2 -1/2"));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = mat("1 2; 2 4");
+        assert_eq!(a.inverse().unwrap_err(), MatrixError::Singular);
+        assert_eq!(a.determinant().unwrap(), Rational::zero());
+    }
+
+    #[test]
+    fn rectangular_inverse_rejected() {
+        let a = mat("1 2 3; 4 5 6");
+        assert!(matches!(a.inverse().unwrap_err(), MatrixError::NotSquare(2, 3)));
+        assert!(matches!(a.determinant().unwrap_err(), MatrixError::NotSquare(2, 3)));
+    }
+
+    #[test]
+    fn determinant_of_hilbert() {
+        // det(H_3) = 1/2160 is a classical value.
+        assert_eq!(hilbert(3).determinant().unwrap(), Rational::from_ratio(1, 2160));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity_for_hilbert() {
+        for n in [1usize, 2, 4, 7, 10] {
+            let h = hilbert(n);
+            let inv = h.inverse().unwrap();
+            assert_eq!(&h * &inv, Matrix::identity(n), "H_{n}");
+            assert_eq!(&inv * &h, Matrix::identity(n), "H_{n} (left)");
+        }
+    }
+
+    #[test]
+    fn blocks_round_trip() {
+        let m = hilbert(6);
+        let a = m.submatrix(0, 3, 0, 3);
+        let b = m.submatrix(0, 3, 3, 6);
+        let c = m.submatrix(3, 6, 0, 3);
+        let d = m.submatrix(3, 6, 3, 6);
+        assert_eq!(Matrix::from_blocks(&a, &b, &c, &d).unwrap(), m);
+    }
+
+    #[test]
+    fn from_blocks_rejects_mismatched_shapes() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(3);
+        assert!(Matrix::from_blocks(&a, &b, &a, &b).is_err());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let m = mat("1/2 -3; 0 22/7");
+        assert_eq!(Matrix::from_text(&m.to_text()).unwrap(), m);
+    }
+
+    #[test]
+    fn text_parse_errors() {
+        assert!(Matrix::from_text("").is_err());
+        assert!(Matrix::from_text("1 2; 3").is_err());
+        assert!(Matrix::from_text("1 x; 3 4").is_err());
+        assert!(Matrix::from_text(";").is_err());
+    }
+
+    #[test]
+    fn entry_bits_grow_during_hilbert_inversion() {
+        let h = hilbert(8);
+        let inv = h.inverse().unwrap();
+        assert!(inv.max_entry_bits() > h.max_entry_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::identity(2);
+        let _ = &m[(2, 0)];
+    }
+}

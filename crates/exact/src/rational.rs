@@ -1,0 +1,470 @@
+//! Always-normalized arbitrary-precision rationals.
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::bigint::BigInt;
+
+/// An exact rational number `num / den`.
+///
+/// Invariants maintained by every constructor and operation:
+/// `den > 0`, `gcd(|num|, den) = 1`, and zero is `0/1`.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_exact::Rational;
+///
+/// let a = Rational::from_ratio(1, 3);
+/// let b = Rational::from_ratio(1, 6);
+/// assert_eq!((&a + &b).to_string(), "1/2");
+/// assert_eq!((&a - &a), Rational::zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+/// Error returned when parsing a [`Rational`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {:?}", self.0)
+    }
+}
+
+impl Error for ParseRationalError {}
+
+impl Rational {
+    /// Zero (`0/1`).
+    pub fn zero() -> Self {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// One (`1/1`).
+    pub fn one() -> Self {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Builds `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut r = Rational { num, den };
+        r.normalize();
+        r
+    }
+
+    /// Builds `num / den` from machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn from_ratio(num: i64, den: i64) -> Self {
+        Rational::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Builds an integer rational.
+    pub fn from_integer(n: BigInt) -> Self {
+        Rational { num: n, den: BigInt::one() }
+    }
+
+    fn normalize(&mut self) {
+        if self.den.is_negative() {
+            self.num = -std::mem::take(&mut self.num);
+            self.den = -std::mem::take(&mut self.den);
+        }
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+            return;
+        }
+        let g = self.num.gcd(&self.den);
+        if g != BigInt::one() {
+            self.num = &self.num / &g;
+            self.den = &self.den / &g;
+        }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the denominator is one.
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// The sign as -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale the division so both operands fit comfortably in f64:
+        // shift numerator and denominator right by the same bit count.
+        let nb = self.num.bit_len() as i64;
+        let db = self.den.bit_len() as i64;
+        if nb < 900 && db < 900 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        let shift = (nb.max(db) - 512).max(0) as u32;
+        let two = BigInt::from(2).pow(shift);
+        (&self.num / &two).to_f64() / (&self.den / &two).to_f64()
+    }
+
+    /// Raises to an integer power (negative powers invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics when raising zero to a negative power.
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp >= 0 {
+            Rational { num: self.num.pow(exp as u32), den: self.den.pow(exp as u32) }
+        } else {
+            self.recip().pow(-exp)
+        }
+    }
+
+    /// Total size of the numerator and denominator in bits — the cost metric
+    /// for symbolic intermediate results (the paper reports intermediate
+    /// representations of hundreds of megabytes).
+    pub fn bit_size(&self) -> usize {
+        self.num.bit_len() + self.den.bit_len()
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_integer(BigInt::from(v))
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational::from_integer(v)
+    }
+}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"num"`, `"num/den"`, or a decimal like `"-2.75"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseRationalError(s.to_string());
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt = n.trim().parse().map_err(|_| bad())?;
+            let den: BigInt = d.trim().parse().map_err(|_| bad())?;
+            if den.is_zero() {
+                return Err(bad());
+            }
+            Ok(Rational::new(num, den))
+        } else if let Some((int_part, frac_part)) = s.split_once('.') {
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad());
+            }
+            let negative = int_part.trim_start().starts_with('-');
+            let int: BigInt = if int_part.is_empty() || int_part == "-" {
+                BigInt::zero()
+            } else {
+                int_part.trim().parse().map_err(|_| bad())?
+            };
+            let frac: BigInt = frac_part.parse().map_err(|_| bad())?;
+            let scale = BigInt::from(10u64).pow(frac_part.len() as u32);
+            let mag = &(&int.abs() * &scale) + &frac;
+            let num = if negative { -mag } else { mag };
+            Ok(Rational::new(num, scale))
+        } else {
+            let num: BigInt = s.trim().parse().map_err(|_| bad())?;
+            Ok(Rational::from_integer(num))
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    /// Writes `num` for integers and `num/den` otherwise.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+
+    fn neg(self) -> Rational {
+        Rational { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+
+    fn sub(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+
+    fn mul(self, rhs: &Rational) -> Rational {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = self.num.gcd(&rhs.den);
+        let g2 = rhs.num.gcd(&self.den);
+        if g1 == BigInt::one() && g2 == BigInt::one() {
+            return Rational { num: &self.num * &rhs.num, den: &self.den * &rhs.den };
+        }
+        let n1 = &self.num / &g1;
+        let d2 = &rhs.den / &g1;
+        let n2 = &rhs.num / &g2;
+        let d1 = &self.den / &g2;
+        Rational { num: &n1 * &n2, den: &d1 * &d2 }
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        self * &rhs.recip()
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    )*};
+}
+
+forward_owned_binop!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| &acc + &x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rational {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        assert_eq!(Rational::from_ratio(2, 4).to_string(), "1/2");
+        assert_eq!(Rational::from_ratio(-2, -4).to_string(), "1/2");
+        assert_eq!(Rational::from_ratio(2, -4).to_string(), "-1/2");
+        assert_eq!(Rational::from_ratio(0, -7), Rational::zero());
+        assert_eq!(Rational::from_ratio(0, 5).denom(), &BigInt::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::from_ratio(1, 0);
+    }
+
+    #[test]
+    fn field_axioms_hold_on_samples() {
+        let samples = [rat("0"), rat("1"), rat("-3/7"), rat("22/7"), rat("-5")];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a + b, b + a);
+                assert_eq!(&(a + b) - b, a.clone());
+                assert_eq!(a * b, b * a);
+                if !b.is_zero() {
+                    assert_eq!(&(a / b) * b, a.clone());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parsing_forms() {
+        assert_eq!(rat("3/4"), Rational::from_ratio(3, 4));
+        assert_eq!(rat("-3 / 4"), Rational::from_ratio(-3, 4));
+        assert_eq!(rat("7"), Rational::from_ratio(7, 1));
+        assert_eq!(rat("2.75"), Rational::from_ratio(11, 4));
+        assert_eq!(rat("-0.5"), Rational::from_ratio(-1, 2));
+        assert_eq!(rat(".25"), Rational::from_ratio(1, 4));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("a/b".parse::<Rational>().is_err());
+        assert!("1.".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["0", "-7", "1/2", "-22/7", "123456789012345678901/2"] {
+            assert_eq!(rat(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(rat("1/3") < rat("1/2"));
+        assert!(rat("-1/2") < rat("-1/3"));
+        assert!(rat("7/7") == rat("1"));
+        assert!(rat("22/7") > rat("3"));
+    }
+
+    #[test]
+    fn recip_and_pow() {
+        assert_eq!(rat("3/4").recip(), rat("4/3"));
+        assert_eq!(rat("2/3").pow(3), rat("8/27"));
+        assert_eq!(rat("2/3").pow(-2), rat("9/4"));
+        assert_eq!(rat("5").pow(0), Rational::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::zero().recip();
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert!((rat("1/3").to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(rat("-9/2").to_f64(), -4.5);
+        // Huge numerator/denominator still produce a sensible ratio.
+        let big = Rational::new(BigInt::from(3).pow(2000), BigInt::from(3).pow(2000) * BigInt::from(2));
+        assert!((big.to_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Rational = (1..=10).map(|k| Rational::from_ratio(1, k)).sum();
+        assert_eq!(total, rat("7381/2520")); // harmonic number H_10
+    }
+
+    #[test]
+    fn hilbert_style_growth_is_exact() {
+        // Σ 1/(i+j+1) style accumulations must be exact; check associativity
+        // against a different evaluation order.
+        let xs: Vec<Rational> = (1..=50).map(|k| Rational::from_ratio(1, k * k)).collect();
+        let forward: Rational = xs.iter().cloned().sum();
+        let backward: Rational = xs.iter().rev().cloned().sum();
+        assert_eq!(forward, backward);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for exact arithmetic.
+
+use mathcloud_exact::{BigInt, Matrix, Rational};
+use proptest::prelude::*;
+
+fn arb_bigint() -> impl Strategy<Value = BigInt> {
+    // Mix small values with multi-limb magnitudes built from digit strings.
+    prop_oneof![
+        any::<i64>().prop_map(BigInt::from),
+        ("-?[1-9][0-9]{0,60}").prop_map(|s: String| s.parse().unwrap()),
+        Just(BigInt::zero()),
+    ]
+}
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (any::<i32>(), 1..10_000i64).prop_map(|(n, d)| Rational::from_ratio(i64::from(n), d))
+}
+
+proptest! {
+    #[test]
+    fn bigint_decimal_round_trip(a in arb_bigint()) {
+        let s = a.to_string();
+        let back: BigInt = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn bigint_add_commutes_and_sub_inverts(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn bigint_mul_distributes(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn bigint_division_identity(a in arb_bigint(), b in arb_bigint()) {
+        prop_assume!(!b.is_zero());
+        let q = &a / &b;
+        let r = &a % &b;
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in arb_bigint(), b in arb_bigint()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn bigint_ordering_consistent_with_subtraction(a in arb_bigint(), b in arb_bigint()) {
+        let diff = &a - &b;
+        prop_assert_eq!(a.cmp(&b), diff.cmp(&BigInt::zero()));
+    }
+
+    #[test]
+    fn rational_field_properties(a in arb_rational(), b in arb_rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a);
+        }
+    }
+
+    #[test]
+    fn rational_is_always_normalized(n in any::<i32>(), d in 1..5000i64) {
+        let r = Rational::from_ratio(i64::from(n), d);
+        prop_assert!(r.denom().is_positive());
+        prop_assert_eq!(r.numer().gcd(r.denom()), BigInt::one());
+    }
+
+    #[test]
+    fn rational_text_round_trip(a in arb_rational()) {
+        let back: Rational = a.to_string().parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// (AB)C == A(BC) for small random rational matrices.
+    #[test]
+    fn matrix_mul_associates(seed in prop::collection::vec((any::<i16>(), 1..50i64), 27)) {
+        let ent = |k: usize| Rational::from_ratio(i64::from(seed[k].0), seed[k].1);
+        let a = Matrix::from_fn(3, 3, |i, j| ent(i * 3 + j));
+        let b = Matrix::from_fn(3, 3, |i, j| ent(9 + i * 3 + j));
+        let c = Matrix::from_fn(3, 3, |i, j| ent(18 + i * 3 + j));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    /// Inverse (when it exists) really is a two-sided inverse, and block
+    /// inversion agrees with it.
+    #[test]
+    fn matrix_inverse_properties(seed in prop::collection::vec((any::<i16>(), 1..50i64), 16)) {
+        let a = Matrix::from_fn(4, 4, |i, j| {
+            Rational::from_ratio(i64::from(seed[i * 4 + j].0), seed[i * 4 + j].1)
+        });
+        match a.inverse() {
+            Ok(inv) => {
+                prop_assert_eq!(&a * &inv, Matrix::identity(4));
+                prop_assert_eq!(&inv * &a, Matrix::identity(4));
+                if let Ok(blocked) = mathcloud_exact::block_inverse(&a, 2) {
+                    prop_assert_eq!(blocked, inv);
+                }
+            }
+            Err(_) => {
+                prop_assert_eq!(a.determinant().unwrap(), Rational::zero());
+            }
+        }
+    }
+
+    /// Matrix text serialization round-trips.
+    #[test]
+    fn matrix_text_round_trip(seed in prop::collection::vec((any::<i16>(), 1..50i64), 6)) {
+        let m = Matrix::from_fn(2, 3, |i, j| {
+            Rational::from_ratio(i64::from(seed[i * 3 + j].0), seed[i * 3 + j].1)
+        });
+        prop_assert_eq!(Matrix::from_text(&m.to_text()).unwrap(), m);
+    }
+}

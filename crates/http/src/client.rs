@@ -1,0 +1,247 @@
+//! A blocking HTTP/1.1 client.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mathcloud_json::Value;
+
+use crate::message::{Method, Request, Response};
+use crate::url::{Url, UrlError};
+use crate::wire;
+
+/// Errors from client operations.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The URL could not be parsed.
+    Url(UrlError),
+    /// Connection or transfer failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Url(e) => write!(f, "{e}"),
+            ClientError::Io(e) => write!(f, "http i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for ClientError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClientError::Url(e) => Some(e),
+            ClientError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<UrlError> for ClientError {
+    fn from(e: UrlError) -> Self {
+        ClientError::Url(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking HTTP client.
+///
+/// Each call opens a fresh connection; use [`Client::connect`] to hold a
+/// keep-alive [`Connection`] for request sequences (the workflow engine polls
+/// job resources this way).
+///
+/// # Examples
+///
+/// ```no_run
+/// use mathcloud_http::Client;
+/// use mathcloud_json::json;
+///
+/// # fn main() -> Result<(), mathcloud_http::ClientError> {
+/// let client = Client::new();
+/// let resp = client.post_json("http://localhost:9000/services/sum", &json!({"a": 2, "b": 3}))?;
+/// assert!(resp.status.is_success());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Client {
+    timeout: Duration,
+    /// Extra headers attached to every request (e.g. auth tokens).
+    default_headers: Vec<(String, String)>,
+}
+
+impl Default for Client {
+    fn default() -> Self {
+        Client::new()
+    }
+}
+
+impl Client {
+    /// Creates a client with a 30-second I/O timeout.
+    pub fn new() -> Self {
+        Client { timeout: Duration::from_secs(30), default_headers: Vec::new() }
+    }
+
+    /// Sets the per-operation I/O timeout (builder style).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Attaches a header to every request sent by this client (builder
+    /// style) — the security layer uses this for credentials.
+    pub fn with_default_header(mut self, name: &str, value: &str) -> Self {
+        self.default_headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sends `GET url`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on bad URLs or transport failure; HTTP error statuses
+    /// are returned as normal responses.
+    pub fn get(&self, url: &str) -> Result<Response, ClientError> {
+        let url: Url = url.parse()?;
+        self.send(&url, Request::new(Method::Get, &url.target()))
+    }
+
+    /// Sends `DELETE url`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn delete(&self, url: &str) -> Result<Response, ClientError> {
+        let url: Url = url.parse()?;
+        self.send(&url, Request::new(Method::Delete, &url.target()))
+    }
+
+    /// Sends `POST url` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn post_json(&self, url: &str, body: &Value) -> Result<Response, ClientError> {
+        let url: Url = url.parse()?;
+        self.send(&url, Request::new(Method::Post, &url.target()).with_json(body))
+    }
+
+    /// Sends `POST url` with an arbitrary body and content type.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn post_bytes(
+        &self,
+        url: &str,
+        content_type: &str,
+        body: Vec<u8>,
+    ) -> Result<Response, ClientError> {
+        let url: Url = url.parse()?;
+        let mut req = Request::new(Method::Post, &url.target());
+        req.body = body;
+        req.headers.set("Content-Type", content_type);
+        self.send(&url, req)
+    }
+
+    /// Sends an explicit request to `url`'s authority on a fresh connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn send(&self, url: &Url, req: Request) -> Result<Response, ClientError> {
+        let mut conn = self.connect(url)?;
+        let mut req = req;
+        req.headers.set("Connection", "close");
+        conn.send(req)
+    }
+
+    /// Opens a keep-alive connection to `url`'s authority.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures surface as [`ClientError::Io`].
+    pub fn connect(&self, url: &Url) -> Result<Connection, ClientError> {
+        let stream = TcpStream::connect((url.host(), url.port()))?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            host: url.authority(),
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            default_headers: self.default_headers.clone(),
+        })
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct Connection {
+    host: String,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    default_headers: Vec<(String, String)>,
+}
+
+impl Connection {
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`ClientError::Io`].
+    pub fn send(&mut self, mut req: Request) -> Result<Response, ClientError> {
+        for (name, value) in &self.default_headers {
+            if !req.headers.contains(name) {
+                req.headers.set(name, value);
+            }
+        }
+        wire::write_request(&mut self.writer, &req, &self.host)?;
+        Ok(wire::read_response(&mut self.reader)?)
+    }
+}
+
+impl fmt::Debug for Connection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Connection").field("host", &self.host).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_url_is_reported() {
+        let err = Client::new().get("not a url").unwrap_err();
+        assert!(matches!(err, ClientError::Url(_)));
+        assert!(err.to_string().contains("invalid url"));
+    }
+
+    #[test]
+    fn connection_refused_is_io_error() {
+        // Port 1 on localhost is essentially never listening.
+        let err = Client::new().get("http://127.0.0.1:1/x").unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)));
+    }
+
+    #[test]
+    fn default_headers_are_attached() {
+        use crate::router::PathParams;
+        use crate::{Response, Router, Server};
+        let mut router = Router::new();
+        router.get("/h", |r: &Request, _p: &PathParams| {
+            Response::text(200, r.headers.get("x-token").unwrap_or("none"))
+        });
+        let server = Server::bind("127.0.0.1:0", router).unwrap();
+        let client = Client::new().with_default_header("X-Token", "secret");
+        let resp = client.get(&format!("{}/h", server.base_url())).unwrap();
+        assert_eq!(resp.body_string(), "secret");
+    }
+}

@@ -1,0 +1,282 @@
+//! A blocking HTTP/1.1 server with a worker thread pool.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::message::Response;
+use crate::router::Router;
+use crate::wire;
+
+/// Default number of connection-handling worker threads, mirroring the
+/// container's "configurable pool of handler threads" (§3.1 of the paper).
+const DEFAULT_WORKERS: usize = 8;
+
+/// Per-connection socket read timeout; bounds how long an idle keep-alive
+/// connection pins a worker.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running HTTP server.
+///
+/// Accepts connections on a background thread and handles each on a worker
+/// from a fixed pool. Dropping the server (or calling [`Server::shutdown`])
+/// stops the accept loop.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_http::{Client, Response, Router, Server};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut router = Router::new();
+/// router.get("/ping", |_r, _p| Response::text(200, "pong"));
+/// let server = Server::bind("127.0.0.1:0", router)?;
+/// let resp = Client::new().get(&format!("http://{}/ping", server.local_addr()))?;
+/// assert_eq!(resp.body_string(), "pong");
+/// # server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    active: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// Binds and starts serving with the default worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind failure, exhausted ports).
+    pub fn bind<A: ToSocketAddrs>(addr: A, router: Router) -> std::io::Result<Server> {
+        Server::bind_with_workers(addr, router, DEFAULT_WORKERS)
+    }
+
+    /// Binds and starts serving with an explicit worker-pool size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn bind_with_workers<A: ToSocketAddrs>(
+        addr: A,
+        router: Router,
+        workers: usize,
+    ) -> std::io::Result<Server> {
+        assert!(workers > 0, "server needs at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let router = Arc::new(router);
+
+        // Bounded hand-off queue from the acceptor to the workers.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 4);
+        let rx = Arc::new(parking_lot::Mutex::new(rx));
+
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let router = Arc::clone(&router);
+            let active = Arc::clone(&active);
+            std::thread::spawn(move || loop {
+                let stream = {
+                    let guard = rx.lock();
+                    guard.recv()
+                };
+                match stream {
+                    Ok(stream) => {
+                        active.fetch_add(1, Ordering::SeqCst);
+                        let _ = handle_connection(stream, &router);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    Err(_) => return, // acceptor gone: shut down
+                }
+            });
+        }
+
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // If all workers are busy the bounded queue applies
+                    // back-pressure here, which is the desired behaviour.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+
+        Ok(Server { addr, stop, accept_thread: Some(accept_thread), active })
+    }
+
+    /// The bound socket address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The base URL of this server.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Number of connections currently being handled.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting connections and unblocks the acceptor.
+    ///
+    /// In-flight requests finish on their workers; this only tears down the
+    /// accept loop.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Kick the blocking accept() with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+fn handle_connection(stream: TcpStream, router: &Router) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let mut req = match wire::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // clean close
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let resp = Response::error(400, &e.to_string());
+                let _ = wire::write_response(&mut writer, &resp);
+                return Ok(());
+            }
+            Err(_) => return Ok(()), // timeout / reset: drop silently
+        };
+        let keep = wire::keep_alive(&req);
+        let mut resp = router.dispatch_mut(&mut req);
+        if !keep {
+            resp.headers.set("Connection", "close");
+        }
+        wire::write_response(&mut writer, &resp)?;
+        if !keep {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::message::{Method, Request};
+    use crate::router::PathParams;
+    use mathcloud_json::json;
+
+    fn demo_server() -> Server {
+        let mut router = Router::new();
+        router.get("/ping", |_r, _p: &PathParams| Response::text(200, "pong"));
+        router.post("/echo", |r: &Request, _p: &PathParams| {
+            Response::bytes(200, r.headers.get("content-type").unwrap_or("text/plain"), r.body.clone())
+        });
+        router.get("/json", |_r, _p: &PathParams| Response::json(200, &json!({"ok": true})));
+        Server::bind("127.0.0.1:0", router).expect("bind")
+    }
+
+    #[test]
+    fn serves_basic_requests() {
+        let server = demo_server();
+        let client = Client::new();
+        let resp = client.get(&format!("{}/ping", server.base_url())).unwrap();
+        assert_eq!(resp.status.as_u16(), 200);
+        assert_eq!(resp.body_string(), "pong");
+        let resp = client.get(&format!("{}/missing", server.base_url())).unwrap();
+        assert_eq!(resp.status.as_u16(), 404);
+    }
+
+    #[test]
+    fn echoes_large_bodies() {
+        let server = demo_server();
+        let payload = "x".repeat(2 * 1024 * 1024);
+        let req = Request::new(Method::Post, "/echo").with_text(&payload);
+        let resp = Client::new()
+            .send(&format!("{}/echo", server.base_url()).parse().unwrap(), req)
+            .unwrap();
+        assert_eq!(resp.body.len(), payload.len());
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = demo_server();
+        let base = server.base_url();
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let base = base.clone();
+                std::thread::spawn(move || {
+                    let resp = Client::new().get(&format!("{base}/json")).unwrap();
+                    assert_eq!(resp.body_json().unwrap()["ok"].as_bool(), Some(true));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection() {
+        let server = demo_server();
+        let url: crate::Url = format!("{}/ping", server.base_url()).parse().unwrap();
+        let client = Client::new();
+        let mut conn = client.connect(&url).unwrap();
+        for _ in 0..5 {
+            let resp = conn.send(Request::new(Method::Get, "/ping")).unwrap();
+            assert_eq!(resp.body_string(), "pong");
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let server = demo_server();
+        server.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let server = demo_server();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        let _ = s.read_to_string(&mut buf);
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+}

@@ -1,0 +1,294 @@
+//! URLs, percent-encoding and query strings.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed absolute `http://` URL.
+///
+/// Only the `http` scheme is supported: transport security in this
+/// reproduction is simulated at the application layer by `mathcloud-security`
+/// (see DESIGN.md), so the wire protocol is plain HTTP.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_http::Url;
+///
+/// let u: Url = "http://localhost:9000/services/inverse?mode=fast".parse().unwrap();
+/// assert_eq!(u.host(), "localhost");
+/// assert_eq!(u.port(), 9000);
+/// assert_eq!(u.path(), "/services/inverse");
+/// assert_eq!(u.query(), Some("mode=fast"));
+/// assert_eq!(u.authority(), "localhost:9000");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    host: String,
+    port: u16,
+    path: String,
+    query: Option<String>,
+}
+
+/// Error from URL parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlError(String);
+
+impl fmt::Display for UrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid url: {}", self.0)
+    }
+}
+
+impl Error for UrlError {}
+
+impl Url {
+    /// The host name or address.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The port (default 80 when absent).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The path, always beginning with `/`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The raw query string, if present.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// `host:port`, the value used for `Host` headers and socket connects.
+    pub fn authority(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+
+    /// Path plus query, the HTTP request target.
+    pub fn target(&self) -> String {
+        match &self.query {
+            Some(q) => format!("{}?{}", self.path, q),
+            None => self.path.clone(),
+        }
+    }
+
+    /// Builds a sibling URL on the same authority with a new target.
+    ///
+    /// `target` must start with `/`; it may include a query string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mathcloud_http::Url;
+    ///
+    /// let base: Url = "http://localhost:9000/services/inverse".parse().unwrap();
+    /// let job = base.with_target("/services/inverse/jobs/7");
+    /// assert_eq!(job.to_string(), "http://localhost:9000/services/inverse/jobs/7");
+    /// ```
+    pub fn with_target(&self, target: &str) -> Url {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
+        Url { host: self.host.clone(), port: self.port, path, query }
+    }
+
+    /// Joins a relative reference: absolute targets replace the path,
+    /// other references are appended to the current path.
+    pub fn join(&self, reference: &str) -> Url {
+        if reference.starts_with('/') {
+            self.with_target(reference)
+        } else {
+            let base = self.path.trim_end_matches('/');
+            self.with_target(&format!("{base}/{reference}"))
+        }
+    }
+}
+
+impl FromStr for Url {
+    type Err = UrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix("http://")
+            .ok_or_else(|| UrlError(format!("{s:?} (only http:// is supported)")))?;
+        let (authority, target) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(UrlError(format!("{s:?} (empty host)")));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p.parse().map_err(|_| UrlError(format!("{s:?} (bad port)")))?;
+                (h.to_string(), port)
+            }
+            None => (authority.to_string(), 80),
+        };
+        if host.is_empty() {
+            return Err(UrlError(format!("{s:?} (empty host)")));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
+        Ok(Url { host, port, path, query })
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "http://{}:{}{}", self.host, self.port, self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Bytes that do not need percent-encoding in path segments and query
+/// components (RFC 3986 unreserved set).
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~')
+}
+
+/// Percent-encodes a string for use in a path segment or query component.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_http::percent_encode;
+///
+/// assert_eq!(percent_encode("matrix inversion/2"), "matrix%20inversion%2F2");
+/// ```
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if is_unreserved(b) {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Decodes percent escapes (and `+` as space, as query strings use).
+///
+/// Malformed escapes are passed through literally rather than rejected,
+/// matching the forgiving behaviour of deployed web servers.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+            out.push(b'%');
+            i += 1;
+        } else if bytes[i] == b'+' {
+            out.push(b' ');
+            i += 1;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Decodes a query string into ordered key/value pairs.
+pub fn decode_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Encodes key/value pairs into a query string.
+pub fn encode_query(pairs: &[(String, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_variants() {
+        let u: Url = "http://example.org".parse().unwrap();
+        assert_eq!((u.host(), u.port(), u.path(), u.query()), ("example.org", 80, "/", None));
+        let u: Url = "http://10.0.0.1:8080/a/b?x=1".parse().unwrap();
+        assert_eq!((u.host(), u.port(), u.path(), u.query()), ("10.0.0.1", 8080, "/a/b", Some("x=1")));
+    }
+
+    #[test]
+    fn parse_rejects_bad_urls() {
+        assert!("https://secure".parse::<Url>().is_err());
+        assert!("ftp://x".parse::<Url>().is_err());
+        assert!("http://".parse::<Url>().is_err());
+        assert!("http://host:notaport/".parse::<Url>().is_err());
+        assert!("/relative".parse::<Url>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["http://h:9000/", "http://h:80/a?b=c", "http://h:1/x/y/z"] {
+            let u: Url = s.parse().unwrap();
+            assert_eq!(u.to_string(), s);
+            assert_eq!(u.to_string().parse::<Url>().unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn join_and_with_target() {
+        let base: Url = "http://h:9000/services/sum".parse().unwrap();
+        assert_eq!(base.join("jobs/3").path(), "/services/sum/jobs/3");
+        assert_eq!(base.join("/other").path(), "/other");
+        assert_eq!(base.with_target("/p?q=1").query(), Some("q=1"));
+    }
+
+    #[test]
+    fn percent_codec_round_trip() {
+        for s in ["plain", "with space", "кириллица", "a/b?c&d=e", "100%"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn decode_handles_plus_and_malformed() {
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%4"), "%4");
+    }
+
+    #[test]
+    fn query_codec() {
+        let pairs = vec![
+            ("q".to_string(), "matrix inversion".to_string()),
+            ("tag".to_string(), "ill=conditioned&exact".to_string()),
+        ];
+        let encoded = encode_query(&pairs);
+        assert_eq!(decode_query(&encoded), pairs);
+        assert_eq!(decode_query("lonely"), vec![("lonely".to_string(), String::new())]);
+        assert!(decode_query("").is_empty());
+    }
+}

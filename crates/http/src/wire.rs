@@ -1,0 +1,326 @@
+//! HTTP/1.1 wire protocol: reading and writing messages on byte streams.
+
+use std::io::{self, BufRead, Read, Write};
+
+use crate::message::{Headers, Method, Request, Response, StatusCode};
+
+/// Upper bound on header-section size, guarding against hostile peers.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// Upper bound on body size (1 GiB) — the paper reports intermediate matrix
+/// payloads of hundreds of megabytes, so the limit is generous.
+const MAX_BODY_BYTES: usize = 1 << 30;
+
+/// Reads one request from a buffered stream.
+///
+/// Returns `Ok(None)` on a clean EOF before any bytes (client closed a
+/// keep-alive connection).
+///
+/// # Errors
+///
+/// I/O errors and protocol violations are both reported as `io::Error`; the
+/// caller turns violations into `400` responses where possible.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let request_line = match read_line(reader, true)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| protocol_error("missing method"))?;
+    let target = parts.next().ok_or_else(|| protocol_error("missing request target"))?;
+    let version = parts.next().ok_or_else(|| protocol_error("missing http version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(protocol_error("unsupported http version"));
+    }
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Some(Request {
+        method: Method::from_token(method),
+        target: target.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Reads one response from a buffered stream.
+///
+/// # Errors
+///
+/// I/O errors and protocol violations are both reported as `io::Error`.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
+    let status_line = read_line(reader, true)?.ok_or_else(|| protocol_error("empty response"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(protocol_error("unsupported http version in response"));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| protocol_error("bad status code"))?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Response { status: StatusCode::from(code), headers, body })
+}
+
+/// Writes a request, setting `Content-Length` from the body.
+pub fn write_request<W: Write>(writer: &mut W, req: &Request, host: &str) -> io::Result<()> {
+    write!(writer, "{} {} HTTP/1.1\r\n", req.method, req.target)?;
+    write!(writer, "Host: {host}\r\n")?;
+    for (name, value) in req.headers.iter() {
+        if name.eq_ignore_ascii_case("host") || name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "Content-Length: {}\r\n\r\n", req.body.len())?;
+    writer.write_all(&req.body)?;
+    writer.flush()
+}
+
+/// Writes a response, setting `Content-Length` from the body.
+pub fn write_response<W: Write>(writer: &mut W, resp: &Response) -> io::Result<()> {
+    let reason = {
+        let r = resp.status.reason();
+        if r.is_empty() {
+            "Unknown"
+        } else {
+            r
+        }
+    };
+    write!(writer, "HTTP/1.1 {} {}\r\n", resp.status.as_u16(), reason)?;
+    for (name, value) in resp.headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "Content-Length: {}\r\n\r\n", resp.body.len())?;
+    writer.write_all(&resp.body)?;
+    writer.flush()
+}
+
+fn protocol_error(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("http protocol error: {msg}"))
+}
+
+/// Reads a CRLF- (or LF-) terminated line. `allow_eof` turns clean EOF at a
+/// line start into `None`.
+fn read_line<R: BufRead>(reader: &mut R, allow_eof: bool) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let mut limited = reader.take(MAX_HEADER_BYTES as u64);
+    let n = limited.read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return if allow_eof {
+            Ok(None)
+        } else {
+            Err(protocol_error("unexpected end of stream"))
+        };
+    }
+    if line.last() == Some(&b'\n') {
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+    } else if line.len() >= MAX_HEADER_BYTES {
+        return Err(protocol_error("header line too long"));
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| protocol_error("non-utf8 header data"))
+}
+
+fn read_headers<R: BufRead>(reader: &mut R) -> io::Result<Headers> {
+    let mut headers = Headers::new();
+    let mut total = 0usize;
+    loop {
+        let line = read_line(reader, false)?.expect("read_line(false) never yields None");
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        total += line.len();
+        if total > MAX_HEADER_BYTES {
+            return Err(protocol_error("header section too large"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| protocol_error("malformed header line"))?;
+        headers.append(name.trim(), value.trim());
+    }
+}
+
+fn read_body<R: BufRead>(reader: &mut R, headers: &Headers) -> io::Result<Vec<u8>> {
+    if headers
+        .get("transfer-encoding")
+        .is_some_and(|te| te.to_ascii_lowercase().contains("chunked"))
+    {
+        return read_chunked_body(reader);
+    }
+    let len: usize = match headers.get("content-length") {
+        Some(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| protocol_error("invalid content-length"))?,
+        None => 0,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(protocol_error("body exceeds size limit"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+fn read_chunked_body<R: BufRead>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line(reader, false)?.expect("read_line(false) never yields None");
+        let size_token = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_token, 16)
+            .map_err(|_| protocol_error("invalid chunk size"))?;
+        if body.len() + size > MAX_BODY_BYTES {
+            return Err(protocol_error("chunked body exceeds size limit"));
+        }
+        if size == 0 {
+            // Trailer section: read until the blank line.
+            loop {
+                let line = read_line(reader, false)?.expect("read_line(false) never yields None");
+                if line.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(protocol_error("missing chunk terminator"));
+        }
+    }
+}
+
+/// Decides whether the connection should stay open after this exchange.
+pub fn keep_alive(req: &Request) -> bool {
+    !matches!(
+        req.headers.get("connection").map(str::to_ascii_lowercase),
+        Some(v) if v.contains("close")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn reader(bytes: &[u8]) -> BufReader<&[u8]> {
+        BufReader::new(bytes)
+    }
+
+    #[test]
+    fn parses_simple_request() {
+        let raw = b"POST /services/sum HTTP/1.1\r\nHost: h\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let req = read_request(&mut reader(raw)).unwrap().unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.target, "/services/sum");
+        assert_eq!(req.headers.get("content-type"), Some("application/json"));
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        assert!(read_request(&mut reader(b"")).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_request(&mut reader(raw)).is_err());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],
+            &b"GET / SPDY/3\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"[..],
+        ] {
+            assert!(read_request(&mut reader(raw)).is_err(), "{:?}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::new(Method::Post, "/x?y=1").with_json(&mathcloud_json::json!({"k": [1, 2]}));
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req, "example:80").unwrap();
+        let parsed = read_request(&mut reader(&buf)).unwrap().unwrap();
+        assert_eq!(parsed.method, req.method);
+        assert_eq!(parsed.target, req.target);
+        assert_eq!(parsed.body, req.body);
+        assert_eq!(parsed.headers.get("host"), Some("example:80"));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::json(201, &mathcloud_json::json!({"id": "job-1"}));
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let parsed = read_response(&mut reader(&buf)).unwrap();
+        assert_eq!(parsed.status, StatusCode::CREATED);
+        assert_eq!(parsed.body_json().unwrap()["id"].as_str(), Some("job-1"));
+    }
+
+    #[test]
+    fn unknown_status_gets_reason_placeholder() {
+        let resp = Response::empty(599u16);
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        assert!(String::from_utf8_lossy(&buf).starts_with("HTTP/1.1 599 Unknown"));
+    }
+
+    #[test]
+    fn chunked_response_bodies_decode() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let resp = read_response(&mut reader(raw)).unwrap();
+        assert_eq!(resp.body, b"Wikipedia");
+    }
+
+    #[test]
+    fn chunked_with_extensions_and_trailers() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3;ext=1\r\nabc\r\n0\r\nTrailer: x\r\n\r\n";
+        let resp = read_response(&mut reader(raw)).unwrap();
+        assert_eq!(resp.body, b"abc");
+    }
+
+    #[test]
+    fn bad_chunk_framing_is_rejected() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n";
+        assert!(read_response(&mut reader(raw)).is_err());
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcXX";
+        assert!(read_response(&mut reader(raw)).is_err());
+    }
+
+    #[test]
+    fn keep_alive_default_and_close() {
+        let req = Request::new(Method::Get, "/");
+        assert!(keep_alive(&req));
+        let req = req.with_header("Connection", "close");
+        assert!(!keep_alive(&req));
+        let req = Request::new(Method::Get, "/").with_header("Connection", "Keep-Alive");
+        assert!(keep_alive(&req));
+    }
+
+    #[test]
+    fn lf_only_line_endings_are_tolerated() {
+        let raw = b"GET / HTTP/1.1\nHost: h\n\n";
+        let req = read_request(&mut reader(raw)).unwrap().unwrap();
+        assert_eq!(req.headers.get("host"), Some("h"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the HTTP substrate: wire round-trips, URL and
+//! query codecs, and router dispatch totality.
+
+use std::io::BufReader;
+
+use mathcloud_http::{
+    decode_query, encode_query, percent_decode, percent_encode, Method, Request, Response, Router,
+    Url,
+};
+use mathcloud_http::wire;
+use proptest::prelude::*;
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    // Header values: printable ASCII without CR/LF.
+    "[ -~&&[^\r\n]]{0,24}".prop_map(|s| s.trim().to_string())
+}
+
+proptest! {
+    /// Requests round-trip through the wire encoding byte-for-byte.
+    #[test]
+    fn request_wire_round_trip(
+        target in "/[a-z0-9/]{0,20}",
+        body in prop::collection::vec(any::<u8>(), 0..512),
+        names in prop::collection::vec("[A-Za-z][A-Za-z0-9-]{0,10}", 0..4),
+        values in prop::collection::vec(arb_header_value(), 0..4),
+    ) {
+        let mut req = Request::new(Method::Post, &target);
+        req.body = body.clone();
+        for (n, v) in names.iter().zip(&values) {
+            if n.eq_ignore_ascii_case("content-length") || n.eq_ignore_ascii_case("host") {
+                continue;
+            }
+            req.headers.set(n, v);
+        }
+        let mut bytes = Vec::new();
+        wire::write_request(&mut bytes, &req, "h:1").unwrap();
+        let parsed = wire::read_request(&mut BufReader::new(&bytes[..])).unwrap().unwrap();
+        prop_assert_eq!(parsed.method, Method::Post);
+        prop_assert_eq!(parsed.target, target);
+        prop_assert_eq!(parsed.body, body);
+        for (n, v) in names.iter().zip(&values) {
+            if n.eq_ignore_ascii_case("content-length") || n.eq_ignore_ascii_case("host") {
+                continue;
+            }
+            prop_assert_eq!(parsed.headers.get(n), Some(v.as_str()));
+        }
+    }
+
+    /// Responses round-trip likewise, for every status code.
+    #[test]
+    fn response_wire_round_trip(
+        status in 100u16..600,
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut resp = Response::empty(status);
+        resp.body = body.clone();
+        let mut bytes = Vec::new();
+        wire::write_response(&mut bytes, &resp).unwrap();
+        let parsed = wire::read_response(&mut BufReader::new(&bytes[..])).unwrap();
+        prop_assert_eq!(parsed.status.as_u16(), status);
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    /// The request parser never panics on arbitrary bytes.
+    #[test]
+    fn request_parser_is_panic_free(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::read_request(&mut BufReader::new(&bytes[..]));
+    }
+
+    /// Percent-encoding round-trips arbitrary unicode.
+    #[test]
+    fn percent_round_trip(s in "\\PC{0,40}") {
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    /// Query strings round-trip arbitrary key/value pairs.
+    #[test]
+    fn query_round_trip(pairs in prop::collection::vec(("\\PC{1,10}", "\\PC{0,10}"), 0..5)) {
+        let pairs: Vec<(String, String)> = pairs;
+        let encoded = encode_query(&pairs);
+        prop_assert_eq!(decode_query(&encoded), pairs);
+    }
+
+    /// URLs printed from parsed form re-parse identically.
+    #[test]
+    fn url_round_trip(
+        host in "[a-z][a-z0-9.-]{0,15}",
+        port in 1u16..65535,
+        path in "(/[a-z0-9]{1,6}){0,4}",
+    ) {
+        let text = format!("http://{host}:{port}{}", if path.is_empty() { "/".to_string() } else { path });
+        let url: Url = text.parse().unwrap();
+        prop_assert_eq!(url.to_string().parse::<Url>().unwrap(), url);
+    }
+
+    /// Router dispatch is total: every request gets a response (never a
+    /// panic), and unmatched paths are 404.
+    #[test]
+    fn router_dispatch_is_total(target in "\\PC{0,40}") {
+        let mut router = Router::new();
+        router.get("/known/{x}", |_r, _p| Response::empty(200));
+        let target = if target.starts_with('/') { target } else { format!("/{target}") };
+        let resp = router.dispatch(&Request::new(Method::Get, &target));
+        prop_assert!(resp.status.as_u16() == 200 || resp.status.as_u16() == 404);
+    }
+}

@@ -1,0 +1,170 @@
+//! JSON numbers.
+//!
+//! JSON does not distinguish integers from floating point values, but the
+//! MathCloud protocol cares about the difference (job identifiers and matrix
+//! dimensions must survive a round trip exactly). [`Number`] therefore keeps
+//! integers in an `i64` when possible and only falls back to `f64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A JSON number: either an exact 64-bit signed integer or a double.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_json::Number;
+///
+/// let i = Number::from(7);
+/// let f = Number::from(2.5);
+/// assert_eq!(i.as_i64(), Some(7));
+/// assert_eq!(i.as_f64(), 7.0);
+/// assert_eq!(f.as_i64(), None);
+/// assert_eq!(f.as_f64(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// An integer that fits in `i64`, preserved exactly.
+    Int(i64),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Number {
+    /// Returns the value as `i64` if it is an integer (including floats with
+    /// an exact integral value).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::Float(f) => {
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    Some(f as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// Returns the value as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// Returns `true` if the number is stored as an integer.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Number::Int(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl PartialOrd for Number {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a.partial_cmp(b),
+            _ => self.as_f64().partial_cmp(&other.as_f64()),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    // Keep a trailing ".0" so the float-ness survives a round trip.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Self {
+        Number::Int(i)
+    }
+}
+
+impl From<i32> for Number {
+    fn from(i: i32) -> Self {
+        Number::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Number {
+    fn from(i: u32) -> Self {
+        Number::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Number {
+    fn from(i: usize) -> Self {
+        match i64::try_from(i) {
+            Ok(v) => Number::Int(v),
+            Err(_) => Number::Float(i as f64),
+        }
+    }
+}
+
+impl From<f64> for Number {
+    fn from(f: f64) -> Self {
+        Number::Float(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_float_equality_crosses_representations() {
+        assert_eq!(Number::Int(3), Number::Float(3.0));
+        assert_ne!(Number::Int(3), Number::Float(3.5));
+    }
+
+    #[test]
+    fn integral_float_converts_to_i64() {
+        assert_eq!(Number::Float(42.0).as_i64(), Some(42));
+        assert_eq!(Number::Float(42.5).as_i64(), None);
+        assert_eq!(Number::Float(f64::NAN).as_i64(), None);
+    }
+
+    #[test]
+    fn display_keeps_float_marker() {
+        assert_eq!(Number::Float(2.0).to_string(), "2.0");
+        assert_eq!(Number::Int(2).to_string(), "2");
+        assert_eq!(Number::Float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn negative_as_u64_is_none() {
+        assert_eq!(Number::Int(-1).as_u64(), None);
+        assert_eq!(Number::Int(1).as_u64(), Some(1));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Number::Int(2) < Number::Float(2.5));
+        assert!(Number::Float(3.5) > Number::Int(3));
+    }
+}

@@ -1,0 +1,234 @@
+//! RFC 6901 JSON Pointers.
+//!
+//! Workflow data-flow edges address values inside job results ("take
+//! `/outputs/matrix` of block A and feed it to input `m11` of block B"); JSON
+//! Pointers are the addressing scheme.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::value::Value;
+
+/// A parsed JSON Pointer.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_json::{json, Pointer};
+///
+/// let doc = json!({"outputs": {"det": ["1", "6"]}});
+/// let p: Pointer = "/outputs/det/1".parse().unwrap();
+/// assert_eq!(p.resolve(&doc).unwrap().as_str(), Some("6"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Pointer {
+    tokens: Vec<String>,
+}
+
+/// Error from parsing or resolving a JSON Pointer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointerError {
+    /// The pointer text does not start with `/` and is not empty.
+    InvalidSyntax(String),
+    /// A `~` escape other than `~0`/`~1` appeared.
+    InvalidEscape(String),
+    /// A token did not resolve against the document.
+    NotFound(String),
+}
+
+impl fmt::Display for PointerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointerError::InvalidSyntax(p) => write!(f, "invalid json pointer syntax: {p:?}"),
+            PointerError::InvalidEscape(t) => write!(f, "invalid escape in pointer token: {t:?}"),
+            PointerError::NotFound(t) => write!(f, "pointer token not found: {t:?}"),
+        }
+    }
+}
+
+impl Error for PointerError {}
+
+impl Pointer {
+    /// The root pointer (empty string), which resolves to the whole document.
+    pub fn root() -> Self {
+        Pointer { tokens: Vec::new() }
+    }
+
+    /// Builds a pointer from already-unescaped tokens.
+    pub fn from_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Pointer { tokens: tokens.into_iter().map(Into::into).collect() }
+    }
+
+    /// The unescaped reference tokens.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Resolves the pointer against a document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PointerError::NotFound`] naming the first token that fails
+    /// to resolve.
+    pub fn resolve<'v>(&self, doc: &'v Value) -> Result<&'v Value, PointerError> {
+        let mut cur = doc;
+        for token in &self.tokens {
+            cur = match cur {
+                Value::Object(o) => {
+                    o.get(token).ok_or_else(|| PointerError::NotFound(token.clone()))?
+                }
+                Value::Array(a) => {
+                    let idx: usize = parse_array_index(token)
+                        .ok_or_else(|| PointerError::NotFound(token.clone()))?;
+                    a.get(idx).ok_or_else(|| PointerError::NotFound(token.clone()))?
+                }
+                _ => return Err(PointerError::NotFound(token.clone())),
+            };
+        }
+        Ok(cur)
+    }
+}
+
+/// RFC 6901 array indices: no leading zeros, digits only.
+fn parse_array_index(token: &str) -> Option<usize> {
+    if token.len() > 1 && token.starts_with('0') {
+        return None;
+    }
+    if token.is_empty() || !token.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    token.parse().ok()
+}
+
+impl FromStr for Pointer {
+    type Err = PointerError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(Pointer::root());
+        }
+        if !s.starts_with('/') {
+            return Err(PointerError::InvalidSyntax(s.to_string()));
+        }
+        let mut tokens = Vec::new();
+        for raw in s[1..].split('/') {
+            tokens.push(unescape(raw)?);
+        }
+        Ok(Pointer { tokens })
+    }
+}
+
+fn unescape(raw: &str) -> Result<String, PointerError> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c == '~' {
+            match chars.next() {
+                Some('0') => out.push('~'),
+                Some('1') => out.push('/'),
+                _ => return Err(PointerError::InvalidEscape(raw.to_string())),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+impl fmt::Display for Pointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for token in &self.tokens {
+            f.write_str("/")?;
+            for c in token.chars() {
+                match c {
+                    '~' => f.write_str("~0")?,
+                    '/' => f.write_str("~1")?,
+                    c => write!(f, "{c}")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn rfc_doc() -> Value {
+        json!({
+            "foo": ["bar", "baz"],
+            "": 0,
+            "a/b": 1,
+            "c%d": 2,
+            "e^f": 3,
+            "g|h": 4,
+            "i\\j": 5,
+            "k\"l": 6,
+            " ": 7,
+            "m~n": 8,
+        })
+    }
+
+    #[test]
+    fn rfc6901_examples_resolve() {
+        let doc = rfc_doc();
+        let cases = [
+            ("", None),
+            ("/foo/0", Some(json!("bar"))),
+            ("/", Some(json!(0))),
+            ("/a~1b", Some(json!(1))),
+            ("/c%d", Some(json!(2))),
+            ("/e^f", Some(json!(3))),
+            ("/g|h", Some(json!(4))),
+            ("/i\\j", Some(json!(5))),
+            ("/k\"l", Some(json!(6))),
+            ("/ ", Some(json!(7))),
+            ("/m~0n", Some(json!(8))),
+        ];
+        for (ptr, expected) in cases {
+            let p: Pointer = ptr.parse().unwrap();
+            let got = p.resolve(&doc).unwrap();
+            match expected {
+                Some(v) => assert_eq!(got, &v, "pointer {ptr}"),
+                None => assert_eq!(got, &doc),
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_escapes() {
+        for ptr in ["", "/a~1b/m~0n", "/foo/0", "/~0~1"] {
+            let p: Pointer = ptr.parse().unwrap();
+            assert_eq!(p.to_string(), ptr);
+        }
+    }
+
+    #[test]
+    fn array_indices_reject_leading_zero_and_minus() {
+        let doc = json!([10, 20]);
+        assert!("/01".parse::<Pointer>().unwrap().resolve(&doc).is_err());
+        assert!("/-1".parse::<Pointer>().unwrap().resolve(&doc).is_err());
+        assert_eq!("/0".parse::<Pointer>().unwrap().resolve(&doc).unwrap(), &json!(10));
+    }
+
+    #[test]
+    fn missing_paths_report_the_failing_token() {
+        let doc = json!({"a": {"b": 1}});
+        let err = "/a/z".parse::<Pointer>().unwrap().resolve(&doc).unwrap_err();
+        assert_eq!(err, PointerError::NotFound("z".into()));
+    }
+
+    #[test]
+    fn bad_syntax_is_rejected() {
+        assert!("a/b".parse::<Pointer>().is_err());
+        assert!("/~2".parse::<Pointer>().is_err());
+        assert!("/~".parse::<Pointer>().is_err());
+    }
+}

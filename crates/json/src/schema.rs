@@ -1,0 +1,672 @@
+//! A practical JSON Schema subset.
+//!
+//! The MathCloud unified REST API describes every service input and output
+//! parameter with a JSON Schema (§2 of the paper). This module implements the
+//! keywords that service descriptions actually use: `type`, `properties`,
+//! `required`, `additionalProperties`, `items`, `enum`, numeric and length
+//! bounds, plus the documentation keywords `title`, `description`, `format`
+//! and `default`.
+//!
+//! Schemas are themselves JSON documents ([`Schema::from_value`] /
+//! [`Schema::to_value`]) so they can travel inside service descriptions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::value::{Object, Value};
+
+/// The JSON types a schema can require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeKind {
+    /// `"null"`
+    Null,
+    /// `"boolean"`
+    Boolean,
+    /// `"integer"` — numbers with an exact integral value.
+    Integer,
+    /// `"number"` — any number (integers included).
+    Number,
+    /// `"string"`
+    String,
+    /// `"array"`
+    Array,
+    /// `"object"`
+    Object,
+}
+
+impl TypeKind {
+    /// The JSON Schema keyword for this type.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            TypeKind::Null => "null",
+            TypeKind::Boolean => "boolean",
+            TypeKind::Integer => "integer",
+            TypeKind::Number => "number",
+            TypeKind::String => "string",
+            TypeKind::Array => "array",
+            TypeKind::Object => "object",
+        }
+    }
+
+    fn from_keyword(s: &str) -> Option<Self> {
+        Some(match s {
+            "null" => TypeKind::Null,
+            "boolean" => TypeKind::Boolean,
+            "integer" => TypeKind::Integer,
+            "number" => TypeKind::Number,
+            "string" => TypeKind::String,
+            "array" => TypeKind::Array,
+            "object" => TypeKind::Object,
+            _ => return None,
+        })
+    }
+
+    fn matches(self, v: &Value) -> bool {
+        match self {
+            TypeKind::Null => v.is_null(),
+            TypeKind::Boolean => matches!(v, Value::Bool(_)),
+            TypeKind::Integer => v.as_i64().is_some(),
+            TypeKind::Number => matches!(v, Value::Number(_)),
+            TypeKind::String => matches!(v, Value::String(_)),
+            TypeKind::Array => v.is_array(),
+            TypeKind::Object => v.is_object(),
+        }
+    }
+}
+
+impl fmt::Display for TypeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A compiled JSON Schema.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_json::{json, Schema};
+///
+/// let schema = Schema::object()
+///     .property("n", Schema::integer().minimum(1.0), true)
+///     .property("comment", Schema::string(), false);
+/// assert!(schema.validate(&json!({"n": 250})).is_ok());
+/// assert!(schema.validate(&json!({"n": 0})).is_err());
+/// assert!(schema.validate(&json!({"comment": "no n"})).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    /// Accepted types; empty means "any type".
+    pub types: Vec<TypeKind>,
+    /// Human-readable title.
+    pub title: Option<String>,
+    /// Human-readable description.
+    pub description: Option<String>,
+    /// Opaque format annotation (e.g. `"uri"`, `"mc-file"`).
+    pub format: Option<String>,
+    /// Default value, used by the container's auto-generated web forms.
+    pub default: Option<Box<Value>>,
+    /// Closed set of allowed values.
+    pub enum_values: Option<Vec<Value>>,
+    /// Named properties with their schemas (objects only).
+    pub properties: Vec<(String, Schema)>,
+    /// Property names that must be present (objects only).
+    pub required: Vec<String>,
+    /// Whether properties not listed in `properties` are allowed.
+    pub additional_properties: bool,
+    /// Schema every element must satisfy (arrays only).
+    pub items: Option<Box<Schema>>,
+    /// Minimum number of array elements.
+    pub min_items: Option<usize>,
+    /// Maximum number of array elements.
+    pub max_items: Option<usize>,
+    /// Inclusive numeric lower bound.
+    pub minimum: Option<f64>,
+    /// Inclusive numeric upper bound.
+    pub maximum: Option<f64>,
+    /// Minimum string length in characters.
+    pub min_length: Option<usize>,
+    /// Maximum string length in characters.
+    pub max_length: Option<usize>,
+}
+
+/// Error converting a JSON document into a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(String);
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schema: {}", self.0)
+    }
+}
+
+impl Error for SchemaError {}
+
+/// A single validation failure with the path to the offending value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// JSON-Pointer-style path to the failing value (`""` for the root).
+    pub path: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.reason)
+        } else {
+            write!(f, "{}: {}", self.path, self.reason)
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+impl Schema {
+    /// A schema that accepts any value.
+    pub fn any() -> Self {
+        Schema { additional_properties: true, ..Schema::default() }
+    }
+
+    /// A schema requiring `type` and nothing else.
+    pub fn of_type(kind: TypeKind) -> Self {
+        Schema { types: vec![kind], ..Schema::any() }
+    }
+
+    /// Shorthand for `of_type(TypeKind::String)`.
+    pub fn string() -> Self {
+        Schema::of_type(TypeKind::String)
+    }
+
+    /// Shorthand for `of_type(TypeKind::Integer)`.
+    pub fn integer() -> Self {
+        Schema::of_type(TypeKind::Integer)
+    }
+
+    /// Shorthand for `of_type(TypeKind::Number)`.
+    pub fn number() -> Self {
+        Schema::of_type(TypeKind::Number)
+    }
+
+    /// Shorthand for `of_type(TypeKind::Boolean)`.
+    pub fn boolean() -> Self {
+        Schema::of_type(TypeKind::Boolean)
+    }
+
+    /// Shorthand for `of_type(TypeKind::Object)`.
+    pub fn object() -> Self {
+        Schema::of_type(TypeKind::Object)
+    }
+
+    /// An array whose elements satisfy `items`.
+    pub fn array_of(items: Schema) -> Self {
+        let mut s = Schema::of_type(TypeKind::Array);
+        s.items = Some(Box::new(items));
+        s
+    }
+
+    /// Sets the title (builder style).
+    pub fn title(mut self, title: &str) -> Self {
+        self.title = Some(title.to_string());
+        self
+    }
+
+    /// Sets the description (builder style).
+    pub fn description(mut self, description: &str) -> Self {
+        self.description = Some(description.to_string());
+        self
+    }
+
+    /// Sets the format annotation (builder style).
+    pub fn format(mut self, format: &str) -> Self {
+        self.format = Some(format.to_string());
+        self
+    }
+
+    /// Sets the default value (builder style).
+    pub fn default_value(mut self, v: Value) -> Self {
+        self.default = Some(Box::new(v));
+        self
+    }
+
+    /// Restricts values to a closed set (builder style).
+    pub fn one_of(mut self, values: Vec<Value>) -> Self {
+        self.enum_values = Some(values);
+        self
+    }
+
+    /// Adds a property; `required` marks it mandatory (builder style).
+    pub fn property(mut self, name: &str, schema: Schema, required: bool) -> Self {
+        self.properties.push((name.to_string(), schema));
+        if required {
+            self.required.push(name.to_string());
+        }
+        self
+    }
+
+    /// Forbids properties that are not declared (builder style).
+    pub fn closed(mut self) -> Self {
+        self.additional_properties = false;
+        self
+    }
+
+    /// Sets the inclusive numeric minimum (builder style).
+    pub fn minimum(mut self, min: f64) -> Self {
+        self.minimum = Some(min);
+        self
+    }
+
+    /// Sets the inclusive numeric maximum (builder style).
+    pub fn maximum(mut self, max: f64) -> Self {
+        self.maximum = Some(max);
+        self
+    }
+
+    /// Sets the minimum string length (builder style).
+    pub fn min_length(mut self, n: usize) -> Self {
+        self.min_length = Some(n);
+        self
+    }
+
+    /// Sets array length bounds (builder style).
+    pub fn items_between(mut self, min: usize, max: usize) -> Self {
+        self.min_items = Some(min);
+        self.max_items = Some(max);
+        self
+    }
+
+    /// Validates `value`, collecting every failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns all validation failures (never an empty vector on `Err`).
+    pub fn validate(&self, value: &Value) -> Result<(), Vec<ValidationError>> {
+        let mut errors = Vec::new();
+        self.check(value, "", &mut errors);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    fn check(&self, value: &Value, path: &str, errors: &mut Vec<ValidationError>) {
+        if !self.types.is_empty() && !self.types.iter().any(|t| t.matches(value)) {
+            let expected: Vec<&str> = self.types.iter().map(|t| t.keyword()).collect();
+            errors.push(ValidationError {
+                path: path.to_string(),
+                reason: format!("expected {}, got {}", expected.join(" or "), value.type_name()),
+            });
+            return;
+        }
+        if let Some(allowed) = &self.enum_values {
+            if !allowed.contains(value) {
+                errors.push(ValidationError {
+                    path: path.to_string(),
+                    reason: format!("value {value} is not one of the allowed values"),
+                });
+            }
+        }
+        match value {
+            Value::Number(n) => {
+                let x = n.as_f64();
+                if let Some(min) = self.minimum {
+                    if x < min {
+                        errors.push(ValidationError {
+                            path: path.to_string(),
+                            reason: format!("{x} is below minimum {min}"),
+                        });
+                    }
+                }
+                if let Some(max) = self.maximum {
+                    if x > max {
+                        errors.push(ValidationError {
+                            path: path.to_string(),
+                            reason: format!("{x} is above maximum {max}"),
+                        });
+                    }
+                }
+            }
+            Value::String(s) => {
+                let len = s.chars().count();
+                if let Some(min) = self.min_length {
+                    if len < min {
+                        errors.push(ValidationError {
+                            path: path.to_string(),
+                            reason: format!("string length {len} is below minLength {min}"),
+                        });
+                    }
+                }
+                if let Some(max) = self.max_length {
+                    if len > max {
+                        errors.push(ValidationError {
+                            path: path.to_string(),
+                            reason: format!("string length {len} is above maxLength {max}"),
+                        });
+                    }
+                }
+            }
+            Value::Array(items) => {
+                if let Some(min) = self.min_items {
+                    if items.len() < min {
+                        errors.push(ValidationError {
+                            path: path.to_string(),
+                            reason: format!("array length {} is below minItems {min}", items.len()),
+                        });
+                    }
+                }
+                if let Some(max) = self.max_items {
+                    if items.len() > max {
+                        errors.push(ValidationError {
+                            path: path.to_string(),
+                            reason: format!("array length {} is above maxItems {max}", items.len()),
+                        });
+                    }
+                }
+                if let Some(item_schema) = &self.items {
+                    for (i, item) in items.iter().enumerate() {
+                        item_schema.check(item, &format!("{path}/{i}"), errors);
+                    }
+                }
+            }
+            Value::Object(obj) => {
+                for req in &self.required {
+                    if !obj.contains_key(req) {
+                        errors.push(ValidationError {
+                            path: path.to_string(),
+                            reason: format!("missing required property {req:?}"),
+                        });
+                    }
+                }
+                for (key, val) in obj.iter() {
+                    if let Some((_, schema)) = self.properties.iter().find(|(n, _)| n == key) {
+                        schema.check(val, &format!("{path}/{key}"), errors);
+                    } else if !self.additional_properties {
+                        errors.push(ValidationError {
+                            path: format!("{path}/{key}"),
+                            reason: format!("unexpected property {key:?}"),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Serializes the schema to its JSON representation.
+    pub fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        match self.types.len() {
+            0 => {}
+            1 => {
+                o.insert("type".into(), Value::from(self.types[0].keyword()));
+            }
+            _ => {
+                o.insert(
+                    "type".into(),
+                    Value::Array(self.types.iter().map(|t| Value::from(t.keyword())).collect()),
+                );
+            }
+        }
+        if let Some(t) = &self.title {
+            o.insert("title".into(), Value::from(t.as_str()));
+        }
+        if let Some(d) = &self.description {
+            o.insert("description".into(), Value::from(d.as_str()));
+        }
+        if let Some(fm) = &self.format {
+            o.insert("format".into(), Value::from(fm.as_str()));
+        }
+        if let Some(d) = &self.default {
+            o.insert("default".into(), (**d).clone());
+        }
+        if let Some(e) = &self.enum_values {
+            o.insert("enum".into(), Value::Array(e.clone()));
+        }
+        if !self.properties.is_empty() {
+            let mut props = Object::new();
+            for (name, schema) in &self.properties {
+                props.insert(name.clone(), schema.to_value());
+            }
+            o.insert("properties".into(), Value::Object(props));
+        }
+        if !self.required.is_empty() {
+            o.insert(
+                "required".into(),
+                Value::Array(self.required.iter().map(|r| Value::from(r.as_str())).collect()),
+            );
+        }
+        if !self.additional_properties {
+            o.insert("additionalProperties".into(), Value::Bool(false));
+        }
+        if let Some(items) = &self.items {
+            o.insert("items".into(), items.to_value());
+        }
+        if let Some(n) = self.min_items {
+            o.insert("minItems".into(), Value::from(n));
+        }
+        if let Some(n) = self.max_items {
+            o.insert("maxItems".into(), Value::from(n));
+        }
+        if let Some(x) = self.minimum {
+            o.insert("minimum".into(), Value::from(x));
+        }
+        if let Some(x) = self.maximum {
+            o.insert("maximum".into(), Value::from(x));
+        }
+        if let Some(n) = self.min_length {
+            o.insert("minLength".into(), Value::from(n));
+        }
+        if let Some(n) = self.max_length {
+            o.insert("maxLength".into(), Value::from(n));
+        }
+        Value::Object(o)
+    }
+
+    /// Parses a schema from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`] on unknown type keywords or structurally
+    /// invalid keyword values. Unknown keywords are ignored, as JSON Schema
+    /// requires.
+    pub fn from_value(v: &Value) -> Result<Self, SchemaError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| SchemaError(format!("schema must be an object, got {}", v.type_name())))?;
+        let mut s = Schema::any();
+        match obj.get("type") {
+            None => {}
+            Some(Value::String(kw)) => {
+                s.types.push(
+                    TypeKind::from_keyword(kw)
+                        .ok_or_else(|| SchemaError(format!("unknown type {kw:?}")))?,
+                );
+            }
+            Some(Value::Array(kinds)) => {
+                for k in kinds {
+                    let kw = k
+                        .as_str()
+                        .ok_or_else(|| SchemaError("type array must contain strings".into()))?;
+                    s.types.push(
+                        TypeKind::from_keyword(kw)
+                            .ok_or_else(|| SchemaError(format!("unknown type {kw:?}")))?,
+                    );
+                }
+            }
+            Some(other) => {
+                return Err(SchemaError(format!("type must be string or array, got {}", other.type_name())))
+            }
+        }
+        s.title = obj.get("title").and_then(Value::as_str).map(String::from);
+        s.description = obj.get("description").and_then(Value::as_str).map(String::from);
+        s.format = obj.get("format").and_then(Value::as_str).map(String::from);
+        s.default = obj.get("default").map(|d| Box::new(d.clone()));
+        if let Some(e) = obj.get("enum") {
+            let arr = e
+                .as_array()
+                .ok_or_else(|| SchemaError("enum must be an array".into()))?;
+            s.enum_values = Some(arr.to_vec());
+        }
+        if let Some(props) = obj.get("properties") {
+            let props = props
+                .as_object()
+                .ok_or_else(|| SchemaError("properties must be an object".into()))?;
+            for (name, sub) in props.iter() {
+                s.properties.push((name.clone(), Schema::from_value(sub)?));
+            }
+        }
+        if let Some(req) = obj.get("required") {
+            let arr = req
+                .as_array()
+                .ok_or_else(|| SchemaError("required must be an array".into()))?;
+            for r in arr {
+                s.required.push(
+                    r.as_str()
+                        .ok_or_else(|| SchemaError("required entries must be strings".into()))?
+                        .to_string(),
+                );
+            }
+        }
+        if let Some(ap) = obj.get("additionalProperties") {
+            s.additional_properties = ap.as_bool().unwrap_or(true);
+        }
+        if let Some(items) = obj.get("items") {
+            s.items = Some(Box::new(Schema::from_value(items)?));
+        }
+        s.min_items = obj.get("minItems").and_then(Value::as_u64).map(|n| n as usize);
+        s.max_items = obj.get("maxItems").and_then(Value::as_u64).map(|n| n as usize);
+        s.minimum = obj.get("minimum").and_then(Value::as_f64);
+        s.maximum = obj.get("maximum").and_then(Value::as_f64);
+        s.min_length = obj.get("minLength").and_then(Value::as_u64).map(|n| n as usize);
+        s.max_length = obj.get("maxLength").and_then(Value::as_u64).map(|n| n as usize);
+        Ok(s)
+    }
+
+    /// Returns `true` when a value of `other`'s shape is always acceptable
+    /// where `self` is expected, judged by type keywords alone.
+    ///
+    /// The workflow editor uses this check when the user connects an output
+    /// port (`other`) to an input port (`self`). As in the paper, only data
+    /// *types* are checked; format/semantics compatibility is the user's
+    /// responsibility.
+    pub fn accepts_type_of(&self, other: &Schema) -> bool {
+        if self.types.is_empty() {
+            return true;
+        }
+        if other.types.is_empty() {
+            // Unknown output type: optimistically allowed, checked at run time.
+            return true;
+        }
+        other.types.iter().all(|t| {
+            self.types.contains(t)
+                || (*t == TypeKind::Integer && self.types.contains(&TypeKind::Number))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, parse};
+
+    fn job_request_schema() -> Schema {
+        Schema::object()
+            .property("matrix", Schema::string().format("mc-file"), true)
+            .property("block_size", Schema::integer().minimum(1.0).maximum(1024.0), false)
+            .property(
+                "mode",
+                Schema::string().one_of(vec![json!("serial"), json!("parallel")]),
+                false,
+            )
+            .closed()
+    }
+
+    #[test]
+    fn valid_documents_pass() {
+        let s = job_request_schema();
+        assert!(s.validate(&json!({"matrix": "mc-file:abc"})).is_ok());
+        assert!(s
+            .validate(&json!({"matrix": "m", "block_size": 4, "mode": "parallel"}))
+            .is_ok());
+    }
+
+    #[test]
+    fn each_failure_is_reported_with_its_path() {
+        let s = job_request_schema();
+        let errs = s
+            .validate(&json!({"block_size": 0, "mode": "fast", "extra": 1}))
+            .unwrap_err();
+        let paths: Vec<&str> = errs.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&""), "missing required reported at root: {errs:?}");
+        assert!(paths.contains(&"/block_size"));
+        assert!(paths.contains(&"/mode"));
+        assert!(paths.contains(&"/extra"));
+    }
+
+    #[test]
+    fn integer_rejects_fractional_numbers() {
+        let s = Schema::integer();
+        assert!(s.validate(&json!(3)).is_ok());
+        assert!(s.validate(&json!(3.0)).is_ok(), "3.0 has an exact integral value");
+        assert!(s.validate(&json!(3.5)).is_err());
+    }
+
+    #[test]
+    fn arrays_validate_items_recursively() {
+        let s = Schema::array_of(Schema::integer().minimum(0.0)).items_between(1, 3);
+        assert!(s.validate(&json!([1, 2])).is_ok());
+        assert!(s.validate(&json!([])).is_err());
+        assert!(s.validate(&json!([1, 2, 3, 4])).is_err());
+        let errs = s.validate(&json!([1, (-2)])).unwrap_err();
+        assert_eq!(errs[0].path, "/1");
+    }
+
+    #[test]
+    fn schema_round_trips_through_json() {
+        let s = job_request_schema().title("request").description("job request");
+        let v = s.to_value();
+        let parsed = Schema::from_value(&parse(&v.to_string()).unwrap()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn from_value_rejects_bad_schemas() {
+        assert!(Schema::from_value(&json!("string")).is_err());
+        assert!(Schema::from_value(&json!({"type": "strange"})).is_err());
+        assert!(Schema::from_value(&json!({"type": 3})).is_err());
+        assert!(Schema::from_value(&json!({"properties": []})).is_err());
+    }
+
+    #[test]
+    fn unknown_keywords_are_ignored() {
+        let s = Schema::from_value(&json!({"type": "string", "$comment": "hi", "pattern": "x"})).unwrap();
+        assert_eq!(s, Schema::string());
+    }
+
+    #[test]
+    fn port_type_compatibility() {
+        assert!(Schema::number().accepts_type_of(&Schema::integer()));
+        assert!(!Schema::integer().accepts_type_of(&Schema::number()));
+        assert!(Schema::any().accepts_type_of(&Schema::string()));
+        assert!(Schema::string().accepts_type_of(&Schema::any()));
+        assert!(!Schema::string().accepts_type_of(&Schema::object()));
+    }
+
+    #[test]
+    fn multi_type_schemas() {
+        let s = Schema::from_value(&json!({"type": ["string", "null"]})).unwrap();
+        assert!(s.validate(&json!("x")).is_ok());
+        assert!(s.validate(&json!(null)).is_ok());
+        assert!(s.validate(&json!(1)).is_err());
+    }
+
+    #[test]
+    fn string_length_bounds_count_characters() {
+        let s = Schema::string().min_length(2);
+        assert!(s.validate(&json!("ab")).is_ok());
+        assert!(s.validate(&json!("é")).is_err(), "one char, two bytes");
+        assert!(s.validate(&json!("éé")).is_ok());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the JSON value model, parser and serializers.
+
+use mathcloud_json::value::Object;
+use mathcloud_json::{parse, Pointer, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON documents of bounded depth and size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::from),
+        // Finite doubles only: JSON cannot encode NaN/inf.
+        prop::num::f64::NORMAL.prop_map(Value::from),
+        "[a-zA-Z0-9 _/~\\\\\"\n\t\u{00e9}\u{0434}]{0,12}".prop_map(Value::from),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|entries| {
+                Value::Object(entries.into_iter().collect::<Object>())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Compact serialization followed by parsing is the identity.
+    #[test]
+    fn compact_round_trip(v in arb_value()) {
+        let text = v.to_string();
+        let back = parse(&text).expect("serializer output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    /// Pretty serialization followed by parsing is the identity.
+    #[test]
+    fn pretty_round_trip(v in arb_value()) {
+        let text = v.to_pretty_string();
+        let back = parse(&text).expect("pretty output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    /// Parsing never panics on arbitrary input.
+    #[test]
+    fn parser_is_panic_free(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    /// Every pointer printed from tokens parses back to the same tokens,
+    /// including `/` and `~` characters that need escaping.
+    #[test]
+    fn pointer_round_trip(tokens in prop::collection::vec("[a-z/~0-9]{0,6}", 0..5)) {
+        let p = Pointer::from_tokens(tokens.clone());
+        let reparsed: Pointer = p.to_string().parse().expect("printed pointer must parse");
+        prop_assert_eq!(reparsed.tokens(), &tokens[..]);
+    }
+
+    /// A pointer built from an object path always resolves.
+    #[test]
+    fn pointer_resolves_object_paths(keys in prop::collection::vec("[a-z]{1,5}", 1..4)) {
+        // Build nested objects along `keys` ending in a sentinel.
+        let mut v = Value::from("leaf");
+        for k in keys.iter().rev() {
+            let mut o = Object::new();
+            o.insert(k.clone(), v);
+            v = Value::Object(o);
+        }
+        let p = Pointer::from_tokens(keys);
+        prop_assert_eq!(p.resolve(&v).unwrap(), &Value::from("leaf"));
+    }
+}

@@ -1,0 +1,1005 @@
+//! An AMPL-subset optimization modeling language.
+//!
+//! The paper's optimization application integrates "translators of AMPL
+//! optimization modeling language" as MathCloud services (§4, refs [12-13]).
+//! This module is that translator: a lexer, a recursive-descent parser and
+//! an instantiator that expands an indexed model plus data into an exact
+//! [`Lp`].
+//!
+//! # Supported language
+//!
+//! ```text
+//! set I;                                   # index sets
+//! param c {I, J};  param b;                # indexed and scalar parameters
+//! var x {I, J} >= 0;                       # non-negative variables
+//! minimize total: sum {i in I, j in J} c[i,j] * x[i,j];
+//! subject to supply {i in I}: sum {j in J} x[i,j] <= s[i];
+//!
+//! data;
+//! set I := a b c;
+//! param b := 5;
+//! param s := a 10  b 20;
+//! param c := a u 1   a v 2   b u 3   b v 4;
+//! end;
+//! ```
+//!
+//! `maximize` negates the objective during instantiation (the LP form is
+//! minimization). Constraint and objective expressions must be linear in the
+//! variables; the instantiator verifies this and reports violations.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use mathcloud_exact::Rational;
+
+use crate::lp::{Lp, Relation};
+
+/// An error from parsing or instantiating a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmplError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for AmplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ampl error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AmplError {}
+
+fn err<T>(message: impl Into<String>, line: usize) -> Result<T, AmplError> {
+    Err(AmplError { message: message.into(), line })
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(Rational),
+    Punct(&'static str),
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, AmplError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token { tok: Tok::Ident(src[start..i].to_string()), line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: Rational = text
+                    .parse()
+                    .map_err(|_| AmplError { message: format!("bad number {text:?}"), line })?;
+                out.push(Token { tok: Tok::Number(value), line });
+            }
+            _ => {
+                // Multi-character operators first.
+                let rest = &src[i..];
+                let two: Option<&'static str> = if rest.starts_with("<=") {
+                    Some("<=")
+                } else if rest.starts_with(">=") {
+                    Some(">=")
+                } else if rest.starts_with(":=") {
+                    Some(":=")
+                } else {
+                    None
+                };
+                if let Some(p) = two {
+                    out.push(Token { tok: Tok::Punct(p), line });
+                    i += 2;
+                } else {
+                    let one: &'static str = match c {
+                        '{' => "{",
+                        '}' => "}",
+                        '[' => "[",
+                        ']' => "]",
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        ';' => ";",
+                        ':' => ":",
+                        '=' => "=",
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '/' => "/",
+                        '.' => ".",
+                        other => return err(format!("unexpected character {other:?}"), line),
+                    };
+                    out.push(Token { tok: Tok::Punct(one), line });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+// ------------------------------------------------------------------ AST --
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Number(Rational),
+    /// `name` or `name[i, j]` — a parameter or variable reference; which one
+    /// is decided at instantiation.
+    Ref(String, Vec<String>, usize),
+    Neg(Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>, usize),
+    /// `sum {i in I, j in J} body`
+    Sum(Vec<(String, String)>, Box<Expr>),
+}
+
+#[derive(Debug, Clone)]
+struct ConstraintDecl {
+    name: String,
+    /// Indexing like `{i in I}` (empty for scalar constraints).
+    indices: Vec<(String, String)>,
+    lhs: Expr,
+    rel: Relation,
+    rhs: Expr,
+    line: usize,
+}
+
+/// A parsed (and possibly data-bound) AMPL model.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    sets: Vec<String>,
+    /// Parameter name → arity.
+    params: Vec<(String, usize)>,
+    /// Variable name → index-set names.
+    vars: Vec<(String, Vec<String>)>,
+    objective: Option<(bool /* maximize */, Expr)>,
+    constraints: Vec<ConstraintDecl>,
+    /// Data: set name → members.
+    set_data: HashMap<String, Vec<String>>,
+    /// Data: param name → (index tuple → value); scalars use the empty key.
+    param_data: HashMap<String, HashMap<Vec<String>, Rational>>,
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &str) -> Result<(), AmplError> {
+        if self.eat(p) {
+            Ok(())
+        } else {
+            err(format!("expected {p:?}, found {:?}", self.peek()), self.line())
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, AmplError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => err(format!("expected identifier, found {other:?}"), line),
+        }
+    }
+
+    /// `{i in I, j in J}`
+    fn indexing(&mut self) -> Result<Vec<(String, String)>, AmplError> {
+        let mut out = Vec::new();
+        if !self.eat("{") {
+            return Ok(out);
+        }
+        loop {
+            let var = self.ident()?;
+            let kw = self.ident()?;
+            if kw != "in" {
+                return err("expected 'in' inside indexing", self.line());
+            }
+            let set = self.ident()?;
+            out.push((var, set));
+            if self.eat("}") {
+                break;
+            }
+            self.expect(",")?;
+        }
+        Ok(out)
+    }
+
+    /// Bare index-set list `{I, J}` in declarations.
+    fn index_sets(&mut self) -> Result<Vec<String>, AmplError> {
+        let mut out = Vec::new();
+        if !self.eat("{") {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.ident()?);
+            if self.eat("}") {
+                break;
+            }
+            self.expect(",")?;
+        }
+        Ok(out)
+    }
+
+    fn expr(&mut self) -> Result<Expr, AmplError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.eat("+") {
+                lhs = Expr::Add(Box::new(lhs), Box::new(self.term()?));
+            } else if self.eat("-") {
+                lhs = Expr::Sub(Box::new(lhs), Box::new(self.term()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, AmplError> {
+        let mut lhs = self.factor()?;
+        loop {
+            if self.eat("*") {
+                lhs = Expr::Mul(Box::new(lhs), Box::new(self.factor()?));
+            } else if matches!(self.peek(), Tok::Punct("/")) {
+                let line = self.line();
+                self.bump();
+                lhs = Expr::Div(Box::new(lhs), Box::new(self.factor()?), line);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, AmplError> {
+        let line = self.line();
+        if self.eat("-") {
+            return Ok(Expr::Neg(Box::new(self.factor()?)));
+        }
+        if self.eat("(") {
+            let e = self.expr()?;
+            self.expect(")")?;
+            return Ok(e);
+        }
+        match self.bump() {
+            Tok::Number(n) => Ok(Expr::Number(n)),
+            Tok::Ident(name) if name == "sum" => {
+                let indices = self.indexing()?;
+                if indices.is_empty() {
+                    return err("sum requires an indexing expression", line);
+                }
+                let body = self.factor_chain()?;
+                Ok(Expr::Sum(indices, Box::new(body)))
+            }
+            Tok::Ident(name) => {
+                let mut indices = Vec::new();
+                if self.eat("[") {
+                    loop {
+                        indices.push(self.ident()?);
+                        if self.eat("]") {
+                            break;
+                        }
+                        self.expect(",")?;
+                    }
+                }
+                Ok(Expr::Ref(name, indices, line))
+            }
+            other => err(format!("expected expression, found {other:?}"), line),
+        }
+    }
+
+    /// The body of a `sum`: binds multiplication but not +/- (AMPL's rule).
+    fn factor_chain(&mut self) -> Result<Expr, AmplError> {
+        let mut lhs = self.factor()?;
+        loop {
+            if self.eat("*") {
+                lhs = Expr::Mul(Box::new(lhs), Box::new(self.factor()?));
+            } else if matches!(self.peek(), Tok::Punct("/")) {
+                let line = self.line();
+                self.bump();
+                lhs = Expr::Div(Box::new(lhs), Box::new(self.factor()?), line);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_model(&mut self) -> Result<Model, AmplError> {
+        let mut model = Model::default();
+        loop {
+            let line = self.line();
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Ident(kw) => match kw.as_str() {
+                    "set" => {
+                        self.bump();
+                        let name = self.ident()?;
+                        self.expect(";")?;
+                        model.sets.push(name);
+                    }
+                    "param" => {
+                        self.bump();
+                        let name = self.ident()?;
+                        let sets = self.index_sets()?;
+                        self.expect(";")?;
+                        model.params.push((name, sets.len()));
+                    }
+                    "var" => {
+                        self.bump();
+                        let name = self.ident()?;
+                        let sets = self.index_sets()?;
+                        // Only `>= 0` bounds are supported (LP standard form).
+                        if self.eat(">=") {
+                            let lo = self.bump();
+                            if !matches!(&lo, Tok::Number(n) if n.is_zero()) {
+                                return err("only 'var ... >= 0' bounds are supported", line);
+                            }
+                        }
+                        self.expect(";")?;
+                        model.vars.push((name, sets));
+                    }
+                    "minimize" | "maximize" => {
+                        self.bump();
+                        let _name = self.ident()?;
+                        self.expect(":")?;
+                        let e = self.expr()?;
+                        self.expect(";")?;
+                        if model.objective.is_some() {
+                            return err("multiple objectives", line);
+                        }
+                        model.objective = Some((kw == "maximize", e));
+                    }
+                    "subject" => {
+                        self.bump();
+                        let to = self.ident()?;
+                        if to != "to" {
+                            return err("expected 'subject to'", line);
+                        }
+                        model.constraints.push(self.constraint_decl()?);
+                    }
+                    "s" => {
+                        // `s.t.`
+                        self.bump();
+                        self.expect(".")?;
+                        let t = self.ident()?;
+                        if t != "t" {
+                            return err("expected 's.t.'", line);
+                        }
+                        self.expect(".")?;
+                        model.constraints.push(self.constraint_decl()?);
+                    }
+                    "data" => {
+                        self.bump();
+                        self.expect(";")?;
+                        self.parse_data(&mut model)?;
+                    }
+                    other => return err(format!("unknown declaration {other:?}"), line),
+                },
+                other => return err(format!("unexpected token {other:?}"), line),
+            }
+        }
+        Ok(model)
+    }
+
+    fn constraint_decl(&mut self) -> Result<ConstraintDecl, AmplError> {
+        let line = self.line();
+        let name = self.ident()?;
+        let indices = self.indexing()?;
+        self.expect(":")?;
+        let lhs = self.expr()?;
+        let rel = if self.eat("<=") {
+            Relation::Le
+        } else if self.eat(">=") {
+            Relation::Ge
+        } else if self.eat("=") {
+            Relation::Eq
+        } else {
+            return err("expected <=, >= or = in constraint", self.line());
+        };
+        let rhs = self.expr()?;
+        self.expect(";")?;
+        Ok(ConstraintDecl { name, indices, lhs, rel, rhs, line })
+    }
+
+    fn parse_data(&mut self, model: &mut Model) -> Result<(), AmplError> {
+        loop {
+            let line = self.line();
+            match self.peek().clone() {
+                Tok::Eof => return Ok(()),
+                Tok::Ident(kw) if kw == "end" => {
+                    self.bump();
+                    let _ = self.eat(";");
+                    return Ok(());
+                }
+                Tok::Ident(kw) if kw == "set" => {
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(":=")?;
+                    let mut members = Vec::new();
+                    while !self.eat(";") {
+                        members.push(self.data_token()?);
+                    }
+                    model.set_data.insert(name, members);
+                }
+                Tok::Ident(kw) if kw == "param" => {
+                    self.bump();
+                    let name = self.ident()?;
+                    let arity = model
+                        .params
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|(_, a)| *a)
+                        .ok_or(AmplError { message: format!("data for undeclared param {name:?}"), line })?;
+                    self.expect(":=")?;
+                    let mut table = HashMap::new();
+                    if arity == 0 {
+                        let value = self.number()?;
+                        table.insert(Vec::new(), value);
+                        self.expect(";")?;
+                    } else {
+                        while !self.eat(";") {
+                            let mut key = Vec::with_capacity(arity);
+                            for _ in 0..arity {
+                                key.push(self.data_token()?);
+                            }
+                            let value = self.number()?;
+                            table.insert(key, value);
+                        }
+                    }
+                    model.param_data.insert(name, table);
+                }
+                other => return err(format!("unexpected token {other:?} in data section"), line),
+            }
+        }
+    }
+
+    fn data_token(&mut self) -> Result<String, AmplError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            Tok::Number(n) => Ok(n.to_string()),
+            other => err(format!("expected set member, found {other:?}"), line),
+        }
+    }
+
+    fn number(&mut self) -> Result<Rational, AmplError> {
+        let line = self.line();
+        let negative = self.eat("-");
+        match self.bump() {
+            Tok::Number(n) => Ok(if negative { -n } else { n }),
+            other => err(format!("expected number, found {other:?}"), line),
+        }
+    }
+}
+
+// --------------------------------------------------------- instantiation --
+
+/// A linear expression over instantiated variables: `constant + Σ coeff·x`.
+#[derive(Debug, Clone, Default)]
+struct LinExpr {
+    constant: Rational,
+    coeffs: HashMap<usize, Rational>,
+}
+
+impl LinExpr {
+    fn constant(c: Rational) -> Self {
+        LinExpr { constant: c, coeffs: HashMap::new() }
+    }
+
+    fn var(idx: usize) -> Self {
+        LinExpr {
+            constant: Rational::zero(),
+            coeffs: [(idx, Rational::one())].into_iter().collect(),
+        }
+    }
+
+    fn add(mut self, other: LinExpr) -> Self {
+        self.constant += &other.constant;
+        for (k, v) in other.coeffs {
+            let entry = self.coeffs.entry(k).or_default();
+            *entry = &*entry + &v;
+        }
+        self
+    }
+
+    fn negate(mut self) -> Self {
+        self.constant = -self.constant;
+        for v in self.coeffs.values_mut() {
+            *v = -std::mem::take(v);
+        }
+        self
+    }
+
+    fn scale(mut self, s: &Rational) -> Self {
+        self.constant *= s;
+        for v in self.coeffs.values_mut() {
+            *v *= s;
+        }
+        self
+    }
+
+    fn is_constant(&self) -> bool {
+        self.coeffs.values().all(Rational::is_zero)
+    }
+}
+
+struct Instantiator<'m> {
+    model: &'m Model,
+    /// Variable instance `(name, index-tuple)` → LP column.
+    var_index: HashMap<(String, Vec<String>), usize>,
+    lp: Lp,
+}
+
+impl Model {
+    /// Parses model + data text.
+    ///
+    /// # Errors
+    ///
+    /// [`AmplError`] with the offending line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mathcloud_opt::Model;
+    ///
+    /// let src = "
+    ///     var x >= 0;
+    ///     minimize obj: x;
+    ///     subject to lower: x >= 3;
+    /// ";
+    /// let lp = Model::parse(src).unwrap().instantiate().unwrap();
+    /// let sol = mathcloud_opt::solve(&lp).optimal().unwrap();
+    /// assert_eq!(sol.values[0], mathcloud_exact::Rational::from(3));
+    /// ```
+    pub fn parse(src: &str) -> Result<Model, AmplError> {
+        let tokens = lex(src)?;
+        let mut parser = Parser { tokens, pos: 0 };
+        parser.parse_model()
+    }
+
+    /// Members of a set (from the data section).
+    fn members(&self, set: &str, line: usize) -> Result<&[String], AmplError> {
+        if !self.sets.iter().any(|s| s == set) {
+            return err(format!("undeclared set {set:?}"), line);
+        }
+        self.set_data
+            .get(set)
+            .map(Vec::as_slice)
+            .ok_or(AmplError { message: format!("no data for set {set:?}"), line })
+    }
+
+    /// Expands the model into an LP.
+    ///
+    /// # Errors
+    ///
+    /// [`AmplError`] on missing data, nonlinear expressions, or unknown
+    /// names.
+    pub fn instantiate(&self) -> Result<Lp, AmplError> {
+        let mut inst = Instantiator { model: self, var_index: HashMap::new(), lp: Lp::new(0) };
+
+        // Materialize every variable instance.
+        for (name, sets) in &self.vars {
+            let tuples = self.index_tuples(sets, 0)?;
+            for tuple in tuples {
+                let label = if tuple.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{name}[{}]", tuple.join(","))
+                };
+                let col = inst.lp.add_var(&label);
+                inst.var_index.insert((name.clone(), tuple), col);
+            }
+        }
+
+        // Objective.
+        let (maximize, obj_expr) = self
+            .objective
+            .as_ref()
+            .ok_or(AmplError { message: "model has no objective".into(), line: 1 })?;
+        let bindings = HashMap::new();
+        let lin = inst.eval(obj_expr, &bindings)?;
+        for (col, coeff) in &lin.coeffs {
+            let c = if *maximize { -coeff.clone() } else { coeff.clone() };
+            inst.lp.set_objective(*col, c);
+        }
+
+        // Constraints.
+        for decl in &self.constraints {
+            let tuples = self.binding_tuples(&decl.indices, decl.line)?;
+            for binding in tuples {
+                let lhs = inst.eval(&decl.lhs, &binding)?;
+                let rhs = inst.eval(&decl.rhs, &binding)?;
+                // Normal form: (lhs - rhs) rel 0  →  vars rel constant.
+                let diff = lhs.add(rhs.negate());
+                let rhs_const = -diff.constant.clone();
+                let coeffs: Vec<(usize, Rational)> = diff
+                    .coeffs
+                    .into_iter()
+                    .filter(|(_, c)| !c.is_zero())
+                    .collect();
+                if coeffs.is_empty() {
+                    // A ground fact: verify it instead of emitting a row.
+                    let holds = match decl.rel {
+                        Relation::Le => Rational::zero() <= rhs_const,
+                        Relation::Eq => rhs_const.is_zero(),
+                        Relation::Ge => Rational::zero() >= rhs_const,
+                    };
+                    if !holds {
+                        return err(
+                            format!("constraint {:?} is trivially violated", decl.name),
+                            decl.line,
+                        );
+                    }
+                    continue;
+                }
+                inst.lp.constrain(coeffs, decl.rel, rhs_const);
+            }
+        }
+        Ok(inst.lp)
+    }
+
+    /// All index tuples of a list of sets (cartesian product).
+    fn index_tuples(&self, sets: &[String], line: usize) -> Result<Vec<Vec<String>>, AmplError> {
+        let mut tuples: Vec<Vec<String>> = vec![Vec::new()];
+        for set in sets {
+            let members = self.members(set, line)?;
+            let mut next = Vec::with_capacity(tuples.len() * members.len());
+            for t in &tuples {
+                for m in members {
+                    let mut t2 = t.clone();
+                    t2.push(m.clone());
+                    next.push(t2);
+                }
+            }
+            tuples = next;
+        }
+        Ok(tuples)
+    }
+
+    /// All bindings of an indexing expression `{i in I, j in J}`.
+    fn binding_tuples(
+        &self,
+        indices: &[(String, String)],
+        line: usize,
+    ) -> Result<Vec<HashMap<String, String>>, AmplError> {
+        let mut bindings: Vec<HashMap<String, String>> = vec![HashMap::new()];
+        for (var, set) in indices {
+            let members = self.members(set, line)?;
+            let mut next = Vec::with_capacity(bindings.len() * members.len());
+            for b in &bindings {
+                for m in members {
+                    let mut b2 = b.clone();
+                    b2.insert(var.clone(), m.clone());
+                    next.push(b2);
+                }
+            }
+            bindings = next;
+        }
+        Ok(bindings)
+    }
+}
+
+impl Instantiator<'_> {
+    fn eval(&self, e: &Expr, bindings: &HashMap<String, String>) -> Result<LinExpr, AmplError> {
+        match e {
+            Expr::Number(n) => Ok(LinExpr::constant(n.clone())),
+            Expr::Neg(inner) => Ok(self.eval(inner, bindings)?.negate()),
+            Expr::Add(a, b) => Ok(self.eval(a, bindings)?.add(self.eval(b, bindings)?)),
+            Expr::Sub(a, b) => Ok(self.eval(a, bindings)?.add(self.eval(b, bindings)?.negate())),
+            Expr::Mul(a, b) => {
+                let la = self.eval(a, bindings)?;
+                let lb = self.eval(b, bindings)?;
+                if la.is_constant() {
+                    Ok(lb.scale(&la.constant))
+                } else if lb.is_constant() {
+                    Ok(la.scale(&lb.constant))
+                } else {
+                    err("nonlinear expression: product of two variables", 0)
+                }
+            }
+            Expr::Div(a, b, line) => {
+                let la = self.eval(a, bindings)?;
+                let lb = self.eval(b, bindings)?;
+                if !lb.is_constant() {
+                    return err("nonlinear expression: division by a variable", *line);
+                }
+                if lb.constant.is_zero() {
+                    return err("division by zero", *line);
+                }
+                Ok(la.scale(&lb.constant.recip()))
+            }
+            Expr::Sum(indices, body) => {
+                let tuples = self.model.binding_tuples(indices, 0)?;
+                let mut total = LinExpr::default();
+                for tuple in tuples {
+                    let mut merged = bindings.clone();
+                    merged.extend(tuple);
+                    total = total.add(self.eval(body, &merged)?);
+                }
+                Ok(total)
+            }
+            Expr::Ref(name, raw_indices, line) => {
+                // Resolve index identifiers through the current bindings;
+                // unbound identifiers are literal member names.
+                let indices: Vec<String> = raw_indices
+                    .iter()
+                    .map(|ix| bindings.get(ix).cloned().unwrap_or_else(|| ix.clone()))
+                    .collect();
+                // A variable?
+                if let Some(col) = self.var_index.get(&(name.clone(), indices.clone())) {
+                    return Ok(LinExpr::var(*col));
+                }
+                // A bound index identifier used as a value? Not numeric — only
+                // params produce numbers.
+                if let Some(table) = self.model.param_data.get(name) {
+                    return table
+                        .get(&indices)
+                        .cloned()
+                        .map(LinExpr::constant)
+                        .ok_or(AmplError {
+                            message: format!("no data for {name}[{}]", indices.join(",")),
+                            line: *line,
+                        });
+                }
+                if self.model.params.iter().any(|(n, _)| n == name) {
+                    return err(format!("no data section values for param {name:?}"), *line);
+                }
+                err(format!("unknown name {name:?}"), *line)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::solve;
+
+    const TRANSPORT_MODEL: &str = "
+        set I; set J;
+        param supply {I};
+        param demand {J};
+        param cost {I, J};
+        var x {I, J} >= 0;
+        minimize total: sum {i in I, j in J} cost[i,j] * x[i,j];
+        subject to sup {i in I}: sum {j in J} x[i,j] <= supply[i];
+        subject to dem {j in J}: sum {i in I} x[i,j] >= demand[j];
+        data;
+        set I := s1 s2;
+        set J := t1 t2;
+        param supply := s1 5 s2 5;
+        param demand := t1 5 t2 5;
+        param cost := s1 t1 1   s1 t2 10   s2 t1 10   s2 t2 1;
+        end;
+    ";
+
+    #[test]
+    fn transportation_model_solves_to_known_optimum() {
+        let model = Model::parse(TRANSPORT_MODEL).unwrap();
+        let lp = model.instantiate().unwrap();
+        assert_eq!(lp.num_vars(), 4);
+        assert_eq!(lp.num_constraints(), 4);
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.objective, Rational::from(10));
+    }
+
+    #[test]
+    fn maximize_negates_the_objective() {
+        let src = "
+            var x >= 0; var y >= 0;
+            maximize profit: 3 * x + 5 * y;
+            subject to c1: x <= 4;
+            subject to c2: 2 * y <= 12;
+            subject to c3: 3 * x + 2 * y <= 18;
+        ";
+        let lp = Model::parse(src).unwrap().instantiate().unwrap();
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.objective, Rational::from(-36), "minimized negation");
+        assert_eq!(sol.values, vec![Rational::from(2), Rational::from(6)]);
+    }
+
+    #[test]
+    fn scalar_params_and_st_syntax() {
+        let src = "
+            param limit;
+            var x >= 0;
+            minimize obj: 0 - x;
+            s.t. cap: x <= limit;
+            data;
+            param limit := 7;
+        ";
+        let lp = Model::parse(src).unwrap().instantiate().unwrap();
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.values[0], Rational::from(7));
+    }
+
+    #[test]
+    fn arithmetic_on_params_folds_exactly() {
+        let src = "
+            var x >= 0;
+            minimize obj: x;
+            subject to c: 2 * x / 4 >= 1 - (0 - 1);
+        ";
+        // x/2 >= 2 → x >= 4.
+        let lp = Model::parse(src).unwrap().instantiate().unwrap();
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.values[0], Rational::from(4));
+    }
+
+    #[test]
+    fn nonlinear_expressions_are_rejected() {
+        let src = "
+            var x >= 0; var y >= 0;
+            minimize obj: x * y;
+            subject to c: x + y >= 1;
+        ";
+        let e = Model::parse(src).unwrap().instantiate().unwrap_err();
+        assert!(e.message.contains("nonlinear"), "{e}");
+        let src = "
+            var x >= 0;
+            minimize obj: 1 / x;
+            subject to c: x >= 1;
+        ";
+        let e = Model::parse(src).unwrap().instantiate().unwrap_err();
+        assert!(e.message.contains("nonlinear"), "{e}");
+    }
+
+    #[test]
+    fn missing_data_is_reported() {
+        let src = "
+            set I;
+            param p {I};
+            var x {I} >= 0;
+            minimize obj: sum {i in I} p[i] * x[i];
+            subject to c {i in I}: x[i] >= 1;
+            data;
+            set I := a b;
+            param p := a 1;
+        ";
+        let e = Model::parse(src).unwrap().instantiate().unwrap_err();
+        assert!(e.message.contains("no data for p[b]"), "{e}");
+    }
+
+    #[test]
+    fn undeclared_names_are_reported() {
+        let src = "var x >= 0; minimize o: x + ghost; subject to c: x >= 0;";
+        let e = Model::parse(src).unwrap().instantiate().unwrap_err();
+        assert!(e.message.contains("ghost"), "{e}");
+        let src = "set I; var x {I} >= 0; minimize o: sum {i in J} x[i]; s.t. c {i in I}: x[i] >= 0; data; set I := a;";
+        let e = Model::parse(src).unwrap().instantiate().unwrap_err();
+        assert!(e.message.contains("undeclared set"), "{e}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_lines() {
+        let e = Model::parse("var x >= 1;").unwrap_err();
+        assert!(e.message.contains(">= 0"), "{e}");
+        let e = Model::parse("minimize : x;").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(Model::parse("wibble;").is_err());
+        assert!(Model::parse("var x >= 0; minimize o: x ~ 1;").is_err());
+    }
+
+    #[test]
+    fn ground_constraints_are_checked() {
+        let src = "
+            var x >= 0;
+            minimize o: x;
+            subject to fact: 2 <= 1;
+        ";
+        let e = Model::parse(src).unwrap().instantiate().unwrap_err();
+        assert!(e.message.contains("trivially violated"), "{e}");
+        let ok = "
+            var x >= 0;
+            minimize o: x;
+            subject to fact: 1 <= 2;
+        ";
+        assert!(Model::parse(ok).unwrap().instantiate().is_ok());
+    }
+
+    #[test]
+    fn literal_member_indexing() {
+        // Reference a specific member directly: x[a].
+        let src = "
+            set I;
+            var x {I} >= 0;
+            minimize o: sum {i in I} x[i];
+            subject to pin: x[a] >= 5;
+            subject to all {i in I}: x[i] >= 1;
+            data;
+            set I := a b;
+        ";
+        let lp = Model::parse(src).unwrap().instantiate().unwrap();
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.objective, Rational::from(6));
+    }
+
+    #[test]
+    fn matches_generated_transportation_instance() {
+        // Cross-check AMPL instantiation against the native generator.
+        let p = crate::transport::TransportationProblem::random(2, 2, 99);
+        let src = format!(
+            "
+            set I; set J;
+            param supply {{I}}; param demand {{J}}; param cost {{I, J}};
+            var x {{I, J}} >= 0;
+            minimize total: sum {{i in I, j in J}} cost[i,j] * x[i,j];
+            subject to sup {{i in I}}: sum {{j in J}} x[i,j] <= supply[i];
+            subject to dem {{j in J}}: sum {{i in I}} x[i,j] >= demand[j];
+            data;
+            set I := s0 s1;
+            set J := t0 t1;
+            param supply := s0 {} s1 {};
+            param demand := t0 {} t1 {};
+            param cost := s0 t0 {} s0 t1 {} s1 t0 {} s1 t1 {};
+            end;
+        ",
+            p.supplies[0], p.supplies[1], p.demands[0], p.demands[1],
+            p.costs[0][0], p.costs[0][1], p.costs[1][0], p.costs[1][1],
+        );
+        let lp = Model::parse(&src).unwrap().instantiate().unwrap();
+        let from_ampl = solve(&lp).optimal().unwrap();
+        let direct = solve(&p.to_lp()).optimal().unwrap();
+        assert_eq!(from_ampl.objective, direct.objective);
+    }
+}

@@ -1,0 +1,476 @@
+//! Dantzig–Wolfe decomposition for multi-commodity transportation.
+//!
+//! The paper's optimization-services application dispatches "all problems
+//! (and/or intermediate subproblems)" of an AMPL-scripted algorithm "to a
+//! pool of solver services", validating the approach "by the example of
+//! Dantzig–Wolfe decomposition algorithm for multi-commodity transportation
+//! problem" (§4). This module implements that algorithm:
+//!
+//! * a **restricted master** over convex combinations of per-commodity
+//!   extreme flows, with shared arc-capacity rows,
+//! * per-commodity **pricing subproblems** (transportation LPs with
+//!   dual-adjusted costs), solved through the [`SubproblemSolver`] trait —
+//!   locally, in a thread pool, or by remote MathCloud solver services,
+//! * exact convergence: with rational arithmetic the loop stops exactly when
+//!   no column has negative reduced cost.
+
+use std::fmt;
+
+use mathcloud_exact::Rational;
+
+use crate::lp::{Lp, Relation};
+use crate::simplex::{solve, LpOutcome};
+use crate::transport::MultiCommodityProblem;
+
+/// Solves one pricing subproblem: commodity `k`'s transportation LP under
+/// modified arc costs. Implementations may run locally or call a remote
+/// MathCloud solver service; the engine issues all `k` calls of one
+/// iteration concurrently.
+pub trait SubproblemSolver: Sync {
+    /// Returns the optimal flow (row-major arcs) for commodity `commodity`
+    /// under `costs`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason (remote failure, infeasible subproblem).
+    fn solve_subproblem(
+        &self,
+        commodity: usize,
+        costs: &[Vec<Rational>],
+    ) -> Result<Vec<Rational>, String>;
+}
+
+/// The in-process solver: each pricing problem runs on the local simplex.
+#[derive(Debug, Clone)]
+pub struct LocalSolver {
+    problem: MultiCommodityProblem,
+}
+
+impl LocalSolver {
+    /// Creates a local solver for the given problem.
+    pub fn new(problem: MultiCommodityProblem) -> Self {
+        LocalSolver { problem }
+    }
+}
+
+impl SubproblemSolver for LocalSolver {
+    fn solve_subproblem(
+        &self,
+        commodity: usize,
+        costs: &[Vec<Rational>],
+    ) -> Result<Vec<Rational>, String> {
+        let sub = &self.problem.commodities[commodity];
+        let lp = sub.to_lp_with_costs(costs);
+        match solve(&lp) {
+            LpOutcome::Optimal(sol) => Ok(sol.values),
+            other => Err(format!("subproblem {commodity} not optimal: {other:?}")),
+        }
+    }
+}
+
+/// Options controlling the decomposition loop.
+#[derive(Debug, Clone)]
+pub struct DwOptions {
+    /// Hard cap on column-generation iterations (safety net; exact
+    /// arithmetic converges finitely anyway).
+    pub max_iterations: usize,
+    /// Solve the iteration's subproblems on parallel threads — the paper's
+    /// "independent problems are solved in parallel" behaviour.
+    pub parallel: bool,
+}
+
+impl Default for DwOptions {
+    fn default() -> Self {
+        DwOptions { max_iterations: 200, parallel: true }
+    }
+}
+
+/// Statistics from a decomposition run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DwStats {
+    /// Column-generation iterations performed.
+    pub iterations: usize,
+    /// Total columns generated (including the initial ones).
+    pub columns: usize,
+    /// Pricing subproblems solved.
+    pub subproblems_solved: usize,
+}
+
+/// The result of a decomposition run.
+#[derive(Debug, Clone)]
+pub struct DwSolution {
+    /// Optimal objective value (equals the monolithic LP optimum).
+    pub objective: Rational,
+    /// Per-commodity arc flows (row-major), recovered from the convex
+    /// combination of columns.
+    pub flows: Vec<Vec<Rational>>,
+    /// Run statistics.
+    pub stats: DwStats,
+}
+
+/// Errors from the decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DwError {
+    /// A subproblem solver failed.
+    Subproblem(String),
+    /// The master problem is infeasible (capacities cannot carry demand).
+    Infeasible,
+    /// The iteration cap was hit before convergence.
+    IterationLimit,
+}
+
+impl fmt::Display for DwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DwError::Subproblem(m) => write!(f, "pricing subproblem failed: {m}"),
+            DwError::Infeasible => write!(f, "master problem is infeasible"),
+            DwError::IterationLimit => write!(f, "column generation hit its iteration limit"),
+        }
+    }
+}
+
+impl std::error::Error for DwError {}
+
+struct Column {
+    commodity: usize,
+    /// Arc flows of the extreme point.
+    flow: Vec<Rational>,
+    /// True cost of the column (original costs · flow).
+    cost: Rational,
+}
+
+/// Runs Dantzig–Wolfe column generation on a multi-commodity transportation
+/// problem.
+///
+/// # Errors
+///
+/// [`DwError`] on infeasibility, solver failure or iteration cap.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_opt::transport::MultiCommodityProblem;
+/// use mathcloud_opt::dw::{solve_dantzig_wolfe, DwOptions, LocalSolver};
+///
+/// let mc = MultiCommodityProblem::random(2, 2, 3, 7);
+/// let solver = LocalSolver::new(mc.clone());
+/// let dw = solve_dantzig_wolfe(&mc, &solver, &DwOptions::default()).unwrap();
+/// let direct = mathcloud_opt::solve(&mc.to_lp()).optimal().unwrap();
+/// assert_eq!(dw.objective, direct.objective);
+/// ```
+pub fn solve_dantzig_wolfe(
+    problem: &MultiCommodityProblem,
+    solver: &dyn SubproblemSolver,
+    options: &DwOptions,
+) -> Result<DwSolution, DwError> {
+    let (n, m) = problem.shape();
+    let arcs = n * m;
+    let k = problem.num_commodities();
+    let mut stats = DwStats::default();
+
+    // Big-M penalty for artificial capacity overflow, guaranteeing an
+    // initially feasible master. Exact arithmetic makes any sufficiently
+    // large M safe; total_cost_bound is one.
+    let mut bound = Rational::one();
+    for c in &problem.commodities {
+        let worst: Rational = c
+            .costs
+            .iter()
+            .flatten()
+            .map(|x| x.abs())
+            .fold(Rational::zero(), |acc, x| if x > acc { x } else { acc });
+        bound += &(&worst * &c.total_demand());
+    }
+    let big_m = &bound * &Rational::from(2);
+
+    // Initial columns: each commodity's unconstrained optimum. Generated
+    // with the same parallel dispatch as pricing iterations.
+    let initial = run_pricing(problem, solver, k, options.parallel, |c| {
+        problem.commodities[c].costs.clone()
+    })
+    .map_err(DwError::Subproblem)?;
+    stats.subproblems_solved += k;
+    let mut columns: Vec<Column> = initial
+        .into_iter()
+        .map(|(c, flow)| {
+            let cost = column_cost(problem, c, &flow);
+            Column { commodity: c, flow, cost }
+        })
+        .collect();
+    stats.columns = columns.len();
+
+    loop {
+        if stats.iterations >= options.max_iterations {
+            return Err(DwError::IterationLimit);
+        }
+        stats.iterations += 1;
+
+        // ---- Restricted master -------------------------------------
+        // Vars: one θ per column, then one overflow var per arc.
+        let num_theta = columns.len();
+        let mut master = Lp::new(num_theta + arcs);
+        for (p, col) in columns.iter().enumerate() {
+            master.set_objective(p, col.cost.clone());
+        }
+        for a in 0..arcs {
+            master.set_objective(num_theta + a, big_m.clone());
+        }
+        // Capacity rows (first `arcs` rows → duals π).
+        for a in 0..arcs {
+            let mut row: Vec<(usize, Rational)> = columns
+                .iter()
+                .enumerate()
+                .filter(|(_, col)| !col.flow[a].is_zero())
+                .map(|(p, col)| (p, col.flow[a].clone()))
+                .collect();
+            row.push((num_theta + a, Rational::from(-1)));
+            master.constrain(row, Relation::Le, problem.capacities[a / m][a % m].clone());
+        }
+        // Convexity rows (next `k` rows → duals μ).
+        for c in 0..k {
+            let row: Vec<(usize, Rational)> = columns
+                .iter()
+                .enumerate()
+                .filter(|(_, col)| col.commodity == c)
+                .map(|(p, _)| (p, Rational::one()))
+                .collect();
+            master.constrain(row, Relation::Eq, Rational::one());
+        }
+        let master_sol = match solve(&master) {
+            LpOutcome::Optimal(s) => s,
+            _ => return Err(DwError::Infeasible),
+        };
+        let pi = &master_sol.duals[..arcs];
+        let mu = &master_sol.duals[arcs..arcs + k];
+
+        // ---- Pricing: all commodities of this iteration in parallel ----
+        let priced = run_pricing(problem, solver, k, options.parallel, |c| {
+            let mut adjusted = problem.commodities[c].costs.clone();
+            for (i, row) in adjusted.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    let a = i * m + j;
+                    if !pi[a].is_zero() {
+                        *cell = &*cell - &pi[a];
+                    }
+                }
+            }
+            adjusted
+        })
+        .map_err(DwError::Subproblem)?;
+        stats.subproblems_solved += k;
+
+        // ---- Add improving columns -----------------------------------
+        let mut improved = false;
+        for (c, flow) in priced {
+            // Reduced cost of the candidate column:
+            //   (c_c − π)·x* − μ_c  =  true_cost − π·x* − μ_c
+            let true_cost = column_cost(problem, c, &flow);
+            let mut pi_dot = Rational::zero();
+            for (a, pia) in pi.iter().enumerate() {
+                if !pia.is_zero() && !flow[a].is_zero() {
+                    pi_dot += &(pia * &flow[a]);
+                }
+            }
+            let reduced = &(&true_cost - &pi_dot) - &mu[c];
+            if reduced.signum() < 0 {
+                // Skip exact duplicates (degenerate masters can reprice an
+                // existing column).
+                let duplicate = columns
+                    .iter()
+                    .any(|col| col.commodity == c && col.flow == flow);
+                if !duplicate {
+                    columns.push(Column { commodity: c, flow, cost: true_cost });
+                    improved = true;
+                }
+            }
+        }
+
+        if !improved {
+            // Converged. Reject solutions that still lean on overflow vars:
+            // then the true problem is infeasible.
+            let overflow_used = (0..arcs).any(|a| !master_sol.values[num_theta + a].is_zero());
+            if overflow_used {
+                return Err(DwError::Infeasible);
+            }
+            stats.columns = columns.len();
+            // Recover per-commodity flows from θ.
+            let mut flows = vec![vec![Rational::zero(); arcs]; k];
+            for (p, col) in columns.iter().enumerate() {
+                // Columns added on the final iteration have no θ value.
+                let theta = master_sol
+                    .values
+                    .get(p)
+                    .cloned()
+                    .unwrap_or_else(Rational::zero);
+                if theta.is_zero() {
+                    continue;
+                }
+                for (a, f) in col.flow.iter().enumerate() {
+                    if !f.is_zero() {
+                        flows[col.commodity][a] = &flows[col.commodity][a] + &(&theta * f);
+                    }
+                }
+            }
+            let objective = master_sol.objective;
+            return Ok(DwSolution { objective, flows, stats });
+        }
+    }
+}
+
+/// Solves one subproblem per commodity, concurrently when requested,
+/// returning `(commodity, flow)` pairs in arbitrary order.
+fn run_pricing<F>(
+    _problem: &MultiCommodityProblem,
+    solver: &dyn SubproblemSolver,
+    k: usize,
+    parallel: bool,
+    costs_for: F,
+) -> Result<Vec<(usize, Vec<Rational>)>, String>
+where
+    F: Fn(usize) -> Vec<Vec<Rational>> + Sync,
+{
+    let price_one = |c: usize| -> Result<(usize, Vec<Rational>), String> {
+        let costs = costs_for(c);
+        solver.solve_subproblem(c, &costs).map(|flow| (c, flow))
+    };
+    if parallel {
+        let results = std::sync::Mutex::new(Vec::with_capacity(k));
+        crossbeam::scope(|scope| {
+            for c in 0..k {
+                let results = &results;
+                let price_one = &price_one;
+                scope.spawn(move |_| {
+                    let r = price_one(c);
+                    results.lock().expect("pricing results lock").push(r);
+                });
+            }
+        })
+        .expect("pricing threads do not panic");
+        results
+            .into_inner()
+            .expect("pricing results lock")
+            .into_iter()
+            .collect()
+    } else {
+        (0..k).map(price_one).collect()
+    }
+}
+
+fn column_cost(problem: &MultiCommodityProblem, commodity: usize, flow: &[Rational]) -> Rational {
+    let (_, m) = problem.shape();
+    let mut cost = Rational::zero();
+    for (a, x) in flow.iter().enumerate() {
+        if !x.is_zero() {
+            cost += &(&problem.commodities[commodity].costs[a / m][a % m] * x);
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_matches_direct(mc: &MultiCommodityProblem) -> DwSolution {
+        let solver = LocalSolver::new(mc.clone());
+        let dw = solve_dantzig_wolfe(mc, &solver, &DwOptions { parallel: false, ..Default::default() })
+            .expect("decomposition converges");
+        let direct = solve(&mc.to_lp()).optimal().expect("direct solve");
+        assert_eq!(dw.objective, direct.objective, "DW must match the monolithic optimum");
+        dw
+    }
+
+    #[test]
+    fn matches_direct_solution_on_random_instances() {
+        for seed in [3u64, 11, 29] {
+            let mc = MultiCommodityProblem::random(2, 2, 2, seed);
+            check_matches_direct(&mc);
+        }
+    }
+
+    #[test]
+    fn larger_instance_with_three_commodities() {
+        let mc = MultiCommodityProblem::random(3, 2, 3, 17);
+        let dw = check_matches_direct(&mc);
+        assert!(dw.stats.iterations >= 1);
+        assert!(dw.stats.columns >= 3, "at least one column per commodity");
+    }
+
+    #[test]
+    fn recovered_flows_are_feasible_and_cost_the_objective() {
+        let mc = MultiCommodityProblem::random(2, 2, 3, 23);
+        let dw = check_matches_direct(&mc);
+        let (n, m) = mc.shape();
+        // Check per-commodity transportation feasibility and capacities.
+        let mut total_cost = Rational::zero();
+        for (c, flow) in dw.flows.iter().enumerate() {
+            let sub = &mc.commodities[c];
+            for i in 0..n {
+                let shipped: Rational = (0..m).map(|j| flow[i * m + j].clone()).sum();
+                assert!(shipped <= sub.supplies[i], "supply violated");
+            }
+            for j in 0..m {
+                let delivered: Rational = (0..n).map(|i| flow[i * m + j].clone()).sum();
+                assert!(delivered >= sub.demands[j], "demand violated");
+            }
+            total_cost += &column_cost(&mc, c, flow);
+        }
+        for a in 0..n * m {
+            let used: Rational = dw.flows.iter().map(|f| f[a].clone()).sum();
+            assert!(used <= mc.capacities[a / m][a % m], "capacity violated");
+        }
+        assert_eq!(total_cost, dw.objective);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let mc = MultiCommodityProblem::random(3, 2, 2, 31);
+        let solver = LocalSolver::new(mc.clone());
+        let serial =
+            solve_dantzig_wolfe(&mc, &solver, &DwOptions { parallel: false, ..Default::default() })
+                .unwrap();
+        let parallel =
+            solve_dantzig_wolfe(&mc, &solver, &DwOptions { parallel: true, ..Default::default() })
+                .unwrap();
+        assert_eq!(serial.objective, parallel.objective);
+    }
+
+    #[test]
+    fn infeasible_capacities_are_detected() {
+        let mut mc = MultiCommodityProblem::random(2, 2, 2, 41);
+        for row in &mut mc.capacities {
+            for cap in row {
+                *cap = Rational::zero();
+            }
+        }
+        let solver = LocalSolver::new(mc.clone());
+        let err = solve_dantzig_wolfe(&mc, &solver, &DwOptions::default()).unwrap_err();
+        assert_eq!(err, DwError::Infeasible);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let mc = MultiCommodityProblem::random(2, 2, 3, 13);
+        let solver = LocalSolver::new(mc.clone());
+        let err = solve_dantzig_wolfe(
+            &mc,
+            &solver,
+            &DwOptions { max_iterations: 0, parallel: false },
+        )
+        .unwrap_err();
+        assert_eq!(err, DwError::IterationLimit);
+    }
+
+    #[test]
+    fn failing_solver_is_reported() {
+        struct Broken;
+        impl SubproblemSolver for Broken {
+            fn solve_subproblem(&self, _: usize, _: &[Vec<Rational>]) -> Result<Vec<Rational>, String> {
+                Err("remote solver unavailable".into())
+            }
+        }
+        let mc = MultiCommodityProblem::random(2, 2, 2, 5);
+        let err = solve_dantzig_wolfe(&mc, &Broken, &DwOptions::default()).unwrap_err();
+        assert!(matches!(err, DwError::Subproblem(m) if m.contains("unavailable")));
+    }
+}

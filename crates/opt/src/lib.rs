@@ -1,0 +1,30 @@
+//! Optimization modeling and solving for MathCloud.
+//!
+//! The paper's third application (§4, refs [12-13]) integrates "various
+//! optimization solvers intended for basic classes of mathematical
+//! programming problems and translators of AMPL optimization modeling
+//! language" as computational web services, validated with a Dantzig–Wolfe
+//! decomposition of the multi-commodity transportation problem running
+//! subproblems on a pool of solver services in parallel.
+//!
+//! This crate provides all of that from scratch:
+//!
+//! * [`lp`] — linear programs over exact rationals,
+//! * [`simplex`] — a two-phase primal simplex with Bland's rule (exact,
+//!   never cycles, returns primal and dual solutions),
+//! * [`ampl`] — an AMPL-subset modeling language (lexer → parser →
+//!   instantiation into [`lp::Lp`]),
+//! * [`transport`] — single- and multi-commodity transportation generators,
+//! * [`dw`] — Dantzig–Wolfe column generation with pluggable (and parallel)
+//!   subproblem solvers.
+
+pub mod ampl;
+pub mod dw;
+pub mod lp;
+pub mod simplex;
+pub mod transport;
+
+pub use ampl::{AmplError, Model};
+pub use dw::{solve_dantzig_wolfe, DwOptions, DwStats, SubproblemSolver};
+pub use lp::{Constraint, Lp, Relation};
+pub use simplex::{solve, LpOutcome, Solution};

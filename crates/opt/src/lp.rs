@@ -1,0 +1,228 @@
+//! Linear programs over exact rationals.
+
+use std::fmt;
+
+use mathcloud_exact::Rational;
+
+/// The sense of one linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `≤`
+    Le,
+    /// `=`
+    Eq,
+    /// `≥`
+    Ge,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relation::Le => "<=",
+            Relation::Eq => "=",
+            Relation::Ge => ">=",
+        })
+    }
+}
+
+/// One linear constraint `Σ coeffs[j]·x[j]  rel  rhs` (sparse coefficients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; unmentioned variables are 0.
+    pub coeffs: Vec<(usize, Rational)>,
+    /// The relation.
+    pub rel: Relation,
+    /// The right-hand side.
+    pub rhs: Rational,
+}
+
+/// A linear program: minimize `c·x` subject to constraints, `x ≥ 0`.
+///
+/// (Maximization is expressed by negating the objective; AMPL's `maximize`
+/// does exactly that during instantiation.)
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_exact::Rational;
+/// use mathcloud_opt::{Lp, Relation};
+///
+/// // min -x - y  s.t.  x + y <= 4,  x <= 2
+/// let one = || Rational::one();
+/// let mut lp = Lp::new(2);
+/// lp.set_objective(0, Rational::from(-1));
+/// lp.set_objective(1, Rational::from(-1));
+/// lp.constrain(vec![(0, one()), (1, one())], Relation::Le, Rational::from(4));
+/// lp.constrain(vec![(0, one())], Relation::Le, Rational::from(2));
+/// let sol = mathcloud_opt::solve(&lp).optimal().unwrap();
+/// assert_eq!(sol.objective, Rational::from(-4));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lp {
+    objective: Vec<Rational>,
+    constraints: Vec<Constraint>,
+    names: Vec<String>,
+}
+
+impl Lp {
+    /// Creates an LP with `vars` variables and a zero objective.
+    pub fn new(vars: usize) -> Self {
+        Lp {
+            objective: vec![Rational::zero(); vars],
+            constraints: Vec::new(),
+            names: (0..vars).map(|j| format!("x{j}")).collect(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds a variable, returning its index.
+    pub fn add_var(&mut self, name: &str) -> usize {
+        self.objective.push(Rational::zero());
+        self.names.push(name.to_string());
+        self.objective.len() - 1
+    }
+
+    /// Sets one objective coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective(&mut self, var: usize, coeff: impl Into<Rational>) {
+        self.objective[var] = coeff.into();
+    }
+
+    /// The objective coefficients.
+    pub fn objective(&self) -> &[Rational] {
+        &self.objective
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable is out of range.
+    pub fn constrain(
+        &mut self,
+        coeffs: Vec<(usize, impl Into<Rational>)>,
+        rel: Relation,
+        rhs: impl Into<Rational>,
+    ) {
+        let coeffs: Vec<(usize, Rational)> =
+            coeffs.into_iter().map(|(j, c)| (j, c.into())).collect();
+        for (j, _) in &coeffs {
+            assert!(*j < self.num_vars(), "constraint references unknown variable {j}");
+        }
+        self.constraints.push(Constraint { coeffs, rel, rhs: rhs.into() });
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The variable names (debugging / solution reporting).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Renames a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_name(&mut self, var: usize, name: &str) {
+        self.names[var] = name.to_string();
+    }
+
+    /// Evaluates the objective at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn objective_value(&self, x: &[Rational]) -> Rational {
+        assert_eq!(x.len(), self.num_vars(), "point has wrong dimension");
+        let mut total = Rational::zero();
+        for (c, v) in self.objective.iter().zip(x) {
+            if !c.is_zero() && !v.is_zero() {
+                total += &(c * v);
+            }
+        }
+        total
+    }
+
+    /// Checks feasibility of a point (exact, no tolerance needed).
+    pub fn is_feasible(&self, x: &[Rational]) -> bool {
+        if x.len() != self.num_vars() || x.iter().any(|v| v.signum() < 0) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let mut lhs = Rational::zero();
+            for (j, coeff) in &c.coeffs {
+                lhs += &(coeff * &x[*j]);
+            }
+            match c.rel {
+                Relation::Le => lhs <= c.rhs,
+                Relation::Eq => lhs == c.rhs,
+                Relation::Ge => lhs >= c.rhs,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let mut lp = Lp::new(2);
+        let z = lp.add_var("extra");
+        assert_eq!(z, 2);
+        assert_eq!(lp.num_vars(), 3);
+        lp.set_objective(0, r(5));
+        lp.constrain(vec![(0, r(1)), (2, r(2))], Relation::Ge, r(3));
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.names()[2], "extra");
+        lp.set_name(2, "y");
+        assert_eq!(lp.names()[2], "y");
+    }
+
+    #[test]
+    fn feasibility_is_exact() {
+        let mut lp = Lp::new(2);
+        lp.constrain(vec![(0, r(1)), (1, r(1))], Relation::Eq, r(1));
+        let half = Rational::from_ratio(1, 2);
+        assert!(lp.is_feasible(&[half.clone(), half.clone()]));
+        assert!(!lp.is_feasible(&[half.clone(), Rational::from_ratio(499_999, 1_000_000)]));
+        assert!(!lp.is_feasible(&[r(2), r(-1)]), "negative variables rejected");
+        assert!(!lp.is_feasible(&[r(1)]), "wrong dimension rejected");
+    }
+
+    #[test]
+    fn objective_evaluation() {
+        let mut lp = Lp::new(2);
+        lp.set_objective(0, r(3));
+        lp.set_objective(1, Rational::from_ratio(1, 2));
+        assert_eq!(lp.objective_value(&[r(2), r(4)]), r(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_with_bad_index_panics() {
+        let mut lp = Lp::new(1);
+        lp.constrain(vec![(5, r(1))], Relation::Le, r(1));
+    }
+}

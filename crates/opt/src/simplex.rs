@@ -1,0 +1,492 @@
+//! A two-phase primal simplex over exact rationals.
+//!
+//! Exact arithmetic removes every numerical-tolerance concern, and Bland's
+//! rule guarantees termination, so this solver is *decidable*: it always
+//! returns `Optimal`, `Infeasible` or `Unbounded` — the right foundation for
+//! the error-free optimization services of the paper's third application.
+
+use mathcloud_exact::Rational;
+
+use crate::lp::{Lp, Relation};
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal values of the original variables.
+    pub values: Vec<Rational>,
+    /// The optimal objective value (of the minimization).
+    pub objective: Rational,
+    /// Dual values `y = c_B·B⁻¹`, one per constraint in input order, such
+    /// that every column's reduced cost is `c_j − y·A_j`. Column generation
+    /// (Dantzig–Wolfe) prices candidate columns with exactly this vector.
+    pub duals: Vec<Rational>,
+}
+
+/// The outcome of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimum was found.
+    Optimal(Solution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Extracts the solution if optimal.
+    pub fn optimal(self) -> Option<Solution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Tableau {
+    /// Constraint coefficients, `rows × cols`.
+    t: Vec<Vec<Rational>>,
+    /// Right-hand sides (always ≥ 0).
+    rhs: Vec<Rational>,
+    /// Basic variable (column) of each row.
+    basis: Vec<usize>,
+    /// Per-column cost for the current phase.
+    cost: Vec<Rational>,
+    /// Columns barred from entering the basis (artificials in phase 2).
+    blocked: Vec<bool>,
+    /// For each row, the column that initially held `+1` in that row only
+    /// (slack or artificial) — reads off `B⁻¹` for dual extraction.
+    identity_col: Vec<usize>,
+    /// Original constraint index of each row.
+    row_origin: Vec<usize>,
+    /// Whether the original constraint was sign-flipped during
+    /// normalization.
+    flipped: Vec<bool>,
+}
+
+impl Tableau {
+    /// Reduced cost of column `j`: `c_j − c_B·T[:,j]` (the tableau column is
+    /// already `B⁻¹·A_j`, so it is priced with the *basic costs*, not with
+    /// the dual prices).
+    fn reduced_cost(&self, j: usize, basic_costs: &[Rational]) -> Rational {
+        let mut d = self.cost[j].clone();
+        for (r, cb) in basic_costs.iter().enumerate() {
+            if !cb.is_zero() && !self.t[r][j].is_zero() {
+                d -= &(cb * &self.t[r][j]);
+            }
+        }
+        d
+    }
+
+    /// Current prices `y` with `y_i` read through the identity columns.
+    fn prices(&self) -> Vec<Rational> {
+        // y = c_B·B⁻¹; row i of B⁻¹ is not directly stored, but column k of
+        // B⁻¹ is the tableau column of the k-th initial identity column, so
+        // y_k = Σ_r c_B[r]·T[r][identity_col[k]].
+        (0..self.t.len())
+            .map(|k| {
+                let col = self.identity_col[k];
+                let mut yk = Rational::zero();
+                for (r, row) in self.t.iter().enumerate() {
+                    let cb = &self.cost[self.basis[r]];
+                    if !cb.is_zero() && !row[col].is_zero() {
+                        yk += &(cb * &row[col]);
+                    }
+                }
+                yk
+            })
+            .collect()
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.t[row][col].clone();
+        let inv = pivot.recip();
+        for v in &mut self.t[row] {
+            *v *= &inv;
+        }
+        self.rhs[row] *= &inv;
+        let pivot_row = self.t[row].clone();
+        let pivot_rhs = self.rhs[row].clone();
+        for r in 0..self.t.len() {
+            if r == row || self.t[r][col].is_zero() {
+                continue;
+            }
+            let factor = self.t[r][col].clone();
+            for (j, pv) in pivot_row.iter().enumerate() {
+                if pv.is_zero() {
+                    continue;
+                }
+                let delta = &factor * pv;
+                let v = &self.t[r][j] - &delta;
+                self.t[r][j] = v;
+            }
+            let delta = &factor * &pivot_rhs;
+            let v = &self.rhs[r] - &delta;
+            self.rhs[r] = v;
+        }
+        self.basis[row] = col;
+    }
+
+    /// One phase of simplex with Bland's rule. Returns `false` when the
+    /// problem is unbounded in this phase.
+    fn optimize(&mut self) -> bool {
+        loop {
+            let basic_costs: Vec<Rational> =
+                self.basis.iter().map(|&b| self.cost[b].clone()).collect();
+            // Bland: entering column = lowest index with negative reduced
+            // cost.
+            let mut entering = None;
+            for j in 0..self.cost.len() {
+                if self.blocked[j] || self.basis.contains(&j) {
+                    continue;
+                }
+                if self.reduced_cost(j, &basic_costs).signum() < 0 {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(e) = entering else { return true };
+            // Ratio test; Bland tie-break on the leaving basic variable.
+            let mut leave: Option<(usize, Rational)> = None;
+            for r in 0..self.t.len() {
+                if self.t[r][e].signum() <= 0 {
+                    continue;
+                }
+                let ratio = &self.rhs[r] / &self.t[r][e];
+                let better = match &leave {
+                    None => true,
+                    Some((lr, lratio)) => {
+                        ratio < *lratio || (ratio == *lratio && self.basis[r] < self.basis[*lr])
+                    }
+                };
+                if better {
+                    leave = Some((r, ratio));
+                }
+            }
+            let Some((r, _)) = leave else { return false };
+            self.pivot(r, e);
+        }
+    }
+}
+
+/// Solves an LP exactly.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_exact::Rational;
+/// use mathcloud_opt::{solve, Lp, LpOutcome, Relation};
+///
+/// // min x  s.t.  x >= 3
+/// let mut lp = Lp::new(1);
+/// lp.set_objective(0, Rational::from(1));
+/// lp.constrain(vec![(0, Rational::from(1))], Relation::Ge, Rational::from(3));
+/// let sol = solve(&lp).optimal().unwrap();
+/// assert_eq!(sol.values[0], Rational::from(3));
+/// ```
+pub fn solve(lp: &Lp) -> LpOutcome {
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+    if m == 0 {
+        // Feasible iff every objective coefficient ≥ 0 at x = 0 (otherwise
+        // unbounded since x is only bounded below).
+        if lp.objective().iter().any(|c| c.signum() < 0) {
+            return LpOutcome::Unbounded;
+        }
+        return LpOutcome::Optimal(Solution {
+            values: vec![Rational::zero(); n],
+            objective: Rational::zero(),
+            duals: Vec::new(),
+        });
+    }
+
+    // Normalize rows to rhs >= 0 and build dense rows.
+    let mut rows: Vec<(Vec<Rational>, Relation, Rational, bool)> = Vec::with_capacity(m);
+    for c in lp.constraints() {
+        let mut dense = vec![Rational::zero(); n];
+        for (j, coeff) in &c.coeffs {
+            dense[*j] = &dense[*j] + coeff;
+        }
+        if c.rhs.signum() < 0 {
+            for v in &mut dense {
+                *v = -std::mem::take(v);
+            }
+            let rel = match c.rel {
+                Relation::Le => Relation::Ge,
+                Relation::Eq => Relation::Eq,
+                Relation::Ge => Relation::Le,
+            };
+            rows.push((dense, rel, -c.rhs.clone(), true));
+        } else {
+            rows.push((dense, c.rel, c.rhs.clone(), false));
+        }
+    }
+
+    // Column layout: originals | slacks/surplus | artificials.
+    let mut extra_cols = 0usize;
+    for (_, rel, _, _) in &rows {
+        extra_cols += match rel {
+            Relation::Le => 1,
+            Relation::Eq => 1,
+            Relation::Ge => 2,
+        };
+    }
+    let total = n + extra_cols;
+    let mut t = vec![vec![Rational::zero(); total]; m];
+    let mut rhs = Vec::with_capacity(m);
+    let mut basis = vec![0usize; m];
+    let mut identity_col = vec![0usize; m];
+    let mut is_artificial = vec![false; total];
+    let mut flipped = Vec::with_capacity(m);
+    let mut next = n;
+    for (i, (dense, rel, b, flip)) in rows.into_iter().enumerate() {
+        t[i][..n].clone_from_slice(&dense);
+        rhs.push(b);
+        flipped.push(flip);
+        match rel {
+            Relation::Le => {
+                t[i][next] = Rational::one(); // slack
+                basis[i] = next;
+                identity_col[i] = next;
+                next += 1;
+            }
+            Relation::Ge => {
+                t[i][next] = Rational::from(-1); // surplus
+                next += 1;
+                t[i][next] = Rational::one(); // artificial
+                is_artificial[next] = true;
+                basis[i] = next;
+                identity_col[i] = next;
+                next += 1;
+            }
+            Relation::Eq => {
+                t[i][next] = Rational::one(); // artificial
+                is_artificial[next] = true;
+                basis[i] = next;
+                identity_col[i] = next;
+                next += 1;
+            }
+        }
+    }
+    debug_assert_eq!(next, total);
+
+    // Phase 1: minimize the sum of artificials.
+    let mut tab = Tableau {
+        t,
+        rhs,
+        basis,
+        cost: (0..total)
+            .map(|j| if is_artificial[j] { Rational::one() } else { Rational::zero() })
+            .collect(),
+        blocked: vec![false; total],
+        identity_col,
+        row_origin: (0..m).collect(),
+        flipped,
+    };
+    if !tab.optimize() {
+        // Phase 1 objective is bounded below by 0, so this cannot happen;
+        // defensive fall-through.
+        return LpOutcome::Infeasible;
+    }
+    // Feasible iff all artificials are zero.
+    let phase1_obj: Rational = (0..m)
+        .map(|r| {
+            if is_artificial[tab.basis[r]] {
+                tab.rhs[r].clone()
+            } else {
+                Rational::zero()
+            }
+        })
+        .sum();
+    if !phase1_obj.is_zero() {
+        return LpOutcome::Infeasible;
+    }
+    // Drive basic artificials out where possible (they sit at value 0).
+    for r in 0..m {
+        if !is_artificial[tab.basis[r]] {
+            continue;
+        }
+        if let Some(col) = (0..total).find(|&j| !is_artificial[j] && !tab.t[r][j].is_zero()) {
+            tab.pivot(r, col);
+        }
+        // Otherwise the row is redundant; the artificial stays basic at 0
+        // and its column is blocked below, so it can never grow.
+    }
+
+    // Phase 2: original costs, artificials barred from entering.
+    for (j, &artificial) in is_artificial.iter().enumerate() {
+        tab.cost[j] = if j < n { lp.objective()[j].clone() } else { Rational::zero() };
+        tab.blocked[j] = artificial;
+    }
+    if !tab.optimize() {
+        return LpOutcome::Unbounded;
+    }
+
+    // Extract the primal point.
+    let mut values = vec![Rational::zero(); n];
+    for r in 0..m {
+        if tab.basis[r] < n {
+            values[tab.basis[r]] = tab.rhs[r].clone();
+        }
+    }
+    let objective = lp.objective_value(&values);
+
+    // Extract duals, unflipping normalized rows.
+    let y = tab.prices();
+    let mut duals = vec![Rational::zero(); m];
+    for (k, yk) in y.into_iter().enumerate() {
+        let orig = tab.row_origin[k];
+        duals[orig] = if tab.flipped[k] { -yk } else { yk };
+    }
+
+    LpOutcome::Optimal(Solution { values, objective, duals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    fn rr(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Hillier &
+        // Lieberman) — optimum (2, 6) with value 36.
+        let mut lp = Lp::new(2);
+        lp.set_objective(0, r(-3));
+        lp.set_objective(1, r(-5));
+        lp.constrain(vec![(0, r(1))], Relation::Le, r(4));
+        lp.constrain(vec![(1, r(2))], Relation::Le, r(12));
+        lp.constrain(vec![(0, r(3)), (1, r(2))], Relation::Le, r(18));
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.values, vec![r(2), r(6)]);
+        assert_eq!(sol.objective, r(-36));
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x >= 3 — optimum (10-? ) with y free..
+        // x=10,y=0 gives 20; but x>=3 only. Optimum x=10, y=0 → 20.
+        let mut lp = Lp::new(2);
+        lp.set_objective(0, r(2));
+        lp.set_objective(1, r(3));
+        lp.constrain(vec![(0, r(1)), (1, r(1))], Relation::Eq, r(10));
+        lp.constrain(vec![(0, r(1))], Relation::Ge, r(3));
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.values, vec![r(10), r(0)]);
+        assert_eq!(sol.objective, r(20));
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // min x + y s.t. 3x + y >= 1, x + 3y >= 1 — optimum x=y=1/4.
+        let mut lp = Lp::new(2);
+        lp.set_objective(0, r(1));
+        lp.set_objective(1, r(1));
+        lp.constrain(vec![(0, r(3)), (1, r(1))], Relation::Ge, r(1));
+        lp.constrain(vec![(0, r(1)), (1, r(3))], Relation::Ge, r(1));
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.values, vec![rr(1, 4), rr(1, 4)]);
+        assert_eq!(sol.objective, rr(1, 2));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = Lp::new(1);
+        lp.constrain(vec![(0, r(1))], Relation::Le, r(1));
+        lp.constrain(vec![(0, r(1))], Relation::Ge, r(2));
+        assert_eq!(solve(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = Lp::new(1);
+        lp.set_objective(0, r(-1));
+        lp.constrain(vec![(0, r(-1))], Relation::Le, r(0)); // -x <= 0, i.e. x >= 0
+        assert_eq!(solve(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_cases() {
+        let mut lp = Lp::new(2);
+        lp.set_objective(0, r(1));
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.objective, r(0));
+        let mut lp = Lp::new(1);
+        lp.set_objective(0, r(-1));
+        assert_eq!(solve(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -2 means y >= x + 2; min y is 2 at x=0.
+        let mut lp = Lp::new(2);
+        lp.set_objective(1, r(1));
+        lp.constrain(vec![(0, r(1)), (1, r(-1))], Relation::Le, r(-2));
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.values[1], r(2));
+    }
+
+    #[test]
+    fn degenerate_problems_terminate() {
+        // A classic cycling example (Beale) — Bland's rule must terminate.
+        let mut lp = Lp::new(4);
+        lp.set_objective(0, rr(-3, 4));
+        lp.set_objective(1, r(150));
+        lp.set_objective(2, rr(-1, 50));
+        lp.set_objective(3, r(6));
+        lp.constrain(
+            vec![(0, rr(1, 4)), (1, r(-60)), (2, rr(-1, 25)), (3, r(9))],
+            Relation::Le,
+            r(0),
+        );
+        lp.constrain(
+            vec![(0, rr(1, 2)), (1, r(-90)), (2, rr(-1, 50)), (3, r(3))],
+            Relation::Le,
+            r(0),
+        );
+        lp.constrain(vec![(2, r(1))], Relation::Le, r(1));
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.objective, rr(-1, 20));
+    }
+
+    #[test]
+    fn duals_price_columns_correctly() {
+        // min c·x with all-<= rows: at optimum, every column's reduced cost
+        // c_j - y·A_j must be >= 0, and basic columns price to exactly 0.
+        let mut lp = Lp::new(2);
+        lp.set_objective(0, r(-3));
+        lp.set_objective(1, r(-5));
+        lp.constrain(vec![(0, r(1))], Relation::Le, r(4));
+        lp.constrain(vec![(1, r(2))], Relation::Le, r(12));
+        lp.constrain(vec![(0, r(3)), (1, r(2))], Relation::Le, r(18));
+        let sol = solve(&lp).optimal().unwrap();
+        let y = &sol.duals;
+        // Column 0: c0 - (y0*1 + y2*3) >= 0; column 1: c1 - (y1*2 + y2*2) >= 0.
+        let rc0 = &r(-3) - &(&y[0] + &(&y[2] * &r(3)));
+        let rc1 = &r(-5) - &(&(&y[1] * &r(2)) + &(&y[2] * &r(2)));
+        assert!(rc0.signum() >= 0, "rc0={rc0}");
+        assert!(rc1.signum() >= 0, "rc1={rc1}");
+        // Strong duality: y·b == objective.
+        let yb = &(&y[0] * &r(4)) + &(&(&y[1] * &r(12)) + &(&y[2] * &r(18)));
+        assert_eq!(yb, sol.objective);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // x + y = 2 written twice.
+        let mut lp = Lp::new(2);
+        lp.set_objective(0, r(1));
+        lp.constrain(vec![(0, r(1)), (1, r(1))], Relation::Eq, r(2));
+        lp.constrain(vec![(0, r(1)), (1, r(1))], Relation::Eq, r(2));
+        let sol = solve(&lp).optimal().unwrap();
+        assert_eq!(sol.objective, r(0));
+        assert_eq!(sol.values[1], r(2));
+    }
+}

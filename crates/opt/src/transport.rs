@@ -1,0 +1,272 @@
+//! Transportation problems, single- and multi-commodity.
+//!
+//! The multi-commodity transportation problem is the validation case the
+//! paper uses for its distributed Dantzig–Wolfe decomposition: commodities
+//! share arc capacities, which is exactly the block-angular structure column
+//! generation exploits.
+
+use mathcloud_exact::Rational;
+
+use crate::lp::{Lp, Relation};
+
+/// A (balanced) single-commodity transportation problem.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_opt::transport::TransportationProblem;
+///
+/// let p = TransportationProblem::random(3, 4, 42);
+/// let sol = mathcloud_opt::solve(&p.to_lp()).optimal().expect("balanced instance");
+/// assert!(sol.objective.signum() >= 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportationProblem {
+    /// Supply available at each source.
+    pub supplies: Vec<Rational>,
+    /// Demand required at each sink.
+    pub demands: Vec<Rational>,
+    /// `costs[i][j]` — unit cost of shipping source `i` → sink `j`.
+    pub costs: Vec<Vec<Rational>>,
+}
+
+impl TransportationProblem {
+    /// Number of sources.
+    pub fn sources(&self) -> usize {
+        self.supplies.len()
+    }
+
+    /// Number of sinks.
+    pub fn sinks(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Variable index of arc `(i, j)` in [`TransportationProblem::to_lp`].
+    pub fn arc(&self, i: usize, j: usize) -> usize {
+        i * self.sinks() + j
+    }
+
+    /// Builds the LP: minimize shipping cost subject to supply (≤) and
+    /// demand (≥) rows.
+    pub fn to_lp(&self) -> Lp {
+        self.to_lp_with_costs(&self.costs)
+    }
+
+    /// Builds the LP with substituted arc costs — the Dantzig–Wolfe pricing
+    /// subproblem uses this with dual-adjusted costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` has the wrong shape.
+    pub fn to_lp_with_costs(&self, costs: &[Vec<Rational>]) -> Lp {
+        let (n, m) = (self.sources(), self.sinks());
+        assert_eq!(costs.len(), n, "cost matrix has wrong row count");
+        let mut lp = Lp::new(n * m);
+        for (i, cost_row) in costs.iter().enumerate() {
+            assert_eq!(cost_row.len(), m, "cost matrix has wrong column count");
+            for (j, c) in cost_row.iter().enumerate() {
+                lp.set_objective(self.arc(i, j), c.clone());
+                lp.set_name(self.arc(i, j), &format!("x[{i},{j}]"));
+            }
+        }
+        for i in 0..n {
+            let row: Vec<(usize, Rational)> =
+                (0..m).map(|j| (self.arc(i, j), Rational::one())).collect();
+            lp.constrain(row, Relation::Le, self.supplies[i].clone());
+        }
+        for j in 0..m {
+            let row: Vec<(usize, Rational)> =
+                (0..n).map(|i| (self.arc(i, j), Rational::one())).collect();
+            lp.constrain(row, Relation::Ge, self.demands[j].clone());
+        }
+        lp
+    }
+
+    /// Deterministic pseudo-random balanced instance (LCG; no external RNG
+    /// so instances are reproducible across platforms).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn random(sources: usize, sinks: usize, seed: u64) -> Self {
+        assert!(sources > 0 && sinks > 0, "need at least one source and sink");
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let costs: Vec<Vec<Rational>> = (0..sources)
+            .map(|_| (0..sinks).map(|_| Rational::from(1 + next() % 20)).collect())
+            .collect();
+        let demands: Vec<Rational> = (0..sinks).map(|_| Rational::from(1 + next() % 10)).collect();
+        let total_demand: Rational = demands.iter().cloned().sum();
+        // Spread total demand over sources, giving the last source the
+        // remainder so the instance is exactly balanced.
+        let mut supplies = Vec::with_capacity(sources);
+        let mut assigned = Rational::zero();
+        for i in 0..sources {
+            if i + 1 == sources {
+                supplies.push(&total_demand - &assigned);
+            } else {
+                let share = &total_demand / &Rational::from(sources as i64);
+                let floor = Rational::from(share.numer().clone() / share.denom().clone());
+                assigned += &floor;
+                supplies.push(floor);
+            }
+        }
+        TransportationProblem { supplies, demands, costs }
+    }
+
+    /// Total demand (== total supply for balanced instances).
+    pub fn total_demand(&self) -> Rational {
+        self.demands.iter().cloned().sum()
+    }
+}
+
+/// A multi-commodity transportation problem: per-commodity transportation
+/// structure plus shared arc capacities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCommodityProblem {
+    /// The commodities (all over the same source/sink sets).
+    pub commodities: Vec<TransportationProblem>,
+    /// `capacities[i][j]` — shared capacity of arc `(i, j)`.
+    pub capacities: Vec<Vec<Rational>>,
+}
+
+impl MultiCommodityProblem {
+    /// Number of commodities.
+    pub fn num_commodities(&self) -> usize {
+        self.commodities.len()
+    }
+
+    /// Sources/sinks shape, taken from the first commodity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no commodities.
+    pub fn shape(&self) -> (usize, usize) {
+        let first = self.commodities.first().expect("at least one commodity");
+        (first.sources(), first.sinks())
+    }
+
+    /// Builds the full (undecomposed) LP: the baseline a single monolithic
+    /// solver would tackle.
+    pub fn to_lp(&self) -> Lp {
+        let (n, m) = self.shape();
+        let k = self.num_commodities();
+        let mut lp = Lp::new(k * n * m);
+        let var = |c: usize, i: usize, j: usize| c * n * m + i * m + j;
+        for (c, prob) in self.commodities.iter().enumerate() {
+            for i in 0..n {
+                for j in 0..m {
+                    lp.set_objective(var(c, i, j), prob.costs[i][j].clone());
+                    lp.set_name(var(c, i, j), &format!("x[{c},{i},{j}]"));
+                }
+            }
+            for i in 0..n {
+                let row: Vec<(usize, Rational)> =
+                    (0..m).map(|j| (var(c, i, j), Rational::one())).collect();
+                lp.constrain(row, Relation::Le, prob.supplies[i].clone());
+            }
+            for j in 0..m {
+                let row: Vec<(usize, Rational)> =
+                    (0..n).map(|i| (var(c, i, j), Rational::one())).collect();
+                lp.constrain(row, Relation::Ge, prob.demands[j].clone());
+            }
+        }
+        // Coupling: Σ_c x[c,i,j] <= capacity[i][j].
+        for i in 0..n {
+            for j in 0..m {
+                let row: Vec<(usize, Rational)> =
+                    (0..k).map(|c| (var(c, i, j), Rational::one())).collect();
+                lp.constrain(row, Relation::Le, self.capacities[i][j].clone());
+            }
+        }
+        lp
+    }
+
+    /// Deterministic random instance with `k` commodities. Capacities are
+    /// sized near total flow so coupling constraints bind without making the
+    /// instance infeasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn random(k: usize, sources: usize, sinks: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one commodity");
+        let commodities: Vec<TransportationProblem> = (0..k)
+            .map(|c| TransportationProblem::random(sources, sinks, seed.wrapping_add(c as u64 * 7919)))
+            .collect();
+        let total: Rational = commodities.iter().map(TransportationProblem::total_demand).sum();
+        // Capacity per arc: generous enough to stay feasible, tight enough
+        // that several arcs bind.
+        let arcs = (sources * sinks) as i64;
+        let per_arc = &(&total * &Rational::from(3)) / &Rational::from(arcs);
+        let capacities: Vec<Vec<Rational>> =
+            (0..sources).map(|_| (0..sinks).map(|_| per_arc.clone()).collect()).collect();
+        MultiCommodityProblem { commodities, capacities }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::solve;
+
+    #[test]
+    fn random_instances_are_balanced_and_solvable() {
+        for seed in [1u64, 7, 42] {
+            let p = TransportationProblem::random(3, 4, seed);
+            let supply: Rational = p.supplies.iter().cloned().sum();
+            assert_eq!(supply, p.total_demand(), "seed {seed}");
+            let sol = solve(&p.to_lp()).optimal().expect("balanced => feasible");
+            assert!(p.to_lp().is_feasible(&sol.values));
+        }
+    }
+
+    #[test]
+    fn known_small_instance() {
+        // 2 sources, 2 sinks; cheapest assignment is the diagonal.
+        let p = TransportationProblem {
+            supplies: vec![Rational::from(5), Rational::from(5)],
+            demands: vec![Rational::from(5), Rational::from(5)],
+            costs: vec![
+                vec![Rational::from(1), Rational::from(10)],
+                vec![Rational::from(10), Rational::from(1)],
+            ],
+        };
+        let sol = solve(&p.to_lp()).optimal().unwrap();
+        assert_eq!(sol.objective, Rational::from(10));
+        assert_eq!(sol.values[p.arc(0, 0)], Rational::from(5));
+        assert_eq!(sol.values[p.arc(1, 1)], Rational::from(5));
+    }
+
+    #[test]
+    fn infeasible_when_demand_exceeds_supply() {
+        let p = TransportationProblem {
+            supplies: vec![Rational::from(1)],
+            demands: vec![Rational::from(2)],
+            costs: vec![vec![Rational::from(1)]],
+        };
+        assert_eq!(solve(&p.to_lp()), crate::LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn substituted_costs_change_the_objective_only() {
+        let p = TransportationProblem::random(2, 3, 5);
+        let zero_costs: Vec<Vec<Rational>> = vec![vec![Rational::zero(); p.sinks()]; p.sources()];
+        let sol = solve(&p.to_lp_with_costs(&zero_costs)).optimal().unwrap();
+        assert_eq!(sol.objective, Rational::zero());
+    }
+
+    #[test]
+    fn multicommodity_lp_shape_and_feasibility() {
+        let mc = MultiCommodityProblem::random(2, 2, 3, 9);
+        let lp = mc.to_lp();
+        let (n, m) = mc.shape();
+        assert_eq!(lp.num_vars(), 2 * n * m);
+        assert_eq!(lp.num_constraints(), 2 * (n + m) + n * m);
+        let sol = solve(&lp).optimal().expect("generated instances are feasible");
+        assert!(lp.is_feasible(&sol.values));
+    }
+}

@@ -1,0 +1,386 @@
+//! Simulated certificates, certificate authorities and OpenID providers.
+
+use std::error::Error;
+use std::fmt;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use mathcloud_json::value::Object;
+use mathcloud_json::Value;
+
+use crate::sha256::{hmac, to_hex, verify_mac};
+
+/// Seconds since the Unix epoch.
+fn now_secs() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+/// Errors from credential verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// The signature does not verify under the authority's secret.
+    BadSignature,
+    /// The credential is outside its validity window.
+    Expired,
+    /// The credential names a different issuer than the verifying authority.
+    WrongIssuer {
+        /// Issuer named in the credential.
+        expected: String,
+        /// The verifying authority.
+        got: String,
+    },
+    /// The credential document is structurally invalid.
+    Malformed(String),
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::BadSignature => write!(f, "signature verification failed"),
+            CertificateError::Expired => write!(f, "credential expired or not yet valid"),
+            CertificateError::WrongIssuer { expected, got } => {
+                write!(f, "wrong issuer: credential names {expected:?}, verifier is {got:?}")
+            }
+            CertificateError::Malformed(m) => write!(f, "malformed credential: {m}"),
+        }
+    }
+}
+
+impl Error for CertificateError {}
+
+/// A simulated X.509-style certificate.
+///
+/// The signed payload binds subject, issuer and validity window with
+/// HMAC-SHA-256 under the issuing CA's secret — structurally the same trust
+/// statement as an X.509 signature, minus the asymmetric crypto (see
+/// DESIGN.md substitutions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Subject distinguished name.
+    pub subject: String,
+    /// Issuing authority name.
+    pub issuer: String,
+    /// Validity start (Unix seconds).
+    pub not_before: u64,
+    /// Validity end (Unix seconds).
+    pub not_after: u64,
+    /// Hex HMAC over the other fields.
+    pub signature: String,
+}
+
+impl Certificate {
+    fn signed_payload(subject: &str, issuer: &str, not_before: u64, not_after: u64) -> String {
+        format!("cert|{subject}|{issuer}|{not_before}|{not_after}")
+    }
+
+    /// Serializes to the JSON form carried in HTTP headers.
+    pub fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("subject".into(), Value::from(self.subject.as_str()));
+        o.insert("issuer".into(), Value::from(self.issuer.as_str()));
+        o.insert("not_before".into(), Value::from(self.not_before as i64));
+        o.insert("not_after".into(), Value::from(self.not_after as i64));
+        o.insert("signature".into(), Value::from(self.signature.as_str()));
+        Value::Object(o)
+    }
+
+    /// Parses the JSON form.
+    ///
+    /// # Errors
+    ///
+    /// [`CertificateError::Malformed`] when fields are missing.
+    pub fn from_value(v: &Value) -> Result<Self, CertificateError> {
+        let field = |name: &str| {
+            v.str_field(name)
+                .map(String::from)
+                .ok_or_else(|| CertificateError::Malformed(format!("missing {name}")))
+        };
+        let int_field = |name: &str| {
+            v.int_field(name)
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| CertificateError::Malformed(format!("missing {name}")))
+        };
+        Ok(Certificate {
+            subject: field("subject")?,
+            issuer: field("issuer")?,
+            not_before: int_field("not_before")?,
+            not_after: int_field("not_after")?,
+            signature: field("signature")?,
+        })
+    }
+
+    /// The compact single-header encoding (compact JSON).
+    pub fn encode(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    /// Parses the [`Certificate::encode`] form.
+    ///
+    /// # Errors
+    ///
+    /// [`CertificateError::Malformed`] on bad JSON or missing fields.
+    pub fn decode(s: &str) -> Result<Self, CertificateError> {
+        let v = mathcloud_json::parse(s)
+            .map_err(|e| CertificateError::Malformed(e.to_string()))?;
+        Certificate::from_value(&v)
+    }
+}
+
+/// A certificate authority: issues and verifies [`Certificate`]s.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_security::CertificateAuthority;
+///
+/// let ca = CertificateAuthority::new("mathcloud-ca");
+/// let cert = ca.issue("CN=everest-container", 86400);
+/// assert!(ca.verify(&cert).is_ok());
+///
+/// let other = CertificateAuthority::new("rogue-ca");
+/// assert!(other.verify(&cert).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    name: String,
+    secret: Vec<u8>,
+}
+
+impl CertificateAuthority {
+    /// Creates an authority with a secret derived from its name.
+    ///
+    /// Deterministic secrets keep tests and examples reproducible; use
+    /// [`CertificateAuthority::with_secret`] for per-deployment secrets.
+    pub fn new(name: &str) -> Self {
+        let secret = crate::sha256::digest(format!("ca-secret:{name}").as_bytes()).to_vec();
+        CertificateAuthority { name: name.to_string(), secret }
+    }
+
+    /// Creates an authority with an explicit secret.
+    pub fn with_secret(name: &str, secret: &[u8]) -> Self {
+        CertificateAuthority { name: name.to_string(), secret: secret.to_vec() }
+    }
+
+    /// The authority name, used as the issuer DN.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Issues a certificate for `subject`, valid for `ttl_secs` from now.
+    pub fn issue(&self, subject: &str, ttl_secs: u64) -> Certificate {
+        let not_before = now_secs().saturating_sub(60); // tolerate clock skew
+        let not_after = now_secs() + ttl_secs;
+        self.issue_with_validity(subject, not_before, not_after)
+    }
+
+    /// Issues a certificate with an explicit validity window.
+    pub fn issue_with_validity(&self, subject: &str, not_before: u64, not_after: u64) -> Certificate {
+        let payload = Certificate::signed_payload(subject, &self.name, not_before, not_after);
+        let signature = to_hex(&hmac(&self.secret, payload.as_bytes()));
+        Certificate {
+            subject: subject.to_string(),
+            issuer: self.name.clone(),
+            not_before,
+            not_after,
+            signature,
+        }
+    }
+
+    /// Verifies issuer, validity window and signature.
+    ///
+    /// # Errors
+    ///
+    /// The first failing check is reported.
+    pub fn verify(&self, cert: &Certificate) -> Result<(), CertificateError> {
+        if cert.issuer != self.name {
+            return Err(CertificateError::WrongIssuer {
+                expected: cert.issuer.clone(),
+                got: self.name.clone(),
+            });
+        }
+        let now = now_secs();
+        if now < cert.not_before || now > cert.not_after {
+            return Err(CertificateError::Expired);
+        }
+        let payload =
+            Certificate::signed_payload(&cert.subject, &cert.issuer, cert.not_before, cert.not_after);
+        let expected = hmac(&self.secret, payload.as_bytes());
+        if verify_mac(&expected, &cert.signature) {
+            Ok(())
+        } else {
+            Err(CertificateError::BadSignature)
+        }
+    }
+}
+
+/// A signed OpenID-style token, the stand-in for Loginza-brokered logins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenIdToken {
+    /// The user's OpenID identifier.
+    pub identifier: String,
+    /// The issuing provider name.
+    pub provider: String,
+    /// Expiry (Unix seconds).
+    pub expires: u64,
+    /// Hex HMAC over the other fields.
+    pub signature: String,
+}
+
+impl OpenIdToken {
+    fn signed_payload(identifier: &str, provider: &str, expires: u64) -> String {
+        format!("openid|{identifier}|{provider}|{expires}")
+    }
+
+    /// Compact encoding carried in the `Authorization` header.
+    pub fn encode(&self) -> String {
+        format!("{}|{}|{}|{}", self.identifier, self.provider, self.expires, self.signature)
+    }
+
+    /// Parses the [`OpenIdToken::encode`] form.
+    ///
+    /// # Errors
+    ///
+    /// [`CertificateError::Malformed`] on the wrong number of fields.
+    pub fn decode(s: &str) -> Result<Self, CertificateError> {
+        let parts: Vec<&str> = s.split('|').collect();
+        if parts.len() != 4 {
+            return Err(CertificateError::Malformed("openid token needs 4 fields".into()));
+        }
+        let expires: u64 = parts[2]
+            .parse()
+            .map_err(|_| CertificateError::Malformed("bad expiry".into()))?;
+        Ok(OpenIdToken {
+            identifier: parts[0].to_string(),
+            provider: parts[1].to_string(),
+            expires,
+            signature: parts[3].to_string(),
+        })
+    }
+}
+
+/// An OpenID identity provider (Google, Facebook, … in the paper; simulated
+/// here), playing the same role as [`CertificateAuthority`] for tokens.
+#[derive(Debug, Clone)]
+pub struct OpenIdProvider {
+    name: String,
+    secret: Vec<u8>,
+}
+
+impl OpenIdProvider {
+    /// Creates a provider with a secret derived from its name.
+    pub fn new(name: &str) -> Self {
+        let secret = crate::sha256::digest(format!("openid-secret:{name}").as_bytes()).to_vec();
+        OpenIdProvider { name: name.to_string(), secret }
+    }
+
+    /// The provider name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Issues a token for `identifier`, valid for `ttl_secs`.
+    pub fn login(&self, identifier: &str, ttl_secs: u64) -> OpenIdToken {
+        let expires = now_secs() + ttl_secs;
+        let payload = OpenIdToken::signed_payload(identifier, &self.name, expires);
+        OpenIdToken {
+            identifier: identifier.to_string(),
+            provider: self.name.clone(),
+            expires,
+            signature: to_hex(&hmac(&self.secret, payload.as_bytes())),
+        }
+    }
+
+    /// Verifies provider, expiry and signature.
+    ///
+    /// # Errors
+    ///
+    /// The first failing check is reported.
+    pub fn verify(&self, token: &OpenIdToken) -> Result<(), CertificateError> {
+        if token.provider != self.name {
+            return Err(CertificateError::WrongIssuer {
+                expected: token.provider.clone(),
+                got: self.name.clone(),
+            });
+        }
+        if now_secs() > token.expires {
+            return Err(CertificateError::Expired);
+        }
+        let payload = OpenIdToken::signed_payload(&token.identifier, &token.provider, token.expires);
+        let expected = hmac(&self.secret, payload.as_bytes());
+        if verify_mac(&expected, &token.signature) {
+            Ok(())
+        } else {
+            Err(CertificateError::BadSignature)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_verify() {
+        let ca = CertificateAuthority::new("ca");
+        let cert = ca.issue("CN=alice", 600);
+        assert!(ca.verify(&cert).is_ok());
+    }
+
+    #[test]
+    fn tampered_subject_fails() {
+        let ca = CertificateAuthority::new("ca");
+        let mut cert = ca.issue("CN=alice", 600);
+        cert.subject = "CN=mallory".into();
+        assert_eq!(ca.verify(&cert).unwrap_err(), CertificateError::BadSignature);
+    }
+
+    #[test]
+    fn expired_certificate_fails() {
+        let ca = CertificateAuthority::new("ca");
+        let cert = ca.issue_with_validity("CN=alice", 0, 1);
+        assert_eq!(ca.verify(&cert).unwrap_err(), CertificateError::Expired);
+        let cert = ca.issue_with_validity("CN=alice", u64::MAX - 1, u64::MAX);
+        assert_eq!(ca.verify(&cert).unwrap_err(), CertificateError::Expired);
+    }
+
+    #[test]
+    fn wrong_authority_fails() {
+        let ca = CertificateAuthority::new("ca");
+        let cert = ca.issue("CN=alice", 600);
+        let rogue = CertificateAuthority::with_secret("ca", b"different secret");
+        assert_eq!(rogue.verify(&cert).unwrap_err(), CertificateError::BadSignature);
+        let other_name = CertificateAuthority::new("other");
+        assert!(matches!(
+            other_name.verify(&cert).unwrap_err(),
+            CertificateError::WrongIssuer { .. }
+        ));
+    }
+
+    #[test]
+    fn certificate_wire_round_trip() {
+        let ca = CertificateAuthority::new("ca");
+        let cert = ca.issue("CN=service,O=grid", 600);
+        let decoded = Certificate::decode(&cert.encode()).unwrap();
+        assert_eq!(decoded, cert);
+        assert!(ca.verify(&decoded).is_ok());
+        assert!(Certificate::decode("not json").is_err());
+        assert!(Certificate::decode("{}").is_err());
+    }
+
+    #[test]
+    fn openid_token_lifecycle() {
+        let provider = OpenIdProvider::new("google-sim");
+        let token = provider.login("https://id/alice", 600);
+        assert!(provider.verify(&token).is_ok());
+        let decoded = OpenIdToken::decode(&token.encode()).unwrap();
+        assert_eq!(decoded, token);
+
+        let mut forged = token.clone();
+        forged.identifier = "https://id/mallory".into();
+        assert_eq!(provider.verify(&forged).unwrap_err(), CertificateError::BadSignature);
+
+        let other = OpenIdProvider::new("facebook-sim");
+        assert!(matches!(other.verify(&token).unwrap_err(), CertificateError::WrongIssuer { .. }));
+        assert!(OpenIdToken::decode("a|b|c").is_err());
+        assert!(OpenIdToken::decode("a|b|nan|d").is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Authenticated identities.
+
+use std::fmt;
+
+/// An authenticated principal.
+///
+/// The paper supports exactly two identity kinds — X.509 certificate
+/// distinguished names and OpenID identifiers — plus the implicit anonymous
+/// client (browser users without credentials).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Identity {
+    /// A certificate subject distinguished name, e.g. `CN=alice,O=iitp`.
+    Certificate(String),
+    /// An OpenID identifier, e.g. `https://openid.example/alice`.
+    OpenId(String),
+    /// No credentials presented.
+    Anonymous,
+}
+
+impl Identity {
+    /// Creates a certificate identity.
+    pub fn certificate(dn: &str) -> Self {
+        Identity::Certificate(dn.to_string())
+    }
+
+    /// Creates an OpenID identity.
+    pub fn openid(id: &str) -> Self {
+        Identity::OpenId(id.to_string())
+    }
+
+    /// Returns `true` for authenticated (non-anonymous) identities.
+    pub fn is_authenticated(&self) -> bool {
+        !matches!(self, Identity::Anonymous)
+    }
+
+    /// A single-string wire encoding (`cert:…`, `openid:…`, `anonymous`).
+    pub fn encode(&self) -> String {
+        match self {
+            Identity::Certificate(dn) => format!("cert:{dn}"),
+            Identity::OpenId(id) => format!("openid:{id}"),
+            Identity::Anonymous => "anonymous".to_string(),
+        }
+    }
+
+    /// Parses the [`Identity::encode`] form; unknown prefixes are anonymous.
+    pub fn decode(s: &str) -> Identity {
+        if let Some(dn) = s.strip_prefix("cert:") {
+            Identity::Certificate(dn.to_string())
+        } else if let Some(id) = s.strip_prefix("openid:") {
+            Identity::OpenId(id.to_string())
+        } else {
+            Identity::Anonymous
+        }
+    }
+}
+
+impl fmt::Display for Identity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for id in [
+            Identity::certificate("CN=alice,O=iitp"),
+            Identity::openid("https://id.example/bob"),
+            Identity::Anonymous,
+        ] {
+            assert_eq!(Identity::decode(&id.encode()), id);
+        }
+    }
+
+    #[test]
+    fn unknown_prefixes_decode_to_anonymous() {
+        assert_eq!(Identity::decode("kerberos:x"), Identity::Anonymous);
+        assert_eq!(Identity::decode(""), Identity::Anonymous);
+    }
+
+    #[test]
+    fn authentication_flag() {
+        assert!(Identity::certificate("CN=x").is_authenticated());
+        assert!(Identity::openid("x").is_authenticated());
+        assert!(!Identity::Anonymous.is_authenticated());
+    }
+}

@@ -1,0 +1,40 @@
+//! The MathCloud security mechanism (§3.4, Fig 3 of the paper).
+//!
+//! The paper's platform authenticates services with SSL server certificates
+//! and clients with either X.509 client certificates or OpenID identities
+//! (via the Loginza aggregator), authorizes with per-service allow/deny
+//! lists, and supports a limited delegation scheme where trusted services may
+//! act on behalf of users (proxy lists).
+//!
+//! This reproduction keeps the *logic* — two identity kinds, list-based
+//! authorization, proxy delegation — on top of a **simulated PKI**:
+//! certificates are JSON documents signed with HMAC-SHA-256 under a
+//! CA-held secret (SHA-256 implemented in-repo, see [`sha256`]). It is a
+//! faithful model of the trust relationships, not a hardened cryptosystem;
+//! DESIGN.md records this substitution.
+//!
+//! # Examples
+//!
+//! ```
+//! use mathcloud_security::{AccessPolicy, CertificateAuthority, Identity};
+//!
+//! let ca = CertificateAuthority::new("mathcloud-ca");
+//! let cert = ca.issue("CN=alice", 3600);
+//! assert!(ca.verify(&cert).is_ok());
+//!
+//! let mut policy = AccessPolicy::new();
+//! policy.allow(Identity::certificate("CN=alice"));
+//! assert!(policy.decide(&Identity::certificate("CN=alice")).is_allowed());
+//! assert!(!policy.decide(&Identity::certificate("CN=mallory")).is_allowed());
+//! ```
+
+pub mod cert;
+pub mod identity;
+pub mod middleware;
+pub mod policy;
+pub mod sha256;
+
+pub use cert::{Certificate, CertificateAuthority, CertificateError, OpenIdProvider, OpenIdToken};
+pub use identity::Identity;
+pub use middleware::{AuthConfig, IDENTITY_HEADER};
+pub use policy::{AccessDecision, AccessPolicy};

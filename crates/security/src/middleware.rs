@@ -1,0 +1,272 @@
+//! HTTP authentication middleware and client-side credential helpers.
+//!
+//! Wire protocol (the simulated counterpart of SSL client certificates and
+//! Loginza logins):
+//!
+//! * `X-Client-Certificate: <compact-json cert>` — certificate auth,
+//! * `Authorization: OpenId <token>` — OpenID auth,
+//! * `X-Proxy-Certificate: <cert>` + `X-On-Behalf-Of: <identity>` —
+//!   delegated calls by trusted services.
+//!
+//! After successful authentication the middleware annotates the request with
+//! [`IDENTITY_HEADER`] (and [`PROXY_HEADER`] for delegated calls); the
+//! container's per-service policies read those annotations. Client-supplied
+//! values of the annotation headers are always stripped first.
+
+use mathcloud_http::{Request, Response};
+
+use crate::cert::{Certificate, CertificateAuthority, OpenIdProvider, OpenIdToken};
+use crate::identity::Identity;
+
+/// Header carrying the authenticated identity, set by the middleware.
+pub const IDENTITY_HEADER: &str = "x-mathcloud-identity";
+
+/// Header carrying the authenticated proxy certificate DN for delegated
+/// calls, set by the middleware.
+pub const PROXY_HEADER: &str = "x-mathcloud-proxy-dn";
+
+/// Client-side: request header for certificate authentication.
+pub const CLIENT_CERT_HEADER: &str = "X-Client-Certificate";
+
+/// Client-side: request header for a proxy (service) certificate.
+pub const PROXY_CERT_HEADER: &str = "X-Proxy-Certificate";
+
+/// Client-side: request header naming the delegated user.
+pub const ON_BEHALF_OF_HEADER: &str = "X-On-Behalf-Of";
+
+/// Authentication configuration for a container.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_http::{Request, Method};
+/// use mathcloud_security::{AuthConfig, CertificateAuthority, Identity, IDENTITY_HEADER};
+///
+/// let ca = CertificateAuthority::new("ca");
+/// let auth = AuthConfig::new(ca.clone());
+/// let cert = ca.issue("CN=alice", 600);
+///
+/// let mut req = Request::new(Method::Get, "/services");
+/// req.headers.set("X-Client-Certificate", &cert.encode());
+/// assert!(auth.authenticate(&mut req).is_none(), "no short-circuit response");
+/// assert_eq!(req.headers.get(IDENTITY_HEADER), Some("cert:CN=alice"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AuthConfig {
+    ca: CertificateAuthority,
+    providers: Vec<OpenIdProvider>,
+    require_authentication: bool,
+}
+
+impl AuthConfig {
+    /// Creates a configuration trusting one certificate authority and no
+    /// OpenID providers; anonymous requests are admitted (per-service
+    /// policies may still reject them).
+    pub fn new(ca: CertificateAuthority) -> Self {
+        AuthConfig { ca, providers: Vec::new(), require_authentication: false }
+    }
+
+    /// Trusts an OpenID provider (builder style).
+    pub fn with_provider(mut self, provider: OpenIdProvider) -> Self {
+        self.providers.push(provider);
+        self
+    }
+
+    /// Rejects anonymous requests outright (builder style).
+    pub fn require_authentication(mut self) -> Self {
+        self.require_authentication = true;
+        self
+    }
+
+    /// Authenticates a request in place.
+    ///
+    /// Returns `Some(401 response)` when presented credentials are invalid
+    /// (or missing while required); otherwise annotates the request and
+    /// returns `None`.
+    pub fn authenticate(&self, req: &mut Request) -> Option<Response> {
+        // Never trust client-supplied annotations.
+        req.headers.remove(IDENTITY_HEADER);
+        req.headers.remove(PROXY_HEADER);
+
+        let identity = match self.extract_identity(req) {
+            Ok(id) => id,
+            Err(reason) => return Some(Response::error(401, &reason)),
+        };
+
+        // Delegation: an authenticated *certificate* principal may present a
+        // proxy certificate asserting it acts for another identity.
+        if let Some(proxy_encoded) = req.headers.get(PROXY_CERT_HEADER).map(String::from) {
+            let proxy_cert = match Certificate::decode(&proxy_encoded) {
+                Ok(c) => c,
+                Err(e) => return Some(Response::error(401, &format!("bad proxy certificate: {e}"))),
+            };
+            if let Err(e) = self.ca.verify(&proxy_cert) {
+                return Some(Response::error(401, &format!("proxy certificate rejected: {e}")));
+            }
+            let user = req
+                .headers
+                .get(ON_BEHALF_OF_HEADER)
+                .map(Identity::decode)
+                .unwrap_or(Identity::Anonymous);
+            req.headers.set(PROXY_HEADER, &proxy_cert.subject);
+            req.headers.set(IDENTITY_HEADER, &user.encode());
+            return None;
+        }
+
+        if self.require_authentication && !identity.is_authenticated() {
+            return Some(Response::error(401, "authentication required"));
+        }
+        req.headers.set(IDENTITY_HEADER, &identity.encode());
+        None
+    }
+
+    fn extract_identity(&self, req: &Request) -> Result<Identity, String> {
+        if let Some(encoded) = req.headers.get(CLIENT_CERT_HEADER) {
+            let cert = Certificate::decode(encoded).map_err(|e| format!("bad certificate: {e}"))?;
+            self.ca
+                .verify(&cert)
+                .map_err(|e| format!("certificate rejected: {e}"))?;
+            return Ok(Identity::Certificate(cert.subject));
+        }
+        if let Some(auth) = req.headers.get("authorization") {
+            let token_text = auth
+                .strip_prefix("OpenId ")
+                .ok_or_else(|| "unsupported authorization scheme".to_string())?;
+            let token = OpenIdToken::decode(token_text).map_err(|e| format!("bad token: {e}"))?;
+            let provider = self
+                .providers
+                .iter()
+                .find(|p| p.name() == token.provider)
+                .ok_or_else(|| format!("unknown identity provider {:?}", token.provider))?;
+            provider
+                .verify(&token)
+                .map_err(|e| format!("token rejected: {e}"))?;
+            return Ok(Identity::OpenId(token.identifier));
+        }
+        Ok(Identity::Anonymous)
+    }
+
+    /// Reads the authenticated identity annotation from a request.
+    pub fn identity_of(req: &Request) -> Identity {
+        req.headers
+            .get(IDENTITY_HEADER)
+            .map(Identity::decode)
+            .unwrap_or(Identity::Anonymous)
+    }
+
+    /// Reads the proxy annotation (DN of the delegating service), if any.
+    pub fn proxy_of(req: &Request) -> Option<String> {
+        req.headers.get(PROXY_HEADER).map(String::from)
+    }
+}
+
+/// Client helper: attaches certificate credentials to a request.
+pub fn with_certificate(req: Request, cert: &Certificate) -> Request {
+    req.with_header(CLIENT_CERT_HEADER, &cert.encode())
+}
+
+/// Client helper: attaches OpenID credentials to a request.
+pub fn with_openid(req: Request, token: &OpenIdToken) -> Request {
+    req.with_header("Authorization", &format!("OpenId {}", token.encode()))
+}
+
+/// Client helper: marks a request as a delegated call.
+pub fn with_delegation(req: Request, service_cert: &Certificate, user: &Identity) -> Request {
+    req.with_header(PROXY_CERT_HEADER, &service_cert.encode())
+        .with_header(ON_BEHALF_OF_HEADER, &user.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathcloud_http::Method;
+
+    fn auth() -> (AuthConfig, CertificateAuthority, OpenIdProvider) {
+        let ca = CertificateAuthority::new("ca");
+        let provider = OpenIdProvider::new("google-sim");
+        let cfg = AuthConfig::new(ca.clone()).with_provider(provider.clone());
+        (cfg, ca, provider)
+    }
+
+    #[test]
+    fn anonymous_allowed_by_default_and_rejected_when_required() {
+        let (cfg, _, _) = auth();
+        let mut req = Request::new(Method::Get, "/");
+        assert!(cfg.authenticate(&mut req).is_none());
+        assert_eq!(AuthConfig::identity_of(&req), Identity::Anonymous);
+
+        let strict = cfg.require_authentication();
+        let mut req = Request::new(Method::Get, "/");
+        let resp = strict.authenticate(&mut req).expect("401");
+        assert_eq!(resp.status.as_u16(), 401);
+    }
+
+    #[test]
+    fn certificate_authentication() {
+        let (cfg, ca, _) = auth();
+        let cert = ca.issue("CN=alice", 600);
+        let mut req = with_certificate(Request::new(Method::Get, "/"), &cert);
+        assert!(cfg.authenticate(&mut req).is_none());
+        assert_eq!(AuthConfig::identity_of(&req), Identity::certificate("CN=alice"));
+    }
+
+    #[test]
+    fn forged_certificate_is_rejected() {
+        let (cfg, ca, _) = auth();
+        let mut cert = ca.issue("CN=alice", 600);
+        cert.subject = "CN=root".into();
+        let mut req = with_certificate(Request::new(Method::Get, "/"), &cert);
+        let resp = cfg.authenticate(&mut req).expect("401");
+        assert_eq!(resp.status.as_u16(), 401);
+    }
+
+    #[test]
+    fn openid_authentication() {
+        let (cfg, _, provider) = auth();
+        let token = provider.login("https://id/bob", 600);
+        let mut req = with_openid(Request::new(Method::Get, "/"), &token);
+        assert!(cfg.authenticate(&mut req).is_none());
+        assert_eq!(AuthConfig::identity_of(&req), Identity::openid("https://id/bob"));
+    }
+
+    #[test]
+    fn unknown_provider_and_scheme_are_rejected() {
+        let (cfg, _, _) = auth();
+        let other = OpenIdProvider::new("unknown");
+        let token = other.login("https://id/bob", 600);
+        let mut req = with_openid(Request::new(Method::Get, "/"), &token);
+        assert!(cfg.authenticate(&mut req).is_some());
+
+        let mut req = Request::new(Method::Get, "/").with_header("Authorization", "Bearer x");
+        assert!(cfg.authenticate(&mut req).is_some());
+    }
+
+    #[test]
+    fn spoofed_identity_header_is_stripped() {
+        let (cfg, _, _) = auth();
+        let mut req = Request::new(Method::Get, "/").with_header(IDENTITY_HEADER, "cert:CN=root");
+        assert!(cfg.authenticate(&mut req).is_none());
+        assert_eq!(AuthConfig::identity_of(&req), Identity::Anonymous);
+    }
+
+    #[test]
+    fn delegation_annotates_proxy_and_user() {
+        let (cfg, ca, _) = auth();
+        let service_cert = ca.issue("CN=wms", 600);
+        let user = Identity::openid("https://id/alice");
+        let mut req = with_delegation(Request::new(Method::Post, "/"), &service_cert, &user);
+        assert!(cfg.authenticate(&mut req).is_none());
+        assert_eq!(AuthConfig::identity_of(&req), user);
+        assert_eq!(AuthConfig::proxy_of(&req).as_deref(), Some("CN=wms"));
+    }
+
+    #[test]
+    fn untrusted_proxy_certificate_is_rejected() {
+        let (cfg, _, _) = auth();
+        let rogue_ca = CertificateAuthority::with_secret("ca", b"other");
+        let service_cert = rogue_ca.issue("CN=wms", 600);
+        let user = Identity::openid("https://id/alice");
+        let mut req = with_delegation(Request::new(Method::Post, "/"), &service_cert, &user);
+        assert_eq!(cfg.authenticate(&mut req).unwrap().status.as_u16(), 401);
+    }
+}

@@ -1,0 +1,166 @@
+//! Allow/deny-list authorization and proxy delegation.
+
+use crate::identity::Identity;
+
+/// The outcome of an authorization check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// Access granted.
+    Allowed,
+    /// Identity is on the deny list.
+    Denied,
+    /// Identity is not on a non-empty allow list.
+    NotListed,
+}
+
+impl AccessDecision {
+    /// Returns `true` when the request may proceed.
+    pub fn is_allowed(self) -> bool {
+        matches!(self, AccessDecision::Allowed)
+    }
+}
+
+/// Per-service access policy (§3.4 of the paper).
+///
+/// Semantics:
+/// * identities on the **deny** list are always rejected,
+/// * if the **allow** list is empty the service is public (everyone else may
+///   call it),
+/// * otherwise the identity must appear on the allow list.
+///
+/// Delegation: a service certificate on the **proxy** list may invoke the
+/// service *on behalf of* another identity; the effective identity checked
+/// against allow/deny is the delegated user, and the proxy itself must be
+/// trusted.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_security::{AccessPolicy, Identity};
+///
+/// let mut p = AccessPolicy::new();
+/// p.allow(Identity::openid("https://id/alice"));
+/// p.trust_proxy("CN=workflow-service");
+///
+/// // Direct call by alice: allowed.
+/// assert!(p.decide(&Identity::openid("https://id/alice")).is_allowed());
+/// // Workflow service calling on behalf of alice: allowed.
+/// assert!(p
+///     .decide_proxied("CN=workflow-service", &Identity::openid("https://id/alice"))
+///     .is_allowed());
+/// // Untrusted proxy: rejected even for an allowed user.
+/// assert!(!p
+///     .decide_proxied("CN=rogue", &Identity::openid("https://id/alice"))
+///     .is_allowed());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessPolicy {
+    allow: Vec<Identity>,
+    deny: Vec<Identity>,
+    proxies: Vec<String>,
+}
+
+impl AccessPolicy {
+    /// A public policy (empty lists).
+    pub fn new() -> Self {
+        AccessPolicy::default()
+    }
+
+    /// Adds an identity to the allow list.
+    pub fn allow(&mut self, id: Identity) -> &mut Self {
+        self.allow.push(id);
+        self
+    }
+
+    /// Adds an identity to the deny list.
+    pub fn deny(&mut self, id: Identity) -> &mut Self {
+        self.deny.push(id);
+        self
+    }
+
+    /// Trusts a service certificate DN to act on behalf of users.
+    pub fn trust_proxy(&mut self, service_dn: &str) -> &mut Self {
+        self.proxies.push(service_dn.to_string());
+        self
+    }
+
+    /// Returns `true` when no allow entries exist (public service).
+    pub fn is_public(&self) -> bool {
+        self.allow.is_empty()
+    }
+
+    /// Decides whether `identity` may access the service directly.
+    pub fn decide(&self, identity: &Identity) -> AccessDecision {
+        if self.deny.contains(identity) {
+            return AccessDecision::Denied;
+        }
+        if self.allow.is_empty() || self.allow.contains(identity) {
+            AccessDecision::Allowed
+        } else {
+            AccessDecision::NotListed
+        }
+    }
+
+    /// Decides a delegated call: `proxy_dn` (an authenticated service
+    /// certificate) acts on behalf of `user`.
+    pub fn decide_proxied(&self, proxy_dn: &str, user: &Identity) -> AccessDecision {
+        if !self.proxies.iter().any(|p| p == proxy_dn) {
+            return AccessDecision::NotListed;
+        }
+        self.decide(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice() -> Identity {
+        Identity::openid("https://id/alice")
+    }
+
+    fn bob() -> Identity {
+        Identity::certificate("CN=bob")
+    }
+
+    #[test]
+    fn empty_policy_is_public() {
+        let p = AccessPolicy::new();
+        assert!(p.is_public());
+        assert!(p.decide(&alice()).is_allowed());
+        assert!(p.decide(&Identity::Anonymous).is_allowed());
+    }
+
+    #[test]
+    fn deny_beats_allow() {
+        let mut p = AccessPolicy::new();
+        p.allow(alice()).deny(alice());
+        assert_eq!(p.decide(&alice()), AccessDecision::Denied);
+    }
+
+    #[test]
+    fn nonempty_allow_list_closes_the_service() {
+        let mut p = AccessPolicy::new();
+        p.allow(alice());
+        assert!(p.decide(&alice()).is_allowed());
+        assert_eq!(p.decide(&bob()), AccessDecision::NotListed);
+        assert_eq!(p.decide(&Identity::Anonymous), AccessDecision::NotListed);
+    }
+
+    #[test]
+    fn deny_on_public_service() {
+        let mut p = AccessPolicy::new();
+        p.deny(bob());
+        assert!(p.decide(&alice()).is_allowed());
+        assert_eq!(p.decide(&bob()), AccessDecision::Denied);
+    }
+
+    #[test]
+    fn proxying_requires_trust_and_checks_the_user() {
+        let mut p = AccessPolicy::new();
+        p.allow(alice()).deny(bob()).trust_proxy("CN=wms");
+        assert!(p.decide_proxied("CN=wms", &alice()).is_allowed());
+        assert_eq!(p.decide_proxied("CN=wms", &bob()), AccessDecision::Denied);
+        assert_eq!(p.decide_proxied("CN=unknown", &alice()), AccessDecision::NotListed);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the security mechanism.
+
+use mathcloud_security::cert::OpenIdToken;
+use mathcloud_security::{AccessPolicy, Certificate, CertificateAuthority, Identity, OpenIdProvider};
+use proptest::prelude::*;
+
+fn arb_identity() -> impl Strategy<Value = Identity> {
+    prop_oneof![
+        "[A-Za-z0-9=,. -]{1,24}".prop_map(|dn| Identity::certificate(&dn)),
+        "[a-z0-9:/._-]{1,24}".prop_map(|id| Identity::openid(&id)),
+        Just(Identity::Anonymous),
+    ]
+}
+
+proptest! {
+    /// Identity encoding round-trips for every identity.
+    #[test]
+    fn identity_round_trip(id in arb_identity()) {
+        prop_assert_eq!(Identity::decode(&id.encode()), id);
+    }
+
+    /// Certificates issued by a CA verify; any single-field tampering fails.
+    #[test]
+    fn certificates_bind_every_field(
+        subject in "[A-Za-z0-9=, ]{1,24}",
+        tamper in 0usize..3,
+        garbage in "[a-z0-9]{1,12}",
+    ) {
+        let ca = CertificateAuthority::new("prop-ca");
+        let cert = ca.issue(&subject, 600);
+        prop_assert!(ca.verify(&cert).is_ok());
+        let mut bad = cert.clone();
+        match tamper {
+            0 => bad.subject = format!("{}{garbage}", bad.subject),
+            1 => bad.not_after = bad.not_after.wrapping_add(1),
+            _ => bad.not_before = bad.not_before.wrapping_sub(1),
+        }
+        prop_assert!(ca.verify(&bad).is_err(), "tampered field {tamper} accepted");
+    }
+
+    /// Certificate wire encoding round-trips (subjects may contain JSON
+    /// metacharacters).
+    #[test]
+    fn certificate_wire_round_trip(subject in "\\PC{1,32}") {
+        let ca = CertificateAuthority::new("prop-ca");
+        let cert = ca.issue(&subject, 600);
+        let decoded = Certificate::decode(&cert.encode()).unwrap();
+        prop_assert_eq!(&decoded, &cert);
+        prop_assert!(ca.verify(&decoded).is_ok());
+    }
+
+    /// Tokens from one provider never verify at another, regardless of names.
+    #[test]
+    fn providers_are_isolated(user in "[a-z0-9/:]{1,20}") {
+        let a = OpenIdProvider::new("provider-a");
+        let b = OpenIdProvider::new("provider-b");
+        let token = a.login(&user, 600);
+        prop_assert!(a.verify(&token).is_ok());
+        prop_assert!(b.verify(&token).is_err());
+        let decoded = OpenIdToken::decode(&token.encode()).unwrap();
+        prop_assert_eq!(decoded, token);
+    }
+
+    /// Policy invariants: deny always wins; empty allow admits everyone not
+    /// denied; non-empty allow admits exactly its members (minus denied).
+    #[test]
+    fn policy_semantics(
+        allow in prop::collection::vec(arb_identity(), 0..4),
+        deny in prop::collection::vec(arb_identity(), 0..4),
+        probe in arb_identity(),
+    ) {
+        let mut p = AccessPolicy::new();
+        for id in &allow { p.allow(id.clone()); }
+        for id in &deny { p.deny(id.clone()); }
+        let decision = p.decide(&probe);
+        if deny.contains(&probe) {
+            prop_assert!(!decision.is_allowed(), "denied identity admitted");
+        } else if allow.is_empty() || allow.contains(&probe) {
+            prop_assert!(decision.is_allowed());
+        } else {
+            prop_assert!(!decision.is_allowed());
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The workflow document model and its JSON format.
+
+use std::error::Error;
+use std::fmt;
+
+use mathcloud_json::value::Object;
+use mathcloud_json::{Schema, Value};
+
+/// A reference to one port of one block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// The block id.
+    pub block: String,
+    /// The port (parameter) name on that block.
+    pub port: String,
+}
+
+impl PortRef {
+    /// Creates a port reference.
+    pub fn new(block: &str, port: &str) -> Self {
+        PortRef { block: block.to_string(), port: port.to_string() }
+    }
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.block, self.port)
+    }
+}
+
+/// A data-flow edge: `from` (an output port) feeds `to` (an input port).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source output port.
+    pub from: PortRef,
+    /// Destination input port.
+    pub to: PortRef,
+}
+
+/// The kinds of workflow blocks, as in the paper's editor (Fig 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockKind {
+    /// A workflow input parameter: one output port named `value`.
+    Input {
+        /// Type of the produced value.
+        schema: Schema,
+    },
+    /// A workflow output parameter: one input port named `value`.
+    Output {
+        /// Type of the accepted value.
+        schema: Schema,
+    },
+    /// A remote computational service implementing the unified REST API.
+    /// Ports come from its (dynamically retrieved) description.
+    Service {
+        /// The service URL.
+        url: String,
+    },
+    /// A custom action written in mcscript (the JavaScript/Python analogue).
+    Script {
+        /// The mcscript source. Input ports are free variables it declares
+        /// in `inputs`; outputs are the names it assigns.
+        code: String,
+        /// Declared input ports and types.
+        inputs: Vec<(String, Schema)>,
+        /// Declared output ports and types.
+        outputs: Vec<(String, Schema)>,
+    },
+    /// A constant value: one output port named `value`.
+    Constant {
+        /// The value produced.
+        value: Value,
+    },
+}
+
+/// A workflow block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Unique id within the workflow.
+    pub id: String,
+    /// What the block does.
+    pub kind: BlockKind,
+}
+
+/// Errors from workflow document handling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowError(pub String);
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workflow document: {}", self.0)
+    }
+}
+
+impl Error for WorkflowError {}
+
+/// A workflow: blocks plus data-flow edges, composable into a service.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_json::Schema;
+/// use mathcloud_workflow::{Block, BlockKind, Edge, PortRef, Workflow};
+///
+/// let wf = Workflow::new("double-sum", "adds two numbers, doubles the result")
+///     .block(Block { id: "a".into(), kind: BlockKind::Input { schema: Schema::integer() } })
+///     .block(Block { id: "b".into(), kind: BlockKind::Input { schema: Schema::integer() } })
+///     .block(Block {
+///         id: "calc".into(),
+///         kind: BlockKind::Script {
+///             code: "result = (a + b) * 2;".into(),
+///             inputs: vec![("a".into(), Schema::integer()), ("b".into(), Schema::integer())],
+///             outputs: vec![("result".into(), Schema::integer())],
+///         },
+///     })
+///     .block(Block { id: "out".into(), kind: BlockKind::Output { schema: Schema::integer() } })
+///     .edge(Edge { from: PortRef::new("a", "value"), to: PortRef::new("calc", "a") })
+///     .edge(Edge { from: PortRef::new("b", "value"), to: PortRef::new("calc", "b") })
+///     .edge(Edge { from: PortRef::new("calc", "result"), to: PortRef::new("out", "value") });
+///
+/// let round_trip = Workflow::from_value(&wf.to_value()).unwrap();
+/// assert_eq!(round_trip, wf);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workflow {
+    /// The workflow (and composite service) name.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// The blocks.
+    pub blocks: Vec<Block>,
+    /// The data-flow edges.
+    pub edges: Vec<Edge>,
+}
+
+impl Workflow {
+    /// Creates an empty workflow.
+    pub fn new(name: &str, description: &str) -> Self {
+        Workflow {
+            name: name.to_string(),
+            description: description.to_string(),
+            blocks: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a block (builder style).
+    pub fn block(mut self, block: Block) -> Self {
+        self.blocks.push(block);
+        self
+    }
+
+    /// Adds an edge (builder style).
+    pub fn edge(mut self, edge: Edge) -> Self {
+        self.edges.push(edge);
+        self
+    }
+
+    /// Convenience: adds an input block named `id`.
+    pub fn input(self, id: &str, schema: Schema) -> Self {
+        self.block(Block { id: id.to_string(), kind: BlockKind::Input { schema } })
+    }
+
+    /// Convenience: adds an output block named `id`.
+    pub fn output(self, id: &str, schema: Schema) -> Self {
+        self.block(Block { id: id.to_string(), kind: BlockKind::Output { schema } })
+    }
+
+    /// Convenience: adds a service block.
+    pub fn service(self, id: &str, url: &str) -> Self {
+        self.block(Block { id: id.to_string(), kind: BlockKind::Service { url: url.to_string() } })
+    }
+
+    /// Convenience: adds an edge `from_block.from_port -> to_block.to_port`.
+    pub fn wire(self, from: (&str, &str), to: (&str, &str)) -> Self {
+        self.edge(Edge { from: PortRef::new(from.0, from.1), to: PortRef::new(to.0, to.1) })
+    }
+
+    /// Finds a block by id.
+    pub fn find(&self, id: &str) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.id == id)
+    }
+
+    /// The ids of input blocks, in declaration order.
+    pub fn input_ids(&self) -> Vec<&str> {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.kind, BlockKind::Input { .. }))
+            .map(|b| b.id.as_str())
+            .collect()
+    }
+
+    /// The ids of output blocks, in declaration order.
+    pub fn output_ids(&self) -> Vec<&str> {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.kind, BlockKind::Output { .. }))
+            .map(|b| b.id.as_str())
+            .collect()
+    }
+
+    /// Serializes to the JSON workflow format.
+    pub fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("name".into(), Value::from(self.name.as_str()));
+        o.insert("description".into(), Value::from(self.description.as_str()));
+        let blocks: Vec<Value> = self.blocks.iter().map(block_to_value).collect();
+        o.insert("blocks".into(), Value::Array(blocks));
+        let edges: Vec<Value> = self
+            .edges
+            .iter()
+            .map(|e| {
+                let mut eo = Object::new();
+                eo.insert("from".into(), Value::from(e.from.to_string()));
+                eo.insert("to".into(), Value::from(e.to.to_string()));
+                Value::Object(eo)
+            })
+            .collect();
+        o.insert("edges".into(), Value::Array(edges));
+        Value::Object(o)
+    }
+
+    /// Parses the JSON workflow format.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkflowError`] naming the malformed element.
+    pub fn from_value(v: &Value) -> Result<Self, WorkflowError> {
+        let name = v
+            .str_field("name")
+            .ok_or_else(|| WorkflowError("missing name".into()))?;
+        let mut wf = Workflow::new(name, v.str_field("description").unwrap_or(""));
+        let blocks = v
+            .get("blocks")
+            .and_then(Value::as_array)
+            .ok_or_else(|| WorkflowError("missing blocks array".into()))?;
+        for b in blocks {
+            wf.blocks.push(block_from_value(b)?);
+        }
+        let edges = v
+            .get("edges")
+            .and_then(Value::as_array)
+            .ok_or_else(|| WorkflowError("missing edges array".into()))?;
+        for e in edges {
+            let parse_ref = |field: &str| -> Result<PortRef, WorkflowError> {
+                let text = e
+                    .str_field(field)
+                    .ok_or_else(|| WorkflowError(format!("edge missing {field}")))?;
+                let (block, port) = text
+                    .split_once('.')
+                    .ok_or_else(|| WorkflowError(format!("edge ref {text:?} must be block.port")))?;
+                Ok(PortRef::new(block, port))
+            };
+            wf.edges.push(Edge { from: parse_ref("from")?, to: parse_ref("to")? });
+        }
+        Ok(wf)
+    }
+}
+
+fn schema_field(o: &mut Object, schema: &Schema) {
+    o.insert("schema".into(), schema.to_value());
+}
+
+fn block_to_value(b: &Block) -> Value {
+    let mut o = Object::new();
+    o.insert("id".into(), Value::from(b.id.as_str()));
+    match &b.kind {
+        BlockKind::Input { schema } => {
+            o.insert("kind".into(), Value::from("input"));
+            schema_field(&mut o, schema);
+        }
+        BlockKind::Output { schema } => {
+            o.insert("kind".into(), Value::from("output"));
+            schema_field(&mut o, schema);
+        }
+        BlockKind::Service { url } => {
+            o.insert("kind".into(), Value::from("service"));
+            o.insert("url".into(), Value::from(url.as_str()));
+        }
+        BlockKind::Script { code, inputs, outputs } => {
+            o.insert("kind".into(), Value::from("script"));
+            o.insert("code".into(), Value::from(code.as_str()));
+            let ports = |ps: &[(String, Schema)]| {
+                let mut po = Object::new();
+                for (n, s) in ps {
+                    po.insert(n.clone(), s.to_value());
+                }
+                Value::Object(po)
+            };
+            o.insert("inputs".into(), ports(inputs));
+            o.insert("outputs".into(), ports(outputs));
+        }
+        BlockKind::Constant { value } => {
+            o.insert("kind".into(), Value::from("constant"));
+            o.insert("value".into(), value.clone());
+        }
+    }
+    Value::Object(o)
+}
+
+fn block_from_value(v: &Value) -> Result<Block, WorkflowError> {
+    let id = v
+        .str_field("id")
+        .ok_or_else(|| WorkflowError("block missing id".into()))?
+        .to_string();
+    let kind = v
+        .str_field("kind")
+        .ok_or_else(|| WorkflowError(format!("block {id:?} missing kind")))?;
+    let schema_of = |v: &Value| -> Result<Schema, WorkflowError> {
+        match v.get("schema") {
+            Some(s) => Schema::from_value(s)
+                .map_err(|e| WorkflowError(format!("block {id:?}: {e}"))),
+            None => Ok(Schema::any()),
+        }
+    };
+    let kind = match kind {
+        "input" => BlockKind::Input { schema: schema_of(v)? },
+        "output" => BlockKind::Output { schema: schema_of(v)? },
+        "service" => BlockKind::Service {
+            url: v
+                .str_field("url")
+                .ok_or_else(|| WorkflowError(format!("service block {id:?} missing url")))?
+                .to_string(),
+        },
+        "script" => {
+            let code = v
+                .str_field("code")
+                .ok_or_else(|| WorkflowError(format!("script block {id:?} missing code")))?
+                .to_string();
+            let ports = |field: &str| -> Result<Vec<(String, Schema)>, WorkflowError> {
+                let mut out = Vec::new();
+                if let Some(obj) = v.get(field).and_then(Value::as_object) {
+                    for (name, schema_doc) in obj.iter() {
+                        let schema = Schema::from_value(schema_doc)
+                            .map_err(|e| WorkflowError(format!("block {id:?} port {name:?}: {e}")))?;
+                        out.push((name.clone(), schema));
+                    }
+                }
+                Ok(out)
+            };
+            BlockKind::Script { code, inputs: ports("inputs")?, outputs: ports("outputs")? }
+        }
+        "constant" => BlockKind::Constant {
+            value: v.get("value").cloned().unwrap_or(Value::Null),
+        },
+        other => return Err(WorkflowError(format!("unknown block kind {other:?}"))),
+    };
+    Ok(Block { id, kind })
+}
+
+impl Block {
+    /// Input port names with their schemas (services resolve theirs later).
+    pub fn declared_inputs(&self) -> Vec<(String, Schema)> {
+        match &self.kind {
+            BlockKind::Input { .. } | BlockKind::Constant { .. } => Vec::new(),
+            BlockKind::Output { schema } => vec![("value".to_string(), schema.clone())],
+            BlockKind::Service { .. } => Vec::new(),
+            BlockKind::Script { inputs, .. } => inputs.clone(),
+        }
+    }
+
+    /// Output port names with their schemas (services resolve theirs later).
+    pub fn declared_outputs(&self) -> Vec<(String, Schema)> {
+        match &self.kind {
+            BlockKind::Input { schema } => vec![("value".to_string(), schema.clone())],
+            BlockKind::Constant { .. } => vec![("value".to_string(), Schema::any())],
+            BlockKind::Output { .. } => Vec::new(),
+            BlockKind::Service { .. } => Vec::new(),
+            BlockKind::Script { outputs, .. } => outputs.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathcloud_json::json;
+
+    fn sample() -> Workflow {
+        Workflow::new("wf", "sample")
+            .input("x", Schema::integer())
+            .block(Block {
+                id: "c".into(),
+                kind: BlockKind::Constant { value: json!(10) },
+            })
+            .block(Block {
+                id: "s".into(),
+                kind: BlockKind::Script {
+                    code: "y = x + k;".into(),
+                    inputs: vec![("x".into(), Schema::integer()), ("k".into(), Schema::integer())],
+                    outputs: vec![("y".into(), Schema::integer())],
+                },
+            })
+            .service("svc", "http://h:1/services/f")
+            .output("y", Schema::integer())
+            .wire(("x", "value"), ("s", "x"))
+            .wire(("c", "value"), ("s", "k"))
+            .wire(("s", "y"), ("y", "value"))
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let wf = sample();
+        let doc = wf.to_value();
+        let text = doc.to_pretty_string();
+        let parsed = Workflow::from_value(&mathcloud_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, wf);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let wf = sample();
+        assert_eq!(wf.input_ids(), ["x"]);
+        assert_eq!(wf.output_ids(), ["y"]);
+        assert!(wf.find("svc").is_some());
+        assert!(wf.find("missing").is_none());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            json!({}),
+            json!({"name": "w"}),
+            json!({"name": "w", "blocks": [], "edges": [{"from": "a"}]}),
+            json!({"name": "w", "blocks": [], "edges": [{"from": "a.b", "to": "noport"}]}),
+            json!({"name": "w", "blocks": [{"id": "b", "kind": "alien"}], "edges": []}),
+            json!({"name": "w", "blocks": [{"kind": "input"}], "edges": []}),
+            json!({"name": "w", "blocks": [{"id": "s", "kind": "service"}], "edges": []}),
+        ] {
+            assert!(Workflow::from_value(&bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn declared_ports_by_kind() {
+        let wf = sample();
+        assert_eq!(wf.find("x").unwrap().declared_outputs()[0].0, "value");
+        assert_eq!(wf.find("y").unwrap().declared_inputs()[0].0, "value");
+        assert_eq!(wf.find("s").unwrap().declared_inputs().len(), 2);
+        assert_eq!(wf.find("c").unwrap().declared_outputs().len(), 1);
+        assert!(wf.find("svc").unwrap().declared_inputs().is_empty(), "resolved later");
+    }
+}

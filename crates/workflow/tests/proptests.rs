@@ -1,0 +1,133 @@
+//! Property-based tests for the workflow crate: the mcscript language and
+//! the workflow JSON format.
+
+use mathcloud_json::value::Object;
+use mathcloud_json::{Schema, Value};
+use mathcloud_workflow::{run_script, validate, Block, BlockKind, Workflow};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// mcscript integer arithmetic agrees with wrapping i64 semantics.
+fn eval_int(expr: &str) -> Option<i64> {
+    let outputs = run_script(&format!("r = {expr};"), &Object::new()).ok()?;
+    outputs.get("r")?.as_i64()
+}
+
+proptest! {
+    /// The lexer+parser+evaluator never panic on arbitrary input.
+    #[test]
+    fn mcscript_is_panic_free(src in "\\PC{0,80}") {
+        let _ = run_script(&src, &Object::new());
+    }
+
+    /// Addition and multiplication of literals match Rust's wrapping i64.
+    #[test]
+    fn mcscript_integer_arithmetic(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        prop_assert_eq!(eval_int(&format!("({a}) + ({b})")), Some(a.wrapping_add(b)));
+        prop_assert_eq!(eval_int(&format!("({a}) * ({b})")), Some(a.wrapping_mul(b)));
+        prop_assert_eq!(eval_int(&format!("({a}) - ({b})")), Some(a.wrapping_sub(b)));
+        if b != 0 {
+            prop_assert_eq!(eval_int(&format!("({a}) % ({b})")), Some(a.wrapping_rem(b)));
+        }
+    }
+
+    /// Comparison operators match Rust's.
+    #[test]
+    fn mcscript_comparisons(a in -100i64..100, b in -100i64..100) {
+        let run_bool = |expr: &str| {
+            run_script(&format!("r = {expr};"), &Object::new())
+                .ok()
+                .and_then(|o| o.get("r").and_then(Value::as_bool))
+        };
+        prop_assert_eq!(run_bool(&format!("({a}) < ({b})")), Some(a < b));
+        prop_assert_eq!(run_bool(&format!("({a}) >= ({b})")), Some(a >= b));
+        prop_assert_eq!(run_bool(&format!("({a}) == ({b})")), Some(a == b));
+    }
+
+    /// split/join round-trips any separator-free token list.
+    #[test]
+    fn mcscript_split_join_round_trip(tokens in prop::collection::vec("[a-z0-9]{1,6}", 1..6)) {
+        let joined = tokens.join(",");
+        let inputs: Object =
+            [("text".to_string(), Value::from(joined.clone()))].into_iter().collect();
+        let outputs = run_script(r#"r = join(split(text, ","), ",");"#, &inputs).unwrap();
+        prop_assert_eq!(outputs.get("r").unwrap().as_str(), Some(joined.as_str()));
+    }
+
+    /// String variables pass through scripts unmangled (no injection via
+    /// quotes/newlines because values are bound, not spliced).
+    #[test]
+    fn mcscript_binds_values_not_text(payload in "\\PC{0,40}") {
+        let inputs: Object =
+            [("p".to_string(), Value::from(payload.clone()))].into_iter().collect();
+        let outputs = run_script("r = p;", &inputs).unwrap();
+        prop_assert_eq!(outputs.get("r").unwrap().as_str(), Some(payload.as_str()));
+    }
+
+    /// Workflow documents round-trip through JSON for arbitrary
+    /// block/edge shapes.
+    #[test]
+    fn workflow_json_round_trip(
+        inputs in prop::collection::vec("[a-m]{1,4}", 1..4),
+        outputs in prop::collection::vec("[n-z]{1,4}", 1..4),
+    ) {
+        let mut wf = Workflow::new("prop", "generated");
+        let mut seen = std::collections::HashSet::new();
+        for name in inputs.iter().filter(|n| seen.insert((*n).clone())) {
+            wf = wf.input(name, Schema::integer());
+        }
+        let mut out_seen = std::collections::HashSet::new();
+        for name in outputs.iter().filter(|n| out_seen.insert((*n).clone())) {
+            wf = wf.output(name, Schema::any());
+        }
+        wf = wf.block(Block {
+            id: "script".into(),
+            kind: BlockKind::Script {
+                code: "x = 1;".into(),
+                inputs: vec![],
+                outputs: vec![("x".into(), Schema::integer())],
+            },
+        });
+        let text = wf.to_value().to_pretty_string();
+        let parsed = Workflow::from_value(&mathcloud_json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(parsed, wf);
+    }
+
+    /// Randomly generated linear chains always validate and execute to the
+    /// expected arithmetic result.
+    #[test]
+    fn linear_script_chains_execute(increments in prop::collection::vec(1i64..50, 1..6), start in 0i64..100) {
+        let mut wf = Workflow::new("chain", "").input("x", Schema::integer());
+        let mut prev = ("x".to_string(), "value".to_string());
+        for (i, inc) in increments.iter().enumerate() {
+            let id = format!("s{i}");
+            wf = wf.block(Block {
+                id: id.clone(),
+                kind: BlockKind::Script {
+                    code: format!("o = i + {inc};"),
+                    inputs: vec![("i".into(), Schema::integer())],
+                    outputs: vec![("o".into(), Schema::integer())],
+                },
+            });
+            wf = wf.wire((&prev.0, &prev.1), (&id, "i"));
+            prev = (id, "o".to_string());
+        }
+        wf = wf.output("r", Schema::integer()).wire((&prev.0, &prev.1), ("r", "value"));
+
+        let validated = validate(&wf, &HashMap::new()).expect("chain validates");
+        let engine = mathcloud_workflow::Engine::with_caller(validated, NoServices);
+        let inputs: Object = [("x".to_string(), Value::from(start))].into_iter().collect();
+        let outputs = engine.run(&inputs).unwrap();
+        let expected: i64 = start + increments.iter().sum::<i64>();
+        prop_assert_eq!(outputs.get("r").unwrap().as_i64(), Some(expected));
+    }
+}
+
+/// A caller for workflows without service blocks.
+struct NoServices;
+
+impl mathcloud_workflow::ServiceCaller for NoServices {
+    fn call(&self, url: &str, _inputs: &Object) -> Result<Object, String> {
+        Err(format!("no services available in this test (asked for {url})"))
+    }
+}

@@ -1,0 +1,153 @@
+//! Debye-formula scattering curves.
+
+use crate::geometry::{dist, Nanostructure};
+
+/// A uniform grid of scattering-vector magnitudes `q` (nm⁻¹).
+///
+/// The paper's measurements cover `q ≈ 5…70 nm⁻¹`; [`QGrid::paper_range`]
+/// reproduces that window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QGrid {
+    points: Vec<f64>,
+}
+
+impl QGrid {
+    /// A uniform grid of `n` points over `[q_min, q_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q_min < q_max` and `n >= 2`.
+    pub fn uniform(q_min: f64, q_max: f64, n: usize) -> Self {
+        assert!(q_min > 0.0 && q_max > q_min && n >= 2, "invalid q grid");
+        let step = (q_max - q_min) / (n - 1) as f64;
+        QGrid { points: (0..n).map(|i| q_min + step * i as f64).collect() }
+    }
+
+    /// The measurement window of the paper (5…70 nm⁻¹).
+    pub fn paper_range(n: usize) -> Self {
+        QGrid::uniform(5.0, 70.0, n)
+    }
+
+    /// The grid points.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` for an empty grid (never constructed by this API).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Computes the Debye scattering curve of a structure, normalized per atom
+/// pair so differently-sized structures are comparable:
+///
+/// ```text
+/// I(q) = (1/N²)·Σᵢ Σⱼ sin(q·rᵢⱼ)/(q·rᵢⱼ)      with sin(0)/0 ≡ 1
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_xray::{debye_curve, Nanostructure, QGrid, StructureKind};
+///
+/// let s = Nanostructure::build(StructureKind::Sphere { radius: 1.0 });
+/// let curve = debye_curve(&s, &QGrid::paper_range(32));
+/// assert_eq!(curve.len(), 32);
+/// assert!(curve.iter().all(|v| v.is_finite()));
+/// ```
+pub fn debye_curve(structure: &Nanostructure, grid: &QGrid) -> Vec<f64> {
+    let atoms = structure.atoms();
+    let n = atoms.len();
+    // Precompute pair distances once; reused across all q.
+    let mut distances = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            distances.push(dist(&atoms[i], &atoms[j]));
+        }
+    }
+    let norm = (n * n) as f64;
+    grid.points()
+        .iter()
+        .map(|&q| {
+            let mut sum = n as f64; // i == j terms: sinc(0) = 1
+            for &r in &distances {
+                let x = q * r;
+                sum += 2.0 * x.sin() / x;
+            }
+            sum / norm
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::StructureKind;
+
+    #[test]
+    fn grid_construction() {
+        let g = QGrid::uniform(1.0, 3.0, 5);
+        assert_eq!(g.points(), &[1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(QGrid::paper_range(10).points()[0], 5.0);
+        assert_eq!(*QGrid::paper_range(10).points().last().unwrap(), 70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid q grid")]
+    fn bad_grid_panics() {
+        let _ = QGrid::uniform(0.0, 1.0, 5);
+    }
+
+    #[test]
+    fn curve_tends_to_one_at_small_q() {
+        // As q → 0, sinc → 1, so normalized I → 1.
+        let s = Nanostructure::build(StructureKind::Sphere { radius: 0.5 });
+        let g = QGrid::uniform(1e-6, 1e-5, 2);
+        let curve = debye_curve(&s, &g);
+        assert!((curve[0] - 1.0).abs() < 1e-6, "{}", curve[0]);
+    }
+
+    #[test]
+    fn curve_decays_at_large_q() {
+        let s = Nanostructure::build(StructureKind::Sphere { radius: 1.0 });
+        let g = QGrid::paper_range(64);
+        let curve = debye_curve(&s, &g);
+        // High-q intensity collapses toward the self-term 1/N.
+        let n = s.atoms().len() as f64;
+        assert!(curve[63] < 0.3, "high-q value {}", curve[63]);
+        assert!(curve[63] > 1.0 / n / 10.0);
+    }
+
+    #[test]
+    fn different_shapes_give_distinguishable_curves() {
+        let g = QGrid::paper_range(48);
+        let toroid = debye_curve(
+            &Nanostructure::build(StructureKind::Toroid { major_r: 1.0, minor_r: 0.4 }),
+            &g,
+        );
+        let sphere = debye_curve(&Nanostructure::build(StructureKind::Sphere { radius: 1.0 }), &g);
+        let l2: f64 = toroid
+            .iter()
+            .zip(&sphere)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        // Over the paper's q window the per-pair-normalized curves are small
+        // but clearly separable; the fit tests rely on this margin.
+        assert!(l2 > 0.02, "curves too similar: {l2}");
+    }
+
+    #[test]
+    fn curve_is_deterministic() {
+        let g = QGrid::paper_range(16);
+        let a = debye_curve(&Nanostructure::build(StructureKind::Flake { side: 1.5 }), &g);
+        let b = debye_curve(&Nanostructure::build(StructureKind::Flake { side: 1.5 }), &g);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! The paper's third application: distributed optimization modeling (§4,
+//! refs [12-13]) — an AMPL model translated to an exact LP, and a
+//! Dantzig–Wolfe decomposition whose pricing subproblems are dispatched to
+//! a pool of MathCloud solver services in parallel.
+//!
+//! Run with: `cargo run --release -p mathcloud-examples --bin dantzig_wolfe [commodities] [services]`
+
+use std::time::{Duration, Instant};
+
+use mathcloud_bench::dw::{spawn_solver_pool, RemoteSolverPool, SolverLatency};
+use mathcloud_opt::transport::MultiCommodityProblem;
+use mathcloud_opt::{solve_dantzig_wolfe, DwOptions, Model};
+
+fn main() {
+    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let pool: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    // --- Part 1: the AMPL translator as a building block -----------------
+    println!("== AMPL-subset translator ==");
+    let src = "
+        set I; set J;
+        param supply {I}; param demand {J}; param cost {I, J};
+        var x {I, J} >= 0;
+        minimize total: sum {i in I, j in J} cost[i,j] * x[i,j];
+        subject to sup {i in I}: sum {j in J} x[i,j] <= supply[i];
+        subject to dem {j in J}: sum {i in I} x[i,j] >= demand[j];
+        data;
+        set I := novosibirsk moscow;
+        set J := dubna protvino;
+        param supply := novosibirsk 70 moscow 50;
+        param demand := dubna 60 protvino 45;
+        param cost := novosibirsk dubna 4   novosibirsk protvino 6
+                      moscow      dubna 3   moscow      protvino 2;
+        end;
+    ";
+    let lp = Model::parse(src).expect("model parses").instantiate().expect("data binds");
+    println!("instantiated LP: {} vars, {} constraints", lp.num_vars(), lp.num_constraints());
+    let sol = mathcloud_opt::solve(&lp).optimal().expect("feasible");
+    println!("optimal shipping cost: {}", sol.objective);
+    for (name, value) in lp.names().iter().zip(&sol.values) {
+        if !value.is_zero() {
+            println!("  {name} = {value}");
+        }
+    }
+
+    // --- Part 2: Dantzig–Wolfe over a service pool ------------------------
+    println!("\n== Dantzig-Wolfe with {k} commodities over {pool} solver services ==");
+    let problem = MultiCommodityProblem::random(k, 2, 3, 2024);
+    let direct = mathcloud_opt::solve(&problem.to_lp())
+        .optimal()
+        .expect("instance feasible");
+    println!("monolithic LP: {} vars — optimum {}", problem.to_lp().num_vars(), direct.objective);
+
+    let servers = spawn_solver_pool(pool, SolverLatency(Duration::from_millis(15)));
+    let bases: Vec<String> = servers.iter().map(|s| s.base_url()).collect();
+    println!("solver services:");
+    for b in &bases {
+        println!("  {b}/services/lp-transport");
+    }
+    let solver = RemoteSolverPool::new(problem.clone(), &bases);
+
+    let t0 = Instant::now();
+    let dw = solve_dantzig_wolfe(&problem, &solver, &DwOptions::default()).expect("converges");
+    let took = t0.elapsed();
+
+    assert_eq!(dw.objective, direct.objective, "decomposition is exact");
+    println!(
+        "\nDW optimum {} in {:.3}s — {} iterations, {} columns, {} remote subproblem calls",
+        dw.objective,
+        took.as_secs_f64(),
+        dw.stats.iterations,
+        dw.stats.columns,
+        dw.stats.subproblems_solved
+    );
+    println!("matches the monolithic optimum exactly (rational arithmetic end-to-end)");
+}

@@ -1,0 +1,1 @@
+//! Example package; see the binary targets in this directory.

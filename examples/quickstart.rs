@@ -1,0 +1,100 @@
+//! Quickstart: publish an application as a computational web service and
+//! call it through the unified REST API.
+//!
+//! Demonstrates the paper's core loop in under a minute:
+//! 1. start an Everest container,
+//! 2. deploy a service from *pure configuration* (the Command adapter — no
+//!    code written),
+//! 3. deploy a native service (the Java-adapter analogue),
+//! 4. introspect, submit, poll and fetch results as any HTTP client would.
+//!
+//! Run with: `cargo run -p mathcloud-examples --bin quickstart`
+
+use std::time::Duration;
+
+use mathcloud_client::ServiceClient;
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::{load_config, AdapterRegistry, Everest};
+use mathcloud_json::{json, parse, Schema, Value};
+
+fn main() {
+    // 1. A container.
+    let everest = Everest::new("quickstart");
+
+    // 2. Config-only deployment: expose `wc -w` as a word-count service.
+    //    "a user doesn't need to develop a service from scratch … In many
+    //    cases service development reduces to writing a service
+    //    configuration file" (§4).
+    let config = parse(
+        r#"{
+            "services": [{
+                "name": "word-count",
+                "description": "Counts words in a text using wc(1)",
+                "inputs":  { "text": {"type": "string"} },
+                "outputs": { "count": {"type": "string"} },
+                "adapter": {
+                    "type": "command",
+                    "program": "/usr/bin/wc",
+                    "args": ["-w"],
+                    "stdin": "text",
+                    "stdout": "count"
+                },
+                "tags": ["text", "unix"]
+            }]
+        }"#,
+    )
+    .expect("config parses");
+    load_config(&everest, &config, &AdapterRegistry::new()).expect("config deploys");
+
+    // 3. A native (in-process) service.
+    everest.deploy(
+        ServiceDescription::new("fibonacci", "n-th Fibonacci number, exactly")
+            .input(Parameter::new("n", Schema::integer().minimum(0.0).maximum(10_000.0)))
+            .output(Parameter::new("value", Schema::string()))
+            .tag("math"),
+        NativeAdapter::from_fn(|inputs, _| {
+            let n = inputs.get("n").and_then(Value::as_i64).unwrap_or(0);
+            let (mut a, mut b) = (
+                mathcloud_exact::BigInt::zero(),
+                mathcloud_exact::BigInt::one(),
+            );
+            for _ in 0..n {
+                let next = &a + &b;
+                a = b;
+                b = next;
+            }
+            Ok([("value".to_string(), Value::from(a.to_string()))]
+                .into_iter()
+                .collect())
+        }),
+    );
+
+    // 4. Serve it over HTTP and interact like any client.
+    let server = mathcloud_everest::serve(everest, "127.0.0.1:0", None).expect("bind");
+    let base = server.base_url();
+    println!("container listening at {base}");
+    println!("web UI available at {base}/ui\n");
+
+    let wc = ServiceClient::connect(&format!("{base}/services/word-count")).expect("url");
+    println!("-- word-count description --\n{}\n", wc.describe().expect("describe").to_value().to_pretty_string());
+
+    let rep = wc
+        .call(&json!({"text": "services made from pure configuration"}), Duration::from_secs(10))
+        .expect("word-count job");
+    println!(
+        "word-count(\"services made from pure configuration\") = {}",
+        rep.outputs.expect("outputs").get("count").expect("count")
+    );
+
+    let fib = ServiceClient::connect(&format!("{base}/services/fibonacci")).expect("url");
+    let rep = fib.call(&json!({"n": 200}), Duration::from_secs(10)).expect("fibonacci job");
+    println!(
+        "fibonacci(200) = {}",
+        rep.outputs.expect("outputs").get("value").expect("value")
+    );
+
+    // Validation errors travel as structured HTTP 400s.
+    let err = fib.submit(&json!({"n": (-1)})).expect_err("negative n is rejected");
+    println!("fibonacci(-1) -> {err}");
+}

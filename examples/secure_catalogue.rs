@@ -1,0 +1,158 @@
+//! Service catalogue + security mechanism walkthrough (§3.2 and §3.4).
+//!
+//! Starts two containers (one open, one certificate-protected), publishes
+//! their services into a catalogue, searches with snippets, exercises the
+//! availability monitor, and demonstrates the full authentication /
+//! authorization / delegation matrix of Fig 3.
+//!
+//! Run with: `cargo run -p mathcloud-examples --bin secure_catalogue`
+
+use std::time::Duration;
+
+use mathcloud_catalogue::Catalogue;
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_json::value::Object;
+use mathcloud_json::{json, Schema};
+use mathcloud_security::{
+    middleware, AccessPolicy, AuthConfig, CertificateAuthority, Identity, OpenIdProvider,
+};
+
+fn echo_service(name: &str, description: &str) -> (ServiceDescription, NativeAdapter) {
+    (
+        ServiceDescription::new(name, description)
+            .input(Parameter::new("message", Schema::string()))
+            .output(Parameter::new("echo", Schema::string())),
+        NativeAdapter::from_fn(|inputs: &Object, _| {
+            let m = inputs.get("message").and_then(|v| v.as_str()).unwrap_or("");
+            Ok([("echo".to_string(), json!(m))].into_iter().collect())
+        }),
+    )
+}
+
+fn main() {
+    // --- Two containers: open and secured --------------------------------
+    let open = Everest::new("open-node");
+    let (d, a) = echo_service("echo", "Echoes a message; exact matrix inversion not included");
+    open.deploy(d, a);
+    let (d, a) = echo_service("matrix-echo", "Pretends to do exact matrix inversion via Schur complement");
+    open.deploy(d, a);
+    let open_server = mathcloud_everest::serve(open, "127.0.0.1:0", None).expect("bind");
+
+    let ca = CertificateAuthority::new("mathcloud-ca");
+    let provider = OpenIdProvider::new("loginza-sim");
+    let secured = Everest::new("secure-node");
+    let mut policy = AccessPolicy::new();
+    policy.allow(Identity::openid("https://id/alice"));
+    policy.trust_proxy("CN=workflow-service");
+    let (d, a) = echo_service("private-echo", "Echo for authorized users only");
+    secured.deploy_with_policy(d, a, policy);
+    let secured_server = mathcloud_everest::serve(
+        secured,
+        "127.0.0.1:0",
+        Some(AuthConfig::new(ca.clone()).with_provider(provider.clone())),
+    )
+    .expect("bind");
+
+    // --- Catalogue: publish, search, monitor ------------------------------
+    println!("== catalogue ==");
+    let catalogue = Catalogue::new();
+    let open_base = open_server.base_url();
+    catalogue
+        .publish(&format!("{open_base}/services/echo"), &["demo"])
+        .expect("publish echo");
+    catalogue
+        .publish(&format!("{open_base}/services/matrix-echo"), &["demo", "linear-algebra"])
+        .expect("publish matrix-echo");
+
+    for result in catalogue.search("matrix inversion", None) {
+        println!(
+            "hit: {} (score {:.3}, available: {})\n     {}",
+            result.entry.description.name(),
+            result.score,
+            result.entry.available,
+            result.snippet
+        );
+    }
+    let (up, down) = catalogue.ping_all();
+    println!("availability sweep: {up} up, {down} down");
+
+    // --- Security matrix ---------------------------------------------------
+    println!("\n== security (Fig 3) ==");
+    let url = format!("{}/services/private-echo", secured_server.base_url());
+    let body = json!({"message": "hi"});
+    let http = mathcloud_http::Client::new();
+
+    // Anonymous: policy rejects (403).
+    let resp = http.post_json(&url, &body).expect("send");
+    println!("anonymous            -> {}", resp.status);
+
+    // Alice via OpenID: allowed.
+    let token = provider.login("https://id/alice", 600);
+    let resp = http
+        .send(
+            &url.parse().expect("url"),
+            middleware::with_openid(
+                mathcloud_http::Request::new(mathcloud_http::Method::Post, "/services/private-echo")
+                    .with_json(&body),
+                &token,
+            ),
+        )
+        .expect("send");
+    println!("alice (openid)       -> {}", resp.status);
+
+    // Bob with a valid certificate but not on the allow list: 403.
+    let bob_cert = ca.issue("CN=bob", 600);
+    let resp = http
+        .send(
+            &url.parse().expect("url"),
+            middleware::with_certificate(
+                mathcloud_http::Request::new(mathcloud_http::Method::Post, "/services/private-echo")
+                    .with_json(&body),
+                &bob_cert,
+            ),
+        )
+        .expect("send");
+    println!("bob (cert, unlisted) -> {}", resp.status);
+
+    // Forged certificate: 401 from the middleware.
+    let mut forged = ca.issue("CN=bob", 600);
+    forged.subject = "CN=alice-totally".into();
+    let resp = http
+        .send(
+            &url.parse().expect("url"),
+            middleware::with_certificate(
+                mathcloud_http::Request::new(mathcloud_http::Method::Post, "/services/private-echo")
+                    .with_json(&body),
+                &forged,
+            ),
+        )
+        .expect("send");
+    println!("forged certificate   -> {}", resp.status);
+
+    // The workflow service acting for alice (trusted proxy): allowed.
+    let wms_cert = ca.issue("CN=workflow-service", 600);
+    let resp = http
+        .send(
+            &url.parse().expect("url"),
+            middleware::with_delegation(
+                mathcloud_http::Request::new(mathcloud_http::Method::Post, "/services/private-echo")
+                    .with_json(&body),
+                &wms_cert,
+                &Identity::openid("https://id/alice"),
+            ),
+        )
+        .expect("send");
+    println!("wms on behalf of alice -> {}", resp.status);
+
+    // Shut a container down and watch the monitor catch it.
+    println!("\n== availability monitoring ==");
+    drop(open_server);
+    std::thread::sleep(Duration::from_millis(100));
+    let (up, down) = catalogue.ping_all();
+    println!("after shutdown: {up} up, {down} down");
+    for e in catalogue.entries() {
+        println!("  {} available={}", e.description.name(), e.available);
+    }
+}

@@ -1,0 +1,140 @@
+//! Fig 1 reproduction: the container's request-processing pipeline across
+//! all four adapter families — Command, Native (≈Java), Cluster (TORQUE-like)
+//! and Grid (gLite-like) — over live HTTP.
+
+use std::time::Duration;
+
+use mathcloud_client::ServiceClient;
+use mathcloud_cluster::BatchSystem;
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::{ClusterAdapter, CommandAdapter, GridAdapter, NativeAdapter};
+use mathcloud_everest::Everest;
+use mathcloud_grid::{ComputingElement, ProxyCredential, ResourceBroker};
+use mathcloud_json::{json, Schema, Value};
+
+fn full_container() -> Everest {
+    let e = Everest::with_handlers("pipeline", 4);
+
+    // Command adapter: existing binary, zero code.
+    e.deploy(
+        ServiceDescription::new("rev", "reverses text with rev(1)")
+            .input(Parameter::new("text", Schema::string()))
+            .output(Parameter::new("reversed", Schema::string())),
+        CommandAdapter::new("/usr/bin/rev", &[]).stdin_from("text").stdout_to("reversed"),
+    );
+
+    // Native adapter.
+    e.deploy(
+        ServiceDescription::new("square", "squares an integer")
+            .input(Parameter::new("n", Schema::integer()))
+            .output(Parameter::new("sq", Schema::integer())),
+        NativeAdapter::from_fn(|inputs, _| {
+            let n = inputs.get("n").and_then(Value::as_i64).unwrap_or(0);
+            Ok([("sq".to_string(), json!(n * n))].into_iter().collect())
+        }),
+    );
+
+    // Cluster adapter: request → TORQUE-like batch job.
+    let cluster = BatchSystem::builder("site").nodes("node", 2, 2).build();
+    e.deploy(
+        ServiceDescription::new("batch-sum", "sums on the cluster")
+            .input(Parameter::new("values", Schema::array_of(Schema::integer())))
+            .output(Parameter::new("total", Schema::integer())),
+        ClusterAdapter::new(cluster, 1, |inputs, _| {
+            let total: i64 = inputs
+                .get("values")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().filter_map(Value::as_i64).sum())
+                .unwrap_or(0);
+            Ok([("total".to_string(), json!(total))].into_iter().collect())
+        }),
+    );
+
+    // Grid adapter: request → gLite-like grid job via broker matchmaking.
+    let ce = ComputingElement::new(
+        "ce.site.org",
+        &["math-vo"],
+        BatchSystem::builder("grid-site").node("wn", 4).build(),
+    );
+    let broker = ResourceBroker::new(vec![ce]);
+    let proxy = ProxyCredential::issue("CN=container", "math-vo", Duration::from_secs(3600));
+    e.deploy(
+        ServiceDescription::new("grid-max", "max on the grid")
+            .input(Parameter::new("values", Schema::array_of(Schema::integer())))
+            .output(Parameter::new("max", Schema::integer())),
+        GridAdapter::new(broker, proxy, 1, |inputs, _| {
+            let max = inputs
+                .get("values")
+                .and_then(Value::as_array)
+                .and_then(|a| a.iter().filter_map(Value::as_i64).max())
+                .ok_or("empty values")?;
+            Ok([("max".to_string(), json!(max))].into_iter().collect())
+        }),
+    );
+
+    e
+}
+
+#[test]
+fn all_four_adapters_serve_jobs_over_http() {
+    let server = mathcloud_everest::serve(full_container(), "127.0.0.1:0", None).unwrap();
+    let base = server.base_url();
+    let wait = Duration::from_secs(30);
+
+    let rev = ServiceClient::connect(&format!("{base}/services/rev")).unwrap();
+    let rep = rev.call(&json!({"text": "everest"}), wait).unwrap();
+    assert_eq!(rep.outputs.unwrap().get("reversed").unwrap().as_str(), Some("tsereve"));
+
+    let square = ServiceClient::connect(&format!("{base}/services/square")).unwrap();
+    let rep = square.call(&json!({"n": 12}), wait).unwrap();
+    assert_eq!(rep.outputs.unwrap().get("sq").unwrap().as_i64(), Some(144));
+
+    let batch = ServiceClient::connect(&format!("{base}/services/batch-sum")).unwrap();
+    let rep = batch.call(&json!({"values": [1, 2, 3, 4]}), wait).unwrap();
+    assert_eq!(rep.outputs.unwrap().get("total").unwrap().as_i64(), Some(10));
+
+    let grid = ServiceClient::connect(&format!("{base}/services/grid-max")).unwrap();
+    let rep = grid.call(&json!({"values": [5, 9, 2]}), wait).unwrap();
+    assert_eq!(rep.outputs.unwrap().get("max").unwrap().as_i64(), Some(9));
+}
+
+#[test]
+fn adapter_failures_become_failed_jobs_not_http_errors() {
+    let server = mathcloud_everest::serve(full_container(), "127.0.0.1:0", None).unwrap();
+    let base = server.base_url();
+    let grid = ServiceClient::connect(&format!("{base}/services/grid-max")).unwrap();
+    let err = grid
+        .call(&json!({"values": []}), Duration::from_secs(30))
+        .unwrap_err();
+    assert!(err.to_string().contains("empty values"), "{err}");
+}
+
+#[test]
+fn container_introspection_lists_every_service() {
+    let server = mathcloud_everest::serve(full_container(), "127.0.0.1:0", None).unwrap();
+    let services = mathcloud_client::list_services(&server.base_url()).unwrap();
+    let names: Vec<&str> = services.iter().map(|d| d.name()).collect();
+    assert_eq!(names, ["rev", "square", "batch-sum", "grid-max"]);
+}
+
+#[test]
+fn handler_pool_processes_jobs_concurrently() {
+    // 4 handler threads: four 200 ms jobs finish well under the 800 ms a
+    // serial pool would need (generous margin for loaded CI machines).
+    let e = Everest::with_handlers("parallel", 4);
+    e.deploy(
+        ServiceDescription::new("nap", "sleeps 200ms"),
+        NativeAdapter::from_fn(|_, _| {
+            std::thread::sleep(Duration::from_millis(200));
+            Ok(mathcloud_json::value::Object::new())
+        }),
+    );
+    let server = mathcloud_everest::serve(e, "127.0.0.1:0", None).unwrap();
+    let svc = ServiceClient::connect(&format!("{}/services/nap", server.base_url())).unwrap();
+    let t0 = std::time::Instant::now();
+    let jobs: Vec<_> = (0..4).map(|_| svc.submit(&json!({})).unwrap()).collect();
+    for job in jobs {
+        job.wait(Duration::from_secs(10)).unwrap();
+    }
+    assert!(t0.elapsed() < Duration::from_millis(650), "{:?}", t0.elapsed());
+}

@@ -1,0 +1,170 @@
+//! Failure injection: what happens when pieces of the distributed platform
+//! die mid-operation. The heterogeneous environments the paper targets fail
+//! constantly; these tests pin down the platform's behaviour when they do.
+
+use std::time::Duration;
+
+use mathcloud_catalogue::Catalogue;
+use mathcloud_client::ServiceClient;
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_http::{Response, Router, Server};
+use mathcloud_json::{json, Schema, Value};
+use mathcloud_workflow::{validate, Engine, EngineError, HttpCaller, HttpDescriptions, Workflow};
+
+fn sum_container() -> Everest {
+    let e = Everest::with_handlers("victim", 2);
+    e.deploy(
+        ServiceDescription::new("add", "adds")
+            .input(Parameter::new("a", Schema::integer()))
+            .input(Parameter::new("b", Schema::integer()))
+            .output(Parameter::new("sum", Schema::integer())),
+        NativeAdapter::from_fn(|inputs, _| {
+            let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+            let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(50));
+            Ok([("sum".to_string(), json!(a + b))].into_iter().collect())
+        }),
+    );
+    e
+}
+
+#[test]
+fn workflow_fails_cleanly_when_a_service_dies_mid_run() {
+    let server = mathcloud_everest::serve(sum_container(), "127.0.0.1:0", None).unwrap();
+    let base = server.base_url();
+    let wf = Workflow::new("doomed", "")
+        .input("a", Schema::integer())
+        .input("b", Schema::integer())
+        .service("s1", &format!("{base}/services/add"))
+        .service("s2", &format!("{base}/services/add"))
+        .output("r", Schema::integer())
+        .wire(("a", "value"), ("s1", "a"))
+        .wire(("b", "value"), ("s1", "b"))
+        .wire(("s1", "sum"), ("s2", "a"))
+        .wire(("b", "value"), ("s2", "b"))
+        .wire(("s2", "sum"), ("r", "value"));
+    let validated = validate(&wf, &HttpDescriptions::new()).unwrap();
+    // Kill the container before execution: every service call now fails.
+    drop(server);
+    let engine = Engine::with_caller(validated, HttpCaller::new(Duration::from_millis(5)));
+    let inputs = [("a".to_string(), json!(1)), ("b".to_string(), json!(2))]
+        .into_iter()
+        .collect();
+    let err = engine.run(&inputs).unwrap_err();
+    match err {
+        EngineError::BlockFailed { block, reason } => {
+            assert_eq!(block, "s1", "the first service block is attributed");
+            assert!(!reason.is_empty());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn client_reports_transport_failures_distinctly_from_job_failures() {
+    let server = mathcloud_everest::serve(sum_container(), "127.0.0.1:0", None).unwrap();
+    let base = server.base_url();
+    let svc = ServiceClient::connect(&format!("{base}/services/add")).unwrap();
+    // Healthy call first.
+    assert!(svc.call(&json!({"a": 1, "b": 2}), Duration::from_secs(10)).is_ok());
+    // Kill the server; the next call is a transport error, not JobFailed.
+    drop(server);
+    let err = svc.call(&json!({"a": 1, "b": 2}), Duration::from_secs(2)).unwrap_err();
+    assert!(
+        matches!(err, mathcloud_client::ServiceError::Transport(_)),
+        "{err}"
+    );
+}
+
+#[test]
+fn catalogue_survives_flapping_services() {
+    let catalogue = Catalogue::new();
+    let server = mathcloud_everest::serve(sum_container(), "127.0.0.1:0", None).unwrap();
+    let url = format!("{}/services/add", server.base_url());
+    catalogue.publish(&url, &["math"]).unwrap();
+    assert_eq!(catalogue.ping_all(), (1, 0));
+    drop(server);
+    assert_eq!(catalogue.ping_all(), (0, 1));
+    // The entry remains searchable while marked unavailable.
+    let hits = catalogue.search("adds", None);
+    assert_eq!(hits.len(), 1);
+    assert!(!hits[0].entry.available);
+}
+
+#[test]
+fn catalogue_rejects_services_that_serve_garbage() {
+    // A server that speaks HTTP but not the MathCloud protocol.
+    let mut router = Router::new();
+    router.get("/services/junk", |_r, _p| Response::text(200, "<html>not a description</html>"));
+    let server = Server::bind("127.0.0.1:0", router).unwrap();
+    let catalogue = Catalogue::new();
+    let err = catalogue
+        .publish(&format!("{}/services/junk", server.base_url()), &[])
+        .unwrap_err();
+    assert!(err.to_string().contains("bad service description"), "{err}");
+}
+
+#[test]
+fn half_open_connections_do_not_wedge_the_server() {
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    let server = mathcloud_everest::serve(sum_container(), "127.0.0.1:0", None).unwrap();
+    // Open sockets that send partial requests and vanish.
+    for _ in 0..5 {
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        let _ = s.write_all(b"POST /services/add HTTP/1.1\r\nContent-Le");
+        drop(s);
+    }
+    // The server still answers real clients promptly.
+    let svc = ServiceClient::connect(&format!("{}/services/add", server.base_url())).unwrap();
+    let rep = svc.call(&json!({"a": 20, "b": 22}), Duration::from_secs(10)).unwrap();
+    assert_eq!(rep.outputs.unwrap().get("sum").unwrap().as_i64(), Some(42));
+}
+
+#[test]
+fn adapter_panics_do_not_take_down_the_container() {
+    let e = Everest::with_handlers("panicky", 2);
+    e.deploy(
+        ServiceDescription::new("boom", "panics"),
+        NativeAdapter::from_fn(|_, _| panic!("adapter bug")),
+    );
+    e.deploy(
+        ServiceDescription::new("fine", "works"),
+        NativeAdapter::from_fn(|_, _| Ok(mathcloud_json::value::Object::new())),
+    );
+    // The panic is contained: the job FAILS with the panic message and the
+    // handler thread survives to serve later jobs.
+    let rep = e.submit("boom", &json!({}), None).unwrap();
+    let done = e.wait("boom", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+    assert_eq!(done.state, mathcloud_core::JobState::Failed);
+    assert!(done.error.as_deref().unwrap_or("").contains("adapter panicked"), "{done:?}");
+    // Saturate the pool with more panicking jobs, then prove both handlers
+    // still work.
+    for _ in 0..4 {
+        let rep = e.submit("boom", &json!({}), None).unwrap();
+        e.wait("boom", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+    }
+    let ok = e
+        .submit_sync("fine", &json!({}), None, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(ok.state, mathcloud_core::JobState::Done);
+}
+
+#[test]
+fn oversized_request_bodies_are_rejected_not_buffered_forever() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let server = mathcloud_everest::serve(sum_container(), "127.0.0.1:0", None).unwrap();
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    // Claim a body over the 1 GiB limit.
+    s.write_all(b"POST /services/add HTTP/1.1\r\nHost: x\r\nContent-Length: 99999999999\r\n\r\n")
+        .unwrap();
+    let mut buf = [0u8; 256];
+    let n = s.read(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf[..n]);
+    assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+}

@@ -1,0 +1,149 @@
+//! Fig 3 reproduction: the full security matrix over live HTTP —
+//! {certificate, OpenID, anonymous, forged} × {allowed, denied, unlisted}
+//! plus service-to-service delegation through trusted proxies.
+
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_http::{Client, Method, Request, Url};
+use mathcloud_json::{json, Schema};
+use mathcloud_security::{
+    middleware, AccessPolicy, AuthConfig, CertificateAuthority, Identity, OpenIdProvider,
+};
+
+struct Fixture {
+    _server: mathcloud_http::Server,
+    url: Url,
+    ca: CertificateAuthority,
+    provider: OpenIdProvider,
+}
+
+fn fixture() -> Fixture {
+    let ca = CertificateAuthority::new("test-ca");
+    let provider = OpenIdProvider::new("loginza-sim");
+    let e = Everest::new("secured");
+    let mut policy = AccessPolicy::new();
+    policy.allow(Identity::certificate("CN=alice"));
+    policy.allow(Identity::openid("https://id/carol"));
+    policy.deny(Identity::openid("https://id/mallory"));
+    policy.trust_proxy("CN=wms");
+    e.deploy_with_policy(
+        ServiceDescription::new("guarded", "policy-protected echo")
+            .input(Parameter::new("m", Schema::string()))
+            .output(Parameter::new("echo", Schema::string())),
+        NativeAdapter::from_fn(|inputs, _| {
+            let m = inputs.get("m").and_then(|v| v.as_str()).unwrap_or("");
+            Ok([("echo".to_string(), json!(m))].into_iter().collect())
+        }),
+        policy,
+    );
+    let server = mathcloud_everest::serve(
+        e,
+        "127.0.0.1:0",
+        Some(AuthConfig::new(ca.clone()).with_provider(provider.clone())),
+    )
+    .unwrap();
+    let url: Url = format!("{}/services/guarded", server.base_url()).parse().unwrap();
+    Fixture { _server: server, url, ca, provider }
+}
+
+fn post(f: &Fixture, req: Request) -> u16 {
+    Client::new().send(&f.url, req).unwrap().status.as_u16()
+}
+
+fn base_request(f: &Fixture) -> Request {
+    Request::new(Method::Post, &f.url.target()).with_json(&json!({"m": "hello"}))
+}
+
+#[test]
+fn certificate_holder_on_allow_list_is_admitted() {
+    let f = fixture();
+    let cert = f.ca.issue("CN=alice", 600);
+    assert_eq!(post(&f, middleware::with_certificate(base_request(&f), &cert)), 201);
+}
+
+#[test]
+fn openid_user_on_allow_list_is_admitted() {
+    let f = fixture();
+    let token = f.provider.login("https://id/carol", 600);
+    assert_eq!(post(&f, middleware::with_openid(base_request(&f), &token)), 201);
+}
+
+#[test]
+fn anonymous_and_unlisted_users_get_403() {
+    let f = fixture();
+    assert_eq!(post(&f, base_request(&f)), 403);
+    let cert = f.ca.issue("CN=bob", 600);
+    assert_eq!(post(&f, middleware::with_certificate(base_request(&f), &cert)), 403);
+}
+
+#[test]
+fn deny_list_beats_everything() {
+    let f = fixture();
+    let token = f.provider.login("https://id/mallory", 600);
+    assert_eq!(post(&f, middleware::with_openid(base_request(&f), &token)), 403);
+}
+
+#[test]
+fn forged_and_expired_credentials_get_401() {
+    let f = fixture();
+    let mut forged = f.ca.issue("CN=bob", 600);
+    forged.subject = "CN=alice".into();
+    assert_eq!(post(&f, middleware::with_certificate(base_request(&f), &forged)), 401);
+
+    let expired = f.ca.issue_with_validity("CN=alice", 0, 1);
+    assert_eq!(post(&f, middleware::with_certificate(base_request(&f), &expired)), 401);
+
+    let other_provider = OpenIdProvider::new("unknown-idp");
+    let token = other_provider.login("https://id/carol", 600);
+    assert_eq!(post(&f, middleware::with_openid(base_request(&f), &token)), 401);
+}
+
+#[test]
+fn identity_spoofing_via_headers_is_stripped() {
+    let f = fixture();
+    let req = base_request(&f).with_header(mathcloud_security::IDENTITY_HEADER, "cert:CN=alice");
+    assert_eq!(post(&f, req), 403, "spoofed identity header must not grant access");
+}
+
+#[test]
+fn trusted_proxy_may_act_for_allowed_users_only() {
+    let f = fixture();
+    let wms_cert = f.ca.issue("CN=wms", 600);
+    // Alice through the WMS: allowed.
+    let req = middleware::with_delegation(
+        base_request(&f),
+        &wms_cert,
+        &Identity::certificate("CN=alice"),
+    );
+    assert_eq!(post(&f, req), 201);
+    // Bob through the WMS: the *user* must still pass the policy.
+    let req = middleware::with_delegation(
+        base_request(&f),
+        &wms_cert,
+        &Identity::certificate("CN=bob"),
+    );
+    assert_eq!(post(&f, req), 403);
+}
+
+#[test]
+fn untrusted_proxies_are_rejected() {
+    let f = fixture();
+    // Valid certificate, but CN=intruder is not on the proxy list.
+    let rogue_cert = f.ca.issue("CN=intruder", 600);
+    let req = middleware::with_delegation(
+        base_request(&f),
+        &rogue_cert,
+        &Identity::certificate("CN=alice"),
+    );
+    assert_eq!(post(&f, req), 403);
+    // Proxy certificate from an untrusted CA: rejected at authentication.
+    let rogue_ca = CertificateAuthority::with_secret("test-ca", b"other-secret");
+    let fake_wms = rogue_ca.issue("CN=wms", 600);
+    let req = middleware::with_delegation(
+        base_request(&f),
+        &fake_wms,
+        &Identity::certificate("CN=alice"),
+    );
+    assert_eq!(post(&f, req), 401);
+}
