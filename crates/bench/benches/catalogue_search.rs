@@ -5,16 +5,32 @@
 //! work (tokenize every document, accumulate per-term scores) without an
 //! index, as the published-service population grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mathcloud_bench::harness::Harness;
 use mathcloud_catalogue::index::{tokenize, InvertedIndex};
 
 const VOCAB: [&str; 16] = [
-    "matrix", "inversion", "exact", "scattering", "optimization", "solver", "grid", "cluster",
-    "transport", "workflow", "schur", "hilbert", "simplex", "nanostructure", "spectra", "fit",
+    "matrix",
+    "inversion",
+    "exact",
+    "scattering",
+    "optimization",
+    "solver",
+    "grid",
+    "cluster",
+    "transport",
+    "workflow",
+    "schur",
+    "hilbert",
+    "simplex",
+    "nanostructure",
+    "spectra",
+    "fit",
 ];
 
 fn document(i: usize) -> String {
-    let words: Vec<&str> = (0..24).map(|j| VOCAB[(i * 7 + j * 3) % VOCAB.len()]).collect();
+    let words: Vec<&str> = (0..24)
+        .map(|j| VOCAB[(i * 7 + j * 3) % VOCAB.len()])
+        .collect();
     format!("svc-{i} {}", words.join(" "))
 }
 
@@ -39,23 +55,21 @@ fn linear_scan(docs: &[String], query: &str) -> Vec<(usize, usize)> {
     hits
 }
 
-fn bench_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("catalogue_search");
+fn main() {
+    let mut h = Harness::from_args();
+    let mut group = h.group("catalogue_search");
     for size in [100usize, 1000] {
         let docs: Vec<String> = (0..size).map(document).collect();
         let mut index = InvertedIndex::new();
         for (i, doc) in docs.iter().enumerate() {
             index.insert(i as u64, doc);
         }
-        group.bench_with_input(BenchmarkId::new("inverted_index", size), &index, |b, idx| {
+        group.bench_with_input("inverted_index", &size, &index, |b, idx| {
             b.iter(|| idx.search("matrix inversion solver"));
         });
-        group.bench_with_input(BenchmarkId::new("linear_scan", size), &docs, |b, docs| {
+        group.bench_with_input("linear_scan", &size, &docs, |b, docs| {
             b.iter(|| linear_scan(docs, "matrix inversion solver"));
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_search);
-criterion_main!(benches);

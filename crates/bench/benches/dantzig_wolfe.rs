@@ -5,33 +5,36 @@
 //! Each solver service carries a simulated 15 ms queueing/network latency so
 //! the pool-size effect is visible at benchmark-friendly problem sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mathcloud_bench::dw::{spawn_solver_pool, RemoteSolverPool, SolverLatency};
+use mathcloud_bench::harness::Harness;
 use mathcloud_opt::transport::MultiCommodityProblem;
 use mathcloud_opt::{solve_dantzig_wolfe, DwOptions};
 use std::time::Duration;
 
-fn bench_dw(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let problem = MultiCommodityProblem::random(6, 2, 3, 2024);
 
-    let mut group = c.benchmark_group("dantzig_wolfe_pool");
-    group.sample_size(10);
-    for pool_size in [1usize, 2, 4] {
-        let servers = spawn_solver_pool(pool_size, SolverLatency(Duration::from_millis(15)));
-        let bases: Vec<String> = servers.iter().map(|s| s.base_url()).collect();
-        let solver = RemoteSolverPool::new(problem.clone(), &bases);
-        group.bench_with_input(BenchmarkId::new("services", pool_size), &solver, |b, solver| {
-            b.iter(|| {
-                solve_dantzig_wolfe(&problem, solver, &DwOptions::default())
-                    .expect("decomposition converges")
+    {
+        let mut group = h.group("dantzig_wolfe_pool");
+        group.sample_size(10);
+        for pool_size in [1usize, 2, 4] {
+            let servers = spawn_solver_pool(pool_size, SolverLatency(Duration::from_millis(15)));
+            let bases: Vec<String> = servers.iter().map(|s| s.base_url()).collect();
+            let solver = RemoteSolverPool::new(problem.clone(), &bases);
+            group.bench_with_input("services", &pool_size, &solver, |b, solver| {
+                b.iter(|| {
+                    solve_dantzig_wolfe(&problem, solver, &DwOptions::default())
+                        .expect("decomposition converges")
+                });
             });
-        });
-        drop(servers);
+            drop(servers);
+        }
+        group.finish();
     }
-    group.finish();
 
     // Baseline: the monolithic LP without decomposition.
-    let mut group = c.benchmark_group("dantzig_wolfe_baseline");
+    let mut group = h.group("dantzig_wolfe_baseline");
     group.sample_size(10);
     let lp = problem.to_lp();
     group.bench_function("monolithic_simplex", |b| {
@@ -39,6 +42,3 @@ fn bench_dw(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_dw);
-criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! representation of data structures"). This bench quantifies the choice on
 //! representative job representations: encode + decode cost and size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mathcloud_bench::harness::Harness;
 use mathcloud_json::{json, parse, Value};
 
 /// A representative DONE job representation with a medium result payload.
@@ -76,33 +76,36 @@ fn scan_xml(xml: &str) -> usize {
     elements
 }
 
-fn bench_encoding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encoding_ablation");
+fn main() {
+    let mut h = Harness::from_args();
+    let mut group = h.group("encoding_ablation");
     for size in [1024usize, 64 * 1024] {
         let doc = job_payload(size);
         let json_text = doc.to_string();
         let mut xml_text = String::new();
         to_xml(&doc, "job", &mut xml_text);
 
-        group.bench_with_input(BenchmarkId::new("json_encode", size), &doc, |b, doc| {
+        group.bench_with_input("json_encode", &size, &doc, |b, doc| {
             b.iter(|| doc.to_string());
         });
-        group.bench_with_input(BenchmarkId::new("json_decode", size), &json_text, |b, text| {
+        group.bench_with_input("json_decode", &size, &json_text, |b, text| {
             b.iter(|| parse(text).expect("valid json"));
         });
-        group.bench_with_input(BenchmarkId::new("xml_encode", size), &doc, |b, doc| {
+        group.bench_with_input("xml_encode", &size, &doc, |b, doc| {
             b.iter(|| {
                 let mut out = String::new();
                 to_xml(doc, "job", &mut out);
                 out
             });
         });
-        group.bench_with_input(BenchmarkId::new("xml_scan", size), &xml_text, |b, text| {
+        group.bench_with_input("xml_scan", &size, &xml_text, |b, text| {
             b.iter(|| scan_xml(text));
         });
+        println!(
+            "encoding_ablation sizes @{size}: json {} bytes, xml {} bytes",
+            json_text.len(),
+            xml_text.len()
+        );
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_encoding);
-criterion_main!(benches);

@@ -2,15 +2,16 @@
 //! mcscript and SHA-256. These track the constant factors everything else
 //! is built on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mathcloud_bench::harness::Harness;
 use mathcloud_exact::{hilbert, BigInt, Rational};
 use mathcloud_http::{Method, Request, Response, Router};
 use mathcloud_json::parse;
 use mathcloud_security::sha256;
 use mathcloud_workflow::run_script;
 
-fn bench_micro(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro");
+fn main() {
+    let mut h = Harness::from_args();
+    let mut group = h.group("micro");
 
     let a = BigInt::from(7).pow(400);
     let b = BigInt::from(11).pow(350);
@@ -27,9 +28,9 @@ fn bench_micro(c: &mut Criterion) {
         bch.iter(|| &r1 + &r2);
     });
 
-    let h = hilbert(12);
+    let hm = hilbert(12);
     group.bench_function("hilbert12_inverse", |bch| {
-        bch.iter(|| h.inverse().expect("invertible"));
+        bch.iter(|| hm.inverse().expect("invertible"));
     });
 
     let json_text = {
@@ -50,7 +51,9 @@ fn bench_micro(c: &mut Criterion) {
     });
 
     let mut router = Router::new();
-    router.get("/services/{name}/jobs/{id}/files/{file}", |_r, _p| Response::empty(200));
+    router.get("/services/{name}/jobs/{id}/files/{file}", |_r, _p| {
+        Response::empty(200)
+    });
     router.get("/services/{name}/jobs/{id}", |_r, _p| Response::empty(200));
     router.get("/services/{name}", |_r, _p| Response::empty(200));
     let req = Request::new(Method::Get, "/services/inverse/jobs/j-42");
@@ -58,13 +61,19 @@ fn bench_micro(c: &mut Criterion) {
         bch.iter(|| router.dispatch(&req));
     });
 
-    let inputs = [("rows".to_string(), mathcloud_json::json!(["1 2", "3 4", "5 6"]))]
-        .into_iter()
-        .collect();
+    let inputs = [(
+        "rows".to_string(),
+        mathcloud_json::json!(["1 2", "3 4", "5 6"]),
+    )]
+    .into_iter()
+    .collect();
     group.bench_function("mcscript_join_program", |bch| {
         bch.iter(|| {
-            run_script("let s = join(rows, \"; \"); out = s + \"!\"; n = len(rows);", &inputs)
-                .expect("script runs")
+            run_script(
+                "let s = join(rows, \"; \"); out = s + \"!\"; n = len(rows);",
+                &inputs,
+            )
+            .expect("script runs")
         });
     });
 
@@ -75,6 +84,3 @@ fn bench_micro(c: &mut Criterion) {
 
     group.finish();
 }
-
-criterion_group!(benches, bench_micro);
-criterion_main!(benches);

@@ -1,42 +1,58 @@
 //! Platform-overhead benchmark (§4's "about 2-5% of total computing time").
 //!
 //! Compares the same computation executed in-process and through the full
-//! REST stack, across compute durations and payload sizes.
+//! REST stack, across compute durations and payload sizes, and reports the
+//! measured overhead ratio for each configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mathcloud_bench::harness::Harness;
 use mathcloud_bench::overhead::{busy_compute, spawn_compute_server};
 use mathcloud_client::ServiceClient;
 use mathcloud_json::json;
 use std::time::Duration;
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let server = spawn_compute_server();
     let base = server.base_url();
 
-    let mut group = c.benchmark_group("overhead");
-    group.sample_size(10);
-    for (compute_ms, payload_kb) in [(2u64, 4usize), (20, 4), (20, 256)] {
-        let label = format!("{compute_ms}ms_{payload_kb}kb");
-        let payload = "p".repeat(payload_kb * 1024);
-        group.bench_with_input(BenchmarkId::new("direct", &label), &payload, |b, payload| {
-            b.iter(|| busy_compute(payload, compute_ms, 1024));
-        });
-        let client = ServiceClient::connect(&format!("{base}/services/compute")).expect("url");
-        let request = json!({
-            "payload": payload,
-            "compute_ms": (compute_ms as i64),
-            "reply_bytes": 1024,
-        });
-        group.bench_with_input(BenchmarkId::new("via_platform", &label), &request, |b, request| {
-            b.iter(|| {
-                client
-                    .call(request, Duration::from_secs(60))
-                    .expect("compute service")
+    let configs = [(2u64, 4usize), (20, 4), (20, 256)];
+    {
+        let mut group = h.group("overhead");
+        group.sample_size(10);
+        for (compute_ms, payload_kb) in configs {
+            let label = format!("{compute_ms}ms_{payload_kb}kb");
+            let payload = "p".repeat(payload_kb * 1024);
+            group.bench_with_input("direct", &label, &payload, |b, payload| {
+                b.iter(|| busy_compute(payload, compute_ms, 1024));
             });
-        });
+            let client = ServiceClient::connect(&format!("{base}/services/compute")).expect("url");
+            let request = json!({
+                "payload": payload,
+                "compute_ms": (compute_ms as i64),
+                "reply_bytes": 1024,
+            });
+            group.bench_with_input("via_platform", &label, &request, |b, request| {
+                b.iter(|| {
+                    client
+                        .call(request, Duration::from_secs(60))
+                        .expect("compute service")
+                });
+            });
+        }
+        group.finish();
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);
+    // Overhead summary: the platform's share of total wall-clock per call.
+    println!();
+    for (compute_ms, payload_kb) in configs {
+        let label = format!("{compute_ms}ms_{payload_kb}kb");
+        let direct = h.median_secs(&format!("overhead/direct/{label}"));
+        let via = h.median_secs(&format!("overhead/via_platform/{label}"));
+        if let (Some(direct), Some(via)) = (direct, via) {
+            let pct = (via - direct) / via * 100.0;
+            println!(
+                "overhead {label}: direct {direct:.4}s via {via:.4}s -> {pct:.1}% platform share"
+            );
+        }
+    }
+}

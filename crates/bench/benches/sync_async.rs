@@ -4,7 +4,7 @@
 //! trip); the pure-async path always pays at least one extra poll. This
 //! bench quantifies the latency the synchronous fast-path saves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mathcloud_bench::harness::Harness;
 use mathcloud_client::ServiceClient;
 use mathcloud_core::{Parameter, ServiceDescription};
 use mathcloud_everest::adapter::NativeAdapter;
@@ -28,12 +28,13 @@ fn spawn() -> (mathcloud_http::Server, String) {
     (server, base)
 }
 
-fn bench_sync_async(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let (_server, base) = spawn();
     let svc = ServiceClient::connect(&format!("{base}/services/fast")).expect("url");
     let request = json!({"x": 41});
 
-    let mut group = c.benchmark_group("sync_async");
+    let mut group = h.group("sync_async");
     // Fast path: POST returns the DONE representation directly.
     group.bench_function("sync_window", |b| {
         b.iter(|| {
@@ -53,6 +54,3 @@ fn bench_sync_async(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_sync_async);
-criterion_main!(benches);

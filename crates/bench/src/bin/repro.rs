@@ -49,11 +49,19 @@ fn table1() {
     let base = servers[0].base_url();
     let client = mathcloud_http::Client::new();
 
-    let desc = client.get(&format!("{base}/services/mat-invert")).expect("GET service");
-    println!("GET  service  -> {} (service description)", desc.status.as_u16());
+    let desc = client
+        .get(&format!("{base}/services/mat-invert"))
+        .expect("GET service");
+    println!(
+        "GET  service  -> {} (service description)",
+        desc.status.as_u16()
+    );
 
     let submit = client
-        .post_json(&format!("{base}/services/mat-invert"), &json!({"matrix": "2 0; 0 4"}))
+        .post_json(
+            &format!("{base}/services/mat-invert"),
+            &json!({"matrix": "2 0; 0 4"}),
+        )
         .expect("POST service");
     let rep = submit.body_json().expect("json body");
     println!(
@@ -64,46 +72,76 @@ fn table1() {
 
     let job_uri = rep["uri"].as_str().expect("job uri").to_string();
     let poll = client.get(&format!("{base}{job_uri}")).expect("GET job");
-    println!("GET  job      -> {} (status and results)", poll.status.as_u16());
+    println!(
+        "GET  job      -> {} (status and results)",
+        poll.status.as_u16()
+    );
 
     // File resource: run a job that produces a file output.
     let store = mathcloud_everest::Everest::new("file-demo");
     store.deploy(
         mathcloud_core::ServiceDescription::new("store", "stores payloads")
-            .input(mathcloud_core::Parameter::new("payload", mathcloud_json::Schema::string()))
-            .output(mathcloud_core::Parameter::new("file", mathcloud_json::Schema::string())),
+            .input(mathcloud_core::Parameter::new(
+                "payload",
+                mathcloud_json::Schema::string(),
+            ))
+            .output(mathcloud_core::Parameter::new(
+                "file",
+                mathcloud_json::Schema::string(),
+            )),
         mathcloud_everest::adapter::NativeAdapter::from_fn(|inputs, ctx| {
             let p = inputs.get("payload").and_then(Value::as_str).unwrap_or("");
-            Ok([("file".to_string(), ctx.store_file(p.as_bytes().to_vec()))]
-                .into_iter()
-                .collect())
+            Ok(
+                [("file".to_string(), ctx.store_file(p.as_bytes().to_vec()))]
+                    .into_iter()
+                    .collect(),
+            )
         }),
     );
     let fs = mathcloud_everest::serve(store, "127.0.0.1:0", None).expect("bind");
     let rep = client
-        .post_json(&format!("{}/services/store", fs.base_url()), &json!({"payload": "large data"}))
+        .post_json(
+            &format!("{}/services/store", fs.base_url()),
+            &json!({"payload": "large data"}),
+        )
         .expect("POST store")
         .body_json()
         .expect("json");
     let file_url = rep["outputs"]["file"].as_str().expect("file url");
     let file = client.get(file_url).expect("GET file");
-    println!("GET  file     -> {} ({} bytes)", file.status.as_u16(), file.body.len());
+    println!(
+        "GET  file     -> {} ({} bytes)",
+        file.status.as_u16(),
+        file.body.len()
+    );
 
-    let del = client.delete(&format!("{base}{job_uri}")).expect("DELETE job");
-    println!("DEL  job      -> {} (job data deleted)", del.status.as_u16());
+    let del = client
+        .delete(&format!("{base}{job_uri}"))
+        .expect("DELETE job");
+    println!(
+        "DEL  job      -> {} (job data deleted)",
+        del.status.as_u16()
+    );
     println!();
 }
 
 /// Table 2: Hilbert inversion, serial vs distributed 4-service workflow.
 fn table2(full: bool) {
     println!("== Table 2: Hilbert (NxN) inversion, serial vs MathCloud (4-block) ==");
-    let sizes: &[usize] = if full { &[250, 300, 350, 400, 450, 500] } else { &[16, 24, 32, 48, 64, 80, 100] };
+    let sizes: &[usize] = if full {
+        &[250, 300, 350, 400, 450, 500]
+    } else {
+        &[16, 24, 32, 48, 64, 80, 100]
+    };
     if !full {
         println!("(scaled sizes; run with --full for the paper's N = 250..500)");
     }
     let servers = spawn_matrix_farm(4, 4);
     let bases: Vec<String> = servers.iter().map(|s| s.base_url()).collect();
-    println!("{:>5} {:>12} {:>12} {:>9}", "N", "serial (s)", "parallel (s)", "speedup");
+    println!(
+        "{:>5} {:>12} {:>12} {:>9}",
+        "N", "serial (s)", "parallel (s)", "speedup"
+    );
     for &n in sizes {
         let row = table2_row(n, &bases);
         println!(
@@ -145,9 +183,14 @@ fn overhead() {
 fn dantzig_wolfe() {
     println!("== Dantzig-Wolfe on multi-commodity transportation (solver pool scaling) ==");
     let problem = MultiCommodityProblem::random(6, 2, 3, 2024);
-    let direct = mathcloud_opt::solve(&problem.to_lp()).optimal().expect("feasible instance");
+    let direct = mathcloud_opt::solve(&problem.to_lp())
+        .optimal()
+        .expect("feasible instance");
     println!("monolithic LP optimum: {}", direct.objective);
-    println!("{:>9} {:>11} {:>11} {:>8} {:>8}", "services", "time (s)", "objective", "iters", "subprob");
+    println!(
+        "{:>9} {:>11} {:>11} {:>8} {:>8}",
+        "services", "time (s)", "objective", "iters", "subprob"
+    );
     let mut one_service = None;
     for pool in [1usize, 2, 4, 8] {
         let servers = spawn_solver_pool(pool, SolverLatency(Duration::from_millis(15)));
@@ -156,7 +199,10 @@ fn dantzig_wolfe() {
         let t0 = Instant::now();
         let dw = solve_dantzig_wolfe(&problem, &solver, &DwOptions::default()).expect("converges");
         let took = t0.elapsed();
-        assert_eq!(dw.objective, direct.objective, "decomposition must be exact");
+        assert_eq!(
+            dw.objective, direct.objective,
+            "decomposition must be exact"
+        );
         if pool == 1 {
             one_service = Some(took);
         }
@@ -215,7 +261,11 @@ fn xray() {
                 .collect()
         })
         .collect();
-    println!("computed {} scattering curves in {}s", curves.len(), mathcloud_bench::secs(t0.elapsed()));
+    println!(
+        "computed {} scattering curves in {}s",
+        curves.len(),
+        mathcloud_bench::secs(t0.elapsed())
+    );
 
     // Synthetic film: toroid-dominated mixture + noise.
     let truth = [0.6, 0.25, 0.15];
@@ -229,7 +279,10 @@ fn xray() {
     );
     let film_value = Value::Array(film.iter().map(|&x| Value::from(x)).collect());
     let rep = fit
-        .call(&json!({"observed": film_value, "basis": basis_value}), Duration::from_secs(120))
+        .call(
+            &json!({"observed": film_value, "basis": basis_value}),
+            Duration::from_secs(120),
+        )
         .expect("fit done");
     let fractions: Vec<f64> = rep
         .outputs
@@ -251,6 +304,9 @@ fn xray() {
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .map(|(i, _)| i)
         .expect("nonempty");
-    println!("dominant component: {} (paper: low-aspect-ratio toroids)", labels[dominant]);
+    println!(
+        "dominant component: {} (paper: low-aspect-ratio toroids)",
+        labels[dominant]
+    );
     println!();
 }

@@ -64,9 +64,18 @@ pub fn deploy_transport_solver(everest: &Everest, latency: SolverLatency) {
             "lp-transport",
             "Exact transportation LP solver (two-phase simplex over rationals)",
         )
-        .input(Parameter::new("supplies", Schema::array_of(Schema::string())))
-        .input(Parameter::new("demands", Schema::array_of(Schema::string())))
-        .input(Parameter::new("costs", Schema::array_of(Schema::array_of(Schema::string()))))
+        .input(Parameter::new(
+            "supplies",
+            Schema::array_of(Schema::string()),
+        ))
+        .input(Parameter::new(
+            "demands",
+            Schema::array_of(Schema::string()),
+        ))
+        .input(Parameter::new(
+            "costs",
+            Schema::array_of(Schema::array_of(Schema::string())),
+        ))
         .output(Parameter::new("flow", Schema::array_of(Schema::string())))
         .output(Parameter::new("objective", Schema::string()))
         .tag("optimization")
@@ -78,11 +87,18 @@ pub fn deploy_transport_solver(everest: &Everest, latency: SolverLatency) {
             let supplies = value_to_rationals(inputs.get("supplies").ok_or("missing supplies")?)?;
             let demands = value_to_rationals(inputs.get("demands").ok_or("missing demands")?)?;
             let costs = value_to_costs(inputs.get("costs").ok_or("missing costs")?)?;
-            let problem = TransportationProblem { supplies, demands, costs };
+            let problem = TransportationProblem {
+                supplies,
+                demands,
+                costs,
+            };
             match mathcloud_opt::solve(&problem.to_lp()) {
                 LpOutcome::Optimal(sol) => Ok([
                     ("flow".to_string(), rationals_to_value(&sol.values)),
-                    ("objective".to_string(), Value::from(sol.objective.to_string())),
+                    (
+                        "objective".to_string(),
+                        Value::from(sol.objective.to_string()),
+                    ),
                 ]
                 .into_iter()
                 .collect()),

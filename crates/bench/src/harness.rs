@@ -1,0 +1,247 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! The bench targets in `benches/` are plain `harness = false` binaries
+//! built on this module, so `cargo bench` works with zero registry access.
+//! The API is deliberately criterion-shaped (groups, `bench_with_input`,
+//! `Bencher::iter`) to keep the bench sources readable:
+//!
+//! ```no_run
+//! use mathcloud_bench::harness::Harness;
+//!
+//! let mut h = Harness::from_args();
+//! let mut group = h.group("demo");
+//! group.bench_function("noop", |b| b.iter(|| 1 + 1));
+//! group.finish();
+//! ```
+//!
+//! Methodology: after a short calibration run, each sample executes enough
+//! iterations to fill a fixed time slice; the reported figure is the median
+//! of per-iteration means across samples (robust to scheduler noise), with
+//! the min..max spread alongside.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: an identity function the
+/// optimizer must assume is opaque.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target wall-clock time per sample. Small enough that even `sample_size`
+/// = 10 finishes promptly, large enough to amortize timer overhead.
+const SAMPLE_SLICE: Duration = Duration::from_millis(20);
+
+/// Default number of samples per benchmark.
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Runs closures under measurement; handed to the `bench_*` callbacks.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration means, one per sample, in nanoseconds.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-sample per-iteration timings.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fill one sample slice?
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (SAMPLE_SLICE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.results
+                .push(elapsed.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+}
+
+/// One measured benchmark, ready for reporting.
+struct Record {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// A named group of benchmarks (mirrors criterion's `benchmark_group`).
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    name: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Sets the number of samples for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        self.run(id.to_string(), f);
+    }
+
+    /// Benchmarks `f` with an input, under `id/param` (criterion's
+    /// `BenchmarkId::new(id, param)` naming).
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: &str,
+        param: &dyn std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(format!("{id}/{param}"), |b| f(b, input));
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let full = format!("{}/{id}", self.name);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        if bencher.results.is_empty() {
+            return; // the callback never called iter()
+        }
+        let mut sorted = bencher.results.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let record = Record {
+            name: full.clone(),
+            median_ns: median,
+            min_ns: sorted[0],
+            max_ns: *sorted.last().unwrap(),
+        };
+        println!(
+            "{:<48} {:>12}  [{} .. {}]",
+            record.name,
+            fmt_ns(record.median_ns),
+            fmt_ns(record.min_ns),
+            fmt_ns(record.max_ns),
+        );
+        self.harness.records.push(record);
+    }
+
+    /// Ends the group (kept for criterion parity; reporting is incremental).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness: parses CLI args, owns results.
+pub struct Harness {
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`, accepting (and ignoring)
+    /// cargo's `--bench` flag; the first free argument is a substring
+    /// filter on `group/benchmark` names.
+    pub fn from_args() -> Harness {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Harness {
+            filter,
+            records: Vec::new(),
+        }
+    }
+
+    /// Opens a benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Looks up a finished benchmark's median, in seconds.
+    pub fn median_secs(&self, full_name: &str) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.name == full_name)
+            .map(|r| r.median_ns / 1e9)
+    }
+}
+
+/// Formats nanoseconds scaled to a readable unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut h = Harness {
+            filter: None,
+            records: Vec::new(),
+        };
+        let mut group = h.group("t");
+        group.sample_size(3);
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        group.finish();
+        let m = h.median_secs("t/spin").expect("recorded");
+        assert!(m > 0.0 && m < 1.0, "implausible timing {m}");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut h = Harness {
+            filter: Some("nomatch".into()),
+            records: Vec::new(),
+        };
+        let mut group = h.group("t");
+        group.bench_function("skipped", |b| b.iter(|| 1));
+        group.finish();
+        assert!(h.median_secs("t/skipped").is_none());
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

@@ -11,9 +11,12 @@
 //! * [`dw`] — a pool of remote transportation-solver services plus a
 //!   [`mathcloud_opt::SubproblemSolver`] that dispatches pricing problems to
 //!   them (the paper's distributed AMPL/Dantzig–Wolfe application),
-//! * [`xrayservices`] — scattering/fit services for the X-ray workflow.
+//! * [`xrayservices`] — scattering/fit services for the X-ray workflow,
+//! * [`harness`] — the dependency-free measurement harness the `benches/`
+//!   targets run on (criterion-shaped API, offline-friendly).
 
 pub mod dw;
+pub mod harness;
 pub mod matrix;
 pub mod overhead;
 pub mod xrayservices;

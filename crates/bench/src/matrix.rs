@@ -29,7 +29,12 @@ fn out(pairs: Vec<(&str, Value)>) -> Object {
 }
 
 fn mat_param(name: &str) -> Parameter {
-    Parameter::new(name, Schema::string().min_length(1).description("matrix in MathCloud text form"))
+    Parameter::new(
+        name,
+        Schema::string()
+            .min_length(1)
+            .description("matrix in MathCloud text form"),
+    )
 }
 
 /// Deploys the exact-matrix service family on a container:
@@ -37,12 +42,18 @@ fn mat_param(name: &str) -> Parameter {
 /// `mat-assemble`.
 pub fn deploy_matrix_services(everest: &Everest) {
     everest.deploy(
-        ServiceDescription::new("mat-invert", "Exact (error-free) inversion of a rational matrix")
-            .input(mat_param("matrix"))
-            .output(mat_param("result"))
-            .output(Parameter::new("bits", Schema::integer().description("max entry bit size")))
-            .tag("linear-algebra")
-            .tag("exact"),
+        ServiceDescription::new(
+            "mat-invert",
+            "Exact (error-free) inversion of a rational matrix",
+        )
+        .input(mat_param("matrix"))
+        .output(mat_param("result"))
+        .output(Parameter::new(
+            "bits",
+            Schema::integer().description("max entry bit size"),
+        ))
+        .tag("linear-algebra")
+        .tag("exact"),
         NativeAdapter::from_fn(|inputs, _| {
             let m = matrix_of(inputs, "matrix")?;
             let inv = m.inverse().map_err(|e| e.to_string())?;
@@ -110,7 +121,12 @@ pub fn deploy_matrix_services(everest: &Everest) {
     everest.deploy(
         ServiceDescription::new("mat-split", "2x2 block split of a square matrix")
             .input(mat_param("matrix"))
-            .input(Parameter::new("k", Schema::integer().minimum(1.0).description("leading block size")))
+            .input(Parameter::new(
+                "k",
+                Schema::integer()
+                    .minimum(1.0)
+                    .description("leading block size"),
+            ))
             .output(mat_param("a"))
             .output(mat_param("b"))
             .output(mat_param("c"))
@@ -177,51 +193,54 @@ pub fn spawn_matrix_farm(count: usize, handlers: usize) -> Vec<Server> {
 pub fn schur_workflow(bases: &[String]) -> Workflow {
     assert!(!bases.is_empty(), "need at least one container");
     let svc = |i: usize, name: &str| format!("{}/services/{}", bases[i % bases.len()], name);
-    Workflow::new("schur-inverse", "Distributed error-free matrix inversion via Schur complement")
-        .input("matrix", Schema::string())
-        .input("k", Schema::integer())
-        .service("split", &svc(0, "mat-split"))
-        .service("inv_a", &svc(0, "mat-invert"))
-        .service("aib", &svc(1, "mat-mul")) // A⁻¹·B
-        .service("cai", &svc(2, "mat-mul")) // C·A⁻¹
-        .service("caib", &svc(3, "mat-mul")) // C·(A⁻¹B)
-        .service("s", &svc(3, "mat-sub")) // S = D − C·A⁻¹·B
-        .service("inv_s", &svc(3, "mat-invert")) // S⁻¹
-        .service("aibsi", &svc(1, "mat-mul")) // (A⁻¹B)·S⁻¹
-        .service("tr", &svc(1, "mat-neg")) // −(A⁻¹B)·S⁻¹
-        .service("sicai", &svc(2, "mat-mul")) // S⁻¹·(CA⁻¹)
-        .service("bl", &svc(2, "mat-neg")) // −S⁻¹·CA⁻¹
-        .service("corr", &svc(0, "mat-mul")) // (A⁻¹B·S⁻¹)·(CA⁻¹)
-        .service("tl", &svc(0, "mat-add")) // A⁻¹ + correction
-        .service("assemble", &svc(0, "mat-assemble"))
-        .output("inverse", Schema::string())
-        .wire(("matrix", "value"), ("split", "matrix"))
-        .wire(("k", "value"), ("split", "k"))
-        .wire(("split", "a"), ("inv_a", "matrix"))
-        .wire(("inv_a", "result"), ("aib", "a"))
-        .wire(("split", "b"), ("aib", "b"))
-        .wire(("split", "c"), ("cai", "a"))
-        .wire(("inv_a", "result"), ("cai", "b"))
-        .wire(("split", "c"), ("caib", "a"))
-        .wire(("aib", "result"), ("caib", "b"))
-        .wire(("split", "d"), ("s", "a"))
-        .wire(("caib", "result"), ("s", "b"))
-        .wire(("s", "result"), ("inv_s", "matrix"))
-        .wire(("aib", "result"), ("aibsi", "a"))
-        .wire(("inv_s", "result"), ("aibsi", "b"))
-        .wire(("aibsi", "result"), ("tr", "a"))
-        .wire(("inv_s", "result"), ("sicai", "a"))
-        .wire(("cai", "result"), ("sicai", "b"))
-        .wire(("sicai", "result"), ("bl", "a"))
-        .wire(("aibsi", "result"), ("corr", "a"))
-        .wire(("cai", "result"), ("corr", "b"))
-        .wire(("inv_a", "result"), ("tl", "a"))
-        .wire(("corr", "result"), ("tl", "b"))
-        .wire(("tl", "result"), ("assemble", "tl"))
-        .wire(("tr", "result"), ("assemble", "tr"))
-        .wire(("bl", "result"), ("assemble", "bl"))
-        .wire(("inv_s", "result"), ("assemble", "br"))
-        .wire(("assemble", "result"), ("inverse", "value"))
+    Workflow::new(
+        "schur-inverse",
+        "Distributed error-free matrix inversion via Schur complement",
+    )
+    .input("matrix", Schema::string())
+    .input("k", Schema::integer())
+    .service("split", &svc(0, "mat-split"))
+    .service("inv_a", &svc(0, "mat-invert"))
+    .service("aib", &svc(1, "mat-mul")) // A⁻¹·B
+    .service("cai", &svc(2, "mat-mul")) // C·A⁻¹
+    .service("caib", &svc(3, "mat-mul")) // C·(A⁻¹B)
+    .service("s", &svc(3, "mat-sub")) // S = D − C·A⁻¹·B
+    .service("inv_s", &svc(3, "mat-invert")) // S⁻¹
+    .service("aibsi", &svc(1, "mat-mul")) // (A⁻¹B)·S⁻¹
+    .service("tr", &svc(1, "mat-neg")) // −(A⁻¹B)·S⁻¹
+    .service("sicai", &svc(2, "mat-mul")) // S⁻¹·(CA⁻¹)
+    .service("bl", &svc(2, "mat-neg")) // −S⁻¹·CA⁻¹
+    .service("corr", &svc(0, "mat-mul")) // (A⁻¹B·S⁻¹)·(CA⁻¹)
+    .service("tl", &svc(0, "mat-add")) // A⁻¹ + correction
+    .service("assemble", &svc(0, "mat-assemble"))
+    .output("inverse", Schema::string())
+    .wire(("matrix", "value"), ("split", "matrix"))
+    .wire(("k", "value"), ("split", "k"))
+    .wire(("split", "a"), ("inv_a", "matrix"))
+    .wire(("inv_a", "result"), ("aib", "a"))
+    .wire(("split", "b"), ("aib", "b"))
+    .wire(("split", "c"), ("cai", "a"))
+    .wire(("inv_a", "result"), ("cai", "b"))
+    .wire(("split", "c"), ("caib", "a"))
+    .wire(("aib", "result"), ("caib", "b"))
+    .wire(("split", "d"), ("s", "a"))
+    .wire(("caib", "result"), ("s", "b"))
+    .wire(("s", "result"), ("inv_s", "matrix"))
+    .wire(("aib", "result"), ("aibsi", "a"))
+    .wire(("inv_s", "result"), ("aibsi", "b"))
+    .wire(("aibsi", "result"), ("tr", "a"))
+    .wire(("inv_s", "result"), ("sicai", "a"))
+    .wire(("cai", "result"), ("sicai", "b"))
+    .wire(("sicai", "result"), ("bl", "a"))
+    .wire(("aibsi", "result"), ("corr", "a"))
+    .wire(("cai", "result"), ("corr", "b"))
+    .wire(("inv_a", "result"), ("tl", "a"))
+    .wire(("corr", "result"), ("tl", "b"))
+    .wire(("tl", "result"), ("assemble", "tl"))
+    .wire(("tr", "result"), ("assemble", "tr"))
+    .wire(("bl", "result"), ("assemble", "bl"))
+    .wire(("inv_s", "result"), ("assemble", "br"))
+    .wire(("assemble", "result"), ("inverse", "value"))
 }
 
 /// One row of the Table 2 reproduction.
@@ -264,11 +283,24 @@ pub fn table2_row(n: usize, bases: &[String]) -> Table2Row {
     let outputs = engine.run(&inputs).expect("distributed inversion succeeds");
     let parallel = t0.elapsed();
 
-    let distributed = Matrix::from_text(outputs.get("inverse").and_then(Value::as_str).expect("inverse output"))
-        .expect("well-formed result");
-    assert_eq!(distributed, serial_inverse, "distributed result must be error-free");
+    let distributed = Matrix::from_text(
+        outputs
+            .get("inverse")
+            .and_then(Value::as_str)
+            .expect("inverse output"),
+    )
+    .expect("well-formed result");
+    assert_eq!(
+        distributed, serial_inverse,
+        "distributed result must be error-free"
+    );
 
-    Table2Row { n, serial, parallel, speedup: serial.as_secs_f64() / parallel.as_secs_f64() }
+    Table2Row {
+        n,
+        serial,
+        parallel,
+        speedup: serial.as_secs_f64() / parallel.as_secs_f64(),
+    }
 }
 
 #[cfg(test)]
@@ -288,7 +320,10 @@ mod tests {
             )
             .unwrap();
         let outputs = rep.outputs.expect("done");
-        assert_eq!(outputs.get("result").unwrap().as_str(), Some("1/2 0; 0 1/4"));
+        assert_eq!(
+            outputs.get("result").unwrap().as_str(),
+            Some("1/2 0; 0 1/4")
+        );
     }
 
     #[test]

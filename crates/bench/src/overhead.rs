@@ -43,13 +43,22 @@ pub fn deploy_compute_service(everest: &Everest) {
         ServiceDescription::new("compute", "Configurable synthetic computation")
             .input(Parameter::new("payload", Schema::string()))
             .input(Parameter::new("compute_ms", Schema::integer().minimum(0.0)))
-            .input(Parameter::new("reply_bytes", Schema::integer().minimum(0.0)))
+            .input(Parameter::new(
+                "reply_bytes",
+                Schema::integer().minimum(0.0),
+            ))
             .output(Parameter::new("digest", Schema::integer()))
             .output(Parameter::new("reply", Schema::string())),
         NativeAdapter::from_fn(|inputs, _| {
             let payload = inputs.get("payload").and_then(Value::as_str).unwrap_or("");
-            let ms = inputs.get("compute_ms").and_then(Value::as_i64).unwrap_or(0) as u64;
-            let reply_bytes = inputs.get("reply_bytes").and_then(Value::as_i64).unwrap_or(0) as usize;
+            let ms = inputs
+                .get("compute_ms")
+                .and_then(Value::as_i64)
+                .unwrap_or(0) as u64;
+            let reply_bytes = inputs
+                .get("reply_bytes")
+                .and_then(Value::as_i64)
+                .unwrap_or(0) as usize;
             let (digest, reply) = busy_compute(payload, ms, reply_bytes);
             Ok([
                 ("digest".to_string(), Value::from((digest >> 1) as i64)),
@@ -110,11 +119,16 @@ pub fn measure_overhead(
     assert!(outputs.get("digest").is_some());
     let _ = direct_digest;
 
-    let overhead_pct = ((via_platform.as_secs_f64() - direct.as_secs_f64())
-        / via_platform.as_secs_f64())
-    .max(0.0)
-        * 100.0;
-    OverheadRow { compute_ms, payload_bytes, direct, via_platform, overhead_pct }
+    let overhead_pct =
+        ((via_platform.as_secs_f64() - direct.as_secs_f64()) / via_platform.as_secs_f64()).max(0.0)
+            * 100.0;
+    OverheadRow {
+        compute_ms,
+        payload_bytes,
+        direct,
+        via_platform,
+        overhead_pct,
+    }
 }
 
 /// Starts a dedicated overhead-measurement container.

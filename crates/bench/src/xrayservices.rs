@@ -38,9 +38,17 @@ pub fn parse_kind(v: &Value) -> Result<StructureKind, String> {
             .ok_or_else(|| format!("structure missing {name}"))
     };
     Ok(match kind {
-        "toroid" => StructureKind::Toroid { major_r: num("major_r")?, minor_r: num("minor_r")? },
-        "tube" => StructureKind::Tube { radius: num("radius")?, length: num("length")? },
-        "sphere" => StructureKind::Sphere { radius: num("radius")? },
+        "toroid" => StructureKind::Toroid {
+            major_r: num("major_r")?,
+            minor_r: num("minor_r")?,
+        },
+        "tube" => StructureKind::Tube {
+            radius: num("radius")?,
+            length: num("length")?,
+        },
+        "sphere" => StructureKind::Sphere {
+            radius: num("radius")?,
+        },
         "flake" => StructureKind::Flake { side: num("side")? },
         other => return Err(format!("unknown structure kind {other:?}")),
     })
@@ -57,36 +65,57 @@ pub fn deploy_xray_services(everest: &Everest) {
     let ce = ComputingElement::new(
         "xray-ce",
         &["xray-vo"],
-        BatchSystem::builder("xray-grid-site").nodes("wn", 2, 4).build(),
+        BatchSystem::builder("xray-grid-site")
+            .nodes("wn", 2, 4)
+            .build(),
     );
     let broker = ResourceBroker::new(vec![ce]);
     let proxy = ProxyCredential::issue("CN=xray-app", "xray-vo", Duration::from_secs(3600));
     everest.deploy(
-        ServiceDescription::new("xray-scatter", "Debye scattering curve of one nanostructure (grid-executed)")
-            .input(Parameter::new("structure", Schema::object()))
-            .input(Parameter::new("q_points", Schema::integer().minimum(2.0)))
-            .output(Parameter::new("curve", Schema::array_of(Schema::number())))
-            .tag("xray")
-            .tag("physics"),
+        ServiceDescription::new(
+            "xray-scatter",
+            "Debye scattering curve of one nanostructure (grid-executed)",
+        )
+        .input(Parameter::new("structure", Schema::object()))
+        .input(Parameter::new("q_points", Schema::integer().minimum(2.0)))
+        .output(Parameter::new("curve", Schema::array_of(Schema::number())))
+        .tag("xray")
+        .tag("physics"),
         GridAdapter::new(broker, proxy, 1, |inputs: &Object, _ctx| {
             let kind = parse_kind(inputs.get("structure").ok_or("missing structure")?)?;
             let n = inputs.get("q_points").and_then(Value::as_i64).unwrap_or(96) as usize;
             let grid = QGrid::paper_range(n.max(2));
             let curve = debye_curve(&Nanostructure::build(kind), &grid);
-            Ok([("curve".to_string(), f64s_to_value(&curve))].into_iter().collect())
+            Ok([("curve".to_string(), f64s_to_value(&curve))]
+                .into_iter()
+                .collect())
         }),
     );
 
     // Cluster substrate for fitting.
-    let cluster = BatchSystem::builder("xray-cluster").nodes("node", 2, 2).build();
+    let cluster = BatchSystem::builder("xray-cluster")
+        .nodes("node", 2, 2)
+        .build();
     everest.deploy(
-        ServiceDescription::new("xray-fit", "Non-negative mixture fit of a diffractogram (cluster-executed)")
-            .input(Parameter::new("observed", Schema::array_of(Schema::number())))
-            .input(Parameter::new("basis", Schema::array_of(Schema::array_of(Schema::number()))))
-            .output(Parameter::new("fractions", Schema::array_of(Schema::number())))
-            .output(Parameter::new("residual", Schema::number()))
-            .tag("xray")
-            .tag("optimization"),
+        ServiceDescription::new(
+            "xray-fit",
+            "Non-negative mixture fit of a diffractogram (cluster-executed)",
+        )
+        .input(Parameter::new(
+            "observed",
+            Schema::array_of(Schema::number()),
+        ))
+        .input(Parameter::new(
+            "basis",
+            Schema::array_of(Schema::array_of(Schema::number())),
+        ))
+        .output(Parameter::new(
+            "fractions",
+            Schema::array_of(Schema::number()),
+        ))
+        .output(Parameter::new("residual", Schema::number()))
+        .tag("xray")
+        .tag("optimization"),
         ClusterAdapter::new(cluster, 1, |inputs: &Object, _ctx| {
             let observed = value_to_f64s(inputs.get("observed").ok_or("missing observed")?)?;
             let basis: Result<Vec<Vec<f64>>, String> = inputs

@@ -91,10 +91,21 @@ impl InvertedIndex {
                 .or_insert(0) += 1;
             let stem = stem(token);
             if stem != *token {
-                *self.postings.entry(stem).or_default().entry(id).or_insert(0) += 1;
+                *self
+                    .postings
+                    .entry(stem)
+                    .or_default()
+                    .entry(id)
+                    .or_insert(0) += 1;
             }
         }
-        self.docs.insert(id, Doc { text: text.to_string(), len: len.max(1) });
+        self.docs.insert(
+            id,
+            Doc {
+                text: text.to_string(),
+                len: len.max(1),
+            },
+        );
     }
 
     /// Removes a document.
@@ -117,7 +128,9 @@ impl InvertedIndex {
         let mut scores: HashMap<u64, f64> = HashMap::new();
         for term in tokenize(query) {
             for candidate in [term.clone(), stem(&term)] {
-                let Some(posting) = self.postings.get(&candidate) else { continue };
+                let Some(posting) = self.postings.get(&candidate) else {
+                    continue;
+                };
                 let idf = (n_docs / posting.len() as f64).ln() + 1.0;
                 for (&doc, &tf) in posting {
                     let norm_tf = tf as f64 / self.docs[&doc].len as f64;
@@ -131,8 +144,15 @@ impl InvertedIndex {
                 }
             }
         }
-        let mut hits: Vec<Hit> = scores.into_iter().map(|(doc, score)| Hit { doc, score }).collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .map(|(doc, score)| Hit { doc, score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         hits
     }
 
@@ -142,8 +162,7 @@ impl InvertedIndex {
         let text = &self.docs.get(&doc)?.text;
         let terms: Vec<String> = tokenize(query).iter().map(|t| stem(t)).collect();
         let words: Vec<&str> = text.split_whitespace().collect();
-        let is_match =
-            |w: &str| -> bool { tokenize(w).iter().any(|t| terms.contains(&stem(t))) };
+        let is_match = |w: &str| -> bool { tokenize(w).iter().any(|t| terms.contains(&stem(t))) };
         let first = words.iter().position(|w| is_match(w)).unwrap_or(0);
         let start = first.saturating_sub(window / 2);
         let end = (start + window).min(words.len());
@@ -197,7 +216,10 @@ mod tests {
 
     #[test]
     fn tokenizer_handles_punctuation_and_unicode() {
-        assert_eq!(tokenize("Schur-complement (exact)!"), ["schur", "complement", "exact"]);
+        assert_eq!(
+            tokenize("Schur-complement (exact)!"),
+            ["schur", "complement", "exact"]
+        );
         assert_eq!(tokenize(""), Vec::<String>::new());
         assert_eq!(tokenize("Обращение матриц"), ["обращение", "матриц"]);
     }
@@ -206,7 +228,10 @@ mod tests {
     fn ranking_prefers_focused_documents() {
         let mut idx = InvertedIndex::new();
         idx.insert(1, "matrix inversion matrix inversion exact");
-        idx.insert(2, "a long description mentioning matrix once among many many other words here");
+        idx.insert(
+            2,
+            "a long description mentioning matrix once among many many other words here",
+        );
         idx.insert(3, "optimization solvers for transportation");
         let hits = idx.search("matrix");
         assert_eq!(hits.len(), 2);
@@ -229,7 +254,10 @@ mod tests {
     fn stemming_crosses_plurals() {
         let mut idx = InvertedIndex::new();
         idx.insert(1, "inverts matrices exactly");
-        assert!(!idx.search("matrix").is_empty(), "matrix should match matrices");
+        assert!(
+            !idx.search("matrix").is_empty(),
+            "matrix should match matrices"
+        );
         let mut idx = InvertedIndex::new();
         idx.insert(1, "optimization solvers");
         assert!(!idx.search("solver").is_empty());
@@ -262,7 +290,11 @@ mod tests {
     #[test]
     fn snippets_highlight_terms_and_bound_the_window() {
         let mut idx = InvertedIndex::new();
-        let long = format!("{} inversion target {}", "pad ".repeat(30).trim(), "tail ".repeat(30).trim());
+        let long = format!(
+            "{} inversion target {}",
+            "pad ".repeat(30).trim(),
+            "tail ".repeat(30).trim()
+        );
         idx.insert(1, &long);
         let snip = idx.snippet(1, "inversion", 8).unwrap();
         assert!(snip.contains("<b>inversion</b>"), "{snip}");

@@ -23,7 +23,8 @@ use mathcloud_core::ServiceDescription;
 use mathcloud_http::{Client, PathParams, Request, Response, Router};
 use mathcloud_json::value::Object;
 use mathcloud_json::{json, Value};
-use parking_lot::RwLock;
+use mathcloud_telemetry::sync::RwLock;
+use mathcloud_telemetry::{metrics, trace};
 
 use index::InvertedIndex;
 
@@ -105,7 +106,10 @@ impl Catalogue {
     /// Creates an empty catalogue.
     pub fn new() -> Self {
         Catalogue {
-            state: Arc::new(RwLock::new(State { entries: Vec::new(), index: InvertedIndex::new() })),
+            state: Arc::new(RwLock::new(State {
+                entries: Vec::new(),
+                index: InvertedIndex::new(),
+            })),
             next_id: Arc::new(AtomicU64::new(1)),
             client: Client::new(),
         }
@@ -124,7 +128,10 @@ impl Catalogue {
             .get(url)
             .map_err(|e| CatalogueError::Unreachable(e.to_string()))?;
         if !resp.status.is_success() {
-            return Err(CatalogueError::Unreachable(format!("{} from {url}", resp.status)));
+            return Err(CatalogueError::Unreachable(format!(
+                "{} from {url}",
+                resp.status
+            )));
         }
         let doc = resp
             .body_json()
@@ -147,7 +154,13 @@ impl Catalogue {
             state.entries.remove(old);
         }
         state.index.insert(id, &index_text(&description, &tags));
-        state.entries.push(Entry { id, url: url.to_string(), description, tags, available: true });
+        state.entries.push(Entry {
+            id,
+            url: url.to_string(),
+            description,
+            tags,
+            available: true,
+        });
         id
     }
 
@@ -190,7 +203,10 @@ impl Catalogue {
             state
                 .entries
                 .iter()
-                .map(|e| index::Hit { doc: e.id, score: 0.0 })
+                .map(|e| index::Hit {
+                    doc: e.id,
+                    score: 0.0,
+                })
                 .collect()
         } else {
             state.index.search(query)
@@ -207,28 +223,57 @@ impl Catalogue {
                     .index
                     .snippet(hit.doc, query, 16)
                     .unwrap_or_else(|| entry.description.description().to_string());
-                Some(SearchResult { entry: entry.clone(), score: hit.score, snippet })
+                Some(SearchResult {
+                    entry: entry.clone(),
+                    score: hit.score,
+                    snippet,
+                })
             })
             .collect()
     }
 
     /// Pings every published service (`GET` on its URL) and records
     /// availability; returns `(available, unavailable)` counts.
+    ///
+    /// Each probe also feeds the process-wide telemetry registry: a per-
+    /// service `mc_catalogue_service_up` gauge (1 = reachable) and a
+    /// `mc_catalogue_probe_seconds` latency histogram — the §3.2 availability
+    /// monitor made scrapable via `GET /metrics`.
     pub fn ping_all(&self) -> (usize, usize) {
-        let urls: Vec<(u64, String)> = self
+        let targets: Vec<(u64, String, String)> = self
             .state
             .read()
             .entries
             .iter()
-            .map(|e| (e.id, e.url.clone()))
+            .map(|e| (e.id, e.url.clone(), e.description.name().to_string()))
             .collect();
+        let reg = metrics::global();
+        reg.describe(
+            "mc_catalogue_service_up",
+            "1 when the last availability probe succeeded",
+        );
+        reg.describe(
+            "mc_catalogue_probe_seconds",
+            "availability-probe round-trip time",
+        );
         let mut up = 0;
         let mut down = 0;
-        for (id, url) in urls {
+        for (id, url, name) in targets {
+            let started = std::time::Instant::now();
             let ok = matches!(self.client.get(&url), Ok(resp) if resp.status.is_success());
+            let elapsed = started.elapsed();
+            reg.gauge("mc_catalogue_service_up", &[("service", &name)])
+                .set(i64::from(ok));
+            reg.histogram("mc_catalogue_probe_seconds", &[("service", &name)])
+                .observe_duration(elapsed);
             if ok {
                 up += 1;
             } else {
+                trace::warn(
+                    "catalogue.probe_failed",
+                    None,
+                    &[("service", &name), ("url", &url)],
+                );
                 down += 1;
             }
             let mut state = self.state.write();
@@ -276,7 +321,10 @@ fn entry_to_value(e: &Entry, snippet: Option<&str>, score: Option<f64>) -> Value
     o.insert("id".into(), Value::from(e.id as i64));
     o.insert("url".into(), Value::from(e.url.as_str()));
     o.insert("name".into(), Value::from(e.description.name()));
-    o.insert("description".into(), Value::from(e.description.description()));
+    o.insert(
+        "description".into(),
+        Value::from(e.description.description()),
+    );
     o.insert(
         "tags".into(),
         Value::Array(e.tags.iter().map(|t| Value::from(t.as_str())).collect()),
@@ -326,7 +374,12 @@ pub fn router(catalogue: Catalogue) -> Router {
         let tags: Vec<String> = body
             .get("tags")
             .and_then(Value::as_array)
-            .map(|a| a.iter().filter_map(Value::as_str).map(String::from).collect())
+            .map(|a| {
+                a.iter()
+                    .filter_map(Value::as_str)
+                    .map(String::from)
+                    .collect()
+            })
             .unwrap_or_default();
         let tag_refs: Vec<&str> = tags.iter().map(String::as_str).collect();
         match c.publish(url, &tag_refs) {
@@ -336,37 +389,52 @@ pub fn router(catalogue: Catalogue) -> Router {
     });
 
     let c = catalogue.clone();
-    r.post("/entries/{id}/tags", move |req: &Request, p: &PathParams| {
-        let Some(id) = p.get("id").and_then(|s| s.parse::<u64>().ok()) else {
-            return Response::error(400, "bad entry id");
-        };
-        let body = match req.body_json() {
-            Ok(v) => v,
-            Err(e) => return Response::error(400, &format!("bad json: {e}")),
-        };
-        let tags: Vec<String> = body
-            .get("tags")
-            .and_then(Value::as_array)
-            .map(|a| a.iter().filter_map(Value::as_str).map(String::from).collect())
-            .unwrap_or_default();
-        let tag_refs: Vec<&str> = tags.iter().map(String::as_str).collect();
-        if c.add_tags(id, &tag_refs) {
-            Response::empty(204)
-        } else {
-            Response::error(404, "no such entry")
-        }
-    });
+    r.post(
+        "/entries/{id}/tags",
+        move |req: &Request, p: &PathParams| {
+            let Some(id) = p.get("id").and_then(|s| s.parse::<u64>().ok()) else {
+                return Response::error(400, "bad entry id");
+            };
+            let body = match req.body_json() {
+                Ok(v) => v,
+                Err(e) => return Response::error(400, &format!("bad json: {e}")),
+            };
+            let tags: Vec<String> = body
+                .get("tags")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Value::as_str)
+                        .map(String::from)
+                        .collect()
+                })
+                .unwrap_or_default();
+            let tag_refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+            if c.add_tags(id, &tag_refs) {
+                Response::empty(204)
+            } else {
+                Response::error(404, "no such entry")
+            }
+        },
+    );
 
     let c = catalogue.clone();
     r.get("/entries", move |_req, _p| {
-        let items: Vec<Value> = c.entries().iter().map(|e| entry_to_value(e, None, None)).collect();
+        let items: Vec<Value> = c
+            .entries()
+            .iter()
+            .map(|e| entry_to_value(e, None, None))
+            .collect();
         Response::json(200, &Value::Array(items))
     });
 
     let c = catalogue.clone();
     r.post("/ping", move |_req, _p| {
         let (up, down) = c.ping_all();
-        Response::json(200, &json!({ "available": (up as i64), "unavailable": (down as i64) }))
+        Response::json(
+            200,
+            &json!({ "available": (up as i64), "unavailable": (down as i64) }),
+        )
     });
 
     // The human-facing search page: "a web application with interface and
@@ -381,7 +449,10 @@ pub fn router(catalogue: Catalogue) -> Router {
 }
 
 fn html_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn search_page(catalogue: &Catalogue, query: &str) -> String {
@@ -400,7 +471,11 @@ fn search_page(catalogue: &Catalogue, query: &str) -> String {
         let snippet = html_escape(&r.snippet)
             .replace("&lt;b&gt;", "<b>")
             .replace("&lt;/b&gt;", "</b>");
-        let marker = if r.entry.available { "" } else { " <em>(unavailable)</em>" };
+        let marker = if r.entry.available {
+            ""
+        } else {
+            " <em>(unavailable)</em>"
+        };
         body.push_str(&format!(
             "<li><a href=\"{0}\">{1}</a>{2}<br><small>{3}</small><br>{4}</li>",
             html_escape(&r.entry.url),
@@ -434,8 +509,16 @@ mod tests {
     #[test]
     fn register_search_and_rank() {
         let c = Catalogue::new();
-        c.register("http://a:1/services/inv", desc("inverse", "exact matrix inversion via Schur complement"), &["linear-algebra"]);
-        c.register("http://a:1/services/xray", desc("xray-fit", "x-ray scattering analysis of nanostructures"), &["physics"]);
+        c.register(
+            "http://a:1/services/inv",
+            desc("inverse", "exact matrix inversion via Schur complement"),
+            &["linear-algebra"],
+        );
+        c.register(
+            "http://a:1/services/xray",
+            desc("xray-fit", "x-ray scattering analysis of nanostructures"),
+            &["physics"],
+        );
         let results = c.search("matrix inversion", None);
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].entry.description.name(), "inverse");
@@ -489,12 +572,19 @@ mod tests {
     fn ping_marks_dead_services() {
         let c = Catalogue::new();
         // Nothing listens on port 1.
-        c.register("http://127.0.0.1:1/services/dead", desc("dead", "gone"), &[]);
+        c.register(
+            "http://127.0.0.1:1/services/dead",
+            desc("dead", "gone"),
+            &[],
+        );
         let (up, down) = c.ping_all();
         assert_eq!((up, down), (0, 1));
         assert!(!c.entries()[0].available);
         let results = c.search("gone", None);
-        assert!(!results[0].entry.available, "search results carry availability");
+        assert!(
+            !results[0].entry.available,
+            "search results carry availability"
+        );
     }
 
     #[test]
@@ -528,7 +618,10 @@ mod webui_tests {
         let page = mathcloud_http::Client::new()
             .get(&format!("{}/?q=matrix", server.base_url()))
             .unwrap();
-        assert_eq!(page.headers.get("content-type"), Some("text/html; charset=utf-8"));
+        assert_eq!(
+            page.headers.get("content-type"),
+            Some("text/html; charset=utf-8")
+        );
         let html = page.body_string();
         assert!(html.contains("<b>matrix</b>"), "{html}");
         assert!(html.contains("inverse"));

@@ -53,14 +53,15 @@ fn run(args: &[String]) -> Result<(), String> {
             let inputs = parse_inputs(&args[2..])?;
             let job = svc.submit(&Value::Object(inputs)).map_err(stringify)?;
             println!("{}", job.job_url());
+            eprintln!("request-id: {}", job.request_id());
             Ok(())
         }
         "call" => {
             let svc = ServiceClient::connect(url).map_err(stringify)?;
             let inputs = parse_inputs(&args[2..])?;
-            let rep = svc
-                .call(&Value::Object(inputs), Duration::from_secs(3600))
-                .map_err(stringify)?;
+            let job = svc.submit(&Value::Object(inputs)).map_err(stringify)?;
+            eprintln!("request-id: {}", job.request_id());
+            let rep = job.wait(Duration::from_secs(3600)).map_err(stringify)?;
             println!("{}", rep.to_value().to_pretty_string());
             Ok(())
         }

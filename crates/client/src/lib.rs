@@ -24,10 +24,11 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use mathcloud_core::{JobRepresentation, JobState, ServiceDescription};
-use mathcloud_http::{Client, Url};
+use mathcloud_http::{Client, Method, Request, Url};
 use mathcloud_json::Value;
 use mathcloud_security::cert::{Certificate, OpenIdToken};
 use mathcloud_security::middleware::CLIENT_CERT_HEADER;
+use mathcloud_telemetry::{next_request_id, REQUEST_ID_HEADER};
 
 /// Errors from client operations.
 #[derive(Debug)]
@@ -69,7 +70,10 @@ fn http_error(resp: &mathcloud_http::Response) -> ServiceError {
         .ok()
         .and_then(|v| v.str_field("error").map(String::from))
         .unwrap_or_else(|| resp.body_string());
-    ServiceError::Http { status: resp.status.as_u16(), message }
+    ServiceError::Http {
+        status: resp.status.as_u16(),
+        message,
+    }
 }
 
 /// A client bound to one computational web service.
@@ -86,13 +90,20 @@ impl ServiceClient {
     ///
     /// [`ServiceError::Protocol`] when the URL does not parse.
     pub fn connect(url: &str) -> Result<Self, ServiceError> {
-        let url: Url = url.parse().map_err(|e| ServiceError::Protocol(format!("{e}")))?;
-        Ok(ServiceClient { client: Client::new(), url })
+        let url: Url = url
+            .parse()
+            .map_err(|e| ServiceError::Protocol(format!("{e}")))?;
+        Ok(ServiceClient {
+            client: Client::new(),
+            url,
+        })
     }
 
     /// Attaches certificate credentials to every request (builder style).
     pub fn with_certificate(mut self, cert: &Certificate) -> Self {
-        self.client = self.client.with_default_header(CLIENT_CERT_HEADER, &cert.encode());
+        self.client = self
+            .client
+            .with_default_header(CLIENT_CERT_HEADER, &cert.encode());
         self
     }
 
@@ -130,23 +141,58 @@ impl ServiceClient {
 
     /// Submits a request, returning a handle on the created job.
     ///
+    /// A fresh `X-MC-Request-Id` is generated for the submission so the job
+    /// can be correlated with server-side spans; use
+    /// [`ServiceClient::submit_with_request_id`] to supply your own.
+    ///
     /// # Errors
     ///
     /// [`ServiceError`] on rejection (validation, authorization) or
     /// transport failure.
     pub fn submit(&self, inputs: &Value) -> Result<JobHandle, ServiceError> {
+        self.submit_with_request_id(inputs, &next_request_id())
+    }
+
+    /// Submits a request under an explicit request id.
+    ///
+    /// The id is sent as `X-MC-Request-Id` and threads through the container,
+    /// job manager and adapters; the handle surfaces the id the server
+    /// actually adopted (the echo from the response, normally identical).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::submit`].
+    pub fn submit_with_request_id(
+        &self,
+        inputs: &Value,
+        request_id: &str,
+    ) -> Result<JobHandle, ServiceError> {
+        let mut req = Request::new(Method::Post, &self.url.target()).with_json(inputs);
+        req.headers.set(REQUEST_ID_HEADER, request_id);
         let resp = self
             .client
-            .post_json(&self.url.to_string(), inputs)
+            .send(&self.url, req)
             .map_err(|e| ServiceError::Transport(e.to_string()))?;
         if !resp.status.is_success() {
             return Err(http_error(&resp));
         }
+        let request_id = resp
+            .headers
+            .get(REQUEST_ID_HEADER)
+            .unwrap_or(request_id)
+            .to_string();
         let rep = JobRepresentation::from_value(
-            &resp.body_json().map_err(|e| ServiceError::Protocol(e.to_string()))?,
+            &resp
+                .body_json()
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?,
         )
         .map_err(ServiceError::Protocol)?;
-        Ok(JobHandle { client: self.client.clone(), base: self.url.clone(), rep })
+        Ok(JobHandle {
+            client: self.client.clone(),
+            base: self.url.clone(),
+            rep,
+            request_id,
+        })
     }
 
     /// Submits and waits for completion in one call.
@@ -154,7 +200,11 @@ impl ServiceClient {
     /// # Errors
     ///
     /// See [`ServiceClient::submit`] and [`JobHandle::wait`].
-    pub fn call(&self, inputs: &Value, timeout: Duration) -> Result<JobRepresentation, ServiceError> {
+    pub fn call(
+        &self,
+        inputs: &Value,
+        timeout: Duration,
+    ) -> Result<JobRepresentation, ServiceError> {
         self.submit(inputs)?.wait(timeout)
     }
 }
@@ -165,12 +215,20 @@ pub struct JobHandle {
     client: Client,
     base: Url,
     rep: JobRepresentation,
+    request_id: String,
 }
 
 impl JobHandle {
     /// The most recently fetched representation.
     pub fn representation(&self) -> &JobRepresentation {
         &self.rep
+    }
+
+    /// The request id this job was submitted under (as echoed by the
+    /// server). Quote it when reporting problems: server-side spans and the
+    /// `/metrics`-adjacent trace buffer are keyed by it.
+    pub fn request_id(&self) -> &str {
+        &self.request_id
     }
 
     /// The job's absolute URL.
@@ -192,7 +250,9 @@ impl JobHandle {
             return Err(http_error(&resp));
         }
         self.rep = JobRepresentation::from_value(
-            &resp.body_json().map_err(|e| ServiceError::Protocol(e.to_string()))?,
+            &resp
+                .body_json()
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?,
         )
         .map_err(ServiceError::Protocol)?;
         Ok(&self.rep)
@@ -289,7 +349,9 @@ pub fn list_services(container_url: &str) -> Result<Vec<ServiceDescription>, Ser
         .as_array()
         .ok_or_else(|| ServiceError::Protocol("service list is not an array".into()))?;
     arr.iter()
-        .map(|v| ServiceDescription::from_value(v).map_err(|e| ServiceError::Protocol(e.to_string())))
+        .map(|v| {
+            ServiceDescription::from_value(v).map_err(|e| ServiceError::Protocol(e.to_string()))
+        })
         .collect()
 }
 
@@ -332,9 +394,14 @@ mod tests {
         let svc = ServiceClient::connect(&format!("{base}/services/sum")).unwrap();
         let desc = svc.describe().unwrap();
         assert_eq!(desc.name(), "sum");
-        let done = svc.call(&json!({"a": 4, "b": 38}), Duration::from_secs(5)).unwrap();
+        let done = svc
+            .call(&json!({"a": 4, "b": 38}), Duration::from_secs(5))
+            .unwrap();
         assert_eq!(done.state, JobState::Done);
-        assert_eq!(done.outputs.unwrap().get("total").unwrap().as_i64(), Some(42));
+        assert_eq!(
+            done.outputs.unwrap().get("total").unwrap().as_i64(),
+            Some(42)
+        );
     }
 
     #[test]
@@ -342,7 +409,10 @@ mod tests {
         let (_server, base) = demo_server();
         let svc = ServiceClient::connect(&format!("{base}/services/slow")).unwrap();
         let err = svc.call(&json!({}), Duration::from_secs(5)).unwrap_err();
-        assert!(matches!(&err, ServiceError::JobFailed(m) if m.contains("exhausted")), "{err}");
+        assert!(
+            matches!(&err, ServiceError::JobFailed(m) if m.contains("exhausted")),
+            "{err}"
+        );
     }
 
     #[test]
@@ -350,7 +420,10 @@ mod tests {
         let (_server, base) = demo_server();
         let svc = ServiceClient::connect(&format!("{base}/services/sum")).unwrap();
         let err = svc.submit(&json!({"a": "wrong"})).unwrap_err();
-        assert!(matches!(err, ServiceError::Http { status: 400, .. }), "{err}");
+        assert!(
+            matches!(err, ServiceError::Http { status: 400, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -365,7 +438,10 @@ mod tests {
         }
         job.cancel().unwrap();
         let mut gone = job.clone();
-        assert!(matches!(gone.refresh().unwrap_err(), ServiceError::Http { status: 404, .. }));
+        assert!(matches!(
+            gone.refresh().unwrap_err(),
+            ServiceError::Http { status: 404, .. }
+        ));
     }
 
     #[test]
@@ -379,5 +455,19 @@ mod tests {
     #[test]
     fn connect_rejects_garbage_urls() {
         assert!(ServiceClient::connect("ftp://nope").is_err());
+    }
+
+    #[test]
+    fn request_ids_round_trip_through_the_server() {
+        let (_server, base) = demo_server();
+        let svc = ServiceClient::connect(&format!("{base}/services/sum")).unwrap();
+        let job = svc
+            .submit_with_request_id(&json!({"a": 1, "b": 2}), "client-rid-0042")
+            .unwrap();
+        assert_eq!(job.request_id(), "client-rid-0042");
+        // Auto-generated ids are minted client-side and echoed unchanged.
+        let job = svc.submit(&json!({"a": 1, "b": 2})).unwrap();
+        assert_eq!(job.request_id().len(), 16);
+        assert!(job.request_id().bytes().all(|b| b.is_ascii_hexdigit()));
     }
 }

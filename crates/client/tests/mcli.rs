@@ -79,7 +79,10 @@ fn submit_status_cancel_flow() {
 
     let (ok, stdout, _) = mcli(&["status", &job_url]);
     assert!(ok);
-    assert!(stdout.contains("WAITING") || stdout.contains("RUNNING"), "{stdout}");
+    assert!(
+        stdout.contains("WAITING") || stdout.contains("RUNNING"),
+        "{stdout}"
+    );
 
     let (ok, stdout, _) = mcli(&["cancel", &job_url]);
     assert!(ok);

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use mathcloud_telemetry::sync::{Condvar, Mutex};
 
 /// A batch job identifier (monotonically increasing, like TORQUE sequence
 /// numbers).
@@ -38,7 +38,10 @@ pub enum JobState {
 impl JobState {
     /// Returns `true` for states that will never change again.
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobState::Completed | JobState::Exited | JobState::Cancelled)
+        matches!(
+            self,
+            JobState::Completed | JobState::Exited | JobState::Cancelled
+        )
     }
 }
 
@@ -73,7 +76,12 @@ impl JobSpec {
     where
         F: FnOnce(&JobContext) -> Result<String, String> + Send + 'static,
     {
-        JobSpec { name: name.to_string(), cores, walltime: None, task: Box::new(task) }
+        JobSpec {
+            name: name.to_string(),
+            cores,
+            walltime: None,
+            task: Box::new(task),
+        }
     }
 
     /// Sets a walltime limit (builder style).
@@ -129,7 +137,10 @@ pub enum SubmitError {
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::NeverRunnable { requested, largest_node } => write!(
+            SubmitError::NeverRunnable {
+                requested,
+                largest_node,
+            } => write!(
                 f,
                 "job requests {requested} cores but the largest node has {largest_node}"
             ),
@@ -219,7 +230,11 @@ impl BatchSystemBuilder {
                     nodes: self
                         .nodes
                         .into_iter()
-                        .map(|(name, cores)| Node { name, cores, used: 0 })
+                        .map(|(name, cores)| Node {
+                            name,
+                            cores,
+                            used: 0,
+                        })
                         .collect(),
                     queue: Vec::new(),
                     jobs: HashMap::new(),
@@ -257,7 +272,10 @@ impl fmt::Debug for BatchSystem {
 impl BatchSystem {
     /// Starts building a cluster.
     pub fn builder(name: &str) -> BatchSystemBuilder {
-        BatchSystemBuilder { name: name.to_string(), nodes: Vec::new() }
+        BatchSystemBuilder {
+            name: name.to_string(),
+            nodes: Vec::new(),
+        }
     }
 
     /// The cluster name.
@@ -287,7 +305,10 @@ impl BatchSystem {
         let mut state = self.inner.state.lock();
         let largest = state.nodes.iter().map(|n| n.cores).max().unwrap_or(0);
         if spec.cores > largest {
-            return Err(SubmitError::NeverRunnable { requested: spec.cores, largest_node: largest });
+            return Err(SubmitError::NeverRunnable {
+                requested: spec.cores,
+                largest_node: largest,
+            });
         }
         let id = JobId(state.next_id);
         state.next_id += 1;
@@ -327,7 +348,9 @@ impl BatchSystem {
     /// Returns `false` for unknown or already-terminal jobs.
     pub fn qdel(&self, id: JobId) -> bool {
         let mut state = self.inner.state.lock();
-        let Some(record) = state.jobs.get_mut(&id) else { return false };
+        let Some(record) = state.jobs.get_mut(&id) else {
+            return false;
+        };
         match record.state {
             JobState::Queued => {
                 record.state = JobState::Cancelled;
@@ -393,10 +416,7 @@ impl BatchSystem {
         while i < state.queue.len() {
             let id = state.queue[i];
             let cores = state.jobs[&id].cores;
-            let node_idx = state
-                .nodes
-                .iter()
-                .position(|n| n.cores - n.used >= cores);
+            let node_idx = state.nodes.iter().position(|n| n.cores - n.used >= cores);
             match node_idx {
                 Some(idx) => {
                     state.nodes[idx].used += cores;
@@ -407,7 +427,9 @@ impl BatchSystem {
                     record.node = Some(node_name);
                     record.started = Some(Instant::now());
                     let task = record.task.take().expect("queued job has a task");
-                    let ctx = JobContext { stop: Arc::clone(&record.stop) };
+                    let ctx = JobContext {
+                        stop: Arc::clone(&record.stop),
+                    };
                     let walltime = record.walltime;
                     self.spawn_worker(id, cores, idx, task, ctx, walltime);
                 }
@@ -500,7 +522,10 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn small_cluster() -> BatchSystem {
-        BatchSystem::builder("test").node("n1", 2).node("n2", 2).build()
+        BatchSystem::builder("test")
+            .node("n1", 2)
+            .node("n2", 2)
+            .build()
     }
 
     #[test]
@@ -526,9 +551,19 @@ mod tests {
     #[test]
     fn oversized_jobs_are_rejected_at_submit() {
         let c = small_cluster();
-        let err = c.try_qsub(JobSpec::new("huge", 3, |_| Ok(String::new()))).unwrap_err();
-        assert_eq!(err, SubmitError::NeverRunnable { requested: 3, largest_node: 2 });
-        let err = c.try_qsub(JobSpec::new("zero", 0, |_| Ok(String::new()))).unwrap_err();
+        let err = c
+            .try_qsub(JobSpec::new("huge", 3, |_| Ok(String::new())))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::NeverRunnable {
+                requested: 3,
+                largest_node: 2
+            }
+        );
+        let err = c
+            .try_qsub(JobSpec::new("zero", 0, |_| Ok(String::new())))
+            .unwrap_err();
         assert_eq!(err, SubmitError::ZeroCores);
     }
 
@@ -551,9 +586,16 @@ mod tests {
             })
             .collect();
         for id in ids {
-            assert_eq!(c.wait(id, Duration::from_secs(10)).unwrap().state, JobState::Completed);
+            assert_eq!(
+                c.wait(id, Duration::from_secs(10)).unwrap().state,
+                JobState::Completed
+            );
         }
-        assert!(peak.load(Ordering::SeqCst) <= 2, "peak={}", peak.load(Ordering::SeqCst));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak={}",
+            peak.load(Ordering::SeqCst)
+        );
     }
 
     #[test]
@@ -581,9 +623,16 @@ mod tests {
         let small_st = c.wait(small, Duration::from_secs(5)).unwrap();
         assert_eq!(small_st.state, JobState::Completed);
         let wide_st = c.qstat(wide).unwrap();
-        assert_ne!(wide_st.state, JobState::Completed, "wide should still be waiting on cores");
+        assert_ne!(
+            wide_st.state,
+            JobState::Completed,
+            "wide should still be waiting on cores"
+        );
         for id in [blocker, long, wide] {
-            assert_eq!(c.wait(id, Duration::from_secs(10)).unwrap().state, JobState::Completed);
+            assert_eq!(
+                c.wait(id, Duration::from_secs(10)).unwrap().state,
+                JobState::Completed
+            );
         }
     }
 

@@ -29,7 +29,11 @@ pub struct Parameter {
 impl Parameter {
     /// Creates a required parameter.
     pub fn new(name: &str, schema: Schema) -> Self {
-        Parameter { name: name.to_string(), schema, optional: false }
+        Parameter {
+            name: name.to_string(),
+            schema,
+            optional: false,
+        }
     }
 
     /// Marks the parameter optional (builder style). Optional inputs fall
@@ -298,7 +302,10 @@ fn params_from_value(v: Option<&Value>) -> Result<Vec<Parameter>, DescriptionErr
         .as_object()
         .ok_or_else(|| DescriptionError::Malformed("parameters must be an object".into()))?;
     for (name, schema_doc) in obj.iter() {
-        let optional = schema_doc.get("optional").and_then(Value::as_bool).unwrap_or(false);
+        let optional = schema_doc
+            .get("optional")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
         let schema = Schema::from_value(schema_doc)
             .map_err(|e| DescriptionError::Malformed(format!("parameter {name}: {e}")))?;
         let mut p = Parameter::new(name, schema);
@@ -334,14 +341,22 @@ mod tests {
         let d = inverse_service();
         let eff = d.validate_inputs(&json!({"matrix": "1 0; 0 1"})).unwrap();
         assert_eq!(eff.get("matrix").unwrap().as_str(), Some("1 0; 0 1"));
-        assert_eq!(eff.get("check").unwrap().as_bool(), Some(false), "default filled");
+        assert_eq!(
+            eff.get("check").unwrap().as_bool(),
+            Some(false),
+            "default filled"
+        );
     }
 
     #[test]
     fn validate_collects_all_errors() {
         let d = inverse_service();
-        let err = d.validate_inputs(&json!({"check": "yes", "bogus": 1})).unwrap_err();
-        let DescriptionError::InvalidInputs(errs) = err else { panic!("wrong variant") };
+        let err = d
+            .validate_inputs(&json!({"check": "yes", "bogus": 1}))
+            .unwrap_err();
+        let DescriptionError::InvalidInputs(errs) = err else {
+            panic!("wrong variant")
+        };
         assert_eq!(errs.len(), 3, "{errs:?}"); // missing matrix, bad check, unknown bogus
     }
 
@@ -365,10 +380,10 @@ mod tests {
     fn from_value_rejects_malformed_documents() {
         assert!(ServiceDescription::from_value(&json!({})).is_err());
         assert!(ServiceDescription::from_value(&json!({"name": "x", "inputs": [1]})).is_err());
-        assert!(
-            ServiceDescription::from_value(&json!({"name": "x", "inputs": {"p": {"type": "weird"}}}))
-                .is_err()
-        );
+        assert!(ServiceDescription::from_value(
+            &json!({"name": "x", "inputs": {"p": {"type": "weird"}}})
+        )
+        .is_err());
     }
 
     #[test]

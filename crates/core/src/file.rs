@@ -96,7 +96,13 @@ mod tests {
 
     #[test]
     fn plain_values_are_not_references() {
-        for v in [json!("matrix data"), json!(""), json!(3), json!(null), json!({"a": 1})] {
+        for v in [
+            json!("matrix data"),
+            json!(""),
+            json!(3),
+            json!(null),
+            json!({"a": 1}),
+        ] {
             assert_eq!(FileRef::detect(&v), None, "{v}");
         }
         // https is intentionally not recognized: transport security is
@@ -107,6 +113,9 @@ mod tests {
     #[test]
     fn empty_local_id_is_still_a_reference() {
         // Degenerate but well-formed; resolution will fail with not-found.
-        assert_eq!(FileRef::detect(&json!("mc-file:")), Some(FileRef::local("")));
+        assert_eq!(
+            FileRef::detect(&json!("mc-file:")),
+            Some(FileRef::local(""))
+        );
     }
 }

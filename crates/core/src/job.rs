@@ -65,7 +65,10 @@ pub enum JobState {
 impl JobState {
     /// Returns `true` for states that will never change again.
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
     }
 
     /// The wire token (upper-case, as in the paper's text).
@@ -138,7 +141,14 @@ pub struct JobRepresentation {
 impl JobRepresentation {
     /// Creates a representation in the given state with no results.
     pub fn new(id: JobId, uri: &str, state: JobState) -> Self {
-        JobRepresentation { id, uri: uri.to_string(), state, outputs: None, error: None, runtime_ms: None }
+        JobRepresentation {
+            id,
+            uri: uri.to_string(),
+            state,
+            outputs: None,
+            error: None,
+            runtime_ms: None,
+        }
     }
 
     /// Serializes to the wire document.
@@ -175,7 +185,12 @@ impl JobRepresentation {
         let outputs = match v.get("outputs") {
             None => None,
             Some(Value::Object(o)) => Some(o.clone()),
-            Some(other) => return Err(format!("outputs must be an object, got {}", other.type_name())),
+            Some(other) => {
+                return Err(format!(
+                    "outputs must be an object, got {}",
+                    other.type_name()
+                ))
+            }
         };
         Ok(JobRepresentation {
             id: JobId::new(id),
@@ -183,7 +198,9 @@ impl JobRepresentation {
             state,
             outputs,
             error: v.str_field("error").map(String::from),
-            runtime_ms: v.int_field("runtime_ms").and_then(|n| u64::try_from(n).ok()),
+            runtime_ms: v
+                .int_field("runtime_ms")
+                .and_then(|n| u64::try_from(n).ok()),
         })
     }
 }
@@ -195,7 +212,13 @@ mod tests {
 
     #[test]
     fn state_tokens_round_trip() {
-        for s in [JobState::Waiting, JobState::Running, JobState::Done, JobState::Failed, JobState::Cancelled] {
+        for s in [
+            JobState::Waiting,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
             assert_eq!(s.as_str().parse::<JobState>().unwrap(), s);
         }
         assert!("done".parse::<JobState>().is_err(), "tokens are upper-case");
@@ -212,7 +235,8 @@ mod tests {
 
     #[test]
     fn representation_round_trips() {
-        let mut rep = JobRepresentation::new(JobId::new("j-1"), "/services/sum/jobs/j-1", JobState::Done);
+        let mut rep =
+            JobRepresentation::new(JobId::new("j-1"), "/services/sum/jobs/j-1", JobState::Done);
         let mut outputs = Object::new();
         outputs.insert("total".into(), json!(5));
         rep.outputs = Some(outputs);
@@ -234,7 +258,10 @@ mod tests {
     #[test]
     fn from_value_rejects_malformed() {
         assert!(JobRepresentation::from_value(&json!({})).is_err());
-        assert!(JobRepresentation::from_value(&json!({"id": "a", "uri": "/u", "state": "NOPE"})).is_err());
+        assert!(
+            JobRepresentation::from_value(&json!({"id": "a", "uri": "/u", "state": "NOPE"}))
+                .is_err()
+        );
         assert!(JobRepresentation::from_value(
             &json!({"id": "a", "uri": "/u", "state": "DONE", "outputs": [1]})
         )

@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn parse_job_accepts_only_job_uris() {
-        assert_eq!(parse_job(&job("inverse", "j-1")), Some(("inverse".into(), "j-1".into())));
+        assert_eq!(
+            parse_job(&job("inverse", "j-1")),
+            Some(("inverse".into(), "j-1".into()))
+        );
         assert_eq!(parse_job("/services/x"), None);
         assert_eq!(parse_job("/services//jobs/1"), None);
         assert_eq!(parse_job("/services/x/jobs/"), None);

@@ -1,86 +1,116 @@
-//! Property-based tests for the unified REST API model.
+//! Randomized property tests for the unified REST API model, driven by the
+//! workspace's deterministic PRNG (offline, reproducible).
 
 use mathcloud_core::{uri, JobId, JobRepresentation, JobState, Parameter, ServiceDescription};
 use mathcloud_json::value::Object;
 use mathcloud_json::{Schema, Value};
-use proptest::prelude::*;
+use mathcloud_telemetry::XorShift64;
 
-fn arb_state() -> impl Strategy<Value = JobState> {
-    prop_oneof![
-        Just(JobState::Waiting),
-        Just(JobState::Running),
-        Just(JobState::Done),
-        Just(JobState::Failed),
-        Just(JobState::Cancelled),
-    ]
+const CASES: usize = 300;
+
+const IDENT: &[char] = &['a', 'b', 'c', 'x', 'y', 'z', '0', '9', '-'];
+
+fn arb_state(rng: &mut XorShift64) -> JobState {
+    *rng.pick(&[
+        JobState::Waiting,
+        JobState::Running,
+        JobState::Done,
+        JobState::Failed,
+        JobState::Cancelled,
+    ])
 }
 
-fn arb_outputs() -> impl Strategy<Value = Option<Object>> {
-    prop::option::of(prop::collection::vec(("[a-z]{1,6}", any::<i64>()), 0..4).prop_map(
-        |pairs| {
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k, Value::from(v)))
-                .collect::<Object>()
-        },
-    ))
-}
-
-proptest! {
-    /// Job representations round-trip through their wire form.
-    #[test]
-    fn job_representation_round_trip(
-        id in "[a-z0-9-]{1,12}",
-        state in arb_state(),
-        outputs in arb_outputs(),
-        error in prop::option::of("\\PC{0,30}"),
-        runtime in prop::option::of(0u64..1_000_000),
-    ) {
-        let mut rep = JobRepresentation::new(JobId::new(&id), &uri::job("svc", &id), state);
-        rep.outputs = outputs;
-        rep.error = error;
-        rep.runtime_ms = runtime;
-        let back = JobRepresentation::from_value(&rep.to_value()).unwrap();
-        prop_assert_eq!(back, rep);
+fn arb_outputs(rng: &mut XorShift64) -> Option<Object> {
+    if rng.bool() {
+        return None;
     }
+    let n = rng.index(4);
+    let mut o = Object::new();
+    for _ in 0..n {
+        let len = 1 + rng.index(6);
+        let key = rng.string_from(&['a', 'b', 'c', 'd', 'e', 'f'], len);
+        o.insert(key, Value::from(rng.next_u64() as i64));
+    }
+    Some(o)
+}
 
-    /// Service descriptions round-trip through their wire form for
-    /// arbitrary parameter sets.
-    #[test]
-    fn description_round_trip(
-        inputs in prop::collection::vec(("[a-z]{1,8}", any::<bool>()), 0..5),
-        tags in prop::collection::vec("[a-z-]{1,10}", 0..3),
-    ) {
+fn arb_ident(rng: &mut XorShift64, max_len: usize) -> String {
+    let len = 1 + rng.index(max_len);
+    // Identifiers must not be empty; the pool is URL-safe.
+    rng.string_from(IDENT, len)
+}
+
+/// Job representations round-trip through their wire form.
+#[test]
+fn job_representation_round_trip() {
+    let mut rng = XorShift64::new(0xC0DE);
+    for case in 0..CASES {
+        let id = arb_ident(&mut rng, 12);
+        let mut rep =
+            JobRepresentation::new(JobId::new(&id), &uri::job("svc", &id), arb_state(&mut rng));
+        rep.outputs = arb_outputs(&mut rng);
+        rep.error = if rng.bool() {
+            Some(rng.unicode_string(30))
+        } else {
+            None
+        };
+        rep.runtime_ms = if rng.bool() {
+            Some(rng.below(1_000_000))
+        } else {
+            None
+        };
+        let back = JobRepresentation::from_value(&rep.to_value()).unwrap();
+        assert_eq!(back, rep, "case {case}");
+    }
+}
+
+/// Service descriptions round-trip through their wire form for arbitrary
+/// parameter sets.
+#[test]
+fn description_round_trip() {
+    let mut rng = XorShift64::new(0xD05);
+    for case in 0..CASES {
         let mut desc = ServiceDescription::new("svc", "generated description");
         let mut seen = std::collections::HashSet::new();
-        for (name, optional) in &inputs {
+        for _ in 0..rng.index(5) {
+            let name = arb_ident(&mut rng, 8);
             if !seen.insert(name.clone()) {
                 continue;
             }
-            let mut p = Parameter::new(name, Schema::string());
-            if *optional {
+            let mut p = Parameter::new(&name, Schema::string());
+            if rng.bool() {
                 p = p.optional();
             }
             desc = desc.input(p);
         }
-        for t in &tags {
-            desc = desc.tag(t);
+        for _ in 0..rng.index(3) {
+            let tag = arb_ident(&mut rng, 10);
+            desc = desc.tag(&tag);
         }
         let back = ServiceDescription::from_value(&desc.to_value()).unwrap();
-        prop_assert_eq!(back, desc);
+        assert_eq!(back, desc, "case {case}");
     }
+}
 
-    /// `uri::parse_job` inverts `uri::job` for arbitrary safe names.
-    #[test]
-    fn job_uri_round_trip(service in "[a-z0-9-]{1,12}", job in "[a-z0-9-]{1,12}") {
+/// `uri::parse_job` inverts `uri::job` for arbitrary safe names.
+#[test]
+fn job_uri_round_trip() {
+    let mut rng = XorShift64::new(0x10B);
+    for _ in 0..CASES {
+        let service = arb_ident(&mut rng, 12);
+        let job = arb_ident(&mut rng, 12);
         let path = uri::job(&service, &job);
-        prop_assert_eq!(uri::parse_job(&path), Some((service, job)));
+        assert_eq!(uri::parse_job(&path), Some((service, job)));
     }
+}
 
-    /// Validation with defaults is total: it never panics, and accepted
-    /// objects contain every required input.
-    #[test]
-    fn validation_is_total(present in prop::collection::vec(any::<bool>(), 3)) {
+/// Validation with defaults is total: it never panics, and accepted objects
+/// contain every required input.
+#[test]
+fn validation_is_total() {
+    let mut rng = XorShift64::new(0x7AB);
+    for _ in 0..CASES {
+        let present = [rng.bool(), rng.bool(), rng.bool()];
         let desc = ServiceDescription::new("svc", "")
             .input(Parameter::new("a", Schema::integer()))
             .input(Parameter::new("b", Schema::integer()).optional())
@@ -93,12 +123,12 @@ proptest! {
         }
         match desc.validate_inputs(&Value::Object(body)) {
             Ok(effective) => {
-                prop_assert!(present[0], "a is required");
-                prop_assert!(effective.get("a").is_some());
+                assert!(present[0], "a is required");
+                assert!(effective.get("a").is_some());
                 // The default for c is always present.
-                prop_assert!(effective.get("c").is_some());
+                assert!(effective.get("c").is_some());
             }
-            Err(_) => prop_assert!(!present[0], "only a missing 'a' may fail"),
+            Err(_) => assert!(!present[0], "only a missing 'a' may fail"),
         }
     }
 }

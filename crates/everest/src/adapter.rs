@@ -20,6 +20,7 @@ pub struct AdapterContext {
     files: Arc<FileStore>,
     cancelled: Arc<AtomicBool>,
     client: Client,
+    request_id: Option<String>,
 }
 
 impl AdapterContext {
@@ -35,7 +36,25 @@ impl AdapterContext {
             files,
             cancelled,
             client: Client::new(),
+            request_id: None,
         }
+    }
+
+    /// Attach the originating request id; outbound calls made through the
+    /// context's HTTP client then carry `X-MC-Request-Id` downstream.
+    pub(crate) fn with_request_id(mut self, request_id: Option<&str>) -> Self {
+        if let Some(rid) = request_id {
+            self.client = self
+                .client
+                .with_default_header(mathcloud_telemetry::REQUEST_ID_HEADER, rid);
+        }
+        self.request_id = request_id.map(str::to_string);
+        self
+    }
+
+    /// The request id that accompanied the job's submission, if any.
+    pub fn request_id(&self) -> Option<&str> {
+        self.request_id.as_deref()
     }
 
     /// The service this job belongs to.
@@ -237,7 +256,11 @@ impl Adapter for CommandAdapter {
     fn execute(&self, inputs: &Object, ctx: &AdapterContext) -> Result<Object, String> {
         use std::io::Write;
 
-        let args: Vec<String> = self.args.iter().map(|a| Self::render_arg(a, inputs)).collect();
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(|a| Self::render_arg(a, inputs))
+            .collect();
         let mut cmd = std::process::Command::new(&self.program);
         cmd.args(&args)
             .stdin(Stdio::piped())
@@ -293,7 +316,9 @@ impl Adapter for CommandAdapter {
                 stderr.trim()
             ));
         }
-        let stdout = String::from_utf8_lossy(&output.stdout).trim_end().to_string();
+        let stdout = String::from_utf8_lossy(&output.stdout)
+            .trim_end()
+            .to_string();
         let mut outputs = Object::new();
         outputs.insert(self.stdout_output.clone(), Value::from(stdout));
         Ok(outputs)
@@ -325,7 +350,12 @@ impl ClusterAdapter {
             + Sync
             + 'static,
     {
-        ClusterAdapter { cluster, cores, walltime: None, task: Arc::new(task) }
+        ClusterAdapter {
+            cluster,
+            cores,
+            walltime: None,
+            task: Arc::new(task),
+        }
     }
 
     /// Sets the batch walltime limit (builder style).
@@ -383,7 +413,9 @@ impl Adapter for ClusterAdapter {
 
 impl fmt::Debug for ClusterAdapter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ClusterAdapter").field("cores", &self.cores).finish()
+        f.debug_struct("ClusterAdapter")
+            .field("cores", &self.cores)
+            .finish()
     }
 }
 
@@ -409,7 +441,12 @@ impl GridAdapter {
             + Sync
             + 'static,
     {
-        GridAdapter { broker, proxy, cores, task: Arc::new(task) }
+        GridAdapter {
+            broker,
+            proxy,
+            cores,
+            task: Arc::new(task),
+        }
     }
 }
 
@@ -457,7 +494,9 @@ impl Adapter for GridAdapter {
 
 impl fmt::Debug for GridAdapter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("GridAdapter").field("cores", &self.cores).finish()
+        f.debug_struct("GridAdapter")
+            .field("cores", &self.cores)
+            .finish()
     }
 }
 
@@ -476,7 +515,10 @@ mod tests {
     }
 
     fn obj(pairs: &[(&str, Value)]) -> Object {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -493,15 +535,22 @@ mod tests {
     fn command_adapter_substitutes_args_and_captures_stdout() {
         let a = CommandAdapter::new("/bin/echo", &["{greeting}", "{name}"]).stdout_to("line");
         let out = a
-            .execute(&obj(&[("greeting", json!("hello")), ("name", json!("world"))]), &ctx())
+            .execute(
+                &obj(&[("greeting", json!("hello")), ("name", json!("world"))]),
+                &ctx(),
+            )
             .unwrap();
         assert_eq!(out.get("line").unwrap().as_str(), Some("hello world"));
     }
 
     #[test]
     fn command_adapter_pipes_stdin() {
-        let a = CommandAdapter::new("/bin/cat", &[]).stdin_from("data").stdout_to("copy");
-        let out = a.execute(&obj(&[("data", json!("matrix rows"))]), &ctx()).unwrap();
+        let a = CommandAdapter::new("/bin/cat", &[])
+            .stdin_from("data")
+            .stdout_to("copy");
+        let out = a
+            .execute(&obj(&[("data", json!("matrix rows"))]), &ctx())
+            .unwrap();
         assert_eq!(out.get("copy").unwrap().as_str(), Some("matrix rows"));
     }
 
@@ -528,7 +577,10 @@ mod tests {
         let files = Arc::new(FileStore::new());
         let id = files.put("svc", "j-1", b"stored".to_vec());
         let ctx = AdapterContext::new("svc", "j-1", files, Arc::new(AtomicBool::new(false)));
-        assert_eq!(ctx.read_data(&json!(format!("mc-file:{id}"))).unwrap(), b"stored");
+        assert_eq!(
+            ctx.read_data(&json!(format!("mc-file:{id}"))).unwrap(),
+            b"stored"
+        );
         assert_eq!(ctx.read_data(&json!("inline")).unwrap(), b"inline");
         assert_eq!(ctx.read_data(&json!(5)).unwrap(), b"5");
         assert!(ctx.read_data(&json!("mc-file:nope")).is_err());
@@ -537,14 +589,21 @@ mod tests {
     #[test]
     fn context_store_file_round_trips() {
         let files = Arc::new(FileStore::new());
-        let ctx = AdapterContext::new("svc", "j-1", Arc::clone(&files), Arc::new(AtomicBool::new(false)));
+        let ctx = AdapterContext::new(
+            "svc",
+            "j-1",
+            Arc::clone(&files),
+            Arc::new(AtomicBool::new(false)),
+        );
         let reference = ctx.store_file(b"large result".to_vec());
         assert_eq!(ctx.read_data(&reference).unwrap(), b"large result");
     }
 
     #[test]
     fn cluster_adapter_runs_via_batch_system() {
-        let cluster = mathcloud_cluster::BatchSystem::builder("c").node("n", 2).build();
+        let cluster = mathcloud_cluster::BatchSystem::builder("c")
+            .node("n", 2)
+            .build();
         let a = ClusterAdapter::new(cluster, 1, |inputs, _| {
             let n = inputs.get("n").and_then(Value::as_i64).unwrap_or(0);
             Ok([("sq".to_string(), json!(n * n))].into_iter().collect())
@@ -559,7 +618,9 @@ mod tests {
         let ce = mathcloud_grid::ComputingElement::new(
             "ce",
             &["vo"],
-            mathcloud_cluster::BatchSystem::builder("site").node("wn", 2).build(),
+            mathcloud_cluster::BatchSystem::builder("site")
+                .node("wn", 2)
+                .build(),
         );
         let broker = mathcloud_grid::ResourceBroker::new(vec![ce]);
         let proxy = mathcloud_grid::ProxyCredential::issue("CN=a", "vo", Duration::from_secs(600));
@@ -576,7 +637,9 @@ mod tests {
         let ce = mathcloud_grid::ComputingElement::new(
             "ce",
             &["other-vo"],
-            mathcloud_cluster::BatchSystem::builder("site").node("wn", 2).build(),
+            mathcloud_cluster::BatchSystem::builder("site")
+                .node("wn", 2)
+                .build(),
         );
         let broker = mathcloud_grid::ResourceBroker::new(vec![ce]);
         let proxy = mathcloud_grid::ProxyCredential::issue("CN=a", "vo", Duration::from_secs(600));

@@ -67,7 +67,13 @@ fn err(msg: impl Into<String>) -> ConfigError {
 #[derive(Default)]
 pub struct AdapterRegistry {
     clusters: HashMap<String, mathcloud_cluster::BatchSystem>,
-    brokers: HashMap<String, (mathcloud_grid::ResourceBroker, mathcloud_grid::ProxyCredential)>,
+    brokers: HashMap<
+        String,
+        (
+            mathcloud_grid::ResourceBroker,
+            mathcloud_grid::ProxyCredential,
+        ),
+    >,
     tasks: HashMap<String, ComputeFn>,
     natives: HashMap<String, Arc<NativeAdapter>>,
 }
@@ -98,7 +104,10 @@ impl AdapterRegistry {
     /// Registers a compute task for cluster/grid adapters.
     pub fn task<F>(mut self, name: &str, f: F) -> Self
     where
-        F: Fn(&mathcloud_json::value::Object, &mathcloud_cluster::JobContext) -> Result<mathcloud_json::value::Object, String>
+        F: Fn(
+                &mathcloud_json::value::Object,
+                &mathcloud_cluster::JobContext,
+            ) -> Result<mathcloud_json::value::Object, String>
             + Send
             + Sync
             + 'static,
@@ -185,7 +194,11 @@ fn build_description(entry: &Value, name: &str) -> Result<ServiceDescription, Co
                 if optional {
                     p = p.optional();
                 }
-                desc = if is_input { desc.input(p) } else { desc.output(p) };
+                desc = if is_input {
+                    desc.input(p)
+                } else {
+                    desc.output(p)
+                };
             }
         }
     }
@@ -226,9 +239,7 @@ pub fn build_policyless_service(
     registry: &AdapterRegistry,
 ) -> Result<(ServiceDescription, Box<dyn crate::adapter::Adapter>), ConfigError> {
     let description = build_description(entry, name)?;
-    let adapter_doc = entry
-        .get("adapter")
-        .ok_or_else(|| err("missing adapter"))?;
+    let adapter_doc = entry.get("adapter").ok_or_else(|| err("missing adapter"))?;
     let adapter = build_adapter(adapter_doc, registry)?;
     Ok((description, adapter))
 }
@@ -260,7 +271,12 @@ fn build_adapter(
             let args: Vec<String> = adapter_doc
                 .get("args")
                 .and_then(Value::as_array)
-                .map(|a| a.iter().filter_map(Value::as_str).map(String::from).collect())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Value::as_str)
+                        .map(String::from)
+                        .collect()
+                })
                 .unwrap_or_default();
             let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
             let mut adapter = CommandAdapter::new(program, &arg_refs);
@@ -382,17 +398,25 @@ mod tests {
             .unwrap();
         let outputs = rep.outputs.expect("job done");
         assert_eq!(outputs.get("count").unwrap().as_str(), Some("3"));
-        assert_eq!(everest.description("word-count").unwrap().tags(), ["text", "unix"]);
+        assert_eq!(
+            everest.description("word-count").unwrap().tags(),
+            ["text", "unix"]
+        );
     }
 
     #[test]
     fn cluster_service_uses_registered_resources() {
         let everest = Everest::new("cfg");
-        let cluster = mathcloud_cluster::BatchSystem::builder("site").node("n", 2).build();
-        let registry = AdapterRegistry::new().cluster("site-a", cluster).task("square", |inputs, _| {
-            let n = inputs.get("n").and_then(Value::as_i64).unwrap_or(0);
-            Ok([("sq".to_string(), json!(n * n))].into_iter().collect())
-        });
+        let cluster = mathcloud_cluster::BatchSystem::builder("site")
+            .node("n", 2)
+            .build();
+        let registry =
+            AdapterRegistry::new()
+                .cluster("site-a", cluster)
+                .task("square", |inputs, _| {
+                    let n = inputs.get("n").and_then(Value::as_i64).unwrap_or(0);
+                    Ok([("sq".to_string(), json!(n * n))].into_iter().collect())
+                });
         let config = json!({
             "services": [{
                 "name": "square",

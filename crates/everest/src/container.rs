@@ -1,17 +1,17 @@
 //! The container core: Service Manager + Job Manager.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
 use mathcloud_core::{uri, JobId, JobRepresentation, JobState, ServiceDescription};
 use mathcloud_json::value::Object;
 use mathcloud_json::Value;
 use mathcloud_security::{AccessPolicy, Identity};
-use parking_lot::{Condvar, Mutex, RwLock};
+use mathcloud_telemetry::sync::{Condvar, Mutex, RwLock};
+use mathcloud_telemetry::{metrics, trace, Gauge, Histogram};
 
 use crate::adapter::{Adapter, AdapterContext};
 use crate::filestore::FileStore;
@@ -34,17 +34,26 @@ pub struct Caller {
 impl Caller {
     /// An unauthenticated caller.
     pub fn anonymous() -> Self {
-        Caller { identity: Identity::Anonymous, proxy_dn: None }
+        Caller {
+            identity: Identity::Anonymous,
+            proxy_dn: None,
+        }
     }
 
     /// A directly-authenticated caller.
     pub fn direct(identity: Identity) -> Self {
-        Caller { identity, proxy_dn: None }
+        Caller {
+            identity,
+            proxy_dn: None,
+        }
     }
 
     /// A delegated call by `proxy_dn` on behalf of `identity`.
     pub fn proxied(identity: Identity, proxy_dn: &str) -> Self {
-        Caller { identity, proxy_dn: Some(proxy_dn.to_string()) }
+        Caller {
+            identity,
+            proxy_dn: Some(proxy_dn.to_string()),
+        }
     }
 }
 
@@ -75,7 +84,9 @@ impl fmt::Display for SubmitRejection {
         match self {
             SubmitRejection::NoSuchService(name) => write!(f, "no such service: {name}"),
             SubmitRejection::AccessDenied(why) => write!(f, "access denied: {why}"),
-            SubmitRejection::InvalidInputs(errs) => write!(f, "invalid inputs: {}", errs.join("; ")),
+            SubmitRejection::InvalidInputs(errs) => {
+                write!(f, "invalid inputs: {}", errs.join("; "))
+            }
         }
     }
 }
@@ -95,6 +106,10 @@ struct JobRecord {
     cancel: Arc<AtomicBool>,
     inputs: Object,
     runtime_ms: Option<u64>,
+    /// Request id of the submission that created the job, for end-to-end
+    /// correlation (`X-MC-Request-Id`).
+    request_id: Option<String>,
+    submitted_at: Instant,
 }
 
 /// Aggregate container statistics.
@@ -110,6 +125,129 @@ pub struct ContainerStats {
     pub cancelled: usize,
 }
 
+/// Pre-registered instrument handles for one container instance, labelled so
+/// several containers in one process (a test farm, a PaaS host) stay
+/// distinguishable in the process-wide registry.
+struct ContainerMetrics {
+    label: String,
+    queue_depth: Gauge,
+    busy_workers: Gauge,
+    pool_workers: Gauge,
+    wait_seconds: Histogram,
+}
+
+impl ContainerMetrics {
+    fn new(name: &str) -> Self {
+        static INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let label = format!("{name}#{}", INSTANCE.fetch_add(1, Ordering::Relaxed));
+        let reg = metrics::global();
+        reg.describe(
+            "mc_pool_queue_depth",
+            "jobs waiting in the handler-pool queue",
+        );
+        reg.describe(
+            "mc_pool_busy_workers",
+            "handler threads currently running a job",
+        );
+        reg.describe("mc_pool_workers", "size of the handler thread pool");
+        reg.describe(
+            "mc_job_wait_seconds",
+            "time jobs spend queued (WAITING to RUNNING)",
+        );
+        reg.describe(
+            "mc_job_run_seconds",
+            "adapter execution time (RUNNING to terminal)",
+        );
+        reg.describe("mc_job_transitions_total", "job state transitions");
+        reg.describe("mc_jobs_submitted_total", "jobs accepted per service");
+        let l: &[(&str, &str)] = &[("container", &label)];
+        ContainerMetrics {
+            queue_depth: reg.gauge("mc_pool_queue_depth", l),
+            busy_workers: reg.gauge("mc_pool_busy_workers", l),
+            pool_workers: reg.gauge("mc_pool_workers", l),
+            wait_seconds: reg.histogram("mc_job_wait_seconds", l),
+            label: label.clone(),
+        }
+    }
+
+    fn transition(&self, from: &str, to: &str) {
+        metrics::global()
+            .counter(
+                "mc_job_transitions_total",
+                &[("container", &self.label), ("from", from), ("to", to)],
+            )
+            .inc();
+    }
+
+    fn run_seconds(&self, adapter: &str) -> Histogram {
+        metrics::global().histogram(
+            "mc_job_run_seconds",
+            &[("container", &self.label), ("adapter", adapter)],
+        )
+    }
+}
+
+/// The handler-pool job queue: a std-only MPMC queue whose depth doubles as
+/// the `mc_pool_queue_depth` gauge. Workers block on [`JobQueue::pop`]; the
+/// queue reports closed once every [`JobSender`] (i.e. every `Everest`
+/// clone) is gone, which is what lets handler threads exit.
+struct JobQueue {
+    state: Mutex<JobQueueState>,
+    ready: Condvar,
+}
+
+struct JobQueueState {
+    items: VecDeque<(String, String)>,
+    senders: usize,
+}
+
+impl JobQueue {
+    fn push(&self, item: (String, String), depth: &Gauge) {
+        let mut st = self.state.lock();
+        st.items.push_back(item);
+        depth.set(st.items.len() as i64);
+        drop(st);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self, depth: &Gauge) -> Option<(String, String)> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                depth.set(st.items.len() as i64);
+                return Some(item);
+            }
+            if st.senders == 0 {
+                return None;
+            }
+            self.ready.wait(&mut st);
+        }
+    }
+}
+
+/// Owning handle to the job queue; cloning tracks sender counts so workers
+/// wake up and exit when the last container handle is dropped.
+struct JobSender(Arc<JobQueue>);
+
+impl Clone for JobSender {
+    fn clone(&self) -> Self {
+        self.0.state.lock().senders += 1;
+        JobSender(Arc::clone(&self.0))
+    }
+}
+
+impl Drop for JobSender {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock();
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            self.0.ready.notify_all();
+        }
+    }
+}
+
 struct Shared {
     name: String,
     services: RwLock<Vec<Arc<ServiceEntry>>>,
@@ -118,13 +256,47 @@ struct Shared {
     files: Arc<FileStore>,
     next_job: AtomicU64,
     stats: Mutex<ContainerStats>,
+    metrics: ContainerMetrics,
+    started: Instant,
+}
+
+/// A point-in-time health report, served as `GET /health` on every container.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthReport {
+    /// Seconds since the container was created.
+    pub uptime_seconds: f64,
+    /// Live job records currently in each state.
+    pub waiting: usize,
+    pub running: usize,
+    pub done: usize,
+    pub failed: usize,
+    pub cancelled: usize,
+    /// Cumulative counters since start.
+    pub stats: ContainerStats,
+    /// Handler-pool size.
+    pub pool_workers: usize,
+    /// Handler threads currently executing a job.
+    pub busy_workers: usize,
+    /// Jobs queued behind the pool.
+    pub queue_depth: usize,
+}
+
+impl HealthReport {
+    /// Pool saturation in `[0, 1]`: busy workers over pool size.
+    pub fn saturation(&self) -> f64 {
+        if self.pool_workers == 0 {
+            0.0
+        } else {
+            self.busy_workers as f64 / self.pool_workers as f64
+        }
+    }
 }
 
 /// The Everest service container. Cheap to clone (shared state).
 #[derive(Clone)]
 pub struct Everest {
     shared: Arc<Shared>,
-    queue: Sender<(String, String)>,
+    queue: JobSender,
 }
 
 impl fmt::Debug for Everest {
@@ -148,7 +320,12 @@ impl Everest {
     ///
     /// Panics if `handlers` is zero.
     pub fn with_handlers(name: &str, handlers: usize) -> Self {
-        assert!(handlers > 0, "the job manager needs at least one handler thread");
+        assert!(
+            handlers > 0,
+            "the job manager needs at least one handler thread"
+        );
+        let container_metrics = ContainerMetrics::new(name);
+        container_metrics.pool_workers.set(handlers as i64);
         let shared = Arc::new(Shared {
             name: name.to_string(),
             services: RwLock::new(Vec::new()),
@@ -157,18 +334,31 @@ impl Everest {
             files: Arc::new(FileStore::new()),
             next_job: AtomicU64::new(1),
             stats: Mutex::new(ContainerStats::default()),
+            metrics: container_metrics,
+            started: Instant::now(),
         });
-        let (tx, rx) = unbounded::<(String, String)>();
+        let queue = Arc::new(JobQueue {
+            state: Mutex::new(JobQueueState {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
         for _ in 0..handlers {
             let shared = Arc::clone(&shared);
-            let rx = rx.clone();
+            let queue = Arc::clone(&queue);
             std::thread::spawn(move || {
-                while let Ok((service, job)) = rx.recv() {
+                while let Some((service, job)) = queue.pop(&shared.metrics.queue_depth) {
+                    shared.metrics.busy_workers.add(1);
                     run_job(&shared, &service, &job);
+                    shared.metrics.busy_workers.sub(1);
                 }
             });
         }
-        Everest { shared, queue: tx }
+        Everest {
+            shared,
+            queue: JobSender(queue),
+        }
     }
 
     /// The container name.
@@ -205,7 +395,11 @@ impl Everest {
         adapter: Box<dyn Adapter>,
         policy: AccessPolicy,
     ) {
-        let entry = Arc::new(ServiceEntry { description, adapter: Arc::from(adapter), policy });
+        let entry = Arc::new(ServiceEntry {
+            description,
+            adapter: Arc::from(adapter),
+            policy,
+        });
         let mut services = self.shared.services.write();
         if let Some(slot) = services
             .iter_mut()
@@ -301,6 +495,23 @@ impl Everest {
         body: &Value,
         caller: Option<&Caller>,
     ) -> Result<JobRepresentation, SubmitRejection> {
+        self.submit_traced(service, body, caller, None)
+    }
+
+    /// [`Everest::submit`] carrying the originating request id
+    /// (`X-MC-Request-Id`), so the job's spans and events correlate with the
+    /// HTTP request that created it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Everest::submit`].
+    pub fn submit_traced(
+        &self,
+        service: &str,
+        body: &Value,
+        caller: Option<&Caller>,
+        request_id: Option<&str>,
+    ) -> Result<JobRepresentation, SubmitRejection> {
         let anonymous = Caller::anonymous();
         let caller = caller.unwrap_or(&anonymous);
         self.authorize(service, caller)?;
@@ -329,14 +540,31 @@ impl Everest {
                     cancel: Arc::new(AtomicBool::new(false)),
                     inputs,
                     runtime_ms: None,
+                    request_id: request_id.map(str::to_string),
+                    submitted_at: Instant::now(),
                 },
             );
         }
         self.shared.stats.lock().submitted += 1;
+        let m = &self.shared.metrics;
+        metrics::global()
+            .counter(
+                "mc_jobs_submitted_total",
+                &[("container", &m.label), ("service", service)],
+            )
+            .inc();
+        m.transition("SUBMITTED", "WAITING");
+        trace::info(
+            "job.submitted",
+            request_id,
+            &[("service", service), ("job", &job_id)],
+        );
         self.queue
-            .send((service.to_string(), job_id.clone()))
-            .expect("job manager queue lives as long as the container");
-        Ok(self.representation(service, &job_id).expect("job just inserted"))
+            .0
+            .push((service.to_string(), job_id.clone()), &m.queue_depth);
+        Ok(self
+            .representation(service, &job_id)
+            .expect("job just inserted"))
     }
 
     /// Submit-and-wait: the synchronous mode of §2. If the job finishes
@@ -362,11 +590,8 @@ impl Everest {
     pub fn representation(&self, service: &str, job_id: &str) -> Option<JobRepresentation> {
         let jobs = self.shared.jobs.lock();
         let record = jobs.get(&(service.to_string(), job_id.to_string()))?;
-        let mut rep = JobRepresentation::new(
-            JobId::new(job_id),
-            &uri::job(service, job_id),
-            record.state,
-        );
+        let mut rep =
+            JobRepresentation::new(JobId::new(job_id), &uri::job(service, job_id), record.state);
         rep.outputs = record.outputs.clone();
         rep.error = record.error.clone();
         rep.runtime_ms = record.runtime_ms;
@@ -375,7 +600,12 @@ impl Everest {
 
     /// Blocks until the job is terminal or `timeout` elapses; returns the
     /// terminal representation, or `None` on timeout / unknown job.
-    pub fn wait(&self, service: &str, job_id: &str, timeout: Duration) -> Option<JobRepresentation> {
+    pub fn wait(
+        &self,
+        service: &str,
+        job_id: &str,
+        timeout: Duration,
+    ) -> Option<JobRepresentation> {
         let key = (service.to_string(), job_id.to_string());
         let deadline = Instant::now() + timeout;
         let mut jobs = self.shared.jobs.lock();
@@ -412,8 +642,20 @@ impl Everest {
             }
             Some(record) => {
                 record.cancel.store(true, Ordering::Relaxed);
+                let from = if record.state == JobState::Running {
+                    "RUNNING"
+                } else {
+                    "WAITING"
+                };
+                let rid = record.request_id.clone();
                 record.state = JobState::Cancelled;
                 self.shared.stats.lock().cancelled += 1;
+                self.shared.metrics.transition(from, "CANCELLED");
+                trace::info(
+                    "job.cancelled",
+                    rid.as_deref(),
+                    &[("service", service), ("job", job_id)],
+                );
                 drop(jobs);
                 self.shared.job_done.notify_all();
                 true
@@ -435,22 +677,76 @@ impl Everest {
     pub fn stats(&self) -> ContainerStats {
         *self.shared.stats.lock()
     }
+
+    /// The request id recorded with a job at submission, if any.
+    pub fn job_request_id(&self, service: &str, job_id: &str) -> Option<String> {
+        let jobs = self.shared.jobs.lock();
+        jobs.get(&(service.to_string(), job_id.to_string()))?
+            .request_id
+            .clone()
+    }
+
+    /// The label under which this container's instruments are registered in
+    /// the process-wide metrics registry (`container="<name>#<n>"`).
+    pub fn metrics_label(&self) -> &str {
+        &self.shared.metrics.label
+    }
+
+    /// A point-in-time health report: uptime, live job-state totals,
+    /// cumulative stats and handler-pool load.
+    pub fn health(&self) -> HealthReport {
+        let (mut waiting, mut running, mut done, mut failed, mut cancelled) = (0, 0, 0, 0, 0);
+        {
+            let jobs = self.shared.jobs.lock();
+            for record in jobs.values() {
+                match record.state {
+                    JobState::Waiting => waiting += 1,
+                    JobState::Running => running += 1,
+                    JobState::Done => done += 1,
+                    JobState::Failed => failed += 1,
+                    JobState::Cancelled => cancelled += 1,
+                }
+            }
+        }
+        let m = &self.shared.metrics;
+        HealthReport {
+            uptime_seconds: self.shared.started.elapsed().as_secs_f64(),
+            waiting,
+            running,
+            done,
+            failed,
+            cancelled,
+            stats: self.stats(),
+            pool_workers: m.pool_workers.get().max(0) as usize,
+            busy_workers: m.busy_workers.get().max(0) as usize,
+            queue_depth: m.queue_depth.get().max(0) as usize,
+        }
+    }
 }
 
 fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
     let key = (service.to_string(), job_id.to_string());
     // Snapshot what we need, flipping the job to RUNNING.
-    let (inputs, cancel) = {
+    let (inputs, cancel, request_id) = {
         let mut jobs = shared.jobs.lock();
         match jobs.get_mut(&key) {
-            None => return, // deleted before starting
+            None => return,                                    // deleted before starting
             Some(r) if r.state != JobState::Waiting => return, // cancelled while queued
             Some(r) => {
                 r.state = JobState::Running;
-                (r.inputs.clone(), Arc::clone(&r.cancel))
+                shared
+                    .metrics
+                    .wait_seconds
+                    .observe_duration(r.submitted_at.elapsed());
+                (
+                    r.inputs.clone(),
+                    Arc::clone(&r.cancel),
+                    r.request_id.clone(),
+                )
             }
         }
     };
+    shared.metrics.transition("WAITING", "RUNNING");
     let adapter = {
         let services = shared.services.read();
         services
@@ -458,10 +754,16 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
             .find(|e| e.description.name() == service)
             .map(|e| Arc::clone(&e.adapter))
     };
+    let adapter_kind = adapter.as_ref().map_or("none", |a| a.kind());
+    let mut span = trace::span("job.run", request_id.as_deref());
+    span.field("service", service);
+    span.field("job", job_id);
+    span.field("adapter", adapter_kind);
     let started = Instant::now();
     let result = match adapter {
         Some(adapter) => {
-            let ctx = AdapterContext::new(service, job_id, Arc::clone(&shared.files), cancel);
+            let ctx = AdapterContext::new(service, job_id, Arc::clone(&shared.files), cancel)
+                .with_request_id(request_id.as_deref());
             // A buggy adapter must fail its own job, not kill the handler
             // thread serving every other job.
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -473,12 +775,24 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
                     .map(|s| (*s).to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "adapter panicked".to_string());
+                trace::error(
+                    "adapter.panic",
+                    request_id.as_deref(),
+                    &[("service", service), ("job", job_id), ("panic", &msg)],
+                );
                 Err(format!("adapter panicked: {msg}"))
             })
         }
         None => Err(format!("service {service} was undeployed")),
     };
-    let runtime_ms = started.elapsed().as_millis() as u64;
+    let elapsed = started.elapsed();
+    let runtime_ms = elapsed.as_millis() as u64;
+    shared
+        .metrics
+        .run_seconds(adapter_kind)
+        .observe_duration(elapsed);
+    span.field("outcome", if result.is_ok() { "done" } else { "failed" });
+    drop(span);
 
     let mut jobs = shared.jobs.lock();
     if let Some(record) = jobs.get_mut(&key) {
@@ -489,11 +803,18 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
                     record.state = JobState::Done;
                     record.outputs = Some(outputs);
                     shared.stats.lock().completed += 1;
+                    shared.metrics.transition("RUNNING", "DONE");
                 }
                 Err(error) => {
                     record.state = JobState::Failed;
+                    trace::error(
+                        "job.failed",
+                        request_id.as_deref(),
+                        &[("service", service), ("job", job_id), ("error", &error)],
+                    );
                     record.error = Some(error);
                     shared.stats.lock().failed += 1;
+                    shared.metrics.transition("RUNNING", "FAILED");
                 }
             }
         }
@@ -531,9 +852,14 @@ mod tests {
         let e = sum_container();
         let rep = e.submit("sum", &json!({"a": 20, "b": 22}), None).unwrap();
         assert_eq!(rep.state, JobState::Waiting);
-        let done = e.wait("sum", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+        let done = e
+            .wait("sum", rep.id.as_str(), Duration::from_secs(5))
+            .unwrap();
         assert_eq!(done.state, JobState::Done);
-        assert_eq!(done.outputs.unwrap().get("total").unwrap().as_i64(), Some(42));
+        assert_eq!(
+            done.outputs.unwrap().get("total").unwrap().as_i64(),
+            Some(42)
+        );
         assert!(done.runtime_ms.is_some());
         assert_eq!(done.uri, format!("/services/sum/jobs/{}", done.id));
     }
@@ -542,7 +868,12 @@ mod tests {
     fn submit_sync_returns_terminal_state_for_fast_jobs() {
         let e = sum_container();
         let rep = e
-            .submit_sync("sum", &json!({"a": 1, "b": 2}), None, Duration::from_secs(5))
+            .submit_sync(
+                "sum",
+                &json!({"a": 1, "b": 2}),
+                None,
+                Duration::from_secs(5),
+            )
             .unwrap();
         assert_eq!(rep.state, JobState::Done);
     }
@@ -565,7 +896,9 @@ mod tests {
             NativeAdapter::from_fn(|_, _| Err("no luck".into())),
         );
         let rep = e.submit("bad", &json!({}), None).unwrap();
-        let done = e.wait("bad", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+        let done = e
+            .wait("bad", rep.id.as_str(), Duration::from_secs(5))
+            .unwrap();
         assert_eq!(done.state, JobState::Failed);
         assert_eq!(done.error.as_deref(), Some("no luck"));
         assert_eq!(e.stats().failed, 1);
@@ -586,7 +919,9 @@ mod tests {
         let rep = e.submit("slow", &json!({}), None).unwrap();
         std::thread::sleep(Duration::from_millis(30));
         assert!(e.delete_job("slow", rep.id.as_str()), "cancel");
-        let st = e.wait("slow", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+        let st = e
+            .wait("slow", rep.id.as_str(), Duration::from_secs(5))
+            .unwrap();
         assert_eq!(st.state, JobState::Cancelled);
         assert!(e.delete_job("slow", rep.id.as_str()), "delete record");
         assert!(e.representation("slow", rep.id.as_str()).is_none());
@@ -650,12 +985,18 @@ mod tests {
             .collect();
         for rep in &reps {
             assert_eq!(
-                e.wait("sleep", rep.id.as_str(), Duration::from_secs(5)).unwrap().state,
+                e.wait("sleep", rep.id.as_str(), Duration::from_secs(5))
+                    .unwrap()
+                    .state,
                 JobState::Done
             );
         }
         // 4 jobs × 100 ms on 4 handlers should take ~100 ms, not ~400.
-        assert!(t0.elapsed() < Duration::from_millis(350), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() < Duration::from_millis(350),
+            "{:?}",
+            t0.elapsed()
+        );
         assert_eq!(e.stats().completed, 4);
     }
 }

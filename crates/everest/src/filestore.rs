@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use mathcloud_telemetry::sync::RwLock;
 
 /// Files of one job, keyed by file id.
 type JobFiles = HashMap<String, Vec<u8>>;
@@ -69,7 +69,9 @@ impl FileStore {
 
     /// Deletes every file of a job (job deletion semantics).
     pub fn remove_job(&self, service: &str, job: &str) {
-        self.files.write().remove(&(service.to_string(), job.to_string()));
+        self.files
+            .write()
+            .remove(&(service.to_string(), job.to_string()));
     }
 
     /// Total bytes currently stored (capacity monitoring).

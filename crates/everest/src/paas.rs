@@ -27,7 +27,7 @@ use std::sync::Arc;
 use mathcloud_http::{PathParams, Request, Response, Router};
 use mathcloud_json::{json, Value};
 use mathcloud_security::{AccessPolicy, AuthConfig, Identity};
-use parking_lot::RwLock;
+use mathcloud_telemetry::sync::RwLock;
 
 use crate::config::{build_policyless_service, AdapterRegistry};
 use crate::container::Everest;
@@ -116,7 +116,10 @@ impl Paas {
         match self.owner_of(user) {
             None => Err(Response::error(404, &format!("no such user {user:?}"))),
             Some(owner) if owner == *caller => Ok(()),
-            Some(_) => Err(Response::error(403, "only the account owner may manage its services")),
+            Some(_) => Err(Response::error(
+                403,
+                "only the account owner may manage its services",
+            )),
         }
     }
 
@@ -149,9 +152,13 @@ impl Paas {
         }
         self.everest
             .deploy_with_policy_boxed(description, adapter, policy);
-        state
-            .services
-            .insert(key, Hosted { deployed_name: deployed_name.clone(), shared_with });
+        state.services.insert(
+            key,
+            Hosted {
+                deployed_name: deployed_name.clone(),
+                shared_with,
+            },
+        );
         Ok(deployed_name)
     }
 
@@ -232,28 +239,31 @@ impl Paas {
         });
 
         let paas = self.clone();
-        router.put("/paas/{user}/services/{name}", move |req: &Request, p: &PathParams| {
-            let user = p.get("user").expect("route has {user}");
-            let name = p.get("name").expect("route has {name}");
-            let caller = AuthConfig::identity_of(req);
-            if let Err(resp) = paas.require_owner(user, &caller) {
-                return resp;
-            }
-            let config = match req.body_json() {
-                Ok(v) => v,
-                Err(e) => return Response::error(400, &format!("bad json: {e}")),
-            };
-            match paas.deploy(user, name, &config) {
-                Ok(deployed) => Response::json(
-                    201,
-                    &json!({
-                        "service": deployed,
-                        "uri": (mathcloud_core::uri::service(&Paas::deployed_name(user, name))),
-                    }),
-                ),
-                Err(e) => Response::error(400, &e),
-            }
-        });
+        router.put(
+            "/paas/{user}/services/{name}",
+            move |req: &Request, p: &PathParams| {
+                let user = p.get("user").expect("route has {user}");
+                let name = p.get("name").expect("route has {name}");
+                let caller = AuthConfig::identity_of(req);
+                if let Err(resp) = paas.require_owner(user, &caller) {
+                    return resp;
+                }
+                let config = match req.body_json() {
+                    Ok(v) => v,
+                    Err(e) => return Response::error(400, &format!("bad json: {e}")),
+                };
+                match paas.deploy(user, name, &config) {
+                    Ok(deployed) => Response::json(
+                        201,
+                        &json!({
+                            "service": deployed,
+                            "uri": (mathcloud_core::uri::service(&Paas::deployed_name(user, name))),
+                        }),
+                    ),
+                    Err(e) => Response::error(400, &e),
+                }
+            },
+        );
 
         let paas = self.clone();
         router.post(
@@ -272,7 +282,12 @@ impl Paas {
                 let identities: Vec<Identity> = body
                     .get("with")
                     .and_then(Value::as_array)
-                    .map(|a| a.iter().filter_map(Value::as_str).map(Identity::decode).collect())
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(Value::as_str)
+                            .map(Identity::decode)
+                            .collect()
+                    })
                     .unwrap_or_default();
                 match paas.share(user, name, &identities) {
                     Ok(()) => Response::empty(204),
@@ -282,29 +297,35 @@ impl Paas {
         );
 
         let paas = self.clone();
-        router.delete("/paas/{user}/services/{name}", move |req: &Request, p: &PathParams| {
-            let user = p.get("user").expect("route has {user}");
-            let name = p.get("name").expect("route has {name}");
-            let caller = AuthConfig::identity_of(req);
-            if let Err(resp) = paas.require_owner(user, &caller) {
-                return resp;
-            }
-            if paas.remove(user, name) {
-                Response::empty(204)
-            } else {
-                Response::error(404, "no such service")
-            }
-        });
+        router.delete(
+            "/paas/{user}/services/{name}",
+            move |req: &Request, p: &PathParams| {
+                let user = p.get("user").expect("route has {user}");
+                let name = p.get("name").expect("route has {name}");
+                let caller = AuthConfig::identity_of(req);
+                if let Err(resp) = paas.require_owner(user, &caller) {
+                    return resp;
+                }
+                if paas.remove(user, name) {
+                    Response::empty(204)
+                } else {
+                    Response::error(404, "no such service")
+                }
+            },
+        );
 
         let paas = self.clone();
-        router.get("/paas/{user}/services", move |_req: &Request, p: &PathParams| {
-            let user = p.get("user").expect("route has {user}");
-            if paas.owner_of(user).is_none() {
-                return Response::error(404, &format!("no such user {user:?}"));
-            }
-            let names: Vec<Value> = paas.list(user).into_iter().map(Value::from).collect();
-            Response::json(200, &Value::Array(names))
-        });
+        router.get(
+            "/paas/{user}/services",
+            move |_req: &Request, p: &PathParams| {
+                let user = p.get("user").expect("route has {user}");
+                if paas.owner_of(user).is_none() {
+                    return Response::error(404, &format!("no such user {user:?}"));
+                }
+                let names: Vec<Value> = paas.list(user).into_iter().map(Value::from).collect();
+                Response::json(200, &Value::Array(names))
+            },
+        );
     }
 }
 
@@ -353,8 +374,14 @@ mod tests {
         assert!(p.container().description("alice--echo").is_some());
 
         use crate::container::Caller;
-        assert!(p.container().authorize("alice--echo", &Caller::direct(alice())).is_ok());
-        assert!(p.container().authorize("alice--echo", &Caller::direct(bob())).is_err());
+        assert!(p
+            .container()
+            .authorize("alice--echo", &Caller::direct(alice()))
+            .is_ok());
+        assert!(p
+            .container()
+            .authorize("alice--echo", &Caller::direct(bob()))
+            .is_err());
         // And it actually runs for the owner.
         let rep = p
             .container()
@@ -365,7 +392,10 @@ mod tests {
                 Duration::from_secs(10),
             )
             .unwrap();
-        assert_eq!(rep.outputs.unwrap().get("echo").unwrap().as_str(), Some("hosted!"));
+        assert_eq!(
+            rep.outputs.unwrap().get("echo").unwrap().as_str(),
+            Some("hosted!")
+        );
     }
 
     #[test]
@@ -375,14 +405,23 @@ mod tests {
         p.deploy("alice", "echo", &echo_config()).unwrap();
         p.share("alice", "echo", &[bob()]).unwrap();
         use crate::container::Caller;
-        assert!(p.container().authorize("alice--echo", &Caller::direct(bob())).is_ok());
         assert!(p
             .container()
-            .authorize("alice--echo", &Caller::direct(Identity::certificate("CN=carol")))
+            .authorize("alice--echo", &Caller::direct(bob()))
+            .is_ok());
+        assert!(p
+            .container()
+            .authorize(
+                "alice--echo",
+                &Caller::direct(Identity::certificate("CN=carol"))
+            )
             .is_err());
         // Shares survive redeployment of the same service.
         p.deploy("alice", "echo", &echo_config()).unwrap();
-        assert!(p.container().authorize("alice--echo", &Caller::direct(bob())).is_ok());
+        assert!(p
+            .container()
+            .authorize("alice--echo", &Caller::direct(bob()))
+            .is_ok());
     }
 
     #[test]
@@ -403,7 +442,9 @@ mod tests {
         let p = paas();
         assert!(p.deploy("ghost", "x", &echo_config()).is_err());
         p.register("alice", alice()).unwrap();
-        assert!(p.deploy("alice", "bad", &json!({"adapter": {"type": "warp"}})).is_err());
+        assert!(p
+            .deploy("alice", "bad", &json!({"adapter": {"type": "warp"}}))
+            .is_err());
         assert!(p.share("alice", "missing", &[bob()]).is_err());
     }
 }

@@ -7,6 +7,7 @@ use mathcloud_http::{PathParams, Request, Response, Router, Server};
 use mathcloud_json::value::Object;
 use mathcloud_json::{json, Value};
 use mathcloud_security::AuthConfig;
+use mathcloud_telemetry::{metrics, trace};
 
 use crate::container::{Caller, Everest};
 use crate::webui;
@@ -86,8 +87,12 @@ pub fn router(everest: Everest, auth: Option<AuthConfig>) -> Router {
             Err(err) => return Response::error(400, &format!("request body is not json: {err}")),
         };
         let caller = caller_from(req);
-        match e.submit_sync(name, &body, Some(&caller), SYNC_WAIT) {
+        // The server edge stamped X-MC-Request-Id on the request; carry it
+        // into the job record so adapter spans correlate with this call.
+        let request_id = req.headers.get(trace::REQUEST_ID_HEADER);
+        match e.submit_traced(name, &body, Some(&caller), request_id) {
             Ok(rep) => {
+                let rep = e.wait(name, rep.id.as_str(), SYNC_WAIT).unwrap_or(rep);
                 let location = rep.uri.clone();
                 Response::json(201, &rep_to_wire(&e, req, name, rep))
                     .with_header("Location", &location)
@@ -98,14 +103,17 @@ pub fn router(everest: Everest, auth: Option<AuthConfig>) -> Router {
 
     // Job resource: GET status/results.
     let e = everest.clone();
-    r.get("/services/{name}/jobs/{id}", move |req: &Request, p: &PathParams| {
-        let name = p.get("name").expect("route has {name}");
-        let id = p.get("id").expect("route has {id}");
-        match e.representation(name, id) {
-            Some(rep) => Response::json(200, &rep_to_wire(&e, req, name, rep)),
-            None => Response::error(404, "no such job"),
-        }
-    });
+    r.get(
+        "/services/{name}/jobs/{id}",
+        move |req: &Request, p: &PathParams| {
+            let name = p.get("name").expect("route has {name}");
+            let id = p.get("id").expect("route has {id}");
+            match e.representation(name, id) {
+                Some(rep) => Response::json(200, &rep_to_wire(&e, req, name, rep)),
+                None => Response::error(404, "no such job"),
+            }
+        },
+    );
 
     // Job resource: DELETE cancel / delete data.
     let e = everest.clone();
@@ -134,6 +142,52 @@ pub fn router(everest: Everest, auth: Option<AuthConfig>) -> Router {
         },
     );
 
+    // Observability resources, mounted on every container.
+    //
+    // GET /metrics: the process-wide registry in Prometheus text format —
+    // per-route HTTP counts and latency histograms, job lifecycle counters
+    // and durations, handler-pool gauges, catalogue availability.
+    r.get("/metrics", move |_req, _p| {
+        Response::bytes(
+            200,
+            "text/plain; version=0.0.4",
+            metrics::global().render_prometheus().into_bytes(),
+        )
+    });
+
+    // GET /health: this container's liveness summary as JSON.
+    let e = everest.clone();
+    r.get("/health", move |_req, _p| {
+        let h = e.health();
+        Response::json(
+            200,
+            &json!({
+                "status": "ok",
+                "container": (e.name()),
+                "uptime_seconds": (h.uptime_seconds),
+                "jobs": {
+                    "waiting": (h.waiting as i64),
+                    "running": (h.running as i64),
+                    "done": (h.done as i64),
+                    "failed": (h.failed as i64),
+                    "cancelled": (h.cancelled as i64),
+                },
+                "totals": {
+                    "submitted": (h.stats.submitted as i64),
+                    "completed": (h.stats.completed as i64),
+                    "failed": (h.stats.failed as i64),
+                    "cancelled": (h.stats.cancelled as i64),
+                },
+                "pool": {
+                    "workers": (h.pool_workers as i64),
+                    "busy": (h.busy_workers as i64),
+                    "queue_depth": (h.queue_depth as i64),
+                    "saturation": (h.saturation()),
+                },
+            }),
+        )
+    });
+
     webui::mount(&mut r, everest);
     r
 }
@@ -143,11 +197,7 @@ pub fn router(everest: Everest, auth: Option<AuthConfig>) -> Router {
 /// # Errors
 ///
 /// Propagates socket errors from the HTTP server.
-pub fn serve(
-    everest: Everest,
-    addr: &str,
-    auth: Option<AuthConfig>,
-) -> std::io::Result<Server> {
+pub fn serve(everest: Everest, addr: &str, auth: Option<AuthConfig>) -> std::io::Result<Server> {
     Server::bind(addr, router(everest, auth))
 }
 
@@ -169,9 +219,10 @@ fn rep_to_wire(_e: &Everest, req: &Request, service: &str, mut rep: JobRepresent
         let mut rewritten = Object::new();
         for (k, v) in outputs.iter() {
             let new_v = match FileRef::detect(v) {
-                Some(FileRef::Local(fid)) => {
-                    Value::from(format!("http://{host}{}", uri::file(service, &job_id, &fid)))
-                }
+                Some(FileRef::Local(fid)) => Value::from(format!(
+                    "http://{host}{}",
+                    uri::file(service, &job_id, &fid)
+                )),
                 _ => v.clone(),
             };
             rewritten.insert(k.clone(), new_v);
@@ -228,7 +279,11 @@ mod tests {
         // Introspection.
         let root = client.get(&base).unwrap().body_json().unwrap();
         assert_eq!(root["container"].as_str(), Some("demo"));
-        let desc = client.get(&format!("{base}/services/sum")).unwrap().body_json().unwrap();
+        let desc = client
+            .get(&format!("{base}/services/sum"))
+            .unwrap()
+            .body_json()
+            .unwrap();
         assert_eq!(desc["name"].as_str(), Some("sum"));
 
         // Submit; fast job completes synchronously.
@@ -242,12 +297,30 @@ mod tests {
 
         // Poll the job resource.
         let job_uri = rep["uri"].as_str().unwrap();
-        let polled = client.get(&format!("{base}{job_uri}")).unwrap().body_json().unwrap();
+        let polled = client
+            .get(&format!("{base}{job_uri}"))
+            .unwrap()
+            .body_json()
+            .unwrap();
         assert_eq!(polled["state"].as_str(), Some("DONE"));
 
         // Delete the job, then it is gone.
-        assert_eq!(client.delete(&format!("{base}{job_uri}")).unwrap().status.as_u16(), 204);
-        assert_eq!(client.get(&format!("{base}{job_uri}")).unwrap().status.as_u16(), 404);
+        assert_eq!(
+            client
+                .delete(&format!("{base}{job_uri}"))
+                .unwrap()
+                .status
+                .as_u16(),
+            204
+        );
+        assert_eq!(
+            client
+                .get(&format!("{base}{job_uri}"))
+                .unwrap()
+                .status
+                .as_u16(),
+            404
+        );
     }
 
     #[test]
@@ -256,7 +329,10 @@ mod tests {
         let base = server.base_url();
         let client = Client::new();
         let rep = client
-            .post_json(&format!("{base}/services/store"), &json!({"payload": "big data"}))
+            .post_json(
+                &format!("{base}/services/store"),
+                &json!({"payload": "big data"}),
+            )
             .unwrap()
             .body_json()
             .unwrap();
@@ -264,7 +340,10 @@ mod tests {
         assert!(file_url.starts_with("http://"), "{file_url}");
         let data = client.get(&file_url).unwrap();
         assert_eq!(data.body, b"big data");
-        assert_eq!(data.headers.get("content-type"), Some("application/octet-stream"));
+        assert_eq!(
+            data.headers.get("content-type"),
+            Some("application/octet-stream")
+        );
     }
 
     #[test]
@@ -273,20 +352,47 @@ mod tests {
         let base = server.base_url();
         let client = Client::new();
         assert_eq!(
-            client.post_json(&format!("{base}/services/sum"), &json!({"a": "x"})).unwrap().status.as_u16(),
+            client
+                .post_json(&format!("{base}/services/sum"), &json!({"a": "x"}))
+                .unwrap()
+                .status
+                .as_u16(),
             400
         );
         assert_eq!(
-            client.post_bytes(&format!("{base}/services/sum"), "application/json", b"{bad".to_vec()).unwrap().status.as_u16(),
+            client
+                .post_bytes(
+                    &format!("{base}/services/sum"),
+                    "application/json",
+                    b"{bad".to_vec()
+                )
+                .unwrap()
+                .status
+                .as_u16(),
             400
         );
-        assert_eq!(client.get(&format!("{base}/services/none")).unwrap().status.as_u16(), 404);
         assert_eq!(
-            client.get(&format!("{base}/services/sum/jobs/j-999")).unwrap().status.as_u16(),
+            client
+                .get(&format!("{base}/services/none"))
+                .unwrap()
+                .status
+                .as_u16(),
             404
         );
         assert_eq!(
-            client.delete(&format!("{base}/services/sum/jobs/j-999")).unwrap().status.as_u16(),
+            client
+                .get(&format!("{base}/services/sum/jobs/j-999"))
+                .unwrap()
+                .status
+                .as_u16(),
+            404
+        );
+        assert_eq!(
+            client
+                .delete(&format!("{base}/services/sum/jobs/j-999"))
+                .unwrap()
+                .status
+                .as_u16(),
             404
         );
     }
@@ -308,7 +414,10 @@ mod tests {
         // Anonymous: policy rejects with 403.
         let anon = Client::new();
         assert_eq!(
-            anon.post_json(&format!("{base}/services/private"), &json!({})).unwrap().status.as_u16(),
+            anon.post_json(&format!("{base}/services/private"), &json!({}))
+                .unwrap()
+                .status
+                .as_u16(),
             403
         );
         // Alice with a valid certificate: accepted.
@@ -317,7 +426,9 @@ mod tests {
             mathcloud_security::middleware::CLIENT_CERT_HEADER,
             &cert.encode(),
         );
-        let resp = alice.post_json(&format!("{base}/services/private"), &json!({})).unwrap();
+        let resp = alice
+            .post_json(&format!("{base}/services/private"), &json!({}))
+            .unwrap();
         assert_eq!(resp.status.as_u16(), 201, "{}", resp.body_string());
         // Mallory with a forged certificate: 401 from the middleware.
         let mut forged = ca.issue("CN=alice", 600);
@@ -327,7 +438,11 @@ mod tests {
             &forged.encode(),
         );
         assert_eq!(
-            mallory.post_json(&format!("{base}/services/private"), &json!({})).unwrap().status.as_u16(),
+            mallory
+                .post_json(&format!("{base}/services/private"), &json!({}))
+                .unwrap()
+                .status
+                .as_u16(),
             401
         );
     }

@@ -34,7 +34,9 @@ pub fn mount(router: &mut Router, everest: Everest) {
         };
         let inputs = form_to_inputs(&desc, &req.body_string());
         match e.submit(name, &Value::Object(inputs), None) {
-            Ok(rep) => Response::empty(303).with_header("Location", &format!("/ui/{name}/jobs/{}", rep.id)),
+            Ok(rep) => {
+                Response::empty(303).with_header("Location", &format!("/ui/{name}/jobs/{}", rep.id))
+            }
             Err(rej) => Response::html(rej.status(), &error_page(&rej.to_string())),
         }
     });
@@ -137,12 +139,18 @@ fn job_page(service: &str, rep: &Value) -> String {
     if !matches!(state, "DONE" | "FAILED" | "CANCELLED") {
         body.push_str("<p>Refresh to update the status.</p>");
     }
-    body.push_str(&format!("<p><a href=\"/ui/{}\">&larr; service</a></p>", escape(service)));
+    body.push_str(&format!(
+        "<p><a href=\"/ui/{}\">&larr; service</a></p>",
+        escape(service)
+    ));
     page("job status", &body)
 }
 
 fn error_page(message: &str) -> String {
-    page("error", &format!("<h1>Error</h1><p>{}</p>", escape(message)))
+    page(
+        "error",
+        &format!("<h1>Error</h1><p>{}</p>", escape(message)),
+    )
 }
 
 /// Converts an HTML form body into a typed input object by coercing each
@@ -150,7 +158,9 @@ fn error_page(message: &str) -> String {
 fn form_to_inputs(desc: &ServiceDescription, body: &str) -> Object {
     let mut inputs = Object::new();
     for (key, raw) in decode_query(body) {
-        let Some(param) = desc.input_named(&key) else { continue };
+        let Some(param) = desc.input_named(&key) else {
+            continue;
+        };
         if raw.is_empty() && param.is_optional() {
             continue;
         }
@@ -223,7 +233,14 @@ mod tests {
         assert!(html.contains("<form"));
         assert!(html.contains("name=\"n\""));
         assert!(html.contains("the number"));
-        assert_eq!(client.get(&format!("{base}/ui/none")).unwrap().status.as_u16(), 404);
+        assert_eq!(
+            client
+                .get(&format!("{base}/ui/none"))
+                .unwrap()
+                .status
+                .as_u16(),
+            404
+        );
     }
 
     #[test]
@@ -233,13 +250,17 @@ mod tests {
         let url: mathcloud_http::Url = format!("{base}/ui/double").parse().unwrap();
         let mut req = Request::new(Method::Post, "/ui/double");
         req.body = b"n=21".to_vec();
-        req.headers.set("Content-Type", "application/x-www-form-urlencoded");
+        req.headers
+            .set("Content-Type", "application/x-www-form-urlencoded");
         let resp = client.send(&url, req).unwrap();
         assert_eq!(resp.status.as_u16(), 303);
         let location = resp.headers.get("location").unwrap().to_string();
         // Poll the job page until the result shows up.
         for _ in 0..100 {
-            let page = client.get(&format!("{base}{location}")).unwrap().body_string();
+            let page = client
+                .get(&format!("{base}{location}"))
+                .unwrap()
+                .body_string();
             if page.contains("DONE") {
                 assert!(page.contains("42"), "{page}");
                 return;
@@ -259,7 +280,10 @@ mod tests {
         assert_eq!(coerce("7", &Schema::integer()), json!(7));
         assert_eq!(coerce("2.5", &Schema::number()), json!(2.5));
         assert_eq!(coerce("on", &Schema::boolean()), json!(true));
-        assert_eq!(coerce("[1,2]", &Schema::array_of(Schema::integer())), json!([1, 2]));
+        assert_eq!(
+            coerce("[1,2]", &Schema::array_of(Schema::integer())),
+            json!([1, 2])
+        );
         assert_eq!(coerce("plain", &Schema::string()), json!("plain"));
         // Unparseable values fall back to strings so validation reports them.
         assert_eq!(coerce("xyz", &Schema::integer()), json!("xyz"));

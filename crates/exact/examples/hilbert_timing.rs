@@ -19,7 +19,10 @@ fn main() {
         let binv = block_inverse(&h, n / 2).unwrap();
         let blocked = t.elapsed();
         assert_eq!(inv, binv);
-        println!("n={n}: direct={direct:?} blocked={blocked:?} max_bits={}", inv.max_entry_bits());
+        println!(
+            "n={n}: direct={direct:?} blocked={blocked:?} max_bits={}",
+            inv.max_entry_bits()
+        );
         std::io::stdout().flush().unwrap();
     }
 }

@@ -85,7 +85,10 @@ impl BigInt {
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        BigInt { limbs: self.limbs.clone(), negative: false }
+        BigInt {
+            limbs: self.limbs.clone(),
+            negative: false,
+        }
     }
 
     /// Number of significant bits (`0` for zero).
@@ -265,7 +268,11 @@ impl BigInt {
                 q[i] = (cur / d) as u32;
                 rem = cur % d;
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u32]
+            };
             return (q, r);
         }
 
@@ -281,8 +288,7 @@ impl BigInt {
             let top = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
             let mut qhat = top / vn[n - 1] as u64;
             let mut rhat = top % vn[n - 1] as u64;
-            while qhat >= 1 << 32
-                || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64)
+            while qhat >= 1 << 32 || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64)
             {
                 qhat -= 1;
                 rhat += vn[n - 1] as u64;
@@ -417,7 +423,11 @@ fn shr_bits(limbs: &[u32], shift: usize) -> Vec<u32> {
         let mut out = Vec::with_capacity(limbs.len());
         for i in 0..limbs.len() {
             let lo = limbs[i] >> shift;
-            let hi = if i + 1 < limbs.len() { limbs[i + 1] << (32 - shift) } else { 0 };
+            let hi = if i + 1 < limbs.len() {
+                limbs[i + 1] << (32 - shift)
+            } else {
+                0
+            };
             out.push(lo | hi);
         }
         out
@@ -473,7 +483,11 @@ impl FromStr for BigInt {
         while i < bytes.len() {
             let take = (bytes.len() - i).min(9);
             let chunk: i64 = digits[i..i + take].parse().expect("ascii digits");
-            let scale = if take == 9 { ten9.clone() } else { BigInt::from(10i64.pow(take as u32)) };
+            let scale = if take == 9 {
+                ten9.clone()
+            } else {
+                BigInt::from(10i64.pow(take as u32))
+            };
             acc = &(&acc * &scale) + &BigInt::from(chunk);
             i += take;
         }
@@ -540,7 +554,10 @@ impl Neg for &BigInt {
         if self.is_zero() {
             BigInt::zero()
         } else {
-            BigInt { limbs: self.limbs.clone(), negative: !self.negative }
+            BigInt {
+                limbs: self.limbs.clone(),
+                negative: !self.negative,
+            }
         }
     }
 }
@@ -662,7 +679,14 @@ mod tests {
 
     #[test]
     fn parse_and_display_round_trip() {
-        for s in ["0", "1", "-1", "999999999", "1000000000", "-123456789012345678901234567890"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "999999999",
+            "1000000000",
+            "-123456789012345678901234567890",
+        ] {
             assert_eq!(big(s).to_string(), s);
         }
         assert_eq!(big("+17").to_string(), "17");
@@ -705,7 +729,10 @@ mod tests {
     fn multi_limb_multiplication() {
         let a = big("340282366920938463463374607431768211456"); // 2^128
         let b = big("18446744073709551616"); // 2^64
-        assert_eq!((&a * &b).to_string(), "6277101735386680763835789423207666416102355444464034512896"); // 2^192
+        assert_eq!(
+            (&a * &b).to_string(),
+            "6277101735386680763835789423207666416102355444464034512896"
+        ); // 2^192
     }
 
     #[test]
@@ -773,7 +800,13 @@ mod tests {
 
     #[test]
     fn comparisons_are_total_ordering() {
-        let vals = [big("-100"), big("-1"), big("0"), big("1"), big("99999999999999999999")];
+        let vals = [
+            big("-100"),
+            big("-1"),
+            big("0"),
+            big("1"),
+            big("99999999999999999999"),
+        ];
         for i in 0..vals.len() {
             for j in 0..vals.len() {
                 assert_eq!(vals[i].cmp(&vals[j]), i.cmp(&j));

@@ -76,7 +76,11 @@ mod tests {
         let inv = h.inverse().unwrap();
         for i in 0..5 {
             for j in 0..5 {
-                assert!(inv[(i, j)].is_integer(), "entry ({i},{j}) = {}", inv[(i, j)]);
+                assert!(
+                    inv[(i, j)].is_integer(),
+                    "entry ({i},{j}) = {}",
+                    inv[(i, j)]
+                );
             }
         }
         assert_eq!(inv[(0, 0)], Rational::from_ratio(25, 1));

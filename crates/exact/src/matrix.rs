@@ -47,7 +47,11 @@ impl fmt::Display for MatrixError {
         match self {
             MatrixError::Singular => write!(f, "matrix is singular"),
             MatrixError::ShapeMismatch { left, right } => {
-                write!(f, "shape mismatch: {}x{} vs {}x{}", left.0, left.1, right.0, right.1)
+                write!(
+                    f,
+                    "shape mismatch: {}x{} vs {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
             }
             MatrixError::NotSquare(r, c) => write!(f, "matrix is not square: {r}x{c}"),
             MatrixError::Parse(msg) => write!(f, "invalid matrix text: {msg}"),
@@ -95,7 +99,13 @@ impl Matrix {
 
     /// The identity matrix.
     pub fn identity(n: usize) -> Self {
-        Matrix::from_fn(n, n, |i, j| if i == j { Rational::one() } else { Rational::zero() })
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                Rational::one()
+            } else {
+                Rational::zero()
+            }
+        })
     }
 
     /// Number of rows.
@@ -124,7 +134,10 @@ impl Matrix {
     ///
     /// Panics if the range is empty or out of bounds.
     pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
-        assert!(r0 < r1 && r1 <= self.rows && c0 < c1 && c1 <= self.cols, "invalid block range");
+        assert!(
+            r0 < r1 && r1 <= self.rows && c0 < c1 && c1 <= self.cols,
+            "invalid block range"
+        );
         Matrix::from_fn(r1 - r0, c1 - c0, |i, j| self[(r0 + i, c0 + j)].clone())
     }
 
@@ -133,7 +146,12 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`MatrixError::ShapeMismatch`] when block shapes disagree.
-    pub fn from_blocks(a: &Matrix, b: &Matrix, c: &Matrix, d: &Matrix) -> Result<Matrix, MatrixError> {
+    pub fn from_blocks(
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+        d: &Matrix,
+    ) -> Result<Matrix, MatrixError> {
         if a.rows != b.rows || c.rows != d.rows || a.cols != c.cols || b.cols != d.cols {
             return Err(MatrixError::ShapeMismatch {
                 left: (a.rows, a.cols),
@@ -316,7 +334,11 @@ impl Matrix {
         }
         let cols = rows[0].len();
         let r = rows.len();
-        Ok(Matrix::from_vec(r, cols, rows.into_iter().flatten().collect()))
+        Ok(Matrix::from_vec(
+            r,
+            cols,
+            rows.into_iter().flatten().collect(),
+        ))
     }
 }
 
@@ -343,7 +365,11 @@ impl Add for &Matrix {
     ///
     /// Panics on shape mismatch.
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix addition shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix addition shape mismatch"
+        );
         Matrix::from_fn(self.rows, self.cols, |i, j| &self[(i, j)] + &rhs[(i, j)])
     }
 }
@@ -355,7 +381,11 @@ impl Sub for &Matrix {
     ///
     /// Panics on shape mismatch.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix subtraction shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix subtraction shape mismatch"
+        );
         Matrix::from_fn(self.rows, self.cols, |i, j| &self[(i, j)] - &rhs[(i, j)])
     }
 }
@@ -451,14 +481,23 @@ mod tests {
     #[test]
     fn rectangular_inverse_rejected() {
         let a = mat("1 2 3; 4 5 6");
-        assert!(matches!(a.inverse().unwrap_err(), MatrixError::NotSquare(2, 3)));
-        assert!(matches!(a.determinant().unwrap_err(), MatrixError::NotSquare(2, 3)));
+        assert!(matches!(
+            a.inverse().unwrap_err(),
+            MatrixError::NotSquare(2, 3)
+        ));
+        assert!(matches!(
+            a.determinant().unwrap_err(),
+            MatrixError::NotSquare(2, 3)
+        ));
     }
 
     #[test]
     fn determinant_of_hilbert() {
         // det(H_3) = 1/2160 is a classical value.
-        assert_eq!(hilbert(3).determinant().unwrap(), Rational::from_ratio(1, 2160));
+        assert_eq!(
+            hilbert(3).determinant().unwrap(),
+            Rational::from_ratio(1, 2160)
+        );
     }
 
     #[test]

@@ -44,12 +44,18 @@ impl Error for ParseRationalError {}
 impl Rational {
     /// Zero (`0/1`).
     pub fn zero() -> Self {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// One (`1/1`).
     pub fn one() -> Self {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Builds `num / den`, normalizing sign and common factors.
@@ -75,7 +81,10 @@ impl Rational {
 
     /// Builds an integer rational.
     pub fn from_integer(n: BigInt) -> Self {
-        Rational { num: n, den: BigInt::one() }
+        Rational {
+            num: n,
+            den: BigInt::one(),
+        }
     }
 
     fn normalize(&mut self) {
@@ -121,7 +130,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -155,7 +167,10 @@ impl Rational {
     /// Panics when raising zero to a negative power.
     pub fn pow(&self, exp: i32) -> Rational {
         if exp >= 0 {
-            Rational { num: self.num.pow(exp as u32), den: self.den.pow(exp as u32) }
+            Rational {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            }
         } else {
             self.recip().pow(-exp)
         }
@@ -250,7 +265,10 @@ impl Neg for &Rational {
     type Output = Rational;
 
     fn neg(self) -> Rational {
-        Rational { num: -&self.num, den: self.den.clone() }
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 
@@ -258,7 +276,10 @@ impl Neg for Rational {
     type Output = Rational;
 
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -292,13 +313,19 @@ impl Mul for &Rational {
         let g1 = self.num.gcd(&rhs.den);
         let g2 = rhs.num.gcd(&self.den);
         if g1 == BigInt::one() && g2 == BigInt::one() {
-            return Rational { num: &self.num * &rhs.num, den: &self.den * &rhs.den };
+            return Rational {
+                num: &self.num * &rhs.num,
+                den: &self.den * &rhs.den,
+            };
         }
         let n1 = &self.num / &g1;
         let d2 = &rhs.den / &g1;
         let n2 = &rhs.num / &g2;
         let d1 = &self.den / &g2;
-        Rational { num: &n1 * &n2, den: &d1 * &d2 }
+        Rational {
+            num: &n1 * &n2,
+            den: &d1 * &d2,
+        }
     }
 }
 
@@ -448,7 +475,10 @@ mod tests {
         assert!((rat("1/3").to_f64() - 1.0 / 3.0).abs() < 1e-15);
         assert_eq!(rat("-9/2").to_f64(), -4.5);
         // Huge numerator/denominator still produce a sensible ratio.
-        let big = Rational::new(BigInt::from(3).pow(2000), BigInt::from(3).pow(2000) * BigInt::from(2));
+        let big = Rational::new(
+            BigInt::from(3).pow(2000),
+            BigInt::from(3).pow(2000) * BigInt::from(2),
+        );
         assert!((big.to_f64() - 0.5).abs() < 1e-12);
     }
 

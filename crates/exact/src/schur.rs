@@ -162,13 +162,19 @@ mod tests {
     fn singular_matrix_reported_via_complement() {
         // Rank-deficient matrix with invertible leading block.
         let m = Matrix::from_text("1 0 1; 0 1 0; 1 0 1").unwrap();
-        assert_eq!(block_inverse(&m, 2).unwrap_err(), SchurError::ComplementSingular);
+        assert_eq!(
+            block_inverse(&m, 2).unwrap_err(),
+            SchurError::ComplementSingular
+        );
     }
 
     #[test]
     fn singular_leading_block_detected() {
         let m = Matrix::from_text("0 0 1; 0 1 0; 1 0 0").unwrap();
-        assert_eq!(block_inverse(&m, 2).unwrap_err(), SchurError::LeadingBlockSingular);
+        assert_eq!(
+            block_inverse(&m, 2).unwrap_err(),
+            SchurError::LeadingBlockSingular
+        );
     }
 
     #[test]

@@ -1,126 +1,211 @@
-//! Property-based tests for exact arithmetic.
+//! Randomized property tests for exact arithmetic, driven by the
+//! workspace's deterministic PRNG (offline, reproducible).
 
 use mathcloud_exact::{BigInt, Matrix, Rational};
-use proptest::prelude::*;
+use mathcloud_telemetry::XorShift64;
 
-fn arb_bigint() -> impl Strategy<Value = BigInt> {
-    // Mix small values with multi-limb magnitudes built from digit strings.
-    prop_oneof![
-        any::<i64>().prop_map(BigInt::from),
-        ("-?[1-9][0-9]{0,60}").prop_map(|s: String| s.parse().unwrap()),
-        Just(BigInt::zero()),
-    ]
+const CASES: usize = 150;
+
+/// Mixes small values with multi-limb magnitudes built from digit strings.
+fn arb_bigint(rng: &mut XorShift64) -> BigInt {
+    match rng.index(3) {
+        0 => BigInt::from(rng.next_u64() as i64),
+        1 => {
+            let mut s = String::new();
+            if rng.bool() {
+                s.push('-');
+            }
+            s.push((b'1' + rng.index(9) as u8) as char);
+            for _ in 0..rng.index(61) {
+                s.push((b'0' + rng.index(10) as u8) as char);
+            }
+            s.parse().unwrap()
+        }
+        _ => BigInt::zero(),
+    }
 }
 
-fn arb_rational() -> impl Strategy<Value = Rational> {
-    (any::<i32>(), 1..10_000i64).prop_map(|(n, d)| Rational::from_ratio(i64::from(n), d))
+fn arb_rational(rng: &mut XorShift64) -> Rational {
+    let n = rng.range_i64(i64::from(i32::MIN), i64::from(i32::MAX));
+    let d = rng.range_i64(1, 9_999);
+    Rational::from_ratio(n, d)
 }
 
-proptest! {
-    #[test]
-    fn bigint_decimal_round_trip(a in arb_bigint()) {
+#[test]
+fn bigint_decimal_round_trip() {
+    let mut rng = XorShift64::new(0xB16);
+    for case in 0..CASES {
+        let a = arb_bigint(&mut rng);
         let s = a.to_string();
         let back: BigInt = s.parse().unwrap();
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a, "case {case}: {s}");
     }
+}
 
-    #[test]
-    fn bigint_add_commutes_and_sub_inverts(a in arb_bigint(), b in arb_bigint()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&(&a + &b) - &b, a);
+#[test]
+fn bigint_add_commutes_and_sub_inverts() {
+    let mut rng = XorShift64::new(0xADD);
+    for case in 0..CASES {
+        let a = arb_bigint(&mut rng);
+        let b = arb_bigint(&mut rng);
+        assert_eq!(&a + &b, &b + &a, "case {case}");
+        assert_eq!(&(&a + &b) - &b, a, "case {case}");
     }
+}
 
-    #[test]
-    fn bigint_mul_distributes(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+#[test]
+fn bigint_mul_distributes() {
+    let mut rng = XorShift64::new(0x3D1);
+    for case in 0..CASES {
+        let a = arb_bigint(&mut rng);
+        let b = arb_bigint(&mut rng);
+        let c = arb_bigint(&mut rng);
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c), "case {case}");
     }
+}
 
-    #[test]
-    fn bigint_division_identity(a in arb_bigint(), b in arb_bigint()) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn bigint_division_identity() {
+    let mut rng = XorShift64::new(0xD1F);
+    let mut tested = 0;
+    while tested < CASES {
+        let a = arb_bigint(&mut rng);
+        let b = arb_bigint(&mut rng);
+        if b.is_zero() {
+            continue;
+        }
+        tested += 1;
         let q = &a / &b;
         let r = &a % &b;
-        prop_assert_eq!(&(&q * &b) + &r, a);
-        prop_assert!(r.abs() < b.abs());
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r.abs() < b.abs());
     }
+}
 
-    #[test]
-    fn bigint_gcd_divides_both(a in arb_bigint(), b in arb_bigint()) {
+#[test]
+fn bigint_gcd_divides_both() {
+    let mut rng = XorShift64::new(0x6CD);
+    for case in 0..CASES {
+        let a = arb_bigint(&mut rng);
+        let b = arb_bigint(&mut rng);
         let g = a.gcd(&b);
         if !g.is_zero() {
-            prop_assert!((&a % &g).is_zero());
-            prop_assert!((&b % &g).is_zero());
+            assert!((&a % &g).is_zero(), "case {case}");
+            assert!((&b % &g).is_zero(), "case {case}");
         } else {
-            prop_assert!(a.is_zero() && b.is_zero());
+            assert!(a.is_zero() && b.is_zero(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn bigint_ordering_consistent_with_subtraction(a in arb_bigint(), b in arb_bigint()) {
+#[test]
+fn bigint_ordering_consistent_with_subtraction() {
+    let mut rng = XorShift64::new(0x04D);
+    for case in 0..CASES {
+        let a = arb_bigint(&mut rng);
+        let b = arb_bigint(&mut rng);
         let diff = &a - &b;
-        prop_assert_eq!(a.cmp(&b), diff.cmp(&BigInt::zero()));
+        assert_eq!(a.cmp(&b), diff.cmp(&BigInt::zero()), "case {case}");
     }
+}
 
-    #[test]
-    fn rational_field_properties(a in arb_rational(), b in arb_rational()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&a * &b, &b * &a);
-        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+#[test]
+fn rational_field_properties() {
+    let mut rng = XorShift64::new(0xF1E);
+    for case in 0..CASES {
+        let a = arb_rational(&mut rng);
+        let b = arb_rational(&mut rng);
+        assert_eq!(&a + &b, &b + &a, "case {case}");
+        assert_eq!(&a * &b, &b * &a, "case {case}");
+        assert_eq!(&(&a + &b) - &b, a.clone(), "case {case}");
         if !b.is_zero() {
-            prop_assert_eq!(&(&a / &b) * &b, a);
+            assert_eq!(&(&a / &b) * &b, a, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn rational_is_always_normalized(n in any::<i32>(), d in 1..5000i64) {
-        let r = Rational::from_ratio(i64::from(n), d);
-        prop_assert!(r.denom().is_positive());
-        prop_assert_eq!(r.numer().gcd(r.denom()), BigInt::one());
+#[test]
+fn rational_is_always_normalized() {
+    let mut rng = XorShift64::new(0x201);
+    for case in 0..CASES {
+        let n = rng.range_i64(i64::from(i32::MIN), i64::from(i32::MAX));
+        let d = rng.range_i64(1, 4_999);
+        let r = Rational::from_ratio(n, d);
+        assert!(r.denom().is_positive(), "case {case}");
+        assert_eq!(r.numer().gcd(r.denom()), BigInt::one(), "case {case}");
     }
+}
 
-    #[test]
-    fn rational_text_round_trip(a in arb_rational()) {
+#[test]
+fn rational_text_round_trip() {
+    let mut rng = XorShift64::new(0x277);
+    for case in 0..CASES {
+        let a = arb_rational(&mut rng);
         let back: Rational = a.to_string().parse().unwrap();
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a, "case {case}");
     }
+}
 
-    /// (AB)C == A(BC) for small random rational matrices.
-    #[test]
-    fn matrix_mul_associates(seed in prop::collection::vec((any::<i16>(), 1..50i64), 27)) {
-        let ent = |k: usize| Rational::from_ratio(i64::from(seed[k].0), seed[k].1);
-        let a = Matrix::from_fn(3, 3, |i, j| ent(i * 3 + j));
-        let b = Matrix::from_fn(3, 3, |i, j| ent(9 + i * 3 + j));
-        let c = Matrix::from_fn(3, 3, |i, j| ent(18 + i * 3 + j));
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+/// Entries for random small matrices: bounded numerators/denominators keep
+/// exact arithmetic fast while still exercising carries and reductions.
+fn arb_entry(rng: &mut XorShift64) -> Rational {
+    let n = rng.range_i64(i64::from(i16::MIN), i64::from(i16::MAX));
+    let d = rng.range_i64(1, 49);
+    Rational::from_ratio(n, d)
+}
+
+/// (AB)C == A(BC) for small random rational matrices.
+#[test]
+fn matrix_mul_associates() {
+    let mut rng = XorShift64::new(0xABC);
+    for case in 0..40 {
+        let mut ent: Vec<Rational> = Vec::with_capacity(27);
+        for _ in 0..27 {
+            ent.push(arb_entry(&mut rng));
+        }
+        let a = Matrix::from_fn(3, 3, |i, j| ent[i * 3 + j].clone());
+        let b = Matrix::from_fn(3, 3, |i, j| ent[9 + i * 3 + j].clone());
+        let c = Matrix::from_fn(3, 3, |i, j| ent[18 + i * 3 + j].clone());
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c), "case {case}");
     }
+}
 
-    /// Inverse (when it exists) really is a two-sided inverse, and block
-    /// inversion agrees with it.
-    #[test]
-    fn matrix_inverse_properties(seed in prop::collection::vec((any::<i16>(), 1..50i64), 16)) {
-        let a = Matrix::from_fn(4, 4, |i, j| {
-            Rational::from_ratio(i64::from(seed[i * 4 + j].0), seed[i * 4 + j].1)
-        });
+/// Inverse (when it exists) really is a two-sided inverse, and block
+/// inversion agrees with it.
+#[test]
+fn matrix_inverse_properties() {
+    let mut rng = XorShift64::new(0x117);
+    for case in 0..40 {
+        let mut seed: Vec<Rational> = Vec::with_capacity(16);
+        for _ in 0..16 {
+            seed.push(arb_entry(&mut rng));
+        }
+        let a = Matrix::from_fn(4, 4, |i, j| seed[i * 4 + j].clone());
         match a.inverse() {
             Ok(inv) => {
-                prop_assert_eq!(&a * &inv, Matrix::identity(4));
-                prop_assert_eq!(&inv * &a, Matrix::identity(4));
+                assert_eq!(&a * &inv, Matrix::identity(4), "case {case}");
+                assert_eq!(&inv * &a, Matrix::identity(4), "case {case}");
                 if let Ok(blocked) = mathcloud_exact::block_inverse(&a, 2) {
-                    prop_assert_eq!(blocked, inv);
+                    assert_eq!(blocked, inv, "case {case}");
                 }
             }
             Err(_) => {
-                prop_assert_eq!(a.determinant().unwrap(), Rational::zero());
+                assert_eq!(a.determinant().unwrap(), Rational::zero(), "case {case}");
             }
         }
     }
+}
 
-    /// Matrix text serialization round-trips.
-    #[test]
-    fn matrix_text_round_trip(seed in prop::collection::vec((any::<i16>(), 1..50i64), 6)) {
-        let m = Matrix::from_fn(2, 3, |i, j| {
-            Rational::from_ratio(i64::from(seed[i * 3 + j].0), seed[i * 3 + j].1)
-        });
-        prop_assert_eq!(Matrix::from_text(&m.to_text()).unwrap(), m);
+/// Matrix text serialization round-trips.
+#[test]
+fn matrix_text_round_trip() {
+    let mut rng = XorShift64::new(0x7E7);
+    for case in 0..CASES {
+        let mut seed: Vec<Rational> = Vec::with_capacity(6);
+        for _ in 0..6 {
+            seed.push(arb_entry(&mut rng));
+        }
+        let m = Matrix::from_fn(2, 3, |i, j| seed[i * 3 + j].clone());
+        assert_eq!(Matrix::from_text(&m.to_text()).unwrap(), m, "case {case}");
     }
 }

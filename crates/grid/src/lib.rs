@@ -57,13 +57,23 @@ pub struct ProxyCredential {
 impl ProxyCredential {
     /// Issues a proxy valid for `ttl` from now.
     pub fn issue(user_dn: &str, vo: &str, ttl: Duration) -> Self {
-        let now = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_secs();
-        ProxyCredential { user_dn: user_dn.to_string(), vo: vo.to_string(), expires: now + ttl.as_secs() }
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_secs();
+        ProxyCredential {
+            user_dn: user_dn.to_string(),
+            vo: vo.to_string(),
+            expires: now + ttl.as_secs(),
+        }
     }
 
     /// Returns `true` while the proxy has not expired.
     pub fn is_valid(&self) -> bool {
-        let now = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_secs();
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_secs();
         now < self.expires
     }
 }
@@ -139,7 +149,11 @@ impl GridJobSpec {
     where
         F: FnOnce(&JobContext) -> Result<String, String> + Send + 'static,
     {
-        GridJobSpec { name: name.to_string(), cores, task: Box::new(task) }
+        GridJobSpec {
+            name: name.to_string(),
+            cores,
+            task: Box::new(task),
+        }
     }
 }
 
@@ -177,7 +191,10 @@ pub enum GridJobState {
 impl GridJobState {
     /// Returns `true` for states that will never change again.
     pub fn is_terminal(self) -> bool {
-        matches!(self, GridJobState::Done | GridJobState::Aborted | GridJobState::Cancelled)
+        matches!(
+            self,
+            GridJobState::Done | GridJobState::Aborted | GridJobState::Cancelled
+        )
     }
 }
 
@@ -235,7 +252,10 @@ impl ResourceBroker {
     ///
     /// Panics if `ces` is empty.
     pub fn new(ces: Vec<ComputingElement>) -> Self {
-        assert!(!ces.is_empty(), "a broker needs at least one computing element");
+        assert!(
+            !ces.is_empty(),
+            "a broker needs at least one computing element"
+        );
         ResourceBroker { ces: Arc::new(ces) }
     }
 
@@ -250,7 +270,11 @@ impl ResourceBroker {
     /// # Errors
     ///
     /// [`BrokerError`] when the proxy is invalid or no site matches.
-    pub fn submit(&self, proxy: &ProxyCredential, spec: GridJobSpec) -> Result<GridJobId, BrokerError> {
+    pub fn submit(
+        &self,
+        proxy: &ProxyCredential,
+        spec: GridJobSpec,
+    ) -> Result<GridJobId, BrokerError> {
         if !proxy.is_valid() {
             return Err(BrokerError::ProxyExpired);
         }
@@ -283,8 +307,13 @@ impl ResourceBroker {
             .cluster
             .try_qsub(JobSpec::new(&spec.name, spec.cores, wrapped))
         {
-            Ok(local) => Ok(GridJobId { ce_index: chosen, local }),
-            Err(_) => Err(BrokerError::NoMatchingResources { requested: spec.cores }),
+            Ok(local) => Ok(GridJobId {
+                ce_index: chosen,
+                local,
+            }),
+            Err(_) => Err(BrokerError::NoMatchingResources {
+                requested: spec.cores,
+            }),
         }
     }
 
@@ -323,7 +352,9 @@ impl ResourceBroker {
 
 impl fmt::Debug for ResourceBroker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ResourceBroker").field("ces", &self.ces.len()).finish()
+        f.debug_struct("ResourceBroker")
+            .field("ces", &self.ces.len())
+            .finish()
     }
 }
 
@@ -342,7 +373,11 @@ mod tests {
     use super::*;
 
     fn site(name: &str, vos: &[&str], cores: usize) -> ComputingElement {
-        ComputingElement::new(name, vos, BatchSystem::builder(name).node("wn", cores).build())
+        ComputingElement::new(
+            name,
+            vos,
+            BatchSystem::builder(name).node("wn", cores).build(),
+        )
     }
 
     fn proxy(vo: &str) -> ProxyCredential {
@@ -353,11 +388,17 @@ mod tests {
     fn submits_to_supported_vo_only() {
         let broker = ResourceBroker::new(vec![site("ce1", &["bio-vo"], 2)]);
         let err = broker
-            .submit(&proxy("math-vo"), GridJobSpec::new("j", 1, |_| Ok(String::new())))
+            .submit(
+                &proxy("math-vo"),
+                GridJobSpec::new("j", 1, |_| Ok(String::new())),
+            )
             .unwrap_err();
         assert_eq!(err, BrokerError::NoSiteForVo("math-vo".into()));
         assert!(broker
-            .submit(&proxy("bio-vo"), GridJobSpec::new("j", 1, |_| Ok(String::new())))
+            .submit(
+                &proxy("bio-vo"),
+                GridJobSpec::new("j", 1, |_| Ok(String::new()))
+            )
             .is_ok());
     }
 
@@ -384,7 +425,10 @@ mod tests {
         let free = site("free-ce", &["vo"], 2);
         let broker = ResourceBroker::new(vec![busy, free]);
         let id = broker
-            .submit(&proxy("vo"), GridJobSpec::new("j", 1, |_| Ok(String::new())))
+            .submit(
+                &proxy("vo"),
+                GridJobSpec::new("j", 1, |_| Ok(String::new())),
+            )
             .unwrap();
         let st = broker.wait(id, Duration::from_secs(5)).unwrap();
         assert_eq!(st.ce, "free-ce");
@@ -401,14 +445,21 @@ mod tests {
             .unwrap();
         let st = broker.wait(id, Duration::from_secs(5)).unwrap();
         assert_eq!(st.state, GridJobState::Done);
-        assert!(t0.elapsed() >= Duration::from_millis(80), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(80),
+            "{:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]
     fn failures_map_to_aborted() {
         let broker = ResourceBroker::new(vec![site("ce", &["vo"], 1)]);
         let id = broker
-            .submit(&proxy("vo"), GridJobSpec::new("j", 1, |_| Err("segfault".into())))
+            .submit(
+                &proxy("vo"),
+                GridJobSpec::new("j", 1, |_| Err("segfault".into())),
+            )
             .unwrap();
         let st = broker.wait(id, Duration::from_secs(5)).unwrap();
         assert_eq!(st.state, GridJobState::Aborted);
@@ -419,7 +470,10 @@ mod tests {
     fn oversized_requests_fail_matchmaking() {
         let broker = ResourceBroker::new(vec![site("ce", &["vo"], 2)]);
         let err = broker
-            .submit(&proxy("vo"), GridJobSpec::new("wide", 16, |_| Ok(String::new())))
+            .submit(
+                &proxy("vo"),
+                GridJobSpec::new("wide", 16, |_| Ok(String::new())),
+            )
             .unwrap_err();
         assert_eq!(err, BrokerError::NoMatchingResources { requested: 16 });
     }

@@ -86,7 +86,10 @@ impl Default for Client {
 impl Client {
     /// Creates a client with a 30-second I/O timeout.
     pub fn new() -> Self {
-        Client { timeout: Duration::from_secs(30), default_headers: Vec::new() }
+        Client {
+            timeout: Duration::from_secs(30),
+            default_headers: Vec::new(),
+        }
     }
 
     /// Sets the per-operation I/O timeout (builder style).
@@ -98,7 +101,8 @@ impl Client {
     /// Attaches a header to every request sent by this client (builder
     /// style) — the security layer uses this for credentials.
     pub fn with_default_header(mut self, name: &str, value: &str) -> Self {
-        self.default_headers.push((name.to_string(), value.to_string()));
+        self.default_headers
+            .push((name.to_string(), value.to_string()));
         self
     }
 
@@ -130,7 +134,10 @@ impl Client {
     /// See [`Client::get`].
     pub fn post_json(&self, url: &str, body: &Value) -> Result<Response, ClientError> {
         let url: Url = url.parse()?;
-        self.send(&url, Request::new(Method::Post, &url.target()).with_json(body))
+        self.send(
+            &url,
+            Request::new(Method::Post, &url.target()).with_json(body),
+        )
     }
 
     /// Sends `POST url` with an arbitrary body and content type.
@@ -209,7 +216,9 @@ impl Connection {
 
 impl fmt::Debug for Connection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Connection").field("host", &self.host).finish()
+        f.debug_struct("Connection")
+            .field("host", &self.host)
+            .finish()
     }
 }
 

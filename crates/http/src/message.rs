@@ -257,7 +257,12 @@ pub struct Request {
 impl Request {
     /// Creates a request with an empty body.
     pub fn new(method: Method, target: &str) -> Self {
-        Request { method, target: target.to_string(), headers: Headers::new(), body: Vec::new() }
+        Request {
+            method,
+            target: target.to_string(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
     }
 
     /// The path portion of the target (before `?`), percent-decoded per
@@ -276,12 +281,17 @@ impl Request {
 
     /// Decoded query parameters in order of appearance.
     pub fn query_pairs(&self) -> Vec<(String, String)> {
-        self.query_raw().map(crate::url::decode_query).unwrap_or_default()
+        self.query_raw()
+            .map(crate::url::decode_query)
+            .unwrap_or_default()
     }
 
     /// First query parameter named `key`.
     pub fn query(&self, key: &str) -> Option<String> {
-        self.query_pairs().into_iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.query_pairs()
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Sets a JSON body with the matching content type (builder style).
@@ -294,7 +304,8 @@ impl Request {
     /// Sets a plain-text body (builder style).
     pub fn with_text(mut self, text: &str) -> Self {
         self.body = text.as_bytes().to_vec();
-        self.headers.set("Content-Type", "text/plain; charset=utf-8");
+        self.headers
+            .set("Content-Type", "text/plain; charset=utf-8");
         self
     }
 
@@ -333,7 +344,11 @@ pub struct Response {
 impl Response {
     /// An empty response with the given status.
     pub fn empty(status: impl Into<StatusCode>) -> Self {
-        Response { status: status.into(), headers: Headers::new(), body: Vec::new() }
+        Response {
+            status: status.into(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
     }
 
     /// A JSON response.
@@ -414,7 +429,11 @@ mod tests {
         for m in ["GET", "POST", "DELETE", "BREW"] {
             assert_eq!(Method::from_token(m).as_str(), m);
         }
-        assert_eq!(Method::from_token("get"), Method::Other("get".into()), "methods are case-sensitive");
+        assert_eq!(
+            Method::from_token("get"),
+            Method::Other("get".into()),
+            "methods are case-sensitive"
+        );
     }
 
     #[test]
@@ -464,7 +483,10 @@ mod tests {
     #[test]
     fn error_payload_shape() {
         let r = Response::error(404, "no such job");
-        assert_eq!(r.body_json().unwrap()["error"].as_str(), Some("no such job"));
+        assert_eq!(
+            r.body_json().unwrap()["error"].as_str(),
+            Some("no such job")
+        );
         assert_eq!(r.status, StatusCode::NOT_FOUND);
     }
 }

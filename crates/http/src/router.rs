@@ -61,6 +61,7 @@ enum Segment {
 
 struct Route {
     method: Method,
+    template: String,
     segments: Vec<Segment>,
     handler: Handler,
 }
@@ -88,6 +89,7 @@ impl Router {
     {
         self.routes.push(Route {
             method,
+            template: template.to_string(),
             segments: parse_template(template),
             handler: Arc::new(handler),
         });
@@ -146,25 +148,41 @@ impl Router {
 
     /// Dispatch variant that lets middlewares rewrite the request in place.
     pub fn dispatch_mut(&self, req: &mut Request) -> Response {
+        self.dispatch_labeled(req).0
+    }
+
+    /// Like [`Router::dispatch_mut`], but also reports which route template
+    /// handled the request — the low-cardinality label the server's per-route
+    /// metrics are keyed by. Requests answered by a middleware report
+    /// `"middleware"`; unmatched paths report `"unmatched"`; method
+    /// mismatches report the template that matched the path.
+    pub fn dispatch_labeled(&self, req: &mut Request) -> (Response, &str) {
         for mw in &self.middlewares {
             if let Some(resp) = mw(req) {
-                return resp;
+                return (resp, "middleware");
             }
         }
         let path = req.path().to_string();
-        let mut saw_path_match = false;
+        let mut path_match: Option<&Route> = None;
         for route in &self.routes {
             if let Some(params) = match_template(&route.segments, &path) {
                 if route.method == req.method {
-                    return (route.handler)(req, &params);
+                    return ((route.handler)(req, &params), route.template.as_str());
                 }
-                saw_path_match = true;
+                if path_match.is_none() {
+                    path_match = Some(route);
+                }
             }
         }
-        if saw_path_match {
-            Response::error(StatusCode::METHOD_NOT_ALLOWED, "method not allowed")
-        } else {
-            Response::error(StatusCode::NOT_FOUND, "no such resource")
+        match path_match {
+            Some(route) => (
+                Response::error(StatusCode::METHOD_NOT_ALLOWED, "method not allowed"),
+                route.template.as_str(),
+            ),
+            None => (
+                Response::error(StatusCode::NOT_FOUND, "no such resource"),
+                "unmatched",
+            ),
         }
     }
 }
@@ -198,7 +216,11 @@ fn parse_template(template: &str) -> Vec<Segment> {
 }
 
 fn match_template(segments: &[Segment], path: &str) -> Option<PathParams> {
-    let parts: Vec<&str> = path.trim_matches('/').split('/').filter(|s| !s.is_empty()).collect();
+    let parts: Vec<&str> = path
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
     let mut params = PathParams::default();
     let mut i = 0;
     for (si, seg) in segments.iter().enumerate() {
@@ -243,18 +265,43 @@ mod tests {
         let mut r = Router::new();
         r.get("/services", ok("list"));
         r.get("/services/all", ok("all"));
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/services")).body_string(), "list");
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/services/")).body_string(), "list");
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/services/all")).body_string(), "all");
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/nope")).status.as_u16(), 404);
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/services/all/x")).status.as_u16(), 404);
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/services"))
+                .body_string(),
+            "list"
+        );
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/services/"))
+                .body_string(),
+            "list"
+        );
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/services/all"))
+                .body_string(),
+            "all"
+        );
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/nope"))
+                .status
+                .as_u16(),
+            404
+        );
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/services/all/x"))
+                .status
+                .as_u16(),
+            404
+        );
     }
 
     #[test]
     fn params_capture_and_decode() {
         let mut r = Router::new();
         r.get("/s/{name}/jobs/{id}", |_rq, p: &PathParams| {
-            Response::text(200, &format!("{}|{}", p.get("name").unwrap(), p.get("id").unwrap()))
+            Response::text(
+                200,
+                &format!("{}|{}", p.get("name").unwrap(), p.get("id").unwrap()),
+            )
         });
         let resp = r.dispatch(&Request::new(Method::Get, "/s/matrix%20inv/jobs/42"));
         assert_eq!(resp.body_string(), "matrix inv|42");
@@ -274,8 +321,18 @@ mod tests {
     fn wrong_method_is_405_missing_is_404() {
         let mut r = Router::new();
         r.post("/jobs", ok("submit"));
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/jobs")).status.as_u16(), 405);
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/other")).status.as_u16(), 404);
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/jobs"))
+                .status
+                .as_u16(),
+            405
+        );
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/other"))
+                .status
+                .as_u16(),
+            404
+        );
     }
 
     #[test]
@@ -283,7 +340,11 @@ mod tests {
         let mut r = Router::new();
         r.get("/a/{x}", ok("param"));
         r.get("/a/literal", ok("literal"));
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/a/literal")).body_string(), "param");
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/a/literal"))
+                .body_string(),
+            "param"
+        );
     }
 
     #[test]
@@ -299,7 +360,12 @@ mod tests {
         r.get("/private", |req: &Request, _p: &PathParams| {
             Response::text(200, req.headers.get("x-user").unwrap())
         });
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/private")).status.as_u16(), 401);
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/private"))
+                .status
+                .as_u16(),
+            401
+        );
         let authed = Request::new(Method::Get, "/private").with_header("Authorization", "tok");
         assert_eq!(r.dispatch(&authed).body_string(), "alice");
     }
@@ -308,6 +374,10 @@ mod tests {
     fn query_strings_do_not_affect_matching() {
         let mut r = Router::new();
         r.get("/search", ok("search"));
-        assert_eq!(r.dispatch(&Request::new(Method::Get, "/search?q=x")).body_string(), "search");
+        assert_eq!(
+            r.dispatch(&Request::new(Method::Get, "/search?q=x"))
+                .body_string(),
+            "search"
+        );
     }
 }

@@ -5,7 +5,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use mathcloud_telemetry::{metrics, trace};
 
 use crate::message::Response;
 use crate::router::Router;
@@ -80,7 +82,7 @@ impl Server {
 
         // Bounded hand-off queue from the acceptor to the workers.
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 4);
-        let rx = Arc::new(parking_lot::Mutex::new(rx));
+        let rx = Arc::new(mathcloud_telemetry::sync::Mutex::new(rx));
 
         for _ in 0..workers {
             let rx = Arc::clone(&rx);
@@ -118,7 +120,12 @@ impl Server {
             }
         });
 
-        Ok(Server { addr, stop, accept_thread: Some(accept_thread), active })
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            active,
+        })
     }
 
     /// The bound socket address (useful with port `0`).
@@ -180,8 +187,32 @@ fn handle_connection(stream: TcpStream, router: &Router) -> std::io::Result<()> 
             }
             Err(_) => return Ok(()), // timeout / reset: drop silently
         };
+        // The server edge is where request ids enter the platform: honor a
+        // well-formed client-supplied X-MC-Request-Id, otherwise mint one.
+        // Handlers see it on the request; the response always echoes it.
+        let request_id = match req.headers.get(trace::REQUEST_ID_HEADER) {
+            Some(rid) if trace::is_valid_request_id(rid) => rid.to_string(),
+            _ => trace::next_request_id(),
+        };
+        req.headers.set(trace::REQUEST_ID_HEADER, &request_id);
+        let method = req.method.as_str().to_string();
         let keep = wire::keep_alive(&req);
-        let mut resp = router.dispatch_mut(&mut req);
+        let started = Instant::now();
+        let (mut resp, route) = router.dispatch_labeled(&mut req);
+        let labels: &[(&str, &str)] = &[("route", route), ("method", &method)];
+        metrics::global()
+            .histogram("mc_http_request_seconds", labels)
+            .observe_duration(started.elapsed());
+        let status = resp.status.as_u16().to_string();
+        metrics::global()
+            .counter(
+                "mc_http_requests_total",
+                &[("route", route), ("method", &method), ("status", &status)],
+            )
+            .inc();
+        if resp.headers.get(trace::REQUEST_ID_HEADER).is_none() {
+            resp.headers.set(trace::REQUEST_ID_HEADER, &request_id);
+        }
         if !keep {
             resp.headers.set("Connection", "close");
         }
@@ -204,9 +235,15 @@ mod tests {
         let mut router = Router::new();
         router.get("/ping", |_r, _p: &PathParams| Response::text(200, "pong"));
         router.post("/echo", |r: &Request, _p: &PathParams| {
-            Response::bytes(200, r.headers.get("content-type").unwrap_or("text/plain"), r.body.clone())
+            Response::bytes(
+                200,
+                r.headers.get("content-type").unwrap_or("text/plain"),
+                r.body.clone(),
+            )
         });
-        router.get("/json", |_r, _p: &PathParams| Response::json(200, &json!({"ok": true})));
+        router.get("/json", |_r, _p: &PathParams| {
+            Response::json(200, &json!({"ok": true}))
+        });
         Server::bind("127.0.0.1:0", router).expect("bind")
     }
 
@@ -217,7 +254,9 @@ mod tests {
         let resp = client.get(&format!("{}/ping", server.base_url())).unwrap();
         assert_eq!(resp.status.as_u16(), 200);
         assert_eq!(resp.body_string(), "pong");
-        let resp = client.get(&format!("{}/missing", server.base_url())).unwrap();
+        let resp = client
+            .get(&format!("{}/missing", server.base_url()))
+            .unwrap();
         assert_eq!(resp.status.as_u16(), 404);
     }
 

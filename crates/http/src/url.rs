@@ -94,7 +94,12 @@ impl Url {
             Some((p, q)) => (p.to_string(), Some(q.to_string())),
             None => (target.to_string(), None),
         };
-        Url { host: self.host.clone(), port: self.port, path, query }
+        Url {
+            host: self.host.clone(),
+            port: self.port,
+            path,
+            query,
+        }
     }
 
     /// Joins a relative reference: absolute targets replace the path,
@@ -125,7 +130,9 @@ impl FromStr for Url {
         }
         let (host, port) = match authority.rsplit_once(':') {
             Some((h, p)) => {
-                let port: u16 = p.parse().map_err(|_| UrlError(format!("{s:?} (bad port)")))?;
+                let port: u16 = p
+                    .parse()
+                    .map_err(|_| UrlError(format!("{s:?} (bad port)")))?;
                 (h.to_string(), port)
             }
             None => (authority.to_string(), 80),
@@ -137,7 +144,12 @@ impl FromStr for Url {
             Some((p, q)) => (p.to_string(), Some(q.to_string())),
             None => (target.to_string(), None),
         };
-        Ok(Url { host, port, path, query })
+        Ok(Url {
+            host,
+            port,
+            path,
+            query,
+        })
     }
 }
 
@@ -234,9 +246,15 @@ mod tests {
     #[test]
     fn parse_variants() {
         let u: Url = "http://example.org".parse().unwrap();
-        assert_eq!((u.host(), u.port(), u.path(), u.query()), ("example.org", 80, "/", None));
+        assert_eq!(
+            (u.host(), u.port(), u.path(), u.query()),
+            ("example.org", 80, "/", None)
+        );
         let u: Url = "http://10.0.0.1:8080/a/b?x=1".parse().unwrap();
-        assert_eq!((u.host(), u.port(), u.path(), u.query()), ("10.0.0.1", 8080, "/a/b", Some("x=1")));
+        assert_eq!(
+            (u.host(), u.port(), u.path(), u.query()),
+            ("10.0.0.1", 8080, "/a/b", Some("x=1"))
+        );
     }
 
     #[test]
@@ -288,7 +306,10 @@ mod tests {
         ];
         let encoded = encode_query(&pairs);
         assert_eq!(decode_query(&encoded), pairs);
-        assert_eq!(decode_query("lonely"), vec![("lonely".to_string(), String::new())]);
+        assert_eq!(
+            decode_query("lonely"),
+            vec![("lonely".to_string(), String::new())]
+        );
         assert!(decode_query("").is_empty());
     }
 }

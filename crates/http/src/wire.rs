@@ -30,8 +30,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         .next()
         .filter(|m| !m.is_empty())
         .ok_or_else(|| protocol_error("missing method"))?;
-    let target = parts.next().ok_or_else(|| protocol_error("missing request target"))?;
-    let version = parts.next().ok_or_else(|| protocol_error("missing http version"))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| protocol_error("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| protocol_error("missing http version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(protocol_error("unsupported http version"));
     }
@@ -63,7 +67,11 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
         .ok_or_else(|| protocol_error("bad status code"))?;
     let headers = read_headers(reader)?;
     let body = read_body(reader, &headers)?;
-    Ok(Response { status: StatusCode::from(code), headers, body })
+    Ok(Response {
+        status: StatusCode::from(code),
+        headers,
+        body,
+    })
 }
 
 /// Writes a request, setting `Content-Length` from the body.
@@ -104,7 +112,10 @@ pub fn write_response<W: Write>(writer: &mut W, resp: &Response) -> io::Result<(
 }
 
 fn protocol_error(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("http protocol error: {msg}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("http protocol error: {msg}"),
+    )
 }
 
 /// Reads a CRLF- (or LF-) terminated line. `allow_eof` turns clean EOF at a
@@ -251,13 +262,18 @@ mod tests {
             &b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"[..],
             &b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"[..],
         ] {
-            assert!(read_request(&mut reader(raw)).is_err(), "{:?}", String::from_utf8_lossy(raw));
+            assert!(
+                read_request(&mut reader(raw)).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
         }
     }
 
     #[test]
     fn request_round_trip() {
-        let req = Request::new(Method::Post, "/x?y=1").with_json(&mathcloud_json::json!({"k": [1, 2]}));
+        let req =
+            Request::new(Method::Post, "/x?y=1").with_json(&mathcloud_json::json!({"k": [1, 2]}));
         let mut buf = Vec::new();
         write_request(&mut buf, &req, "example:80").unwrap();
         let parsed = read_request(&mut reader(&buf)).unwrap().unwrap();

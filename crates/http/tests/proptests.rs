@@ -1,32 +1,71 @@
-//! Property-based tests for the HTTP substrate: wire round-trips, URL and
-//! query codecs, and router dispatch totality.
+//! Randomized property tests for the HTTP substrate: wire round-trips, URL
+//! and query codecs, and router dispatch totality. Driven by the
+//! workspace's deterministic PRNG (offline, reproducible).
 
 use std::io::BufReader;
 
+use mathcloud_http::wire;
 use mathcloud_http::{
     decode_query, encode_query, percent_decode, percent_encode, Method, Request, Response, Router,
     Url,
 };
-use mathcloud_http::wire;
-use proptest::prelude::*;
+use mathcloud_telemetry::XorShift64;
 
-fn arb_header_value() -> impl Strategy<Value = String> {
-    // Header values: printable ASCII without CR/LF.
-    "[ -~&&[^\r\n]]{0,24}".prop_map(|s| s.trim().to_string())
+const CASES: usize = 200;
+
+/// Header values: printable ASCII without CR/LF, with no surrounding
+/// whitespace (the wire codec trims optional whitespace around values).
+fn arb_header_value(rng: &mut XorShift64) -> String {
+    let len = rng.index(25);
+    let s: String = (0..len)
+        .map(|_| (b' ' + rng.index(95) as u8) as char)
+        .collect();
+    s.trim().to_string()
 }
 
-proptest! {
-    /// Requests round-trip through the wire encoding byte-for-byte.
-    #[test]
-    fn request_wire_round_trip(
-        target in "/[a-z0-9/]{0,20}",
-        body in prop::collection::vec(any::<u8>(), 0..512),
-        names in prop::collection::vec("[A-Za-z][A-Za-z0-9-]{0,10}", 0..4),
-        values in prop::collection::vec(arb_header_value(), 0..4),
-    ) {
+fn arb_header_name(rng: &mut XorShift64) -> String {
+    const FIRST: &[char] = &['A', 'B', 'X', 'a', 'm', 'z'];
+    const REST: &[char] = &['a', 'b', 'z', 'A', 'Z', '0', '9', '-'];
+    let len = rng.index(11);
+    let mut name = rng.pick(FIRST).to_string();
+    for _ in 0..len {
+        name.push(*rng.pick(REST));
+    }
+    name
+}
+
+fn arb_bytes(rng: &mut XorShift64, max_len: usize) -> Vec<u8> {
+    let len = rng.index(max_len + 1);
+    (0..len).map(|_| rng.next_u32() as u8).collect()
+}
+
+fn arb_target(rng: &mut XorShift64) -> String {
+    const POOL: &[char] = &['a', 'z', '0', '9', '/'];
+    let len = rng.index(21);
+    format!("/{}", rng.string_from(POOL, len))
+}
+
+/// Requests round-trip through the wire encoding byte-for-byte.
+#[test]
+fn request_wire_round_trip() {
+    let mut rng = XorShift64::new(0x717E);
+    for case in 0..CASES {
+        let target = arb_target(&mut rng);
+        let body = arb_bytes(&mut rng, 512);
+        let n_headers = rng.index(4);
+        // Dedupe names case-insensitively: set() overwrites on collision.
+        let mut seen = std::collections::HashSet::new();
+        let headers: Vec<(String, String)> = (0..n_headers)
+            .filter_map(|_| {
+                let name = arb_header_name(&mut rng);
+                let value = arb_header_value(&mut rng);
+                seen.insert(name.to_ascii_lowercase())
+                    .then_some((name, value))
+            })
+            .collect();
         let mut req = Request::new(Method::Post, &target);
         req.body = body.clone();
-        for (n, v) in names.iter().zip(&values) {
+        for (n, v) in &headers {
             if n.eq_ignore_ascii_case("content-length") || n.eq_ignore_ascii_case("host") {
                 continue;
             }
@@ -34,73 +73,135 @@ proptest! {
         }
         let mut bytes = Vec::new();
         wire::write_request(&mut bytes, &req, "h:1").unwrap();
-        let parsed = wire::read_request(&mut BufReader::new(&bytes[..])).unwrap().unwrap();
-        prop_assert_eq!(parsed.method, Method::Post);
-        prop_assert_eq!(parsed.target, target);
-        prop_assert_eq!(parsed.body, body);
-        for (n, v) in names.iter().zip(&values) {
+        let parsed = wire::read_request(&mut BufReader::new(&bytes[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.method, Method::Post, "case {case}");
+        assert_eq!(parsed.target, target, "case {case}");
+        assert_eq!(parsed.body, body, "case {case}");
+        for (n, v) in &headers {
             if n.eq_ignore_ascii_case("content-length") || n.eq_ignore_ascii_case("host") {
                 continue;
             }
-            prop_assert_eq!(parsed.headers.get(n), Some(v.as_str()));
+            assert_eq!(parsed.headers.get(n), Some(v.as_str()), "case {case}");
         }
     }
+}
 
-    /// Responses round-trip likewise, for every status code.
-    #[test]
-    fn response_wire_round_trip(
-        status in 100u16..600,
-        body in prop::collection::vec(any::<u8>(), 0..512),
-    ) {
+/// Responses round-trip likewise, for every status code.
+#[test]
+fn response_wire_round_trip() {
+    let mut rng = XorShift64::new(0x7357);
+    for case in 0..CASES {
+        let status = rng.range_i64(100, 599) as u16;
+        let body = arb_bytes(&mut rng, 512);
         let mut resp = Response::empty(status);
         resp.body = body.clone();
         let mut bytes = Vec::new();
         wire::write_response(&mut bytes, &resp).unwrap();
         let parsed = wire::read_response(&mut BufReader::new(&bytes[..])).unwrap();
-        prop_assert_eq!(parsed.status.as_u16(), status);
-        prop_assert_eq!(parsed.body, body);
+        assert_eq!(parsed.status.as_u16(), status, "case {case}");
+        assert_eq!(parsed.body, body, "case {case}");
     }
+}
 
-    /// The request parser never panics on arbitrary bytes.
-    #[test]
-    fn request_parser_is_panic_free(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+/// The request parser never panics on arbitrary bytes.
+#[test]
+fn request_parser_is_panic_free() {
+    let mut rng = XorShift64::new(0xFA11);
+    for _ in 0..CASES {
+        let bytes = arb_bytes(&mut rng, 256);
         let _ = wire::read_request(&mut BufReader::new(&bytes[..]));
     }
+}
 
-    /// Percent-encoding round-trips arbitrary unicode.
-    #[test]
-    fn percent_round_trip(s in "\\PC{0,40}") {
-        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+/// Percent-encoding round-trips arbitrary unicode.
+#[test]
+fn percent_round_trip() {
+    let mut rng = XorShift64::new(0xE5C);
+    for case in 0..CASES {
+        let s = rng.unicode_string(40);
+        assert_eq!(percent_decode(&percent_encode(&s)), s, "case {case}");
     }
+}
 
-    /// Query strings round-trip arbitrary key/value pairs.
-    #[test]
-    fn query_round_trip(pairs in prop::collection::vec(("\\PC{1,10}", "\\PC{0,10}"), 0..5)) {
-        let pairs: Vec<(String, String)> = pairs;
+/// Query strings round-trip arbitrary key/value pairs.
+#[test]
+fn query_round_trip() {
+    let mut rng = XorShift64::new(0x9E4);
+    for case in 0..CASES {
+        let n = rng.index(5);
+        let pairs: Vec<(String, String)> = (0..n)
+            .map(|_| {
+                let key = loop {
+                    let k = rng.unicode_string(10);
+                    if !k.is_empty() {
+                        break k;
+                    }
+                };
+                let value = rng.unicode_string(10);
+                (key, value)
+            })
+            .collect();
         let encoded = encode_query(&pairs);
-        prop_assert_eq!(decode_query(&encoded), pairs);
+        assert_eq!(decode_query(&encoded), pairs, "case {case}: {encoded}");
     }
+}
 
-    /// URLs printed from parsed form re-parse identically.
-    #[test]
-    fn url_round_trip(
-        host in "[a-z][a-z0-9.-]{0,15}",
-        port in 1u16..65535,
-        path in "(/[a-z0-9]{1,6}){0,4}",
-    ) {
-        let text = format!("http://{host}:{port}{}", if path.is_empty() { "/".to_string() } else { path });
+/// URLs printed from parsed form re-parse identically.
+#[test]
+fn url_round_trip() {
+    const HOST_FIRST: &[char] = &['a', 'h', 'z'];
+    const HOST_REST: &[char] = &['a', 'z', '0', '9', '.', '-'];
+    const SEG: &[char] = &['a', 'z', '0', '9'];
+    let mut rng = XorShift64::new(0x5EA);
+    for case in 0..CASES {
+        let mut host = rng.pick(HOST_FIRST).to_string();
+        let host_len = rng.index(16);
+        for _ in 0..host_len {
+            host.push(*rng.pick(HOST_REST));
+        }
+        let port = 1 + rng.index(65534) as u16;
+        let mut path = String::new();
+        for _ in 0..rng.index(5) {
+            let len = 1 + rng.index(6);
+            path.push('/');
+            path.push_str(&rng.string_from(SEG, len));
+        }
+        if path.is_empty() {
+            path.push('/');
+        }
+        let text = format!("http://{host}:{port}{path}");
         let url: Url = text.parse().unwrap();
-        prop_assert_eq!(url.to_string().parse::<Url>().unwrap(), url);
+        assert_eq!(
+            url.to_string().parse::<Url>().unwrap(),
+            url,
+            "case {case}: {text}"
+        );
     }
+}
 
-    /// Router dispatch is total: every request gets a response (never a
-    /// panic), and unmatched paths are 404.
-    #[test]
-    fn router_dispatch_is_total(target in "\\PC{0,40}") {
-        let mut router = Router::new();
-        router.get("/known/{x}", |_r, _p| Response::empty(200));
-        let target = if target.starts_with('/') { target } else { format!("/{target}") };
+/// Router dispatch is total: every request gets a response (never a panic),
+/// and unmatched paths are 404.
+#[test]
+fn router_dispatch_is_total() {
+    let mut rng = XorShift64::new(0x404);
+    let mut router = Router::new();
+    router.get("/known/{x}", |_r, _p| Response::empty(200));
+    for case in 0..CASES {
+        let target = {
+            let t = rng.unicode_string(40);
+            if t.starts_with('/') {
+                t
+            } else {
+                format!("/{t}")
+            }
+        };
         let resp = router.dispatch(&Request::new(Method::Get, &target));
-        prop_assert!(resp.status.as_u16() == 200 || resp.status.as_u16() == 404);
+        let status = resp.status.as_u16();
+        assert!(
+            status == 200 || status == 404,
+            "case {case}: {status} for {target:?}"
+        );
     }
 }

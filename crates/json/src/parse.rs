@@ -36,7 +36,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {}, column {}", self.message, self.line, self.column)
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.message, self.line, self.column
+        )
     }
 }
 
@@ -77,7 +81,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { bytes: input.as_bytes(), pos: 0 }
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, message: &str) -> ParseError {
@@ -91,7 +98,12 @@ impl<'a> Parser<'a> {
                 col += 1;
             }
         }
-        ParseError { message: message.to_string(), line, column: col, offset: self.pos }
+        ParseError {
+            message: message.to_string(),
+            line,
+            column: col,
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -262,7 +274,10 @@ impl<'a> Parser<'a> {
                     if end > self.bytes.len() {
                         return Err(self.err("truncated utf-8 sequence"));
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).map_err(|_| self.err("invalid utf-8"))?);
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
                     self.pos = end;
                 }
             }
@@ -272,8 +287,12 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, ParseError> {
         let mut v: u32 = 0;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated unicode escape"))?;
-            let d = (b as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated unicode escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
             v = v * 16 + d;
         }
         Ok(v)
@@ -361,7 +380,8 @@ mod tests {
 
     #[test]
     fn parses_nested_structures() {
-        let v = parse(r#"{"jobs": [{"id": 1, "state": "DONE"}, {"id": 2, "state": "RUNNING"}]}"#).unwrap();
+        let v = parse(r#"{"jobs": [{"id": 1, "state": "DONE"}, {"id": 2, "state": "RUNNING"}]}"#)
+            .unwrap();
         assert_eq!(v["jobs"][1]["state"].as_str(), Some("RUNNING"));
     }
 
@@ -382,8 +402,22 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "{", "}", "[", "]", "{\"a\"}", "{\"a\":1,}", "[1,]", "\"unterminated",
-            "tru", "nul", "01", "1.", "1e", "--1", "{1: 2}", "\"\\x\"",
+            "{",
+            "}",
+            "[",
+            "]",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "[1,]",
+            "\"unterminated",
+            "tru",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "{1: 2}",
+            "\"\\x\"",
         ] {
             assert!(parse(bad).is_err(), "expected parse failure for {bad:?}");
         }

@@ -61,7 +61,9 @@ impl Pointer {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Pointer { tokens: tokens.into_iter().map(Into::into).collect() }
+        Pointer {
+            tokens: tokens.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// The unescaped reference tokens.
@@ -79,13 +81,14 @@ impl Pointer {
         let mut cur = doc;
         for token in &self.tokens {
             cur = match cur {
-                Value::Object(o) => {
-                    o.get(token).ok_or_else(|| PointerError::NotFound(token.clone()))?
-                }
+                Value::Object(o) => o
+                    .get(token)
+                    .ok_or_else(|| PointerError::NotFound(token.clone()))?,
                 Value::Array(a) => {
                     let idx: usize = parse_array_index(token)
                         .ok_or_else(|| PointerError::NotFound(token.clone()))?;
-                    a.get(idx).ok_or_else(|| PointerError::NotFound(token.clone()))?
+                    a.get(idx)
+                        .ok_or_else(|| PointerError::NotFound(token.clone()))?
                 }
                 _ => return Err(PointerError::NotFound(token.clone())),
             };
@@ -215,13 +218,20 @@ mod tests {
         let doc = json!([10, 20]);
         assert!("/01".parse::<Pointer>().unwrap().resolve(&doc).is_err());
         assert!("/-1".parse::<Pointer>().unwrap().resolve(&doc).is_err());
-        assert_eq!("/0".parse::<Pointer>().unwrap().resolve(&doc).unwrap(), &json!(10));
+        assert_eq!(
+            "/0".parse::<Pointer>().unwrap().resolve(&doc).unwrap(),
+            &json!(10)
+        );
     }
 
     #[test]
     fn missing_paths_report_the_failing_token() {
         let doc = json!({"a": {"b": 1}});
-        let err = "/a/z".parse::<Pointer>().unwrap().resolve(&doc).unwrap_err();
+        let err = "/a/z"
+            .parse::<Pointer>()
+            .unwrap()
+            .resolve(&doc)
+            .unwrap_err();
         assert_eq!(err, PointerError::NotFound("z".into()));
     }
 

@@ -166,12 +166,18 @@ impl Error for ValidationError {}
 impl Schema {
     /// A schema that accepts any value.
     pub fn any() -> Self {
-        Schema { additional_properties: true, ..Schema::default() }
+        Schema {
+            additional_properties: true,
+            ..Schema::default()
+        }
     }
 
     /// A schema requiring `type` and nothing else.
     pub fn of_type(kind: TypeKind) -> Self {
-        Schema { types: vec![kind], ..Schema::any() }
+        Schema {
+            types: vec![kind],
+            ..Schema::any()
+        }
     }
 
     /// Shorthand for `of_type(TypeKind::String)`.
@@ -296,7 +302,11 @@ impl Schema {
             let expected: Vec<&str> = self.types.iter().map(|t| t.keyword()).collect();
             errors.push(ValidationError {
                 path: path.to_string(),
-                reason: format!("expected {}, got {}", expected.join(" or "), value.type_name()),
+                reason: format!(
+                    "expected {}, got {}",
+                    expected.join(" or "),
+                    value.type_name()
+                ),
             });
             return;
         }
@@ -405,7 +415,12 @@ impl Schema {
             _ => {
                 o.insert(
                     "type".into(),
-                    Value::Array(self.types.iter().map(|t| Value::from(t.keyword())).collect()),
+                    Value::Array(
+                        self.types
+                            .iter()
+                            .map(|t| Value::from(t.keyword()))
+                            .collect(),
+                    ),
                 );
             }
         }
@@ -434,7 +449,12 @@ impl Schema {
         if !self.required.is_empty() {
             o.insert(
                 "required".into(),
-                Value::Array(self.required.iter().map(|r| Value::from(r.as_str())).collect()),
+                Value::Array(
+                    self.required
+                        .iter()
+                        .map(|r| Value::from(r.as_str()))
+                        .collect(),
+                ),
             );
         }
         if !self.additional_properties {
@@ -472,9 +492,9 @@ impl Schema {
     /// invalid keyword values. Unknown keywords are ignored, as JSON Schema
     /// requires.
     pub fn from_value(v: &Value) -> Result<Self, SchemaError> {
-        let obj = v
-            .as_object()
-            .ok_or_else(|| SchemaError(format!("schema must be an object, got {}", v.type_name())))?;
+        let obj = v.as_object().ok_or_else(|| {
+            SchemaError(format!("schema must be an object, got {}", v.type_name()))
+        })?;
         let mut s = Schema::any();
         match obj.get("type") {
             None => {}
@@ -496,11 +516,17 @@ impl Schema {
                 }
             }
             Some(other) => {
-                return Err(SchemaError(format!("type must be string or array, got {}", other.type_name())))
+                return Err(SchemaError(format!(
+                    "type must be string or array, got {}",
+                    other.type_name()
+                )))
             }
         }
         s.title = obj.get("title").and_then(Value::as_str).map(String::from);
-        s.description = obj.get("description").and_then(Value::as_str).map(String::from);
+        s.description = obj
+            .get("description")
+            .and_then(Value::as_str)
+            .map(String::from);
         s.format = obj.get("format").and_then(Value::as_str).map(String::from);
         s.default = obj.get("default").map(|d| Box::new(d.clone()));
         if let Some(e) = obj.get("enum") {
@@ -535,12 +561,24 @@ impl Schema {
         if let Some(items) = obj.get("items") {
             s.items = Some(Box::new(Schema::from_value(items)?));
         }
-        s.min_items = obj.get("minItems").and_then(Value::as_u64).map(|n| n as usize);
-        s.max_items = obj.get("maxItems").and_then(Value::as_u64).map(|n| n as usize);
+        s.min_items = obj
+            .get("minItems")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize);
+        s.max_items = obj
+            .get("maxItems")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize);
         s.minimum = obj.get("minimum").and_then(Value::as_f64);
         s.maximum = obj.get("maximum").and_then(Value::as_f64);
-        s.min_length = obj.get("minLength").and_then(Value::as_u64).map(|n| n as usize);
-        s.max_length = obj.get("maxLength").and_then(Value::as_u64).map(|n| n as usize);
+        s.min_length = obj
+            .get("minLength")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize);
+        s.max_length = obj
+            .get("maxLength")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize);
         Ok(s)
     }
 
@@ -574,7 +612,11 @@ mod tests {
     fn job_request_schema() -> Schema {
         Schema::object()
             .property("matrix", Schema::string().format("mc-file"), true)
-            .property("block_size", Schema::integer().minimum(1.0).maximum(1024.0), false)
+            .property(
+                "block_size",
+                Schema::integer().minimum(1.0).maximum(1024.0),
+                false,
+            )
             .property(
                 "mode",
                 Schema::string().one_of(vec![json!("serial"), json!("parallel")]),
@@ -599,7 +641,10 @@ mod tests {
             .validate(&json!({"block_size": 0, "mode": "fast", "extra": 1}))
             .unwrap_err();
         let paths: Vec<&str> = errs.iter().map(|e| e.path.as_str()).collect();
-        assert!(paths.contains(&""), "missing required reported at root: {errs:?}");
+        assert!(
+            paths.contains(&""),
+            "missing required reported at root: {errs:?}"
+        );
         assert!(paths.contains(&"/block_size"));
         assert!(paths.contains(&"/mode"));
         assert!(paths.contains(&"/extra"));
@@ -609,7 +654,10 @@ mod tests {
     fn integer_rejects_fractional_numbers() {
         let s = Schema::integer();
         assert!(s.validate(&json!(3)).is_ok());
-        assert!(s.validate(&json!(3.0)).is_ok(), "3.0 has an exact integral value");
+        assert!(
+            s.validate(&json!(3.0)).is_ok(),
+            "3.0 has an exact integral value"
+        );
         assert!(s.validate(&json!(3.5)).is_err());
     }
 
@@ -625,7 +673,9 @@ mod tests {
 
     #[test]
     fn schema_round_trips_through_json() {
-        let s = job_request_schema().title("request").description("job request");
+        let s = job_request_schema()
+            .title("request")
+            .description("job request");
         let v = s.to_value();
         let parsed = Schema::from_value(&parse(&v.to_string()).unwrap()).unwrap();
         assert_eq!(parsed, s);
@@ -641,7 +691,8 @@ mod tests {
 
     #[test]
     fn unknown_keywords_are_ignored() {
-        let s = Schema::from_value(&json!({"type": "string", "$comment": "hi", "pattern": "x"})).unwrap();
+        let s = Schema::from_value(&json!({"type": "string", "$comment": "hi", "pattern": "x"}))
+            .unwrap();
         assert_eq!(s, Schema::string());
     }
 

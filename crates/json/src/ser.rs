@@ -170,7 +170,13 @@ mod tests {
     fn float_int_distinction_survives() {
         let v = json!({"f": 2.0, "i": 2});
         let rt = parse(&to_string(&v)).unwrap();
-        assert!(matches!(rt["f"], crate::Value::Number(crate::Number::Float(_))));
-        assert!(matches!(rt["i"], crate::Value::Number(crate::Number::Int(_))));
+        assert!(matches!(
+            rt["f"],
+            crate::Value::Number(crate::Number::Float(_))
+        ));
+        assert!(matches!(
+            rt["i"],
+            crate::Value::Number(crate::Number::Int(_))
+        ));
     }
 }

@@ -32,12 +32,16 @@ pub struct Object {
 impl Object {
     /// Creates an empty object.
     pub fn new() -> Self {
-        Object { entries: Vec::new() }
+        Object {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty object with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        Object { entries: Vec::with_capacity(cap) }
+        Object {
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of entries.
@@ -57,7 +61,10 @@ impl Object {
 
     /// Looks up a key mutably.
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
-        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Returns `true` if `key` is present.
@@ -107,8 +114,7 @@ impl Object {
 impl PartialEq for Object {
     /// Objects compare as maps: order-insensitive.
     fn eq(&self, other: &Self) -> bool {
-        self.len() == other.len()
-            && self.iter().all(|(k, v)| other.get(k) == Some(v))
+        self.len() == other.len() && self.iter().all(|(k, v)| other.get(k) == Some(v))
     }
 }
 
@@ -416,12 +422,18 @@ mod tests {
 
     #[test]
     fn object_equality_ignores_order() {
-        let a: Object = [("p".to_string(), Value::from(1)), ("q".to_string(), Value::from(2))]
-            .into_iter()
-            .collect();
-        let b: Object = [("q".to_string(), Value::from(2)), ("p".to_string(), Value::from(1))]
-            .into_iter()
-            .collect();
+        let a: Object = [
+            ("p".to_string(), Value::from(1)),
+            ("q".to_string(), Value::from(2)),
+        ]
+        .into_iter()
+        .collect();
+        let b: Object = [
+            ("q".to_string(), Value::from(2)),
+            ("p".to_string(), Value::from(1)),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(a, b);
     }
 

@@ -1,64 +1,106 @@
-//! Property-based tests for the JSON value model, parser and serializers.
+//! Randomized property tests for the JSON value model, parser and
+//! serializers, driven by the workspace's deterministic PRNG so they run
+//! fully offline with reproducible failures (re-run with the same seed).
 
 use mathcloud_json::value::Object;
 use mathcloud_json::{parse, Pointer, Value};
-use proptest::prelude::*;
+use mathcloud_telemetry::XorShift64;
 
-/// Strategy producing arbitrary JSON documents of bounded depth and size.
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::from),
-        // Finite doubles only: JSON cannot encode NaN/inf.
-        prop::num::f64::NORMAL.prop_map(Value::from),
-        "[a-zA-Z0-9 _/~\\\\\"\n\t\u{00e9}\u{0434}]{0,12}".prop_map(Value::from),
-    ];
-    leaf.prop_recursive(4, 64, 8, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|entries| {
-                Value::Object(entries.into_iter().collect::<Object>())
-            }),
-        ]
-    })
+const CASES: usize = 300;
+
+/// Generates an arbitrary JSON document of bounded depth and size.
+fn arb_value(rng: &mut XorShift64, depth: usize) -> Value {
+    let leaf = depth == 0 || rng.chance(0.4);
+    if leaf {
+        match rng.index(5) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.bool()),
+            2 => Value::from(rng.next_u64() as i64),
+            // Finite doubles only: JSON cannot encode NaN/inf.
+            3 => Value::from((rng.range_i64(-1_000_000, 1_000_000) as f64) / 64.0),
+            _ => Value::from(rng.unicode_string(12)),
+        }
+    } else if rng.bool() {
+        let n = rng.index(6);
+        Value::Array((0..n).map(|_| arb_value(rng, depth - 1)).collect())
+    } else {
+        let n = rng.index(6);
+        let mut o = Object::new();
+        for _ in 0..n {
+            let len = 1 + rng.index(6);
+            let key = rng.string_from(&['a', 'b', 'c', 'd', 'e', 'f'], len);
+            o.insert(key, arb_value(rng, depth - 1));
+        }
+        Value::Object(o)
+    }
 }
 
-proptest! {
-    /// Compact serialization followed by parsing is the identity.
-    #[test]
-    fn compact_round_trip(v in arb_value()) {
+/// Compact serialization followed by parsing is the identity.
+#[test]
+fn compact_round_trip() {
+    let mut rng = XorShift64::new(0xA11CE);
+    for case in 0..CASES {
+        let v = arb_value(&mut rng, 4);
         let text = v.to_string();
         let back = parse(&text).expect("serializer output must parse");
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v, "case {case}: {text}");
     }
+}
 
-    /// Pretty serialization followed by parsing is the identity.
-    #[test]
-    fn pretty_round_trip(v in arb_value()) {
+/// Pretty serialization followed by parsing is the identity.
+#[test]
+fn pretty_round_trip() {
+    let mut rng = XorShift64::new(0xB0B);
+    for case in 0..CASES {
+        let v = arb_value(&mut rng, 4);
         let text = v.to_pretty_string();
         let back = parse(&text).expect("pretty output must parse");
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v, "case {case}: {text}");
     }
+}
 
-    /// Parsing never panics on arbitrary input.
-    #[test]
-    fn parser_is_panic_free(s in "\\PC{0,64}") {
-        let _ = parse(&s);
+/// Parsing never panics on arbitrary input.
+#[test]
+fn parser_is_panic_free() {
+    let mut rng = XorShift64::new(0xDEAD);
+    for _ in 0..CASES {
+        let _ = parse(&rng.unicode_string(64));
     }
+}
 
-    /// Every pointer printed from tokens parses back to the same tokens,
-    /// including `/` and `~` characters that need escaping.
-    #[test]
-    fn pointer_round_trip(tokens in prop::collection::vec("[a-z/~0-9]{0,6}", 0..5)) {
+/// Every pointer printed from tokens parses back to the same tokens,
+/// including `/` and `~` characters that need escaping.
+#[test]
+fn pointer_round_trip() {
+    const POOL: &[char] = &['a', 'z', '/', '~', '0', '9'];
+    let mut rng = XorShift64::new(0x9017);
+    for case in 0..CASES {
+        let n = rng.index(5);
+        let tokens: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.index(7);
+                rng.string_from(POOL, len)
+            })
+            .collect();
         let p = Pointer::from_tokens(tokens.clone());
         let reparsed: Pointer = p.to_string().parse().expect("printed pointer must parse");
-        prop_assert_eq!(reparsed.tokens(), &tokens[..]);
+        assert_eq!(reparsed.tokens(), &tokens[..], "case {case}");
     }
+}
 
-    /// A pointer built from an object path always resolves.
-    #[test]
-    fn pointer_resolves_object_paths(keys in prop::collection::vec("[a-z]{1,5}", 1..4)) {
+/// A pointer built from an object path always resolves.
+#[test]
+fn pointer_resolves_object_paths() {
+    const POOL: &[char] = &['a', 'b', 'c', 'd', 'x', 'y'];
+    let mut rng = XorShift64::new(0x5EED);
+    for _ in 0..CASES {
+        let n = 1 + rng.index(3);
+        let keys: Vec<String> = (0..n)
+            .map(|_| {
+                let len = 1 + rng.index(5);
+                rng.string_from(POOL, len)
+            })
+            .collect();
         // Build nested objects along `keys` ending in a sentinel.
         let mut v = Value::from("leaf");
         for k in keys.iter().rev() {
@@ -67,6 +109,6 @@ proptest! {
             v = Value::Object(o);
         }
         let p = Pointer::from_tokens(keys);
-        prop_assert_eq!(p.resolve(&v).unwrap(), &Value::from("leaf"));
+        assert_eq!(p.resolve(&v).unwrap(), &Value::from("leaf"));
     }
 }

@@ -53,7 +53,10 @@ impl fmt::Display for AmplError {
 impl Error for AmplError {}
 
 fn err<T>(message: impl Into<String>, line: usize) -> Result<T, AmplError> {
-    Err(AmplError { message: message.into(), line })
+    Err(AmplError {
+        message: message.into(),
+        line,
+    })
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -95,7 +98,10 @@ fn lex(src: &str) -> Result<Vec<Token>, AmplError> {
                 while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
-                out.push(Token { tok: Tok::Ident(src[start..i].to_string()), line });
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -103,10 +109,14 @@ fn lex(src: &str) -> Result<Vec<Token>, AmplError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let value: Rational = text
-                    .parse()
-                    .map_err(|_| AmplError { message: format!("bad number {text:?}"), line })?;
-                out.push(Token { tok: Tok::Number(value), line });
+                let value: Rational = text.parse().map_err(|_| AmplError {
+                    message: format!("bad number {text:?}"),
+                    line,
+                })?;
+                out.push(Token {
+                    tok: Tok::Number(value),
+                    line,
+                });
             }
             _ => {
                 // Multi-character operators first.
@@ -121,7 +131,10 @@ fn lex(src: &str) -> Result<Vec<Token>, AmplError> {
                     None
                 };
                 if let Some(p) = two {
-                    out.push(Token { tok: Tok::Punct(p), line });
+                    out.push(Token {
+                        tok: Tok::Punct(p),
+                        line,
+                    });
                     i += 2;
                 } else {
                     let one: &'static str = match c {
@@ -142,13 +155,19 @@ fn lex(src: &str) -> Result<Vec<Token>, AmplError> {
                         '.' => ".",
                         other => return err(format!("unexpected character {other:?}"), line),
                     };
-                    out.push(Token { tok: Tok::Punct(one), line });
+                    out.push(Token {
+                        tok: Tok::Punct(one),
+                        line,
+                    });
                     i += 1;
                 }
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, line });
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -233,7 +252,10 @@ impl Parser {
         if self.eat(p) {
             Ok(())
         } else {
-            err(format!("expected {p:?}, found {:?}", self.peek()), self.line())
+            err(
+                format!("expected {p:?}, found {:?}", self.peek()),
+                self.line(),
+            )
         }
     }
 
@@ -458,7 +480,14 @@ impl Parser {
         };
         let rhs = self.expr()?;
         self.expect(";")?;
-        Ok(ConstraintDecl { name, indices, lhs, rel, rhs, line })
+        Ok(ConstraintDecl {
+            name,
+            indices,
+            lhs,
+            rel,
+            rhs,
+            line,
+        })
     }
 
     fn parse_data(&mut self, model: &mut Model) -> Result<(), AmplError> {
@@ -489,7 +518,10 @@ impl Parser {
                         .iter()
                         .find(|(n, _)| *n == name)
                         .map(|(_, a)| *a)
-                        .ok_or(AmplError { message: format!("data for undeclared param {name:?}"), line })?;
+                        .ok_or(AmplError {
+                            message: format!("data for undeclared param {name:?}"),
+                            line,
+                        })?;
                     self.expect(":=")?;
                     let mut table = HashMap::new();
                     if arity == 0 {
@@ -543,7 +575,10 @@ struct LinExpr {
 
 impl LinExpr {
     fn constant(c: Rational) -> Self {
-        LinExpr { constant: c, coeffs: HashMap::new() }
+        LinExpr {
+            constant: c,
+            coeffs: HashMap::new(),
+        }
     }
 
     fn var(idx: usize) -> Self {
@@ -622,10 +657,10 @@ impl Model {
         if !self.sets.iter().any(|s| s == set) {
             return err(format!("undeclared set {set:?}"), line);
         }
-        self.set_data
-            .get(set)
-            .map(Vec::as_slice)
-            .ok_or(AmplError { message: format!("no data for set {set:?}"), line })
+        self.set_data.get(set).map(Vec::as_slice).ok_or(AmplError {
+            message: format!("no data for set {set:?}"),
+            line,
+        })
     }
 
     /// Expands the model into an LP.
@@ -635,7 +670,11 @@ impl Model {
     /// [`AmplError`] on missing data, nonlinear expressions, or unknown
     /// names.
     pub fn instantiate(&self) -> Result<Lp, AmplError> {
-        let mut inst = Instantiator { model: self, var_index: HashMap::new(), lp: Lp::new(0) };
+        let mut inst = Instantiator {
+            model: self,
+            var_index: HashMap::new(),
+            lp: Lp::new(0),
+        };
 
         // Materialize every variable instance.
         for (name, sets) in &self.vars {
@@ -652,14 +691,18 @@ impl Model {
         }
 
         // Objective.
-        let (maximize, obj_expr) = self
-            .objective
-            .as_ref()
-            .ok_or(AmplError { message: "model has no objective".into(), line: 1 })?;
+        let (maximize, obj_expr) = self.objective.as_ref().ok_or(AmplError {
+            message: "model has no objective".into(),
+            line: 1,
+        })?;
         let bindings = HashMap::new();
         let lin = inst.eval(obj_expr, &bindings)?;
         for (col, coeff) in &lin.coeffs {
-            let c = if *maximize { -coeff.clone() } else { coeff.clone() };
+            let c = if *maximize {
+                -coeff.clone()
+            } else {
+                coeff.clone()
+            };
             inst.lp.set_objective(*col, c);
         }
 
@@ -745,7 +788,9 @@ impl Instantiator<'_> {
             Expr::Number(n) => Ok(LinExpr::constant(n.clone())),
             Expr::Neg(inner) => Ok(self.eval(inner, bindings)?.negate()),
             Expr::Add(a, b) => Ok(self.eval(a, bindings)?.add(self.eval(b, bindings)?)),
-            Expr::Sub(a, b) => Ok(self.eval(a, bindings)?.add(self.eval(b, bindings)?.negate())),
+            Expr::Sub(a, b) => Ok(self
+                .eval(a, bindings)?
+                .add(self.eval(b, bindings)?.negate())),
             Expr::Mul(a, b) => {
                 let la = self.eval(a, bindings)?;
                 let lb = self.eval(b, bindings)?;
@@ -994,8 +1039,14 @@ mod tests {
             param cost := s0 t0 {} s0 t1 {} s1 t0 {} s1 t1 {};
             end;
         ",
-            p.supplies[0], p.supplies[1], p.demands[0], p.demands[1],
-            p.costs[0][0], p.costs[0][1], p.costs[1][0], p.costs[1][1],
+            p.supplies[0],
+            p.supplies[1],
+            p.demands[0],
+            p.demands[1],
+            p.costs[0][0],
+            p.costs[0][1],
+            p.costs[1][0],
+            p.costs[1][1],
         );
         let lp = Model::parse(&src).unwrap().instantiate().unwrap();
         let from_ampl = solve(&lp).optimal().unwrap();

@@ -81,7 +81,10 @@ pub struct DwOptions {
 
 impl Default for DwOptions {
     fn default() -> Self {
-        DwOptions { max_iterations: 200, parallel: true }
+        DwOptions {
+            max_iterations: 200,
+            parallel: true,
+        }
     }
 }
 
@@ -194,7 +197,11 @@ pub fn solve_dantzig_wolfe(
         .into_iter()
         .map(|(c, flow)| {
             let cost = column_cost(problem, c, &flow);
-            Column { commodity: c, flow, cost }
+            Column {
+                commodity: c,
+                flow,
+                cost,
+            }
         })
         .collect();
     stats.columns = columns.len();
@@ -279,7 +286,11 @@ pub fn solve_dantzig_wolfe(
                     .iter()
                     .any(|col| col.commodity == c && col.flow == flow);
                 if !duplicate {
-                    columns.push(Column { commodity: c, flow, cost: true_cost });
+                    columns.push(Column {
+                        commodity: c,
+                        flow,
+                        cost: true_cost,
+                    });
                     improved = true;
                 }
             }
@@ -312,7 +323,11 @@ pub fn solve_dantzig_wolfe(
                 }
             }
             let objective = master_sol.objective;
-            return Ok(DwSolution { objective, flows, stats });
+            return Ok(DwSolution {
+                objective,
+                flows,
+                stats,
+            });
         }
     }
 }
@@ -335,17 +350,16 @@ where
     };
     if parallel {
         let results = std::sync::Mutex::new(Vec::with_capacity(k));
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for c in 0..k {
                 let results = &results;
                 let price_one = &price_one;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let r = price_one(c);
                     results.lock().expect("pricing results lock").push(r);
                 });
             }
-        })
-        .expect("pricing threads do not panic");
+        });
         results
             .into_inner()
             .expect("pricing results lock")
@@ -373,10 +387,20 @@ mod tests {
 
     fn check_matches_direct(mc: &MultiCommodityProblem) -> DwSolution {
         let solver = LocalSolver::new(mc.clone());
-        let dw = solve_dantzig_wolfe(mc, &solver, &DwOptions { parallel: false, ..Default::default() })
-            .expect("decomposition converges");
+        let dw = solve_dantzig_wolfe(
+            mc,
+            &solver,
+            &DwOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .expect("decomposition converges");
         let direct = solve(&mc.to_lp()).optimal().expect("direct solve");
-        assert_eq!(dw.objective, direct.objective, "DW must match the monolithic optimum");
+        assert_eq!(
+            dw.objective, direct.objective,
+            "DW must match the monolithic optimum"
+        );
         dw
     }
 
@@ -426,12 +450,24 @@ mod tests {
     fn parallel_and_serial_agree() {
         let mc = MultiCommodityProblem::random(3, 2, 2, 31);
         let solver = LocalSolver::new(mc.clone());
-        let serial =
-            solve_dantzig_wolfe(&mc, &solver, &DwOptions { parallel: false, ..Default::default() })
-                .unwrap();
-        let parallel =
-            solve_dantzig_wolfe(&mc, &solver, &DwOptions { parallel: true, ..Default::default() })
-                .unwrap();
+        let serial = solve_dantzig_wolfe(
+            &mc,
+            &solver,
+            &DwOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let parallel = solve_dantzig_wolfe(
+            &mc,
+            &solver,
+            &DwOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(serial.objective, parallel.objective);
     }
 
@@ -455,7 +491,10 @@ mod tests {
         let err = solve_dantzig_wolfe(
             &mc,
             &solver,
-            &DwOptions { max_iterations: 0, parallel: false },
+            &DwOptions {
+                max_iterations: 0,
+                parallel: false,
+            },
         )
         .unwrap_err();
         assert_eq!(err, DwError::IterationLimit);
@@ -465,7 +504,11 @@ mod tests {
     fn failing_solver_is_reported() {
         struct Broken;
         impl SubproblemSolver for Broken {
-            fn solve_subproblem(&self, _: usize, _: &[Vec<Rational>]) -> Result<Vec<Rational>, String> {
+            fn solve_subproblem(
+                &self,
+                _: usize,
+                _: &[Vec<Rational>],
+            ) -> Result<Vec<Rational>, String> {
                 Err("remote solver unavailable".into())
             }
         }

@@ -119,9 +119,16 @@ impl Lp {
         let coeffs: Vec<(usize, Rational)> =
             coeffs.into_iter().map(|(j, c)| (j, c.into())).collect();
         for (j, _) in &coeffs {
-            assert!(*j < self.num_vars(), "constraint references unknown variable {j}");
+            assert!(
+                *j < self.num_vars(),
+                "constraint references unknown variable {j}"
+            );
         }
-        self.constraints.push(Constraint { coeffs, rel, rhs: rhs.into() });
+        self.constraints.push(Constraint {
+            coeffs,
+            rel,
+            rhs: rhs.into(),
+        });
     }
 
     /// The constraints.
@@ -207,7 +214,10 @@ mod tests {
         let half = Rational::from_ratio(1, 2);
         assert!(lp.is_feasible(&[half.clone(), half.clone()]));
         assert!(!lp.is_feasible(&[half.clone(), Rational::from_ratio(499_999, 1_000_000)]));
-        assert!(!lp.is_feasible(&[r(2), r(-1)]), "negative variables rejected");
+        assert!(
+            !lp.is_feasible(&[r(2), r(-1)]),
+            "negative variables rejected"
+        );
         assert!(!lp.is_feasible(&[r(1)]), "wrong dimension rejected");
     }
 

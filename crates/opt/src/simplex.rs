@@ -276,7 +276,13 @@ pub fn solve(lp: &Lp) -> LpOutcome {
         rhs,
         basis,
         cost: (0..total)
-            .map(|j| if is_artificial[j] { Rational::one() } else { Rational::zero() })
+            .map(|j| {
+                if is_artificial[j] {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                }
+            })
             .collect(),
         blocked: vec![false; total],
         identity_col,
@@ -315,7 +321,11 @@ pub fn solve(lp: &Lp) -> LpOutcome {
 
     // Phase 2: original costs, artificials barred from entering.
     for (j, &artificial) in is_artificial.iter().enumerate() {
-        tab.cost[j] = if j < n { lp.objective()[j].clone() } else { Rational::zero() };
+        tab.cost[j] = if j < n {
+            lp.objective()[j].clone()
+        } else {
+            Rational::zero()
+        };
         tab.blocked[j] = artificial;
     }
     if !tab.optimize() {
@@ -339,7 +349,11 @@ pub fn solve(lp: &Lp) -> LpOutcome {
         duals[orig] = if tab.flipped[k] { -yk } else { yk };
     }
 
-    LpOutcome::Optimal(Solution { values, objective, duals })
+    LpOutcome::Optimal(Solution {
+        values,
+        objective,
+        duals,
+    })
 }
 
 #[cfg(test)]

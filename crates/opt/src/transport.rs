@@ -89,16 +89,29 @@ impl TransportationProblem {
     ///
     /// Panics when either dimension is zero.
     pub fn random(sources: usize, sinks: usize, seed: u64) -> Self {
-        assert!(sources > 0 && sinks > 0, "need at least one source and sink");
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        assert!(
+            sources > 0 && sinks > 0,
+            "need at least one source and sink"
+        );
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as i64
         };
         let costs: Vec<Vec<Rational>> = (0..sources)
-            .map(|_| (0..sinks).map(|_| Rational::from(1 + next() % 20)).collect())
+            .map(|_| {
+                (0..sinks)
+                    .map(|_| Rational::from(1 + next() % 20))
+                    .collect()
+            })
             .collect();
-        let demands: Vec<Rational> = (0..sinks).map(|_| Rational::from(1 + next() % 10)).collect();
+        let demands: Vec<Rational> = (0..sinks)
+            .map(|_| Rational::from(1 + next() % 10))
+            .collect();
         let total_demand: Rational = demands.iter().cloned().sum();
         // Spread total demand over sources, giving the last source the
         // remainder so the instance is exactly balanced.
@@ -114,7 +127,11 @@ impl TransportationProblem {
                 supplies.push(floor);
             }
         }
-        TransportationProblem { supplies, demands, costs }
+        TransportationProblem {
+            supplies,
+            demands,
+            costs,
+        }
     }
 
     /// Total demand (== total supply for balanced instances).
@@ -195,16 +212,25 @@ impl MultiCommodityProblem {
     pub fn random(k: usize, sources: usize, sinks: usize, seed: u64) -> Self {
         assert!(k > 0, "need at least one commodity");
         let commodities: Vec<TransportationProblem> = (0..k)
-            .map(|c| TransportationProblem::random(sources, sinks, seed.wrapping_add(c as u64 * 7919)))
+            .map(|c| {
+                TransportationProblem::random(sources, sinks, seed.wrapping_add(c as u64 * 7919))
+            })
             .collect();
-        let total: Rational = commodities.iter().map(TransportationProblem::total_demand).sum();
+        let total: Rational = commodities
+            .iter()
+            .map(TransportationProblem::total_demand)
+            .sum();
         // Capacity per arc: generous enough to stay feasible, tight enough
         // that several arcs bind.
         let arcs = (sources * sinks) as i64;
         let per_arc = &(&total * &Rational::from(3)) / &Rational::from(arcs);
-        let capacities: Vec<Vec<Rational>> =
-            (0..sources).map(|_| (0..sinks).map(|_| per_arc.clone()).collect()).collect();
-        MultiCommodityProblem { commodities, capacities }
+        let capacities: Vec<Vec<Rational>> = (0..sources)
+            .map(|_| (0..sinks).map(|_| per_arc.clone()).collect())
+            .collect();
+        MultiCommodityProblem {
+            commodities,
+            capacities,
+        }
     }
 }
 
@@ -266,7 +292,9 @@ mod tests {
         let (n, m) = mc.shape();
         assert_eq!(lp.num_vars(), 2 * n * m);
         assert_eq!(lp.num_constraints(), 2 * (n + m) + n * m);
-        let sol = solve(&lp).optimal().expect("generated instances are feasible");
+        let sol = solve(&lp)
+            .optimal()
+            .expect("generated instances are feasible");
         assert!(lp.is_feasible(&sol.values));
     }
 }

@@ -11,7 +11,10 @@ use crate::sha256::{hmac, to_hex, verify_mac};
 
 /// Seconds since the Unix epoch.
 fn now_secs() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 /// Errors from credential verification.
@@ -38,7 +41,10 @@ impl fmt::Display for CertificateError {
             CertificateError::BadSignature => write!(f, "signature verification failed"),
             CertificateError::Expired => write!(f, "credential expired or not yet valid"),
             CertificateError::WrongIssuer { expected, got } => {
-                write!(f, "wrong issuer: credential names {expected:?}, verifier is {got:?}")
+                write!(
+                    f,
+                    "wrong issuer: credential names {expected:?}, verifier is {got:?}"
+                )
             }
             CertificateError::Malformed(m) => write!(f, "malformed credential: {m}"),
         }
@@ -119,8 +125,7 @@ impl Certificate {
     ///
     /// [`CertificateError::Malformed`] on bad JSON or missing fields.
     pub fn decode(s: &str) -> Result<Self, CertificateError> {
-        let v = mathcloud_json::parse(s)
-            .map_err(|e| CertificateError::Malformed(e.to_string()))?;
+        let v = mathcloud_json::parse(s).map_err(|e| CertificateError::Malformed(e.to_string()))?;
         Certificate::from_value(&v)
     }
 }
@@ -152,12 +157,18 @@ impl CertificateAuthority {
     /// [`CertificateAuthority::with_secret`] for per-deployment secrets.
     pub fn new(name: &str) -> Self {
         let secret = crate::sha256::digest(format!("ca-secret:{name}").as_bytes()).to_vec();
-        CertificateAuthority { name: name.to_string(), secret }
+        CertificateAuthority {
+            name: name.to_string(),
+            secret,
+        }
     }
 
     /// Creates an authority with an explicit secret.
     pub fn with_secret(name: &str, secret: &[u8]) -> Self {
-        CertificateAuthority { name: name.to_string(), secret: secret.to_vec() }
+        CertificateAuthority {
+            name: name.to_string(),
+            secret: secret.to_vec(),
+        }
     }
 
     /// The authority name, used as the issuer DN.
@@ -173,7 +184,12 @@ impl CertificateAuthority {
     }
 
     /// Issues a certificate with an explicit validity window.
-    pub fn issue_with_validity(&self, subject: &str, not_before: u64, not_after: u64) -> Certificate {
+    pub fn issue_with_validity(
+        &self,
+        subject: &str,
+        not_before: u64,
+        not_after: u64,
+    ) -> Certificate {
         let payload = Certificate::signed_payload(subject, &self.name, not_before, not_after);
         let signature = to_hex(&hmac(&self.secret, payload.as_bytes()));
         Certificate {
@@ -201,8 +217,12 @@ impl CertificateAuthority {
         if now < cert.not_before || now > cert.not_after {
             return Err(CertificateError::Expired);
         }
-        let payload =
-            Certificate::signed_payload(&cert.subject, &cert.issuer, cert.not_before, cert.not_after);
+        let payload = Certificate::signed_payload(
+            &cert.subject,
+            &cert.issuer,
+            cert.not_before,
+            cert.not_after,
+        );
         let expected = hmac(&self.secret, payload.as_bytes());
         if verify_mac(&expected, &cert.signature) {
             Ok(())
@@ -232,7 +252,10 @@ impl OpenIdToken {
 
     /// Compact encoding carried in the `Authorization` header.
     pub fn encode(&self) -> String {
-        format!("{}|{}|{}|{}", self.identifier, self.provider, self.expires, self.signature)
+        format!(
+            "{}|{}|{}|{}",
+            self.identifier, self.provider, self.expires, self.signature
+        )
     }
 
     /// Parses the [`OpenIdToken::encode`] form.
@@ -243,7 +266,9 @@ impl OpenIdToken {
     pub fn decode(s: &str) -> Result<Self, CertificateError> {
         let parts: Vec<&str> = s.split('|').collect();
         if parts.len() != 4 {
-            return Err(CertificateError::Malformed("openid token needs 4 fields".into()));
+            return Err(CertificateError::Malformed(
+                "openid token needs 4 fields".into(),
+            ));
         }
         let expires: u64 = parts[2]
             .parse()
@@ -269,7 +294,10 @@ impl OpenIdProvider {
     /// Creates a provider with a secret derived from its name.
     pub fn new(name: &str) -> Self {
         let secret = crate::sha256::digest(format!("openid-secret:{name}").as_bytes()).to_vec();
-        OpenIdProvider { name: name.to_string(), secret }
+        OpenIdProvider {
+            name: name.to_string(),
+            secret,
+        }
     }
 
     /// The provider name.
@@ -304,7 +332,8 @@ impl OpenIdProvider {
         if now_secs() > token.expires {
             return Err(CertificateError::Expired);
         }
-        let payload = OpenIdToken::signed_payload(&token.identifier, &token.provider, token.expires);
+        let payload =
+            OpenIdToken::signed_payload(&token.identifier, &token.provider, token.expires);
         let expected = hmac(&self.secret, payload.as_bytes());
         if verify_mac(&expected, &token.signature) {
             Ok(())
@@ -330,7 +359,10 @@ mod tests {
         let ca = CertificateAuthority::new("ca");
         let mut cert = ca.issue("CN=alice", 600);
         cert.subject = "CN=mallory".into();
-        assert_eq!(ca.verify(&cert).unwrap_err(), CertificateError::BadSignature);
+        assert_eq!(
+            ca.verify(&cert).unwrap_err(),
+            CertificateError::BadSignature
+        );
     }
 
     #[test]
@@ -347,7 +379,10 @@ mod tests {
         let ca = CertificateAuthority::new("ca");
         let cert = ca.issue("CN=alice", 600);
         let rogue = CertificateAuthority::with_secret("ca", b"different secret");
-        assert_eq!(rogue.verify(&cert).unwrap_err(), CertificateError::BadSignature);
+        assert_eq!(
+            rogue.verify(&cert).unwrap_err(),
+            CertificateError::BadSignature
+        );
         let other_name = CertificateAuthority::new("other");
         assert!(matches!(
             other_name.verify(&cert).unwrap_err(),
@@ -376,10 +411,16 @@ mod tests {
 
         let mut forged = token.clone();
         forged.identifier = "https://id/mallory".into();
-        assert_eq!(provider.verify(&forged).unwrap_err(), CertificateError::BadSignature);
+        assert_eq!(
+            provider.verify(&forged).unwrap_err(),
+            CertificateError::BadSignature
+        );
 
         let other = OpenIdProvider::new("facebook-sim");
-        assert!(matches!(other.verify(&token).unwrap_err(), CertificateError::WrongIssuer { .. }));
+        assert!(matches!(
+            other.verify(&token).unwrap_err(),
+            CertificateError::WrongIssuer { .. }
+        ));
         assert!(OpenIdToken::decode("a|b|c").is_err());
         assert!(OpenIdToken::decode("a|b|nan|d").is_err());
     }

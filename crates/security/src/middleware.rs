@@ -63,7 +63,11 @@ impl AuthConfig {
     /// OpenID providers; anonymous requests are admitted (per-service
     /// policies may still reject them).
     pub fn new(ca: CertificateAuthority) -> Self {
-        AuthConfig { ca, providers: Vec::new(), require_authentication: false }
+        AuthConfig {
+            ca,
+            providers: Vec::new(),
+            require_authentication: false,
+        }
     }
 
     /// Trusts an OpenID provider (builder style).
@@ -98,10 +102,15 @@ impl AuthConfig {
         if let Some(proxy_encoded) = req.headers.get(PROXY_CERT_HEADER).map(String::from) {
             let proxy_cert = match Certificate::decode(&proxy_encoded) {
                 Ok(c) => c,
-                Err(e) => return Some(Response::error(401, &format!("bad proxy certificate: {e}"))),
+                Err(e) => {
+                    return Some(Response::error(401, &format!("bad proxy certificate: {e}")))
+                }
             };
             if let Err(e) = self.ca.verify(&proxy_cert) {
-                return Some(Response::error(401, &format!("proxy certificate rejected: {e}")));
+                return Some(Response::error(
+                    401,
+                    &format!("proxy certificate rejected: {e}"),
+                ));
             }
             let user = req
                 .headers
@@ -207,7 +216,10 @@ mod tests {
         let cert = ca.issue("CN=alice", 600);
         let mut req = with_certificate(Request::new(Method::Get, "/"), &cert);
         assert!(cfg.authenticate(&mut req).is_none());
-        assert_eq!(AuthConfig::identity_of(&req), Identity::certificate("CN=alice"));
+        assert_eq!(
+            AuthConfig::identity_of(&req),
+            Identity::certificate("CN=alice")
+        );
     }
 
     #[test]
@@ -226,7 +238,10 @@ mod tests {
         let token = provider.login("https://id/bob", 600);
         let mut req = with_openid(Request::new(Method::Get, "/"), &token);
         assert!(cfg.authenticate(&mut req).is_none());
-        assert_eq!(AuthConfig::identity_of(&req), Identity::openid("https://id/bob"));
+        assert_eq!(
+            AuthConfig::identity_of(&req),
+            Identity::openid("https://id/bob")
+        );
     }
 
     #[test]

@@ -161,6 +161,9 @@ mod tests {
         p.allow(alice()).deny(bob()).trust_proxy("CN=wms");
         assert!(p.decide_proxied("CN=wms", &alice()).is_allowed());
         assert_eq!(p.decide_proxied("CN=wms", &bob()), AccessDecision::Denied);
-        assert_eq!(p.decide_proxied("CN=unknown", &alice()), AccessDecision::NotListed);
+        assert_eq!(
+            p.decide_proxied("CN=unknown", &alice()),
+            AccessDecision::NotListed
+        );
     }
 }

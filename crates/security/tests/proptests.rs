@@ -1,84 +1,143 @@
-//! Property-based tests for the security mechanism.
+//! Randomized property tests for the security mechanism, driven by the
+//! workspace's deterministic PRNG (offline, reproducible).
 
 use mathcloud_security::cert::OpenIdToken;
-use mathcloud_security::{AccessPolicy, Certificate, CertificateAuthority, Identity, OpenIdProvider};
-use proptest::prelude::*;
+use mathcloud_security::{
+    AccessPolicy, Certificate, CertificateAuthority, Identity, OpenIdProvider,
+};
+use mathcloud_telemetry::XorShift64;
 
-fn arb_identity() -> impl Strategy<Value = Identity> {
-    prop_oneof![
-        "[A-Za-z0-9=,. -]{1,24}".prop_map(|dn| Identity::certificate(&dn)),
-        "[a-z0-9:/._-]{1,24}".prop_map(|id| Identity::openid(&id)),
-        Just(Identity::Anonymous),
-    ]
+const CASES: usize = 200;
+
+const DN_POOL: &[char] = &['A', 'Z', 'a', 'z', '0', '9', '=', ',', '.', ' ', '-'];
+const ID_POOL: &[char] = &['a', 'z', '0', '9', ':', '/', '.', '_', '-'];
+
+fn arb_identity(rng: &mut XorShift64) -> Identity {
+    match rng.index(3) {
+        0 => {
+            let len = 1 + rng.index(24);
+            let dn = rng.string_from(DN_POOL, len);
+            Identity::certificate(&dn)
+        }
+        1 => {
+            let len = 1 + rng.index(24);
+            let id = rng.string_from(ID_POOL, len);
+            Identity::openid(&id)
+        }
+        _ => Identity::Anonymous,
+    }
 }
 
-proptest! {
-    /// Identity encoding round-trips for every identity.
-    #[test]
-    fn identity_round_trip(id in arb_identity()) {
-        prop_assert_eq!(Identity::decode(&id.encode()), id);
+/// Identity encoding round-trips for every identity.
+#[test]
+fn identity_round_trip() {
+    let mut rng = XorShift64::new(0x1D);
+    for case in 0..CASES {
+        let id = arb_identity(&mut rng);
+        assert_eq!(Identity::decode(&id.encode()), id, "case {case}");
     }
+}
 
-    /// Certificates issued by a CA verify; any single-field tampering fails.
-    #[test]
-    fn certificates_bind_every_field(
-        subject in "[A-Za-z0-9=, ]{1,24}",
-        tamper in 0usize..3,
-        garbage in "[a-z0-9]{1,12}",
-    ) {
-        let ca = CertificateAuthority::new("prop-ca");
+/// Certificates issued by a CA verify; any single-field tampering fails.
+#[test]
+fn certificates_bind_every_field() {
+    const SUBJ: &[char] = &['A', 'Z', 'a', 'z', '0', '9', '=', ',', ' '];
+    let mut rng = XorShift64::new(0xCA);
+    let ca = CertificateAuthority::new("prop-ca");
+    for case in 0..CASES {
+        let len = 1 + rng.index(24);
+        let subject = rng.string_from(SUBJ, len);
+        let tamper = rng.index(3);
+        let garbage = {
+            let len = 1 + rng.index(12);
+            rng.alnum_string(len.max(1)).to_lowercase() + "x"
+        };
         let cert = ca.issue(&subject, 600);
-        prop_assert!(ca.verify(&cert).is_ok());
+        assert!(ca.verify(&cert).is_ok(), "case {case}");
         let mut bad = cert.clone();
         match tamper {
             0 => bad.subject = format!("{}{garbage}", bad.subject),
             1 => bad.not_after = bad.not_after.wrapping_add(1),
             _ => bad.not_before = bad.not_before.wrapping_sub(1),
         }
-        prop_assert!(ca.verify(&bad).is_err(), "tampered field {tamper} accepted");
+        assert!(
+            ca.verify(&bad).is_err(),
+            "case {case}: tampered field {tamper} accepted"
+        );
     }
+}
 
-    /// Certificate wire encoding round-trips (subjects may contain JSON
-    /// metacharacters).
-    #[test]
-    fn certificate_wire_round_trip(subject in "\\PC{1,32}") {
-        let ca = CertificateAuthority::new("prop-ca");
+/// Certificate wire encoding round-trips (subjects may contain JSON
+/// metacharacters).
+#[test]
+fn certificate_wire_round_trip() {
+    let mut rng = XorShift64::new(0xC3);
+    let ca = CertificateAuthority::new("prop-ca");
+    for case in 0..CASES {
+        let subject = loop {
+            let s = rng.unicode_string(32);
+            if !s.is_empty() {
+                break s;
+            }
+        };
         let cert = ca.issue(&subject, 600);
         let decoded = Certificate::decode(&cert.encode()).unwrap();
-        prop_assert_eq!(&decoded, &cert);
-        prop_assert!(ca.verify(&decoded).is_ok());
+        assert_eq!(&decoded, &cert, "case {case}");
+        assert!(ca.verify(&decoded).is_ok(), "case {case}");
     }
+}
 
-    /// Tokens from one provider never verify at another, regardless of names.
-    #[test]
-    fn providers_are_isolated(user in "[a-z0-9/:]{1,20}") {
-        let a = OpenIdProvider::new("provider-a");
-        let b = OpenIdProvider::new("provider-b");
+/// Tokens from one provider never verify at another, regardless of names.
+#[test]
+fn providers_are_isolated() {
+    const USER: &[char] = &['a', 'z', '0', '9', '/', ':'];
+    let mut rng = XorShift64::new(0x0ED);
+    let a = OpenIdProvider::new("provider-a");
+    let b = OpenIdProvider::new("provider-b");
+    for case in 0..CASES {
+        let len = 1 + rng.index(20);
+        let user = rng.string_from(USER, len);
         let token = a.login(&user, 600);
-        prop_assert!(a.verify(&token).is_ok());
-        prop_assert!(b.verify(&token).is_err());
+        assert!(a.verify(&token).is_ok(), "case {case}");
+        assert!(b.verify(&token).is_err(), "case {case}");
         let decoded = OpenIdToken::decode(&token.encode()).unwrap();
-        prop_assert_eq!(decoded, token);
+        assert_eq!(decoded, token, "case {case}");
     }
+}
 
-    /// Policy invariants: deny always wins; empty allow admits everyone not
-    /// denied; non-empty allow admits exactly its members (minus denied).
-    #[test]
-    fn policy_semantics(
-        allow in prop::collection::vec(arb_identity(), 0..4),
-        deny in prop::collection::vec(arb_identity(), 0..4),
-        probe in arb_identity(),
-    ) {
+/// Policy invariants: deny always wins; empty allow admits everyone not
+/// denied; non-empty allow admits exactly its members (minus denied).
+#[test]
+fn policy_semantics() {
+    let mut rng = XorShift64::new(0x90C);
+    for case in 0..CASES {
+        let allow: Vec<Identity> = (0..rng.index(4)).map(|_| arb_identity(&mut rng)).collect();
+        let deny: Vec<Identity> = (0..rng.index(4)).map(|_| arb_identity(&mut rng)).collect();
+        // Bias the probe towards listed identities so all branches are hit.
+        let probe = if !deny.is_empty() && rng.chance(0.3) {
+            rng.pick(&deny).clone()
+        } else if !allow.is_empty() && rng.chance(0.4) {
+            rng.pick(&allow).clone()
+        } else {
+            arb_identity(&mut rng)
+        };
         let mut p = AccessPolicy::new();
-        for id in &allow { p.allow(id.clone()); }
-        for id in &deny { p.deny(id.clone()); }
+        for id in &allow {
+            p.allow(id.clone());
+        }
+        for id in &deny {
+            p.deny(id.clone());
+        }
         let decision = p.decide(&probe);
         if deny.contains(&probe) {
-            prop_assert!(!decision.is_allowed(), "denied identity admitted");
+            assert!(
+                !decision.is_allowed(),
+                "case {case}: denied identity admitted"
+            );
         } else if allow.is_empty() || allow.contains(&probe) {
-            prop_assert!(decision.is_allowed());
+            assert!(decision.is_allowed(), "case {case}");
         } else {
-            prop_assert!(!decision.is_allowed());
+            assert!(!decision.is_allowed(), "case {case}");
         }
     }
 }

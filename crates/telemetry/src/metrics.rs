@@ -1,0 +1,461 @@
+//! Process-wide metrics: atomic counters, gauges and fixed-bucket histograms.
+//!
+//! Instruments are keyed by `(name, sorted labels)`. Registration takes a
+//! short write lock; after that every handle is an `Arc` straight to the
+//! atomics, so the hot path (a request being served, a job changing state) is
+//! a handful of `fetch_add`s — no locks, no allocation. Callers that care
+//! about the last nanosecond should register once and keep the handle.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Histogram `sum` is accumulated in integer microseconds so it can live in an
+/// `AtomicU64`; values are converted back to seconds at read time.
+const MICROS_PER_SEC: f64 = 1_000_000.0;
+
+/// Default latency buckets in seconds: 100µs … 60s, roughly exponential.
+/// Chosen to straddle both in-process substrate costs (router dispatch,
+/// JSON parse) and full REST round-trips with multi-second compute.
+pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0, 30.0, 60.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (queue depth, busy
+/// workers, per-service availability).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCore {
+    /// Ascending finite upper bounds; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts, `bounds.len() + 1` long (last is +Inf).
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations (conventionally seconds).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }))
+    }
+
+    /// A histogram with [`DEFAULT_LATENCY_BUCKETS`], not attached to any
+    /// registry (useful in tests).
+    pub fn detached() -> Self {
+        Histogram::with_bounds(DEFAULT_LATENCY_BUCKETS)
+    }
+
+    /// Record one observation. Negative values clamp to zero.
+    pub fn observe(&self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        let core = &self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(core.bounds.len());
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum_micros
+            .fetch_add((v * MICROS_PER_SEC) as u64, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum(&self) -> f64 {
+        self.0.sum_micros.load(Ordering::Relaxed) as f64 / MICROS_PER_SEC
+    }
+
+    /// Consistent point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.0;
+        HistogramSnapshot {
+            bounds: core.bounds.clone(),
+            buckets: core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: core.count.load(Ordering::Relaxed),
+            sum: self.sum(),
+        }
+    }
+
+    /// Estimated q-quantile (`0.0 ..= 1.0`); see [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// Point-in-time copy of a histogram's state.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds (ascending); an implicit `+Inf` bucket follows.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `bounds.len() + 1` entries.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the q-quantile by linear interpolation inside the bucket that
+    /// contains the target rank — the same estimator Prometheus's
+    /// `histogram_quantile` uses. Observations landing in the `+Inf` bucket
+    /// report the largest finite bound. Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if (seen as f64) >= rank {
+                if i >= self.bounds.len() {
+                    // +Inf bucket: the best point estimate is the last finite bound.
+                    return self.bounds.last().copied().unwrap_or(0.0);
+                }
+                let hi = self.bounds[i];
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                if n == 0 {
+                    return hi;
+                }
+                let into = rank - (seen - n) as f64;
+                return lo + (hi - lo) * (into / n as f64);
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Fully resolved metric key: name plus sorted label pairs.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct MetricKey {
+    pub(crate) name: String,
+    pub(crate) labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Clone)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named instruments. One process-wide instance is available
+/// through [`global`]; independent registries can be created for tests.
+pub struct MetricsRegistry {
+    pub(crate) metrics: RwLock<HashMap<MetricKey, Metric>>,
+    pub(crate) help: RwLock<HashMap<String, &'static str>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry {
+            metrics: RwLock::new(HashMap::new()),
+            help: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Attach a `# HELP` line to a metric name for exposition.
+    pub fn describe(&self, name: &str, help: &'static str) {
+        self.help
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), help);
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let key = MetricKey::new(name, labels);
+        {
+            let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(m) = metrics.get(&key) {
+                return m.clone();
+            }
+        }
+        let mut metrics = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        metrics.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Fetch-or-create a counter. Panics if `name`+`labels` is already
+    /// registered as a different instrument kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || Metric::Counter(Counter::detached())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Fetch-or-create a gauge. Panics on instrument-kind mismatch.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Gauge::detached())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Fetch-or-create a histogram with [`DEFAULT_LATENCY_BUCKETS`].
+    /// Panics on instrument-kind mismatch.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram_with(name, labels, DEFAULT_LATENCY_BUCKETS)
+    }
+
+    /// Fetch-or-create a histogram with explicit bucket bounds. Bounds apply
+    /// only on first registration; later calls return the existing histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> Histogram {
+        match self.get_or_insert(name, labels, || {
+            Metric::Histogram(Histogram::with_bounds(bounds))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        match metrics.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        match metrics.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Gauge(g)) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Render the whole registry in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        crate::expose::render(self)
+    }
+}
+
+/// The process-wide registry every MathCloud component reports into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", &[("k", "v")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(reg.counter_value("c_total", &[("k", "v")]), Some(5));
+        // Same name+labels returns the same underlying atomic.
+        reg.counter("c_total", &[("k", "v")]).inc();
+        assert_eq!(c.get(), 6);
+        // Label order does not matter.
+        let c2 = reg.counter("m", &[("a", "1"), ("b", "2")]);
+        c2.inc();
+        assert_eq!(reg.counter_value("m", &[("b", "2"), ("a", "1")]), Some(1));
+
+        let g = reg.gauge("g", &[]);
+        g.set(7);
+        g.sub(9);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x", &[]);
+        reg.gauge("x", &[]);
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_sum() {
+        let h = Histogram::with_bounds(&[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![1, 2, 1, 1]);
+        assert_eq!(snap.count, 5);
+        assert!((snap.sum - 56.05).abs() < 1e-6);
+        // Negative and non-finite observations clamp into the first bucket.
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        assert_eq!(h.snapshot().buckets[0], 3);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        // 100 observations uniformly placed in the (1, 2] bucket.
+        for _ in 0..100 {
+            h.observe(1.5);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 1.5).abs() < 1e-9, "p50 = {p50}");
+        let p90 = h.quantile(0.9);
+        assert!((p90 - 1.9).abs() < 1e-9, "p90 = {p90}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::with_bounds(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        h.observe(100.0); // +Inf bucket
+        assert_eq!(h.quantile(0.99), 2.0, "overflow reports last finite bound");
+
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        h.observe(0.5);
+        h.observe(3.0);
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 2.0 && p99 <= 4.0, "p99 = {p99}");
+        let p01 = h.quantile(0.01);
+        assert!(p01 <= 1.0, "p01 = {p01}");
+    }
+
+    #[test]
+    fn default_buckets_are_ascending() {
+        assert!(DEFAULT_LATENCY_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("spins_total", &[]);
+                let h = reg.histogram("spin_seconds", &[]);
+                for _ in 0..1000 {
+                    c.inc();
+                    h.observe(0.001);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter_value("spins_total", &[]), Some(8000));
+        assert_eq!(reg.histogram("spin_seconds", &[]).count(), 8000);
+    }
+}

@@ -16,7 +16,8 @@ use mathcloud_core::{JobRepresentation, JobState};
 use mathcloud_http::Client;
 use mathcloud_json::value::Object;
 use mathcloud_json::Value;
-use parking_lot::{Mutex, RwLock};
+use mathcloud_telemetry::sync::{Mutex, RwLock};
+use mathcloud_telemetry::{metrics, trace};
 
 use crate::model::BlockKind;
 use crate::script::run_script;
@@ -90,7 +91,10 @@ impl Default for HttpCaller {
 impl HttpCaller {
     /// Creates a caller with the given job-polling interval.
     pub fn new(poll_interval: Duration) -> Self {
-        HttpCaller { client: Client::new(), poll_interval }
+        HttpCaller {
+            client: Client::new(),
+            poll_interval,
+        }
     }
 }
 
@@ -101,10 +105,15 @@ impl ServiceCaller for HttpCaller {
             .post_json(url, &Value::Object(inputs.clone()))
             .map_err(|e| e.to_string())?;
         if !submit.status.is_success() {
-            return Err(format!("{} from {url}: {}", submit.status, submit.body_string()));
+            return Err(format!(
+                "{} from {url}: {}",
+                submit.status,
+                submit.body_string()
+            ));
         }
         let base: mathcloud_http::Url = url.parse().map_err(|e| format!("{e}"))?;
-        let mut rep = JobRepresentation::from_value(&submit.body_json().map_err(|e| e.to_string())?)?;
+        let mut rep =
+            JobRepresentation::from_value(&submit.body_json().map_err(|e| e.to_string())?)?;
         loop {
             match rep.state {
                 JobState::Done => {
@@ -121,7 +130,9 @@ impl ServiceCaller for HttpCaller {
                     if !resp.status.is_success() {
                         return Err(format!("{} polling {poll_url}", resp.status));
                     }
-                    rep = JobRepresentation::from_value(&resp.body_json().map_err(|e| e.to_string())?)?;
+                    rep = JobRepresentation::from_value(
+                        &resp.body_json().map_err(|e| e.to_string())?,
+                    )?;
                 }
             }
         }
@@ -154,12 +165,10 @@ impl RunHandle {
     ///
     /// [`EngineError`] if any block failed.
     pub fn wait(self) -> Result<Object, EngineError> {
-        self.result
-            .recv()
-            .unwrap_or(Err(EngineError::BlockFailed {
-                block: "<engine>".into(),
-                reason: "engine thread disappeared".into(),
-            }))
+        self.result.recv().unwrap_or(Err(EngineError::BlockFailed {
+            block: "<engine>".into(),
+            reason: "engine thread disappeared".into(),
+        }))
     }
 }
 
@@ -190,8 +199,14 @@ impl Engine {
     }
 
     /// Creates an engine with a custom caller (tests, in-process calls).
-    pub fn with_caller<C: ServiceCaller + 'static>(validated: ValidatedWorkflow, caller: C) -> Self {
-        Engine { validated: Arc::new(validated), caller: Arc::new(caller) }
+    pub fn with_caller<C: ServiceCaller + 'static>(
+        validated: ValidatedWorkflow,
+        caller: C,
+    ) -> Self {
+        Engine {
+            validated: Arc::new(validated),
+            caller: Arc::new(caller),
+        }
     }
 
     /// Runs the workflow to completion.
@@ -232,7 +247,10 @@ impl Engine {
             let outcome = execute(&validated, &caller, &run_states, &inputs);
             let _ = result_tx.send(outcome);
         });
-        Ok(RunHandle { states, result: result_rx })
+        Ok(RunHandle {
+            states,
+            result: result_rx,
+        })
     }
 }
 
@@ -367,8 +385,20 @@ fn run_block(
         }
     }
 
+    let kind_label = match &block.kind {
+        BlockKind::Input { .. } => "input",
+        BlockKind::Constant { .. } => "constant",
+        BlockKind::Output { .. } => "output",
+        BlockKind::Script { .. } => "script",
+        BlockKind::Service { .. } => "service",
+    };
+    let mut span = trace::span("workflow.block", None);
+    span.field("block", id);
+    span.field("kind", kind_label);
+    let started = std::time::Instant::now();
+
     let out = |port: &str, v: Value| ((id.to_string(), port.to_string()), v);
-    match &block.kind {
+    let result = (move || match &block.kind {
         BlockKind::Input { schema } => {
             let v = request_inputs
                 .get(id)
@@ -407,12 +437,14 @@ fn run_block(
                 .validate_inputs(&body)
                 .map_err(|e| e.to_string())?;
             let outputs = caller.call(url, &effective)?;
-            Ok(outputs
-                .into_iter()
-                .map(|(name, v)| out(&name, v))
-                .collect())
+            Ok(outputs.into_iter().map(|(name, v)| out(&name, v)).collect())
         }
-    }
+    })();
+    metrics::global()
+        .histogram("mc_workflow_block_seconds", &[("kind", kind_label)])
+        .observe_duration(started.elapsed());
+    span.field("outcome", if result.is_ok() { "done" } else { "failed" });
+    result
 }
 
 #[cfg(test)]
@@ -498,7 +530,10 @@ mod tests {
                 id: "merge".into(),
                 kind: BlockKind::Script {
                     code: "sum = a + b;".into(),
-                    inputs: vec![("a".into(), Schema::integer()), ("b".into(), Schema::integer())],
+                    inputs: vec![
+                        ("a".into(), Schema::integer()),
+                        ("b".into(), Schema::integer()),
+                    ],
                     outputs: vec![("sum".into(), Schema::integer())],
                 },
             })
@@ -513,7 +548,10 @@ mod tests {
         let outputs = engine(&wf).run(&inputs).unwrap();
         let elapsed = t0.elapsed();
         assert_eq!(outputs.get("r"), Some(&json!(20)));
-        assert!(elapsed < Duration::from_millis(115), "not parallel: {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_millis(115),
+            "not parallel: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -568,7 +606,9 @@ mod tests {
             .input("x", Schema::integer())
             .output("r", Schema::integer())
             .wire(("x", "value"), ("r", "value"));
-        let inputs: Object = [("x".to_string(), json!("not a number"))].into_iter().collect();
+        let inputs: Object = [("x".to_string(), json!("not a number"))]
+            .into_iter()
+            .collect();
         let err = engine(&wf).run(&inputs).unwrap_err();
         assert!(matches!(err, EngineError::BlockFailed { .. }));
     }
@@ -576,13 +616,19 @@ mod tests {
     #[test]
     fn constants_and_scripts_work_without_services() {
         let wf = Workflow::new("w", "")
-            .block(Block { id: "k".into(), kind: BlockKind::Constant { value: json!(10) } })
+            .block(Block {
+                id: "k".into(),
+                kind: BlockKind::Constant { value: json!(10) },
+            })
             .input("x", Schema::integer())
             .block(Block {
                 id: "calc".into(),
                 kind: BlockKind::Script {
                     code: "y = x * k;".into(),
-                    inputs: vec![("x".into(), Schema::integer()), ("k".into(), Schema::integer())],
+                    inputs: vec![
+                        ("x".into(), Schema::integer()),
+                        ("k".into(), Schema::integer()),
+                    ],
                     outputs: vec![("y".into(), Schema::integer())],
                 },
             })

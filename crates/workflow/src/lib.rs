@@ -31,5 +31,7 @@ pub mod wms;
 pub use engine::{BlockRun, Engine, EngineError, HttpCaller, RunHandle, ServiceCaller};
 pub use model::{Block, BlockKind, Edge, PortRef, Workflow, WorkflowError};
 pub use script::{run_script, ScriptError};
-pub use validate::{validate, DescriptionSource, HttpDescriptions, ValidatedWorkflow, ValidationIssue};
+pub use validate::{
+    validate, DescriptionSource, HttpDescriptions, ValidatedWorkflow, ValidationIssue,
+};
 pub use wms::WorkflowService;

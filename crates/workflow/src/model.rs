@@ -18,7 +18,10 @@ pub struct PortRef {
 impl PortRef {
     /// Creates a port reference.
     pub fn new(block: &str, port: &str) -> Self {
-        PortRef { block: block.to_string(), port: port.to_string() }
+        PortRef {
+            block: block.to_string(),
+            port: port.to_string(),
+        }
     }
 }
 
@@ -158,22 +161,36 @@ impl Workflow {
 
     /// Convenience: adds an input block named `id`.
     pub fn input(self, id: &str, schema: Schema) -> Self {
-        self.block(Block { id: id.to_string(), kind: BlockKind::Input { schema } })
+        self.block(Block {
+            id: id.to_string(),
+            kind: BlockKind::Input { schema },
+        })
     }
 
     /// Convenience: adds an output block named `id`.
     pub fn output(self, id: &str, schema: Schema) -> Self {
-        self.block(Block { id: id.to_string(), kind: BlockKind::Output { schema } })
+        self.block(Block {
+            id: id.to_string(),
+            kind: BlockKind::Output { schema },
+        })
     }
 
     /// Convenience: adds a service block.
     pub fn service(self, id: &str, url: &str) -> Self {
-        self.block(Block { id: id.to_string(), kind: BlockKind::Service { url: url.to_string() } })
+        self.block(Block {
+            id: id.to_string(),
+            kind: BlockKind::Service {
+                url: url.to_string(),
+            },
+        })
     }
 
     /// Convenience: adds an edge `from_block.from_port -> to_block.to_port`.
     pub fn wire(self, from: (&str, &str), to: (&str, &str)) -> Self {
-        self.edge(Edge { from: PortRef::new(from.0, from.1), to: PortRef::new(to.0, to.1) })
+        self.edge(Edge {
+            from: PortRef::new(from.0, from.1),
+            to: PortRef::new(to.0, to.1),
+        })
     }
 
     /// Finds a block by id.
@@ -246,12 +263,15 @@ impl Workflow {
                 let text = e
                     .str_field(field)
                     .ok_or_else(|| WorkflowError(format!("edge missing {field}")))?;
-                let (block, port) = text
-                    .split_once('.')
-                    .ok_or_else(|| WorkflowError(format!("edge ref {text:?} must be block.port")))?;
+                let (block, port) = text.split_once('.').ok_or_else(|| {
+                    WorkflowError(format!("edge ref {text:?} must be block.port"))
+                })?;
                 Ok(PortRef::new(block, port))
             };
-            wf.edges.push(Edge { from: parse_ref("from")?, to: parse_ref("to")? });
+            wf.edges.push(Edge {
+                from: parse_ref("from")?,
+                to: parse_ref("to")?,
+            });
         }
         Ok(wf)
     }
@@ -277,7 +297,11 @@ fn block_to_value(b: &Block) -> Value {
             o.insert("kind".into(), Value::from("service"));
             o.insert("url".into(), Value::from(url.as_str()));
         }
-        BlockKind::Script { code, inputs, outputs } => {
+        BlockKind::Script {
+            code,
+            inputs,
+            outputs,
+        } => {
             o.insert("kind".into(), Value::from("script"));
             o.insert("code".into(), Value::from(code.as_str()));
             let ports = |ps: &[(String, Schema)]| {
@@ -308,14 +332,19 @@ fn block_from_value(v: &Value) -> Result<Block, WorkflowError> {
         .ok_or_else(|| WorkflowError(format!("block {id:?} missing kind")))?;
     let schema_of = |v: &Value| -> Result<Schema, WorkflowError> {
         match v.get("schema") {
-            Some(s) => Schema::from_value(s)
-                .map_err(|e| WorkflowError(format!("block {id:?}: {e}"))),
+            Some(s) => {
+                Schema::from_value(s).map_err(|e| WorkflowError(format!("block {id:?}: {e}")))
+            }
             None => Ok(Schema::any()),
         }
     };
     let kind = match kind {
-        "input" => BlockKind::Input { schema: schema_of(v)? },
-        "output" => BlockKind::Output { schema: schema_of(v)? },
+        "input" => BlockKind::Input {
+            schema: schema_of(v)?,
+        },
+        "output" => BlockKind::Output {
+            schema: schema_of(v)?,
+        },
         "service" => BlockKind::Service {
             url: v
                 .str_field("url")
@@ -331,14 +360,19 @@ fn block_from_value(v: &Value) -> Result<Block, WorkflowError> {
                 let mut out = Vec::new();
                 if let Some(obj) = v.get(field).and_then(Value::as_object) {
                     for (name, schema_doc) in obj.iter() {
-                        let schema = Schema::from_value(schema_doc)
-                            .map_err(|e| WorkflowError(format!("block {id:?} port {name:?}: {e}")))?;
+                        let schema = Schema::from_value(schema_doc).map_err(|e| {
+                            WorkflowError(format!("block {id:?} port {name:?}: {e}"))
+                        })?;
                         out.push((name.clone(), schema));
                     }
                 }
                 Ok(out)
             };
-            BlockKind::Script { code, inputs: ports("inputs")?, outputs: ports("outputs")? }
+            BlockKind::Script {
+                code,
+                inputs: ports("inputs")?,
+                outputs: ports("outputs")?,
+            }
         }
         "constant" => BlockKind::Constant {
             value: v.get("value").cloned().unwrap_or(Value::Null),
@@ -387,7 +421,10 @@ mod tests {
                 id: "s".into(),
                 kind: BlockKind::Script {
                     code: "y = x + k;".into(),
-                    inputs: vec![("x".into(), Schema::integer()), ("k".into(), Schema::integer())],
+                    inputs: vec![
+                        ("x".into(), Schema::integer()),
+                        ("k".into(), Schema::integer()),
+                    ],
                     outputs: vec![("y".into(), Schema::integer())],
                 },
             })
@@ -438,6 +475,9 @@ mod tests {
         assert_eq!(wf.find("y").unwrap().declared_inputs()[0].0, "value");
         assert_eq!(wf.find("s").unwrap().declared_inputs().len(), 2);
         assert_eq!(wf.find("c").unwrap().declared_outputs().len(), 1);
-        assert!(wf.find("svc").unwrap().declared_inputs().is_empty(), "resolved later");
+        assert!(
+            wf.find("svc").unwrap().declared_inputs().is_empty(),
+            "resolved later"
+        );
     }
 }

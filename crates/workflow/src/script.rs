@@ -71,7 +71,10 @@ impl fmt::Display for ScriptError {
 impl Error for ScriptError {}
 
 fn err<T>(message: impl Into<String>, line: usize) -> Result<T, ScriptError> {
-    Err(ScriptError { message: message.into(), line })
+    Err(ScriptError {
+        message: message.into(),
+        line,
+    })
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -112,10 +115,15 @@ fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
                     i += 1;
                 }
-                out.push(Token { tok: Tok::Ident(src[start..i].to_string()), line });
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -123,7 +131,11 @@ fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit() {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
                     is_int = false;
                     i += 1;
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -135,7 +147,10 @@ fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
                     message: format!("bad number {text:?}"),
                     line,
                 })?;
-                out.push(Token { tok: Tok::Num(v, is_int), line });
+                out.push(Token {
+                    tok: Tok::Num(v, is_int),
+                    line,
+                });
             }
             '"' => {
                 i += 1;
@@ -160,7 +175,9 @@ fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
                                 b't' => '\t',
                                 b'"' => '"',
                                 b'\\' => '\\',
-                                other => return err(format!("bad escape \\{}", other as char), line),
+                                other => {
+                                    return err(format!("bad escape \\{}", other as char), line)
+                                }
                             });
                             i += 1;
                         }
@@ -173,7 +190,10 @@ fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
                         }
                     }
                 }
-                out.push(Token { tok: Tok::Str(s), line });
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line,
+                });
             }
             _ => {
                 // `get` (not slicing) so multi-byte characters at `i` cannot
@@ -188,7 +208,10 @@ fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
                     _ => None,
                 };
                 if let Some(p) = two {
-                    out.push(Token { tok: Tok::Punct(p), line });
+                    out.push(Token {
+                        tok: Tok::Punct(p),
+                        line,
+                    });
                     i += 2;
                 } else {
                     let one: &'static str = match c {
@@ -213,13 +236,19 @@ fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
                         '.' => ".",
                         other => return err(format!("unexpected character {other:?}"), line),
                     };
-                    out.push(Token { tok: Tok::Punct(one), line });
+                    out.push(Token {
+                        tok: Tok::Punct(one),
+                        line,
+                    });
                     i += 1;
                 }
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, line });
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -360,7 +389,12 @@ impl Parser {
                 let line = self.line();
                 self.bump();
                 let rhs = self.parse_compare()?;
-                return Ok(Expr::Binary(if op == "==" { "==" } else { "!=" }, Box::new(lhs), Box::new(rhs), line));
+                return Ok(Expr::Binary(
+                    if op == "==" { "==" } else { "!=" },
+                    Box::new(lhs),
+                    Box::new(rhs),
+                    line,
+                ));
             }
         }
         Ok(lhs)
@@ -502,7 +536,9 @@ impl Parser {
                         let key = match self.bump() {
                             Tok::Str(s) => s,
                             Tok::Ident(s) => s,
-                            other => return err(format!("expected object key, found {other:?}"), line),
+                            other => {
+                                return err(format!("expected object key, found {other:?}"), line)
+                            }
                         };
                         self.expect_punct(":")?;
                         pairs.push((key, self.parse_expr()?));
@@ -548,11 +584,10 @@ fn eval(e: &Expr, env: &mut Env) -> Result<Value, ScriptError> {
     env.fuel -= 1;
     match e {
         Expr::Lit(v) => Ok(v.clone()),
-        Expr::Var(name, line) => env
-            .vars
-            .get(name)
-            .cloned()
-            .ok_or(ScriptError { message: format!("unknown variable {name:?}"), line: *line }),
+        Expr::Var(name, line) => env.vars.get(name).cloned().ok_or(ScriptError {
+            message: format!("unknown variable {name:?}"),
+            line: *line,
+        }),
         Expr::Array(items) => {
             let mut out = Vec::with_capacity(items.len());
             for item in items {
@@ -596,23 +631,32 @@ fn eval(e: &Expr, env: &mut Env) -> Result<Value, ScriptError> {
             let i = eval(index, env)?;
             match (&t, &i) {
                 (Value::Array(a), Value::Number(n)) => {
-                    let idx = n
-                        .as_i64()
-                        .filter(|&x| x >= 0)
-                        .ok_or(ScriptError { message: "array index must be a non-negative integer".into(), line: *line })?;
-                    a.get(idx as usize)
-                        .cloned()
-                        .ok_or(ScriptError { message: format!("index {idx} out of bounds (len {})", a.len()), line: *line })
+                    let idx = n.as_i64().filter(|&x| x >= 0).ok_or(ScriptError {
+                        message: "array index must be a non-negative integer".into(),
+                        line: *line,
+                    })?;
+                    a.get(idx as usize).cloned().ok_or(ScriptError {
+                        message: format!("index {idx} out of bounds (len {})", a.len()),
+                        line: *line,
+                    })
                 }
-                (Value::Object(o), Value::String(k)) => Ok(o.get(k).cloned().unwrap_or(Value::Null)),
-                _ => err(format!("cannot index {} with {}", t.type_name(), i.type_name()), *line),
+                (Value::Object(o), Value::String(k)) => {
+                    Ok(o.get(k).cloned().unwrap_or(Value::Null))
+                }
+                _ => err(
+                    format!("cannot index {} with {}", t.type_name(), i.type_name()),
+                    *line,
+                ),
             }
         }
         Expr::Member(target, field, line) => {
             let t = eval(target, env)?;
             match &t {
                 Value::Object(o) => Ok(o.get(field).cloned().unwrap_or(Value::Null)),
-                _ => err(format!("cannot access field {field:?} on {}", t.type_name()), *line),
+                _ => err(
+                    format!("cannot access field {field:?} on {}", t.type_name()),
+                    *line,
+                ),
             }
         }
         Expr::Call(name, args, line) => {
@@ -622,7 +666,11 @@ fn eval(e: &Expr, env: &mut Env) -> Result<Value, ScriptError> {
                     return err("if(cond, then, else) takes 3 arguments", *line);
                 }
                 let c = eval(&args[0], env)?;
-                return if truthy(&c) { eval(&args[1], env) } else { eval(&args[2], env) };
+                return if truthy(&c) {
+                    eval(&args[1], env)
+                } else {
+                    eval(&args[2], env)
+                };
             }
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
@@ -634,8 +682,10 @@ fn eval(e: &Expr, env: &mut Env) -> Result<Value, ScriptError> {
 }
 
 fn as_num(v: &Value, line: usize) -> Result<f64, ScriptError> {
-    v.as_f64()
-        .ok_or(ScriptError { message: format!("expected number, got {}", v.type_name()), line })
+    v.as_f64().ok_or(ScriptError {
+        message: format!("expected number, got {}", v.type_name()),
+        line,
+    })
 }
 
 fn both_int(l: &Value, r: &Value) -> Option<(i64, i64)> {
@@ -699,7 +749,10 @@ fn binop(op: &str, l: Value, r: Value, line: usize) -> Result<Value, ScriptError
                 (Value::String(a), Value::String(b)) => a.cmp(b),
                 _ => as_num(&l, line)?
                     .partial_cmp(&as_num(&r, line)?)
-                    .ok_or(ScriptError { message: "incomparable values".into(), line })?,
+                    .ok_or(ScriptError {
+                        message: "incomparable values".into(),
+                        line,
+                    })?,
             };
             let result = match op {
                 "<" => ord.is_lt(),
@@ -725,7 +778,10 @@ fn builtin(name: &str, args: &[Value], line: usize) -> Result<Value, ScriptError
         if args.len() == n {
             Ok(())
         } else {
-            err(format!("{name} takes {n} argument(s), got {}", args.len()), line)
+            err(
+                format!("{name} takes {n} argument(s), got {}", args.len()),
+                line,
+            )
         }
     };
     match name {
@@ -788,10 +844,16 @@ fn builtin(name: &str, args: &[Value], line: usize) -> Result<Value, ScriptError
                         s.trim()
                             .parse::<f64>()
                             .map(Value::from)
-                            .map_err(|_| ScriptError { message: format!("cannot convert {s:?} to a number"), line })
+                            .map_err(|_| ScriptError {
+                                message: format!("cannot convert {s:?} to a number"),
+                                line,
+                            })
                     }
                 }
-                other => err(format!("cannot convert {} to a number", other.type_name()), line),
+                other => err(
+                    format!("cannot convert {} to a number", other.type_name()),
+                    line,
+                ),
             }
         }
         "split" => {
@@ -799,7 +861,9 @@ fn builtin(name: &str, args: &[Value], line: usize) -> Result<Value, ScriptError
             let (Value::String(s), Value::String(sep)) = (&args[0], &args[1]) else {
                 return err("split(text, separator) takes two strings", line);
             };
-            Ok(Value::Array(s.split(sep.as_str()).map(Value::from).collect()))
+            Ok(Value::Array(
+                s.split(sep.as_str()).map(Value::from).collect(),
+            ))
         }
         "join" => {
             arity(2)?;
@@ -824,16 +888,20 @@ fn builtin(name: &str, args: &[Value], line: usize) -> Result<Value, ScriptError
             let Value::Object(o) = &args[0] else {
                 return err("keys takes an object", line);
             };
-            Ok(Value::Array(o.keys().map(|k| Value::from(k.as_str())).collect()))
+            Ok(Value::Array(
+                o.keys().map(|k| Value::from(k.as_str())).collect(),
+            ))
         }
         "range" => {
             arity(2)?;
-            let a = args[0]
-                .as_i64()
-                .ok_or(ScriptError { message: "range bounds must be integers".into(), line })?;
-            let b = args[1]
-                .as_i64()
-                .ok_or(ScriptError { message: "range bounds must be integers".into(), line })?;
+            let a = args[0].as_i64().ok_or(ScriptError {
+                message: "range bounds must be integers".into(),
+                line,
+            })?;
+            let b = args[1].as_i64().ok_or(ScriptError {
+                message: "range bounds must be integers".into(),
+                line,
+            })?;
             if b < a || (b - a) > 100_000 {
                 return err("invalid range", line);
             }
@@ -844,8 +912,10 @@ fn builtin(name: &str, args: &[Value], line: usize) -> Result<Value, ScriptError
             let Value::String(s) = &args[0] else {
                 return err("parse_json takes a string", line);
             };
-            mathcloud_json::parse(s)
-                .map_err(|e| ScriptError { message: format!("parse_json: {e}"), line })
+            mathcloud_json::parse(s).map_err(|e| ScriptError {
+                message: format!("parse_json: {e}"),
+                line,
+            })
         }
         "to_json" => {
             arity(1)?;
@@ -896,12 +966,19 @@ mod tests {
     use mathcloud_json::json;
 
     fn run(code: &str, inputs: &[(&str, Value)]) -> Result<Object, ScriptError> {
-        let obj: Object = inputs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        let obj: Object = inputs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
         run_script(code, &obj)
     }
 
     fn out(code: &str, inputs: &[(&str, Value)], key: &str) -> Value {
-        run(code, inputs).unwrap().get(key).cloned().unwrap_or(Value::Null)
+        run(code, inputs)
+            .unwrap()
+            .get(key)
+            .cloned()
+            .unwrap_or(Value::Null)
     }
 
     #[test]
@@ -918,8 +995,14 @@ mod tests {
     fn string_operations() {
         assert_eq!(out(r#"r = "a" + "b" + 1;"#, &[], "r"), json!("ab1"));
         assert_eq!(out(r#"r = len("héllo");"#, &[], "r"), json!(5));
-        assert_eq!(out(r#"r = join(split("a,b,c", ","), ";");"#, &[], "r"), json!("a;b;c"));
-        assert_eq!(out(r#"r = contains("workflow", "flow");"#, &[], "r"), json!(true));
+        assert_eq!(
+            out(r#"r = join(split("a,b,c", ","), ";");"#, &[], "r"),
+            json!("a;b;c")
+        );
+        assert_eq!(
+            out(r#"r = contains("workflow", "flow");"#, &[], "r"),
+            json!(true)
+        );
     }
 
     #[test]
@@ -937,15 +1020,28 @@ mod tests {
         assert_eq!(out(r#"r = {"a": 1}["a"];"#, &[], "r"), json!(1));
         assert_eq!(out("r = len(range(0, 5));", &[], "r"), json!(5));
         assert_eq!(out("r = [1] + [2, 3];", &[], "r"), json!([1, 2, 3]));
-        assert_eq!(out(r#"r = keys({x: 1, y: 2});"#, &[], "r"), json!(["x", "y"]));
-        assert_eq!(out(r#"r = obj.missing;"#, &[("obj", json!({"a": 1}))], "r"), Value::Null);
+        assert_eq!(
+            out(r#"r = keys({x: 1, y: 2});"#, &[], "r"),
+            json!(["x", "y"])
+        );
+        assert_eq!(
+            out(r#"r = obj.missing;"#, &[("obj", json!({"a": 1}))], "r"),
+            Value::Null
+        );
     }
 
     #[test]
     fn logic_and_comparison() {
         assert_eq!(out("r = 1 < 2 && 2 <= 2;", &[], "r"), json!(true));
         assert_eq!(out(r#"r = "abc" < "abd";"#, &[], "r"), json!(true));
-        assert_eq!(out("r = if(x > 10, \"big\", \"small\");", &[("x", json!(11))], "r"), json!("big"));
+        assert_eq!(
+            out(
+                "r = if(x > 10, \"big\", \"small\");",
+                &[("x", json!(11))],
+                "r"
+            ),
+            json!("big")
+        );
         assert_eq!(out("r = !0;", &[], "r"), json!(true));
         assert_eq!(out("r = 1 == 1.0;", &[], "r"), json!(true));
         // Short-circuit: the division by zero on the right is never reached.
@@ -956,7 +1052,10 @@ mod tests {
     #[test]
     fn json_bridge() {
         assert_eq!(out(r#"r = parse_json("[1,2]")[0];"#, &[], "r"), json!(1));
-        assert_eq!(out(r#"r = to_json({"k": 1});"#, &[], "r"), json!(r#"{"k":1}"#));
+        assert_eq!(
+            out(r#"r = to_json({"k": 1});"#, &[], "r"),
+            json!(r#"{"k":1}"#)
+        );
     }
 
     #[test]
@@ -964,8 +1063,14 @@ mod tests {
         assert_eq!(out("r = min(3, 1, 2);", &[], "r"), json!(1));
         assert_eq!(out("r = max(3, 1, 2);", &[], "r"), json!(3));
         assert_eq!(out("r = abs(-4);", &[], "r"), json!(4));
-        assert_eq!(out("r = floor(2.9) + ceil(2.1) + round(2.5);", &[], "r"), json!(8));
-        assert_eq!(out(r#"r = num("42") + num(" 2.5 ");"#, &[], "r"), json!(44.5));
+        assert_eq!(
+            out("r = floor(2.9) + ceil(2.1) + round(2.5);", &[], "r"),
+            json!(8)
+        );
+        assert_eq!(
+            out(r#"r = num("42") + num(" 2.5 ");"#, &[], "r"),
+            json!(44.5)
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub struct HttpDescriptions {
 impl HttpDescriptions {
     /// Creates a fetcher with default client settings.
     pub fn new() -> Self {
-        HttpDescriptions { client: mathcloud_http::Client::new() }
+        HttpDescriptions {
+            client: mathcloud_http::Client::new(),
+        }
     }
 }
 
@@ -162,11 +164,17 @@ pub fn validate(
     let mut incoming: HashMap<(String, String), usize> = HashMap::new();
     for e in &workflow.edges {
         if workflow.find(&e.from.block).is_none() {
-            issue(&mut issues, format!("edge from unknown block {:?}", e.from.block));
+            issue(
+                &mut issues,
+                format!("edge from unknown block {:?}", e.from.block),
+            );
             continue;
         }
         if workflow.find(&e.to.block).is_none() {
-            issue(&mut issues, format!("edge to unknown block {:?}", e.to.block));
+            issue(
+                &mut issues,
+                format!("edge to unknown block {:?}", e.to.block),
+            );
             continue;
         }
         let from_schema = out_schema(&e.from.block, &e.from.port);
@@ -193,13 +201,18 @@ pub fn validate(
                 );
             }
         }
-        *incoming.entry((e.to.block.clone(), e.to.port.clone())).or_insert(0) += 1;
+        *incoming
+            .entry((e.to.block.clone(), e.to.port.clone()))
+            .or_insert(0) += 1;
     }
 
     // Single writer per input port.
     for ((block, port), count) in &incoming {
         if *count > 1 {
-            issue(&mut issues, format!("input port {block}.{port} has {count} incoming edges"));
+            issue(
+                &mut issues,
+                format!("input port {block}.{port} has {count} incoming edges"),
+            );
         }
     }
 
@@ -221,13 +234,17 @@ pub fn validate(
         };
         for port in required {
             if !incoming.contains_key(&(b.id.clone(), port.clone())) {
-                issue(&mut issues, format!("required input {}.{port} is not connected", b.id));
+                issue(
+                    &mut issues,
+                    format!("required input {}.{port} is not connected", b.id),
+                );
             }
         }
     }
 
     // Topological order (Kahn's algorithm).
-    let mut indeg: HashMap<&str, usize> = workflow.blocks.iter().map(|b| (b.id.as_str(), 0)).collect();
+    let mut indeg: HashMap<&str, usize> =
+        workflow.blocks.iter().map(|b| (b.id.as_str(), 0)).collect();
     let mut succ: HashMap<&str, Vec<&str>> = HashMap::new();
     for e in &workflow.edges {
         if workflow.find(&e.from.block).is_some() && workflow.find(&e.to.block).is_some() {
@@ -262,7 +279,11 @@ pub fn validate(
     }
 
     if issues.is_empty() {
-        Ok(ValidatedWorkflow { workflow: workflow.clone(), services, topo_order: topo })
+        Ok(ValidatedWorkflow {
+            workflow: workflow.clone(),
+            services,
+            topo_order: topo,
+        })
     } else {
         Err(issues)
     }
@@ -302,8 +323,12 @@ mod tests {
     #[test]
     fn valid_workflow_passes_and_orders_blocks() {
         let v = validate(&valid_workflow(), &source()).unwrap();
-        let pos =
-            |id: &str| v.topo_order.iter().position(|b| b == id).unwrap_or(usize::MAX);
+        let pos = |id: &str| {
+            v.topo_order
+                .iter()
+                .position(|b| b == id)
+                .unwrap_or(usize::MAX)
+        };
         assert!(pos("x") < pos("add"));
         assert!(pos("y") < pos("add"));
         assert!(pos("add") < pos("result"));
@@ -321,7 +346,10 @@ mod tests {
             .wire(("y", "value"), ("add", "b"))
             .wire(("add", "total"), ("r", "value"));
         let errs = validate(&wf, &source()).unwrap_err();
-        assert!(errs.iter().any(|e| e.0.contains("type mismatch")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.0.contains("type mismatch")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -333,7 +361,10 @@ mod tests {
             .wire(("x", "value"), ("add", "a"))
             .wire(("add", "total"), ("r", "value"));
         let errs = validate(&wf, &source()).unwrap_err();
-        assert!(errs.iter().any(|e| e.0.contains("add.b is not connected")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.0.contains("add.b is not connected")),
+            "{errs:?}"
+        );
         // The optional "comment" input is fine unwired.
         assert!(!errs.iter().any(|e| e.0.contains("comment")));
     }
@@ -373,8 +404,17 @@ mod tests {
             .wire(("ghost", "value"), ("r", "value")) // unknown source
             .wire(("x", "nope"), ("r", "value")); // bad port
         let errs = validate(&wf, &source()).unwrap_err();
-        let text = errs.iter().map(|e| e.0.clone()).collect::<Vec<_>>().join("\n");
-        for needle in ["duplicate block id", "unknown service", "edge from unknown block", "not an output port"] {
+        let text = errs
+            .iter()
+            .map(|e| e.0.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
+        for needle in [
+            "duplicate block id",
+            "unknown service",
+            "edge from unknown block",
+            "not an output port",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }
@@ -383,7 +423,10 @@ mod tests {
     fn double_wired_input_port_is_rejected() {
         let wf = valid_workflow().wire(("y", "value"), ("add", "a"));
         let errs = validate(&wf, &source()).unwrap_err();
-        assert!(errs.iter().any(|e| e.0.contains("2 incoming edges")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.0.contains("2 incoming edges")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -392,7 +435,9 @@ mod tests {
             .input(Parameter::new("x", Schema::number()))
             .output(Parameter::new("y", Schema::number()));
         let src: HashMap<String, ServiceDescription> =
-            [("http://h:1/services/f".to_string(), desc)].into_iter().collect();
+            [("http://h:1/services/f".to_string(), desc)]
+                .into_iter()
+                .collect();
         let wf = Workflow::new("w", "")
             .input("i", Schema::integer())
             .service("f", "http://h:1/services/f")

@@ -21,10 +21,10 @@ use mathcloud_everest::adapter::NativeAdapter;
 use mathcloud_everest::Everest;
 use mathcloud_http::{PathParams, Request, Response, Router};
 use mathcloud_json::value::Object;
-use mathcloud_json::Value;
 #[cfg(test)]
 use mathcloud_json::Schema;
-use parking_lot::RwLock;
+use mathcloud_json::Value;
+use mathcloud_telemetry::sync::RwLock;
 
 use crate::engine::{Engine, ServiceCaller};
 use crate::model::{BlockKind, Workflow};
@@ -51,11 +51,9 @@ impl WorkflowService {
     /// Creates a WMS deploying composite services into `everest`, resolving
     /// service descriptions and calling services over HTTP.
     pub fn new(everest: Everest) -> Self {
-        WorkflowService::with_backends(
-            everest,
-            crate::validate::HttpDescriptions::new(),
-            || Arc::new(crate::engine::HttpCaller::default()),
-        )
+        WorkflowService::with_backends(everest, crate::validate::HttpDescriptions::new(), || {
+            Arc::new(crate::engine::HttpCaller::default())
+        })
     }
 
     /// Creates a WMS with custom description and caller backends (tests,
@@ -85,8 +83,12 @@ impl WorkflowService {
     ///
     /// The validation issues, pre-rendered as strings.
     pub fn publish(&self, workflow: &Workflow) -> Result<String, Vec<String>> {
-        let validated = validate(workflow, self.descriptions.as_ref())
-            .map_err(|issues| issues.into_iter().map(|i| i.to_string()).collect::<Vec<_>>())?;
+        let validated = validate(workflow, self.descriptions.as_ref()).map_err(|issues| {
+            issues
+                .into_iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+        })?;
         let description = composite_description(&validated);
         let caller = (self.caller_factory)();
         let engine = Engine::with_caller(validated, SharedCaller(caller));
@@ -97,7 +99,9 @@ impl WorkflowService {
                 engine.run(inputs).map_err(|e| e.to_string())
             }),
         );
-        self.store.write().insert(workflow.name.clone(), workflow.clone());
+        self.store
+            .write()
+            .insert(workflow.name.clone(), workflow.clone());
         Ok(workflow.name.clone())
     }
 
@@ -159,7 +163,10 @@ impl WorkflowService {
             match wms.publish(&wf) {
                 Ok(service) => {
                     let uri = mathcloud_core::uri::service(&service);
-                    Response::json(201, &mathcloud_json::json!({ "service": service, "uri": uri }))
+                    Response::json(
+                        201,
+                        &mathcloud_json::json!({ "service": service, "uri": uri }),
+                    )
                 }
                 Err(issues) => {
                     let items: Vec<Value> = issues.into_iter().map(Value::from).collect();
@@ -193,7 +200,9 @@ impl ServiceCaller for SharedCaller {
 /// Input blocks become service inputs, Output blocks become outputs.
 fn composite_description(validated: &ValidatedWorkflow) -> ServiceDescription {
     let wf = &validated.workflow;
-    let mut desc = ServiceDescription::new(&wf.name, &wf.description).tag("workflow").tag("composite");
+    let mut desc = ServiceDescription::new(&wf.name, &wf.description)
+        .tag("workflow")
+        .tag("composite");
     for b in &wf.blocks {
         match &b.kind {
             BlockKind::Input { schema } => {
@@ -268,7 +277,10 @@ mod tests {
             .container()
             .submit_sync("inc-twice", &json!({"n": 40}), None, Duration::from_secs(5))
             .unwrap();
-        assert_eq!(rep.outputs.unwrap().get("result").unwrap().as_i64(), Some(42));
+        assert_eq!(
+            rep.outputs.unwrap().get("result").unwrap().as_i64(),
+            Some(42)
+        );
     }
 
     #[test]
@@ -322,14 +334,26 @@ mod tests {
         assert_eq!(Workflow::from_value(&doc).unwrap(), inc_twice());
 
         // Listing + delete.
-        let list = client.get(&format!("{base}/workflows")).unwrap().body_json().unwrap();
+        let list = client
+            .get(&format!("{base}/workflows"))
+            .unwrap()
+            .body_json()
+            .unwrap();
         assert_eq!(list[0].as_str(), Some("inc-twice"));
         assert_eq!(
-            client.delete(&format!("{base}/workflows/inc-twice")).unwrap().status.as_u16(),
+            client
+                .delete(&format!("{base}/workflows/inc-twice"))
+                .unwrap()
+                .status
+                .as_u16(),
             204
         );
         assert_eq!(
-            client.get(&format!("{base}/workflows/inc-twice")).unwrap().status.as_u16(),
+            client
+                .get(&format!("{base}/workflows/inc-twice"))
+                .unwrap()
+                .status
+                .as_u16(),
             404
         );
     }
@@ -346,7 +370,8 @@ mod tests {
             .service("s", "mock://missing")
             .to_value();
         let url: mathcloud_http::Url = format!("{base}/workflows/x").parse().unwrap();
-        let req = mathcloud_http::Request::new(mathcloud_http::Method::Put, "/workflows/x").with_json(&broken);
+        let req = mathcloud_http::Request::new(mathcloud_http::Method::Put, "/workflows/x")
+            .with_json(&broken);
         let resp = client.send(&url, req).unwrap();
         assert_eq!(resp.status.as_u16(), 400);
         assert!(resp.body_json().unwrap()["errors"].as_array().is_some());

@@ -73,7 +73,10 @@ pub fn fit_mixture(basis: &[Vec<f64>], y: &[f64], max_sweeps: usize) -> FitResul
     let mut w = vec![0.0f64; k];
     // residual r = y - Σ w_k B_k (starts at y since w = 0).
     let mut r: Vec<f64> = y.to_vec();
-    let norms: Vec<f64> = basis.iter().map(|b| b.iter().map(|x| x * x).sum()).collect();
+    let norms: Vec<f64> = basis
+        .iter()
+        .map(|b| b.iter().map(|x| x * x).sum())
+        .collect();
 
     let sq = |r: &[f64]| r.iter().map(|x| x * x).sum::<f64>();
     let mut prev = sq(&r);
@@ -102,7 +105,11 @@ pub fn fit_mixture(basis: &[Vec<f64>], y: &[f64], max_sweeps: usize) -> FitResul
         }
         prev = cur;
     }
-    FitResult { weights: w, residual: prev, iterations: sweeps }
+    FitResult {
+        weights: w,
+        residual: prev,
+        iterations: sweeps,
+    }
 }
 
 #[cfg(test)]
@@ -145,8 +152,14 @@ mod tests {
         // toroids, with minority tubes and spheres.
         let grid = QGrid::paper_range(96);
         let kinds = [
-            StructureKind::Toroid { major_r: 1.0, minor_r: 0.45 }, // low aspect ratio
-            StructureKind::Tube { radius: 0.5, length: 3.0 },
+            StructureKind::Toroid {
+                major_r: 1.0,
+                minor_r: 0.45,
+            }, // low aspect ratio
+            StructureKind::Tube {
+                radius: 0.5,
+                length: 3.0,
+            },
             StructureKind::Sphere { radius: 0.8 },
         ];
         let basis: Vec<Vec<f64>> = kinds
@@ -156,10 +169,18 @@ mod tests {
         let truth = [0.6, 0.25, 0.15];
         let film = synthesize_film(&basis, &truth, 0.01, 42);
         let fit = fit_mixture(&basis, &film, 500);
-        assert_eq!(fit.dominant(), Some(0), "toroids must dominate: {:?}", fit.fractions());
+        assert_eq!(
+            fit.dominant(),
+            Some(0),
+            "toroids must dominate: {:?}",
+            fit.fractions()
+        );
         let fractions = fit.fractions();
         for (got, want) in fractions.iter().zip(&truth) {
-            assert!((got - want).abs() < 0.08, "fractions {fractions:?} vs {truth:?}");
+            assert!(
+                (got - want).abs() < 0.08,
+                "fractions {fractions:?} vs {truth:?}"
+            );
         }
     }
 

@@ -90,11 +90,17 @@ impl Nanostructure {
     pub fn build(kind: StructureKind) -> Self {
         let atoms = match kind {
             StructureKind::Toroid { major_r, minor_r } => {
-                assert!(major_r > 0.0 && minor_r > 0.0, "torus radii must be positive");
+                assert!(
+                    major_r > 0.0 && minor_r > 0.0,
+                    "torus radii must be positive"
+                );
                 sample_torus(major_r, minor_r)
             }
             StructureKind::Tube { radius, length } => {
-                assert!(radius > 0.0 && length > 0.0, "tube dimensions must be positive");
+                assert!(
+                    radius > 0.0 && length > 0.0,
+                    "tube dimensions must be positive"
+                );
                 sample_tube(radius, length)
             }
             StructureKind::Sphere { radius } => {
@@ -142,7 +148,9 @@ fn sample_torus(major_r: f64, minor_r: f64) -> Vec<[f64; 3]> {
     let area = 4.0 * PI * PI * major_r * minor_r;
     let target = (area * AREAL_DENSITY).max(16.0);
     // Lattice in the two angles, proportioned to the circumferences.
-    let n_major = ((target * major_r / (major_r + minor_r)).sqrt() * 2.0).ceil().max(4.0) as usize;
+    let n_major = ((target * major_r / (major_r + minor_r)).sqrt() * 2.0)
+        .ceil()
+        .max(4.0) as usize;
     let n_minor = (target / n_major as f64).ceil().max(3.0) as usize;
     let mut atoms = Vec::with_capacity(n_major * n_minor);
     for i in 0..n_major {
@@ -159,7 +167,9 @@ fn sample_torus(major_r: f64, minor_r: f64) -> Vec<[f64; 3]> {
 fn sample_tube(radius: f64, length: f64) -> Vec<[f64; 3]> {
     let area = 2.0 * PI * radius * length;
     let target = (area * AREAL_DENSITY).max(16.0);
-    let n_around = ((2.0 * PI * radius) * (target / area).sqrt()).ceil().max(3.0) as usize;
+    let n_around = ((2.0 * PI * radius) * (target / area).sqrt())
+        .ceil()
+        .max(3.0) as usize;
     let n_along = (target / n_around as f64).ceil().max(2.0) as usize;
     let mut atoms = Vec::with_capacity(n_around * n_along);
     for i in 0..n_along {
@@ -221,12 +231,19 @@ mod tests {
             let r = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt();
             assert!((r - 1.5).abs() < 1e-9, "r={r}");
         }
-        assert!((s.diameter() - 3.0).abs() < 0.2, "diameter {}", s.diameter());
+        assert!(
+            (s.diameter() - 3.0).abs() < 0.2,
+            "diameter {}",
+            s.diameter()
+        );
     }
 
     #[test]
     fn torus_atoms_respect_both_radii() {
-        let t = Nanostructure::build(StructureKind::Toroid { major_r: 2.0, minor_r: 0.5 });
+        let t = Nanostructure::build(StructureKind::Toroid {
+            major_r: 2.0,
+            minor_r: 0.5,
+        });
         for a in t.atoms() {
             let ring = (a[0] * a[0] + a[1] * a[1]).sqrt();
             let d = ((ring - 2.0).powi(2) + a[2] * a[2]).sqrt();
@@ -239,9 +256,16 @@ mod tests {
     fn flake_is_planar_and_tube_has_length() {
         let f = Nanostructure::build(StructureKind::Flake { side: 2.0 });
         assert!(f.atoms().iter().all(|a| a[2] == 0.0));
-        let t = Nanostructure::build(StructureKind::Tube { radius: 0.5, length: 5.0 });
+        let t = Nanostructure::build(StructureKind::Tube {
+            radius: 0.5,
+            length: 5.0,
+        });
         let zmin = t.atoms().iter().map(|a| a[2]).fold(f64::INFINITY, f64::min);
-        let zmax = t.atoms().iter().map(|a| a[2]).fold(f64::NEG_INFINITY, f64::max);
+        let zmax = t
+            .atoms()
+            .iter()
+            .map(|a| a[2])
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!((zmax - zmin - 5.0).abs() < 1e-9);
     }
 
@@ -254,8 +278,14 @@ mod tests {
     #[test]
     fn labels_are_distinct() {
         let kinds = [
-            StructureKind::Toroid { major_r: 1.0, minor_r: 0.4 },
-            StructureKind::Tube { radius: 0.5, length: 3.0 },
+            StructureKind::Toroid {
+                major_r: 1.0,
+                minor_r: 0.4,
+            },
+            StructureKind::Tube {
+                radius: 0.5,
+                length: 3.0,
+            },
             StructureKind::Sphere { radius: 1.0 },
             StructureKind::Flake { side: 2.0 },
         ];

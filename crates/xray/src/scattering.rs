@@ -20,7 +20,9 @@ impl QGrid {
     pub fn uniform(q_min: f64, q_max: f64, n: usize) -> Self {
         assert!(q_min > 0.0 && q_max > q_min && n >= 2, "invalid q grid");
         let step = (q_max - q_min) / (n - 1) as f64;
-        QGrid { points: (0..n).map(|i| q_min + step * i as f64).collect() }
+        QGrid {
+            points: (0..n).map(|i| q_min + step * i as f64).collect(),
+        }
     }
 
     /// The measurement window of the paper (5…70 nm⁻¹).
@@ -128,10 +130,16 @@ mod tests {
     fn different_shapes_give_distinguishable_curves() {
         let g = QGrid::paper_range(48);
         let toroid = debye_curve(
-            &Nanostructure::build(StructureKind::Toroid { major_r: 1.0, minor_r: 0.4 }),
+            &Nanostructure::build(StructureKind::Toroid {
+                major_r: 1.0,
+                minor_r: 0.4,
+            }),
             &g,
         );
-        let sphere = debye_curve(&Nanostructure::build(StructureKind::Sphere { radius: 1.0 }), &g);
+        let sphere = debye_curve(
+            &Nanostructure::build(StructureKind::Sphere { radius: 1.0 }),
+            &g,
+        );
         let l2: f64 = toroid
             .iter()
             .zip(&sphere)
@@ -146,8 +154,14 @@ mod tests {
     #[test]
     fn curve_is_deterministic() {
         let g = QGrid::paper_range(16);
-        let a = debye_curve(&Nanostructure::build(StructureKind::Flake { side: 1.5 }), &g);
-        let b = debye_curve(&Nanostructure::build(StructureKind::Flake { side: 1.5 }), &g);
+        let a = debye_curve(
+            &Nanostructure::build(StructureKind::Flake { side: 1.5 }),
+            &g,
+        );
+        let b = debye_curve(
+            &Nanostructure::build(StructureKind::Flake { side: 1.5 }),
+            &g,
+        );
         assert_eq!(a, b);
     }
 }

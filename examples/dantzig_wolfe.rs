@@ -12,8 +12,14 @@ use mathcloud_opt::transport::MultiCommodityProblem;
 use mathcloud_opt::{solve_dantzig_wolfe, DwOptions, Model};
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
-    let pool: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    let pool: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
 
     // --- Part 1: the AMPL translator as a building block -----------------
     println!("== AMPL-subset translator ==");
@@ -33,8 +39,15 @@ fn main() {
                       moscow      dubna 3   moscow      protvino 2;
         end;
     ";
-    let lp = Model::parse(src).expect("model parses").instantiate().expect("data binds");
-    println!("instantiated LP: {} vars, {} constraints", lp.num_vars(), lp.num_constraints());
+    let lp = Model::parse(src)
+        .expect("model parses")
+        .instantiate()
+        .expect("data binds");
+    println!(
+        "instantiated LP: {} vars, {} constraints",
+        lp.num_vars(),
+        lp.num_constraints()
+    );
     let sol = mathcloud_opt::solve(&lp).optimal().expect("feasible");
     println!("optimal shipping cost: {}", sol.objective);
     for (name, value) in lp.names().iter().zip(&sol.values) {
@@ -49,7 +62,11 @@ fn main() {
     let direct = mathcloud_opt::solve(&problem.to_lp())
         .optimal()
         .expect("instance feasible");
-    println!("monolithic LP: {} vars — optimum {}", problem.to_lp().num_vars(), direct.objective);
+    println!(
+        "monolithic LP: {} vars — optimum {}",
+        problem.to_lp().num_vars(),
+        direct.objective
+    );
 
     let servers = spawn_solver_pool(pool, SolverLatency(Duration::from_millis(15)));
     let bases: Vec<String> = servers.iter().map(|s| s.base_url()).collect();

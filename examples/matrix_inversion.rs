@@ -25,7 +25,11 @@ fn main() {
     let t0 = Instant::now();
     let serial = h.inverse().expect("hilbert matrices are invertible");
     let serial_time = t0.elapsed();
-    println!("serial inversion: {:.3}s (largest entry: {} bits)", serial_time.as_secs_f64(), serial.max_entry_bits());
+    println!(
+        "serial inversion: {:.3}s (largest entry: {} bits)",
+        serial_time.as_secs_f64(),
+        serial.max_entry_bits()
+    );
 
     // Distributed: 4 containers, Schur workflow.
     let servers = spawn_matrix_farm(4, 4);
@@ -69,15 +73,28 @@ fn main() {
     let outputs = handle.wait().expect("distributed inversion succeeds");
     let parallel_time = t0.elapsed();
 
-    let distributed =
-        Matrix::from_text(outputs.get("inverse").and_then(Value::as_str).expect("inverse output"))
-            .expect("well-formed matrix");
-    assert_eq!(distributed, serial, "error-free: results are *identical*, not just close");
+    let distributed = Matrix::from_text(
+        outputs
+            .get("inverse")
+            .and_then(Value::as_str)
+            .expect("inverse output"),
+    )
+    .expect("well-formed matrix");
+    assert_eq!(
+        distributed, serial,
+        "error-free: results are *identical*, not just close"
+    );
 
-    println!("\ndistributed inversion: {:.3}s", parallel_time.as_secs_f64());
+    println!(
+        "\ndistributed inversion: {:.3}s",
+        parallel_time.as_secs_f64()
+    );
     println!(
         "speedup: {:.2}x (paper's Table 2: 1.60x at N=250 up to 2.73x at N=500)",
         serial_time.as_secs_f64() / parallel_time.as_secs_f64()
     );
-    println!("verification: H * H^-1 == I exactly: {}", (&h * &distributed) == Matrix::identity(n));
+    println!(
+        "verification: H * H^-1 == I exactly: {}",
+        (&h * &distributed) == Matrix::identity(n)
+    );
 }

@@ -50,7 +50,10 @@ fn main() {
     // 3. A native (in-process) service.
     everest.deploy(
         ServiceDescription::new("fibonacci", "n-th Fibonacci number, exactly")
-            .input(Parameter::new("n", Schema::integer().minimum(0.0).maximum(10_000.0)))
+            .input(Parameter::new(
+                "n",
+                Schema::integer().minimum(0.0).maximum(10_000.0),
+            ))
             .output(Parameter::new("value", Schema::string()))
             .tag("math"),
         NativeAdapter::from_fn(|inputs, _| {
@@ -77,10 +80,19 @@ fn main() {
     println!("web UI available at {base}/ui\n");
 
     let wc = ServiceClient::connect(&format!("{base}/services/word-count")).expect("url");
-    println!("-- word-count description --\n{}\n", wc.describe().expect("describe").to_value().to_pretty_string());
+    println!(
+        "-- word-count description --\n{}\n",
+        wc.describe()
+            .expect("describe")
+            .to_value()
+            .to_pretty_string()
+    );
 
     let rep = wc
-        .call(&json!({"text": "services made from pure configuration"}), Duration::from_secs(10))
+        .call(
+            &json!({"text": "services made from pure configuration"}),
+            Duration::from_secs(10),
+        )
         .expect("word-count job");
     println!(
         "word-count(\"services made from pure configuration\") = {}",
@@ -88,13 +100,17 @@ fn main() {
     );
 
     let fib = ServiceClient::connect(&format!("{base}/services/fibonacci")).expect("url");
-    let rep = fib.call(&json!({"n": 200}), Duration::from_secs(10)).expect("fibonacci job");
+    let rep = fib
+        .call(&json!({"n": 200}), Duration::from_secs(10))
+        .expect("fibonacci job");
     println!(
         "fibonacci(200) = {}",
         rep.outputs.expect("outputs").get("value").expect("value")
     );
 
     // Validation errors travel as structured HTTP 400s.
-    let err = fib.submit(&json!({"n": (-1)})).expect_err("negative n is rejected");
+    let err = fib
+        .submit(&json!({"n": (-1)}))
+        .expect_err("negative n is rejected");
     println!("fibonacci(-1) -> {err}");
 }

@@ -34,9 +34,15 @@ fn echo_service(name: &str, description: &str) -> (ServiceDescription, NativeAda
 fn main() {
     // --- Two containers: open and secured --------------------------------
     let open = Everest::new("open-node");
-    let (d, a) = echo_service("echo", "Echoes a message; exact matrix inversion not included");
+    let (d, a) = echo_service(
+        "echo",
+        "Echoes a message; exact matrix inversion not included",
+    );
     open.deploy(d, a);
-    let (d, a) = echo_service("matrix-echo", "Pretends to do exact matrix inversion via Schur complement");
+    let (d, a) = echo_service(
+        "matrix-echo",
+        "Pretends to do exact matrix inversion via Schur complement",
+    );
     open.deploy(d, a);
     let open_server = mathcloud_everest::serve(open, "127.0.0.1:0", None).expect("bind");
 
@@ -63,7 +69,10 @@ fn main() {
         .publish(&format!("{open_base}/services/echo"), &["demo"])
         .expect("publish echo");
     catalogue
-        .publish(&format!("{open_base}/services/matrix-echo"), &["demo", "linear-algebra"])
+        .publish(
+            &format!("{open_base}/services/matrix-echo"),
+            &["demo", "linear-algebra"],
+        )
         .expect("publish matrix-echo");
 
     for result in catalogue.search("matrix inversion", None) {
@@ -94,8 +103,11 @@ fn main() {
         .send(
             &url.parse().expect("url"),
             middleware::with_openid(
-                mathcloud_http::Request::new(mathcloud_http::Method::Post, "/services/private-echo")
-                    .with_json(&body),
+                mathcloud_http::Request::new(
+                    mathcloud_http::Method::Post,
+                    "/services/private-echo",
+                )
+                .with_json(&body),
                 &token,
             ),
         )
@@ -108,8 +120,11 @@ fn main() {
         .send(
             &url.parse().expect("url"),
             middleware::with_certificate(
-                mathcloud_http::Request::new(mathcloud_http::Method::Post, "/services/private-echo")
-                    .with_json(&body),
+                mathcloud_http::Request::new(
+                    mathcloud_http::Method::Post,
+                    "/services/private-echo",
+                )
+                .with_json(&body),
                 &bob_cert,
             ),
         )
@@ -123,8 +138,11 @@ fn main() {
         .send(
             &url.parse().expect("url"),
             middleware::with_certificate(
-                mathcloud_http::Request::new(mathcloud_http::Method::Post, "/services/private-echo")
-                    .with_json(&body),
+                mathcloud_http::Request::new(
+                    mathcloud_http::Method::Post,
+                    "/services/private-echo",
+                )
+                .with_json(&body),
                 &forged,
             ),
         )
@@ -137,8 +155,11 @@ fn main() {
         .send(
             &url.parse().expect("url"),
             middleware::with_delegation(
-                mathcloud_http::Request::new(mathcloud_http::Method::Post, "/services/private-echo")
-                    .with_json(&body),
+                mathcloud_http::Request::new(
+                    mathcloud_http::Method::Post,
+                    "/services/private-echo",
+                )
+                .with_json(&body),
                 &wms_cert,
                 &Identity::openid("https://id/alice"),
             ),

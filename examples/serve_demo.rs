@@ -1,0 +1,60 @@
+//! serve_demo: a long-running container to poke at with curl or `mcli`.
+//!
+//! Deploys two native services and keeps serving until killed, so the REST
+//! API and the observability endpoints (`/metrics`, `/health`, the web UI)
+//! can be explored interactively:
+//!
+//! ```text
+//! cargo run -p mathcloud-examples --bin serve_demo [addr]
+//! curl http://127.0.0.1:<port>/metrics
+//! curl http://127.0.0.1:<port>/health
+//! mcli call http://127.0.0.1:<port>/services/double n=21
+//! ```
+//!
+//! `addr` defaults to `127.0.0.1:0` (a free port, printed on startup).
+
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_json::{json, Schema, Value};
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+
+    let everest = Everest::with_handlers("serve-demo", 4);
+    everest.deploy(
+        ServiceDescription::new("double", "doubles an integer")
+            .input(Parameter::new("n", Schema::integer()))
+            .output(Parameter::new("d", Schema::integer()))
+            .tag("math"),
+        NativeAdapter::from_fn(|inputs, _| {
+            let n = inputs.get("n").and_then(Value::as_i64).unwrap_or(0);
+            Ok([("d".to_string(), json!(n * 2))].into_iter().collect())
+        }),
+    );
+    everest.deploy(
+        ServiceDescription::new("slow-echo", "echoes its input after ~200ms")
+            .input(Parameter::new("text", Schema::string()))
+            .output(Parameter::new("text", Schema::string()))
+            .tag("demo"),
+        NativeAdapter::from_fn(|inputs, _| {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            let text = inputs.get("text").cloned().unwrap_or(Value::Null);
+            Ok([("text".to_string(), text)].into_iter().collect())
+        }),
+    );
+
+    let server = mathcloud_everest::serve(everest, &addr, None).expect("bind");
+    let base = server.base_url();
+    println!("container listening at {base}");
+    println!("  services: {base}/services");
+    println!("  metrics:  {base}/metrics");
+    println!("  health:   {base}/health");
+    println!("  web UI:   {base}/ui");
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::park();
+    }
+}

@@ -24,9 +24,18 @@ fn main() {
 
     // Candidate structures: the classes from the paper's analysis window.
     let candidates = [
-        ("toroid R=1.0 r=0.45 (aspect 2.2)", json!({"kind": "toroid", "major_r": 1.0, "minor_r": 0.45})),
-        ("toroid R=2.0 r=0.25 (aspect 8.0)", json!({"kind": "toroid", "major_r": 2.0, "minor_r": 0.25})),
-        ("tube   r=0.5 l=3.0", json!({"kind": "tube", "radius": 0.5, "length": 3.0})),
+        (
+            "toroid R=1.0 r=0.45 (aspect 2.2)",
+            json!({"kind": "toroid", "major_r": 1.0, "minor_r": 0.45}),
+        ),
+        (
+            "toroid R=2.0 r=0.25 (aspect 8.0)",
+            json!({"kind": "toroid", "major_r": 2.0, "minor_r": 0.25}),
+        ),
+        (
+            "tube   r=0.5 l=3.0",
+            json!({"kind": "tube", "radius": 0.5, "length": 3.0}),
+        ),
         ("sphere r=0.8", json!({"kind": "sphere", "radius": 0.8})),
         ("flake  a=1.5", json!({"kind": "flake", "side": 1.5})),
     ];
@@ -48,7 +57,10 @@ fn main() {
         .into_iter()
         .map(|job| {
             let rep = job.wait(Duration::from_secs(120)).expect("scatter job");
-            rep.outputs.expect("outputs").get("curve").expect("curve")
+            rep.outputs
+                .expect("outputs")
+                .get("curve")
+                .expect("curve")
                 .as_array()
                 .expect("array")
                 .iter()
@@ -56,7 +68,11 @@ fn main() {
                 .collect()
         })
         .collect();
-    println!("all {} curves ready in {:.3}s\n", curves.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "all {} curves ready in {:.3}s\n",
+        curves.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     // The "measured" film: dominated by the low-aspect-ratio toroid.
     let truth = [0.55, 0.05, 0.20, 0.15, 0.05];
@@ -71,7 +87,10 @@ fn main() {
     );
     let film_value = Value::Array(film.iter().map(|&x| Value::from(x)).collect());
     let rep = fit
-        .call(&json!({"observed": film_value, "basis": basis_value}), Duration::from_secs(120))
+        .call(
+            &json!({"observed": film_value, "basis": basis_value}),
+            Duration::from_secs(120),
+        )
         .expect("fit job");
     let outputs = rep.outputs.expect("outputs");
     let fractions: Vec<f64> = outputs

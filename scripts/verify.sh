@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, release build, full test suite.
+# The workspace is dependency-free, so everything runs offline
+# (--offline makes cargo fail fast instead of probing the network).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> benches compile"
+cargo build -q --offline -p mathcloud-bench --benches
+
+echo "verify: OK"

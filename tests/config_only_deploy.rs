@@ -57,7 +57,10 @@ fn a_unix_tool_becomes_a_service_from_config_alone() {
 
     let sort = ServiceClient::connect(&format!("{base}/services/sort-lines")).unwrap();
     let rep = sort
-        .call(&json!({"text": "pear\napple\nmango"}), Duration::from_secs(10))
+        .call(
+            &json!({"text": "pear\napple\nmango"}),
+            Duration::from_secs(10),
+        )
         .unwrap();
     assert_eq!(
         rep.outputs.unwrap().get("sorted").unwrap().as_str(),
@@ -66,8 +69,17 @@ fn a_unix_tool_becomes_a_service_from_config_alone() {
 
     // The config-deployed checksum service agrees with our in-repo SHA-256.
     let checksum = ServiceClient::connect(&format!("{base}/services/checksum")).unwrap();
-    let rep = checksum.call(&json!({"data": "abc"}), Duration::from_secs(10)).unwrap();
-    let line = rep.outputs.unwrap().get("digest").unwrap().as_str().unwrap().to_string();
+    let rep = checksum
+        .call(&json!({"data": "abc"}), Duration::from_secs(10))
+        .unwrap();
+    let line = rep
+        .outputs
+        .unwrap()
+        .get("digest")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
     let expected = mathcloud_security::sha256::to_hex(&mathcloud_security::sha256::digest(b"abc"));
     assert!(line.starts_with(&expected), "{line} !~ {expected}");
 }
@@ -110,7 +122,12 @@ fn cluster_backed_services_reference_registered_resources() {
     load_config(&everest, &config, &registry).unwrap();
 
     let rep = everest
-        .submit_sync("stats", &json!({"values": [3, 4, 5]}), None, Duration::from_secs(10))
+        .submit_sync(
+            "stats",
+            &json!({"values": [3, 4, 5]}),
+            None,
+            Duration::from_secs(10),
+        )
         .unwrap();
     let outputs = rep.outputs.expect("done");
     assert_eq!(outputs.get("sum").unwrap().as_i64(), Some(12));

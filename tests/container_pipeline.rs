@@ -20,7 +20,9 @@ fn full_container() -> Everest {
         ServiceDescription::new("rev", "reverses text with rev(1)")
             .input(Parameter::new("text", Schema::string()))
             .output(Parameter::new("reversed", Schema::string())),
-        CommandAdapter::new("/usr/bin/rev", &[]).stdin_from("text").stdout_to("reversed"),
+        CommandAdapter::new("/usr/bin/rev", &[])
+            .stdin_from("text")
+            .stdout_to("reversed"),
     );
 
     // Native adapter.
@@ -38,7 +40,10 @@ fn full_container() -> Everest {
     let cluster = BatchSystem::builder("site").nodes("node", 2, 2).build();
     e.deploy(
         ServiceDescription::new("batch-sum", "sums on the cluster")
-            .input(Parameter::new("values", Schema::array_of(Schema::integer())))
+            .input(Parameter::new(
+                "values",
+                Schema::array_of(Schema::integer()),
+            ))
             .output(Parameter::new("total", Schema::integer())),
         ClusterAdapter::new(cluster, 1, |inputs, _| {
             let total: i64 = inputs
@@ -60,7 +65,10 @@ fn full_container() -> Everest {
     let proxy = ProxyCredential::issue("CN=container", "math-vo", Duration::from_secs(3600));
     e.deploy(
         ServiceDescription::new("grid-max", "max on the grid")
-            .input(Parameter::new("values", Schema::array_of(Schema::integer())))
+            .input(Parameter::new(
+                "values",
+                Schema::array_of(Schema::integer()),
+            ))
             .output(Parameter::new("max", Schema::integer())),
         GridAdapter::new(broker, proxy, 1, |inputs, _| {
             let max = inputs
@@ -83,7 +91,10 @@ fn all_four_adapters_serve_jobs_over_http() {
 
     let rev = ServiceClient::connect(&format!("{base}/services/rev")).unwrap();
     let rep = rev.call(&json!({"text": "everest"}), wait).unwrap();
-    assert_eq!(rep.outputs.unwrap().get("reversed").unwrap().as_str(), Some("tsereve"));
+    assert_eq!(
+        rep.outputs.unwrap().get("reversed").unwrap().as_str(),
+        Some("tsereve")
+    );
 
     let square = ServiceClient::connect(&format!("{base}/services/square")).unwrap();
     let rep = square.call(&json!({"n": 12}), wait).unwrap();
@@ -91,7 +102,10 @@ fn all_four_adapters_serve_jobs_over_http() {
 
     let batch = ServiceClient::connect(&format!("{base}/services/batch-sum")).unwrap();
     let rep = batch.call(&json!({"values": [1, 2, 3, 4]}), wait).unwrap();
-    assert_eq!(rep.outputs.unwrap().get("total").unwrap().as_i64(), Some(10));
+    assert_eq!(
+        rep.outputs.unwrap().get("total").unwrap().as_i64(),
+        Some(10)
+    );
 
     let grid = ServiceClient::connect(&format!("{base}/services/grid-max")).unwrap();
     let rep = grid.call(&json!({"values": [5, 9, 2]}), wait).unwrap();
@@ -136,5 +150,9 @@ fn handler_pool_processes_jobs_concurrently() {
     for job in jobs {
         job.wait(Duration::from_secs(10)).unwrap();
     }
-    assert!(t0.elapsed() < Duration::from_millis(650), "{:?}", t0.elapsed());
+    assert!(
+        t0.elapsed() < Duration::from_millis(650),
+        "{:?}",
+        t0.elapsed()
+    );
 }

@@ -68,10 +68,14 @@ fn client_reports_transport_failures_distinctly_from_job_failures() {
     let base = server.base_url();
     let svc = ServiceClient::connect(&format!("{base}/services/add")).unwrap();
     // Healthy call first.
-    assert!(svc.call(&json!({"a": 1, "b": 2}), Duration::from_secs(10)).is_ok());
+    assert!(svc
+        .call(&json!({"a": 1, "b": 2}), Duration::from_secs(10))
+        .is_ok());
     // Kill the server; the next call is a transport error, not JobFailed.
     drop(server);
-    let err = svc.call(&json!({"a": 1, "b": 2}), Duration::from_secs(2)).unwrap_err();
+    let err = svc
+        .call(&json!({"a": 1, "b": 2}), Duration::from_secs(2))
+        .unwrap_err();
     assert!(
         matches!(err, mathcloud_client::ServiceError::Transport(_)),
         "{err}"
@@ -97,7 +101,9 @@ fn catalogue_survives_flapping_services() {
 fn catalogue_rejects_services_that_serve_garbage() {
     // A server that speaks HTTP but not the MathCloud protocol.
     let mut router = Router::new();
-    router.get("/services/junk", |_r, _p| Response::text(200, "<html>not a description</html>"));
+    router.get("/services/junk", |_r, _p| {
+        Response::text(200, "<html>not a description</html>")
+    });
     let server = Server::bind("127.0.0.1:0", router).unwrap();
     let catalogue = Catalogue::new();
     let err = catalogue
@@ -120,7 +126,9 @@ fn half_open_connections_do_not_wedge_the_server() {
     }
     // The server still answers real clients promptly.
     let svc = ServiceClient::connect(&format!("{}/services/add", server.base_url())).unwrap();
-    let rep = svc.call(&json!({"a": 20, "b": 22}), Duration::from_secs(10)).unwrap();
+    let rep = svc
+        .call(&json!({"a": 20, "b": 22}), Duration::from_secs(10))
+        .unwrap();
     assert_eq!(rep.outputs.unwrap().get("sum").unwrap().as_i64(), Some(42));
 }
 
@@ -138,14 +146,23 @@ fn adapter_panics_do_not_take_down_the_container() {
     // The panic is contained: the job FAILS with the panic message and the
     // handler thread survives to serve later jobs.
     let rep = e.submit("boom", &json!({}), None).unwrap();
-    let done = e.wait("boom", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+    let done = e
+        .wait("boom", rep.id.as_str(), Duration::from_secs(5))
+        .unwrap();
     assert_eq!(done.state, mathcloud_core::JobState::Failed);
-    assert!(done.error.as_deref().unwrap_or("").contains("adapter panicked"), "{done:?}");
+    assert!(
+        done.error
+            .as_deref()
+            .unwrap_or("")
+            .contains("adapter panicked"),
+        "{done:?}"
+    );
     // Saturate the pool with more panicking jobs, then prove both handlers
     // still work.
     for _ in 0..4 {
         let rep = e.submit("boom", &json!({}), None).unwrap();
-        e.wait("boom", rep.id.as_str(), Duration::from_secs(5)).unwrap();
+        e.wait("boom", rep.id.as_str(), Duration::from_secs(5))
+            .unwrap();
     }
     let ok = e
         .submit_sync("fine", &json!({}), None, Duration::from_secs(5))

@@ -25,10 +25,20 @@ fn host() -> Host {
     paas.mount(&mut router);
     let server = mathcloud_http::Server::bind("127.0.0.1:0", router).unwrap();
     let base = server.base_url();
-    Host { _server: server, base, ca }
+    Host {
+        _server: server,
+        base,
+        ca,
+    }
 }
 
-fn authed(host: &Host, cn: &str, method: Method, path: &str, body: Option<&Value>) -> mathcloud_http::Response {
+fn authed(
+    host: &Host,
+    cn: &str,
+    method: Method,
+    path: &str,
+    body: Option<&Value>,
+) -> mathcloud_http::Response {
     let cert = host.ca.issue(cn, 600);
     let mut req = Request::new(method, path);
     if let Some(b) = body {
@@ -60,10 +70,19 @@ fn full_tenant_lifecycle_over_http() {
 
     // Register requires credentials.
     let resp = Client::new()
-        .post_json(&format!("{}/paas/register", h.base), &json!({"user": "alice"}))
+        .post_json(
+            &format!("{}/paas/register", h.base),
+            &json!({"user": "alice"}),
+        )
         .unwrap();
     assert_eq!(resp.status.as_u16(), 401);
-    let resp = authed(&h, "CN=alice", Method::Post, "/paas/register", Some(&json!({"user": "alice"})));
+    let resp = authed(
+        &h,
+        "CN=alice",
+        Method::Post,
+        "/paas/register",
+        Some(&json!({"user": "alice"})),
+    );
     assert_eq!(resp.status.as_u16(), 201);
 
     // Upload a service configuration.
@@ -75,21 +94,34 @@ fn full_tenant_lifecycle_over_http() {
         Some(&word_count_config()),
     );
     assert_eq!(resp.status.as_u16(), 201, "{}", resp.body_string());
-    let uri = resp.body_json().unwrap()["uri"].as_str().unwrap().to_string();
+    let uri = resp.body_json().unwrap()["uri"]
+        .as_str()
+        .unwrap()
+        .to_string();
     assert_eq!(uri, "/services/alice--wc");
 
     // The owner can invoke the hosted service through the ordinary API.
     let cert = h.ca.issue("CN=alice", 600);
     let svc_url = format!("{}{}", h.base, uri);
-    let alice_client = ServiceClient::connect(&svc_url).unwrap().with_certificate(&cert);
+    let alice_client = ServiceClient::connect(&svc_url)
+        .unwrap()
+        .with_certificate(&cert);
     let rep = alice_client
-        .call(&json!({"text": "hosted platform as a service"}), Duration::from_secs(10))
+        .call(
+            &json!({"text": "hosted platform as a service"}),
+            Duration::from_secs(10),
+        )
         .unwrap();
-    assert_eq!(rep.outputs.unwrap().get("count").unwrap().as_str(), Some("5"));
+    assert_eq!(
+        rep.outputs.unwrap().get("count").unwrap().as_str(),
+        Some("5")
+    );
 
     // A stranger cannot (403 by policy).
     let bob_cert = h.ca.issue("CN=bob", 600);
-    let bob_client = ServiceClient::connect(&svc_url).unwrap().with_certificate(&bob_cert);
+    let bob_client = ServiceClient::connect(&svc_url)
+        .unwrap()
+        .with_certificate(&bob_cert);
     let err = bob_client.submit(&json!({"text": "x"})).unwrap_err();
     assert!(err.to_string().contains("403"), "{err}");
 
@@ -102,13 +134,24 @@ fn full_tenant_lifecycle_over_http() {
         Some(&json!({"with": ["cert:CN=bob"]})),
     );
     assert_eq!(resp.status.as_u16(), 204);
-    let rep = bob_client.call(&json!({"text": "now shared"}), Duration::from_secs(10)).unwrap();
-    assert_eq!(rep.outputs.unwrap().get("count").unwrap().as_str(), Some("2"));
+    let rep = bob_client
+        .call(&json!({"text": "now shared"}), Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(
+        rep.outputs.unwrap().get("count").unwrap().as_str(),
+        Some("2")
+    );
 
     // Listing and deletion.
     let resp = authed(&h, "CN=alice", Method::Get, "/paas/alice/services", None);
     assert_eq!(resp.body_json().unwrap()[0].as_str(), Some("wc"));
-    let resp = authed(&h, "CN=alice", Method::Delete, "/paas/alice/services/wc", None);
+    let resp = authed(
+        &h,
+        "CN=alice",
+        Method::Delete,
+        "/paas/alice/services/wc",
+        None,
+    );
     assert_eq!(resp.status.as_u16(), 204);
     assert_eq!(Client::new().get(&svc_url).unwrap().status.as_u16(), 404);
 }
@@ -117,35 +160,85 @@ fn full_tenant_lifecycle_over_http() {
 fn tenants_cannot_manage_each_other() {
     let h = host();
     assert_eq!(
-        authed(&h, "CN=alice", Method::Post, "/paas/register", Some(&json!({"user": "alice"}))).status.as_u16(),
+        authed(
+            &h,
+            "CN=alice",
+            Method::Post,
+            "/paas/register",
+            Some(&json!({"user": "alice"}))
+        )
+        .status
+        .as_u16(),
         201
     );
     assert_eq!(
-        authed(&h, "CN=bob", Method::Post, "/paas/register", Some(&json!({"user": "bob"}))).status.as_u16(),
+        authed(
+            &h,
+            "CN=bob",
+            Method::Post,
+            "/paas/register",
+            Some(&json!({"user": "bob"}))
+        )
+        .status
+        .as_u16(),
         201
     );
     // Bob cannot register as alice again…
     assert_eq!(
-        authed(&h, "CN=bob", Method::Post, "/paas/register", Some(&json!({"user": "alice"}))).status.as_u16(),
+        authed(
+            &h,
+            "CN=bob",
+            Method::Post,
+            "/paas/register",
+            Some(&json!({"user": "alice"}))
+        )
+        .status
+        .as_u16(),
         409
     );
     // …nor deploy into alice's namespace…
     assert_eq!(
-        authed(&h, "CN=bob", Method::Put, "/paas/alice/services/evil", Some(&word_count_config()))
-            .status
-            .as_u16(),
+        authed(
+            &h,
+            "CN=bob",
+            Method::Put,
+            "/paas/alice/services/evil",
+            Some(&word_count_config())
+        )
+        .status
+        .as_u16(),
         403
     );
     // …nor delete or share her services.
-    authed(&h, "CN=alice", Method::Put, "/paas/alice/services/wc", Some(&word_count_config()));
+    authed(
+        &h,
+        "CN=alice",
+        Method::Put,
+        "/paas/alice/services/wc",
+        Some(&word_count_config()),
+    );
     assert_eq!(
-        authed(&h, "CN=bob", Method::Delete, "/paas/alice/services/wc", None).status.as_u16(),
+        authed(
+            &h,
+            "CN=bob",
+            Method::Delete,
+            "/paas/alice/services/wc",
+            None
+        )
+        .status
+        .as_u16(),
         403
     );
     assert_eq!(
-        authed(&h, "CN=bob", Method::Post, "/paas/alice/services/wc/share", Some(&json!({"with": ["cert:CN=bob"]})))
-            .status
-            .as_u16(),
+        authed(
+            &h,
+            "CN=bob",
+            Method::Post,
+            "/paas/alice/services/wc/share",
+            Some(&json!({"with": ["cert:CN=bob"]}))
+        )
+        .status
+        .as_u16(),
         403
     );
 }
@@ -153,17 +246,44 @@ fn tenants_cannot_manage_each_other() {
 #[test]
 fn namespaces_keep_same_named_services_apart() {
     let h = host();
-    authed(&h, "CN=alice", Method::Post, "/paas/register", Some(&json!({"user": "alice"})));
-    authed(&h, "CN=bob", Method::Post, "/paas/register", Some(&json!({"user": "bob"})));
-    authed(&h, "CN=alice", Method::Put, "/paas/alice/services/wc", Some(&word_count_config()));
-    authed(&h, "CN=bob", Method::Put, "/paas/bob/services/wc", Some(&word_count_config()));
+    authed(
+        &h,
+        "CN=alice",
+        Method::Post,
+        "/paas/register",
+        Some(&json!({"user": "alice"})),
+    );
+    authed(
+        &h,
+        "CN=bob",
+        Method::Post,
+        "/paas/register",
+        Some(&json!({"user": "bob"})),
+    );
+    authed(
+        &h,
+        "CN=alice",
+        Method::Put,
+        "/paas/alice/services/wc",
+        Some(&word_count_config()),
+    );
+    authed(
+        &h,
+        "CN=bob",
+        Method::Put,
+        "/paas/bob/services/wc",
+        Some(&word_count_config()),
+    );
 
     // Both exist, independently access-controlled.
     let alice_cert = h.ca.issue("CN=alice", 600);
     let alice_on_bobs = ServiceClient::connect(&format!("{}/services/bob--wc", h.base))
         .unwrap()
         .with_certificate(&alice_cert);
-    assert!(alice_on_bobs.submit(&json!({"text": "x"})).is_err(), "alice blocked on bob's");
+    assert!(
+        alice_on_bobs.submit(&json!({"text": "x"})).is_err(),
+        "alice blocked on bob's"
+    );
     let alice_on_own = ServiceClient::connect(&format!("{}/services/alice--wc", h.base))
         .unwrap()
         .with_certificate(&alice_cert);

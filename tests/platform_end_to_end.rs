@@ -26,7 +26,10 @@ fn discover_compose_execute() {
     let catalogue = Catalogue::new();
     for base in &bases {
         catalogue
-            .publish(&format!("{base}/services/mat-invert"), &["linear-algebra", "exact"])
+            .publish(
+                &format!("{base}/services/mat-invert"),
+                &["linear-algebra", "exact"],
+            )
             .expect("publish");
     }
     let hits = catalogue.search("error-free inversion", None);
@@ -39,8 +42,11 @@ fn discover_compose_execute() {
         Arc::new(HttpCaller::new(Duration::from_millis(10)))
     });
     let workflow = schur_workflow(&bases);
-    let service_name = wms.publish(&workflow).expect("workflow validates and deploys");
-    let wms_server = mathcloud_everest::serve(wms.container().clone(), "127.0.0.1:0", None).unwrap();
+    let service_name = wms
+        .publish(&workflow)
+        .expect("workflow validates and deploys");
+    let wms_server =
+        mathcloud_everest::serve(wms.container().clone(), "127.0.0.1:0", None).unwrap();
 
     // 4. Execution through the composite service's *ordinary* REST API.
     let n = 10;
@@ -63,7 +69,8 @@ fn discover_compose_execute() {
         )
         .expect("distributed inversion job");
     let outputs = rep.outputs.expect("DONE outputs");
-    let inverse = Matrix::from_text(outputs.get("inverse").and_then(Value::as_str).unwrap()).unwrap();
+    let inverse =
+        Matrix::from_text(outputs.get("inverse").and_then(Value::as_str).unwrap()).unwrap();
 
     // 5. Error-free: the product is *exactly* the identity.
     assert_eq!(&h * &inverse, Matrix::identity(n));
@@ -74,7 +81,10 @@ fn discover_compose_execute() {
     let (up, down) = catalogue.ping_all();
     assert_eq!(up, 0);
     assert_eq!(down, 4);
-    assert!(catalogue.search("inversion", None).iter().all(|r| !r.entry.available));
+    assert!(catalogue
+        .search("inversion", None)
+        .iter()
+        .all(|r| !r.entry.available));
 }
 
 #[test]
@@ -84,7 +94,8 @@ fn catalogue_rest_interface_round_trip() {
 
     let catalogue = Catalogue::new();
     let cat_server =
-        mathcloud_http::Server::bind("127.0.0.1:0", mathcloud_catalogue::router(catalogue)).unwrap();
+        mathcloud_http::Server::bind("127.0.0.1:0", mathcloud_catalogue::router(catalogue))
+            .unwrap();
     let cat_base = cat_server.base_url();
     let client = mathcloud_http::Client::new();
 
@@ -125,7 +136,11 @@ fn catalogue_rest_interface_round_trip() {
 
     // Ping over HTTP.
     let ping = client
-        .post_bytes(&format!("{cat_base}/ping"), "application/json", b"{}".to_vec())
+        .post_bytes(
+            &format!("{cat_base}/ping"),
+            "application/json",
+            b"{}".to_vec(),
+        )
         .unwrap()
         .body_json()
         .unwrap();
@@ -158,7 +173,10 @@ fn wms_rest_upload_executes_via_composite_service() {
         )
         .unwrap();
     assert_eq!(resp.status.as_u16(), 201, "{}", resp.body_string());
-    let service_uri = resp.body_json().unwrap()["uri"].as_str().unwrap().to_string();
+    let service_uri = resp.body_json().unwrap()["uri"]
+        .as_str()
+        .unwrap()
+        .to_string();
 
     // The same server now exposes the composite service; invert through it.
     let n = 8;
@@ -175,7 +193,11 @@ fn wms_rest_upload_executes_via_composite_service() {
     // Poll until terminal.
     let deadline = std::time::Instant::now() + Duration::from_secs(60);
     let final_rep = loop {
-        let rep = client.get(&format!("{base}{job_uri}")).unwrap().body_json().unwrap();
+        let rep = client
+            .get(&format!("{base}{job_uri}"))
+            .unwrap()
+            .body_json()
+            .unwrap();
         match rep["state"].as_str() {
             Some("DONE") => break rep,
             Some("FAILED") => panic!("workflow failed: {rep}"),

@@ -41,9 +41,11 @@ fn conformance_server() -> (mathcloud_http::Server, String) {
             .output(Parameter::new("file", Schema::string().format("mc-file"))),
         NativeAdapter::from_fn(|inputs, ctx| {
             let data = inputs.get("data").and_then(Value::as_str).unwrap_or("");
-            Ok([("file".to_string(), ctx.store_file(data.as_bytes().to_vec()))]
-                .into_iter()
-                .collect())
+            Ok(
+                [("file".to_string(), ctx.store_file(data.as_bytes().to_vec()))]
+                    .into_iter()
+                    .collect(),
+            )
         }),
     );
     let server = mathcloud_everest::serve(e, "127.0.0.1:0", None).unwrap();
@@ -58,8 +60,14 @@ fn service_resource_get_returns_description() {
     assert_eq!(resp.status.as_u16(), 200);
     let doc = resp.body_json().unwrap();
     assert_eq!(doc["name"].as_str(), Some("inc"));
-    assert!(doc["inputs"]["x"].is_object(), "parameters described with JSON Schema");
-    assert_eq!(doc["protocol"].as_str(), Some(mathcloud_core::PROTOCOL_VERSION));
+    assert!(
+        doc["inputs"]["x"].is_object(),
+        "parameters described with JSON Schema"
+    );
+    assert_eq!(
+        doc["protocol"].as_str(),
+        Some(mathcloud_core::PROTOCOL_VERSION)
+    );
 }
 
 #[test]
@@ -105,10 +113,24 @@ fn asynchronous_mode_reports_progress_states() {
     let state = rep["state"].as_str().unwrap();
     assert!(state == "WAITING" || state == "RUNNING", "{state}");
     let uri = rep["uri"].as_str().unwrap();
-    let polled = Client::new().get(&format!("{base}{uri}")).unwrap().body_json().unwrap();
-    assert!(matches!(polled["state"].as_str(), Some("WAITING") | Some("RUNNING")));
+    let polled = Client::new()
+        .get(&format!("{base}{uri}"))
+        .unwrap()
+        .body_json()
+        .unwrap();
+    assert!(matches!(
+        polled["state"].as_str(),
+        Some("WAITING") | Some("RUNNING")
+    ));
     // Cleanup: cancel.
-    assert_eq!(Client::new().delete(&format!("{base}{uri}")).unwrap().status.as_u16(), 204);
+    assert_eq!(
+        Client::new()
+            .delete(&format!("{base}{uri}"))
+            .unwrap()
+            .status
+            .as_u16(),
+        204
+    );
 }
 
 #[test]
@@ -122,13 +144,34 @@ fn job_resource_delete_cancels_then_deletes() {
         .unwrap();
     let uri = rep["uri"].as_str().unwrap().to_string();
     // First DELETE cancels the running job.
-    assert_eq!(client.delete(&format!("{base}{uri}")).unwrap().status.as_u16(), 204);
-    let polled = client.get(&format!("{base}{uri}")).unwrap().body_json().unwrap();
+    assert_eq!(
+        client
+            .delete(&format!("{base}{uri}"))
+            .unwrap()
+            .status
+            .as_u16(),
+        204
+    );
+    let polled = client
+        .get(&format!("{base}{uri}"))
+        .unwrap()
+        .body_json()
+        .unwrap();
     assert_eq!(polled["state"].as_str(), Some("CANCELLED"));
     // Second DELETE destroys the job resource…
-    assert_eq!(client.delete(&format!("{base}{uri}")).unwrap().status.as_u16(), 204);
+    assert_eq!(
+        client
+            .delete(&format!("{base}{uri}"))
+            .unwrap()
+            .status
+            .as_u16(),
+        204
+    );
     // …after which it is gone.
-    assert_eq!(client.get(&format!("{base}{uri}")).unwrap().status.as_u16(), 404);
+    assert_eq!(
+        client.get(&format!("{base}{uri}")).unwrap().status.as_u16(),
+        404
+    );
 }
 
 #[test]
@@ -136,7 +179,10 @@ fn file_resources_are_subordinate_to_jobs() {
     let (_s, base) = conformance_server();
     let client = Client::new();
     let rep = client
-        .post_json(&format!("{base}/services/filer"), &json!({"data": "payload bytes"}))
+        .post_json(
+            &format!("{base}/services/filer"),
+            &json!({"data": "payload bytes"}),
+        )
         .unwrap()
         .body_json()
         .unwrap();
@@ -151,7 +197,14 @@ fn file_resources_are_subordinate_to_jobs() {
 
     // DELETE on the (terminal) job destroys subordinate file resources too.
     let job_uri = rep["uri"].as_str().unwrap();
-    assert_eq!(client.delete(&format!("{base}{job_uri}")).unwrap().status.as_u16(), 204);
+    assert_eq!(
+        client
+            .delete(&format!("{base}{job_uri}"))
+            .unwrap()
+            .status
+            .as_u16(),
+        204
+    );
     assert_eq!(client.get(&file_url).unwrap().status.as_u16(), 404);
 }
 
@@ -162,7 +215,10 @@ fn remote_file_refs_are_staged_as_inputs() {
     let (_s1, base1) = conformance_server();
     let client = Client::new();
     let rep = client
-        .post_json(&format!("{base1}/services/filer"), &json!({"data": "matrix rows"}))
+        .post_json(
+            &format!("{base1}/services/filer"),
+            &json!({"data": "matrix rows"}),
+        )
         .unwrap()
         .body_json()
         .unwrap();
@@ -176,17 +232,25 @@ fn remote_file_refs_are_staged_as_inputs() {
             .output(Parameter::new("length", Schema::integer())),
         NativeAdapter::from_fn(|inputs, ctx| {
             let data = ctx.read_data(inputs.get("source").unwrap())?;
-            Ok([("length".to_string(), json!(data.len()))].into_iter().collect())
+            Ok([("length".to_string(), json!(data.len()))]
+                .into_iter()
+                .collect())
         }),
     );
     let s2 = mathcloud_everest::serve(e, "127.0.0.1:0", None).unwrap();
     let rep = client
-        .post_json(&format!("{}/services/consume", s2.base_url()), &json!({"source": file_url}))
+        .post_json(
+            &format!("{}/services/consume", s2.base_url()),
+            &json!({"source": file_url}),
+        )
         .unwrap()
         .body_json()
         .unwrap();
     assert_eq!(rep["state"].as_str(), Some("DONE"));
-    assert_eq!(rep["outputs"]["length"].as_i64(), Some("matrix rows".len() as i64));
+    assert_eq!(
+        rep["outputs"]["length"].as_i64(),
+        Some("matrix rows".len() as i64)
+    );
 }
 
 #[test]
@@ -194,7 +258,14 @@ fn wrong_methods_get_405() {
     let (_s, base) = conformance_server();
     let client = Client::new();
     // DELETE on a service resource is not part of the interface.
-    assert_eq!(client.delete(&format!("{base}/services/inc")).unwrap().status.as_u16(), 405);
+    assert_eq!(
+        client
+            .delete(&format!("{base}/services/inc"))
+            .unwrap()
+            .status
+            .as_u16(),
+        405
+    );
     // PUT on a job resource is not part of the interface.
     let rep = client
         .post_json(&format!("{base}/services/inc"), &json!({"x": 0}))
@@ -203,6 +274,8 @@ fn wrong_methods_get_405() {
         .unwrap();
     let uri = rep["uri"].as_str().unwrap();
     let url: mathcloud_http::Url = format!("{base}{uri}").parse().unwrap();
-    let resp = client.send(&url, Request::new(Method::Put, &url.target())).unwrap();
+    let resp = client
+        .send(&url, Request::new(Method::Put, &url.target()))
+        .unwrap();
     assert_eq!(resp.status.as_u16(), 405);
 }

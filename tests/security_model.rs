@@ -43,8 +43,15 @@ fn fixture() -> Fixture {
         Some(AuthConfig::new(ca.clone()).with_provider(provider.clone())),
     )
     .unwrap();
-    let url: Url = format!("{}/services/guarded", server.base_url()).parse().unwrap();
-    Fixture { _server: server, url, ca, provider }
+    let url: Url = format!("{}/services/guarded", server.base_url())
+        .parse()
+        .unwrap();
+    Fixture {
+        _server: server,
+        url,
+        ca,
+        provider,
+    }
 }
 
 fn post(f: &Fixture, req: Request) -> u16 {
@@ -59,14 +66,20 @@ fn base_request(f: &Fixture) -> Request {
 fn certificate_holder_on_allow_list_is_admitted() {
     let f = fixture();
     let cert = f.ca.issue("CN=alice", 600);
-    assert_eq!(post(&f, middleware::with_certificate(base_request(&f), &cert)), 201);
+    assert_eq!(
+        post(&f, middleware::with_certificate(base_request(&f), &cert)),
+        201
+    );
 }
 
 #[test]
 fn openid_user_on_allow_list_is_admitted() {
     let f = fixture();
     let token = f.provider.login("https://id/carol", 600);
-    assert_eq!(post(&f, middleware::with_openid(base_request(&f), &token)), 201);
+    assert_eq!(
+        post(&f, middleware::with_openid(base_request(&f), &token)),
+        201
+    );
 }
 
 #[test]
@@ -74,14 +87,20 @@ fn anonymous_and_unlisted_users_get_403() {
     let f = fixture();
     assert_eq!(post(&f, base_request(&f)), 403);
     let cert = f.ca.issue("CN=bob", 600);
-    assert_eq!(post(&f, middleware::with_certificate(base_request(&f), &cert)), 403);
+    assert_eq!(
+        post(&f, middleware::with_certificate(base_request(&f), &cert)),
+        403
+    );
 }
 
 #[test]
 fn deny_list_beats_everything() {
     let f = fixture();
     let token = f.provider.login("https://id/mallory", 600);
-    assert_eq!(post(&f, middleware::with_openid(base_request(&f), &token)), 403);
+    assert_eq!(
+        post(&f, middleware::with_openid(base_request(&f), &token)),
+        403
+    );
 }
 
 #[test]
@@ -89,21 +108,34 @@ fn forged_and_expired_credentials_get_401() {
     let f = fixture();
     let mut forged = f.ca.issue("CN=bob", 600);
     forged.subject = "CN=alice".into();
-    assert_eq!(post(&f, middleware::with_certificate(base_request(&f), &forged)), 401);
+    assert_eq!(
+        post(&f, middleware::with_certificate(base_request(&f), &forged)),
+        401
+    );
 
     let expired = f.ca.issue_with_validity("CN=alice", 0, 1);
-    assert_eq!(post(&f, middleware::with_certificate(base_request(&f), &expired)), 401);
+    assert_eq!(
+        post(&f, middleware::with_certificate(base_request(&f), &expired)),
+        401
+    );
 
     let other_provider = OpenIdProvider::new("unknown-idp");
     let token = other_provider.login("https://id/carol", 600);
-    assert_eq!(post(&f, middleware::with_openid(base_request(&f), &token)), 401);
+    assert_eq!(
+        post(&f, middleware::with_openid(base_request(&f), &token)),
+        401
+    );
 }
 
 #[test]
 fn identity_spoofing_via_headers_is_stripped() {
     let f = fixture();
     let req = base_request(&f).with_header(mathcloud_security::IDENTITY_HEADER, "cert:CN=alice");
-    assert_eq!(post(&f, req), 403, "spoofed identity header must not grant access");
+    assert_eq!(
+        post(&f, req),
+        403,
+        "spoofed identity header must not grant access"
+    );
 }
 
 #[test]

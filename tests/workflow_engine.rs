@@ -36,7 +36,9 @@ fn math_server() -> (mathcloud_http::Server, String) {
         NativeAdapter::from_fn(|inputs, _| {
             let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
             let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
-            Ok([("product".to_string(), json!(a * b))].into_iter().collect())
+            Ok([("product".to_string(), json!(a * b))]
+                .into_iter()
+                .collect())
         }),
     );
     let server = mathcloud_everest::serve(e, "127.0.0.1:0", None).unwrap();
@@ -46,27 +48,31 @@ fn math_server() -> (mathcloud_http::Server, String) {
 
 /// (a + b) * (a + b), with the two adds fanned out in parallel.
 fn squared_sum_workflow(base: &str) -> Workflow {
-    Workflow::new("squared-sum", "computes (a+b)^2 via two adds and a multiply")
-        .input("a", Schema::integer())
-        .input("b", Schema::integer())
-        .service("add1", &format!("{base}/services/add"))
-        .service("add2", &format!("{base}/services/add"))
-        .service("product", &format!("{base}/services/mul"))
-        .output("result", Schema::integer())
-        .wire(("a", "value"), ("add1", "a"))
-        .wire(("b", "value"), ("add1", "b"))
-        .wire(("a", "value"), ("add2", "a"))
-        .wire(("b", "value"), ("add2", "b"))
-        .wire(("add1", "sum"), ("product", "a"))
-        .wire(("add2", "sum"), ("product", "b"))
-        .wire(("product", "product"), ("result", "value"))
+    Workflow::new(
+        "squared-sum",
+        "computes (a+b)^2 via two adds and a multiply",
+    )
+    .input("a", Schema::integer())
+    .input("b", Schema::integer())
+    .service("add1", &format!("{base}/services/add"))
+    .service("add2", &format!("{base}/services/add"))
+    .service("product", &format!("{base}/services/mul"))
+    .output("result", Schema::integer())
+    .wire(("a", "value"), ("add1", "a"))
+    .wire(("b", "value"), ("add1", "b"))
+    .wire(("a", "value"), ("add2", "a"))
+    .wire(("b", "value"), ("add2", "b"))
+    .wire(("add1", "sum"), ("product", "a"))
+    .wire(("add2", "sum"), ("product", "b"))
+    .wire(("product", "product"), ("result", "value"))
 }
 
 #[test]
 fn ports_are_discovered_from_live_service_descriptions() {
     let (_s, base) = math_server();
     let wf = squared_sum_workflow(&base);
-    let validated = validate(&wf, &HttpDescriptions::new()).expect("descriptions fetched over http");
+    let validated =
+        validate(&wf, &HttpDescriptions::new()).expect("descriptions fetched over http");
     assert_eq!(validated.services["add1"].name(), "add");
     assert_eq!(validated.services["product"].inputs().len(), 2);
 }
@@ -96,7 +102,10 @@ fn type_mismatches_are_rejected_when_wiring() {
         .wire(("b", "value"), ("add", "b"))
         .wire(("add", "sum"), ("r", "value"));
     let errs = validate(&wf, &HttpDescriptions::new()).unwrap_err();
-    assert!(errs.iter().any(|e| e.to_string().contains("type mismatch")), "{errs:?}");
+    assert!(
+        errs.iter().any(|e| e.to_string().contains("type mismatch")),
+        "{errs:?}"
+    );
 }
 
 #[test]
@@ -109,7 +118,8 @@ fn published_workflow_is_a_service_usable_in_other_workflows() {
         Arc::new(HttpCaller::new(Duration::from_millis(10)))
     });
     wms.publish(&squared_sum_workflow(&base)).unwrap();
-    let wms_server = mathcloud_everest::serve(wms.container().clone(), "127.0.0.1:0", None).unwrap();
+    let wms_server =
+        mathcloud_everest::serve(wms.container().clone(), "127.0.0.1:0", None).unwrap();
     let wms_base = wms_server.base_url();
 
     // "dividing complex workflow into several simpler sub-workflows by
