@@ -43,6 +43,7 @@ use std::time::Duration;
 use mathcloud_core::{Parameter, ServiceDescription};
 use mathcloud_json::{Schema, Value};
 use mathcloud_security::{AccessPolicy, Identity};
+use mathcloud_telemetry::{AutoscaleConfig, AutoscaleHandle};
 
 use crate::adapter::{ClusterAdapter, CommandAdapter, ComputeFn, GridAdapter, NativeAdapter};
 use crate::container::Everest;
@@ -134,9 +135,134 @@ impl fmt::Debug for AdapterRegistry {
     }
 }
 
+/// Handler-pool sizing from the top-level `"pool"` configuration object:
+///
+/// ```json
+/// {
+///   "pool": {
+///     "adaptive": true,
+///     "min_workers": 2, "max_workers": 8,
+///     "high_watermark": 0.9, "low_watermark": 0.5,
+///     "queue_high": 2,
+///     "sustain_ticks": 2, "idle_ticks": 3,
+///     "step_up": 2, "step_down": 1,
+///     "tick_ms": 100
+///   },
+///   "services": [ … ]
+/// }
+/// ```
+///
+/// Every field is optional; missing knobs take [`AutoscaleConfig`] defaults.
+/// With `"adaptive": false` (the default) only `min_workers` matters — the
+/// pool is resized to it once and left alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolConfig {
+    /// Whether to run a [`mathcloud_telemetry::PoolController`] over the pool.
+    pub adaptive: bool,
+    /// The controller knobs (also carries `min_workers`, the fixed size used
+    /// when `adaptive` is off).
+    pub autoscale: AutoscaleConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            adaptive: false,
+            autoscale: AutoscaleConfig::default(),
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Parses the top-level `"pool"` object; absent means defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending knob.
+    pub fn from_config(config: &Value) -> Result<Self, ConfigError> {
+        let Some(doc) = config.get("pool") else {
+            return Ok(PoolConfig::default());
+        };
+        if doc.as_object().is_none() {
+            return Err(err("\"pool\" must be an object"));
+        }
+        let mut auto = AutoscaleConfig::default();
+        let usize_field = |key: &str, default: usize| -> Result<usize, ConfigError> {
+            match doc.int_field(key) {
+                None if doc.get(key).is_some() => {
+                    Err(err(format!("pool.{key} must be an integer")))
+                }
+                None => Ok(default),
+                Some(v) if v < 0 => Err(err(format!("pool.{key} must be non-negative"))),
+                Some(v) => Ok(v as usize),
+            }
+        };
+        let f64_field = |key: &str, default: f64| -> Result<f64, ConfigError> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| err(format!("pool.{key} must be a number"))),
+            }
+        };
+        auto.min_workers = usize_field("min_workers", auto.min_workers)?;
+        // The *default* max follows an explicit min upward; an explicit max
+        // below min is a contradiction and fails validation below.
+        auto.max_workers = usize_field("max_workers", auto.max_workers.max(auto.min_workers))?;
+        auto.high_watermark = f64_field("high_watermark", auto.high_watermark)?;
+        auto.low_watermark = f64_field("low_watermark", auto.low_watermark)?;
+        auto.queue_high = usize_field("queue_high", auto.queue_high)?;
+        auto.sustain_ticks = usize_field("sustain_ticks", auto.sustain_ticks)?;
+        auto.idle_ticks = usize_field("idle_ticks", auto.idle_ticks)?;
+        auto.step_up = usize_field("step_up", auto.step_up)?;
+        auto.step_down = usize_field("step_down", auto.step_down)?;
+        auto.tick = Duration::from_millis(
+            usize_field("tick_ms", auto.tick.as_millis() as usize)?.max(1) as u64,
+        );
+        auto.validate().map_err(|e| err(format!("pool: {e}")))?;
+        let adaptive = match doc.get("adaptive") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| err("pool.adaptive must be a boolean"))?,
+        };
+        Ok(PoolConfig {
+            adaptive,
+            autoscale: auto,
+        })
+    }
+
+    /// Applies the sizing to a container: the pool is resized to
+    /// `min_workers`, and when `adaptive` is on (and the size range is not
+    /// degenerate) an autoscaling controller is spawned on a background
+    /// thread. The returned handle stops the controller on drop; call
+    /// [`AutoscaleHandle::detach`] for daemon semantics.
+    pub fn apply(&self, everest: &Everest) -> Option<AutoscaleHandle> {
+        everest.resize_pool(self.autoscale.min_workers);
+        if self.adaptive && self.autoscale.min_workers != self.autoscale.max_workers {
+            Some(everest.autoscaler(self.autoscale.clone()).spawn())
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything [`load_config_full`] produced from one configuration document.
+#[derive(Debug)]
+pub struct LoadedConfig {
+    /// Deployed service names, in document order.
+    pub services: Vec<String>,
+    /// The parsed pool sizing (defaults when the document had no `"pool"`).
+    pub pool: PoolConfig,
+    /// The running autoscaler, when `pool.adaptive` asked for one.
+    pub autoscaler: Option<AutoscaleHandle>,
+}
+
 /// Parses a configuration document and deploys every service it describes.
 ///
-/// Returns the deployed service names.
+/// Returns the deployed service names. Pool sizing (`"pool"`) is applied
+/// too; an adaptive controller, if configured, is left running detached —
+/// use [`load_config_full`] to own its handle.
 ///
 /// # Errors
 ///
@@ -147,6 +273,26 @@ pub fn load_config(
     config: &Value,
     registry: &AdapterRegistry,
 ) -> Result<Vec<String>, ConfigError> {
+    let loaded = load_config_full(everest, config, registry)?;
+    if let Some(handle) = loaded.autoscaler {
+        handle.detach();
+    }
+    Ok(loaded.services)
+}
+
+/// [`load_config`], but returning the parsed pool configuration and the
+/// autoscaler handle alongside the deployed service names.
+///
+/// # Errors
+///
+/// See [`load_config`]. Pool configuration is validated before any service
+/// deploys, so a bad `"pool"` object rejects the whole document up front.
+pub fn load_config_full(
+    everest: &Everest,
+    config: &Value,
+    registry: &AdapterRegistry,
+) -> Result<LoadedConfig, ConfigError> {
+    let pool = PoolConfig::from_config(config)?;
     let services = config
         .get("services")
         .and_then(Value::as_array)
@@ -166,7 +312,12 @@ pub fn load_config(
             .map_err(|e| err(format!("service {name:?}: {}", e.0)))?;
         deployed.push(name.to_string());
     }
-    Ok(deployed)
+    let autoscaler = pool.apply(everest);
+    Ok(LoadedConfig {
+        services: deployed,
+        pool,
+        autoscaler,
+    })
 }
 
 fn build_description(entry: &Value, name: &str) -> Result<ServiceDescription, ConfigError> {
@@ -451,6 +602,110 @@ mod tests {
         let bob = Caller::direct(Identity::certificate("CN=bob"));
         assert!(everest.authorize("restricted", &alice).is_ok());
         assert!(everest.authorize("restricted", &bob).is_err());
+    }
+
+    #[test]
+    fn pool_config_defaults_and_overrides() {
+        // No "pool" object: defaults, not adaptive.
+        let p = PoolConfig::from_config(&json!({"services": []})).unwrap();
+        assert!(!p.adaptive);
+        assert_eq!(p.autoscale, AutoscaleConfig::default());
+
+        let p = PoolConfig::from_config(&json!({
+            "pool": {
+                "adaptive": true,
+                "min_workers": 2,
+                "max_workers": 6,
+                "high_watermark": 0.8,
+                "low_watermark": 0.25,
+                "queue_high": 4,
+                "sustain_ticks": 3,
+                "idle_ticks": 5,
+                "step_up": 3,
+                "step_down": 2,
+                "tick_ms": 50
+            }
+        }))
+        .unwrap();
+        assert!(p.adaptive);
+        let a = &p.autoscale;
+        assert_eq!((a.min_workers, a.max_workers), (2, 6));
+        assert_eq!((a.high_watermark, a.low_watermark), (0.8, 0.25));
+        assert_eq!((a.queue_high, a.sustain_ticks, a.idle_ticks), (4, 3, 5));
+        assert_eq!((a.step_up, a.step_down), (3, 2));
+        assert_eq!(a.tick, Duration::from_millis(50));
+
+        // min above the default max drags max up with it.
+        let p = PoolConfig::from_config(&json!({"pool": {"min_workers": 12}})).unwrap();
+        assert_eq!(p.autoscale.min_workers, 12);
+        assert!(p.autoscale.max_workers >= 12);
+    }
+
+    #[test]
+    fn bad_pool_configs_are_rejected() {
+        for (config, needle) in [
+            (json!({"pool": 3}), "must be an object"),
+            (json!({"pool": {"min_workers": "two"}}), "min_workers"),
+            (json!({"pool": {"min_workers": (-1)}}), "non-negative"),
+            (json!({"pool": {"adaptive": "yes"}}), "adaptive"),
+            (json!({"pool": {"high_watermark": "hot"}}), "high_watermark"),
+            (
+                json!({"pool": {"min_workers": 4, "max_workers": 2}}),
+                "max_workers",
+            ),
+            (json!({"pool": {"min_workers": 0}}), "min_workers"),
+            (
+                json!({"pool": {"low_watermark": 0.9, "high_watermark": 0.5}}),
+                "low_watermark",
+            ),
+        ] {
+            let e = PoolConfig::from_config(&config).unwrap_err();
+            assert!(e.to_string().contains(needle), "{e} !~ {needle}");
+        }
+    }
+
+    #[test]
+    fn load_config_full_sizes_the_pool() {
+        // Fixed sizing: pool resized to min_workers, no controller.
+        let everest = Everest::with_handlers("cfg-pool", 1);
+        let config = json!({
+            "pool": {"min_workers": 3},
+            "services": [{
+                "name": "noop",
+                "description": "",
+                "adapter": {"type": "command", "program": "/bin/true", "args": []}
+            }]
+        });
+        let loaded = load_config_full(&everest, &config, &AdapterRegistry::new()).unwrap();
+        assert_eq!(loaded.services, ["noop"]);
+        assert!(!loaded.pool.adaptive);
+        assert!(loaded.autoscaler.is_none());
+        assert_eq!(everest.pool_workers(), 3);
+
+        // Adaptive sizing: the controller handle comes back live.
+        let everest = Everest::with_handlers("cfg-adaptive", 1);
+        let config = json!({
+            "pool": {"adaptive": true, "min_workers": 2, "max_workers": 4},
+            "services": []
+        });
+        let loaded = load_config_full(&everest, &config, &AdapterRegistry::new()).unwrap();
+        assert!(loaded.pool.adaptive);
+        assert_eq!(everest.pool_workers(), 2);
+        let handle = loaded
+            .autoscaler
+            .expect("adaptive pool spawns a controller");
+        handle.stop();
+
+        // Degenerate adaptive range: no controller (a no-op would just burn
+        // a thread).
+        let everest = Everest::with_handlers("cfg-degenerate", 1);
+        let config = json!({
+            "pool": {"adaptive": true, "min_workers": 2, "max_workers": 2},
+            "services": []
+        });
+        let loaded = load_config_full(&everest, &config, &AdapterRegistry::new()).unwrap();
+        assert!(loaded.autoscaler.is_none());
+        assert_eq!(everest.pool_workers(), 2);
     }
 
     #[test]

@@ -11,7 +11,9 @@ use mathcloud_json::value::Object;
 use mathcloud_json::Value;
 use mathcloud_security::{AccessPolicy, Identity};
 use mathcloud_telemetry::sync::{Condvar, Mutex, RwLock};
-use mathcloud_telemetry::{metrics, trace, Gauge, Histogram};
+use mathcloud_telemetry::{
+    metrics, trace, AutoscaleConfig, Gauge, Histogram, PoolController, PoolStatus, ScalableTarget,
+};
 
 use crate::adapter::{Adapter, AdapterContext};
 use crate::filestore::FileStore;
@@ -191,6 +193,12 @@ impl ContainerMetrics {
 /// the `mc_pool_queue_depth` gauge. Workers block on [`JobQueue::pop`]; the
 /// queue reports closed once every [`JobSender`] (i.e. every `Everest`
 /// clone) is gone, which is what lets handler threads exit.
+///
+/// The pool behind the queue is dynamically resizable: growth spawns fresh
+/// worker threads, shrinkage enqueues poison pills (the `retiring` counter)
+/// that the next idle worker consumes and exits on. A busy worker always
+/// finishes its current job before it can see a pill, so scale-down never
+/// aborts in-flight work.
 struct JobQueue {
     state: Mutex<JobQueueState>,
     ready: Condvar,
@@ -199,6 +207,20 @@ struct JobQueue {
 struct JobQueueState {
     items: VecDeque<(String, String)>,
     senders: usize,
+    /// Desired pool size. Live worker threads = `workers + retiring`: each
+    /// pending retirement is a thread that has not consumed its pill yet.
+    workers: usize,
+    /// Outstanding poison pills.
+    retiring: usize,
+}
+
+/// What a worker got back from [`JobQueue::pop`].
+enum Popped {
+    Job((String, String)),
+    /// A poison pill: this worker should exit.
+    Retire,
+    /// Every sender is gone: no more jobs can ever arrive.
+    Closed,
 }
 
 impl JobQueue {
@@ -210,15 +232,23 @@ impl JobQueue {
         self.ready.notify_one();
     }
 
-    fn pop(&self, depth: &Gauge) -> Option<(String, String)> {
+    fn pop(&self, depth: &Gauge) -> Popped {
         let mut st = self.state.lock();
         loop {
+            // Pills take priority over jobs: a resize decision already
+            // accounted for the queued work staying with the surviving
+            // workers, and consuming pills eagerly keeps the live thread
+            // count converging on the desired size.
+            if st.retiring > 0 {
+                st.retiring -= 1;
+                return Popped::Retire;
+            }
             if let Some(item) = st.items.pop_front() {
                 depth.set(st.items.len() as i64);
-                return Some(item);
+                return Popped::Job(item);
             }
             if st.senders == 0 {
-                return None;
+                return Popped::Closed;
             }
             self.ready.wait(&mut st);
         }
@@ -283,6 +313,13 @@ pub struct HealthReport {
 
 impl HealthReport {
     /// Pool saturation in `[0, 1]`: busy workers over pool size.
+    ///
+    /// A zero-worker pool reports 0.0 — `/health` serializes this value to
+    /// JSON, which has no representation for the infinity that
+    /// [`PoolStatus::saturation`] uses to mean "no workers, pending work".
+    /// The autoscaler reads `PoolStatus`, not this report, so the clamp never
+    /// masks a scale-up signal. (An `Everest` pool also can't actually reach
+    /// zero: [`Everest::resize_pool`] clamps to one worker.)
     pub fn saturation(&self) -> f64 {
         if self.pool_workers == 0 {
             0.0
@@ -341,19 +378,13 @@ impl Everest {
             state: Mutex::new(JobQueueState {
                 items: VecDeque::new(),
                 senders: 1,
+                workers: handlers,
+                retiring: 0,
             }),
             ready: Condvar::new(),
         });
         for _ in 0..handlers {
-            let shared = Arc::clone(&shared);
-            let queue = Arc::clone(&queue);
-            std::thread::spawn(move || {
-                while let Some((service, job)) = queue.pop(&shared.metrics.queue_depth) {
-                    shared.metrics.busy_workers.add(1);
-                    run_job(&shared, &service, &job);
-                    shared.metrics.busy_workers.sub(1);
-                }
-            });
+            spawn_worker(Arc::clone(&shared), Arc::clone(&queue));
         }
         Everest {
             shared,
@@ -692,6 +723,61 @@ impl Everest {
         &self.shared.metrics.label
     }
 
+    /// The desired handler-pool size. Live threads converge on this: after a
+    /// shrink, retiring workers may briefly linger until they finish their
+    /// current job and consume their poison pill.
+    pub fn pool_workers(&self) -> usize {
+        self.queue.0.state.lock().workers
+    }
+
+    /// Resizes the handler pool toward `workers` (clamped to at least one),
+    /// returning the size applied. Growth spawns worker threads immediately
+    /// (cancelling pending retirements first); shrinkage enqueues poison
+    /// pills, so retiring workers finish their current job before exiting —
+    /// in-flight jobs are never aborted by a resize.
+    pub fn resize_pool(&self, workers: usize) -> usize {
+        let workers = workers.max(1);
+        let queue = &self.queue.0;
+        let mut st = queue.state.lock();
+        let current = st.workers;
+        if workers > current {
+            // Un-retire before spawning: a cancelled pill revives a thread
+            // that already exists, which is cheaper than racing a fresh
+            // spawn against it.
+            let mut to_spawn = workers - current;
+            let cancelled = to_spawn.min(st.retiring);
+            st.retiring -= cancelled;
+            to_spawn -= cancelled;
+            st.workers = workers;
+            self.shared.metrics.pool_workers.set(workers as i64);
+            drop(st);
+            for _ in 0..to_spawn {
+                spawn_worker(Arc::clone(&self.shared), Arc::clone(queue));
+            }
+        } else if workers < current {
+            st.retiring += current - workers;
+            st.workers = workers;
+            self.shared.metrics.pool_workers.set(workers as i64);
+            drop(st);
+            // Wake every idle worker: each pill must find a consumer.
+            queue.ready.notify_all();
+        }
+        workers
+    }
+
+    /// Builds an autoscaling controller over this container's handler pool,
+    /// labelled with [`Everest::metrics_label`]. Drive it manually with
+    /// [`PoolController::tick`] or hand it to [`PoolController::spawn`]; note
+    /// the controller holds a clone of the container, keeping its job queue
+    /// open for as long as the controller lives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` is invalid ([`AutoscaleConfig::validate`]).
+    pub fn autoscaler(&self, config: AutoscaleConfig) -> PoolController {
+        PoolController::new(self.metrics_label(), Arc::new(self.clone()), config)
+    }
+
     /// A point-in-time health report: uptime, live job-state totals,
     /// cumulative stats and handler-pool load.
     pub fn health(&self) -> HealthReport {
@@ -722,6 +808,40 @@ impl Everest {
             queue_depth: m.queue_depth.get().max(0) as usize,
         }
     }
+}
+
+impl ScalableTarget for Everest {
+    fn pool_status(&self) -> PoolStatus {
+        let st = self.queue.0.state.lock();
+        let workers = st.workers;
+        let queue_depth = st.items.len();
+        drop(st);
+        PoolStatus {
+            workers,
+            busy: self.shared.metrics.busy_workers.get().max(0) as usize,
+            queue_depth,
+        }
+    }
+
+    fn scale_to(&self, workers: usize) -> usize {
+        self.resize_pool(workers)
+    }
+}
+
+/// Spawns one handler thread. The thread serves jobs until it consumes a
+/// poison pill (pool shrink) or the queue closes (every container handle
+/// dropped).
+fn spawn_worker(shared: Arc<Shared>, queue: Arc<JobQueue>) {
+    std::thread::spawn(move || loop {
+        match queue.pop(&shared.metrics.queue_depth) {
+            Popped::Job((service, job)) => {
+                shared.metrics.busy_workers.add(1);
+                run_job(&shared, &service, &job);
+                shared.metrics.busy_workers.sub(1);
+            }
+            Popped::Retire | Popped::Closed => break,
+        }
+    });
 }
 
 fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
@@ -966,6 +1086,161 @@ mod tests {
         assert!(e.undeploy("sum"));
         assert!(!e.undeploy("sum"));
         assert!(e.list_services().is_empty());
+    }
+
+    /// A service whose jobs park until the test releases them, for pinning
+    /// workers at a known busy count.
+    fn gated_container(workers: usize) -> (Everest, Arc<AtomicBool>) {
+        let gate = Arc::new(AtomicBool::new(false));
+        let e = Everest::with_handlers("t-gated", workers);
+        let g = Arc::clone(&gate);
+        e.deploy(
+            ServiceDescription::new("hold", "waits for the gate"),
+            NativeAdapter::from_fn(move |_, ctx| {
+                while !g.load(Ordering::Relaxed) && !ctx.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Ok(Object::new())
+            }),
+        );
+        (e, gate)
+    }
+
+    #[test]
+    fn resize_pool_grows_and_shrinks_desired_size() {
+        let e = Everest::with_handlers("t-resize", 2);
+        assert_eq!(e.pool_workers(), 2);
+        assert_eq!(e.resize_pool(5), 5);
+        assert_eq!(e.pool_workers(), 5);
+        assert_eq!(e.health().pool_workers, 5, "gauge tracks the resize");
+        assert_eq!(e.resize_pool(1), 1);
+        assert_eq!(e.pool_workers(), 1);
+        // Clamped: a pool never drops to zero workers.
+        assert_eq!(e.resize_pool(0), 1);
+        assert_eq!(e.pool_workers(), 1);
+    }
+
+    #[test]
+    fn grown_pool_actually_runs_jobs_concurrently() {
+        let e = Everest::with_handlers("t-grow", 1);
+        e.deploy(
+            ServiceDescription::new("sleep", "naps").input(Parameter::new("ms", Schema::integer())),
+            NativeAdapter::from_fn(|inputs, _| {
+                let ms = inputs.get("ms").and_then(Value::as_i64).unwrap_or(0) as u64;
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(Object::new())
+            }),
+        );
+        e.resize_pool(4);
+        let t0 = Instant::now();
+        let reps: Vec<_> = (0..4)
+            .map(|_| e.submit("sleep", &json!({"ms": 100}), None).unwrap())
+            .collect();
+        for rep in &reps {
+            assert_eq!(
+                e.wait("sleep", rep.id.as_str(), Duration::from_secs(5))
+                    .unwrap()
+                    .state,
+                JobState::Done
+            );
+        }
+        // 4 × 100 ms on the grown 4-worker pool: ~100 ms, not ~400 as the
+        // original single worker would take.
+        assert!(
+            t0.elapsed() < Duration::from_millis(350),
+            "{:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn shrink_lets_running_jobs_finish() {
+        let (e, gate) = gated_container(3);
+        let reps: Vec<_> = (0..3)
+            .map(|_| e.submit("hold", &json!({}), None).unwrap())
+            .collect();
+        // Wait until all three workers picked up their job.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.health().busy_workers < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(e.health().busy_workers, 3);
+        // Shrink under the running jobs: pills queue behind the in-flight
+        // work, nothing is aborted.
+        assert_eq!(e.resize_pool(1), 1);
+        gate.store(true, Ordering::Relaxed);
+        for rep in &reps {
+            let done = e
+                .wait("hold", rep.id.as_str(), Duration::from_secs(5))
+                .expect("job survived the shrink");
+            assert_eq!(done.state, JobState::Done);
+        }
+        assert_eq!(e.pool_workers(), 1);
+        // The surviving worker still serves new jobs.
+        let rep = e.submit("hold", &json!({}), None).unwrap();
+        assert_eq!(
+            e.wait("hold", rep.id.as_str(), Duration::from_secs(5))
+                .unwrap()
+                .state,
+            JobState::Done
+        );
+    }
+
+    #[test]
+    fn pool_status_reports_live_load() {
+        let (e, gate) = gated_container(2);
+        let idle = e.pool_status();
+        assert_eq!(idle.workers, 2);
+        assert_eq!(idle.busy, 0);
+        assert_eq!(idle.queue_depth, 0);
+        assert_eq!(idle.saturation(), 0.0);
+
+        for _ in 0..3 {
+            e.submit("hold", &json!({}), None).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.pool_status().busy < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let loaded = e.pool_status();
+        assert_eq!(loaded.busy, 2, "both workers pinned");
+        assert_eq!(loaded.queue_depth, 1, "third job queued");
+        assert_eq!(loaded.saturation(), 1.0);
+        gate.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn health_saturation_is_finite_for_zero_worker_pools() {
+        // /health serializes saturation to JSON, so the zero-worker edge
+        // clamps to 0.0 instead of the infinity PoolStatus reports.
+        let report = HealthReport {
+            uptime_seconds: 0.0,
+            waiting: 2,
+            running: 0,
+            done: 0,
+            failed: 0,
+            cancelled: 0,
+            stats: ContainerStats::default(),
+            pool_workers: 0,
+            busy_workers: 0,
+            queue_depth: 2,
+        };
+        assert_eq!(report.saturation(), 0.0);
+        assert!(report.saturation().is_finite());
+        // The autoscaler's view of the same state is "infinitely hot".
+        let status = PoolStatus {
+            workers: 0,
+            busy: 0,
+            queue_depth: 2,
+        };
+        assert!(status.saturation().is_infinite());
+        // And the normal case divides through.
+        let half = HealthReport {
+            pool_workers: 4,
+            busy_workers: 2,
+            ..report
+        };
+        assert_eq!(half.saturation(), 0.5);
     }
 
     #[test]

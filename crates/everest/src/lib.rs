@@ -51,8 +51,10 @@ pub mod rest;
 pub mod webui;
 
 pub use adapter::{Adapter, AdapterContext};
-pub use config::{load_config, AdapterRegistry, ConfigError};
-pub use container::{Caller, Everest, SubmitRejection};
+pub use config::{
+    load_config, load_config_full, AdapterRegistry, ConfigError, LoadedConfig, PoolConfig,
+};
+pub use container::{Caller, Everest, HealthReport, SubmitRejection};
 pub use filestore::FileStore;
 pub use paas::Paas;
 pub use rest::serve;

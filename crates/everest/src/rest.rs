@@ -188,6 +188,46 @@ pub fn router(everest: Everest, auth: Option<AuthConfig>) -> Router {
         )
     });
 
+    // GET /trace?request_id=…: drain the span/event trace of one request
+    // from the ring-buffer recorder as JSON. Draining (rather than copying)
+    // means each trace is handed out once — polling clients never re-report
+    // spans they already saw, and answered requests stop occupying buffer
+    // capacity.
+    r.get("/trace", move |req: &Request, _p| {
+        let Some(rid) = req.query("request_id") else {
+            return Response::error(400, "missing request_id query parameter");
+        };
+        if !trace::is_valid_request_id(&rid) {
+            return Response::error(400, "invalid request_id");
+        }
+        let events: Vec<Value> = trace::Recorder::global()
+            .drain_for(&rid)
+            .into_iter()
+            .map(|ev| {
+                let mut fields = Object::new();
+                for (k, v) in ev.fields {
+                    fields.insert(k, Value::from(v));
+                }
+                let mut doc = Object::new();
+                doc.insert("ts_seconds".into(), json!(ev.ts.as_secs_f64()));
+                doc.insert("level".into(), Value::from(ev.level.as_str()));
+                doc.insert("name".into(), Value::from(ev.name));
+                if let Some(d) = ev.duration {
+                    doc.insert("duration_seconds".into(), json!(d.as_secs_f64()));
+                }
+                doc.insert("fields".into(), Value::Object(fields));
+                Value::Object(doc)
+            })
+            .collect();
+        Response::json(
+            200,
+            &json!({
+                "request_id": (rid.as_str()),
+                "events": (Value::Array(events)),
+            }),
+        )
+    });
+
     webui::mount(&mut r, everest);
     r
 }

@@ -197,12 +197,25 @@ fn handle_connection(stream: TcpStream, router: &Router) -> std::io::Result<()> 
         req.headers.set(trace::REQUEST_ID_HEADER, &request_id);
         let method = req.method.as_str().to_string();
         let keep = wire::keep_alive(&req);
+        let request_bytes = req.body.len();
         let started = Instant::now();
         let (mut resp, route) = router.dispatch_labeled(&mut req);
         let labels: &[(&str, &str)] = &[("route", route), ("method", &method)];
         metrics::global()
             .histogram("mc_http_request_seconds", labels)
             .observe_duration(started.elapsed());
+        // Body sizes quantify the data-transfer share of platform overhead
+        // (§4): powers-of-4 buckets separate control-plane chatter from bulk
+        // parameter/file traffic.
+        for (direction, bytes) in [("request", request_bytes), ("response", resp.body.len())] {
+            metrics::global()
+                .histogram_with(
+                    "mc_http_body_bytes",
+                    &[("route", route), ("direction", direction)],
+                    metrics::BODY_SIZE_BUCKETS,
+                )
+                .observe(bytes as f64);
+        }
         let status = resp.status.as_u16().to_string();
         metrics::global()
             .counter(

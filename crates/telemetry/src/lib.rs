@@ -33,12 +33,17 @@
 //! assert!(text.contains("demo_requests_total{route=\"/jobs\"} 1"));
 //! ```
 
+pub mod autoscale;
 pub mod expose;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
 pub mod trace;
 
+pub use autoscale::{
+    AutoscaleConfig, AutoscaleHandle, PoolController, PoolStatus, ScalableTarget, ScaleDirection,
+    ScaleEvent,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use rng::XorShift64;
 pub use trace::{next_request_id, Event, Level, Recorder, SpanGuard, REQUEST_ID_HEADER};

@@ -23,6 +23,15 @@ pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[
     5.0, 10.0, 30.0, 60.0,
 ];
 
+/// Bucket bounds for message-size histograms (`mc_http_body_bytes`): powers
+/// of four from 1 B to 64 MiB (4^0 … 4^13), so each bucket spans a 4× size
+/// range — coarse enough to stay cheap, fine enough to separate control-plane
+/// chatter from §4-style bulk data transfer.
+pub const BODY_SIZE_BUCKETS: &[f64] = &[
+    1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0,
+    16777216.0, 67108864.0,
+];
+
 /// A monotonically increasing counter.
 #[derive(Clone)]
 pub struct Counter(Arc<AtomicU64>);
@@ -435,6 +444,41 @@ mod tests {
     #[test]
     fn default_buckets_are_ascending() {
         assert!(DEFAULT_LATENCY_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn body_size_buckets_are_powers_of_four() {
+        assert_eq!(BODY_SIZE_BUCKETS.len(), 14, "4^0 through 4^13");
+        for (i, &b) in BODY_SIZE_BUCKETS.iter().enumerate() {
+            assert_eq!(b, 4f64.powi(i as i32), "bucket {i}");
+        }
+        assert_eq!(*BODY_SIZE_BUCKETS.last().unwrap(), 67_108_864.0); // 64 MiB
+        assert!(BODY_SIZE_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn body_size_bucket_boundaries_are_inclusive_upper_bounds() {
+        let h = Histogram::with_bounds(BODY_SIZE_BUCKETS);
+        // Exactly on a bound lands in that bucket (v <= bound); one past it
+        // spills into the next. A zero-byte body lands in the first bucket.
+        h.observe(0.0); // bucket 0 (<= 1)
+        h.observe(1.0); // bucket 0 (<= 1)
+        h.observe(2.0); // bucket 1 (<= 4)
+        h.observe(4.0); // bucket 1 (<= 4)
+        h.observe(5.0); // bucket 2 (<= 16)
+        h.observe(16_384.0); // bucket 7 (<= 16384)
+        h.observe(16_385.0); // bucket 8 (<= 65536)
+        h.observe(67_108_864.0); // bucket 13, last finite
+        h.observe(67_108_865.0); // +Inf bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[1], 2);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[7], 1);
+        assert_eq!(snap.buckets[8], 1);
+        assert_eq!(snap.buckets[13], 1);
+        assert_eq!(snap.buckets[14], 1, "oversize bodies overflow to +Inf");
+        assert_eq!(snap.count, 9);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mathcloud_core::{JobRepresentation, JobState};
-use mathcloud_http::Client;
+use mathcloud_http::{Client, Method, Request};
 use mathcloud_json::value::Object;
 use mathcloud_json::Value;
 use mathcloud_telemetry::sync::{Mutex, RwLock};
@@ -72,6 +72,27 @@ pub trait ServiceCaller: Send + Sync {
     ///
     /// A human-readable reason on submission or job failure.
     fn call(&self, url: &str, inputs: &Object) -> Result<Object, String>;
+
+    /// [`ServiceCaller::call`] carrying the workflow run's originating
+    /// request id, so one `X-MC-Request-Id` correlates the whole fan-out:
+    /// workflow submission → every block → every downstream service job.
+    ///
+    /// The default discards the id and delegates to `call`, keeping existing
+    /// implementations valid; callers that can propagate it (like
+    /// [`HttpCaller`]) override this instead.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceCaller::call`].
+    fn call_traced(
+        &self,
+        url: &str,
+        inputs: &Object,
+        request_id: Option<&str>,
+    ) -> Result<Object, String> {
+        let _ = request_id;
+        self.call(url, inputs)
+    }
 }
 
 /// The production caller: POST to submit, poll the job resource until it is
@@ -100,9 +121,29 @@ impl HttpCaller {
 
 impl ServiceCaller for HttpCaller {
     fn call(&self, url: &str, inputs: &Object) -> Result<Object, String> {
+        self.call_traced(url, inputs, None)
+    }
+
+    fn call_traced(
+        &self,
+        url: &str,
+        inputs: &Object,
+        request_id: Option<&str>,
+    ) -> Result<Object, String> {
+        let base: mathcloud_http::Url = url.parse().map_err(|e| format!("{e}"))?;
+        // Attach the enclosing block's request id to the submission (and to
+        // every poll), so the downstream container records its job under the
+        // same id instead of minting a fresh one at its server edge.
+        let attach = |req: Request| match request_id {
+            Some(rid) => req.with_header(trace::REQUEST_ID_HEADER, rid),
+            None => req,
+        };
+        let submit_req = attach(
+            Request::new(Method::Post, &base.target()).with_json(&Value::Object(inputs.clone())),
+        );
         let submit = self
             .client
-            .post_json(url, &Value::Object(inputs.clone()))
+            .send(&base, submit_req)
             .map_err(|e| e.to_string())?;
         if !submit.status.is_success() {
             return Err(format!(
@@ -111,7 +152,6 @@ impl ServiceCaller for HttpCaller {
                 submit.body_string()
             ));
         }
-        let base: mathcloud_http::Url = url.parse().map_err(|e| format!("{e}"))?;
         let mut rep =
             JobRepresentation::from_value(&submit.body_json().map_err(|e| e.to_string())?)?;
         loop {
@@ -125,10 +165,14 @@ impl ServiceCaller for HttpCaller {
                 JobState::Cancelled => return Err("job was cancelled".to_string()),
                 JobState::Waiting | JobState::Running => {
                     std::thread::sleep(self.poll_interval);
-                    let poll_url = base.with_target(&rep.uri).to_string();
-                    let resp = self.client.get(&poll_url).map_err(|e| e.to_string())?;
+                    let poll_url = base.with_target(&rep.uri);
+                    let poll_req = attach(Request::new(Method::Get, &poll_url.target()));
+                    let resp = self
+                        .client
+                        .send(&poll_url, poll_req)
+                        .map_err(|e| e.to_string())?;
                     if !resp.status.is_success() {
-                        return Err(format!("{} polling {poll_url}", resp.status));
+                        return Err(format!("{} polling {}", resp.status, poll_url.target()));
                     }
                     rep = JobRepresentation::from_value(
                         &resp.body_json().map_err(|e| e.to_string())?,
@@ -218,12 +262,39 @@ impl Engine {
         self.start(inputs)?.wait()
     }
 
+    /// [`Engine::run`] tagged with the originating request id, which flows
+    /// into every block span and downstream service call.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when inputs are missing or a block fails.
+    pub fn run_traced(
+        &self,
+        inputs: &Object,
+        request_id: Option<&str>,
+    ) -> Result<Object, EngineError> {
+        self.start_traced(inputs, request_id)?.wait()
+    }
+
     /// Starts an asynchronous run.
     ///
     /// # Errors
     ///
     /// [`EngineError::MissingInput`] when a workflow input is not supplied.
     pub fn start(&self, inputs: &Object) -> Result<RunHandle, EngineError> {
+        self.start_traced(inputs, None)
+    }
+
+    /// [`Engine::start`] tagged with the originating request id.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::MissingInput`] when a workflow input is not supplied.
+    pub fn start_traced(
+        &self,
+        inputs: &Object,
+        request_id: Option<&str>,
+    ) -> Result<RunHandle, EngineError> {
         // Check inputs up front.
         for id in self.validated.workflow.input_ids() {
             if inputs.get(id).is_none() {
@@ -243,8 +314,15 @@ impl Engine {
         let caller = Arc::clone(&self.caller);
         let run_states = Arc::clone(&states);
         let inputs = inputs.clone();
+        let request_id = request_id.map(str::to_string);
         std::thread::spawn(move || {
-            let outcome = execute(&validated, &caller, &run_states, &inputs);
+            let outcome = execute(
+                &validated,
+                &caller,
+                &run_states,
+                &inputs,
+                request_id.as_deref(),
+            );
             let _ = result_tx.send(outcome);
         });
         Ok(RunHandle {
@@ -266,6 +344,7 @@ fn execute(
     caller: &Arc<dyn ServiceCaller>,
     states: &Arc<RwLock<HashMap<String, BlockRun>>>,
     request_inputs: &Object,
+    request_id: Option<&str>,
 ) -> Result<Object, EngineError> {
     let wf = &validated.workflow;
     // Port values produced so far.
@@ -286,9 +365,17 @@ fn execute(
         let caller = Arc::clone(caller);
         let values = Arc::clone(&values);
         let request_inputs = request_inputs.clone();
+        let request_id = request_id.map(str::to_string);
         let done_tx = done_tx.clone();
         std::thread::spawn(move || {
-            let result = run_block(&validated, &caller, &values, &request_inputs, &id);
+            let result = run_block(
+                &validated,
+                &caller,
+                &values,
+                &request_inputs,
+                request_id.as_deref(),
+                &id,
+            );
             let _ = done_tx.send((id, result));
         });
     };
@@ -365,6 +452,7 @@ fn run_block(
     caller: &Arc<dyn ServiceCaller>,
     values: &Arc<Mutex<PortValues>>,
     request_inputs: &Object,
+    request_id: Option<&str>,
     id: &str,
 ) -> Result<Produced, String> {
     let wf = &validated.workflow;
@@ -392,7 +480,7 @@ fn run_block(
         BlockKind::Script { .. } => "script",
         BlockKind::Service { .. } => "service",
     };
-    let mut span = trace::span("workflow.block", None);
+    let mut span = trace::span("workflow.block", request_id);
     span.field("block", id);
     span.field("kind", kind_label);
     let started = std::time::Instant::now();
@@ -436,7 +524,7 @@ fn run_block(
             let effective = description
                 .validate_inputs(&body)
                 .map_err(|e| e.to_string())?;
-            let outputs = caller.call(url, &effective)?;
+            let outputs = caller.call_traced(url, &effective, request_id)?;
             Ok(outputs.into_iter().map(|(name, v)| out(&name, v)).collect())
         }
     })();
@@ -611,6 +699,114 @@ mod tests {
             .collect();
         let err = engine(&wf).run(&inputs).unwrap_err();
         assert!(matches!(err, EngineError::BlockFailed { .. }));
+    }
+
+    #[test]
+    fn run_traced_hands_the_request_id_to_every_service_call() {
+        /// Records the request id each `call_traced` receives, then answers
+        /// like [`MockCaller`].
+        #[derive(Clone)]
+        struct RecordingCaller {
+            seen: Arc<Mutex<Vec<Option<String>>>>,
+        }
+
+        impl ServiceCaller for RecordingCaller {
+            fn call(&self, url: &str, inputs: &Object) -> Result<Object, String> {
+                self.call_traced(url, inputs, None)
+            }
+
+            fn call_traced(
+                &self,
+                url: &str,
+                inputs: &Object,
+                request_id: Option<&str>,
+            ) -> Result<Object, String> {
+                self.seen.lock().push(request_id.map(String::from));
+                MockCaller.call(url, inputs)
+            }
+        }
+
+        let wf = Workflow::new("w", "")
+            .input("a", Schema::integer())
+            .input("b", Schema::integer())
+            .service("add", "mock://sum")
+            .output("sum", Schema::integer())
+            .wire(("a", "value"), ("add", "a"))
+            .wire(("b", "value"), ("add", "b"))
+            .wire(("add", "total"), ("sum", "value"));
+        let v = validate(&wf, &descriptions()).unwrap();
+        let caller = RecordingCaller {
+            seen: Arc::new(Mutex::new(Vec::new())),
+        };
+        let engine = Engine::with_caller(v, caller.clone());
+        let inputs: Object = [("a".to_string(), json!(1)), ("b".to_string(), json!(2))]
+            .into_iter()
+            .collect();
+
+        engine.run_traced(&inputs, Some("wf-rid-7")).unwrap();
+        assert_eq!(caller.seen.lock().as_slice(), &[Some("wf-rid-7".into())]);
+
+        // Untraced runs still reach the caller, with no id attached.
+        engine.run(&inputs).unwrap();
+        assert_eq!(caller.seen.lock().last(), Some(&None));
+    }
+
+    #[test]
+    fn http_caller_attaches_request_id_to_submit_and_poll() {
+        use mathcloud_core::JobId;
+        use mathcloud_http::{PathParams, Response, Router, Server};
+
+        // A one-job service: submission returns WAITING, the first poll
+        // returns DONE. Both handlers record the request id they were given.
+        let seen: Arc<Mutex<Vec<Option<String>>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut router = Router::new();
+        let record = Arc::clone(&seen);
+        router.post("/services/sum/jobs", move |r: &Request, _p: &PathParams| {
+            record
+                .lock()
+                .push(r.headers.get(trace::REQUEST_ID_HEADER).map(String::from));
+            let rep = JobRepresentation::new(
+                JobId::new("j1"),
+                "/services/sum/jobs/j1",
+                JobState::Waiting,
+            );
+            Response::json(202, &rep.to_value())
+        });
+        let record = Arc::clone(&seen);
+        router.get(
+            "/services/sum/jobs/j1",
+            move |r: &Request, _p: &PathParams| {
+                record
+                    .lock()
+                    .push(r.headers.get(trace::REQUEST_ID_HEADER).map(String::from));
+                let mut rep = JobRepresentation::new(
+                    JobId::new("j1"),
+                    "/services/sum/jobs/j1",
+                    JobState::Done,
+                );
+                rep.outputs = Some([("total".to_string(), json!(42))].into_iter().collect());
+                Response::json(200, &rep.to_value())
+            },
+        );
+        let server = Server::bind("127.0.0.1:0", router).expect("bind");
+
+        let caller = HttpCaller::new(Duration::from_millis(2));
+        let inputs: Object = [("a".to_string(), json!(40)), ("b".to_string(), json!(2))]
+            .into_iter()
+            .collect();
+        let url = format!("{}/services/sum/jobs", server.base_url());
+        let outputs = caller
+            .call_traced(&url, &inputs, Some("rid-wf-42"))
+            .unwrap();
+        assert_eq!(outputs.get("total"), Some(&json!(42)));
+
+        // The server edge mints a fresh id when none arrives, so equality
+        // with ours proves the header crossed the wire on both requests.
+        let seen = seen.lock().clone();
+        assert_eq!(seen.len(), 2, "one submit + one poll, got {seen:?}");
+        for rid in &seen {
+            assert_eq!(rid.as_deref(), Some("rid-wf-42"));
+        }
     }
 
     #[test]

@@ -95,8 +95,12 @@ impl WorkflowService {
         let engine = Arc::new(engine);
         self.everest.deploy(
             description,
-            NativeAdapter::from_fn(move |inputs: &Object, _ctx| {
-                engine.run(inputs).map_err(|e| e.to_string())
+            NativeAdapter::from_fn(move |inputs: &Object, ctx| {
+                // The composite job's request id rides along into every
+                // constituent block and downstream service call.
+                engine
+                    .run_traced(inputs, ctx.request_id())
+                    .map_err(|e| e.to_string())
             }),
         );
         self.store
@@ -193,6 +197,15 @@ struct SharedCaller(Arc<dyn ServiceCaller>);
 impl ServiceCaller for SharedCaller {
     fn call(&self, url: &str, inputs: &Object) -> Result<Object, String> {
         self.0.call(url, inputs)
+    }
+
+    fn call_traced(
+        &self,
+        url: &str,
+        inputs: &Object,
+        request_id: Option<&str>,
+    ) -> Result<Object, String> {
+        self.0.call_traced(url, inputs, request_id)
     }
 }
 

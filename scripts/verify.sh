@@ -17,4 +17,12 @@ cargo test -q --offline
 echo "==> benches compile"
 cargo build -q --offline -p mathcloud-bench --benches
 
+# The autoscaling load test drives a mock clock with wall-clock pacing; run
+# it in release mode under a hard timeout so a livelocked pool (a worker
+# missing a poison pill, a controller that never converges) fails the build
+# instead of hanging it.
+echo "==> pool autoscaling load test (release, 300s budget)"
+timeout 300 cargo test -q --offline --release \
+  -p mathcloud-integration-tests --test pool_autoscaling
+
 echo "verify: OK"

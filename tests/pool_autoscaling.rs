@@ -1,0 +1,153 @@
+//! Deterministic load test for adaptive handler-pool autoscaling.
+//!
+//! Job durations run on a mock clock and the autoscaler is ticked manually,
+//! so the pool-size trajectory is a deterministic function of the scripted
+//! load (see `loadgen` in the package lib). The scenarios:
+//!
+//! * a burst against a `min_workers` pool grows it to `max_workers` and, once
+//!   the queue drains, hysteresis shrinks it back to `min_workers`;
+//! * under the identical burst and tick pacing, the adaptive pool's p99
+//!   `mc_job_wait_seconds` is strictly lower than a fixed pool pinned at
+//!   `min_workers`.
+
+use mathcloud_everest::Everest;
+use mathcloud_integration_tests::loadgen::{deploy_clocked_service, LoadGen, MockClock};
+use mathcloud_telemetry::{metrics, AutoscaleConfig};
+
+/// Aggressive-but-debounced knobs shared by every scenario: start at one
+/// worker, allow eight, react after two sustained hot/idle ticks.
+fn autoscale_config() -> AutoscaleConfig {
+    AutoscaleConfig {
+        min_workers: 1,
+        max_workers: 8,
+        queue_high: 2,
+        sustain_ticks: 2,
+        idle_ticks: 2,
+        step_up: 3,
+        step_down: 3,
+        ..AutoscaleConfig::default()
+    }
+}
+
+/// The jobs each scenario throws at the pool: an open-loop burst, each job
+/// occupying its worker for two virtual ticks.
+const BURST_JOBS: usize = 24;
+const JOB_TICKS: u64 = 2;
+
+/// p99 of `mc_job_wait_seconds` for one container instance. Container labels
+/// are unique per instance, so each scenario reads only its own traffic.
+fn wait_p99(container_label: &str) -> f64 {
+    metrics::global()
+        .histogram("mc_job_wait_seconds", &[("container", container_label)])
+        .quantile(0.99)
+}
+
+fn scale_events(pool_label: &str, direction: &str) -> u64 {
+    metrics::global()
+        .counter_value(
+            "mc_pool_scale_events",
+            &[("pool", pool_label), ("direction", direction)],
+        )
+        .unwrap_or(0)
+}
+
+#[test]
+fn burst_grows_pool_to_max_and_drain_shrinks_it_back() {
+    let clock = MockClock::new();
+    let e = Everest::with_handlers("autoscale-burst", 1);
+    deploy_clocked_service(&e, &clock);
+    let label = e.metrics_label().to_string();
+    let mut controller = e.autoscaler(autoscale_config());
+
+    let mut gen = LoadGen::new(&clock);
+    gen.burst(&e, BURST_JOBS, JOB_TICKS);
+
+    // Phase 1: drive ticks until the burst drains, tracking the peak size.
+    let mut peak = e.pool_workers();
+    let mut events = Vec::new();
+    let mut ticks = 0;
+    while gen.outstanding(&e) > 0 {
+        ticks += 1;
+        assert!(ticks <= 40, "burst did not drain within 40 ticks");
+        if let Some(ev) = gen.step(Some(&mut controller)) {
+            events.push(ev);
+        }
+        peak = peak.max(e.pool_workers());
+    }
+    assert_eq!(peak, 8, "sustained burst must reach max_workers");
+    assert!(
+        ticks < 30,
+        "adaptive pool took {ticks} ticks for a burst a fixed pool needs ~48 for"
+    );
+    assert!(
+        events
+            .iter()
+            .all(|ev| (1..=8).contains(&ev.to) && ev.from != ev.to),
+        "scale events stay within bounds and always move: {events:?}"
+    );
+    let ups = scale_events(&label, "up");
+    assert!(ups >= 2, "expected several scale-ups, counted {ups}");
+
+    // Phase 2: no load. Idle hysteresis walks the pool back to min_workers.
+    let mut idle_ticks = 0;
+    while e.pool_workers() > 1 {
+        idle_ticks += 1;
+        assert!(idle_ticks <= 20, "pool never shrank back to min_workers");
+        gen.step(Some(&mut controller));
+    }
+    assert_eq!(e.pool_workers(), 1);
+    let downs = scale_events(&label, "down");
+    assert!(downs >= 2, "expected several scale-downs, counted {downs}");
+
+    // The decisions are observable as trace events too.
+    let recorder = mathcloud_telemetry::Recorder::global();
+    assert!(
+        recorder.events().iter().any(|ev| ev.name == "pool.scale"
+            && ev.fields.iter().any(|(k, v)| k == "pool" && *v == label)),
+        "no pool.scale trace event for {label}"
+    );
+}
+
+#[test]
+fn adaptive_pool_beats_fixed_min_workers_pool_on_p99_wait() {
+    // Identical scripted burst and pacing; the only difference is whether
+    // the autoscaler is ticked.
+    let run = |name: &str, adaptive: bool| -> f64 {
+        let clock = MockClock::new();
+        let e = Everest::with_handlers(name, 1);
+        deploy_clocked_service(&e, &clock);
+        let mut controller = adaptive.then(|| e.autoscaler(autoscale_config()));
+
+        let mut gen = LoadGen::new(&clock);
+        gen.burst(&e, BURST_JOBS, JOB_TICKS);
+        // A fixed single worker needs BURST_JOBS * JOB_TICKS ticks.
+        let budget = (BURST_JOBS as u64) * JOB_TICKS + 8;
+        let ticks = gen.drain(&e, controller.as_mut(), budget);
+
+        if adaptive {
+            assert!(
+                ticks < budget / 2,
+                "adaptive run should drain in well under {budget} ticks, took {ticks}"
+            );
+            assert!(
+                e.pool_workers() > 1,
+                "adaptive run never grew beyond min_workers"
+            );
+        } else {
+            assert_eq!(
+                e.pool_workers(),
+                1,
+                "fixed baseline must stay at one worker"
+            );
+        }
+        wait_p99(e.metrics_label())
+    };
+
+    let fixed_p99 = run("autoscale-fixed", false);
+    let adaptive_p99 = run("autoscale-adaptive", true);
+
+    assert!(
+        adaptive_p99 < fixed_p99,
+        "adaptive p99 wait {adaptive_p99}s must be strictly below fixed {fixed_p99}s"
+    );
+}

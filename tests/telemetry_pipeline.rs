@@ -128,6 +128,71 @@ fn metrics_expose_job_lifecycle() {
     );
 }
 
+/// `GET /trace?request_id=…` drains the matching spans from the in-process
+/// recorder as JSON: the first fetch returns the request's events, a second
+/// fetch is empty, and other requests' events survive the drain.
+#[test]
+fn trace_endpoint_drains_spans_per_request() {
+    let e = telemetry_container("tel-trace", "double-t");
+    let server = mathcloud_everest::serve(e, "127.0.0.1:0", None).expect("bind");
+    let base = server.base_url();
+
+    let rid = "itest-trace-0000001";
+    let other = "itest-trace-0000002";
+    for id in [rid, other] {
+        let svc = ServiceClient::connect(&format!("{base}/services/double-t")).unwrap();
+        let job = svc.submit_with_request_id(&json!({"n": 3}), id).unwrap();
+        job.wait(Duration::from_secs(10)).unwrap();
+    }
+
+    let client = Client::new();
+    let fetch = |id: &str| -> Value {
+        let resp = client
+            .get(&format!("{base}/trace?request_id={id}"))
+            .unwrap();
+        assert_eq!(resp.status.as_u16(), 200);
+        resp.body_json().unwrap()
+    };
+
+    let doc = fetch(rid);
+    assert_eq!(doc["request_id"].as_str(), Some(rid));
+    let events = doc["events"].as_array().expect("events array");
+    let names: Vec<&str> = events.iter().filter_map(|ev| ev["name"].as_str()).collect();
+    assert!(
+        names.contains(&"job.submitted"),
+        "missing submit: {names:?}"
+    );
+    assert!(names.contains(&"job.run"), "missing run span: {names:?}");
+    // Completed spans carry their duration and structured fields.
+    let run = events
+        .iter()
+        .find(|ev| ev["name"].as_str() == Some("job.run"))
+        .unwrap();
+    assert!(run["duration_seconds"].as_f64().is_some());
+    assert!(run["ts_seconds"].as_f64().is_some());
+    assert_eq!(run["fields"]["service"].as_str(), Some("double-t"));
+
+    // Drain semantics: gone on the second fetch…
+    assert_eq!(
+        fetch(rid)["events"].as_array().map(|evs| evs.len()),
+        Some(0)
+    );
+    // …while the other request's events were left untouched.
+    let doc = fetch(other);
+    assert!(
+        doc["events"].as_array().is_some_and(|evs| !evs.is_empty()),
+        "unrelated request's events must survive the drain: {doc:?}"
+    );
+
+    // Malformed queries are rejected.
+    let resp = client.get(&format!("{base}/trace")).unwrap();
+    assert_eq!(resp.status.as_u16(), 400);
+    let resp = client
+        .get(&format!("{base}/trace?request_id=bad%20id"))
+        .unwrap();
+    assert_eq!(resp.status.as_u16(), 400);
+}
+
 /// `/health` reports job-state totals consistent with the traffic served.
 #[test]
 fn health_reports_consistent_totals() {
