@@ -10,21 +10,29 @@
 //! * full-text search over descriptions and tags, with highlighted snippets,
 //! * collaborative (Web 2.0-style) user tagging,
 //! * periodic availability pings, surfaced in search results,
+//! * federation of container observability ([`federate`]): the catalogue
+//!   scrapes every registered container's `/metrics` and `/health`
+//!   concurrently under per-target deadlines and serves the merged view on
+//!   `GET /metrics/federated` and `GET /health/all`,
 //! * its own REST interface ([`router`]) so the catalogue is itself a web
 //!   service.
 
+pub mod federate;
 pub mod index;
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mathcloud_core::ServiceDescription;
-use mathcloud_http::{Client, PathParams, Request, Response, Router};
+use mathcloud_http::{Client, PathParams, Request, Response, Router, Url};
 use mathcloud_json::value::Object;
 use mathcloud_json::{json, Value};
-use mathcloud_telemetry::sync::RwLock;
+use mathcloud_telemetry::sync::{Condvar, Mutex, RwLock};
 use mathcloud_telemetry::{metrics, trace};
+
+pub use federate::{ScrapeConfig, ScrapeTarget, TargetScrape};
 
 use index::InvertedIndex;
 
@@ -85,7 +93,12 @@ struct State {
 pub struct Catalogue {
     state: Arc<RwLock<State>>,
     next_id: Arc<AtomicU64>,
+    /// Publication-time description fetches (generous timeouts, retries on).
     client: Client,
+    /// Availability probes and federation scrapes: deadline-bounded, no
+    /// retries, breaker state shared across sweeps.
+    probe: Client,
+    probe_cfg: ScrapeConfig,
 }
 
 impl Default for Catalogue {
@@ -105,6 +118,12 @@ impl fmt::Debug for Catalogue {
 impl Catalogue {
     /// Creates an empty catalogue.
     pub fn new() -> Self {
+        Catalogue::with_scrape_config(ScrapeConfig::default())
+    }
+
+    /// Creates an empty catalogue whose availability probes and federation
+    /// sweeps are bounded by `cfg`.
+    pub fn with_scrape_config(cfg: ScrapeConfig) -> Self {
         Catalogue {
             state: Arc::new(RwLock::new(State {
                 entries: Vec::new(),
@@ -112,7 +131,14 @@ impl Catalogue {
             })),
             next_id: Arc::new(AtomicU64::new(1)),
             client: Client::new(),
+            probe: cfg.scrape_client(),
+            probe_cfg: cfg,
         }
+    }
+
+    /// The scrape/probe bounds this catalogue was configured with.
+    pub fn scrape_config(&self) -> &ScrapeConfig {
+        &self.probe_cfg
     }
 
     /// Publishes a service: fetches its description over the unified REST
@@ -235,6 +261,12 @@ impl Catalogue {
     /// Pings every published service (`GET` on its URL) and records
     /// availability; returns `(available, unavailable)` counts.
     ///
+    /// Probes run concurrently on a bounded worker pool (the probe client is
+    /// deadline-bounded with retries disabled, so one black-holed service
+    /// cannot stall the sweep), and the results are applied to the shared
+    /// state in a single write pass — a long sweep never repeatedly contends
+    /// with publish/search.
+    ///
     /// Each probe also feeds the process-wide telemetry registry: a per-
     /// service `mc_catalogue_service_up` gauge (1 = reachable) and a
     /// `mc_catalogue_probe_seconds` latency histogram — the §3.2 availability
@@ -256,46 +288,183 @@ impl Catalogue {
             "mc_catalogue_probe_seconds",
             "availability-probe round-trip time",
         );
+        let results = federate::fan_out(targets, self.probe_cfg.max_workers, |(id, url, name)| {
+            let started = Instant::now();
+            let ok = matches!(self.probe.get(&url), Ok(resp) if resp.status.is_success());
+            (id, url, name, ok, started.elapsed())
+        });
+        // Telemetry outside the lock…
         let mut up = 0;
         let mut down = 0;
-        for (id, url, name) in targets {
-            let started = std::time::Instant::now();
-            let ok = matches!(self.client.get(&url), Ok(resp) if resp.status.is_success());
-            let elapsed = started.elapsed();
-            reg.gauge("mc_catalogue_service_up", &[("service", &name)])
-                .set(i64::from(ok));
-            reg.histogram("mc_catalogue_probe_seconds", &[("service", &name)])
-                .observe_duration(elapsed);
-            if ok {
+        for (_, url, name, ok, elapsed) in &results {
+            reg.gauge("mc_catalogue_service_up", &[("service", name)])
+                .set(i64::from(*ok));
+            reg.histogram("mc_catalogue_probe_seconds", &[("service", name)])
+                .observe_duration(*elapsed);
+            if *ok {
                 up += 1;
             } else {
                 trace::warn(
                     "catalogue.probe_failed",
                     None,
-                    &[("service", &name), ("url", &url)],
+                    &[("service", name), ("url", url)],
                 );
                 down += 1;
             }
-            let mut state = self.state.write();
-            if let Some(e) = state.entries.iter_mut().find(|e| e.id == id) {
-                e.available = ok;
+        }
+        // …then one write pass for the whole sweep.
+        let mut state = self.state.write();
+        for (id, _, _, ok, _) in &results {
+            if let Some(e) = state.entries.iter_mut().find(|e| e.id == *id) {
+                e.available = *ok;
             }
         }
         (up, down)
     }
 
-    /// Spawns a background thread pinging all services every `interval`.
-    /// The thread exits when the catalogue is dropped.
-    pub fn start_monitor(&self, interval: std::time::Duration) {
-        let weak = Arc::downgrade(&self.state);
-        let catalogue = self.clone();
-        std::thread::spawn(move || loop {
-            std::thread::sleep(interval);
-            if weak.upgrade().is_none() {
-                return;
+    /// The unique authorities behind the registered entries (first-seen
+    /// order), each with the names of the services it hosts — the target set
+    /// of a federation sweep.
+    pub fn scrape_targets(&self) -> Vec<ScrapeTarget> {
+        let state = self.state.read();
+        let mut targets: Vec<ScrapeTarget> = Vec::new();
+        for e in &state.entries {
+            let Ok(url) = e.url.parse::<Url>() else {
+                continue;
+            };
+            let instance = url.authority();
+            let name = e.description.name().to_string();
+            match targets.iter_mut().find(|t| t.instance == instance) {
+                Some(t) => t.services.push(name),
+                None => targets.push(ScrapeTarget {
+                    instance,
+                    services: vec![name],
+                }),
             }
-            catalogue.ping_all();
+        }
+        targets
+    }
+
+    /// Scrapes `/metrics` on every registered container concurrently under
+    /// `cfg` and returns the merged Prometheus exposition (each sample
+    /// relabelled with `mc_instance`, plus `mc_scrape_up`/`mc_scrape_seconds`
+    /// per target) and the total sweep time.
+    pub fn federate_metrics(&self, cfg: &ScrapeConfig) -> (String, Duration) {
+        let (reports, elapsed) = federate::sweep(self.scrape_targets(), cfg, "/metrics");
+        (federate::merge_prometheus(&reports), elapsed)
+    }
+
+    /// Scrapes `/health` on every registered container concurrently under
+    /// `cfg`; returns the JSON summary, whether every target was up, and the
+    /// total sweep time.
+    pub fn health_all(&self, cfg: &ScrapeConfig) -> (Value, bool, Duration) {
+        let (reports, elapsed) = federate::sweep(self.scrape_targets(), cfg, "/health");
+        let (value, all_up) = federate::health_summary(&reports, elapsed);
+        (value, all_up, elapsed)
+    }
+
+    /// Spawns a background thread pinging all services every `interval`.
+    ///
+    /// The thread holds only a [`Weak`](std::sync::Weak) reference to the
+    /// catalogue state, so it exits on its own once every [`Catalogue`]
+    /// handle is dropped; the returned [`MonitorHandle`] additionally offers
+    /// an explicit, immediate [`MonitorHandle::stop`] (also invoked on drop).
+    #[must_use = "dropping the handle stops the monitor"]
+    pub fn start_monitor(&self, interval: Duration) -> MonitorHandle {
+        let weak = Arc::downgrade(&self.state);
+        let next_id = Arc::clone(&self.next_id);
+        let client = self.client.clone();
+        let probe = self.probe.clone();
+        let probe_cfg = self.probe_cfg.clone();
+        let shared = Arc::new(MonitorShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            sweeps: AtomicU64::new(0),
         });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::spawn(move || loop {
+            {
+                let mut stopped = thread_shared.stop.lock();
+                if !*stopped {
+                    let _ = thread_shared.wake.wait_for(&mut stopped, interval);
+                }
+                if *stopped {
+                    return;
+                }
+            }
+            // Upgrade into a temporary handle for this tick only — holding a
+            // strong reference across sleeps would keep the state alive
+            // forever and leak this thread.
+            let Some(state) = weak.upgrade() else { return };
+            let catalogue = Catalogue {
+                state,
+                next_id: Arc::clone(&next_id),
+                client: client.clone(),
+                probe: probe.clone(),
+                probe_cfg: probe_cfg.clone(),
+            };
+            catalogue.ping_all();
+            thread_shared.sweeps.fetch_add(1, Ordering::Relaxed);
+        });
+        MonitorHandle {
+            shared,
+            thread: Some(thread),
+        }
+    }
+}
+
+struct MonitorShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+    sweeps: AtomicU64,
+}
+
+/// Handle to a background availability monitor started by
+/// [`Catalogue::start_monitor`]. Stopping (or dropping) the handle wakes the
+/// thread and joins it.
+pub struct MonitorHandle {
+    shared: Arc<MonitorShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MonitorHandle {
+    /// Stops the monitor and waits for the thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Completed availability sweeps so far.
+    pub fn sweeps(&self) -> u64 {
+        self.shared.sweeps.load(Ordering::Relaxed)
+    }
+
+    /// Whether the monitor thread has exited (e.g. after the catalogue was
+    /// dropped).
+    pub fn is_finished(&self) -> bool {
+        self.thread.as_ref().is_none_or(|t| t.is_finished())
+    }
+
+    fn shutdown(&mut self) {
+        *self.shared.stop.lock() = true;
+        self.shared.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MonitorHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for MonitorHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorHandle")
+            .field("sweeps", &self.sweeps())
+            .field("finished", &self.is_finished())
+            .finish()
     }
 }
 
@@ -346,9 +515,63 @@ fn entry_to_value(e: &Entry, snippet: Option<&str>, score: Option<f64>) -> Value
 /// * `POST /publish` with `{"url": …, "tags": […]}`,
 /// * `POST /entries/{id}/tags` with `{"tags": […]}`,
 /// * `GET /entries` — everything,
-/// * `POST /ping` — run an availability sweep now.
+/// * `POST /ping` — run an availability sweep now,
+/// * `GET /metrics` — this process's own registry (Prometheus text),
+/// * `GET /health` — the catalogue's own liveness summary,
+/// * `GET /metrics/federated` — merged Prometheus text scraped from every
+///   registered container (`?deadline_ms=…&workers=…` override the sweep
+///   bounds),
+/// * `GET /health/all` — per-container health summary; HTTP 200 when every
+///   target is up, 207 (Multi-Status) when the view is partial.
 pub fn router(catalogue: Catalogue) -> Router {
     let mut r = Router::new();
+
+    fn sweep_config(req: &Request, base: &ScrapeConfig) -> ScrapeConfig {
+        let mut cfg = base.clone();
+        if let Some(ms) = req.query("deadline_ms").and_then(|s| s.parse::<u64>().ok()) {
+            cfg.per_target_deadline = Duration::from_millis(ms.clamp(10, 60_000));
+        }
+        if let Some(w) = req.query("workers").and_then(|s| s.parse::<usize>().ok()) {
+            cfg.max_workers = w.clamp(1, 64);
+        }
+        cfg
+    }
+
+    r.get("/metrics", move |_req, _p| {
+        Response::bytes(
+            200,
+            "text/plain; version=0.0.4",
+            metrics::global().render_prometheus().into_bytes(),
+        )
+    });
+
+    let c = catalogue.clone();
+    r.get("/health", move |_req, _p| {
+        let entries = c.entries();
+        let available = entries.iter().filter(|e| e.available).count();
+        Response::json(
+            200,
+            &json!({
+                "status": "ok",
+                "entries": (entries.len() as i64),
+                "available": (available as i64),
+            }),
+        )
+    });
+
+    let c = catalogue.clone();
+    r.get("/metrics/federated", move |req: &Request, _p| {
+        let cfg = sweep_config(req, c.scrape_config());
+        let (text, _elapsed) = c.federate_metrics(&cfg);
+        Response::bytes(200, "text/plain; version=0.0.4", text.into_bytes())
+    });
+
+    let c = catalogue.clone();
+    r.get("/health/all", move |req: &Request, _p| {
+        let cfg = sweep_config(req, c.scrape_config());
+        let (value, all_up, _elapsed) = c.health_all(&cfg);
+        Response::json(if all_up { 200 } else { 207 }, &value)
+    });
 
     let c = catalogue.clone();
     r.get("/search", move |req: &Request, _p| {
@@ -595,6 +818,100 @@ mod tests {
             CatalogueError::Unreachable(_)
         ));
         assert!(c.publish("not a url", &[]).is_err());
+    }
+
+    #[test]
+    fn scrape_targets_dedupe_authorities_in_first_seen_order() {
+        let c = Catalogue::new();
+        c.register("http://a:1/services/s1", desc("s1", "x"), &[]);
+        c.register("http://b:2/services/s2", desc("s2", "x"), &[]);
+        c.register("http://a:1/services/s3", desc("s3", "x"), &[]);
+        let targets = c.scrape_targets();
+        assert_eq!(targets.len(), 2);
+        assert_eq!(targets[0].instance, "a:1");
+        assert_eq!(targets[0].services, ["s1", "s3"]);
+        assert_eq!(targets[1].instance, "b:2");
+        assert_eq!(targets[1].services, ["s2"]);
+    }
+
+    /// The monitor must tick while running and its thread must actually exit
+    /// on `stop()` — `stop()` joins, so a reintroduced leak hangs this test
+    /// instead of passing silently.
+    #[test]
+    fn monitor_ticks_and_stop_joins_the_thread() {
+        use std::sync::atomic::AtomicUsize;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let mut router = Router::new();
+        router.get("/services/s", move |_req: &Request, _p: &PathParams| {
+            h.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, &json!({ "name": "s" }))
+        });
+        let server = mathcloud_http::Server::bind("127.0.0.1:0", router).unwrap();
+        let c = Catalogue::new();
+        c.register(
+            &format!("{}/services/s", server.base_url()),
+            desc("s", "monitored"),
+            &[],
+        );
+        let monitor = c.start_monitor(Duration::from_millis(10));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while monitor.sweeps() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(monitor.sweeps() >= 1, "monitor never swept");
+        assert!(
+            hits.load(Ordering::Relaxed) >= 1,
+            "probe never reached the service"
+        );
+        assert!(!monitor.is_finished());
+        monitor.stop();
+        server.shutdown();
+    }
+
+    /// Dropping every catalogue handle must let the monitor thread exit on
+    /// its own — the original implementation cloned a full `Catalogue` into
+    /// the thread and therefore leaked it forever.
+    #[test]
+    fn monitor_exits_when_catalogue_is_dropped() {
+        let c = Catalogue::new();
+        let monitor = c.start_monitor(Duration::from_millis(5));
+        drop(c);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !monitor.is_finished() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            monitor.is_finished(),
+            "monitor thread leaked after the catalogue was dropped"
+        );
+    }
+
+    #[test]
+    fn federation_endpoints_respond_even_with_no_targets() {
+        let c = Catalogue::new();
+        let server = mathcloud_http::Server::bind("127.0.0.1:0", router(c)).unwrap();
+        let client = mathcloud_http::Client::new();
+        let resp = client
+            .get(&format!("{}/metrics/federated", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status.as_u16(), 200);
+        assert_eq!(
+            resp.headers.get("content-type"),
+            Some("text/plain; version=0.0.4")
+        );
+        let resp = client
+            .get(&format!("{}/health/all", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status.as_u16(), 200, "vacuously all-up");
+        let body = resp.body_json().unwrap();
+        assert_eq!(body.str_field("status"), Some("ok"));
+        assert_eq!(body.int_field("targets_total"), Some(0));
+        let resp = client
+            .get(&format!("{}/health", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status.as_u16(), 200);
+        server.shutdown();
     }
 }
 

@@ -115,6 +115,21 @@ impl ServiceClient {
         self
     }
 
+    /// Overrides the transport retry policy (builder style) — idempotent
+    /// requests such as description fetches and job polls are retried with
+    /// backoff; submissions never are.
+    pub fn with_retry_policy(mut self, policy: mathcloud_http::RetryPolicy) -> Self {
+        self.client = self.client.with_retry_policy(policy);
+        self
+    }
+
+    /// Bounds TCP connects to `timeout` (builder style) so unroutable hosts
+    /// fail within the budget rather than the OS default.
+    pub fn with_connect_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.client = self.client.with_connect_timeout(timeout);
+        self
+    }
+
     /// The bound service URL.
     pub fn url(&self) -> &Url {
         &self.url

@@ -400,6 +400,11 @@ impl Adapter for ClusterAdapter {
                     _ => Err(st.error.unwrap_or_else(|| "batch job failed".to_string())),
                 };
             }
+            // `wait` returns `None` both on timeout and for unknown jobs; if
+            // the record vanished, looping again would spin forever.
+            if self.cluster.qstat(id).is_none() {
+                return Err(format!("batch job {id} disappeared from the queue"));
+            }
             if ctx.is_cancelled() {
                 self.cluster.qdel(id);
             }
@@ -480,6 +485,11 @@ impl Adapter for GridAdapter {
                     mathcloud_grid::GridJobState::Cancelled => Err("cancelled".to_string()),
                     _ => Err(st.error.unwrap_or_else(|| "grid job aborted".to_string())),
                 };
+            }
+            // `wait` returns `None` both on timeout and for unknown jobs; if
+            // the record vanished, looping again would spin forever.
+            if self.broker.status(id).is_none() {
+                return Err("grid job disappeared from the broker".to_string());
             }
             if ctx.is_cancelled() {
                 self.broker.cancel(id);

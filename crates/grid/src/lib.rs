@@ -338,6 +338,12 @@ impl ResourceBroker {
     }
 
     /// Blocks until the job reaches a terminal state or `timeout` elapses.
+    ///
+    /// Returns `None` both when the job is unknown (never submitted, or its
+    /// record was removed) **and** when the timeout elapses with the job
+    /// still non-terminal — callers that loop on `wait` must distinguish the
+    /// two via [`ResourceBroker::status`] or they will spin forever on a
+    /// vanished job.
     pub fn wait(&self, id: GridJobId, timeout: Duration) -> Option<GridJobStatus> {
         let ce = self.ces.get(id.ce_index)?;
         let st = ce.cluster.wait(id.local, timeout)?;
@@ -433,6 +439,32 @@ mod tests {
         let st = broker.wait(id, Duration::from_secs(5)).unwrap();
         assert_eq!(st.ce, "free-ce");
         assert_eq!(st.state, GridJobState::Done);
+    }
+
+    /// `wait` returning `None` is ambiguous by design: timeout on a live job
+    /// versus a job the broker has no record of. Callers tell them apart
+    /// with `status` — this pins the contract the Everest adapters rely on.
+    #[test]
+    fn wait_none_is_disambiguated_by_status() {
+        let broker = ResourceBroker::new(vec![site("ce", &["vo"], 1)]);
+        let id = broker
+            .submit(
+                &proxy("vo"),
+                GridJobSpec::new("slow", 1, |_| {
+                    std::thread::sleep(Duration::from_millis(200));
+                    Ok(String::new())
+                }),
+            )
+            .unwrap();
+        // Timeout on a live job: wait is None but the record still exists.
+        assert!(broker.wait(id, Duration::from_millis(10)).is_none());
+        assert!(broker.status(id).is_some());
+        assert!(broker.wait(id, Duration::from_secs(5)).is_some());
+
+        // A broker that never saw the job: both are None.
+        let stranger = ResourceBroker::new(vec![site("other", &["vo"], 1)]);
+        assert!(stranger.status(id).is_none());
+        assert!(stranger.wait(id, Duration::from_millis(10)).is_none());
     }
 
     #[test]

@@ -1,14 +1,20 @@
-//! A blocking HTTP/1.1 client.
+//! A blocking HTTP/1.1 client with a fault-tolerant transport.
 
 use std::error::Error;
 use std::fmt;
 use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use mathcloud_json::Value;
+use mathcloud_telemetry::rng::{splitmix64, XorShift64};
+use mathcloud_telemetry::sync::Mutex;
+use mathcloud_telemetry::trace;
 
 use crate::message::{Method, Request, Response};
+use crate::transport::{self, BreakerConfig, BreakerRegistry, RetryPolicy};
 use crate::url::{Url, UrlError};
 use crate::wire;
 
@@ -19,6 +25,12 @@ pub enum ClientError {
     Url(UrlError),
     /// Connection or transfer failure.
     Io(std::io::Error),
+    /// The authority's circuit breaker is open: the request was rejected
+    /// without touching the network. `retry_in` is the remaining cooldown.
+    CircuitOpen {
+        authority: String,
+        retry_in: Duration,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -26,6 +38,13 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Url(e) => write!(f, "{e}"),
             ClientError::Io(e) => write!(f, "http i/o error: {e}"),
+            ClientError::CircuitOpen {
+                authority,
+                retry_in,
+            } => write!(
+                f,
+                "circuit breaker open for {authority}, retry in {retry_in:?}"
+            ),
         }
     }
 }
@@ -35,6 +54,7 @@ impl Error for ClientError {
         match self {
             ClientError::Url(e) => Some(e),
             ClientError::Io(e) => Some(e),
+            ClientError::CircuitOpen { .. } => None,
         }
     }
 }
@@ -51,11 +71,30 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+fn seed_rng() -> XorShift64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e37_79b9_7f4a_7c15);
+    let pid = std::process::id() as u64;
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    XorShift64::new(splitmix64(
+        nanos ^ (pid << 32) ^ n.wrapping_mul(0xa076_1d64_78bd_642f),
+    ))
+}
+
 /// A blocking HTTP client.
 ///
 /// Each call opens a fresh connection; use [`Client::connect`] to hold a
 /// keep-alive [`Connection`] for request sequences (the workflow engine polls
 /// job resources this way).
+///
+/// The transport is fault tolerant: connects are bounded by a dedicated
+/// connect timeout across all resolved addresses, transport failures on
+/// idempotent requests are retried per [`RetryPolicy`] with jittered
+/// exponential backoff, and every authority is guarded by a circuit breaker
+/// (see [`crate::transport`]). Clones share breaker state.
 ///
 /// # Examples
 ///
@@ -73,6 +112,10 @@ impl From<std::io::Error> for ClientError {
 #[derive(Debug, Clone)]
 pub struct Client {
     timeout: Duration,
+    connect_timeout: Duration,
+    retry: RetryPolicy,
+    breakers: Arc<BreakerRegistry>,
+    rng: Arc<Mutex<XorShift64>>,
     /// Extra headers attached to every request (e.g. auth tokens).
     default_headers: Vec<(String, String)>,
 }
@@ -84,10 +127,16 @@ impl Default for Client {
 }
 
 impl Client {
-    /// Creates a client with a 30-second I/O timeout.
+    /// Creates a client with a 30-second I/O timeout, a 10-second connect
+    /// timeout, the default [`RetryPolicy`] and the default
+    /// [`BreakerConfig`].
     pub fn new() -> Self {
         Client {
             timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
+            breakers: Arc::new(BreakerRegistry::new(BreakerConfig::default())),
+            rng: Arc::new(Mutex::new(seed_rng())),
             default_headers: Vec::new(),
         }
     }
@@ -98,12 +147,47 @@ impl Client {
         self
     }
 
+    /// Sets the TCP connect timeout applied to every resolved address
+    /// (builder style).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the retry policy (builder style). Use
+    /// [`RetryPolicy::disabled`] for deadline-bounded probes that must not
+    /// multiply their budget.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the circuit-breaker configuration (builder style). Resets
+    /// breaker state: the client gets a fresh registry no longer shared with
+    /// previous clones.
+    pub fn with_breaker_config(mut self, config: BreakerConfig) -> Self {
+        self.breakers = Arc::new(BreakerRegistry::new(config));
+        self
+    }
+
+    /// Reseeds the backoff-jitter PRNG (builder style) — tests use this to
+    /// make retry schedules reproducible.
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng = Arc::new(Mutex::new(XorShift64::new(seed)));
+        self
+    }
+
     /// Attaches a header to every request sent by this client (builder
     /// style) — the security layer uses this for credentials.
     pub fn with_default_header(mut self, name: &str, value: &str) -> Self {
         self.default_headers
             .push((name.to_string(), value.to_string()));
         self
+    }
+
+    /// The circuit-breaker registry guarding this client's authorities.
+    pub fn breakers(&self) -> &BreakerRegistry {
+        &self.breakers
     }
 
     /// Sends `GET url`.
@@ -158,25 +242,105 @@ impl Client {
         self.send(&url, req)
     }
 
-    /// Sends an explicit request to `url`'s authority on a fresh connection.
+    /// Sends an explicit request to `url`'s authority, opening a fresh
+    /// connection per attempt. Transport failures on idempotent requests are
+    /// retried per the client's [`RetryPolicy`]; HTTP error statuses are
+    /// successful exchanges and are never retried. Each attempt first asks
+    /// the authority's circuit breaker for admission.
     ///
     /// # Errors
     ///
-    /// See [`Client::get`].
+    /// See [`Client::get`]; additionally [`ClientError::CircuitOpen`] when
+    /// the breaker rejects the call.
     pub fn send(&self, url: &Url, req: Request) -> Result<Response, ClientError> {
-        let mut conn = self.connect(url)?;
         let mut req = req;
         req.headers.set("Connection", "close");
+        let authority = url.authority();
+        let breaker = self.breakers.breaker(&authority);
+        let retryable = self.retry.applies_to(&req.method);
+        let max_attempts = if retryable {
+            self.retry.max_attempts.max(1)
+        } else {
+            1
+        };
+        let mut attempt = 1u32;
+        loop {
+            if let Err(retry_in) = breaker.admit() {
+                return Err(ClientError::CircuitOpen {
+                    authority,
+                    retry_in,
+                });
+            }
+            match self.attempt_send(url, req.clone()) {
+                Ok(resp) => {
+                    breaker.on_success();
+                    return Ok(resp);
+                }
+                Err(err) => {
+                    breaker.on_failure();
+                    if attempt >= max_attempts {
+                        return Err(err);
+                    }
+                    transport::record_retry(&authority);
+                    let pause = {
+                        let mut rng = self.rng.lock();
+                        self.retry.backoff(attempt, &mut rng)
+                    };
+                    trace::info(
+                        "http.retry",
+                        None,
+                        &[
+                            ("authority", authority.as_str()),
+                            ("attempt", &attempt.to_string()),
+                            ("backoff_ms", &pause.as_millis().to_string()),
+                        ],
+                    );
+                    std::thread::sleep(pause);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn attempt_send(&self, url: &Url, req: Request) -> Result<Response, ClientError> {
+        let mut conn = self.connect(url)?;
         conn.send(req)
     }
 
-    /// Opens a keep-alive connection to `url`'s authority.
+    /// Opens a keep-alive connection to `url`'s authority, trying every
+    /// resolved address under the connect timeout.
+    ///
+    /// Requests sent directly on the returned [`Connection`] bypass retry and
+    /// breaker accounting — the keep-alive path is used for poll loops that
+    /// implement their own pacing.
     ///
     /// # Errors
     ///
     /// Connection failures surface as [`ClientError::Io`].
     pub fn connect(&self, url: &Url) -> Result<Connection, ClientError> {
-        let stream = TcpStream::connect((url.host(), url.port()))?;
+        let addrs = (url.host(), url.port()).to_socket_addrs()?;
+        let mut last_err: Option<std::io::Error> = None;
+        let mut stream: Option<TcpStream> = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = match stream {
+            Some(s) => s,
+            None => {
+                return Err(ClientError::Io(last_err.unwrap_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        format!("no addresses resolved for {}", url.authority()),
+                    )
+                })))
+            }
+        };
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         stream.set_nodelay(true)?;
@@ -225,6 +389,7 @@ impl fmt::Debug for Connection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn bad_url_is_reported() {
@@ -252,5 +417,100 @@ mod tests {
         let client = Client::new().with_default_header("X-Token", "secret");
         let resp = client.get(&format!("{}/h", server.base_url())).unwrap();
         assert_eq!(resp.body_string(), "secret");
+    }
+
+    /// Regression for the connect hang: a non-routable address must fail
+    /// within the connect timeout, not the OS default (~2 minutes).
+    #[test]
+    fn connect_times_out_against_non_routable_address() {
+        // TEST-NET-1 (RFC 5737) addresses are reserved and typically
+        // black-holed; if the sandbox fast-fails them instead, the test
+        // still passes — it only asserts an upper bound.
+        let client = Client::new()
+            .with_connect_timeout(Duration::from_millis(250))
+            .with_timeout(Duration::from_millis(250))
+            .with_retry_policy(RetryPolicy::disabled());
+        let start = Instant::now();
+        let err = client.get("http://192.0.2.1:81/x").unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "connect took {elapsed:?}, timeout not applied"
+        );
+    }
+
+    /// Counts connections to a socket that accepts and immediately drops, so
+    /// every exchange is a transport failure.
+    fn drop_server() -> (std::net::SocketAddr, std::sync::mpsc::Receiver<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                drop(conn);
+                if tx.send(()).is_err() {
+                    return;
+                }
+            }
+        });
+        (addr, rx)
+    }
+
+    #[test]
+    fn idempotent_requests_are_retried_and_posts_are_not() {
+        let (addr, hits) = drop_server();
+        let client = Client::new()
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+                jitter: 0.0,
+                retry_non_idempotent: false,
+            })
+            .with_rng_seed(7)
+            .with_timeout(Duration::from_millis(500));
+
+        let err = client.get(&format!("http://{addr}/x")).unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(hits.try_iter().count(), 3, "GET should use all attempts");
+
+        let err = client
+            .post_json(&format!("http://{addr}/x"), &mathcloud_json::json!({}))
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(hits.try_iter().count(), 1, "POST must not be retried");
+    }
+
+    #[test]
+    fn breaker_rejects_after_threshold_without_touching_network() {
+        let client = Client::new()
+            .with_retry_policy(RetryPolicy::disabled())
+            .with_breaker_config(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(60),
+            });
+        let url = "http://127.0.0.1:1/x";
+        assert!(matches!(client.get(url).unwrap_err(), ClientError::Io(_)));
+        assert!(matches!(client.get(url).unwrap_err(), ClientError::Io(_)));
+        // Third call is rejected by the breaker, fast and socket-free.
+        let start = Instant::now();
+        match client.get(url).unwrap_err() {
+            ClientError::CircuitOpen {
+                authority,
+                retry_in,
+            } => {
+                assert_eq!(authority, "127.0.0.1:1");
+                assert!(retry_in > Duration::from_secs(50));
+            }
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(
+            client.breakers().state_of("127.0.0.1:1"),
+            Some(crate::transport::BreakerState::Open)
+        );
     }
 }

@@ -9,7 +9,8 @@
 //! * [`Router`] — method + path-template dispatch (`/services/{name}/jobs/{id}`),
 //! * [`Server`] — a blocking server with a worker thread pool and keep-alive,
 //! * [`Client`] — a blocking client used by the catalogue, the workflow
-//!   engine and the command-line tools.
+//!   engine and the command-line tools, with a fault-tolerant transport
+//!   ([`RetryPolicy`], per-authority circuit breakers — see [`transport`]).
 //!
 //! # Examples
 //!
@@ -36,6 +37,7 @@ pub mod client;
 pub mod message;
 pub mod router;
 pub mod server;
+pub mod transport;
 pub mod url;
 pub mod wire;
 
@@ -43,4 +45,5 @@ pub use client::{Client, ClientError};
 pub use message::{Headers, Method, Request, Response, StatusCode};
 pub use router::{PathParams, Router};
 pub use server::Server;
+pub use transport::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use url::{decode_query, encode_query, percent_decode, percent_encode, Url, UrlError};

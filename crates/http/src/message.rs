@@ -132,6 +132,7 @@ impl StatusCode {
             201 => "Created",
             202 => "Accepted",
             204 => "No Content",
+            207 => "Multi-Status",
             301 => "Moved Permanently",
             302 => "Found",
             304 => "Not Modified",

@@ -111,11 +111,23 @@ impl Default for HttpCaller {
 
 impl HttpCaller {
     /// Creates a caller with the given job-polling interval.
+    ///
+    /// The default client is the fault-tolerant transport: connects are
+    /// bounded by a connect timeout and `GET` polls are retried with backoff
+    /// on transport failure, while the `POST` submission is never retried —
+    /// re-submitting could duplicate the job.
     pub fn new(poll_interval: Duration) -> Self {
         HttpCaller {
             client: Client::new(),
             poll_interval,
         }
+    }
+
+    /// Replaces the HTTP client (builder style) — e.g. to tighten deadlines
+    /// or the retry policy for a particular deployment.
+    pub fn with_client(mut self, client: Client) -> Self {
+        self.client = client;
+        self
     }
 }
 

@@ -33,16 +33,26 @@ impl DescriptionSource for HashMap<String, ServiceDescription> {
 }
 
 /// Fetches descriptions over the unified REST API.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HttpDescriptions {
     client: mathcloud_http::Client,
 }
 
+impl Default for HttpDescriptions {
+    fn default() -> Self {
+        HttpDescriptions::new()
+    }
+}
+
 impl HttpDescriptions {
-    /// Creates a fetcher with default client settings.
+    /// Creates a fetcher with default client settings. Description documents
+    /// are small and static, so fetches get a tight deadline rather than the
+    /// general-purpose 30 s budget.
     pub fn new() -> Self {
         HttpDescriptions {
-            client: mathcloud_http::Client::new(),
+            client: mathcloud_http::Client::new()
+                .with_timeout(std::time::Duration::from_secs(5))
+                .with_connect_timeout(std::time::Duration::from_secs(5)),
         }
     }
 }

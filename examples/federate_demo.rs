@@ -1,0 +1,102 @@
+//! federate_demo: a long-running catalogue federating live containers.
+//!
+//! Starts two everest containers (`alpha` with `double`, `beta` with
+//! `triple`), registers them — plus one dead address — in a catalogue, turns
+//! on the availability monitor, and serves the catalogue's REST interface
+//! until killed, so the federation endpoints can be explored interactively:
+//!
+//! ```text
+//! cargo run -p mathcloud-examples --bin federate_demo [addr]
+//! curl http://127.0.0.1:<port>/metrics/federated     # merged Prometheus text
+//! curl -i http://127.0.0.1:<port>/health/all         # 207 while the dead target is down
+//! curl http://127.0.0.1:<port>/services              # the registry itself
+//! ```
+//!
+//! `addr` defaults to `127.0.0.1:0` (a free port, printed on startup).
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use mathcloud_catalogue::{router, Catalogue, ScrapeConfig};
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_json::{json, Schema, Value};
+
+fn container(name: &'static str, service: &'static str, factor: i64) -> Everest {
+    let e = Everest::with_handlers(name, 2);
+    e.deploy(
+        ServiceDescription::new(service, "multiplies an integer")
+            .input(Parameter::new("n", Schema::integer()))
+            .output(Parameter::new("out", Schema::integer()))
+            .tag("math"),
+        NativeAdapter::from_fn(move |inputs, _| {
+            let n = inputs.get("n").and_then(Value::as_i64).unwrap_or(0);
+            Ok([("out".to_string(), json!(n * factor))]
+                .into_iter()
+                .collect())
+        }),
+    );
+    e
+}
+
+/// A port that refuses connections: bind, record, drop.
+fn dead_port() -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap().port()
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+
+    let alpha = mathcloud_everest::serve(container("alpha", "double", 2), "127.0.0.1:0", None)
+        .expect("serve alpha");
+    let beta = mathcloud_everest::serve(container("beta", "triple", 3), "127.0.0.1:0", None)
+        .expect("serve beta");
+    let dead = dead_port();
+
+    let catalogue = Catalogue::with_scrape_config(ScrapeConfig {
+        per_target_deadline: Duration::from_millis(750),
+        max_workers: 4,
+    });
+    catalogue.register(
+        &format!("{}/services/double", alpha.base_url()),
+        ServiceDescription::new("double", "doubles an integer"),
+        &["math"],
+    );
+    catalogue.register(
+        &format!("{}/services/triple", beta.base_url()),
+        ServiceDescription::new("triple", "triples an integer"),
+        &["math"],
+    );
+    catalogue.register(
+        &format!("http://127.0.0.1:{dead}/services/ghost"),
+        ServiceDescription::new("ghost", "a registered but dead service"),
+        &[],
+    );
+
+    let monitor = catalogue.start_monitor(Duration::from_secs(5));
+    let server = mathcloud_http::Server::bind(&addr, router(catalogue)).expect("bind catalogue");
+    let base = server.base_url();
+
+    println!("catalogue listening at {base}");
+    println!("  alpha container     {}", alpha.base_url());
+    println!("  beta container      {}", beta.base_url());
+    println!("  dead registration   http://127.0.0.1:{dead} (always down)");
+    println!();
+    println!("try:");
+    println!("  curl {base}/services");
+    println!("  curl {base}/metrics/federated");
+    println!("  curl -i {base}/health/all        # 207: the ghost target is down");
+    println!("  curl '{base}/health/all?deadline_ms=100'");
+    println!();
+    println!("serving until killed (ctrl-c)…");
+
+    // `monitor`, `server` and the containers live for the rest of the process.
+    let _keepalive = (monitor, server, alpha, beta);
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -25,4 +25,11 @@ echo "==> pool autoscaling load test (release, 300s budget)"
 timeout 300 cargo test -q --offline --release \
   -p mathcloud-integration-tests --test pool_autoscaling
 
+# The federation sweep probes dead and black-holed sockets; a reintroduced
+# connect hang (no connect timeout, serial sweep) would stall far past the
+# per-target deadline, so the hard timeout turns it into a fast failure.
+echo "==> catalogue federation test (release, 120s budget)"
+timeout 120 cargo test -q --offline --release \
+  -p mathcloud-integration-tests --test federation
+
 echo "verify: OK"

@@ -1,0 +1,170 @@
+//! Catalogue federation under partial failure: one healthy container, one
+//! dead address, one black-holed (accepting but never answering) socket.
+//!
+//! The sweep must return merged metrics for the healthy container, degraded
+//! `mc_scrape_up 0` meta-series for the others, and complete within 2× the
+//! per-target deadline — one bad target can never stall the federation
+//! endpoint. A reintroduced connect hang would blow the hard timeout this
+//! test runs under in CI.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use mathcloud_catalogue::{router, Catalogue, ScrapeConfig};
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_http::Client;
+use mathcloud_json::{json, Schema, Value};
+
+const DEADLINE: Duration = Duration::from_millis(500);
+
+fn healthy_container() -> Everest {
+    let e = Everest::with_handlers("healthy", 2);
+    e.deploy(
+        ServiceDescription::new("add", "adds")
+            .input(Parameter::new("a", Schema::integer()))
+            .input(Parameter::new("b", Schema::integer()))
+            .output(Parameter::new("sum", Schema::integer())),
+        NativeAdapter::from_fn(|inputs, _| {
+            let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+            let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+            Ok([("sum".to_string(), json!(a + b))].into_iter().collect())
+        }),
+    );
+    e
+}
+
+/// A port that refuses connections: bind, record, drop.
+fn dead_port() -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap().port()
+}
+
+#[test]
+fn federated_scrape_survives_dead_and_slow_targets() {
+    let healthy = mathcloud_everest::serve(healthy_container(), "127.0.0.1:0", None).unwrap();
+    let healthy_base = healthy.base_url();
+    let healthy_auth = healthy_base.strip_prefix("http://").unwrap().to_string();
+
+    // One request so the process registry has server-side HTTP series to
+    // federate.
+    Client::new()
+        .get(&format!("{healthy_base}/health"))
+        .unwrap();
+
+    let dead = dead_port();
+    // The slow target accepts connections (TCP backlog) but never answers:
+    // the scrape connects fine and then must hit the read deadline.
+    let slow_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let slow = slow_listener.local_addr().unwrap().port();
+
+    let cfg = ScrapeConfig {
+        per_target_deadline: DEADLINE,
+        max_workers: 4,
+    };
+    let catalogue = Catalogue::with_scrape_config(cfg.clone());
+    catalogue.register(
+        &format!("{healthy_base}/services/add"),
+        ServiceDescription::new("add", "adds"),
+        &[],
+    );
+    catalogue.register(
+        &format!("http://127.0.0.1:{dead}/services/ghost"),
+        ServiceDescription::new("ghost", "gone"),
+        &[],
+    );
+    catalogue.register(
+        &format!("http://127.0.0.1:{slow}/services/tarpit"),
+        ServiceDescription::new("tarpit", "never answers"),
+        &[],
+    );
+
+    let (merged, elapsed) = catalogue.federate_metrics(&cfg);
+
+    // The whole sweep is bounded: concurrent fan-out means the slow target's
+    // deadline is paid once, not serialised behind the others.
+    assert!(
+        elapsed < DEADLINE * 2,
+        "sweep took {elapsed:?}, deadline {DEADLINE:?} not enforced"
+    );
+
+    // Healthy target: real metrics, relabelled with its instance.
+    assert!(
+        merged.contains(&format!("mc_scrape_up{{mc_instance=\"{healthy_auth}\"}} 1")),
+        "healthy target not reported up:\n{merged}"
+    );
+    assert!(
+        merged.contains(&format!("mc_instance=\"{healthy_auth}\",")),
+        "healthy samples missing the mc_instance label:\n{merged}"
+    );
+    assert!(
+        merged.contains("mc_http_requests_total{mc_instance="),
+        "expected federated server-side HTTP series:\n{merged}"
+    );
+
+    // Dead and slow targets: no samples, but explicit meta-series.
+    for port in [dead, slow] {
+        let instance = format!("127.0.0.1:{port}");
+        assert!(
+            merged.contains(&format!("mc_scrape_up{{mc_instance=\"{instance}\"}} 0")),
+            "{instance} should be reported down:\n{merged}"
+        );
+        assert!(
+            merged.contains(&format!("mc_scrape_seconds{{mc_instance=\"{instance}\"}}")),
+            "{instance} should report its scrape time:\n{merged}"
+        );
+    }
+
+    // The same view over HTTP, through the catalogue's own REST interface.
+    let cat_server = mathcloud_http::Server::bind("127.0.0.1:0", router(catalogue)).unwrap();
+    let client = Client::new();
+
+    let resp = client
+        .get(&format!("{}/metrics/federated", cat_server.base_url()))
+        .unwrap();
+    assert_eq!(resp.status.as_u16(), 200);
+    assert_eq!(
+        resp.headers.get("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let body = resp.body_string();
+    assert!(body.contains(&format!("mc_scrape_up{{mc_instance=\"{healthy_auth}\"}} 1")));
+
+    // Partial health is a 207 Multi-Status-style degraded summary, not an
+    // error and not a fake 200.
+    let resp = client
+        .get(&format!("{}/health/all", cat_server.base_url()))
+        .unwrap();
+    assert_eq!(resp.status.as_u16(), 207, "partial view must be 207");
+    let health = resp.body_json().unwrap();
+    assert_eq!(health.str_field("status"), Some("degraded"));
+    assert_eq!(health.int_field("targets_total"), Some(3));
+    assert_eq!(health.int_field("targets_up"), Some(1));
+    let targets = health.get("targets").and_then(Value::as_array).unwrap();
+    let healthy_entry = targets
+        .iter()
+        .find(|t| t.str_field("instance") == Some(healthy_auth.as_str()))
+        .unwrap();
+    assert_eq!(
+        healthy_entry
+            .get("health")
+            .and_then(|h| h.str_field("status")),
+        Some("ok")
+    );
+    let down: Vec<&Value> = targets
+        .iter()
+        .filter(|t| t.get("up") == Some(&Value::Bool(false)))
+        .collect();
+    assert_eq!(down.len(), 2);
+    for t in down {
+        assert!(
+            t.str_field("error").is_some(),
+            "down targets carry a reason"
+        );
+    }
+
+    drop(slow_listener);
+    cat_server.shutdown();
+    healthy.shutdown();
+}
