@@ -1,17 +1,22 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--table1] [--table2] [--overhead] [--dw] [--xray] [--all] [--full]
+//! repro [--table1] [--table2 [--json] [--smoke]] [--overhead] [--dw]
+//!       [--xray] [--all] [--full]
 //! ```
 //!
 //! Without flags, `--all` is assumed. `--full` runs Table 2 at the paper's
 //! matrix sizes (N = 250…500); expect a long run — the default uses scaled
 //! sizes that finish in minutes and exhibit the same speedup shape.
+//!
+//! `--table2 --json` runs the in-process kernel benchmark (serial rational
+//! Gauss–Jordan oracle vs the 4-thread Auto kernel) and writes `BENCH_4.json`
+//! to the current directory; `--smoke` restricts it to the CI smoke sizes.
 
 use std::time::{Duration, Instant};
 
 use mathcloud_bench::dw::{spawn_solver_pool, RemoteSolverPool, SolverLatency};
-use mathcloud_bench::matrix::{spawn_matrix_farm, table2_row};
+use mathcloud_bench::matrix::{kernel_row, spawn_matrix_farm, table2_row};
 use mathcloud_bench::overhead::{measure_overhead, spawn_compute_server};
 use mathcloud_bench::xrayservices::spawn_xray_server;
 use mathcloud_client::ServiceClient;
@@ -29,7 +34,11 @@ fn main() {
         table1();
     }
     if all || has("--table2") {
-        table2(full);
+        if has("--json") {
+            table2_json(has("--smoke"));
+        } else {
+            table2(full);
+        }
     }
     if all || has("--overhead") {
         overhead();
@@ -153,6 +162,49 @@ fn table2(full: bool) {
         );
     }
     println!("(paper: speedup 1.60 at N=250 rising to 2.73 at N=500)");
+    println!();
+}
+
+/// Table 2 kernel baseline: serial oracle vs the 4-thread Auto kernel,
+/// emitted as `BENCH_4.json` for CI to validate.
+fn table2_json(smoke: bool) {
+    println!("== Table 2 kernel baseline: serial Gauss-Jordan vs 4-thread auto ==");
+    let sizes: &[usize] = if smoke {
+        &[16, 24, 32]
+    } else {
+        &[16, 24, 32, 48, 64]
+    };
+    let threads = 4;
+    println!(
+        "{:>5} {:>12} {:>12} {:>9} {:>9}",
+        "N", "serial (s)", "parallel (s)", "speedup", "max bits"
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let row = kernel_row(n, threads);
+        println!(
+            "{:>5} {:>12} {:>12} {:>9.2} {:>9}",
+            row.n,
+            mathcloud_bench::secs(row.serial),
+            mathcloud_bench::secs(row.parallel),
+            row.speedup,
+            row.max_entry_bits
+        );
+        rows.push(json!({
+            "n": (row.n),
+            "serial_ms": (row.serial.as_secs_f64() * 1e3),
+            "parallel_ms": (row.parallel.as_secs_f64() * 1e3),
+            "speedup": (row.speedup),
+            "max_entry_bits": (row.max_entry_bits),
+        }));
+    }
+    let report = json!({
+        "bench": "table2-kernels",
+        "threads": threads,
+        "rows": (Value::Array(rows)),
+    });
+    std::fs::write("BENCH_4.json", report.to_pretty_string()).expect("write BENCH_4.json");
+    println!("wrote BENCH_4.json ({} sizes)", sizes.len());
     println!();
 }
 

@@ -16,6 +16,19 @@ use mathcloud_json::value::Object;
 use mathcloud_json::{Schema, Value};
 use mathcloud_workflow::{Engine, HttpDescriptions, Workflow};
 
+/// Records one exact inversion in the global metrics registry: duration in
+/// the `mc_exact_invert_seconds` histogram (labelled by kernel) and the
+/// pool's configured width in the `mc_exact_threads` gauge.
+fn record_invert(kernel: &str, took: Duration) {
+    let metrics = mathcloud_telemetry::metrics::global();
+    metrics
+        .histogram("mc_exact_invert_seconds", &[("kernel", kernel)])
+        .observe_duration(took);
+    metrics
+        .gauge("mc_exact_threads", &[])
+        .set(mathcloud_exact::effective_threads() as i64);
+}
+
 fn matrix_of(inputs: &Object, name: &str) -> Result<Matrix, String> {
     let text = inputs
         .get(name)
@@ -56,7 +69,9 @@ pub fn deploy_matrix_services(everest: &Everest) {
         .tag("exact"),
         NativeAdapter::from_fn(|inputs, _| {
             let m = matrix_of(inputs, "matrix")?;
+            let t0 = std::time::Instant::now();
             let inv = m.inverse().map_err(|e| e.to_string())?;
+            record_invert("auto", t0.elapsed());
             Ok(out(vec![
                 ("result", Value::from(inv.to_text())),
                 ("bits", Value::from(inv.max_entry_bits())),
@@ -259,6 +274,11 @@ pub struct Table2Row {
 
 /// Runs the Table 2 experiment for one Hilbert size against a live farm.
 ///
+/// The serial column is the single-threaded rational Gauss–Jordan oracle —
+/// the analogue of the paper's straightforward serial Maxima run. (The
+/// in-process kernel race, serial oracle vs the Auto kernel, is a separate
+/// experiment: [`kernel_row`] / `repro --table2 --json`.)
+///
 /// # Panics
 ///
 /// Panics if the workflow fails — the experiment is meaningless otherwise.
@@ -266,7 +286,7 @@ pub fn table2_row(n: usize, bases: &[String]) -> Table2Row {
     let h = hilbert(n);
 
     let t0 = std::time::Instant::now();
-    let serial_inverse = h.inverse().expect("hilbert matrices are invertible");
+    let serial_inverse = h.inverse_serial().expect("hilbert matrices are invertible");
     let serial = t0.elapsed();
 
     let workflow = schur_workflow(bases);
@@ -303,6 +323,55 @@ pub fn table2_row(n: usize, bases: &[String]) -> Table2Row {
     }
 }
 
+/// One row of the in-process kernel benchmark behind `repro --table2 --json`.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Serial rational Gauss–Jordan (the oracle).
+    pub serial: Duration,
+    /// Auto-strategy inversion on a 4-wide worker pool (Bareiss below the
+    /// crossover, recursive Schur split above it).
+    pub parallel: Duration,
+    /// `serial / parallel`.
+    pub speedup: f64,
+    /// Largest numerator/denominator bit size in the inverse.
+    pub max_entry_bits: usize,
+}
+
+/// Times serial-oracle vs pooled-auto Hilbert inversion at size `n`,
+/// asserting the two kernels agree bit for bit, and records both runs in the
+/// `mc_exact_invert_seconds` histogram.
+///
+/// # Panics
+///
+/// Panics if the kernels disagree — the benchmark is meaningless otherwise.
+pub fn kernel_row(n: usize, threads: usize) -> KernelRow {
+    let h = hilbert(n);
+
+    let t0 = std::time::Instant::now();
+    let oracle = h.inverse_serial().expect("hilbert matrices are invertible");
+    let serial = t0.elapsed();
+    record_invert("serial-gj", serial);
+
+    mathcloud_exact::set_threads(threads);
+    let t0 = std::time::Instant::now();
+    let fast = h.inverse().expect("hilbert matrices are invertible");
+    let parallel = t0.elapsed();
+    record_invert("auto", parallel);
+    mathcloud_exact::set_threads(0);
+
+    assert_eq!(fast, oracle, "parallel kernel must be error-free at n={n}");
+
+    KernelRow {
+        n,
+        serial,
+        parallel,
+        speedup: serial.as_secs_f64() / parallel.as_secs_f64(),
+        max_entry_bits: oracle.max_entry_bits(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +393,11 @@ mod tests {
             outputs.get("result").unwrap().as_str(),
             Some("1/2 0; 0 1/4")
         );
+        // The inversion must land in the exact-kernel telemetry.
+        let metrics = mathcloud_telemetry::metrics::global();
+        assert!(metrics.gauge_value("mc_exact_threads", &[]).unwrap_or(0) >= 1);
+        let hist = metrics.histogram("mc_exact_invert_seconds", &[("kernel", "auto")]);
+        assert!(hist.snapshot().count >= 1);
     }
 
     #[test]

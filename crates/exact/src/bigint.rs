@@ -62,6 +62,12 @@ impl BigInt {
         self.limbs.is_empty()
     }
 
+    /// Returns `true` if the value is exactly one (no allocation, unlike
+    /// comparing against [`BigInt::one`]).
+    pub fn is_one(&self) -> bool {
+        !self.negative && self.limbs == [1]
+    }
+
     /// Returns `true` if the value is strictly negative.
     pub fn is_negative(&self) -> bool {
         self.negative
@@ -811,6 +817,15 @@ mod tests {
             for j in 0..vals.len() {
                 assert_eq!(vals[i].cmp(&vals[j]), i.cmp(&j));
             }
+        }
+    }
+
+    #[test]
+    fn is_one_only_for_one() {
+        assert!(BigInt::one().is_one());
+        assert!(big("1").is_one());
+        for s in ["0", "-1", "2", "4294967296"] {
+            assert!(!big(s).is_one(), "{s}");
         }
     }
 

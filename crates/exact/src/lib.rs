@@ -11,6 +11,12 @@
 //! * [`Matrix`] — dense matrices over [`Rational`] with exact Gauss–Jordan
 //!   inversion, LU determinant, and the block (Schur-complement) inversion
 //!   used by the distributed MathCloud workflow,
+//! * [`bareiss`] — fraction-free (Bareiss) elimination over scaled integers
+//!   that defers all gcd normalization to one final pass; selected
+//!   automatically by [`Matrix::inverse`] for integer-scalable inputs,
+//! * [`parallel`] — a dependency-free scoped worker pool (`MC_EXACT_THREADS`
+//!   or [`set_threads`]) that row-blocks the multiply, the Gauss–Jordan
+//!   sweep, the Bareiss sweep, and the Schur quadrant products,
 //! * [`hilbert`] — Hilbert matrix generators for the Table 2 experiment.
 //!
 //! # Examples
@@ -23,13 +29,16 @@
 //! assert_eq!(&h * &inv, Matrix::identity(8));
 //! ```
 
+pub mod bareiss;
 pub mod bigint;
 pub mod matrix;
+pub mod parallel;
 pub mod rational;
 pub mod schur;
 
 pub use bigint::BigInt;
-pub use matrix::{Matrix, MatrixError};
+pub use matrix::{InvertStrategy, Matrix, MatrixError};
+pub use parallel::{effective_threads, set_threads};
 pub use rational::Rational;
 pub use schur::{block_inverse, BlockParts, SchurError};
 

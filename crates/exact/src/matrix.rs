@@ -2,9 +2,38 @@
 
 use std::error::Error;
 use std::fmt;
+use std::fmt::Write as _;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
+use crate::bareiss;
+use crate::parallel::{self, MIN_PARALLEL_OPS};
 use crate::rational::Rational;
+
+/// Dimension at which the Auto strategy stops eliminating directly and
+/// splits 2×2 via the Schur complement instead (recursively). Below this,
+/// fraction-free Bareiss beats rational Gauss–Jordan on integer-scalable
+/// inputs; above it, Bareiss worksheet entries (exact minors) outgrow the
+/// gcd-reduced rationals — the measured crossover on Hilbert matrices sits
+/// near n ≈ 40–48, and block splitting keeps every base inversion under it.
+pub(crate) const AUTO_BLOCK_MIN_DIM: usize = 40;
+
+/// Which elimination kernel [`Matrix::invert`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvertStrategy {
+    /// Pick automatically: matrices of dimension ≥ 40 invert through a
+    /// recursive 2×2 Schur-complement split (quadrant products on the worker
+    /// pool); at the base, fraction-free Bareiss runs when the input is
+    /// integer-scalable (every row's denominator-lcm below the auto bound —
+    /// Hilbert matrices qualify at every paper size), rational Gauss–Jordan
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Rational Gauss–Jordan with partial pivoting — the reference oracle.
+    GaussJordan,
+    /// Fraction-free Bareiss elimination over scaled integers with a single
+    /// final gcd-normalization pass.
+    Bareiss,
+}
 
 /// A dense `rows × cols` matrix of [`Rational`] entries.
 ///
@@ -170,62 +199,170 @@ impl Matrix {
         }))
     }
 
-    /// Exact inverse via Gauss–Jordan elimination with partial pivoting
-    /// (pivoting on the largest-magnitude entry keeps intermediate rationals
-    /// smaller).
+    /// Exact inverse: [`Matrix::invert`] with the [`InvertStrategy::Auto`]
+    /// kernel selection and the pool's configured thread count
+    /// ([`crate::parallel::effective_threads`]).
     ///
     /// # Errors
     ///
     /// [`MatrixError::NotSquare`] for rectangular input and
     /// [`MatrixError::Singular`] when no nonzero pivot exists.
     pub fn inverse(&self) -> Result<Matrix, MatrixError> {
+        self.invert(InvertStrategy::Auto, parallel::effective_threads())
+    }
+
+    /// The reference oracle: single-threaded rational Gauss–Jordan. Every
+    /// other kernel (parallel sweep, Bareiss) must agree with this bit for
+    /// bit; the property suite enforces it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Matrix::inverse`].
+    pub fn inverse_serial(&self) -> Result<Matrix, MatrixError> {
+        self.invert(InvertStrategy::GaussJordan, 1)
+    }
+
+    /// Exact inverse with an explicit elimination kernel and thread count
+    /// (`threads <= 1` means fully serial; small inputs stay serial
+    /// regardless).
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::NotSquare`] for rectangular input and
+    /// [`MatrixError::Singular`] when no nonzero pivot exists.
+    pub fn invert(&self, strategy: InvertStrategy, threads: usize) -> Result<Matrix, MatrixError> {
         if !self.is_square() {
             return Err(MatrixError::NotSquare(self.rows, self.cols));
         }
+        match strategy {
+            InvertStrategy::Auto => self.invert_auto(threads, AUTO_BLOCK_MIN_DIM),
+            InvertStrategy::Bareiss => bareiss::invert(self, threads),
+            InvertStrategy::GaussJordan => self.gauss_jordan(threads),
+        }
+    }
+
+    /// The Auto policy, with the block threshold injectable for tests.
+    ///
+    /// Large matrices split 2×2 and invert via the Schur complement — the
+    /// half-size sub-inversions recurse right back here, the quadrant
+    /// products run pairwise on the worker pool, and rational entries stay
+    /// small (the measured win over direct elimination grows with `n`).
+    /// At the base, integer-scalable inputs take the gcd-free Bareiss path
+    /// (fastest below the blow-up crossover, which the block split keeps us
+    /// under); everything else runs parallel rational Gauss–Jordan.
+    pub(crate) fn invert_auto(
+        &self,
+        threads: usize,
+        block_min: usize,
+    ) -> Result<Matrix, MatrixError> {
         let n = self.rows;
-        let mut a = self.clone();
-        let mut inv = Matrix::identity(n);
+        if n >= block_min.max(2) {
+            match crate::schur::block_inverse_auto(self, n / 2, threads, block_min) {
+                Ok(inv) => return Ok(inv),
+                // S = D − C·A⁻¹·B singular ⇒ the whole matrix is singular.
+                Err(crate::schur::SchurError::ComplementSingular) => {
+                    return Err(MatrixError::Singular)
+                }
+                // A leading-block pivot problem says nothing about the full
+                // matrix: fall through to direct elimination.
+                Err(_) => {}
+            }
+        }
+        if bareiss::auto_eligible(self) {
+            bareiss::invert(self, threads)
+        } else {
+            self.gauss_jordan(threads)
+        }
+    }
+
+    /// Gauss–Jordan with partial pivoting (pivoting on the largest-magnitude
+    /// entry keeps intermediate rationals smaller) on the augmented
+    /// `[A | I]` worksheet; the per-column row sweep fans out over the
+    /// worker pool.
+    fn gauss_jordan(&self, threads: usize) -> Result<Matrix, MatrixError> {
+        let n = self.rows;
+        let width = 2 * n;
+        let mut w = vec![Rational::zero(); n * width];
+        for i in 0..n {
+            for j in 0..n {
+                w[i * width + j] = self[(i, j)].clone();
+            }
+            w[i * width + n + i] = Rational::one();
+        }
 
         for col in 0..n {
             // Find a pivot.
             let pivot_row = (col..n)
-                .filter(|&r| !a[(r, col)].is_zero())
-                .max_by(|&x, &y| a[(x, col)].abs().cmp(&a[(y, col)].abs()))
+                .filter(|&r| !w[r * width + col].is_zero())
+                .max_by(|&x, &y| w[x * width + col].abs().cmp(&w[y * width + col].abs()))
                 .ok_or(MatrixError::Singular)?;
             if pivot_row != col {
-                a.swap_rows(pivot_row, col);
-                inv.swap_rows(pivot_row, col);
-            }
-            let pivot = a[(col, col)].clone();
-            let pivot_inv = pivot.recip();
-            for j in 0..n {
-                let v = &a[(col, j)] * &pivot_inv;
-                a[(col, j)] = v;
-                let v = &inv[(col, j)] * &pivot_inv;
-                inv[(col, j)] = v;
-            }
-            for row in 0..n {
-                if row == col || a[(row, col)].is_zero() {
-                    continue;
-                }
-                let factor = a[(row, col)].clone();
-                for j in 0..n {
-                    let v = &a[(row, j)] - &(&factor * &a[(col, j)]);
-                    a[(row, j)] = v;
-                    let v = &inv[(row, j)] - &(&factor * &inv[(col, j)]);
-                    inv[(row, j)] = v;
+                for j in 0..width {
+                    w.swap(pivot_row * width + j, col * width + j);
                 }
             }
+            // Normalize the pivot row: columns < col are already zero.
+            let pivot_inv = w[col * width + col].recip();
+            for j in col..width {
+                let v = &w[col * width + j] * &pivot_inv;
+                w[col * width + j] = v;
+            }
+            let pivot_row: Vec<Rational> = w[col * width + col..(col + 1) * width].to_vec();
+            let threads = if n.saturating_sub(1) * (width - col) >= MIN_PARALLEL_OPS {
+                threads
+            } else {
+                1
+            };
+            parallel::chunked_rows(&mut w, width, threads, |first_row, block| {
+                for (r, row) in block.chunks_mut(width).enumerate() {
+                    if first_row + r == col {
+                        continue;
+                    }
+                    if row[col].is_zero() {
+                        continue;
+                    }
+                    let factor = std::mem::take(&mut row[col]);
+                    // pivot_row[0] is the (normalized) pivot column entry 1;
+                    // columns below `col` are zero in both rows.
+                    for (j, pv) in pivot_row.iter().enumerate().skip(1) {
+                        if pv.is_zero() {
+                            continue;
+                        }
+                        let v = &row[col + j] - &(&factor * pv);
+                        row[col + j] = v;
+                    }
+                }
+            });
         }
-        Ok(inv)
+
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            data.extend_from_slice(&w[i * width + n..(i + 1) * width]);
+        }
+        Ok(Matrix::from_vec(n, n, data))
     }
 
-    /// Exact determinant via fraction-preserving Gaussian elimination.
+    /// Exact determinant: fraction-free Bareiss elimination when the input
+    /// is integer-scalable, rational Gaussian elimination otherwise.
     ///
     /// # Errors
     ///
     /// [`MatrixError::NotSquare`] for rectangular input.
     pub fn determinant(&self) -> Result<Rational, MatrixError> {
+        if bareiss::auto_eligible(self) {
+            return bareiss::determinant(self, parallel::effective_threads());
+        }
+        self.determinant_serial()
+    }
+
+    /// Exact determinant via fraction-preserving rational Gaussian
+    /// elimination — the serial reference the Bareiss path is checked
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::NotSquare`] for rectangular input.
+    pub fn determinant_serial(&self) -> Result<Rational, MatrixError> {
         if !self.is_square() {
             return Err(MatrixError::NotSquare(self.rows, self.cols));
         }
@@ -287,7 +424,11 @@ impl Matrix {
     /// assert_eq!(Matrix::from_text(&m.to_text()).unwrap(), m);
     /// ```
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
+        // One preallocated output buffer, entries formatted straight into it
+        // (no per-entry String). The capacity guess (4 chars per entry plus
+        // separators) is exact for small-integer matrices and amortizes the
+        // first few growth doublings for everything else.
+        let mut out = String::with_capacity(self.data.len() * 5);
         for i in 0..self.rows {
             if i > 0 {
                 out.push_str("; ");
@@ -296,7 +437,7 @@ impl Matrix {
                 if j > 0 {
                     out.push(' ');
                 }
-                out.push_str(&self[(i, j)].to_string());
+                write!(out, "{}", self[(i, j)]).expect("String write is infallible");
             }
         }
         out
@@ -308,37 +449,38 @@ impl Matrix {
     ///
     /// [`MatrixError::Parse`] on empty input, ragged rows, or bad entries.
     pub fn from_text(text: &str) -> Result<Matrix, MatrixError> {
-        let mut rows: Vec<Vec<Rational>> = Vec::new();
+        // Single pass: entries parse straight into one flat row-major buffer
+        // (no per-row Vec, no flatten copy). The mat-* services round-trip
+        // every matrix through this format, so the codec is a hot path.
+        let mut data: Vec<Rational> = Vec::with_capacity(text.len() / 2 + 1);
+        let mut cols = 0usize;
+        let mut rows = 0usize;
         for (i, row_text) in text.split(';').enumerate() {
-            let row: Result<Vec<Rational>, _> = row_text
-                .split_whitespace()
-                .map(|t| t.parse::<Rational>())
-                .collect();
-            let row = row.map_err(|e| MatrixError::Parse(format!("row {i}: {e}")))?;
-            if row.is_empty() {
+            let start = data.len();
+            for t in row_text.split_whitespace() {
+                let entry = t
+                    .parse::<Rational>()
+                    .map_err(|e| MatrixError::Parse(format!("row {i}: {e}")))?;
+                data.push(entry);
+            }
+            let row_len = data.len() - start;
+            if row_len == 0 {
                 return Err(MatrixError::Parse(format!("row {i} is empty")));
             }
-            if let Some(first) = rows.first() {
-                if row.len() != first.len() {
-                    return Err(MatrixError::Parse(format!(
-                        "row {i} has {} entries, expected {}",
-                        row.len(),
-                        first.len()
-                    )));
-                }
+            if i == 0 {
+                cols = row_len;
+            } else if row_len != cols {
+                return Err(MatrixError::Parse(format!(
+                    "row {i} has {row_len} entries, expected {cols}"
+                )));
             }
-            rows.push(row);
+            rows += 1;
         }
-        if rows.is_empty() {
+        if rows == 0 {
             return Err(MatrixError::Parse("empty matrix".into()));
         }
-        let cols = rows[0].len();
-        let r = rows.len();
-        Ok(Matrix::from_vec(
-            r,
-            cols,
-            rows.into_iter().flatten().collect(),
-        ))
+        data.shrink_to_fit();
+        Ok(Matrix::from_vec(rows, cols, data))
     }
 }
 
@@ -390,6 +532,47 @@ impl Sub for &Matrix {
     }
 }
 
+impl Matrix {
+    /// Exact product with an explicit worker count: output rows are computed
+    /// in contiguous blocks, one block per worker. The i-k-j loop order
+    /// reads `rhs` row-wise (cache-friendly) and, because rational
+    /// arithmetic is exact, produces bit-identical sums to any other
+    /// summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.cols != rhs.rows`.
+    pub fn mul_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matrix product shape mismatch");
+        let (rows, cols, inner) = (self.rows, rhs.cols, self.cols);
+        let mut data = vec![Rational::zero(); rows * cols];
+        let threads = if rows * cols * inner >= MIN_PARALLEL_OPS {
+            threads
+        } else {
+            1
+        };
+        parallel::chunked_rows(&mut data, cols, threads, |first_row, block| {
+            for (r, out_row) in block.chunks_mut(cols).enumerate() {
+                let i = first_row + r;
+                for k in 0..inner {
+                    let aik = &self[(i, k)];
+                    if aik.is_zero() {
+                        continue;
+                    }
+                    for (j, out) in out_row.iter_mut().enumerate() {
+                        let b = &rhs[(k, j)];
+                        if b.is_zero() {
+                            continue;
+                        }
+                        *out += &(aik * b);
+                    }
+                }
+            }
+        });
+        Matrix { rows, cols, data }
+    }
+}
+
 impl Mul for &Matrix {
     type Output = Matrix;
 
@@ -397,17 +580,7 @@ impl Mul for &Matrix {
     ///
     /// Panics when `self.cols != rhs.rows`.
     fn mul(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matrix product shape mismatch");
-        Matrix::from_fn(self.rows, rhs.cols, |i, j| {
-            let mut acc = Rational::zero();
-            for k in 0..self.cols {
-                if self[(i, k)].is_zero() || rhs[(k, j)].is_zero() {
-                    continue;
-                }
-                acc += &(&self[(i, k)] * &rhs[(k, j)]);
-            }
-            acc
-        })
+        self.mul_threads(rhs, parallel::effective_threads())
     }
 }
 
@@ -498,6 +671,41 @@ mod tests {
             hilbert(3).determinant().unwrap(),
             Rational::from_ratio(1, 2160)
         );
+    }
+
+    #[test]
+    fn auto_block_recursion_matches_oracle() {
+        // Drive the Auto policy's Schur-split arm with a tiny threshold so
+        // n = 9 recurses (9 → 4 + 5 → base Bareiss) without big matrices.
+        let h = hilbert(9);
+        let oracle = h.inverse_serial().unwrap();
+        for threads in [1, 3] {
+            assert_eq!(h.invert_auto(threads, 6).unwrap(), oracle);
+        }
+    }
+
+    #[test]
+    fn auto_block_recursion_reports_singularity() {
+        // Singular matrix with an invertible leading block: the Schur arm
+        // must surface ComplementSingular as MatrixError::Singular.
+        let m = Matrix::from_fn(8, 8, |i, j| {
+            if i == 7 {
+                // Last row = first row ⇒ rank deficient.
+                Rational::from_ratio((j + 1) as i64, 1)
+            } else {
+                Rational::from_ratio((i * 8 + j + 1) as i64 % 7 + 1, (j + 1) as i64)
+            }
+        });
+        let m = {
+            // Ensure row 7 duplicates row 0 exactly.
+            let mut rows: Vec<Vec<Rational>> = (0..8)
+                .map(|i| (0..8).map(|j| m[(i, j)].clone()).collect())
+                .collect();
+            rows[7] = rows[0].clone();
+            Matrix::from_fn(8, 8, |i, j| rows[i][j].clone())
+        };
+        assert_eq!(m.inverse_serial().unwrap_err(), MatrixError::Singular);
+        assert_eq!(m.invert_auto(2, 6).unwrap_err(), MatrixError::Singular);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! A small scoped worker pool for the exact linear-algebra kernels.
+//!
+//! The exact kernels are embarrassingly row-parallel: a Gauss–Jordan
+//! elimination sweep updates every non-pivot row independently, a matrix
+//! product computes every output row independently, and the Schur workflow's
+//! quadrant products are independent given their inputs. This module gives
+//! those loops multicore execution with zero dependencies and zero persistent
+//! state: each parallel region is a [`std::thread::scope`] whose workers are
+//! joined before the region returns, so there is no pool lifecycle to manage
+//! and panics propagate to the caller like in serial code.
+//!
+//! # Thread-count resolution
+//!
+//! [`effective_threads`] resolves, in order:
+//!
+//! 1. the programmatic override set via [`set_threads`] (wins while nonzero),
+//! 2. the `MC_EXACT_THREADS` environment variable (positive integer),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A resolved count of 1 makes every primitive run serially on the calling
+//! thread — no threads are spawned, so single-core deployments and tests pay
+//! nothing for the abstraction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Programmatic thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Minimum number of scalar entry operations a parallel region must contain
+/// before spawning workers is worth the ~tens-of-microseconds scope cost.
+/// Exact-rational entry operations are microsecond-scale, so this is a low
+/// bar; tiny matrices stay serial.
+pub(crate) const MIN_PARALLEL_OPS: usize = 4096;
+
+/// Sets (or with `0`, clears) the process-wide thread-count override.
+///
+/// Takes precedence over `MC_EXACT_THREADS`. Benchmarks use this to sweep
+/// thread counts without re-execing.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads the exact kernels will use: the
+/// [`set_threads`] override, else `MC_EXACT_THREADS`, else the machine's
+/// available parallelism (at least 1).
+pub fn effective_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("MC_EXACT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `data` (row-major, `cols` entries per row) into up to `threads`
+/// contiguous row blocks and runs `body(first_row_index, block)` for each
+/// block, in parallel on scoped workers.
+///
+/// With `threads <= 1`, fewer than two rows, or an empty slice the body runs
+/// once on the calling thread — identical semantics, no spawn.
+///
+/// # Panics
+///
+/// Panics if `cols` is zero or `data.len()` is not a multiple of `cols`.
+pub fn chunked_rows<T, F>(data: &mut [T], cols: usize, threads: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(cols > 0, "chunked_rows requires at least one column");
+    assert_eq!(
+        data.len() % cols,
+        0,
+        "data length must be a multiple of the row width"
+    );
+    let rows = data.len() / cols;
+    let workers = threads.min(rows).max(1);
+    if workers <= 1 {
+        body(0, data);
+        return;
+    }
+    // Nearly equal contiguous blocks: the first `extra` blocks get one more row.
+    let base = rows / workers;
+    let extra = rows % workers;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut row = 0usize;
+        for w in 0..workers {
+            let block_rows = base + usize::from(w < extra);
+            let (block, tail) = rest.split_at_mut(block_rows * cols);
+            rest = tail;
+            let first_row = row;
+            row += block_rows;
+            if w + 1 == workers {
+                // Run the last block on the calling thread instead of idling.
+                body(first_row, block);
+            } else {
+                let body = &body;
+                scope.spawn(move || body(first_row, block));
+            }
+        }
+    });
+}
+
+/// Runs two independent computations, the second on a scoped worker when
+/// `threads > 1`, and returns both results. The serial fallback preserves
+/// evaluation order (`a` first).
+pub fn join<RA, RB, A, B>(threads: usize, a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    if threads <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("exact-kernel worker panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_rows_covers_every_row_once() {
+        for rows in [1usize, 2, 3, 7, 16] {
+            for threads in [1usize, 2, 3, 4, 9] {
+                let cols = 3;
+                let mut data = vec![0u32; rows * cols];
+                chunked_rows(&mut data, cols, threads, |first_row, block| {
+                    for (r, row) in block.chunks_mut(cols).enumerate() {
+                        for v in row {
+                            *v += (first_row + r) as u32 + 1;
+                        }
+                    }
+                });
+                for (i, v) in data.iter().enumerate() {
+                    assert_eq!(*v, (i / cols) as u32 + 1, "rows={rows} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_rows_serial_when_single_thread() {
+        let mut data = vec![1u8; 12];
+        let main = std::thread::current().id();
+        chunked_rows(&mut data, 4, 1, |_, block| {
+            assert_eq!(std::thread::current().id(), main);
+            for v in block {
+                *v = 2;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the row width")]
+    fn chunked_rows_rejects_ragged_data() {
+        let mut data = vec![0u8; 5];
+        chunked_rows(&mut data, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1usize, 4] {
+            let (a, b) = join(threads, || 6 * 7, || "ok".to_string());
+            assert_eq!(a, 42);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn override_beats_env_and_is_clearable() {
+        // Serialized via the env var being process-global: this test only
+        // touches the override to stay independent of the environment.
+        set_threads(3);
+        assert_eq!(effective_threads(), 3);
+        set_threads(0);
+        assert!(effective_threads() >= 1);
+    }
+}

@@ -97,7 +97,7 @@ impl Rational {
             return;
         }
         let g = self.num.gcd(&self.den);
-        if g != BigInt::one() {
+        if !g.is_one() {
             self.num = &self.num / &g;
             self.den = &self.den / &g;
         }
@@ -120,7 +120,12 @@ impl Rational {
 
     /// Returns `true` if the denominator is one.
     pub fn is_integer(&self) -> bool {
-        self.den == BigInt::one()
+        self.den.is_one()
+    }
+
+    /// Returns `true` if the value is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
     }
 
     /// The sign as -1, 0 or 1.
@@ -143,7 +148,19 @@ impl Rational {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Rational {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rational::new(self.den.clone(), self.num.clone())
+        // num and den are already coprime, so the reciprocal only needs its
+        // sign moved to the numerator — no gcd.
+        if self.num.is_negative() {
+            Rational {
+                num: -self.den.clone(),
+                den: self.num.abs(),
+            }
+        } else {
+            Rational {
+                num: self.den.clone(),
+                den: self.num.clone(),
+            }
+        }
     }
 
     /// Lossy conversion to `f64`.
@@ -287,10 +304,33 @@ impl Add for &Rational {
     type Output = Rational;
 
     fn add(self, rhs: &Rational) -> Rational {
-        Rational::new(
-            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
-            &self.den * &rhs.den,
-        )
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        match (self.den.is_one(), rhs.den.is_one()) {
+            // Integer + integer needs no gcd: the denominator stays 1.
+            (true, true) => Rational {
+                num: &self.num + &rhs.num,
+                den: BigInt::one(),
+            },
+            // a + c/d = (a·d + c)/d and gcd(a·d + c, d) = gcd(c, d) = 1,
+            // so the result is already normalized.
+            (true, false) => Rational {
+                num: &(&self.num * &rhs.den) + &rhs.num,
+                den: rhs.den.clone(),
+            },
+            (false, true) => Rational {
+                num: &self.num + &(&rhs.num * &self.den),
+                den: self.den.clone(),
+            },
+            (false, false) => Rational::new(
+                &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+                &self.den * &rhs.den,
+            ),
+        }
     }
 }
 
@@ -298,10 +338,31 @@ impl Sub for &Rational {
     type Output = Rational;
 
     fn sub(self, rhs: &Rational) -> Rational {
-        Rational::new(
-            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
-            &self.den * &rhs.den,
-        )
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        if self.is_zero() {
+            return -rhs;
+        }
+        match (self.den.is_one(), rhs.den.is_one()) {
+            (true, true) => Rational {
+                num: &self.num - &rhs.num,
+                den: BigInt::one(),
+            },
+            // Same coprimality argument as addition: gcd(a·d − c, d) = 1.
+            (true, false) => Rational {
+                num: &(&self.num * &rhs.den) - &rhs.num,
+                den: rhs.den.clone(),
+            },
+            (false, true) => Rational {
+                num: &self.num - &(&rhs.num * &self.den),
+                den: self.den.clone(),
+            },
+            (false, false) => Rational::new(
+                &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
+                &self.den * &rhs.den,
+            ),
+        }
     }
 }
 
@@ -309,10 +370,58 @@ impl Mul for &Rational {
     type Output = Rational;
 
     fn mul(self, rhs: &Rational) -> Rational {
+        if self.is_zero() || rhs.is_zero() {
+            return Rational::zero();
+        }
+        if self.is_one() {
+            return rhs.clone();
+        }
+        if rhs.is_one() {
+            return self.clone();
+        }
+        // Integer operands skip the cross-gcds entirely (one of the two is
+        // trivial when a denominator is 1).
+        match (self.den.is_one(), rhs.den.is_one()) {
+            (true, true) => {
+                return Rational {
+                    num: &self.num * &rhs.num,
+                    den: BigInt::one(),
+                }
+            }
+            (true, false) => {
+                let g = self.num.gcd(&rhs.den);
+                return if g.is_one() {
+                    Rational {
+                        num: &self.num * &rhs.num,
+                        den: rhs.den.clone(),
+                    }
+                } else {
+                    Rational {
+                        num: &(&self.num / &g) * &rhs.num,
+                        den: &rhs.den / &g,
+                    }
+                };
+            }
+            (false, true) => {
+                let g = rhs.num.gcd(&self.den);
+                return if g.is_one() {
+                    Rational {
+                        num: &self.num * &rhs.num,
+                        den: self.den.clone(),
+                    }
+                } else {
+                    Rational {
+                        num: &self.num * &(&rhs.num / &g),
+                        den: &self.den / &g,
+                    }
+                };
+            }
+            (false, false) => {}
+        }
         // Cross-reduce before multiplying to keep intermediates small.
         let g1 = self.num.gcd(&rhs.den);
         let g2 = rhs.num.gcd(&self.den);
-        if g1 == BigInt::one() && g2 == BigInt::one() {
+        if g1.is_one() && g2.is_one() {
             return Rational {
                 num: &self.num * &rhs.num,
                 den: &self.den * &rhs.den,
@@ -337,6 +446,12 @@ impl Div for &Rational {
     /// Panics on division by zero.
     fn div(self, rhs: &Rational) -> Rational {
         assert!(!rhs.is_zero(), "division by zero rational");
+        if self.is_zero() {
+            return Rational::zero();
+        }
+        if rhs.is_one() {
+            return self.clone();
+        }
         self * &rhs.recip()
     }
 }
@@ -480,6 +595,76 @@ mod tests {
             BigInt::from(3).pow(2000) * BigInt::from(2),
         );
         assert!((big.to_f64() - 0.5).abs() < 1e-12);
+    }
+
+    /// The gcd-skipping fast paths (integer operands, zero/one
+    /// short-circuits) must still produce fully normalized values:
+    /// positive denominator, coprime num/den, zero as 0/1.
+    #[test]
+    fn fast_paths_stay_normalized() {
+        let check = |r: &Rational| {
+            assert!(r.denom().is_positive(), "{r}: den not positive");
+            assert!(r.numer().gcd(r.denom()).is_one(), "{r}: not reduced");
+            if r.is_zero() {
+                assert!(r.denom().is_one(), "{r}: zero not 0/1");
+            }
+        };
+        let zero = Rational::zero();
+        let one = Rational::one();
+        let samples = [
+            rat("0"),
+            rat("1"),
+            rat("-1"),
+            rat("6"),
+            rat("-4"),
+            rat("3/4"),
+            rat("-22/7"),
+            rat("10/21"),
+        ];
+        for a in &samples {
+            // Zero/one short-circuits return the other operand unchanged.
+            assert_eq!(&(a + &zero), a);
+            assert_eq!(&(&zero + a), a);
+            assert_eq!(a - &zero, a.clone());
+            assert_eq!(&zero - a, -a);
+            assert_eq!(a * &zero, zero);
+            assert_eq!(&zero * a, zero);
+            assert_eq!(&(a * &one), a);
+            assert_eq!(&(&one * a), a);
+            assert_eq!(&(a / &one), a);
+            for b in &samples {
+                let sum = a + b;
+                let diff = a - b;
+                let prod = a * b;
+                for r in [&sum, &diff, &prod] {
+                    check(r);
+                }
+                if !b.is_zero() {
+                    check(&(a / b));
+                }
+                // Cross-check against the always-normalizing constructor.
+                assert_eq!(
+                    sum,
+                    Rational::new(
+                        &(a.numer() * b.denom()) + &(b.numer() * a.denom()),
+                        a.denom() * b.denom(),
+                    ),
+                    "{a} + {b}"
+                );
+                assert_eq!(
+                    prod,
+                    Rational::new(a.numer() * b.numer(), a.denom() * b.denom()),
+                    "{a} * {b}"
+                );
+            }
+        }
+        // Integer fast paths: 2 + 3 = 5/1, 2 * 3 = 6/1, 6 * (5/3) reduces.
+        assert_eq!(rat("2") + rat("3"), rat("5"));
+        assert_eq!(rat("2") * rat("3"), rat("6"));
+        assert_eq!(rat("6") * rat("5/3"), rat("10"));
+        assert_eq!(rat("5/3") * rat("6"), rat("10"));
+        assert_eq!(rat("2") + rat("1/2"), rat("5/2"));
+        assert_eq!(rat("1/2") - rat("2"), rat("-3/2"));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::matrix::{Matrix, MatrixError};
+use crate::parallel;
 
 /// The 2×2 block decomposition of a square matrix.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,27 +104,60 @@ impl From<MatrixError> for SchurError {
 /// assert_eq!(&h * &inv, Matrix::identity(10));
 /// ```
 pub fn block_inverse(m: &Matrix, split: usize) -> Result<Matrix, SchurError> {
+    block_inverse_impl(m, split, parallel::effective_threads(), None)
+}
+
+/// Block inversion with the sub-block inversions routed through the Auto
+/// strategy (recursing into further block splits above `block_min`). This is
+/// the large-`n` arm of [`Matrix::invert`]'s Auto policy.
+pub(crate) fn block_inverse_auto(
+    m: &Matrix,
+    split: usize,
+    threads: usize,
+    block_min: usize,
+) -> Result<Matrix, SchurError> {
+    block_inverse_impl(m, split, threads, Some(block_min))
+}
+
+fn block_inverse_impl(
+    m: &Matrix,
+    split: usize,
+    threads: usize,
+    auto_block_min: Option<usize>,
+) -> Result<Matrix, SchurError> {
+    let invert = |b: &Matrix| match auto_block_min {
+        Some(block_min) => b.invert_auto(threads, block_min),
+        None => b.inverse(),
+    };
     let parts = BlockParts::split(m, split);
-    let a_inv = parts.a.inverse().map_err(|e| match e {
+    let a_inv = invert(&parts.a).map_err(|e| match e {
         MatrixError::Singular => SchurError::LeadingBlockSingular,
         other => SchurError::Matrix(other),
     })?;
 
-    // These two products are independent given A⁻¹ — the distributed
-    // workflow computes them on different services in parallel.
-    let a_inv_b = &a_inv * &parts.b;
-    let c_a_inv = &parts.c * &a_inv;
+    // The quadrant products pair up into independent tasks exactly like the
+    // 4-service MathCloud workflow: each pair runs on the worker pool.
+    let (a_inv_b, c_a_inv) = parallel::join(
+        threads,
+        || &a_inv * &parts.b, // A⁻¹·B
+        || &parts.c * &a_inv, // C·A⁻¹
+    );
 
     let s = &parts.d - &(&parts.c * &a_inv_b);
-    let s_inv = s.inverse().map_err(|e| match e {
+    let s_inv = invert(&s).map_err(|e| match e {
         MatrixError::Singular => SchurError::ComplementSingular,
         other => SchurError::Matrix(other),
     })?;
 
     // Again independent given S⁻¹.
-    let top_right = -1 * &(&a_inv_b * &s_inv);
-    let bottom_left = -1 * &(&s_inv * &c_a_inv);
-    let top_left = &a_inv + &(&(&a_inv_b * &s_inv) * &c_a_inv);
+    let (aibsi, sicai) = parallel::join(
+        threads,
+        || &a_inv_b * &s_inv, // (A⁻¹B)·S⁻¹
+        || &s_inv * &c_a_inv, // S⁻¹·(CA⁻¹)
+    );
+    let top_right = -1 * &aibsi;
+    let bottom_left = -1 * &sicai;
+    let top_left = &a_inv + &(&aibsi * &c_a_inv);
 
     Matrix::from_blocks(&top_left, &top_right, &bottom_left, &s_inv).map_err(SchurError::from)
 }

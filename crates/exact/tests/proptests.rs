@@ -1,7 +1,7 @@
 //! Randomized property tests for exact arithmetic, driven by the
 //! workspace's deterministic PRNG (offline, reproducible).
 
-use mathcloud_exact::{BigInt, Matrix, Rational};
+use mathcloud_exact::{BigInt, InvertStrategy, Matrix, Rational};
 use mathcloud_telemetry::XorShift64;
 
 const CASES: usize = 150;
@@ -207,5 +207,143 @@ fn matrix_text_round_trip() {
         }
         let m = Matrix::from_fn(2, 3, |i, j| seed[i * 3 + j].clone());
         assert_eq!(Matrix::from_text(&m.to_text()).unwrap(), m, "case {case}");
+    }
+}
+
+/// Large-matrix text round-trip regression: the single-pass parser and the
+/// preallocating serializer must survive a 250×250 matrix (the paper's full
+/// Table 2 starts at N = 250) without quadratic blow-up or truncation.
+#[test]
+fn matrix_text_round_trip_250() {
+    let mut rng = XorShift64::new(0x250);
+    let m = Matrix::from_fn(250, 250, |_, _| arb_entry(&mut rng));
+    let text = m.to_text();
+    let back = Matrix::from_text(&text).unwrap();
+    assert_eq!(back, m);
+    assert_eq!(back.to_text(), text);
+}
+
+fn arb_square(rng: &mut XorShift64, n: usize) -> Matrix {
+    let mut seed: Vec<Rational> = Vec::with_capacity(n * n);
+    for _ in 0..n * n {
+        seed.push(arb_entry(rng));
+    }
+    Matrix::from_fn(n, n, |i, j| seed[i * n + j].clone())
+}
+
+/// The parallel row-blocked product is bit-identical to the serial product
+/// for every thread count (exact arithmetic makes the result independent of
+/// how rows are chunked).
+#[test]
+fn parallel_mul_matches_serial() {
+    let mut rng = XorShift64::new(0x3A1);
+    for case in 0..20 {
+        let rows = 1 + rng.index(9);
+        let inner = 1 + rng.index(9);
+        let cols = 1 + rng.index(9);
+        let mut ent: Vec<Rational> = Vec::with_capacity(rows * inner + inner * cols);
+        for _ in 0..rows * inner + inner * cols {
+            ent.push(arb_entry(&mut rng));
+        }
+        let a = Matrix::from_fn(rows, inner, |i, j| ent[i * inner + j].clone());
+        let b = Matrix::from_fn(inner, cols, |i, j| ent[rows * inner + i * cols + j].clone());
+        let serial = a.mul_threads(&b, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                a.mul_threads(&b, threads),
+                serial,
+                "case {case}: {rows}x{inner}x{cols} at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Every inversion kernel — parallel Gauss–Jordan, fraction-free Bareiss,
+/// and the Auto policy (including its recursive Schur-split arm) — agrees
+/// bit for bit with the serial rational Gauss–Jordan oracle, across random
+/// dimensions and thread counts, and all kernels agree on singularity.
+#[test]
+fn invert_kernels_match_serial_oracle() {
+    let mut rng = XorShift64::new(0x1A4);
+    for case in 0..25 {
+        let n = 1 + rng.index(8);
+        let a = arb_square(&mut rng, n);
+        let oracle = a.inverse_serial();
+        for threads in [1, 2, 5] {
+            let gj = a.invert(InvertStrategy::GaussJordan, threads);
+            let bareiss = a.invert(InvertStrategy::Bareiss, threads);
+            let auto = a.invert(InvertStrategy::Auto, threads);
+            match &oracle {
+                Ok(inv) => {
+                    assert_eq!(gj.as_ref().unwrap(), inv, "case {case} gj@{threads}");
+                    assert_eq!(
+                        bareiss.as_ref().unwrap(),
+                        inv,
+                        "case {case} bareiss@{threads}"
+                    );
+                    assert_eq!(auto.as_ref().unwrap(), inv, "case {case} auto@{threads}");
+                }
+                Err(e) => {
+                    assert_eq!(gj.as_ref().unwrap_err(), e, "case {case} gj@{threads}");
+                    assert_eq!(
+                        bareiss.as_ref().unwrap_err(),
+                        e,
+                        "case {case} bareiss@{threads}"
+                    );
+                    assert_eq!(auto.as_ref().unwrap_err(), e, "case {case} auto@{threads}");
+                }
+            }
+        }
+    }
+}
+
+/// Singular matrices (a random rank-deficient construction: one row is a
+/// copy of another) are rejected by every kernel at every thread count.
+#[test]
+fn singular_inputs_rejected_by_all_kernels() {
+    let mut rng = XorShift64::new(0x516);
+    for case in 0..15 {
+        let n = 2 + rng.index(6);
+        let base = arb_square(&mut rng, n);
+        let src = rng.index(n);
+        let dst = (src + 1 + rng.index(n - 1)) % n;
+        let m = Matrix::from_fn(n, n, |i, j| {
+            let row = if i == dst { src } else { i };
+            base[(row, j)].clone()
+        });
+        assert_eq!(
+            m.inverse_serial().unwrap_err(),
+            mathcloud_exact::MatrixError::Singular,
+            "case {case}"
+        );
+        for threads in [1, 4] {
+            for strategy in [
+                InvertStrategy::GaussJordan,
+                InvertStrategy::Bareiss,
+                InvertStrategy::Auto,
+            ] {
+                assert_eq!(
+                    m.invert(strategy, threads).unwrap_err(),
+                    mathcloud_exact::MatrixError::Singular,
+                    "case {case}: {strategy:?}@{threads} on {n}x{n}"
+                );
+            }
+        }
+        assert_eq!(m.determinant().unwrap(), Rational::zero(), "case {case}");
+    }
+}
+
+/// Bareiss and the serial rational pipeline compute identical determinants.
+#[test]
+fn determinant_kernels_agree() {
+    let mut rng = XorShift64::new(0xDE7);
+    for case in 0..25 {
+        let n = 1 + rng.index(7);
+        let a = arb_square(&mut rng, n);
+        assert_eq!(
+            a.determinant().unwrap(),
+            a.determinant_serial().unwrap(),
+            "case {case}: {n}x{n}"
+        );
     }
 }

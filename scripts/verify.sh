@@ -32,4 +32,31 @@ echo "==> catalogue federation test (release, 120s budget)"
 timeout 120 cargo test -q --offline --release \
   -p mathcloud-integration-tests --test federation
 
+# The Table 2 kernel smoke proves the parallel/fraction-free inversion path
+# still beats the serial oracle (the kernels are asserted bit-identical
+# inside the binary). Release mode because exact arithmetic is ~20x slower
+# unoptimized; the smoke sizes finish in well under a second.
+echo "==> table2 kernel smoke (release, 120s budget)"
+cargo build -q --release --offline -p mathcloud-bench --bin repro
+rm -f BENCH_4.json
+timeout 120 ./target/release/repro --table2 --json --smoke
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_4.json") as f:
+    report = json.load(f)
+rows = report["rows"]
+assert rows, "BENCH_4.json has no rows"
+for row in rows:
+    for key in ("n", "serial_ms", "parallel_ms", "speedup", "max_entry_bits"):
+        assert key in row, f"row missing {key}: {row}"
+last = rows[-1]
+if last["parallel_ms"] > last["serial_ms"]:
+    sys.exit(
+        f"parallel inversion slower than serial at N={last['n']}: "
+        f"{last['parallel_ms']:.1f}ms vs {last['serial_ms']:.1f}ms"
+    )
+print(f"BENCH_4.json OK: speedup {last['speedup']:.2f}x at N={last['n']}")
+EOF
+
 echo "verify: OK"
