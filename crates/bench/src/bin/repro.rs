@@ -10,13 +10,15 @@
 //! sizes that finish in minutes and exhibit the same speedup shape.
 //!
 //! `--table2 --json` runs the in-process kernel benchmark (serial rational
-//! Gauss–Jordan oracle vs the 4-thread Auto kernel) and writes `BENCH_4.json`
-//! to the current directory; `--smoke` restricts it to the CI smoke sizes.
+//! Gauss–Jordan oracle vs the 4-thread Auto kernel, plus the
+//! schoolbook/Karatsuba/Toom-3 multiplication crossover sweep) and writes
+//! `BENCH_5.json` to the current directory; `--smoke` restricts it to the CI
+//! smoke sizes.
 
 use std::time::{Duration, Instant};
 
 use mathcloud_bench::dw::{spawn_solver_pool, RemoteSolverPool, SolverLatency};
-use mathcloud_bench::matrix::{kernel_row, spawn_matrix_farm, table2_row};
+use mathcloud_bench::matrix::{kernel_row, mul_kernel_row, spawn_matrix_farm, table2_row};
 use mathcloud_bench::overhead::{measure_overhead, spawn_compute_server};
 use mathcloud_bench::xrayservices::spawn_xray_server;
 use mathcloud_client::ServiceClient;
@@ -165,30 +167,32 @@ fn table2(full: bool) {
     println!();
 }
 
-/// Table 2 kernel baseline: serial oracle vs the 4-thread Auto kernel,
-/// emitted as `BENCH_4.json` for CI to validate.
+/// Table 2 kernel baseline: serial oracle vs the 4-thread Auto kernel plus
+/// the multiplication-crossover sweep, emitted as `BENCH_5.json` for CI to
+/// validate.
 fn table2_json(smoke: bool) {
     println!("== Table 2 kernel baseline: serial Gauss-Jordan vs 4-thread auto ==");
     let sizes: &[usize] = if smoke {
         &[16, 24, 32]
     } else {
-        &[16, 24, 32, 48, 64]
+        &[16, 24, 32, 48, 64, 100]
     };
     let threads = 4;
     println!(
-        "{:>5} {:>12} {:>12} {:>9} {:>9}",
-        "N", "serial (s)", "parallel (s)", "speedup", "max bits"
+        "{:>5} {:>12} {:>12} {:>9} {:>9} {:>11}",
+        "N", "serial (s)", "parallel (s)", "speedup", "max bits", "mul kernel"
     );
     let mut rows = Vec::new();
     for &n in sizes {
         let row = kernel_row(n, threads);
         println!(
-            "{:>5} {:>12} {:>12} {:>9.2} {:>9}",
+            "{:>5} {:>12} {:>12} {:>9.2} {:>9} {:>11}",
             row.n,
             mathcloud_bench::secs(row.serial),
             mathcloud_bench::secs(row.parallel),
             row.speedup,
-            row.max_entry_bits
+            row.max_entry_bits,
+            row.mul_kernel
         );
         rows.push(json!({
             "n": (row.n),
@@ -196,15 +200,53 @@ fn table2_json(smoke: bool) {
             "parallel_ms": (row.parallel.as_secs_f64() * 1e3),
             "speedup": (row.speedup),
             "max_entry_bits": (row.max_entry_bits),
+            "mul_kernel": (row.mul_kernel),
         }));
     }
+
+    // Multiplication crossover sweep: every tier on the same operands,
+    // agreement asserted inside `mul_kernel_row`. The smoke set keeps the
+    // ≥256-limb point CI gates on (Toom-3 must beat schoolbook there).
+    println!("== Multiplication kernels: schoolbook vs Karatsuba vs Toom-3 ==");
+    let limb_sizes: &[usize] = if smoke {
+        &[64, 256]
+    } else {
+        &[32, 64, 128, 256, 512, 1024]
+    };
+    println!(
+        "{:>7} {:>14} {:>14} {:>14}",
+        "limbs", "schoolbook (s)", "karatsuba (s)", "toom-3 (s)"
+    );
+    let mut mul_rows = Vec::new();
+    for &limbs in limb_sizes {
+        let row = mul_kernel_row(limbs);
+        println!(
+            "{:>7} {:>14} {:>14} {:>14}",
+            row.limbs,
+            mathcloud_bench::secs(row.schoolbook),
+            mathcloud_bench::secs(row.karatsuba),
+            mathcloud_bench::secs(row.toom3)
+        );
+        mul_rows.push(json!({
+            "limbs": (row.limbs),
+            "schoolbook_ms": (row.schoolbook.as_secs_f64() * 1e3),
+            "karatsuba_ms": (row.karatsuba.as_secs_f64() * 1e3),
+            "toom3_ms": (row.toom3.as_secs_f64() * 1e3),
+        }));
+    }
+
     let report = json!({
         "bench": "table2-kernels",
         "threads": threads,
         "rows": (Value::Array(rows)),
+        "mul_kernels": (Value::Array(mul_rows)),
     });
-    std::fs::write("BENCH_4.json", report.to_pretty_string()).expect("write BENCH_4.json");
-    println!("wrote BENCH_4.json ({} sizes)", sizes.len());
+    std::fs::write("BENCH_5.json", report.to_pretty_string()).expect("write BENCH_5.json");
+    println!(
+        "wrote BENCH_5.json ({} sizes, {} mul points)",
+        sizes.len(),
+        limb_sizes.len()
+    );
     println!();
 }
 

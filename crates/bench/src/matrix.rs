@@ -10,10 +10,10 @@ use std::time::Duration;
 use mathcloud_core::{Parameter, ServiceDescription};
 use mathcloud_everest::adapter::NativeAdapter;
 use mathcloud_everest::Everest;
-use mathcloud_exact::{hilbert, Matrix};
+use mathcloud_exact::{hilbert, InvertStrategy, Matrix, MulKernel};
 use mathcloud_http::Server;
 use mathcloud_json::value::Object;
-use mathcloud_json::{Schema, Value};
+use mathcloud_json::{json, Schema, Value};
 use mathcloud_workflow::{Engine, HttpDescriptions, Workflow};
 
 /// Records one exact inversion in the global metrics registry: duration in
@@ -60,6 +60,16 @@ pub fn deploy_matrix_services(everest: &Everest) {
             "Exact (error-free) inversion of a rational matrix",
         )
         .input(mat_param("matrix"))
+        .input(
+            Parameter::new(
+                "strategy",
+                Schema::string()
+                    .one_of(vec![json!("auto"), json!("gauss-jordan"), json!("bareiss")])
+                    .default_value(json!("auto"))
+                    .description("elimination kernel to run"),
+            )
+            .optional(),
+        )
         .output(mat_param("result"))
         .output(Parameter::new(
             "bits",
@@ -69,9 +79,19 @@ pub fn deploy_matrix_services(everest: &Everest) {
         .tag("exact"),
         NativeAdapter::from_fn(|inputs, _| {
             let m = matrix_of(inputs, "matrix")?;
+            // The schema validator has already constrained the value to the
+            // enum (and filled the default), so this parse cannot fail on a
+            // validated request; the error path guards direct callers.
+            let strategy: InvertStrategy = inputs
+                .get("strategy")
+                .and_then(Value::as_str)
+                .unwrap_or("auto")
+                .parse()?;
             let t0 = std::time::Instant::now();
-            let inv = m.inverse().map_err(|e| e.to_string())?;
-            record_invert("auto", t0.elapsed());
+            let inv = m
+                .invert(strategy, mathcloud_exact::effective_threads())
+                .map_err(|e| e.to_string())?;
+            record_invert(strategy.name(), t0.elapsed());
             Ok(out(vec![
                 ("result", Value::from(inv.to_text())),
                 ("bits", Value::from(inv.max_entry_bits())),
@@ -337,6 +357,10 @@ pub struct KernelRow {
     pub speedup: f64,
     /// Largest numerator/denominator bit size in the inverse.
     pub max_entry_bits: usize,
+    /// Which multiplication tier ([`MulKernel`]) integers of
+    /// `max_entry_bits` dispatch to — the kernel the invert's biggest
+    /// products actually ran on.
+    pub mul_kernel: &'static str,
 }
 
 /// Times serial-oracle vs pooled-auto Hilbert inversion at size `n`,
@@ -363,12 +387,75 @@ pub fn kernel_row(n: usize, threads: usize) -> KernelRow {
 
     assert_eq!(fast, oracle, "parallel kernel must be error-free at n={n}");
 
+    let max_entry_bits = oracle.max_entry_bits();
     KernelRow {
         n,
         serial,
         parallel,
         speedup: serial.as_secs_f64() / parallel.as_secs_f64(),
-        max_entry_bits: oracle.max_entry_bits(),
+        max_entry_bits,
+        mul_kernel: MulKernel::for_limbs(max_entry_bits.div_ceil(32)).name(),
+    }
+}
+
+/// One point of the multiplication-crossover micro-benchmark behind
+/// `repro --table2 --json`: every tier timed on the same deterministic
+/// operand pair, with bit-for-bit agreement asserted first.
+#[derive(Debug, Clone)]
+pub struct MulKernelRow {
+    /// Operand size in 32-bit limbs (both operands).
+    pub limbs: usize,
+    /// Schoolbook (oracle) duration.
+    pub schoolbook: Duration,
+    /// Karatsuba duration.
+    pub karatsuba: Duration,
+    /// Toom-3 duration.
+    pub toom3: Duration,
+}
+
+/// Times all three multiplication tiers on deterministic `limbs`-sized
+/// operands, repeating until the total per-kernel time is measurable.
+///
+/// # Panics
+///
+/// Panics if any tier disagrees with the schoolbook oracle.
+pub fn mul_kernel_row(limbs: usize) -> MulKernelRow {
+    use mathcloud_exact::BigInt;
+    use mathcloud_telemetry::XorShift64;
+
+    let mut rng = XorShift64::new(0xB16_Bu64 ^ limbs as u64);
+    let digits = (limbs * 9633 / 1000).max(1);
+    let decimal = |rng: &mut XorShift64| {
+        let mut s = String::with_capacity(digits);
+        s.push((b'1' + rng.index(9) as u8) as char);
+        for _ in 1..digits {
+            s.push((b'0' + rng.index(10) as u8) as char);
+        }
+        s.parse::<BigInt>().expect("generated decimal parses")
+    };
+    let a = decimal(&mut rng);
+    let b = decimal(&mut rng);
+
+    let oracle = a.mul_kernel(&b, MulKernel::Schoolbook);
+    assert_eq!(a.mul_kernel(&b, MulKernel::Karatsuba), oracle);
+    assert_eq!(a.mul_kernel(&b, MulKernel::Toom3), oracle);
+
+    // Repeat until each kernel accumulates enough wall time for a stable
+    // ratio; the smallest sizes multiply in microseconds, and CI gates on
+    // the tier ordering, so noise in a single rep is unacceptable.
+    let reps = (8192 / limbs.max(1)).max(4);
+    let time = |kernel: MulKernel| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(a.mul_kernel(&b, kernel));
+        }
+        t0.elapsed() / reps as u32
+    };
+    MulKernelRow {
+        limbs,
+        schoolbook: time(MulKernel::Schoolbook),
+        karatsuba: time(MulKernel::Karatsuba),
+        toom3: time(MulKernel::Toom3),
     }
 }
 
@@ -398,6 +485,84 @@ mod tests {
         assert!(metrics.gauge_value("mc_exact_threads", &[]).unwrap_or(0) >= 1);
         let hist = metrics.histogram("mc_exact_invert_seconds", &[("kernel", "auto")]);
         assert!(hist.snapshot().count >= 1);
+    }
+
+    #[test]
+    fn mat_invert_honours_every_strategy_and_rejects_unknown_ones() {
+        let e = Everest::new("t");
+        deploy_matrix_services(&e);
+        let mut results = Vec::new();
+        for strategy in ["auto", "gauss-jordan", "bareiss"] {
+            let rep = e
+                .submit_sync(
+                    "mat-invert",
+                    &mathcloud_json::json!({"matrix": "1 1/2; 1/2 1/3", "strategy": strategy}),
+                    None,
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+            let outputs = rep.outputs.expect("done");
+            results.push(outputs.get("result").unwrap().as_str().unwrap().to_string());
+            // Telemetry is labelled by the strategy that actually ran.
+            let hist = mathcloud_telemetry::metrics::global()
+                .histogram("mc_exact_invert_seconds", &[("kernel", strategy)]);
+            assert!(hist.snapshot().count >= 1, "no sample for {strategy}");
+        }
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "strategies must agree bit for bit: {results:?}"
+        );
+        // Unknown values are rejected by the schema validator at submit.
+        let err = e.submit_sync(
+            "mat-invert",
+            &mathcloud_json::json!({"matrix": "2 0; 0 4", "strategy": "cholesky"}),
+            None,
+            Duration::from_secs(10),
+        );
+        assert!(err.is_err(), "invalid strategy must be rejected: {err:?}");
+    }
+
+    #[test]
+    fn repeated_inverts_reuse_the_persistent_pool() {
+        let e = Everest::new("t");
+        deploy_matrix_services(&e);
+        let matrix = hilbert(10).to_text();
+        let invert = || {
+            let rep = e
+                .submit_sync(
+                    "mat-invert",
+                    &mathcloud_json::json!({"matrix": (matrix.clone())}),
+                    None,
+                    Duration::from_secs(30),
+                )
+                .unwrap();
+            assert!(rep.outputs.is_some(), "invert failed: {:?}", rep.error);
+        };
+        invert(); // warm: whatever workers this needs are spawned now
+        let pool = mathcloud_exact::parallel::pool();
+        let warm = pool.spawned_total();
+        for _ in 0..10 {
+            invert();
+        }
+        assert_eq!(
+            pool.spawned_total(),
+            warm,
+            "service inverts must not re-spawn pool workers"
+        );
+        // The gauge still reports the configured pool width.
+        let width = mathcloud_telemetry::metrics::global()
+            .gauge_value("mc_exact_threads", &[])
+            .unwrap_or(0);
+        assert!(width >= 1, "mc_exact_threads gauge unset");
+    }
+
+    #[test]
+    fn mul_kernel_rows_time_all_tiers() {
+        let row = mul_kernel_row(48);
+        assert_eq!(row.limbs, 48);
+        assert!(row.schoolbook > Duration::ZERO);
+        assert!(row.karatsuba > Duration::ZERO);
+        assert!(row.toom3 > Duration::ZERO);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! (Maxima) published as a computational web service. This crate is the
 //! from-scratch Rust replacement for that substrate:
 //!
-//! * [`BigInt`] — sign-magnitude arbitrary-precision integers with
-//!   schoolbook + Karatsuba multiplication and Knuth Algorithm D division,
+//! * [`BigInt`] — sign-magnitude arbitrary-precision integers with tiered
+//!   schoolbook / Karatsuba / Toom-3 multiplication ([`MulKernel`]) and
+//!   Knuth Algorithm D division,
 //! * [`Rational`] — always-normalized arbitrary-precision rationals,
 //! * [`Matrix`] — dense matrices over [`Rational`] with exact Gauss–Jordan
 //!   inversion, LU determinant, and the block (Schur-complement) inversion
@@ -14,9 +15,10 @@
 //! * [`bareiss`] — fraction-free (Bareiss) elimination over scaled integers
 //!   that defers all gcd normalization to one final pass; selected
 //!   automatically by [`Matrix::inverse`] for integer-scalable inputs,
-//! * [`parallel`] — a dependency-free scoped worker pool (`MC_EXACT_THREADS`
-//!   or [`set_threads`]) that row-blocks the multiply, the Gauss–Jordan
-//!   sweep, the Bareiss sweep, and the Schur quadrant products,
+//! * [`parallel`] — a dependency-free persistent worker pool
+//!   (`MC_EXACT_THREADS` or [`set_threads`]) that row-blocks the multiply,
+//!   the Gauss–Jordan sweep, the Bareiss sweep, and the Schur quadrant
+//!   products without re-spawning threads per call,
 //! * [`hilbert`] — Hilbert matrix generators for the Table 2 experiment.
 //!
 //! # Examples
@@ -36,7 +38,7 @@ pub mod parallel;
 pub mod rational;
 pub mod schur;
 
-pub use bigint::BigInt;
+pub use bigint::{BigInt, MulKernel};
 pub use matrix::{InvertStrategy, Matrix, MatrixError};
 pub use parallel::{effective_threads, set_threads};
 pub use rational::Rational;

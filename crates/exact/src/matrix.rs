@@ -35,6 +35,34 @@ pub enum InvertStrategy {
     Bareiss,
 }
 
+impl InvertStrategy {
+    /// The wire name of this strategy: the value the `mat-invert` service
+    /// accepts in its optional `strategy` input and reports in telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            InvertStrategy::Auto => "auto",
+            InvertStrategy::GaussJordan => "gauss-jordan",
+            InvertStrategy::Bareiss => "bareiss",
+        }
+    }
+}
+
+impl std::str::FromStr for InvertStrategy {
+    type Err = String;
+
+    /// Parses the wire names produced by [`InvertStrategy::name`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(InvertStrategy::Auto),
+            "gauss-jordan" => Ok(InvertStrategy::GaussJordan),
+            "bareiss" => Ok(InvertStrategy::Bareiss),
+            other => Err(format!(
+                "unknown invert strategy {other:?}; expected auto, gauss-jordan, or bareiss"
+            )),
+        }
+    }
+}
+
 /// A dense `rows × cols` matrix of [`Rational`] entries.
 ///
 /// # Examples

@@ -14,7 +14,9 @@
 //!
 //! The four products `A⁻¹B`, `CA⁻¹`, and the two corrections are independent
 //! once their inputs exist, which is what the 4-service MathCloud workflow
-//! exploits (Table 2 of the paper).
+//! exploits (Table 2 of the paper). In-process, the independent quadrant
+//! products run as nested regions on the persistent [`crate::parallel`]
+//! worker pool via [`parallel::join`].
 
 use std::error::Error;
 use std::fmt;

@@ -136,6 +136,71 @@ fn rational_is_always_normalized() {
     }
 }
 
+/// Every public `Rational` op must return a fully normalized value —
+/// gcd(num, den) = 1 and den > 0 — including the integer fast paths that
+/// skip the general gcd reduction. Operands are biased toward integers,
+/// reciprocal pairs, and zero/one so those shortcuts actually fire.
+#[test]
+fn rational_ops_preserve_normalization() {
+    fn assert_normalized(r: &Rational, what: &str, case: usize) {
+        assert!(
+            r.denom().is_positive(),
+            "case {case}: {what} has non-positive denominator: {r}"
+        );
+        assert_eq!(
+            r.numer().gcd(r.denom()),
+            BigInt::one(),
+            "case {case}: {what} not in lowest terms: {r}"
+        );
+    }
+    fn arb(rng: &mut XorShift64) -> Rational {
+        match rng.index(6) {
+            // Integers — the fast paths PR 4 added special-case den == 1.
+            0 | 1 => Rational::from_ratio(rng.range_i64(-9_999, 9_999), 1),
+            2 => Rational::zero(),
+            3 => Rational::one(),
+            _ => {
+                let n = rng.range_i64(i64::from(i32::MIN), i64::from(i32::MAX));
+                let d = rng.range_i64(1, 9_999);
+                Rational::from_ratio(n, d)
+            }
+        }
+    }
+    let mut rng = XorShift64::new(0x6CD1);
+    for case in 0..CASES * 4 {
+        let a = arb(&mut rng);
+        let b = arb(&mut rng);
+        assert_normalized(&(&a + &b), "a + b", case);
+        assert_normalized(&(&a - &b), "a - b", case);
+        assert_normalized(&(&a * &b), "a * b", case);
+        if !b.is_zero() {
+            assert_normalized(&(&a / &b), "a / b", case);
+        }
+        assert_normalized(&(-a.clone()), "-a", case);
+        assert_normalized(&a.abs(), "abs(a)", case);
+        if !a.is_zero() {
+            assert_normalized(&a.recip(), "recip(a)", case);
+            assert_normalized(&a.pow(-3), "a^-3", case);
+        }
+        assert_normalized(&a.pow(0), "a^0", case);
+        assert_normalized(&a.pow(4), "a^4", case);
+        let mut acc = a.clone();
+        acc += &b;
+        assert_normalized(&acc, "a += b", case);
+        acc -= &b;
+        assert_normalized(&acc, "a -= b", case);
+        acc *= &b;
+        assert_normalized(&acc, "a *= b", case);
+        let sum: Rational = [a.clone(), b.clone(), acc].into_iter().sum();
+        assert_normalized(&sum, "sum", case);
+        assert_normalized(
+            &Rational::new(a.numer().clone(), BigInt::from(-6)),
+            "new with negative denominator",
+            case,
+        );
+    }
+}
+
 #[test]
 fn rational_text_round_trip() {
     let mut rng = XorShift64::new(0x277);

@@ -32,23 +32,33 @@ echo "==> catalogue federation test (release, 120s budget)"
 timeout 120 cargo test -q --offline --release \
   -p mathcloud-integration-tests --test federation
 
+# The differential multiplication battery cross-checks every tiered-mul
+# kernel, mul_threads, and Bareiss determinants against serial oracles on
+# ≥1000 xorshift-seeded cases. Release mode keeps the 500-limb schoolbook
+# oracles fast; the hard timeout turns a hung pool region into a failure.
+echo "==> multiplication differential battery (release, 300s budget)"
+timeout 300 cargo test -q --offline --release \
+  -p mathcloud-exact --test mul_differential
+
 # The Table 2 kernel smoke proves the parallel/fraction-free inversion path
 # still beats the serial oracle (the kernels are asserted bit-identical
-# inside the binary). Release mode because exact arithmetic is ~20x slower
-# unoptimized; the smoke sizes finish in well under a second.
+# inside the binary) and that the Toom-3 tier beats schoolbook at ≥256
+# limbs. Release mode because exact arithmetic is ~20x slower unoptimized;
+# the smoke sizes finish in well under a second.
 echo "==> table2 kernel smoke (release, 120s budget)"
 cargo build -q --release --offline -p mathcloud-bench --bin repro
-rm -f BENCH_4.json
+rm -f BENCH_5.json
 timeout 120 ./target/release/repro --table2 --json --smoke
 python3 - <<'EOF'
 import json, sys
 
-with open("BENCH_4.json") as f:
+with open("BENCH_5.json") as f:
     report = json.load(f)
 rows = report["rows"]
-assert rows, "BENCH_4.json has no rows"
+assert rows, "BENCH_5.json has no rows"
 for row in rows:
-    for key in ("n", "serial_ms", "parallel_ms", "speedup", "max_entry_bits"):
+    for key in ("n", "serial_ms", "parallel_ms", "speedup",
+                "max_entry_bits", "mul_kernel"):
         assert key in row, f"row missing {key}: {row}"
 last = rows[-1]
 if last["parallel_ms"] > last["serial_ms"]:
@@ -56,7 +66,19 @@ if last["parallel_ms"] > last["serial_ms"]:
         f"parallel inversion slower than serial at N={last['n']}: "
         f"{last['parallel_ms']:.1f}ms vs {last['serial_ms']:.1f}ms"
     )
-print(f"BENCH_4.json OK: speedup {last['speedup']:.2f}x at N={last['n']}")
+mul_rows = report["mul_kernels"]
+assert mul_rows, "BENCH_5.json has no mul_kernels"
+big = [r for r in mul_rows if r["limbs"] >= 256]
+assert big, "mul_kernels sweep must include a >=256-limb point"
+for r in big:
+    if r["toom3_ms"] > r["schoolbook_ms"]:
+        sys.exit(
+            f"Toom-3 slower than schoolbook at {r['limbs']} limbs: "
+            f"{r['toom3_ms']:.3f}ms vs {r['schoolbook_ms']:.3f}ms"
+        )
+print(f"BENCH_5.json OK: speedup {last['speedup']:.2f}x at N={last['n']}, "
+      f"toom-3 {big[-1]['toom3_ms']:.3f}ms vs schoolbook "
+      f"{big[-1]['schoolbook_ms']:.3f}ms at {big[-1]['limbs']} limbs")
 EOF
 
 echo "verify: OK"
