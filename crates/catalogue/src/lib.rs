@@ -312,12 +312,31 @@ impl Catalogue {
                 down += 1;
             }
         }
-        // …then one write pass for the whole sweep.
-        let mut state = self.state.write();
-        for (id, _, _, ok, _) in &results {
-            if let Some(e) = state.entries.iter_mut().find(|e| e.id == *id) {
-                e.available = *ok;
+        // …then one write pass for the whole sweep, collecting availability
+        // flips for the event bus.
+        let mut flips: Vec<(String, String, bool)> = Vec::new();
+        {
+            let mut state = self.state.write();
+            for (id, url, name, ok, _) in &results {
+                if let Some(e) = state.entries.iter_mut().find(|e| e.id == *id) {
+                    if e.available != *ok {
+                        flips.push((name.clone(), url.clone(), *ok));
+                    }
+                    e.available = *ok;
+                }
             }
+        }
+        // Publish outside the lock: journal fsyncs must not serialize reads.
+        for (name, url, available) in flips {
+            let mut payload = Object::new();
+            payload.insert("service".into(), Value::from(name.as_str()));
+            payload.insert("url".into(), Value::from(url.as_str()));
+            payload.insert("available".into(), Value::Bool(available));
+            mathcloud_events::global().publish(
+                "catalogue.availability",
+                None,
+                Value::Object(payload),
+            );
         }
         (up, down)
     }
@@ -361,6 +380,23 @@ impl Catalogue {
         let (reports, elapsed) = federate::sweep(self.scrape_targets(), cfg, "/health");
         let (value, all_up) = federate::health_summary(&reports, elapsed);
         (value, all_up, elapsed)
+    }
+
+    /// Merged per-authority circuit-breaker states of the catalogue's two
+    /// long-lived clients (description fetches and availability probes),
+    /// sorted by authority. The probe client's view wins on conflict: it is
+    /// the one exercised every monitor tick.
+    pub fn breaker_states(&self) -> Vec<(String, mathcloud_http::BreakerState)> {
+        let mut merged: Vec<(String, mathcloud_http::BreakerState)> =
+            self.client.breakers().states();
+        for (authority, state) in self.probe.breakers().states() {
+            match merged.iter_mut().find(|(a, _)| *a == authority) {
+                Some(entry) => entry.1 = state,
+                None => merged.push((authority, state)),
+            }
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        merged
     }
 
     /// Spawns a background thread pinging all services every `interval`.
@@ -569,9 +605,24 @@ pub fn router(catalogue: Catalogue) -> Router {
     let c = catalogue.clone();
     r.get("/health/all", move |req: &Request, _p| {
         let cfg = sweep_config(req, c.scrape_config());
-        let (value, all_up, _elapsed) = c.health_all(&cfg);
+        let (mut value, all_up, _elapsed) = c.health_all(&cfg);
+        // Per-authority circuit-breaker state, as seen by this catalogue's
+        // own clients: a target can answer the sweep (fresh scrape client)
+        // while the long-lived probe client's breaker is still open.
+        if let Value::Object(root) = &mut value {
+            let mut breakers = Object::new();
+            for (authority, state) in c.breaker_states() {
+                breakers.insert(authority, Value::from(state.as_str()));
+            }
+            root.insert("breakers".into(), Value::Object(breakers));
+        }
         Response::json(if all_up { 200 } else { 207 }, &value)
     });
+
+    // GET /events: the catalogue's lifecycle stream (availability flips,
+    // breaker transitions) as Server-Sent Events; same contract as the
+    // container-side endpoint.
+    mathcloud_http::sse::mount_events(&mut r, mathcloud_events::global());
 
     let c = catalogue.clone();
     r.get("/search", move |req: &Request, _p| {

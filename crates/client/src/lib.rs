@@ -21,14 +21,64 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use mathcloud_core::{JobRepresentation, JobState, ServiceDescription};
+use mathcloud_http::sse;
 use mathcloud_http::{Client, Method, Request, Url};
 use mathcloud_json::Value;
 use mathcloud_security::cert::{Certificate, OpenIdToken};
 use mathcloud_security::middleware::CLIENT_CERT_HEADER;
+use mathcloud_telemetry::rng::{splitmix64, XorShift64};
 use mathcloud_telemetry::{next_request_id, REQUEST_ID_HEADER};
+
+/// Connect timeout for event-stream subscriptions.
+const SSE_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// First pause of the poll fallback's backoff schedule.
+const POLL_BASE: Duration = Duration::from_millis(10);
+
+/// Backoff cap: bounds how stale a poll-mode client's view can get once a
+/// job is clearly long-running.
+const POLL_CAP: Duration = Duration::from_millis(200);
+
+/// Capped exponential backoff with xorshift jitter for the poll fallback.
+///
+/// The doubling schedule keeps short jobs cheap to detect while long jobs
+/// settle at one request per [`POLL_CAP`]; the jitter (uniform in
+/// `[pause/2, pause]`) decorrelates the synchronized poll herds that fixed
+/// intervals produce when many clients watch jobs submitted together.
+#[derive(Debug)]
+struct PollBackoff {
+    pause: Duration,
+    rng: XorShift64,
+}
+
+impl PollBackoff {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let pid = u64::from(std::process::id());
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        PollBackoff {
+            pause: POLL_BASE,
+            rng: XorShift64::new(splitmix64(
+                nanos ^ (pid << 32) ^ n.wrapping_mul(0xa076_1d64_78bd_642f),
+            )),
+        }
+    }
+
+    fn next_pause(&mut self) -> Duration {
+        let span = self.pause.as_micros() as u64;
+        let jittered = span / 2 + self.rng.next_u64() % (span / 2 + 1);
+        self.pause = (self.pause * 2).min(POLL_CAP);
+        Duration::from_micros(jittered)
+    }
+}
 
 /// Errors from client operations.
 #[derive(Debug)]
@@ -212,6 +262,13 @@ impl ServiceClient {
 
     /// Submits and waits for completion in one call.
     ///
+    /// The event-stream subscription is opened *before* the submission, so a
+    /// job's terminal `job.*` event cannot slip past between the submit
+    /// response and a later subscription — the full lifecycle is observed by
+    /// push, and the only status request is the final fetch of outputs.
+    /// Servers without `GET /events` fall back to [`JobHandle::wait`]'s
+    /// subscribe-then-poll behaviour.
+    ///
     /// # Errors
     ///
     /// See [`ServiceClient::submit`] and [`JobHandle::wait`].
@@ -220,7 +277,19 @@ impl ServiceClient {
         inputs: &Value,
         timeout: Duration,
     ) -> Result<JobRepresentation, ServiceError> {
-        self.submit(inputs)?.wait(timeout)
+        let stream = sse::subscribe(
+            &self.url,
+            "job.",
+            None,
+            SSE_CONNECT_TIMEOUT,
+            sse::DEFAULT_HEARTBEAT,
+        )
+        .ok();
+        let job = self.submit(inputs)?;
+        match stream {
+            Some(stream) => job.wait_streamed(stream, timeout),
+            None => job.wait(timeout),
+        }
     }
 }
 
@@ -273,7 +342,13 @@ impl JobHandle {
         Ok(&self.rep)
     }
 
-    /// Polls until the job is DONE, failing on FAILED/CANCELLED/timeout.
+    /// Waits until the job is DONE, failing on FAILED/CANCELLED/timeout.
+    ///
+    /// Push-first: subscribes to the container's `GET /events` stream and
+    /// blocks on this job's terminal `job.*` event, so waiting out a long
+    /// job costs a handful of requests instead of one per poll interval.
+    /// When the server predates `/events`, or the stream drops twice, the
+    /// wait falls back to [`JobHandle::wait_polling`]'s loop.
     ///
     /// # Errors
     ///
@@ -281,7 +356,75 @@ impl JobHandle {
     /// [`ServiceError::Timeout`].
     pub fn wait(mut self, timeout: Duration) -> Result<JobRepresentation, ServiceError> {
         let deadline = Instant::now() + timeout;
-        let mut pause = Duration::from_millis(10);
+        if !self.rep.state.is_terminal() && sse::service_segment(&self.rep.uri).is_some() {
+            if let Ok(stream) = sse::subscribe(
+                &self.base,
+                "job.",
+                None,
+                SSE_CONNECT_TIMEOUT,
+                sse::DEFAULT_HEARTBEAT,
+            ) {
+                // The job may have turned terminal before the subscription
+                // existed; one refresh closes that race. Anything happening
+                // after this fetch reaches the already-open stream.
+                self.refresh()?;
+                return self
+                    .wait_streamed(stream, deadline.saturating_duration_since(Instant::now()));
+            }
+        }
+        self.wait_polling_until(deadline)
+    }
+
+    /// [`JobHandle::wait`] over an already-open `job.` event stream —
+    /// typically one subscribed *before* the job was submitted (see
+    /// [`ServiceClient::call`]), which closes the fast-job race without any
+    /// extra status request.
+    ///
+    /// # Errors
+    ///
+    /// See [`JobHandle::wait`].
+    pub fn wait_streamed(
+        mut self,
+        stream: sse::EventStream,
+        timeout: Duration,
+    ) -> Result<JobRepresentation, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        if !self.rep.state.is_terminal() {
+            if let Some(service) = sse::service_segment(&self.rep.uri).map(str::to_string) {
+                match sse::watch_job_on(
+                    &self.base,
+                    stream,
+                    &service,
+                    self.rep.id.as_str(),
+                    deadline,
+                ) {
+                    sse::WatchResult::Terminal(_) => {
+                        // One status request fetches outputs (or the error);
+                        // the poll loop below sees a terminal state and
+                        // returns without sleeping.
+                        self.refresh()?;
+                    }
+                    sse::WatchResult::TimedOut => return Err(ServiceError::Timeout),
+                    sse::WatchResult::Dropped => {}
+                }
+            }
+        }
+        self.wait_polling_until(deadline)
+    }
+
+    /// Classic poll-only wait (the §2 client loop) — the forced-poll mode
+    /// used against servers without `/events` and by benchmarks comparing
+    /// poll and push request volume.
+    ///
+    /// # Errors
+    ///
+    /// See [`JobHandle::wait`].
+    pub fn wait_polling(self, timeout: Duration) -> Result<JobRepresentation, ServiceError> {
+        self.wait_polling_until(Instant::now() + timeout)
+    }
+
+    fn wait_polling_until(mut self, deadline: Instant) -> Result<JobRepresentation, ServiceError> {
+        let mut backoff = PollBackoff::new();
         loop {
             match self.rep.state {
                 JobState::Done => return Ok(self.rep),
@@ -294,15 +437,11 @@ impl JobHandle {
                     return Err(ServiceError::JobFailed("job was cancelled".into()))
                 }
                 JobState::Waiting | JobState::Running => {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(ServiceError::Timeout);
                     }
-                    std::thread::sleep(pause);
-                    // Gentle backoff capped at 25 ms: long jobs stay cheap
-                    // to poll while mid-length jobs are detected promptly
-                    // (an uncapped backoff inflates measured overhead for
-                    // jobs of a few hundred milliseconds).
-                    pause = (pause * 2).min(Duration::from_millis(25));
+                    std::thread::sleep(backoff.next_pause().min(deadline - now));
                     self.refresh()?;
                 }
             }

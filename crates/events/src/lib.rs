@@ -1,0 +1,674 @@
+//! The MathCloud event bus: push, don't poll.
+//!
+//! The paper's REST model makes every client poll job status and the
+//! catalogue poll every container — at scale that polling dominates the
+//! request load. This crate is the substrate that replaces it: a
+//! process-wide broadcast [`Bus`] carrying typed [`Envelope`]s
+//! (monotonically increasing `id`, dotted `kind`, unix-millisecond `time`,
+//! the originating `X-MC-Request-Id`, and a JSON payload) from the layers
+//! that already know about lifecycle edges — job state transitions, pool
+//! scaling, catalogue availability flips, workflow block transitions,
+//! circuit-breaker state changes — to anything that wants to watch.
+//!
+//! Delivery is fan-out over per-subscriber **bounded queues**: a subscriber
+//! that cannot keep up loses its *oldest* queued events (counted by the
+//! `mc_events_lag_total` metric and per-subscription [`Subscription::lagged`])
+//! rather than stalling publishers or growing without bound. A bounded
+//! in-memory **replay ring** serves recent history to late subscribers, and
+//! an optional append-only fsync'd **journal** extends replay across process
+//! restarts: on [`Bus::attach_journal`] the bus recovers the last journaled
+//! id (so ids keep increasing over a restart) and refills the ring from the
+//! journal tail. [`Bus::subscribe_from`] atomically replays
+//! backlog-after-`id` (ring first, journal when the ring has already evicted
+//! the requested range) and registers for live delivery, which is exactly the
+//! contract `Last-Event-ID` resume over Server-Sent Events needs.
+//!
+//! Everything is std-only, like the rest of the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use mathcloud_events::{Bus, KindFilter};
+//! use mathcloud_json::json;
+//! use std::time::Duration;
+//!
+//! let bus = Bus::with_ring(64);
+//! let sub = bus.subscribe(KindFilter::parse("job."), 16);
+//! bus.publish("job.done", Some("req-1"), json!({"job": "7"}));
+//! bus.publish("pool.scale", None, json!({"to": 4})); // filtered out
+//! let ev = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+//! assert_eq!(ev.kind, "job.done");
+//! assert_eq!(ev.request_id.as_deref(), Some("req-1"));
+//! ```
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, SystemTime};
+
+use mathcloud_json::value::Object;
+use mathcloud_json::Value;
+use mathcloud_telemetry::metrics;
+use mathcloud_telemetry::sync::{Condvar, Mutex};
+
+/// Ring capacity of the process-wide bus returned by [`global`].
+pub const DEFAULT_RING: usize = 1024;
+
+/// Default per-subscriber queue bound used by the SSE layer.
+pub const DEFAULT_QUEUE: usize = 256;
+
+fn describe_metrics() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let reg = metrics::global();
+        reg.describe("mc_events_published_total", "events published, by kind");
+        reg.describe(
+            "mc_events_lag_total",
+            "events dropped from lagging subscriber queues",
+        );
+        reg.describe("mc_events_subscribers", "live event-bus subscribers");
+    });
+}
+
+/// One event on the bus.
+///
+/// `id` is assigned by the bus at publish time and increases monotonically
+/// for the life of the journal (attaching a journal resumes numbering after
+/// the last persisted id, so a restart never reuses ids).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Monotonically increasing sequence number, 1-based.
+    pub id: u64,
+    /// Dotted event kind, e.g. `job.done`, `pool.scale`, `breaker.state`.
+    pub kind: String,
+    /// Publish time, unix milliseconds.
+    pub time_ms: u64,
+    /// The `X-MC-Request-Id` of the request that caused the event, when the
+    /// publishing layer had one.
+    pub request_id: Option<String>,
+    /// Event-kind-specific JSON payload.
+    pub payload: Value,
+}
+
+impl Envelope {
+    /// Serializes the envelope as a single-line JSON object — the journal
+    /// record format and the SSE `data:` field.
+    pub fn to_json(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("id".into(), Value::from(self.id as i64));
+        o.insert("kind".into(), Value::from(self.kind.as_str()));
+        o.insert("time_ms".into(), Value::from(self.time_ms as i64));
+        match &self.request_id {
+            Some(r) => o.insert("request_id".into(), Value::from(r.as_str())),
+            None => o.insert("request_id".into(), Value::Null),
+        };
+        o.insert("payload".into(), self.payload.clone());
+        Value::Object(o)
+    }
+
+    /// Parses an envelope from its [`Envelope::to_json`] form.
+    ///
+    /// Returns `None` when required fields are missing or mistyped — the
+    /// journal reader uses this to skip a torn final record after a crash.
+    pub fn from_json(v: &Value) -> Option<Envelope> {
+        let id = v.get("id").and_then(Value::as_u64)?;
+        let kind = v.get("kind").and_then(Value::as_str)?.to_string();
+        let time_ms = v.get("time_ms").and_then(Value::as_u64)?;
+        let request_id = v
+            .get("request_id")
+            .and_then(Value::as_str)
+            .map(str::to_string);
+        let payload = v.get("payload").cloned().unwrap_or(Value::Null);
+        Some(Envelope {
+            id,
+            kind,
+            time_ms,
+            request_id,
+            payload,
+        })
+    }
+}
+
+/// A set of dotted-kind prefixes, the `?kinds=job.,pool.` filter of the SSE
+/// endpoint. An empty filter matches everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KindFilter {
+    prefixes: Vec<String>,
+}
+
+impl KindFilter {
+    /// The match-everything filter.
+    pub fn all() -> KindFilter {
+        KindFilter::default()
+    }
+
+    /// Parses a comma-separated prefix list; empty segments are ignored, so
+    /// `""` parses to [`KindFilter::all`].
+    pub fn parse(spec: &str) -> KindFilter {
+        KindFilter {
+            prefixes: spec
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    /// Whether `kind` passes the filter.
+    pub fn matches(&self, kind: &str) -> bool {
+        self.prefixes.is_empty() || self.prefixes.iter().any(|p| kind.starts_with(p.as_str()))
+    }
+}
+
+/// Subscriber state shared between the bus (producer side) and the
+/// [`Subscription`] handle (consumer side).
+struct SubShared {
+    queue: Mutex<VecDeque<Arc<Envelope>>>,
+    ready: Condvar,
+    capacity: usize,
+    filter: KindFilter,
+    closed: AtomicBool,
+    lagged: AtomicU64,
+}
+
+/// A live subscription: a bounded queue the bus pushes matching events into.
+///
+/// Dropping the subscription detaches it from the bus.
+pub struct Subscription {
+    shared: Arc<SubShared>,
+}
+
+impl Subscription {
+    /// Blocks up to `timeout` for the next event; `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<Envelope>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.shared.queue.lock();
+        loop {
+            if let Some(ev) = q.pop_front() {
+                return Some(ev);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.ready.wait_for(&mut q, deadline - now);
+        }
+    }
+
+    /// The next event if one is already queued.
+    pub fn try_recv(&self) -> Option<Arc<Envelope>> {
+        self.shared.queue.lock().pop_front()
+    }
+
+    /// How many events this subscriber has lost to its queue bound.
+    pub fn lagged(&self) -> u64 {
+        self.shared.lagged.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Relaxed);
+        // Publishers prune closed subscribers lazily; the gauge is corrected
+        // there too, but decrement eagerly so idle buses stay accurate.
+        metrics::global()
+            .gauge("mc_events_subscribers", &[])
+            .add(-1);
+    }
+}
+
+/// The append-only journal behind a bus.
+struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    fn append(&mut self, ev: &Envelope) -> io::Result<()> {
+        let mut line = ev.to_json().to_string();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        // Durability is the whole point of the journal: an event is only
+        // "published" once it would survive a crash.
+        self.file.sync_data()
+    }
+}
+
+/// Reads every well-formed envelope from a journal file, oldest first.
+///
+/// Torn or corrupt lines (a crash mid-append) are skipped, not fatal.
+///
+/// # Errors
+///
+/// Propagates I/O errors opening or reading the file; a missing file is an
+/// empty journal.
+pub fn read_journal(path: &Path) -> io::Result<Vec<Envelope>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        let Ok(v) = mathcloud_json::parse(&line) else {
+            continue;
+        };
+        if let Some(ev) = Envelope::from_json(&v) {
+            out.push(ev);
+        }
+    }
+    Ok(out)
+}
+
+struct Inner {
+    next_id: u64,
+    ring: VecDeque<Arc<Envelope>>,
+    ring_cap: usize,
+    subs: Vec<Arc<SubShared>>,
+    journal: Option<Journal>,
+}
+
+impl Inner {
+    /// Events with `id > after_id` passing `filter`, ring-then-journal.
+    fn replay(&self, after_id: u64, filter: &KindFilter) -> Vec<Arc<Envelope>> {
+        let ring_first = self.ring.front().map_or(u64::MAX, |e| e.id);
+        let mut out: Vec<Arc<Envelope>> = Vec::new();
+        if after_id + 1 < ring_first {
+            // The ring has already evicted part of the requested range; the
+            // journal (when attached) still has it.
+            if let Some(j) = &self.journal {
+                if let Ok(evs) = read_journal(&j.path) {
+                    out.extend(
+                        evs.into_iter()
+                            .filter(|e| {
+                                e.id > after_id && e.id < ring_first && filter.matches(&e.kind)
+                            })
+                            .map(Arc::new),
+                    );
+                }
+            }
+        }
+        out.extend(
+            self.ring
+                .iter()
+                .filter(|e| e.id > after_id && filter.matches(&e.kind))
+                .cloned(),
+        );
+        out
+    }
+}
+
+/// A broadcast bus with a replay ring and an optional journal.
+///
+/// Most code uses the process-wide [`global`] bus; tests construct their own
+/// with [`Bus::with_ring`] to simulate restarts and tune ring sizes.
+pub struct Bus {
+    inner: Mutex<Inner>,
+}
+
+impl Bus {
+    /// A fresh bus whose replay ring holds at most `ring_cap` events.
+    pub fn with_ring(ring_cap: usize) -> Bus {
+        describe_metrics();
+        Bus {
+            inner: Mutex::new(Inner {
+                next_id: 0,
+                ring: VecDeque::new(),
+                ring_cap: ring_cap.max(1),
+                subs: Vec::new(),
+                journal: None,
+            }),
+        }
+    }
+
+    /// Attaches an append-only journal.
+    ///
+    /// Existing records are read back first: id numbering resumes after the
+    /// highest journaled id and the ring is refilled from the journal tail,
+    /// so `Last-Event-ID` resume keeps working across a restart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening or reading the file.
+    pub fn attach_journal(&self, path: &Path) -> io::Result<()> {
+        let recovered = read_journal(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut inner = self.inner.lock();
+        if let Some(last) = recovered.last() {
+            inner.next_id = inner.next_id.max(last.id);
+        }
+        let cap = inner.ring_cap;
+        let skip = recovered.len().saturating_sub(cap);
+        for ev in recovered.into_iter().skip(skip) {
+            if inner.ring.len() == cap {
+                inner.ring.pop_front();
+            }
+            inner.ring.push_back(Arc::new(ev));
+        }
+        inner.journal = Some(Journal {
+            file,
+            path: path.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    /// Whether a journal is attached.
+    pub fn has_journal(&self) -> bool {
+        self.inner.lock().journal.is_some()
+    }
+
+    /// Publishes an event, returning its assigned id.
+    ///
+    /// The event is journaled (when a journal is attached), pushed onto the
+    /// replay ring, and fanned out to every matching subscriber. A journal
+    /// write failure is reported as a metric and a trace event, never a
+    /// panic: losing durability must not take down the container.
+    pub fn publish(&self, kind: &str, request_id: Option<&str>, payload: Value) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let ev = Arc::new(Envelope {
+            id: inner.next_id,
+            kind: kind.to_string(),
+            time_ms: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64),
+            request_id: request_id.map(str::to_string),
+            payload,
+        });
+        if let Some(j) = &mut inner.journal {
+            if let Err(e) = j.append(&ev) {
+                metrics::global()
+                    .counter("mc_events_journal_errors_total", &[])
+                    .inc();
+                mathcloud_telemetry::trace::warn(
+                    "events.journal_error",
+                    ev.request_id.as_deref(),
+                    &[("error", &e.to_string())],
+                );
+            }
+        }
+        if inner.ring.len() == inner.ring_cap {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(Arc::clone(&ev));
+
+        let mut pruned = false;
+        for sub in &inner.subs {
+            if sub.closed.load(Ordering::Relaxed) {
+                pruned = true;
+                continue;
+            }
+            if !sub.filter.matches(&ev.kind) {
+                continue;
+            }
+            let mut q = sub.queue.lock();
+            if q.len() == sub.capacity {
+                // Lagging subscriber: shed its oldest event so delivery
+                // stays bounded and recent events win.
+                q.pop_front();
+                sub.lagged.fetch_add(1, Ordering::Relaxed);
+                metrics::global().counter("mc_events_lag_total", &[]).inc();
+            }
+            q.push_back(Arc::clone(&ev));
+            drop(q);
+            sub.ready.notify_all();
+        }
+        if pruned {
+            inner.subs.retain(|s| !s.closed.load(Ordering::Relaxed));
+        }
+        metrics::global()
+            .counter("mc_events_published_total", &[("kind", kind)])
+            .inc();
+        ev.id
+    }
+
+    /// Subscribes for live events matching `filter`, with a queue bound of
+    /// `capacity` events.
+    pub fn subscribe(&self, filter: KindFilter, capacity: usize) -> Subscription {
+        self.subscribe_from(None, filter, capacity).1
+    }
+
+    /// Replays backlog and subscribes in one atomic step.
+    ///
+    /// With `after_id = Some(n)` the returned backlog holds every retained
+    /// event with id > n that passes the filter — ring first, journal when
+    /// the ring no longer covers the range. No event published between the
+    /// replay and the live attachment can be missed or duplicated: both
+    /// happen under the bus lock.
+    pub fn subscribe_from(
+        &self,
+        after_id: Option<u64>,
+        filter: KindFilter,
+        capacity: usize,
+    ) -> (Vec<Arc<Envelope>>, Subscription) {
+        let mut inner = self.inner.lock();
+        let backlog = match after_id {
+            Some(n) => inner.replay(n, &filter),
+            None => Vec::new(),
+        };
+        let shared = Arc::new(SubShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            filter,
+            closed: AtomicBool::new(false),
+            lagged: AtomicU64::new(0),
+        });
+        inner.subs.push(Arc::clone(&shared));
+        metrics::global().gauge("mc_events_subscribers", &[]).add(1);
+        (backlog, Subscription { shared })
+    }
+
+    /// The id of the most recently published event (0 before the first).
+    pub fn last_id(&self) -> u64 {
+        self.inner.lock().next_id
+    }
+}
+
+impl std::fmt::Debug for Bus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Bus")
+            .field("next_id", &inner.next_id)
+            .field("ring_len", &inner.ring.len())
+            .field("subscribers", &inner.subs.len())
+            .field("journal", &inner.journal.as_ref().map(|j| &j.path))
+            .finish()
+    }
+}
+
+/// The process-wide bus every MathCloud layer publishes to.
+///
+/// One container per process is the deployment model, so "process-wide" and
+/// "container-wide" coincide; in multi-container test processes, events from
+/// all containers share this bus and consumers filter by payload.
+pub fn global() -> &'static Bus {
+    static BUS: OnceLock<Bus> = OnceLock::new();
+    BUS.get_or_init(|| Bus::with_ring(DEFAULT_RING))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathcloud_json::json;
+
+    fn collect(sub: &Subscription) -> Vec<String> {
+        let mut kinds = Vec::new();
+        while let Some(ev) = sub.try_recv() {
+            kinds.push(ev.kind.clone());
+        }
+        kinds
+    }
+
+    #[test]
+    fn publish_assigns_monotonic_ids_and_fans_out() {
+        let bus = Bus::with_ring(8);
+        let a = bus.subscribe(KindFilter::all(), 8);
+        let b = bus.subscribe(KindFilter::parse("job."), 8);
+        assert_eq!(bus.publish("job.submitted", Some("r1"), json!({})), 1);
+        assert_eq!(bus.publish("pool.scale", None, json!({})), 2);
+        assert_eq!(bus.publish("job.done", Some("r1"), json!({})), 3);
+        assert_eq!(collect(&a), vec!["job.submitted", "pool.scale", "job.done"]);
+        assert_eq!(collect(&b), vec!["job.submitted", "job.done"]);
+        assert_eq!(bus.last_id(), 3);
+    }
+
+    #[test]
+    fn kind_filter_prefix_semantics() {
+        let f = KindFilter::parse("job.,pool.");
+        assert!(f.matches("job.done"));
+        assert!(f.matches("pool.scale"));
+        assert!(!f.matches("workflow.block.done"));
+        assert!(KindFilter::parse("").matches("anything"));
+        assert!(KindFilter::parse(" , ,").matches("anything"));
+    }
+
+    #[test]
+    fn lagging_subscriber_sheds_oldest_and_counts() {
+        let bus = Bus::with_ring(32);
+        let sub = bus.subscribe(KindFilter::all(), 3);
+        for i in 0..7 {
+            bus.publish("t.lag", None, json!({ "i": i }));
+        }
+        assert_eq!(sub.lagged(), 4);
+        let got: Vec<i64> = std::iter::from_fn(|| sub.try_recv())
+            .map(|e| e.payload.get("i").and_then(Value::as_i64).unwrap())
+            .collect();
+        assert_eq!(got, vec![4, 5, 6], "newest events win");
+    }
+
+    #[test]
+    fn subscribe_from_replays_ring_without_gaps() {
+        let bus = Bus::with_ring(16);
+        for i in 0..5 {
+            bus.publish("t.ring", None, json!({ "i": i }));
+        }
+        let (backlog, sub) = bus.subscribe_from(Some(2), KindFilter::all(), 8);
+        assert_eq!(backlog.iter().map(|e| e.id).collect::<Vec<_>>(), [3, 4, 5]);
+        bus.publish("t.ring", None, json!({"i": 5}));
+        assert_eq!(sub.try_recv().unwrap().id, 6, "live events follow replay");
+    }
+
+    #[test]
+    fn ring_eviction_bounds_replay() {
+        let bus = Bus::with_ring(4);
+        for _ in 0..10 {
+            bus.publish("t.evict", None, Value::Null);
+        }
+        let (backlog, _sub) = bus.subscribe_from(Some(0), KindFilter::all(), 8);
+        // No journal: only the ring's tail is retained.
+        assert_eq!(
+            backlog.iter().map(|e| e.id).collect::<Vec<_>>(),
+            [7, 8, 9, 10]
+        );
+    }
+
+    #[test]
+    fn journal_survives_restart_and_resumes_ids() {
+        let dir = std::env::temp_dir().join(format!(
+            "mc-events-test-{}-{}",
+            std::process::id(),
+            mathcloud_telemetry::next_request_id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+
+        let bus = Bus::with_ring(4);
+        bus.attach_journal(&path).unwrap();
+        for i in 0..6 {
+            bus.publish("t.jrnl", Some("req"), json!({ "i": i }));
+        }
+        drop(bus);
+
+        // "Restart": a fresh bus over the same journal.
+        let bus = Bus::with_ring(4);
+        bus.attach_journal(&path).unwrap();
+        assert_eq!(bus.last_id(), 6, "id numbering resumes after the journal");
+        assert_eq!(bus.publish("t.jrnl", None, Value::Null), 7);
+
+        // Resume from before the ring window: served from the journal.
+        let (backlog, _sub) = bus.subscribe_from(Some(1), KindFilter::all(), 8);
+        assert_eq!(
+            backlog.iter().map(|e| e.id).collect::<Vec<_>>(),
+            [2, 3, 4, 5, 6, 7]
+        );
+        assert_eq!(backlog[0].payload.get("i").and_then(Value::as_i64), Some(1));
+        assert_eq!(backlog[0].request_id.as_deref(), Some("req"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_journal_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!(
+            "mc-events-torn-{}-{}",
+            std::process::id(),
+            mathcloud_telemetry::next_request_id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let bus = Bus::with_ring(8);
+        bus.attach_journal(&path).unwrap();
+        bus.publish("t.torn", None, json!({"ok": true}));
+        drop(bus);
+        // Simulate a crash mid-append.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"id\": 2, \"kind\": \"t.torn\", \"time_")
+            .unwrap();
+        drop(f);
+
+        let evs = read_journal(&path).unwrap();
+        assert_eq!(evs.len(), 1);
+        let bus = Bus::with_ring(8);
+        bus.attach_journal(&path).unwrap();
+        assert_eq!(bus.last_id(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn envelope_json_round_trips() {
+        let ev = Envelope {
+            id: 42,
+            kind: "job.done".into(),
+            time_ms: 1_700_000_000_000,
+            request_id: Some("abc".into()),
+            payload: json!({"service": "add", "job": "7"}),
+        };
+        let back = Envelope::from_json(&ev.to_json()).unwrap();
+        assert_eq!(back, ev);
+        let anon = Envelope {
+            request_id: None,
+            ..ev
+        };
+        assert_eq!(Envelope::from_json(&anon.to_json()).unwrap(), anon);
+        assert!(Envelope::from_json(&json!({"kind": "x"})).is_none());
+    }
+
+    #[test]
+    fn dropped_subscriptions_are_pruned() {
+        let bus = Bus::with_ring(8);
+        let sub = bus.subscribe(KindFilter::all(), 8);
+        drop(sub);
+        bus.publish("t.prune", None, Value::Null);
+        assert_eq!(bus.inner.lock().subs.len(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_blocks_until_publish() {
+        let bus = Arc::new(Bus::with_ring(8));
+        let sub = bus.subscribe(KindFilter::all(), 8);
+        let pub_bus = Arc::clone(&bus);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            pub_bus.publish("t.wake", None, Value::Null);
+        });
+        let ev = sub.recv_timeout(Duration::from_secs(5)).expect("woken");
+        assert_eq!(ev.kind, "t.wake");
+        t.join().unwrap();
+        assert!(sub.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+}

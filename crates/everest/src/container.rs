@@ -22,6 +22,27 @@ use crate::filestore::FileStore;
 /// threads", §3.1).
 const DEFAULT_HANDLERS: usize = 4;
 
+/// Publishes a `job.*` lifecycle event on the process-wide bus. These are
+/// what `GET /events` subscribers (push-mode clients, the workflow engine)
+/// watch instead of polling job status.
+fn publish_job_event(
+    kind: &str,
+    container: &str,
+    service: &str,
+    job_id: &str,
+    request_id: Option<&str>,
+    error: Option<&str>,
+) {
+    let mut payload = Object::new();
+    payload.insert("container".into(), Value::from(container));
+    payload.insert("service".into(), Value::from(service));
+    payload.insert("job".into(), Value::from(job_id));
+    if let Some(e) = error {
+        payload.insert("error".into(), Value::from(e));
+    }
+    mathcloud_events::global().publish(kind, request_id, Value::Object(payload));
+}
+
 /// The authenticated originator of a request, as established by the security
 /// middleware.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -590,6 +611,14 @@ impl Everest {
             request_id,
             &[("service", service), ("job", &job_id)],
         );
+        publish_job_event(
+            "job.submitted",
+            &m.label,
+            service,
+            &job_id,
+            request_id,
+            None,
+        );
         self.queue
             .0
             .push((service.to_string(), job_id.clone()), &m.queue_depth);
@@ -688,6 +717,14 @@ impl Everest {
                     &[("service", service), ("job", job_id)],
                 );
                 drop(jobs);
+                publish_job_event(
+                    "job.cancelled",
+                    &self.shared.metrics.label,
+                    service,
+                    job_id,
+                    rid.as_deref(),
+                    None,
+                );
                 self.shared.job_done.notify_all();
                 true
             }
@@ -775,7 +812,21 @@ impl Everest {
     ///
     /// Panics when `config` is invalid ([`AutoscaleConfig::validate`]).
     pub fn autoscaler(&self, config: AutoscaleConfig) -> PoolController {
-        PoolController::new(self.metrics_label(), Arc::new(self.clone()), config)
+        let label = self.metrics_label().to_string();
+        PoolController::new(self.metrics_label(), Arc::new(self.clone()), config).on_scale(
+            move |ev| {
+                let mut payload = Object::new();
+                payload.insert("pool".into(), Value::from(label.as_str()));
+                payload.insert("direction".into(), Value::from(ev.direction.as_str()));
+                payload.insert("from".into(), Value::from(ev.from as i64));
+                payload.insert("to".into(), Value::from(ev.to as i64));
+                payload.insert(
+                    "queue_depth".into(),
+                    Value::from(ev.status.queue_depth as i64),
+                );
+                mathcloud_events::global().publish("pool.scale", None, Value::Object(payload));
+            },
+        )
     }
 
     /// A point-in-time health report: uptime, live job-state totals,
@@ -867,6 +918,14 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
         }
     };
     shared.metrics.transition("WAITING", "RUNNING");
+    publish_job_event(
+        "job.running",
+        &shared.metrics.label,
+        service,
+        job_id,
+        request_id.as_deref(),
+        None,
+    );
     let adapter = {
         let services = shared.services.read();
         services
@@ -915,6 +974,7 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
     drop(span);
 
     let mut jobs = shared.jobs.lock();
+    let mut terminal: Option<(&'static str, Option<String>)> = None;
     if let Some(record) = jobs.get_mut(&key) {
         record.runtime_ms = Some(runtime_ms);
         if record.state == JobState::Running {
@@ -924,6 +984,7 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
                     record.outputs = Some(outputs);
                     shared.stats.lock().completed += 1;
                     shared.metrics.transition("RUNNING", "DONE");
+                    terminal = Some(("job.done", None));
                 }
                 Err(error) => {
                     record.state = JobState::Failed;
@@ -932,15 +993,28 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
                         request_id.as_deref(),
                         &[("service", service), ("job", job_id), ("error", &error)],
                     );
-                    record.error = Some(error);
+                    record.error = Some(error.clone());
                     shared.stats.lock().failed += 1;
                     shared.metrics.transition("RUNNING", "FAILED");
+                    terminal = Some(("job.failed", Some(error)));
                 }
             }
         }
         // Cancelled while running: keep the CANCELLED state, drop results.
     }
     drop(jobs);
+    // Publish before the condvar wake-up so a subscriber that reacts to the
+    // event always finds the terminal record in place.
+    if let Some((kind, error)) = terminal {
+        publish_job_event(
+            kind,
+            &shared.metrics.label,
+            service,
+            job_id,
+            request_id.as_deref(),
+            error.as_deref(),
+        );
+    }
     shared.job_done.notify_all();
 }
 

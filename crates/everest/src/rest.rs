@@ -188,6 +188,12 @@ pub fn router(everest: Everest, auth: Option<AuthConfig>) -> Router {
         )
     });
 
+    // GET /events: the container's lifecycle event stream as Server-Sent
+    // Events — `?kinds=job.,pool.` prefix filtering, `Last-Event-ID` resume
+    // served from the bus's replay ring (and journal, when one is attached).
+    // This is what push-mode clients use instead of polling job status.
+    mathcloud_http::sse::mount_events(&mut r, mathcloud_events::global());
+
     // GET /trace?request_id=…: drain the span/event trace of one request
     // from the ring-buffer recorder as JSON. Draining (rather than copying)
     // means each trace is handed out once — polling clients never re-report

@@ -37,12 +37,13 @@ pub mod client;
 pub mod message;
 pub mod router;
 pub mod server;
+pub mod sse;
 pub mod transport;
 pub mod url;
 pub mod wire;
 
 pub use client::{Client, ClientError};
-pub use message::{Headers, Method, Request, Response, StatusCode};
+pub use message::{BodyStream, Headers, Method, Request, Response, StatusCode};
 pub use router::{PathParams, Router};
 pub use server::Server;
 pub use transport::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};

@@ -1,6 +1,8 @@
 //! HTTP message model: methods, status codes, headers, requests, responses.
 
 use std::fmt;
+use std::io;
+use std::sync::Arc;
 
 use mathcloud_json::Value;
 
@@ -331,6 +333,32 @@ impl Request {
     }
 }
 
+/// A streaming response body: a callback that takes over the connection's
+/// writer after the header section is sent (Server-Sent Events).
+///
+/// The connection closes when the callback returns, so `Content-Length` is
+/// never needed; a write error means the client went away and the callback
+/// should simply return.
+#[derive(Clone)]
+pub struct BodyStream(Arc<dyn Fn(&mut dyn io::Write) -> io::Result<()> + Send + Sync>);
+
+impl BodyStream {
+    /// Runs the stream over `writer` until it finishes or the peer is gone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first write error (usually a vanished client).
+    pub fn run(&self, writer: &mut dyn io::Write) -> io::Result<()> {
+        (self.0)(writer)
+    }
+}
+
+impl fmt::Debug for BodyStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BodyStream")
+    }
+}
+
 /// An HTTP response.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -340,6 +368,9 @@ pub struct Response {
     pub headers: Headers,
     /// The response body (possibly empty).
     pub body: Vec<u8>,
+    /// When set, the server ignores `body`, writes the headers, and hands
+    /// the connection to this callback (see [`Response::streaming`]).
+    pub stream: Option<BodyStream>,
 }
 
 impl Response {
@@ -349,7 +380,22 @@ impl Response {
             status: status.into(),
             headers: Headers::new(),
             body: Vec::new(),
+            stream: None,
         }
+    }
+
+    /// A streaming response: after the status line and headers, the server
+    /// calls `f` with the connection writer and closes the connection when
+    /// it returns. Used for `text/event-stream` endpoints.
+    pub fn streaming(
+        status: impl Into<StatusCode>,
+        content_type: &str,
+        f: impl Fn(&mut dyn io::Write) -> io::Result<()> + Send + Sync + 'static,
+    ) -> Self {
+        let mut r = Response::empty(status);
+        r.headers.set("Content-Type", content_type);
+        r.stream = Some(BodyStream(Arc::new(f)));
+        r
     }
 
     /// A JSON response.

@@ -226,6 +226,17 @@ fn handle_connection(stream: TcpStream, router: &Router) -> std::io::Result<()> 
         if resp.headers.get(trace::REQUEST_ID_HEADER).is_none() {
             resp.headers.set(trace::REQUEST_ID_HEADER, &request_id);
         }
+        if let Some(stream) = resp.stream.take() {
+            // Streaming response (Server-Sent Events): write the headers
+            // without a Content-Length, hand the connection to the stream
+            // callback, and close when it returns. The connection never
+            // re-enters the keep-alive loop.
+            resp.headers.set("Connection", "close");
+            resp.headers.set("Cache-Control", "no-store");
+            wire::write_stream_head(&mut writer, &resp)?;
+            let _ = stream.run(&mut writer);
+            return Ok(());
+        }
         if !keep {
             resp.headers.set("Connection", "close");
         }

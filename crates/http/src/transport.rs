@@ -220,6 +220,19 @@ impl CircuitBreaker {
             .set(state.as_gauge());
     }
 
+    /// Announces a state transition on the event bus (`breaker.state`).
+    fn publish_transition(&self, from: BreakerState, to: BreakerState) {
+        mathcloud_events::global().publish(
+            "breaker.state",
+            None,
+            mathcloud_json::json!({
+                "authority": (self.authority.as_str()),
+                "from": (from.as_str()),
+                "state": (to.as_str()),
+            }),
+        );
+    }
+
     /// Asks the breaker whether a call may proceed.
     ///
     /// # Errors
@@ -240,6 +253,7 @@ impl CircuitBreaker {
                     core.probing = true;
                     drop(core);
                     self.set_gauge(BreakerState::HalfOpen);
+                    self.publish_transition(BreakerState::Open, BreakerState::HalfOpen);
                     trace::info(
                         "http.breaker.half_open",
                         None,
@@ -287,6 +301,7 @@ impl CircuitBreaker {
         drop(core);
         if was != BreakerState::Closed {
             self.set_gauge(BreakerState::Closed);
+            self.publish_transition(was, BreakerState::Closed);
             trace::info(
                 "http.breaker.close",
                 None,
@@ -307,11 +322,13 @@ impl CircuitBreaker {
             BreakerState::Open => false,
         };
         if trip {
+            let was = core.state;
             core.state = BreakerState::Open;
             core.opened_at = Some(Instant::now());
             let failures = core.consecutive_failures;
             drop(core);
             self.set_gauge(BreakerState::Open);
+            self.publish_transition(was, BreakerState::Open);
             trace::warn(
                 "http.breaker.open",
                 None,
@@ -365,6 +382,19 @@ impl BreakerRegistry {
     /// The state of `authority`'s breaker, if one exists yet.
     pub fn state_of(&self, authority: &str) -> Option<BreakerState> {
         self.map.lock().get(authority).map(|b| b.state())
+    }
+
+    /// A sorted snapshot of every known authority and its breaker state —
+    /// the raw material of the `GET /health/all` breakers column.
+    pub fn states(&self) -> Vec<(String, BreakerState)> {
+        let mut out: Vec<(String, BreakerState)> = self
+            .map
+            .lock()
+            .iter()
+            .map(|(a, b)| (a.clone(), b.state()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 

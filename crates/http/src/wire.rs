@@ -71,6 +71,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
         status: StatusCode::from(code),
         headers,
         body,
+        stream: None,
     })
 }
 
@@ -86,6 +87,28 @@ pub fn write_request<W: Write>(writer: &mut W, req: &Request, host: &str) -> io:
     }
     write!(writer, "Content-Length: {}\r\n\r\n", req.body.len())?;
     writer.write_all(&req.body)?;
+    writer.flush()
+}
+
+/// Writes the status line and headers of a streaming response — no
+/// `Content-Length`, no body; the stream callback takes over the writer.
+pub fn write_stream_head<W: Write>(writer: &mut W, resp: &Response) -> io::Result<()> {
+    let reason = {
+        let r = resp.status.reason();
+        if r.is_empty() {
+            "Unknown"
+        } else {
+            r
+        }
+    };
+    write!(writer, "HTTP/1.1 {} {}\r\n", resp.status.as_u16(), reason)?;
+    for (name, value) in resp.headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n")?;
     writer.flush()
 }
 
@@ -120,7 +143,7 @@ fn protocol_error(msg: &str) -> io::Error {
 
 /// Reads a CRLF- (or LF-) terminated line. `allow_eof` turns clean EOF at a
 /// line start into `None`.
-fn read_line<R: BufRead>(reader: &mut R, allow_eof: bool) -> io::Result<Option<String>> {
+pub(crate) fn read_line<R: BufRead>(reader: &mut R, allow_eof: bool) -> io::Result<Option<String>> {
     let mut line = Vec::new();
     let mut limited = reader.take(MAX_HEADER_BYTES as u64);
     let n = limited.read_until(b'\n', &mut line)?;

@@ -189,6 +189,7 @@ pub struct PoolController {
     idle_run: usize,
     ups: Counter,
     downs: Counter,
+    observer: Option<Box<dyn Fn(&ScaleEvent) + Send + Sync>>,
 }
 
 impl PoolController {
@@ -221,7 +222,20 @@ impl PoolController {
             config,
             hot_run: 0,
             idle_run: 0,
+            observer: None,
         }
+    }
+
+    /// Registers a callback invoked after every applied scaling decision —
+    /// both manual [`PoolController::tick`]s and the background driver.
+    ///
+    /// This crate sits below the event bus in the dependency graph, so
+    /// publication of `pool.scale` events is injected here by the layer that
+    /// owns the pool (the Everest container) rather than hard-wired.
+    #[must_use]
+    pub fn on_scale(mut self, observer: impl Fn(&ScaleEvent) + Send + Sync + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
     }
 
     /// The pool label.
@@ -313,12 +327,16 @@ impl PoolController {
                 ("saturation", &format!("{:.3}", status.saturation())),
             ],
         );
-        ScaleEvent {
+        let event = ScaleEvent {
             direction,
             from: status.workers,
             to,
             status,
+        };
+        if let Some(observer) = &self.observer {
+            observer(&event);
         }
+        event
     }
 
     /// Moves the controller onto a background thread ticking every

@@ -63,6 +63,26 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Publishes a `workflow.block.*` transition on the process-wide event bus,
+/// mirroring what the graphical editor paints: the colour change of one
+/// block. Subscribers get pushed transitions instead of polling
+/// [`RunHandle::block_states`].
+fn publish_block_event(
+    kind: &str,
+    workflow: &str,
+    block: &str,
+    request_id: Option<&str>,
+    error: Option<&str>,
+) {
+    let mut payload = Object::new();
+    payload.insert("workflow".into(), Value::from(workflow));
+    payload.insert("block".into(), Value::from(block));
+    if let Some(e) = error {
+        payload.insert("error".into(), Value::from(e));
+    }
+    mathcloud_events::global().publish(kind, request_id, Value::Object(payload));
+}
+
 /// Invokes remote computational services for `Service` blocks.
 pub trait ServiceCaller: Send + Sync {
     /// Submits `inputs` to the service at `url` and blocks until the job is
@@ -95,13 +115,20 @@ pub trait ServiceCaller: Send + Sync {
     }
 }
 
-/// The production caller: POST to submit, poll the job resource until it is
-/// terminal (the client loop described in §2 of the paper).
+/// The production caller: POST to submit, then subscribe to the container's
+/// `GET /events` stream and wait for the job's terminal `job.*` event,
+/// falling back to the poll loop described in §2 of the paper when the
+/// server predates `/events` or the stream drops.
 #[derive(Debug, Clone)]
 pub struct HttpCaller {
     client: Client,
     poll_interval: Duration,
 }
+
+/// How long a push subscription waits for a terminal event before the
+/// caller reverts to polling. The fallback makes this a liveness bound, not
+/// a job deadline: jobs outlasting it are still seen to completion.
+const WATCH_WINDOW: Duration = Duration::from_secs(3600);
 
 impl Default for HttpCaller {
     fn default() -> Self {
@@ -150,6 +177,18 @@ impl ServiceCaller for HttpCaller {
             Some(rid) => req.with_header(trace::REQUEST_ID_HEADER, rid),
             None => req,
         };
+        // Subscribe *before* submitting: a fast job's terminal event can be
+        // published between the submit response and a later subscription,
+        // and a live-only stream would never replay it. An error here (old
+        // server, transport) simply leaves the poll loop to do all the work.
+        let push = mathcloud_http::sse::subscribe(
+            &base,
+            "job.",
+            None,
+            Duration::from_secs(10),
+            mathcloud_http::sse::DEFAULT_HEARTBEAT,
+        )
+        .ok();
         let submit_req = attach(
             Request::new(Method::Post, &base.target()).with_json(&Value::Object(inputs.clone())),
         );
@@ -166,6 +205,33 @@ impl ServiceCaller for HttpCaller {
         }
         let mut rep =
             JobRepresentation::from_value(&submit.body_json().map_err(|e| e.to_string())?)?;
+        if let (Some(stream), false) = (push, rep.state.is_terminal()) {
+            if let Some(service) = mathcloud_http::sse::service_segment(&rep.uri) {
+                let deadline = std::time::Instant::now() + WATCH_WINDOW;
+                let watched = mathcloud_http::sse::watch_job_on(
+                    &base,
+                    stream,
+                    service,
+                    rep.id.as_str(),
+                    deadline,
+                );
+                if matches!(watched, mathcloud_http::sse::WatchResult::Terminal(_)) {
+                    // One refresh fetches the terminal representation with
+                    // its outputs; the loop below returns without polling.
+                    let poll_url = base.with_target(&rep.uri);
+                    let poll_req = attach(Request::new(Method::Get, &poll_url.target()));
+                    let resp = self
+                        .client
+                        .send(&poll_url, poll_req)
+                        .map_err(|e| e.to_string())?;
+                    if resp.status.is_success() {
+                        rep = JobRepresentation::from_value(
+                            &resp.body_json().map_err(|e| e.to_string())?,
+                        )?;
+                    }
+                }
+            }
+        }
         loop {
             match rep.state {
                 JobState::Done => {
@@ -372,6 +438,7 @@ fn execute(
 
     let spawn_block = |id: &str, done_tx: &mpsc::Sender<BlockDone>| {
         states.write().insert(id.to_string(), BlockRun::Running);
+        publish_block_event("workflow.block.running", &wf.name, id, request_id, None);
         let id = id.to_string();
         let validated = Arc::clone(validated);
         let caller = Arc::clone(caller);
@@ -413,6 +480,7 @@ fn execute(
         match outcome {
             Ok(produced) => {
                 states.write().insert(id.clone(), BlockRun::Done);
+                publish_block_event("workflow.block.done", &wf.name, &id, request_id, None);
                 {
                     let mut vals = values.lock();
                     for (port, value) in produced {
@@ -433,6 +501,13 @@ fn execute(
             }
             Err(reason) => {
                 states.write().insert(id.clone(), BlockRun::Failed);
+                publish_block_event(
+                    "workflow.block.failed",
+                    &wf.name,
+                    &id,
+                    request_id,
+                    Some(&reason),
+                );
                 if failed.is_none() {
                     failed = Some(EngineError::BlockFailed { block: id, reason });
                 }

@@ -81,4 +81,37 @@ print(f"BENCH_5.json OK: speedup {last['speedup']:.2f}x at N={last['n']}, "
       f"{big[-1]['schoolbook_ms']:.3f}ms at {big[-1]['limbs']} limbs")
 EOF
 
+# The push-vs-poll smoke proves the events bus actually displaces polling:
+# the same jobs waited out via `GET /events` subscriptions must cost at
+# least 5x fewer job-status requests than the poll loop. Both modes read
+# the server-side request counter, so the comparison is exact.
+echo "==> push-vs-poll events smoke (release, 120s budget)"
+cargo build -q --release --offline -p mathcloud-bench --bin pushpoll
+rm -f BENCH_6.json
+timeout 120 ./target/release/pushpoll --smoke
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_6.json") as f:
+    report = json.load(f)
+for mode in ("poll", "push"):
+    for key in ("status_requests", "per_job"):
+        assert key in report[mode], f"{mode} missing {key}: {report}"
+assert report["jobs"] > 0, "no jobs measured"
+if report["push"]["per_job"] > 2.0:
+    sys.exit(
+        f"push mode is polling: {report['push']['per_job']:.2f} "
+        "status requests per job (expected <= 2)"
+    )
+if report["reduction"] < 5.0:
+    sys.exit(
+        f"push only reduced status requests {report['reduction']:.1f}x "
+        f"(poll {report['poll']['per_job']:.1f}/job vs push "
+        f"{report['push']['per_job']:.1f}/job); gate is 5x"
+    )
+print(f"BENCH_6.json OK: push cut status requests {report['reduction']:.1f}x "
+      f"({report['poll']['per_job']:.1f} -> {report['push']['per_job']:.1f} "
+      "per job)")
+EOF
+
 echo "verify: OK"

@@ -1,0 +1,292 @@
+//! End-to-end tests of the push pipeline: the `mathcloud-events` bus served
+//! as `GET /events` SSE streams, `Last-Event-ID` resume from both the
+//! in-memory ring and the journal, lag shedding under slow subscribers, the
+//! push-first client wait, and the breaker/availability event sources.
+//!
+//! The bus, like the metrics registry, is process-wide — every test here
+//! shares it with its siblings, so each uses a unique kind prefix (bus ids
+//! from concurrent tests interleave; the captured publish ids, not
+//! consecutive ranges, are what resumed streams are checked against).
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use mathcloud_catalogue::{router, Catalogue, ScrapeConfig};
+use mathcloud_client::ServiceClient;
+use mathcloud_core::{Parameter, ServiceDescription};
+use mathcloud_events::KindFilter;
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::Everest;
+use mathcloud_http::sse::{self, SseItem};
+use mathcloud_http::transport::BreakerRegistry;
+use mathcloud_http::{BreakerConfig, Client, Url};
+use mathcloud_integration_tests::loadgen::job_status_requests;
+use mathcloud_json::{json, Schema, Value};
+
+const STREAM_TIMEOUT: Duration = Duration::from_secs(10);
+const CONNECT: Duration = Duration::from_secs(5);
+
+/// A port that refuses connections: bind, record, drop.
+fn dead_port() -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap().port()
+}
+
+/// Reads the stream until an event satisfying `pred` arrives.
+fn next_event_where(
+    stream: &mut sse::EventStream,
+    deadline: Instant,
+    mut pred: impl FnMut(&sse::SseEvent) -> bool,
+) -> sse::SseEvent {
+    while Instant::now() < deadline {
+        match stream.next() {
+            Ok(SseItem::Event(ev)) if pred(&ev) => return ev,
+            Ok(SseItem::Event(_) | SseItem::Heartbeat) => {}
+            Ok(SseItem::Closed) => panic!("stream closed while waiting for an event"),
+            Err(e) => panic!("stream error while waiting for an event: {e}"),
+        }
+    }
+    panic!("no matching event within {STREAM_TIMEOUT:?}");
+}
+
+#[test]
+fn sse_stream_resumes_with_last_event_id_from_the_ring() {
+    let server = mathcloud_everest::serve(Everest::new("sse-ring"), "127.0.0.1:0", None).unwrap();
+    let base: Url = server.base_url().parse().unwrap();
+    let bus = mathcloud_events::global();
+
+    let mut ids: Vec<u64> = (0..3)
+        .map(|n| bus.publish("itring.tick", None, json!({ "n": (n as i64) })))
+        .collect();
+
+    // Events published before the subscription need an explicit resume
+    // point; everything after `ids[0] - 1` replays from the ring.
+    let mut stream =
+        sse::subscribe(&base, "itring.", Some(ids[0] - 1), CONNECT, STREAM_TIMEOUT).unwrap();
+    let deadline = Instant::now() + STREAM_TIMEOUT;
+    for want in &ids[..2] {
+        let got = next_event_where(&mut stream, deadline, |e| e.kind.starts_with("itring."));
+        assert_eq!(got.id, Some(*want));
+    }
+
+    // Simulate a dropped connection after the second event, publish more
+    // while disconnected, then resume with the standard Last-Event-ID
+    // contract: everything newer arrives exactly once, nothing replays.
+    let last_seen = stream.last_id.expect("ids were delivered");
+    assert_eq!(last_seen, ids[1]);
+    drop(stream);
+    for n in 3..5 {
+        ids.push(bus.publish("itring.tick", None, json!({ "n": (n as i64) })));
+    }
+
+    let mut resumed =
+        sse::subscribe(&base, "itring.", Some(last_seen), CONNECT, STREAM_TIMEOUT).unwrap();
+    let deadline = Instant::now() + STREAM_TIMEOUT;
+    for want in &ids[2..] {
+        let got = next_event_where(&mut resumed, deadline, |e| e.kind.starts_with("itring."));
+        assert_eq!(
+            got.id,
+            Some(*want),
+            "resume must be gapless and duplicate-free"
+        );
+    }
+}
+
+#[test]
+fn resume_is_served_from_the_journal_after_ring_eviction() {
+    let dir = std::env::temp_dir().join(format!(
+        "mc-sse-journal-{}-{}",
+        std::process::id(),
+        mathcloud_telemetry::next_request_id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bus = mathcloud_events::global();
+    bus.attach_journal(&dir.join("events.log")).unwrap();
+
+    let marks: Vec<u64> = (0..4)
+        .map(|n| bus.publish("itjournal.mark", None, json!({ "n": (n as i64) })))
+        .collect();
+    // Flood the ring far past its capacity: the marks are now only on disk.
+    for _ in 0..(mathcloud_events::DEFAULT_RING + 64) {
+        bus.publish("itjfill.noise", None, json!({}));
+    }
+
+    let server =
+        mathcloud_everest::serve(Everest::new("sse-journal"), "127.0.0.1:0", None).unwrap();
+    let base: Url = server.base_url().parse().unwrap();
+    let mut stream = sse::subscribe(
+        &base,
+        "itjournal.",
+        Some(marks[0] - 1),
+        CONNECT,
+        STREAM_TIMEOUT,
+    )
+    .unwrap();
+    let deadline = Instant::now() + STREAM_TIMEOUT;
+    for (i, want) in marks.iter().enumerate() {
+        let got = next_event_where(&mut stream, deadline, |e| e.kind.starts_with("itjournal."));
+        assert_eq!(got.id, Some(*want), "mark {i} must replay from the journal");
+    }
+
+    // After the journal backlog the stream is live: a fresh event follows.
+    let live = bus.publish("itjournal.live", None, json!({}));
+    let got = next_event_where(&mut stream, deadline, |e| e.kind.starts_with("itjournal."));
+    assert_eq!(got.id, Some(live));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn push_call_observes_the_lifecycle_with_a_single_status_request() {
+    let e = Everest::new("sse-life");
+    e.deploy(
+        ServiceDescription::new("pulse", "naps, then echoes its input")
+            .input(Parameter::new("x", Schema::integer()))
+            .output(Parameter::new("x", Schema::integer())),
+        NativeAdapter::from_fn(|inputs, _| {
+            // Outlast the container's 100 ms synchronous-completion window
+            // so the wait actually happens over the event stream.
+            std::thread::sleep(Duration::from_millis(250));
+            let x = inputs.get("x").and_then(Value::as_i64).unwrap_or(0);
+            Ok([("x".to_string(), json!(x))].into_iter().collect())
+        }),
+    );
+    let server = mathcloud_everest::serve(e, "127.0.0.1:0", None).unwrap();
+    let base: Url = server.base_url().parse().unwrap();
+
+    // An independent observer, subscribed before the job exists.
+    let mut stream = sse::subscribe(&base, "job.", None, CONNECT, STREAM_TIMEOUT).unwrap();
+
+    let svc = ServiceClient::connect(&format!("{}/services/pulse", server.base_url())).unwrap();
+    let before = job_status_requests();
+    let rep = svc.call(&json!({"x": 7}), Duration::from_secs(30)).unwrap();
+    let status_requests = job_status_requests() - before;
+    assert_eq!(rep.outputs.expect("outputs").get("x"), Some(&json!(7)));
+    assert_eq!(
+        status_requests, 1,
+        "a push wait needs exactly one status request — the final outputs fetch"
+    );
+
+    // The observer saw every transition of this job, in order, by push.
+    let job = rep.id.as_str().to_string();
+    let deadline = Instant::now() + STREAM_TIMEOUT;
+    let mut seen: Vec<String> = Vec::new();
+    while seen.last().map(String::as_str) != Some("job.done") {
+        let ev = next_event_where(&mut stream, deadline, |e| e.kind.starts_with("job."));
+        let env = ev.envelope().expect("well-formed envelope");
+        if env.payload.get("service").and_then(Value::as_str) == Some("pulse")
+            && env.payload.get("job").and_then(Value::as_str) == Some(job.as_str())
+        {
+            seen.push(env.kind);
+        }
+    }
+    assert_eq!(seen, ["job.submitted", "job.running", "job.done"]);
+}
+
+#[test]
+fn lagging_subscribers_shed_oldest_events_and_bump_the_lag_metric() {
+    let bus = mathcloud_events::global();
+    let before = mathcloud_telemetry::metrics::global()
+        .counter_value("mc_events_lag_total", &[])
+        .unwrap_or(0);
+
+    let sub = bus.subscribe(KindFilter::parse("itlag."), 4);
+    let ids: Vec<u64> = (0..12)
+        .map(|n| bus.publish("itlag.burst", None, json!({ "n": (n as i64) })))
+        .collect();
+
+    assert_eq!(sub.lagged(), 8, "8 of 12 events exceed the queue capacity");
+    let first = sub
+        .recv_timeout(Duration::from_secs(1))
+        .expect("queued event");
+    assert_eq!(
+        first.id, ids[8],
+        "the oldest events are shed, the newest kept"
+    );
+
+    let after = mathcloud_telemetry::metrics::global()
+        .counter_value("mc_events_lag_total", &[])
+        .unwrap_or(0);
+    assert!(
+        after - before >= 8,
+        "mc_events_lag_total must count the shed events ({before} -> {after})"
+    );
+}
+
+#[test]
+fn breaker_trips_and_availability_flips_publish_events_and_health_all_lists_states() {
+    let bus = mathcloud_events::global();
+
+    // Tripping a breaker publishes the transition.
+    let breaker_sub = bus.subscribe(KindFilter::parse("breaker."), 64);
+    let registry = BreakerRegistry::new(BreakerConfig {
+        failure_threshold: 2,
+        cooldown: Duration::from_secs(60),
+    });
+    let breaker = registry.breaker("itbreaker-authority:7");
+    breaker.on_failure();
+    breaker.on_failure();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let ev = loop {
+        let ev = breaker_sub
+            .recv_timeout(Duration::from_secs(1))
+            .expect("breaker.state event");
+        if ev.payload.get("authority").and_then(Value::as_str) == Some("itbreaker-authority:7") {
+            break ev;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no event for the tripped breaker"
+        );
+    };
+    assert_eq!(ev.kind, "breaker.state");
+    assert_eq!(
+        ev.payload.get("from").and_then(Value::as_str),
+        Some("closed")
+    );
+    assert_eq!(
+        ev.payload.get("state").and_then(Value::as_str),
+        Some("open")
+    );
+
+    // An availability flip (up -> down) publishes too, and the probe's
+    // breaker for the dead authority surfaces on GET /health/all.
+    let avail_sub = bus.subscribe(KindFilter::parse("catalogue."), 64);
+    let cat = Catalogue::with_scrape_config(ScrapeConfig {
+        per_target_deadline: Duration::from_millis(300),
+        max_workers: 2,
+    });
+    let dead = dead_port();
+    let authority = format!("127.0.0.1:{dead}");
+    cat.register(
+        &format!("http://{authority}/services/ghost"),
+        ServiceDescription::new("ghost", "gone"),
+        &[],
+    );
+    let (up, down) = cat.ping_all();
+    assert_eq!((up, down), (0, 1));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let ev = loop {
+        let ev = avail_sub
+            .recv_timeout(Duration::from_secs(1))
+            .expect("catalogue.availability event");
+        if ev.payload.get("service").and_then(Value::as_str) == Some("ghost") {
+            break ev;
+        }
+        assert!(Instant::now() < deadline, "no availability event for ghost");
+    };
+    assert_eq!(ev.kind, "catalogue.availability");
+    assert_eq!(ev.payload.get("available"), Some(&Value::Bool(false)));
+
+    let server = mathcloud_http::Server::bind("127.0.0.1:0", router(cat)).unwrap();
+    let resp = Client::new()
+        .get(&format!("{}/health/all", server.base_url()))
+        .unwrap();
+    let body = resp.body_json().unwrap();
+    let breakers = body.get("breakers").expect("health/all carries breakers");
+    assert_eq!(
+        breakers.get(&authority).and_then(Value::as_str),
+        Some("closed"),
+        "one failed probe must not trip the default breaker: {body}"
+    );
+}

@@ -64,6 +64,24 @@ pub mod loadgen {
     /// Name of the service [`deploy_clocked_service`] publishes.
     pub const SERVICE: &str = "work";
 
+    /// Successful `GET`s recorded so far on the job-status route by the
+    /// process-wide registry — the server-side request volume a polling
+    /// client generates. Take a reading before and after a scenario and
+    /// divide the delta by completed jobs to get requests-per-job, the
+    /// poll-vs-push comparison the `pushpoll` bench gates on.
+    pub fn job_status_requests() -> u64 {
+        mathcloud_telemetry::metrics::global()
+            .counter_value(
+                "mc_http_requests_total",
+                &[
+                    ("route", "/services/{name}/jobs/{id}"),
+                    ("method", "GET"),
+                    ("status", "200"),
+                ],
+            )
+            .unwrap_or(0)
+    }
+
     /// Deploys a service whose adapter occupies a handler thread for the
     /// job's `ticks` input worth of virtual time — compute time under the
     /// mock clock instead of `thread::sleep`.
