@@ -232,8 +232,34 @@ impl ServiceClient {
         inputs: &Value,
         request_id: &str,
     ) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(inputs, request_id, None)
+    }
+
+    /// Submits a request under an `Idempotency-Key`: the server creates at
+    /// most one job per `(service, key)` — a retried or replayed submission
+    /// (including after a container restart, since the key is journaled
+    /// with the job) returns a handle on the *original* job. The transport
+    /// layer therefore retries a keyed submission like an idempotent
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::submit`].
+    pub fn submit_idempotent(&self, inputs: &Value, key: &str) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(inputs, &next_request_id(), Some(key))
+    }
+
+    fn submit_inner(
+        &self,
+        inputs: &Value,
+        request_id: &str,
+        idem_key: Option<&str>,
+    ) -> Result<JobHandle, ServiceError> {
         let mut req = Request::new(Method::Post, &self.url.target()).with_json(inputs);
         req.headers.set(REQUEST_ID_HEADER, request_id);
+        if let Some(key) = idem_key {
+            req.headers.set(mathcloud_http::IDEMPOTENCY_KEY_HEADER, key);
+        }
         let resp = self
             .client
             .send(&self.url, req)
@@ -290,6 +316,74 @@ impl ServiceClient {
             Some(stream) => job.wait_streamed(stream, timeout),
             None => job.wait(timeout),
         }
+    }
+
+    /// [`ServiceClient::call`] under an `Idempotency-Key`: submit-and-wait
+    /// where the submission is safe to retry (and to repeat wholesale —
+    /// calling this twice with the same key waits on the same job twice).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn call_idempotent(
+        &self,
+        inputs: &Value,
+        key: &str,
+        timeout: Duration,
+    ) -> Result<JobRepresentation, ServiceError> {
+        let stream = sse::subscribe(
+            &self.url,
+            "job.",
+            None,
+            SSE_CONNECT_TIMEOUT,
+            sse::DEFAULT_HEARTBEAT,
+        )
+        .ok();
+        let job = self.submit_idempotent(inputs, key)?;
+        match stream {
+            Some(stream) => job.wait_streamed(stream, timeout),
+            None => job.wait(timeout),
+        }
+    }
+
+    /// Reattaches to an existing job by id — the durable-jobs counterpart
+    /// of [`ServiceClient::submit`]: after a container restart, a client
+    /// holding only a job id from before the crash gets a live
+    /// [`JobHandle`] (and can [`JobHandle::wait`]) as long as the
+    /// container's journal recovered the job.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Http`] with status 404 when the job is unknown;
+    /// transport and payload errors as usual.
+    pub fn job(&self, job_id: &str) -> Result<JobHandle, ServiceError> {
+        let url = self
+            .url
+            .with_target(&format!("{}/jobs/{job_id}", self.url.target()));
+        let resp = self
+            .client
+            .get(&url.to_string())
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        if !resp.status.is_success() {
+            return Err(http_error(&resp));
+        }
+        let rep = JobRepresentation::from_value(
+            &resp
+                .body_json()
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?,
+        )
+        .map_err(ServiceError::Protocol)?;
+        let request_id = resp
+            .headers
+            .get(REQUEST_ID_HEADER)
+            .map(str::to_string)
+            .unwrap_or_default();
+        Ok(JobHandle {
+            client: self.client.clone(),
+            base: self.url.clone(),
+            rep,
+            request_id,
+        })
     }
 }
 

@@ -43,7 +43,7 @@
 
 use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -221,6 +221,66 @@ impl Drop for Subscription {
     }
 }
 
+/// The shared JSON-lines journal conventions: one JSON document per line,
+/// `fsync` after every append, and a reader that skips torn or corrupt lines
+/// instead of failing. The events journal below and the durable job store in
+/// `mathcloud-everest` both persist through these helpers, so every journal
+/// in the system tears and recovers the same way.
+pub mod jsonl {
+    use super::*;
+    use std::io::Read;
+
+    /// Appends `value` as one line and syncs it to disk.
+    ///
+    /// The record only counts as durable once `sync_data` returns: a crash
+    /// mid-append leaves at most one torn final line, which
+    /// [`read_values`] skips on recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write and sync failures.
+    pub fn append_value(file: &mut File, value: &Value) -> io::Result<()> {
+        let mut line = value.to_string();
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.sync_data()
+    }
+
+    /// Reads every well-formed JSON line from `path`, oldest first.
+    ///
+    /// A missing file is an empty journal. Lines that are not valid UTF-8
+    /// or not valid JSON — a torn tail from a crash mid-append, or bytes
+    /// corrupted at rest — are skipped, never fatal: recovery always
+    /// replays the longest well-formed prefix (plus any well-formed lines
+    /// after a corrupt one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening or reading the file.
+    pub fn read_values(path: &Path) -> io::Result<Vec<Value>> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut out = Vec::new();
+        for raw in bytes.split(|&b| b == b'\n') {
+            let Ok(line) = std::str::from_utf8(raw) else {
+                continue;
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Ok(v) = mathcloud_json::parse(line) {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// The append-only journal behind a bus.
 struct Journal {
     file: File,
@@ -229,12 +289,9 @@ struct Journal {
 
 impl Journal {
     fn append(&mut self, ev: &Envelope) -> io::Result<()> {
-        let mut line = ev.to_json().to_string();
-        line.push('\n');
-        self.file.write_all(line.as_bytes())?;
         // Durability is the whole point of the journal: an event is only
         // "published" once it would survive a crash.
-        self.file.sync_data()
+        jsonl::append_value(&mut self.file, &ev.to_json())
     }
 }
 
@@ -247,22 +304,10 @@ impl Journal {
 /// Propagates I/O errors opening or reading the file; a missing file is an
 /// empty journal.
 pub fn read_journal(path: &Path) -> io::Result<Vec<Envelope>> {
-    let file = match File::open(path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
-    };
-    let mut out = Vec::new();
-    for line in BufReader::new(file).lines() {
-        let line = line?;
-        let Ok(v) = mathcloud_json::parse(&line) else {
-            continue;
-        };
-        if let Some(ev) = Envelope::from_json(&v) {
-            out.push(ev);
-        }
-    }
-    Ok(out)
+    Ok(jsonl::read_values(path)?
+        .iter()
+        .filter_map(Envelope::from_json)
+        .collect())
 }
 
 struct Inner {

@@ -247,6 +247,83 @@ impl PoolConfig {
     }
 }
 
+/// Durable-job-store settings from the top-level `"journal"` configuration
+/// object:
+///
+/// ```json
+/// {
+///   "journal": { "path": "/var/lib/mathcloud/jobs.jsonl", "compact_every": 1024 },
+///   "services": [ … ]
+/// }
+/// ```
+///
+/// Absent means no journal: job state stays in memory only. `compact_every`
+/// defaults to [`crate::jobstore::DEFAULT_COMPACT_EVERY`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JournalConfig {
+    /// The journal file; `None` leaves the container in-memory.
+    pub path: Option<std::path::PathBuf>,
+    /// Appended records between compactions.
+    pub compact_every: Option<usize>,
+}
+
+impl JournalConfig {
+    /// Parses the top-level `"journal"` object; absent means no journal.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending knob.
+    pub fn from_config(config: &Value) -> Result<Self, ConfigError> {
+        let Some(doc) = config.get("journal") else {
+            return Ok(JournalConfig::default());
+        };
+        if doc.as_object().is_none() {
+            return Err(err("\"journal\" must be an object"));
+        }
+        let path = match doc.get("path") {
+            None => return Err(err("journal.path is required")),
+            Some(v) => v
+                .as_str()
+                .map(std::path::PathBuf::from)
+                .ok_or_else(|| err("journal.path must be a string"))?,
+        };
+        let compact_every = match doc.get("compact_every") {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(n) if n > 0 => Some(n as usize),
+                _ => return Err(err("journal.compact_every must be a positive integer")),
+            },
+        };
+        Ok(JournalConfig {
+            path: Some(path),
+            compact_every,
+        })
+    }
+
+    /// Arms the journal on a container (recovering its contents), when a
+    /// path is configured. Call after services are deployed so re-queued
+    /// jobs find their adapters.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] wrapping the I/O failure.
+    pub fn apply(
+        &self,
+        everest: &Everest,
+    ) -> Result<Option<crate::container::RecoveryReport>, ConfigError> {
+        let Some(path) = &self.path else {
+            return Ok(None);
+        };
+        let compact_every = self
+            .compact_every
+            .unwrap_or(crate::jobstore::DEFAULT_COMPACT_EVERY);
+        everest
+            .attach_job_journal_with(path, compact_every)
+            .map(Some)
+            .map_err(|e| err(format!("journal {}: {e}", path.display())))
+    }
+}
+
 /// Everything [`load_config_full`] produced from one configuration document.
 #[derive(Debug)]
 pub struct LoadedConfig {
@@ -256,6 +333,10 @@ pub struct LoadedConfig {
     pub pool: PoolConfig,
     /// The running autoscaler, when `pool.adaptive` asked for one.
     pub autoscaler: Option<AutoscaleHandle>,
+    /// The parsed journal settings (empty when the document had none).
+    pub journal: JournalConfig,
+    /// What the journal recovered, when one was configured.
+    pub recovery: Option<crate::container::RecoveryReport>,
 }
 
 /// Parses a configuration document and deploys every service it describes.
@@ -293,6 +374,7 @@ pub fn load_config_full(
     registry: &AdapterRegistry,
 ) -> Result<LoadedConfig, ConfigError> {
     let pool = PoolConfig::from_config(config)?;
+    let journal = JournalConfig::from_config(config)?;
     let services = config
         .get("services")
         .and_then(Value::as_array)
@@ -312,11 +394,16 @@ pub fn load_config_full(
             .map_err(|e| err(format!("service {name:?}: {}", e.0)))?;
         deployed.push(name.to_string());
     }
+    // Journal recovery runs after every service deploys (re-queued jobs
+    // need their adapters) and before the pool is sized for traffic.
+    let recovery = journal.apply(everest)?;
     let autoscaler = pool.apply(everest);
     Ok(LoadedConfig {
         services: deployed,
         pool,
         autoscaler,
+        journal,
+        recovery,
     })
 }
 
@@ -706,6 +793,71 @@ mod tests {
         let loaded = load_config_full(&everest, &config, &AdapterRegistry::new()).unwrap();
         assert!(loaded.autoscaler.is_none());
         assert_eq!(everest.pool_workers(), 2);
+    }
+
+    #[test]
+    fn journal_config_parses_and_recovers() {
+        // Absent: no journal.
+        let j = JournalConfig::from_config(&json!({"services": []})).unwrap();
+        assert_eq!(j, JournalConfig::default());
+        assert!(j.apply(&Everest::new("cfg-nojournal")).unwrap().is_none());
+
+        // Bad knobs are named.
+        for (config, needle) in [
+            (json!({"journal": 7}), "must be an object"),
+            (json!({"journal": {}}), "journal.path"),
+            (json!({"journal": {"path": 3}}), "journal.path"),
+            (
+                json!({"journal": {"path": "/tmp/x", "compact_every": 0}}),
+                "compact_every",
+            ),
+            (
+                json!({"journal": {"path": "/tmp/x", "compact_every": "lots"}}),
+                "compact_every",
+            ),
+        ] {
+            let e = JournalConfig::from_config(&config).unwrap_err();
+            assert!(e.to_string().contains(needle), "{e} !~ {needle}");
+        }
+
+        // End to end: a configured journal is armed and recovers across a
+        // reload of the same document.
+        let dir = std::env::temp_dir().join(format!(
+            "mc-cfg-journal-{}-{}",
+            std::process::id(),
+            mathcloud_telemetry::next_request_id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+        let config = json!({
+            "journal": {"path": (path.to_str().unwrap()), "compact_every": 64},
+            "services": [{
+                "name": "noop",
+                "description": "",
+                "adapter": {"type": "command", "program": "/bin/true", "args": []}
+            }]
+        });
+        let everest = Everest::new("cfg-journal");
+        let loaded = load_config_full(&everest, &config, &AdapterRegistry::new()).unwrap();
+        assert_eq!(
+            loaded.recovery,
+            Some(crate::container::RecoveryReport::default())
+        );
+        let rep = everest
+            .submit_sync("noop", &json!({}), None, Duration::from_secs(5))
+            .unwrap();
+        assert!(rep.state.is_terminal());
+
+        let everest2 = Everest::new("cfg-journal-2");
+        let loaded2 = load_config_full(&everest2, &config, &AdapterRegistry::new()).unwrap();
+        let recovery = loaded2.recovery.unwrap();
+        assert_eq!(recovery.replayed, 1, "the finished job came back");
+        assert!(everest2
+            .representation("noop", rep.id.as_str())
+            .unwrap()
+            .state
+            .is_terminal());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

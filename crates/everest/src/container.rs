@@ -2,6 +2,8 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -17,6 +19,7 @@ use mathcloud_telemetry::{
 
 use crate::adapter::{Adapter, AdapterContext};
 use crate::filestore::FileStore;
+use crate::jobstore::{JobStore, TransitionDetail, TransitionState, DEFAULT_COMPACT_EVERY};
 
 /// Default number of job handler threads ("a configurable pool of handler
 /// threads", §3.1).
@@ -33,12 +36,30 @@ fn publish_job_event(
     request_id: Option<&str>,
     error: Option<&str>,
 ) {
+    publish_job_event_full(kind, container, service, job_id, request_id, error, false);
+}
+
+/// [`publish_job_event`] with the `replayed` payload flag recovery uses to
+/// mark transitions that are being republished from the job journal rather
+/// than happening for the first time.
+fn publish_job_event_full(
+    kind: &str,
+    container: &str,
+    service: &str,
+    job_id: &str,
+    request_id: Option<&str>,
+    error: Option<&str>,
+    replayed: bool,
+) {
     let mut payload = Object::new();
     payload.insert("container".into(), Value::from(container));
     payload.insert("service".into(), Value::from(service));
     payload.insert("job".into(), Value::from(job_id));
     if let Some(e) = error {
         payload.insert("error".into(), Value::from(e));
+    }
+    if replayed {
+        payload.insert("replayed".into(), Value::from(true));
     }
     mathcloud_events::global().publish(kind, request_id, Value::Object(payload));
 }
@@ -309,6 +330,43 @@ struct Shared {
     stats: Mutex<ContainerStats>,
     metrics: ContainerMetrics,
     started: Instant,
+    /// The durable job journal, when [`Everest::attach_job_journal`] armed
+    /// one. `None` keeps the container fully in-memory (the default).
+    store: Mutex<Option<Arc<JobStore>>>,
+    /// `(service, Idempotency-Key) → job id`: retried keyed submissions are
+    /// answered from here instead of creating a second job. Rebuilt from
+    /// the journal on recovery. Lock order: `idem` before `jobs` before the
+    /// store, always.
+    idem: Mutex<HashMap<(String, String), String>>,
+}
+
+impl Shared {
+    /// Appends one transition to the job journal, if armed. Called inside
+    /// the `jobs` critical section that applied the in-memory transition,
+    /// so per-job record order on disk matches in-memory history exactly.
+    fn journal(
+        &self,
+        service: &str,
+        job_id: &str,
+        state: TransitionState,
+        detail: TransitionDetail<'_>,
+    ) {
+        let store = self.store.lock().clone();
+        if let Some(store) = store {
+            store.append(service, job_id, state, detail);
+        }
+    }
+}
+
+/// What [`Everest::attach_job_journal`] recovered from the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Interrupted (WAITING/RUNNING) jobs re-queued for execution.
+    pub requeued: usize,
+    /// Terminal jobs whose results were replayed into memory.
+    pub replayed: usize,
+    /// `Idempotency-Key` mappings restored.
+    pub idem_keys: usize,
 }
 
 /// A point-in-time health report, served as `GET /health` on every container.
@@ -394,6 +452,8 @@ impl Everest {
             stats: Mutex::new(ContainerStats::default()),
             metrics: container_metrics,
             started: Instant::now(),
+            store: Mutex::new(None),
+            idem: Mutex::new(HashMap::new()),
         });
         let queue = Arc::new(JobQueue {
             state: Mutex::new(JobQueueState {
@@ -564,6 +624,31 @@ impl Everest {
         caller: Option<&Caller>,
         request_id: Option<&str>,
     ) -> Result<JobRepresentation, SubmitRejection> {
+        self.submit_idempotent(service, body, caller, request_id, None)
+            .map(|(rep, _)| rep)
+    }
+
+    /// [`Everest::submit_traced`] with an optional `Idempotency-Key`.
+    ///
+    /// A keyed submission is created at most once per `(service, key)`:
+    /// retries — including replays of the same POST after a network failure
+    /// or a container restart, because the key is journaled with the job —
+    /// are answered with the original job's representation. The boolean in
+    /// the result is `true` when the submission was deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// See [`Everest::submit`]. Authorization and input validation run
+    /// before the key lookup, so a rejected request is rejected
+    /// consistently whether or not its key is already mapped.
+    pub fn submit_idempotent(
+        &self,
+        service: &str,
+        body: &Value,
+        caller: Option<&Caller>,
+        request_id: Option<&str>,
+        idem_key: Option<&str>,
+    ) -> Result<(JobRepresentation, bool), SubmitRejection> {
         let anonymous = Caller::anonymous();
         let caller = caller.unwrap_or(&anonymous);
         self.authorize(service, caller)?;
@@ -580,6 +665,52 @@ impl Everest {
                 other => SubmitRejection::InvalidInputs(vec![other.to_string()]),
             })?;
 
+        let Some(key) = idem_key else {
+            return Ok((self.create_job(service, inputs, request_id, None), false));
+        };
+        // The idem lock is held across lookup AND job creation, so N racing
+        // submissions with the same key serialize here and exactly one of
+        // them creates the job (lock order: idem → jobs → store).
+        let map_key = (service.to_string(), key.to_string());
+        let mut idem = self.shared.idem.lock();
+        if let Some(existing) = idem.get(&map_key).cloned() {
+            if let Some(rep) = self.representation(service, &existing) {
+                drop(idem);
+                metrics::global()
+                    .counter(
+                        "mc_jobs_deduplicated_total",
+                        &[
+                            ("container", &self.shared.metrics.label),
+                            ("service", service),
+                        ],
+                    )
+                    .inc();
+                trace::info(
+                    "job.deduplicated",
+                    request_id,
+                    &[("service", service), ("job", &existing), ("key", key)],
+                );
+                return Ok((rep, true));
+            }
+            // The mapped job's record was deleted: the key is free again.
+            idem.remove(&map_key);
+        }
+        let rep = self.create_job(service, inputs, request_id, Some(key));
+        idem.insert(map_key, rep.id.as_str().to_string());
+        Ok((rep, false))
+    }
+
+    /// Creates and enqueues a job whose inputs already validated. The
+    /// WAITING record hits the journal inside the same critical section
+    /// that makes the job visible, so no acknowledged job can be missing
+    /// from the journal.
+    fn create_job(
+        &self,
+        service: &str,
+        inputs: Object,
+        request_id: Option<&str>,
+        idem_key: Option<&str>,
+    ) -> JobRepresentation {
         let job_id = format!("j-{}", self.shared.next_job.fetch_add(1, Ordering::Relaxed));
         {
             let mut jobs = self.shared.jobs.lock();
@@ -590,10 +721,21 @@ impl Everest {
                     outputs: None,
                     error: None,
                     cancel: Arc::new(AtomicBool::new(false)),
-                    inputs,
+                    inputs: inputs.clone(),
                     runtime_ms: None,
                     request_id: request_id.map(str::to_string),
                     submitted_at: Instant::now(),
+                },
+            );
+            self.shared.journal(
+                service,
+                &job_id,
+                TransitionState::Job(JobState::Waiting),
+                TransitionDetail {
+                    idem_key,
+                    request_id,
+                    inputs: Some(&inputs),
+                    ..Default::default()
                 },
             );
         }
@@ -622,9 +764,8 @@ impl Everest {
         self.queue
             .0
             .push((service.to_string(), job_id.clone()), &m.queue_depth);
-        Ok(self
-            .representation(service, &job_id)
-            .expect("job just inserted"))
+        self.representation(service, &job_id)
+            .expect("job just inserted")
     }
 
     /// Submit-and-wait: the synchronous mode of §2. If the job finishes
@@ -696,7 +837,17 @@ impl Everest {
             None => false,
             Some(record) if record.state.is_terminal() => {
                 jobs.remove(&key);
+                self.shared.journal(
+                    service,
+                    job_id,
+                    TransitionState::Deleted,
+                    TransitionDetail::default(),
+                );
                 drop(jobs);
+                // The deleted job's Idempotency-Key (if any) is free again;
+                // taken after the jobs lock is released to respect the
+                // idem-before-jobs lock order.
+                self.shared.idem.lock().retain(|_, v| v != job_id);
                 self.shared.files.remove_job(service, job_id);
                 true
             }
@@ -709,6 +860,15 @@ impl Everest {
                 };
                 let rid = record.request_id.clone();
                 record.state = JobState::Cancelled;
+                self.shared.journal(
+                    service,
+                    job_id,
+                    TransitionState::Job(JobState::Cancelled),
+                    TransitionDetail {
+                        runtime_ms: record.runtime_ms,
+                        ..Default::default()
+                    },
+                );
                 self.shared.stats.lock().cancelled += 1;
                 self.shared.metrics.transition(from, "CANCELLED");
                 trace::info(
@@ -859,6 +1019,146 @@ impl Everest {
             queue_depth: m.queue_depth.get().max(0) as usize,
         }
     }
+
+    /// Arms the durable job journal at `path` with the default compaction
+    /// threshold and recovers everything it holds. See
+    /// [`Everest::attach_job_journal_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening or reading the journal.
+    pub fn attach_job_journal(&self, path: &Path) -> io::Result<RecoveryReport> {
+        self.attach_job_journal_with(path, DEFAULT_COMPACT_EVERY)
+    }
+
+    /// Arms the durable job journal at `path`: every subsequent job
+    /// transition is appended (fsync'd) before it is acknowledged, and the
+    /// journal's existing contents are recovered first —
+    ///
+    /// * the `j-<n>` id counter re-seeds past every id the journal has ever
+    ///   referenced, so restarts never reuse an id;
+    /// * journaled `Idempotency-Key` mappings are restored, so a keyed POST
+    ///   retried across the restart still deduplicates;
+    /// * terminal jobs are replayed into memory — `GET /jobs/{id}` answers
+    ///   immediately, without re-execution;
+    /// * interrupted (WAITING/RUNNING) jobs are re-queued through the
+    ///   handler pool and run again from their journaled inputs;
+    /// * every recovered transition republishes its `job.*` event with a
+    ///   `"replayed": true` payload flag, so push-mode waiters resume.
+    ///
+    /// Call this after deploying services but before serving traffic
+    /// (re-queued jobs whose service is not yet deployed fail with
+    /// "undeployed" rather than re-running).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening or reading the journal. Recovery
+    /// itself never fails: torn or corrupt journal lines are skipped.
+    pub fn attach_job_journal_with(
+        &self,
+        path: &Path,
+        compact_every: usize,
+    ) -> io::Result<RecoveryReport> {
+        let store = Arc::new(JobStore::open(path, compact_every)?);
+        self.shared
+            .next_job
+            .fetch_max(store.max_job_number() + 1, Ordering::Relaxed);
+        let recovered = store.recovered();
+        let mut report = RecoveryReport::default();
+        let mut to_requeue: Vec<(String, String)> = Vec::new();
+        let mut replayed: Vec<(&'static str, String, String, Option<String>, Option<String>)> =
+            Vec::new();
+        {
+            let mut idem = self.shared.idem.lock();
+            let mut jobs = self.shared.jobs.lock();
+            for r in &recovered {
+                let key = (r.service.clone(), r.job.clone());
+                // A live in-memory record wins over the journal: attaching
+                // to a warm container must not clobber current state.
+                if jobs.contains_key(&key) {
+                    continue;
+                }
+                if let Some(k) = &r.idem_key {
+                    idem.insert((r.service.clone(), k.clone()), r.job.clone());
+                    report.idem_keys += 1;
+                }
+                let terminal = r.state.is_terminal();
+                let state = if terminal { r.state } else { JobState::Waiting };
+                jobs.insert(
+                    key.clone(),
+                    JobRecord {
+                        state,
+                        outputs: r.outputs.clone(),
+                        error: r.error.clone(),
+                        cancel: Arc::new(AtomicBool::new(false)),
+                        inputs: r.inputs.clone(),
+                        runtime_ms: r.runtime_ms,
+                        request_id: r.request_id.clone(),
+                        submitted_at: Instant::now(),
+                    },
+                );
+                let kind = match state {
+                    JobState::Done => "job.done",
+                    JobState::Failed => "job.failed",
+                    JobState::Cancelled => "job.cancelled",
+                    _ => "job.submitted",
+                };
+                replayed.push((
+                    kind,
+                    r.service.clone(),
+                    r.job.clone(),
+                    r.request_id.clone(),
+                    r.error.clone(),
+                ));
+                if terminal {
+                    report.replayed += 1;
+                } else {
+                    to_requeue.push(key);
+                    report.requeued += 1;
+                }
+            }
+            // Arm the journal while the jobs lock is still held, so no
+            // transition can slip between replay and journaling.
+            *self.shared.store.lock() = Some(Arc::clone(&store));
+        }
+        let m = &self.shared.metrics;
+        for (kind, service, job, request_id, error) in &replayed {
+            publish_job_event_full(
+                kind,
+                &m.label,
+                service,
+                job,
+                request_id.as_deref(),
+                error.as_deref(),
+                true,
+            );
+        }
+        for (service, job) in to_requeue {
+            self.queue.0.push((service, job), &m.queue_depth);
+        }
+        let reg = metrics::global();
+        let l = &[("container", m.label.as_str())];
+        reg.counter("mc_jobs_recovered_total", &[l[0], ("outcome", "replayed")])
+            .add(report.replayed as u64);
+        reg.counter("mc_jobs_recovered_total", &[l[0], ("outcome", "requeued")])
+            .add(report.requeued as u64);
+        trace::info(
+            "jobstore.recovered",
+            None,
+            &[
+                ("container", &self.shared.name),
+                ("replayed", &report.replayed.to_string()),
+                ("requeued", &report.requeued.to_string()),
+                ("idem_keys", &report.idem_keys.to_string()),
+            ],
+        );
+        Ok(report)
+    }
+
+    /// The durable job store, when one is armed.
+    pub fn job_store(&self) -> Option<Arc<JobStore>> {
+        self.shared.store.lock().clone()
+    }
 }
 
 impl ScalableTarget for Everest {
@@ -905,6 +1205,12 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
             Some(r) if r.state != JobState::Waiting => return, // cancelled while queued
             Some(r) => {
                 r.state = JobState::Running;
+                shared.journal(
+                    service,
+                    job_id,
+                    TransitionState::Job(JobState::Running),
+                    TransitionDetail::default(),
+                );
                 shared
                     .metrics
                     .wait_seconds
@@ -982,6 +1288,16 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
                 Ok(outputs) => {
                     record.state = JobState::Done;
                     record.outputs = Some(outputs);
+                    shared.journal(
+                        service,
+                        job_id,
+                        TransitionState::Job(JobState::Done),
+                        TransitionDetail {
+                            outputs: record.outputs.as_ref(),
+                            runtime_ms: Some(runtime_ms),
+                            ..Default::default()
+                        },
+                    );
                     shared.stats.lock().completed += 1;
                     shared.metrics.transition("RUNNING", "DONE");
                     terminal = Some(("job.done", None));
@@ -994,6 +1310,16 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
                         &[("service", service), ("job", job_id), ("error", &error)],
                     );
                     record.error = Some(error.clone());
+                    shared.journal(
+                        service,
+                        job_id,
+                        TransitionState::Job(JobState::Failed),
+                        TransitionDetail {
+                            error: Some(&error),
+                            runtime_ms: Some(runtime_ms),
+                            ..Default::default()
+                        },
+                    );
                     shared.stats.lock().failed += 1;
                     shared.metrics.transition("RUNNING", "FAILED");
                     terminal = Some(("job.failed", Some(error)));

@@ -1,0 +1,762 @@
+//! The durable job store: a write-ahead journal for the container's job
+//! state machine.
+//!
+//! Every [`crate::Everest`] job transition (`WAITING → RUNNING →
+//! DONE/FAILED/CANCELLED`, plus a `DELETED` tombstone when a terminal job's
+//! record is removed) is appended as a single-line JSON record to an fsync'd
+//! per-container journal, following the `mathcloud-events` JSON-lines
+//! conventions ([`mathcloud_events::jsonl`]): one document per line,
+//! `sync_data` before the transition is acknowledged, and recovery that
+//! skips torn or corrupt lines instead of failing.
+//!
+//! The store folds records as they are appended, so it always holds the
+//! journal's net state: one [`RecoveredJob`] per live or terminal job, with
+//! tombstoned jobs removed. **Compaction** rewrites the journal from that
+//! fold once enough records have accumulated — the rewritten file holds a
+//! `meta` line (sequence and job-id watermarks, so ids stay monotonic even
+//! when every record referencing them is gone) plus one consolidated record
+//! per surviving job, ordered by original sequence number.
+//!
+//! On container start, [`crate::Everest::attach_job_journal`] replays the
+//! fold: terminal jobs answer `GET /jobs/{id}` immediately without
+//! re-execution, interrupted (WAITING/RUNNING) jobs are re-queued through
+//! the handler pool, and journaled `Idempotency-Key` mappings are restored
+//! so a retried submission can never double-run a job — even across a
+//! restart.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use mathcloud_core::JobState;
+use mathcloud_events::jsonl;
+use mathcloud_json::value::Object;
+use mathcloud_json::Value;
+use mathcloud_telemetry::sync::Mutex;
+use mathcloud_telemetry::{metrics, trace};
+
+/// Default number of appended records between compactions.
+pub const DEFAULT_COMPACT_EVERY: usize = 1024;
+
+/// What a journal record says happened to a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionState {
+    /// The job reached this state-machine state.
+    Job(JobState),
+    /// Tombstone: a `DELETE` removed the terminal job's record and files.
+    Deleted,
+}
+
+impl TransitionState {
+    /// The wire token stored in the journal's `state` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransitionState::Job(s) => s.as_str(),
+            TransitionState::Deleted => "DELETED",
+        }
+    }
+
+    fn parse(s: &str) -> Option<TransitionState> {
+        if s == "DELETED" {
+            return Some(TransitionState::Deleted);
+        }
+        s.parse().ok().map(TransitionState::Job)
+    }
+}
+
+/// One journaled state-machine transition.
+///
+/// `WAITING` records carry the submission (validated inputs, the
+/// `Idempotency-Key`, the originating request id); terminal records carry
+/// the outcome (outputs or error, runtime). Fields are optional on the wire
+/// so each transition stays a small single line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTransition {
+    /// Journal sequence number, monotonic for the life of the journal
+    /// (compaction preserves each surviving record's last sequence).
+    pub seq: u64,
+    /// The service the job belongs to.
+    pub service: String,
+    /// The job id (`j-<n>`).
+    pub job: String,
+    /// What happened.
+    pub state: TransitionState,
+    /// The `Idempotency-Key` the submission carried, if any.
+    pub idem_key: Option<String>,
+    /// The `X-MC-Request-Id` of the submission, if any.
+    pub request_id: Option<String>,
+    /// Validated inputs (on `WAITING` and consolidated records).
+    pub inputs: Option<Object>,
+    /// Outputs (on `DONE`).
+    pub outputs: Option<Object>,
+    /// Error text (on `FAILED`).
+    pub error: Option<String>,
+    /// Adapter runtime (on terminal records).
+    pub runtime_ms: Option<u64>,
+    /// Append time, unix milliseconds.
+    pub time_ms: u64,
+}
+
+impl JobTransition {
+    /// Serializes the transition as its single-line JSON journal form.
+    pub fn to_json(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("seq".into(), Value::from(self.seq as i64));
+        o.insert("service".into(), Value::from(self.service.as_str()));
+        o.insert("job".into(), Value::from(self.job.as_str()));
+        o.insert("state".into(), Value::from(self.state.as_str()));
+        if let Some(k) = &self.idem_key {
+            o.insert("idem_key".into(), Value::from(k.as_str()));
+        }
+        if let Some(r) = &self.request_id {
+            o.insert("request_id".into(), Value::from(r.as_str()));
+        }
+        if let Some(i) = &self.inputs {
+            o.insert("inputs".into(), Value::Object(i.clone()));
+        }
+        if let Some(out) = &self.outputs {
+            o.insert("outputs".into(), Value::Object(out.clone()));
+        }
+        if let Some(e) = &self.error {
+            o.insert("error".into(), Value::from(e.as_str()));
+        }
+        if let Some(ms) = self.runtime_ms {
+            o.insert("runtime_ms".into(), Value::from(ms as i64));
+        }
+        o.insert("time_ms".into(), Value::from(self.time_ms as i64));
+        Value::Object(o)
+    }
+
+    /// Parses a transition from its [`JobTransition::to_json`] form.
+    ///
+    /// Returns `None` when required fields are missing or mistyped — the
+    /// journal reader uses this to skip a torn final record after a crash,
+    /// mirroring the events-journal torn-tail rule.
+    pub fn from_json(v: &Value) -> Option<JobTransition> {
+        let seq = v.get("seq").and_then(Value::as_u64)?;
+        let service = v.get("service").and_then(Value::as_str)?.to_string();
+        let job = v.get("job").and_then(Value::as_str)?.to_string();
+        let state = TransitionState::parse(v.get("state").and_then(Value::as_str)?)?;
+        Some(JobTransition {
+            seq,
+            service,
+            job,
+            state,
+            idem_key: v
+                .get("idem_key")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            request_id: v
+                .get("request_id")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            inputs: v.get("inputs").and_then(Value::as_object).cloned(),
+            outputs: v.get("outputs").and_then(Value::as_object).cloned(),
+            error: v.get("error").and_then(Value::as_str).map(str::to_string),
+            runtime_ms: v.get("runtime_ms").and_then(Value::as_u64),
+            time_ms: v.get("time_ms").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// The journal's net knowledge of one job: every record folded, last state
+/// wins, submission fields retained from the `WAITING` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// The service the job belongs to.
+    pub service: String,
+    /// The job id.
+    pub job: String,
+    /// The last journaled state.
+    pub state: JobState,
+    /// The submission's `Idempotency-Key`, if any.
+    pub idem_key: Option<String>,
+    /// The submission's request id, if any.
+    pub request_id: Option<String>,
+    /// Validated inputs (what re-execution needs).
+    pub inputs: Object,
+    /// Outputs, when the job finished.
+    pub outputs: Option<Object>,
+    /// Error text, when the job failed.
+    pub error: Option<String>,
+    /// Adapter runtime, on terminal jobs.
+    pub runtime_ms: Option<u64>,
+    /// The last record's sequence number (orders consolidated rewrites).
+    seq: u64,
+}
+
+struct StoreInner {
+    file: Option<File>,
+    /// Last assigned sequence number.
+    seq: u64,
+    /// Records appended since the last compaction (or open).
+    appended: usize,
+    /// The folded journal: net state per (service, job).
+    folded: HashMap<(String, String), RecoveredJob>,
+    /// Highest numeric suffix seen in any `j-<n>` id, including deleted
+    /// jobs — the id re-seed watermark, persisted via the `meta` line.
+    max_job: u64,
+}
+
+impl StoreInner {
+    fn fold(&mut self, t: &JobTransition) {
+        self.seq = self.seq.max(t.seq);
+        if let Some(n) = job_number(&t.job) {
+            self.max_job = self.max_job.max(n);
+        }
+        let key = (t.service.clone(), t.job.clone());
+        match t.state {
+            TransitionState::Deleted => {
+                self.folded.remove(&key);
+            }
+            TransitionState::Job(state) => {
+                let entry = self.folded.entry(key).or_insert_with(|| RecoveredJob {
+                    service: t.service.clone(),
+                    job: t.job.clone(),
+                    state,
+                    idem_key: None,
+                    request_id: None,
+                    inputs: Object::new(),
+                    outputs: None,
+                    error: None,
+                    runtime_ms: None,
+                    seq: t.seq,
+                });
+                entry.state = state;
+                entry.seq = t.seq;
+                if let Some(k) = &t.idem_key {
+                    entry.idem_key = Some(k.clone());
+                }
+                if let Some(r) = &t.request_id {
+                    entry.request_id = Some(r.clone());
+                }
+                if let Some(i) = &t.inputs {
+                    entry.inputs = i.clone();
+                }
+                if let Some(o) = &t.outputs {
+                    entry.outputs = Some(o.clone());
+                }
+                if let Some(e) = &t.error {
+                    entry.error = Some(e.clone());
+                }
+                if let Some(ms) = t.runtime_ms {
+                    entry.runtime_ms = Some(ms);
+                }
+            }
+        }
+    }
+
+    /// The consolidated journal body: one record per surviving job, ordered
+    /// by last sequence so a recovery fold of the rewrite equals this fold.
+    fn snapshot(&self) -> Vec<JobTransition> {
+        let mut jobs: Vec<&RecoveredJob> = self.folded.values().collect();
+        jobs.sort_by_key(|j| j.seq);
+        jobs.iter()
+            .map(|j| JobTransition {
+                seq: j.seq,
+                service: j.service.clone(),
+                job: j.job.clone(),
+                state: TransitionState::Job(j.state),
+                idem_key: j.idem_key.clone(),
+                request_id: j.request_id.clone(),
+                inputs: Some(j.inputs.clone()),
+                outputs: j.outputs.clone(),
+                error: j.error.clone(),
+                runtime_ms: j.runtime_ms,
+                time_ms: now_ms(),
+            })
+            .collect()
+    }
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// The numeric suffix of a `j-<n>` job id.
+fn job_number(job: &str) -> Option<u64> {
+    job.strip_prefix("j-").and_then(|n| n.parse().ok())
+}
+
+fn meta_line(seq: u64, max_job: u64) -> Value {
+    let mut o = Object::new();
+    o.insert("meta".into(), Value::from(true));
+    o.insert("seq".into(), Value::from(seq as i64));
+    o.insert("max_job".into(), Value::from(max_job as i64));
+    Value::Object(o)
+}
+
+/// The write-ahead job journal for one container.
+///
+/// All methods are thread-safe; appends are serialized on an internal lock
+/// so record order on disk matches the order calls were made in.
+pub struct JobStore {
+    path: PathBuf,
+    compact_every: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl std::fmt::Debug for JobStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("JobStore")
+            .field("path", &self.path)
+            .field("seq", &inner.seq)
+            .field("jobs", &inner.folded.len())
+            .field("appended", &inner.appended)
+            .finish()
+    }
+}
+
+impl JobStore {
+    /// Opens (or creates) the journal at `path` and replays it.
+    ///
+    /// Torn or corrupt lines are skipped per the events-journal rule; the
+    /// sequence counter and `j-<n>` watermark resume past everything
+    /// recovered (including the `meta` line a compaction wrote), so a
+    /// restart never reuses a sequence number or a job id.
+    ///
+    /// Compaction rewrites the journal after every `compact_every` appended
+    /// records (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening or reading the file.
+    pub fn open(path: &Path, compact_every: usize) -> io::Result<JobStore> {
+        describe_metrics();
+        let mut inner = StoreInner {
+            file: None,
+            seq: 0,
+            appended: 0,
+            folded: HashMap::new(),
+            max_job: 0,
+        };
+        for v in jsonl::read_values(path)? {
+            if v.get("meta").and_then(Value::as_bool) == Some(true) {
+                if let Some(seq) = v.get("seq").and_then(Value::as_u64) {
+                    inner.seq = inner.seq.max(seq);
+                }
+                if let Some(n) = v.get("max_job").and_then(Value::as_u64) {
+                    inner.max_job = inner.max_job.max(n);
+                }
+                continue;
+            }
+            if let Some(t) = JobTransition::from_json(&v) {
+                inner.fold(&t);
+            }
+        }
+        inner.file = Some(OpenOptions::new().create(true).append(true).open(path)?);
+        Ok(JobStore {
+            path: path.to_path_buf(),
+            compact_every: compact_every.max(1),
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The journal's net state, one entry per surviving job, ordered by job
+    /// number (submission order for ids this container minted).
+    pub fn recovered(&self) -> Vec<RecoveredJob> {
+        let inner = self.inner.lock();
+        let mut jobs: Vec<RecoveredJob> = inner.folded.values().cloned().collect();
+        jobs.sort_by_key(|j| (job_number(&j.job).unwrap_or(u64::MAX), j.seq));
+        jobs
+    }
+
+    /// The highest `j-<n>` suffix the journal has ever referenced —
+    /// the watermark [`crate::Everest::attach_job_journal`] re-seeds its id
+    /// counter past.
+    pub fn max_job_number(&self) -> u64 {
+        self.inner.lock().max_job
+    }
+
+    /// The last assigned sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().seq
+    }
+
+    /// Appends one transition, assigning its sequence number; folds it into
+    /// the net state and compacts when the threshold is reached.
+    ///
+    /// A journal I/O failure is reported as a metric and a trace event,
+    /// never a panic or an error: losing durability must not take down the
+    /// container (the same contract as the events journal).
+    ///
+    /// Returns the assigned sequence number.
+    pub fn append(
+        &self,
+        service: &str,
+        job: &str,
+        state: TransitionState,
+        detail: TransitionDetail<'_>,
+    ) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let t = JobTransition {
+            seq: inner.seq,
+            service: service.to_string(),
+            job: job.to_string(),
+            state,
+            idem_key: detail.idem_key.map(str::to_string),
+            request_id: detail.request_id.map(str::to_string),
+            inputs: detail.inputs.cloned(),
+            outputs: detail.outputs.cloned(),
+            error: detail.error.map(str::to_string),
+            runtime_ms: detail.runtime_ms,
+            time_ms: now_ms(),
+        };
+        if let Some(file) = &mut inner.file {
+            if let Err(e) = jsonl::append_value(file, &t.to_json()) {
+                journal_error("append", &e);
+            } else {
+                metrics::global()
+                    .counter("mc_job_journal_appends_total", &[])
+                    .inc();
+            }
+        }
+        inner.fold(&t);
+        inner.appended += 1;
+        if inner.appended >= self.compact_every {
+            self.compact_locked(&mut inner);
+        }
+        t.seq
+    }
+
+    /// Forces a compaction now (tests and shutdown paths).
+    pub fn compact(&self) {
+        let mut inner = self.inner.lock();
+        self.compact_locked(&mut inner);
+    }
+
+    /// Rewrites the journal to the `meta` line plus one consolidated record
+    /// per surviving job. The rewrite goes to a sibling temp file, is
+    /// synced, and atomically renamed over the journal, so a crash during
+    /// compaction leaves either the old journal or the new one — never a
+    /// mix.
+    fn compact_locked(&self, inner: &mut StoreInner) {
+        let tmp = self.path.with_extension("compact-tmp");
+        let result = (|| -> io::Result<()> {
+            let mut file = File::create(&tmp)?;
+            jsonl::append_value(&mut file, &meta_line(inner.seq, inner.max_job))?;
+            for t in inner.snapshot() {
+                jsonl::append_value(&mut file, &t.to_json())?;
+            }
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, &self.path)?;
+            inner.file = Some(OpenOptions::new().append(true).open(&self.path)?);
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                inner.appended = 0;
+                metrics::global()
+                    .counter("mc_job_journal_compactions_total", &[])
+                    .inc();
+                if let Ok(meta) = std::fs::metadata(&self.path) {
+                    metrics::global()
+                        .gauge("mc_job_journal_bytes", &[])
+                        .set(meta.len() as i64);
+                }
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                journal_error("compact", &e);
+            }
+        }
+    }
+}
+
+/// Optional fields of one appended transition (borrowed, so hot paths do
+/// not clone inputs and outputs just to journal them).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransitionDetail<'a> {
+    /// The submission's `Idempotency-Key`.
+    pub idem_key: Option<&'a str>,
+    /// The submission's request id.
+    pub request_id: Option<&'a str>,
+    /// Validated inputs (`WAITING` records).
+    pub inputs: Option<&'a Object>,
+    /// Outputs (`DONE` records).
+    pub outputs: Option<&'a Object>,
+    /// Error text (`FAILED` records).
+    pub error: Option<&'a str>,
+    /// Adapter runtime (terminal records).
+    pub runtime_ms: Option<u64>,
+}
+
+fn journal_error(op: &str, e: &io::Error) {
+    metrics::global()
+        .counter("mc_job_journal_errors_total", &[])
+        .inc();
+    trace::warn(
+        "jobstore.journal_error",
+        None,
+        &[("op", op), ("error", &e.to_string())],
+    );
+}
+
+fn describe_metrics() {
+    use std::sync::OnceLock;
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let reg = metrics::global();
+        reg.describe(
+            "mc_job_journal_appends_total",
+            "job transitions durably appended to the journal",
+        );
+        reg.describe(
+            "mc_job_journal_compactions_total",
+            "job-journal compaction rewrites",
+        );
+        reg.describe(
+            "mc_job_journal_errors_total",
+            "job-journal I/O failures (durability lost, container alive)",
+        );
+        reg.describe(
+            "mc_job_journal_bytes",
+            "job-journal size after the last compaction",
+        );
+        reg.describe(
+            "mc_jobs_deduplicated_total",
+            "submissions answered from the Idempotency-Key map",
+        );
+        reg.describe(
+            "mc_jobs_recovered_total",
+            "jobs recovered from the journal on container start, by outcome",
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathcloud_json::json;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mc-jobstore-{tag}-{}-{}",
+            std::process::id(),
+            mathcloud_telemetry::next_request_id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("jobs.jsonl")
+    }
+
+    fn inputs() -> Object {
+        json!({"a": 1}).as_object().unwrap().clone()
+    }
+
+    #[test]
+    fn transitions_round_trip_through_json() {
+        let t = JobTransition {
+            seq: 9,
+            service: "sum".into(),
+            job: "j-4".into(),
+            state: TransitionState::Job(JobState::Done),
+            idem_key: Some("k1".into()),
+            request_id: Some("rid".into()),
+            inputs: Some(inputs()),
+            outputs: Some(json!({"total": 3}).as_object().unwrap().clone()),
+            error: None,
+            runtime_ms: Some(12),
+            time_ms: 1_700_000_000_000,
+        };
+        assert_eq!(JobTransition::from_json(&t.to_json()).unwrap(), t);
+        let tomb = JobTransition {
+            state: TransitionState::Deleted,
+            idem_key: None,
+            inputs: None,
+            outputs: None,
+            ..t
+        };
+        assert_eq!(JobTransition::from_json(&tomb.to_json()).unwrap(), tomb);
+        assert!(JobTransition::from_json(&json!({"seq": 1})).is_none());
+        assert!(JobTransition::from_json(
+            &json!({"seq": 1, "service": "s", "job": "j-1", "state": "NOPE"})
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn append_folds_and_recovery_replays_the_net_state() {
+        let path = tmp_path("fold");
+        let store = JobStore::open(&path, 1024).unwrap();
+        let ins = inputs();
+        store.append(
+            "sum",
+            "j-1",
+            TransitionState::Job(JobState::Waiting),
+            TransitionDetail {
+                idem_key: Some("key-a"),
+                inputs: Some(&ins),
+                ..Default::default()
+            },
+        );
+        store.append(
+            "sum",
+            "j-1",
+            TransitionState::Job(JobState::Running),
+            TransitionDetail::default(),
+        );
+        let outs = json!({"total": 2}).as_object().unwrap().clone();
+        store.append(
+            "sum",
+            "j-1",
+            TransitionState::Job(JobState::Done),
+            TransitionDetail {
+                outputs: Some(&outs),
+                runtime_ms: Some(7),
+                ..Default::default()
+            },
+        );
+        store.append(
+            "sum",
+            "j-2",
+            TransitionState::Job(JobState::Waiting),
+            TransitionDetail {
+                inputs: Some(&ins),
+                ..Default::default()
+            },
+        );
+        drop(store);
+
+        let store = JobStore::open(&path, 1024).unwrap();
+        let jobs = store.recovered();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].job, "j-1");
+        assert_eq!(jobs[0].state, JobState::Done);
+        assert_eq!(jobs[0].idem_key.as_deref(), Some("key-a"));
+        assert_eq!(jobs[0].outputs, Some(outs));
+        assert_eq!(jobs[0].runtime_ms, Some(7));
+        assert_eq!(jobs[0].inputs, ins);
+        assert_eq!(jobs[1].job, "j-2");
+        assert_eq!(jobs[1].state, JobState::Waiting);
+        assert_eq!(store.max_job_number(), 2);
+        assert_eq!(store.last_seq(), 4, "sequence resumes past the journal");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn deleted_jobs_are_dropped_but_their_ids_stay_reserved() {
+        let path = tmp_path("tomb");
+        let store = JobStore::open(&path, 1024).unwrap();
+        let ins = inputs();
+        store.append(
+            "sum",
+            "j-7",
+            TransitionState::Job(JobState::Done),
+            TransitionDetail {
+                inputs: Some(&ins),
+                ..Default::default()
+            },
+        );
+        store.append(
+            "sum",
+            "j-7",
+            TransitionState::Deleted,
+            TransitionDetail::default(),
+        );
+        store.compact();
+        drop(store);
+        let store = JobStore::open(&path, 1024).unwrap();
+        assert!(store.recovered().is_empty(), "tombstoned job is gone");
+        assert_eq!(
+            store.max_job_number(),
+            7,
+            "the meta line keeps the id watermark after compaction"
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn compaction_shrinks_the_file_and_preserves_the_fold() {
+        let path = tmp_path("compact");
+        let store = JobStore::open(&path, usize::MAX).unwrap();
+        let ins = inputs();
+        let outs = json!({"total": 1}).as_object().unwrap().clone();
+        for i in 1..=50u64 {
+            let job = format!("j-{i}");
+            store.append(
+                "sum",
+                &job,
+                TransitionState::Job(JobState::Waiting),
+                TransitionDetail {
+                    inputs: Some(&ins),
+                    ..Default::default()
+                },
+            );
+            store.append(
+                "sum",
+                &job,
+                TransitionState::Job(JobState::Running),
+                TransitionDetail::default(),
+            );
+            store.append(
+                "sum",
+                &job,
+                TransitionState::Job(JobState::Done),
+                TransitionDetail {
+                    outputs: Some(&outs),
+                    runtime_ms: Some(1),
+                    ..Default::default()
+                },
+            );
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        let fold_before = store.recovered();
+        store.compact();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            after < before / 2,
+            "3 records/job should consolidate to 1: {after} vs {before}"
+        );
+        drop(store);
+        let store = JobStore::open(&path, usize::MAX).unwrap();
+        assert_eq!(store.recovered(), fold_before);
+        assert_eq!(store.last_seq(), 150);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_on_recovery() {
+        use std::io::Write;
+        let path = tmp_path("torn");
+        let store = JobStore::open(&path, 1024).unwrap();
+        let ins = inputs();
+        store.append(
+            "sum",
+            "j-1",
+            TransitionState::Job(JobState::Waiting),
+            TransitionDetail {
+                inputs: Some(&ins),
+                ..Default::default()
+            },
+        );
+        drop(store);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"seq\": 2, \"service\": \"sum\", \"jo")
+            .unwrap();
+        drop(f);
+        let store = JobStore::open(&path, 1024).unwrap();
+        assert_eq!(store.recovered().len(), 1);
+        assert_eq!(store.last_seq(), 1);
+        // The next append overwrites nothing and keeps sequence monotonic.
+        let seq = store.append(
+            "sum",
+            "j-1",
+            TransitionState::Job(JobState::Running),
+            TransitionDetail::default(),
+        );
+        assert_eq!(seq, 2);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -46,15 +46,18 @@ pub mod adapter;
 pub mod config;
 pub mod container;
 pub mod filestore;
+pub mod jobstore;
 pub mod paas;
 pub mod rest;
 pub mod webui;
 
 pub use adapter::{Adapter, AdapterContext};
 pub use config::{
-    load_config, load_config_full, AdapterRegistry, ConfigError, LoadedConfig, PoolConfig,
+    load_config, load_config_full, AdapterRegistry, ConfigError, JournalConfig, LoadedConfig,
+    PoolConfig,
 };
-pub use container::{Caller, Everest, HealthReport, SubmitRejection};
+pub use container::{Caller, Everest, HealthReport, RecoveryReport, SubmitRejection};
 pub use filestore::FileStore;
+pub use jobstore::{JobStore, RecoveredJob, DEFAULT_COMPACT_EVERY};
 pub use paas::Paas;
 pub use rest::serve;

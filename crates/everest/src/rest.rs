@@ -90,12 +90,21 @@ pub fn router(everest: Everest, auth: Option<AuthConfig>) -> Router {
         // The server edge stamped X-MC-Request-Id on the request; carry it
         // into the job record so adapter spans correlate with this call.
         let request_id = req.headers.get(trace::REQUEST_ID_HEADER);
-        match e.submit_traced(name, &body, Some(&caller), request_id) {
-            Ok(rep) => {
+        let idem_key = req.headers.get(mathcloud_http::IDEMPOTENCY_KEY_HEADER);
+        match e.submit_idempotent(name, &body, Some(&caller), request_id, idem_key) {
+            Ok((rep, deduped)) => {
                 let rep = e.wait(name, rep.id.as_str(), SYNC_WAIT).unwrap_or(rep);
                 let location = rep.uri.clone();
-                Response::json(201, &rep_to_wire(&e, req, name, rep))
-                    .with_header("Location", &location)
+                // A deduplicated retry did not create a resource: 200 with
+                // the original job, marked so clients can tell.
+                let status = if deduped { 200 } else { 201 };
+                let resp = Response::json(status, &rep_to_wire(&e, req, name, rep))
+                    .with_header("Location", &location);
+                if deduped {
+                    resp.with_header("X-MC-Deduplicated", "true")
+                } else {
+                    resp
+                }
             }
             Err(rej) => Response::error(rej.status(), &rej.to_string()),
         }

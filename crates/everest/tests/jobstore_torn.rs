@@ -1,0 +1,300 @@
+//! Torn-write battery for the durable job journal.
+//!
+//! A crash can truncate the journal mid-append or leave garbage in its tail
+//! (lost sector, bit rot). The recovery contract mirrors the events
+//! journal's torn-tail rule: opening the store never panics and never
+//! fails, the longest well-formed prefix is replayed exactly, and the
+//! sequence / job-id watermarks re-seed past everything recovered so the
+//! restarted container never reuses an id.
+//!
+//! The battery is exhaustive over truncation (every byte offset of the
+//! final record) and xorshift-driven over single-byte corruption, with a
+//! fixed seed so failures reproduce.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use mathcloud_core::{JobState, Parameter, ServiceDescription};
+use mathcloud_everest::adapter::NativeAdapter;
+use mathcloud_everest::jobstore::{JobStore, TransitionDetail, TransitionState};
+use mathcloud_everest::Everest;
+use mathcloud_json::{json, Schema, Value};
+use mathcloud_telemetry::rng::XorShift64;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mc-torn-{tag}-{}-{}",
+        std::process::id(),
+        mathcloud_telemetry::next_request_id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds the reference journal: four settled jobs covering every terminal
+/// state plus a WAITING one, then one final full-width record (inputs,
+/// outputs-shaped payload, idempotency key) whose bytes the battery will
+/// tear and corrupt.
+fn build_reference(path: &Path) {
+    let store = JobStore::open(path, usize::MAX).unwrap();
+    let ins = json!({"a": 1, "b": 2}).as_object().unwrap().clone();
+    let outs = json!({"sum": 3}).as_object().unwrap().clone();
+    for (job, state) in [
+        ("j-1", JobState::Done),
+        ("j-2", JobState::Failed),
+        ("j-3", JobState::Cancelled),
+        ("j-4", JobState::Waiting),
+    ] {
+        store.append(
+            "sum",
+            job,
+            TransitionState::Job(JobState::Waiting),
+            TransitionDetail {
+                inputs: Some(&ins),
+                request_id: Some("rid-prefix"),
+                ..Default::default()
+            },
+        );
+        if state != JobState::Waiting {
+            store.append(
+                "sum",
+                job,
+                TransitionState::Job(state),
+                TransitionDetail {
+                    outputs: (state == JobState::Done).then_some(&outs),
+                    error: (state == JobState::Failed).then_some("boom"),
+                    runtime_ms: Some(5),
+                    ..Default::default()
+                },
+            );
+        }
+    }
+    // The record under test: a new job, distinct from every prefix job (no
+    // single-byte substitution of "j-77" can collide with "j-1".."j-4").
+    store.append(
+        "sum",
+        "j-77",
+        TransitionState::Job(JobState::Waiting),
+        TransitionDetail {
+            idem_key: Some("torn-key"),
+            request_id: Some("rid-torn"),
+            inputs: Some(&ins),
+            ..Default::default()
+        },
+    );
+}
+
+/// `(service, job) → (state, seq-independent fields)` snapshot for
+/// comparing folds.
+fn fold_of(store: &JobStore) -> Vec<(String, String, JobState)> {
+    store
+        .recovered()
+        .into_iter()
+        .map(|r| (r.service, r.job, r.state))
+        .collect()
+}
+
+#[test]
+fn truncation_at_every_offset_of_the_final_record_recovers_the_prefix() {
+    let dir = tmp_dir("truncate");
+    let reference = dir.join("reference.jsonl");
+    build_reference(&reference);
+    let bytes = std::fs::read(&reference).unwrap();
+    // Start of the final line: one past the newline that ends the
+    // second-to-last line.
+    let last_start = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap();
+
+    // The expected prefix fold: the journal cut exactly before the final
+    // record.
+    let prefix_path = dir.join("prefix.jsonl");
+    std::fs::write(&prefix_path, &bytes[..last_start]).unwrap();
+    let prefix_store = JobStore::open(&prefix_path, usize::MAX).unwrap();
+    let prefix_fold = fold_of(&prefix_store);
+    let prefix_seq = prefix_store.last_seq();
+    assert_eq!(prefix_fold.len(), 4);
+    drop(prefix_store);
+
+    let full_store = JobStore::open(&reference, usize::MAX).unwrap();
+    let full_fold = fold_of(&full_store);
+    let full_seq = full_store.last_seq();
+    assert_eq!(full_fold.len(), 5);
+    drop(full_store);
+
+    let victim = dir.join("victim.jsonl");
+    for cut in last_start..=bytes.len() {
+        std::fs::write(&victim, &bytes[..cut]).unwrap();
+        let store = JobStore::open(&victim, usize::MAX)
+            .unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
+        let fold = fold_of(&store);
+        if cut >= bytes.len() - 1 {
+            // Only the trailing newline (or nothing) is missing: the final
+            // record is complete and must replay.
+            assert_eq!(fold, full_fold, "cut {cut}");
+            assert_eq!(store.last_seq(), full_seq, "cut {cut}");
+            assert_eq!(store.max_job_number(), 77, "cut {cut}");
+        } else {
+            // The final record is torn: exactly the prefix replays.
+            assert_eq!(fold, prefix_fold, "cut {cut}");
+            assert_eq!(store.last_seq(), prefix_seq, "cut {cut}");
+            assert_eq!(store.max_job_number(), 4, "cut {cut}");
+        }
+        // The store stays writable and sequence numbers stay monotonic.
+        let seq = store.append(
+            "sum",
+            "j-100",
+            TransitionState::Job(JobState::Waiting),
+            TransitionDetail::default(),
+        );
+        assert_eq!(seq, store.last_seq());
+        assert!(seq > prefix_seq, "cut {cut}: seq {seq} reused");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn random_corruption_of_the_final_record_never_breaks_recovery() {
+    let dir = tmp_dir("corrupt");
+    let reference = dir.join("reference.jsonl");
+    build_reference(&reference);
+    let bytes = std::fs::read(&reference).unwrap();
+    let last_start = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap();
+
+    let prefix_path = dir.join("prefix.jsonl");
+    std::fs::write(&prefix_path, &bytes[..last_start]).unwrap();
+    let prefix_store = JobStore::open(&prefix_path, usize::MAX).unwrap();
+    let prefix_fold = fold_of(&prefix_store);
+    let prefix_seq = prefix_store.last_seq();
+    drop(prefix_store);
+
+    let victim = dir.join("victim.jsonl");
+    let mut rng = XorShift64::new(0x7031_7a6b_9d2f_4c01);
+    for round in 0..256u32 {
+        let mut corrupted = bytes.clone();
+        // Smash one byte of the final record (including its newline) with a
+        // random value — non-UTF-8 sequences, quote/brace breakage, line
+        // splits, digit swaps.
+        let span = corrupted.len() - last_start;
+        let offset = last_start + (rng.next_u64() as usize % span);
+        let value = (rng.next_u64() & 0xff) as u8;
+        corrupted[offset] = value;
+        std::fs::write(&victim, &corrupted).unwrap();
+
+        let store = JobStore::open(&victim, usize::MAX).unwrap_or_else(|e| {
+            panic!("round {round}: open failed after corrupting byte {offset} to {value:#x}: {e}")
+        });
+        let fold = fold_of(&store);
+        // The prefix always survives intact: the final record is a distinct
+        // job, so at worst the corrupted line adds one (possibly garbled)
+        // entry and at best it is skipped entirely.
+        let on_prefix: Vec<_> = fold
+            .iter()
+            .filter(|(s, j, _)| prefix_fold.iter().any(|(ps, pj, _)| ps == s && pj == j))
+            .cloned()
+            .collect();
+        assert_eq!(
+            on_prefix, prefix_fold,
+            "round {round}: prefix fold damaged by byte {offset} = {value:#x}"
+        );
+        assert!(
+            fold.len() <= prefix_fold.len() + 1,
+            "round {round}: corruption invented records"
+        );
+        // Re-seeding: new work never reuses a recovered sequence number.
+        assert!(store.last_seq() >= prefix_seq);
+        let seq = store.append(
+            "sum",
+            "j-100",
+            TransitionState::Job(JobState::Waiting),
+            TransitionDetail::default(),
+        );
+        assert!(seq > prefix_seq, "round {round}: seq {seq} reused");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A sparse subset of torn journals driven through the full container
+/// recovery path: the container must come up, answer recovered jobs and
+/// accept new work whatever the tail looked like.
+#[test]
+fn containers_attach_torn_journals_end_to_end() {
+    let dir = tmp_dir("attach");
+    let reference = dir.join("reference.jsonl");
+    build_reference(&reference);
+    let bytes = std::fs::read(&reference).unwrap();
+    let last_start = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap();
+
+    let torn_span = bytes.len() - last_start;
+    for (i, cut) in [
+        last_start,
+        last_start + torn_span / 3,
+        last_start + 2 * torn_span / 3,
+        bytes.len(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let victim = dir.join(format!("victim-{i}.jsonl"));
+        std::fs::write(&victim, &bytes[..cut]).unwrap();
+        let e = Everest::with_handlers(&format!("torn-{i}"), 1);
+        e.deploy(
+            ServiceDescription::new("sum", "adds")
+                .input(Parameter::new("a", Schema::integer()))
+                .input(Parameter::new("b", Schema::integer()))
+                .output(Parameter::new("sum", Schema::integer())),
+            NativeAdapter::from_fn(|inputs, _| {
+                let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+                let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+                Ok([("sum".to_string(), json!(a + b))].into_iter().collect())
+            }),
+        );
+        let report = e.attach_job_journal(&victim).unwrap();
+        assert_eq!(report.replayed, 3, "cut {cut}: j-1, j-2, j-3");
+        // j-4 always re-queues; the torn record (j-77) only when intact.
+        assert!((1..=2).contains(&report.requeued), "cut {cut}: {report:?}");
+        // The recovered DONE job answers with its journaled outputs.
+        let rep = e.representation("sum", "j-1").unwrap();
+        assert_eq!(rep.state, JobState::Done);
+        assert_eq!(rep.outputs.unwrap().get("sum").unwrap().as_i64(), Some(3));
+        // Re-queued jobs re-run; fresh ids sit past the watermark.
+        let requeued = e
+            .wait("sum", "j-4", Duration::from_secs(10))
+            .expect("re-queued job finishes");
+        assert_eq!(requeued.state, JobState::Done);
+        let fresh = e
+            .submit_sync(
+                "sum",
+                &json!({"a": 1, "b": 1}),
+                None,
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        let n: u64 = fresh
+            .id
+            .as_str()
+            .strip_prefix("j-")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(n > 4, "fresh id {n} must clear the recovered prefix");
+        if cut == bytes.len() {
+            assert!(n > 77, "an intact tail raises the watermark to j-77");
+            let torn_job = e
+                .wait("sum", "j-77", Duration::from_secs(10))
+                .expect("intact keyed job re-runs");
+            assert_eq!(torn_job.state, JobState::Done);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -257,7 +257,11 @@ impl Client {
         req.headers.set("Connection", "close");
         let authority = url.authority();
         let breaker = self.breakers.breaker(&authority);
-        let retryable = self.retry.applies_to(&req.method);
+        // A POST carrying an Idempotency-Key is contractually safe to
+        // replay: the server answers a retry with the original job instead
+        // of creating a second one, so it retries like an idempotent verb.
+        let retryable = self.retry.applies_to(&req.method)
+            || req.headers.contains(crate::message::IDEMPOTENCY_KEY_HEADER);
         let max_attempts = if retryable {
             self.retry.max_attempts.max(1)
         } else {
@@ -482,6 +486,33 @@ mod tests {
         assert!(matches!(err, ClientError::Io(_)));
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(hits.try_iter().count(), 1, "POST must not be retried");
+    }
+
+    #[test]
+    fn keyed_posts_are_retried_like_idempotent_requests() {
+        let (addr, hits) = drop_server();
+        let client = Client::new()
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+                jitter: 0.0,
+                retry_non_idempotent: false,
+            })
+            .with_rng_seed(7)
+            .with_timeout(Duration::from_millis(500));
+        let url: Url = format!("http://{addr}/x").parse().unwrap();
+        let req = Request::new(Method::Post, &url.target())
+            .with_json(&mathcloud_json::json!({}))
+            .with_header(crate::IDEMPOTENCY_KEY_HEADER, "k-1");
+        let err = client.send(&url, req).unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            hits.try_iter().count(),
+            3,
+            "an Idempotency-Key makes the POST safely retryable"
+        );
     }
 
     #[test]

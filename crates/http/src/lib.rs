@@ -43,7 +43,9 @@ pub mod url;
 pub mod wire;
 
 pub use client::{Client, ClientError};
-pub use message::{BodyStream, Headers, Method, Request, Response, StatusCode};
+pub use message::{
+    BodyStream, Headers, Method, Request, Response, StatusCode, IDEMPOTENCY_KEY_HEADER,
+};
 pub use router::{PathParams, Router};
 pub use server::Server;
 pub use transport::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};

@@ -6,6 +6,13 @@ use std::sync::Arc;
 
 use mathcloud_json::Value;
 
+/// The header a client sets to make a `POST` submission idempotent: the
+/// server creates at most one job per `(service, key)` and answers retries
+/// with the original job. A request carrying this header is safe for the
+/// client to retry even though `POST` is not idempotent in general
+/// ([`crate::RetryPolicy`] honours this).
+pub const IDEMPOTENCY_KEY_HEADER: &str = "Idempotency-Key";
+
 /// An HTTP request method.
 ///
 /// The MathCloud unified REST API (Table 1 of the paper) only needs `GET`,

@@ -141,8 +141,9 @@ impl HttpCaller {
     ///
     /// The default client is the fault-tolerant transport: connects are
     /// bounded by a connect timeout and `GET` polls are retried with backoff
-    /// on transport failure, while the `POST` submission is never retried —
-    /// re-submitting could duplicate the job.
+    /// on transport failure. The `POST` submission carries a fresh
+    /// `Idempotency-Key`, so it is retried too — a replayed submission is
+    /// answered with the original job instead of duplicating it.
     pub fn new(poll_interval: Duration) -> Self {
         HttpCaller {
             client: Client::new(),
@@ -189,8 +190,15 @@ impl ServiceCaller for HttpCaller {
             mathcloud_http::sse::DEFAULT_HEARTBEAT,
         )
         .ok();
+        // Every engine call mints a fresh Idempotency-Key for its one
+        // submission: the transport may now retry the POST on failure (the
+        // container answers a replay with the original job), so a dropped
+        // submit response no longer double-runs the downstream job.
+        let idem_key = trace::next_request_id();
         let submit_req = attach(
-            Request::new(Method::Post, &base.target()).with_json(&Value::Object(inputs.clone())),
+            Request::new(Method::Post, &base.target())
+                .with_json(&Value::Object(inputs.clone()))
+                .with_header(mathcloud_http::IDEMPOTENCY_KEY_HEADER, &idem_key),
         );
         let submit = self
             .client

@@ -32,6 +32,23 @@ echo "==> catalogue federation test (release, 120s budget)"
 timeout 120 cargo test -q --offline --release \
   -p mathcloud-integration-tests --test federation
 
+# The crash-recovery suite kills a container mid-run (jobs queued, running
+# and done), restarts onto the same journal and asserts replay-without-
+# re-execution, re-queue of interrupted work, cross-restart idempotency
+# and bounded compaction; the idempotency race parks 16 threads on one
+# key. A recovery that deadlocks on the jobs/idem/store locks or a worker
+# that never drains must fail the build, not hang it.
+echo "==> crash recovery + idempotency suite (release, 180s budget)"
+timeout 180 cargo test -q --offline --release \
+  -p mathcloud-integration-tests --test failure_injection
+
+# The torn-write battery truncates and corrupts the job journal at every
+# byte offset of the final record: recovery must never panic, must replay
+# the longest well-formed prefix and must keep the id watermark monotonic.
+echo "==> job journal torn-write battery (release, 120s budget)"
+timeout 120 cargo test -q --offline --release \
+  -p mathcloud-everest --test jobstore_torn
+
 # The differential multiplication battery cross-checks every tiered-mul
 # kernel, mul_threads, and Bareiss determinants against serial oracles on
 # ≥1000 xorshift-seeded cases. Release mode keeps the 500-limb schoolbook

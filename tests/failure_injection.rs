@@ -2,7 +2,9 @@
 //! die mid-operation. The heterogeneous environments the paper targets fail
 //! constantly; these tests pin down the platform's behaviour when they do.
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mathcloud_catalogue::Catalogue;
 use mathcloud_client::ServiceClient;
@@ -168,6 +170,301 @@ fn adapter_panics_do_not_take_down_the_container() {
         .submit_sync("fine", &json!({}), None, Duration::from_secs(5))
         .unwrap();
     assert_eq!(ok.state, mathcloud_core::JobState::Done);
+}
+
+/// A unique temp directory for one test's job journal.
+fn journal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mc-durable-{tag}-{}-{}",
+        std::process::id(),
+        mathcloud_telemetry::next_request_id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One "crashable" container instance for the kill-and-restart harness:
+///
+/// * `add` counts real adapter executions in the shared `execs` counter, so
+///   the test can prove a replayed result was *not* re-computed;
+/// * `slow` parks until this instance's `gate` opens. Instance one's gate
+///   never opens, so its worker thread can never write a late terminal
+///   record into the journal after the "crash" — the kill is deterministic.
+fn durable_container(name: &str, execs: &Arc<AtomicU64>, gate: &Arc<AtomicBool>) -> Everest {
+    let e = Everest::with_handlers(name, 2);
+    let execs = Arc::clone(execs);
+    e.deploy(
+        ServiceDescription::new("add", "adds")
+            .input(Parameter::new("a", Schema::integer()))
+            .input(Parameter::new("b", Schema::integer()))
+            .output(Parameter::new("sum", Schema::integer())),
+        NativeAdapter::from_fn(move |inputs, _| {
+            execs.fetch_add(1, Ordering::SeqCst);
+            let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+            let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+            Ok([("sum".to_string(), json!(a + b))].into_iter().collect())
+        }),
+    );
+    let gate = Arc::clone(gate);
+    e.deploy(
+        ServiceDescription::new("slow", "parks until the gate opens")
+            .input(Parameter::new("x", Schema::integer()))
+            .output(Parameter::new("x", Schema::integer())),
+        NativeAdapter::from_fn(move |inputs, _| {
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok([(
+                "x".to_string(),
+                inputs.get("x").cloned().unwrap_or(json!(0)),
+            )]
+            .into_iter()
+            .collect())
+        }),
+    );
+    e
+}
+
+#[test]
+fn killed_container_recovers_jobs_from_its_journal() {
+    use mathcloud_core::JobState;
+
+    let dir = journal_dir("kill-restart");
+    let journal = dir.join("jobs.jsonl");
+    let execs = Arc::new(AtomicU64::new(0));
+
+    // ---- Instance one: do real work, then "crash" mid-job. ----
+    let gate1 = Arc::new(AtomicBool::new(false)); // never opens
+    let e1 = durable_container("victim-1", &execs, &gate1);
+    e1.attach_job_journal(&journal).unwrap();
+    let server1 = mathcloud_everest::serve(e1.clone(), "127.0.0.1:0", None).unwrap();
+    let base1 = server1.base_url();
+
+    // A keyed submission runs to completion.
+    let add1 = ServiceClient::connect(&format!("{base1}/services/add")).unwrap();
+    let done = add1
+        .submit_idempotent(&json!({"a": 20, "b": 22}), "key-add-42")
+        .unwrap()
+        .wait(Duration::from_secs(10))
+        .unwrap();
+    let add_id = done.id.as_str().to_string();
+    assert_eq!(done.outputs.unwrap().get("sum").unwrap().as_i64(), Some(42));
+    assert_eq!(execs.load(Ordering::SeqCst), 1);
+
+    // A slow job reaches RUNNING, then the container dies under it.
+    let slow1 = ServiceClient::connect(&format!("{base1}/services/slow")).unwrap();
+    let slow_id = slow1
+        .submit(&json!({"x": 7}))
+        .unwrap()
+        .representation()
+        .id
+        .as_str()
+        .to_string();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while e1.representation("slow", &slow_id).unwrap().state != JobState::Running {
+        assert!(Instant::now() < deadline, "slow job never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    drop(server1);
+    drop(e1); // the kill: nothing of instance one remains but the journal
+
+    // ---- Instance two: restart from the same journal. ----
+    let gate2 = Arc::new(AtomicBool::new(true)); // open: re-runs may finish
+    let e2 = durable_container("victim-2", &execs, &gate2);
+    let report = e2.attach_job_journal(&journal).unwrap();
+    assert_eq!(report.replayed, 1, "the finished add job came back");
+    assert_eq!(report.requeued, 1, "the interrupted slow job re-queued");
+    assert_eq!(report.idem_keys, 1, "the Idempotency-Key mapping survived");
+    let server2 = mathcloud_everest::serve(e2.clone(), "127.0.0.1:0", None).unwrap();
+    let base2 = server2.base_url();
+
+    // Terminal result served from the journal, without re-execution.
+    let add2 = ServiceClient::connect(&format!("{base2}/services/add")).unwrap();
+    let replayed = add2
+        .job(&add_id)
+        .unwrap()
+        .wait(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(
+        replayed.outputs.unwrap().get("sum").unwrap().as_i64(),
+        Some(42)
+    );
+    assert_eq!(
+        execs.load(Ordering::SeqCst),
+        1,
+        "the replayed result must not re-run the adapter"
+    );
+
+    // A keyed replay of the original submission maps to the same job —
+    // idempotency survives the restart.
+    let retried = add2
+        .submit_idempotent(&json!({"a": 20, "b": 22}), "key-add-42")
+        .unwrap();
+    assert_eq!(retried.representation().id.as_str(), add_id);
+    assert_eq!(execs.load(Ordering::SeqCst), 1);
+
+    // The interrupted job re-runs to completion, and a client holding only
+    // its pre-crash id resumes waiting (push-first wait over /events).
+    let slow2 = ServiceClient::connect(&format!("{base2}/services/slow")).unwrap();
+    let rerun = slow2
+        .job(&slow_id)
+        .unwrap()
+        .wait(Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(rerun.state, JobState::Done);
+    assert_eq!(rerun.outputs.unwrap().get("x").unwrap().as_i64(), Some(7));
+
+    // Fresh ids never collide with recovered ones.
+    let fresh = add2.submit(&json!({"a": 1, "b": 1})).unwrap();
+    assert_ne!(fresh.representation().id.as_str(), add_id);
+    assert_ne!(fresh.representation().id.as_str(), slow_id);
+    drop(server2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn idempotency_key_races_create_exactly_one_job() {
+    let dir = journal_dir("idem-race");
+    let execs = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(AtomicBool::new(true));
+    let e = durable_container("idem-race", &execs, &gate);
+    e.attach_job_journal(&dir.join("jobs.jsonl")).unwrap();
+    let server = mathcloud_everest::serve(e.clone(), "127.0.0.1:0", None).unwrap();
+    let base = server.base_url();
+
+    const RACERS: usize = 16;
+    let ids: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..RACERS)
+            .map(|_| {
+                let url = format!("{base}/services/add");
+                s.spawn(move || {
+                    let svc = ServiceClient::connect(&url).unwrap();
+                    svc.submit_idempotent(&json!({"a": 2, "b": 3}), "the-one-key")
+                        .unwrap()
+                        .representation()
+                        .id
+                        .as_str()
+                        .to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        ids.iter().all(|id| id == &ids[0]),
+        "every racer got the same job id: {ids:?}"
+    );
+    assert_eq!(e.stats().submitted, 1, "exactly one JobRecord was created");
+    let deduped = mathcloud_telemetry::metrics::global()
+        .counter_value(
+            "mc_jobs_deduplicated_total",
+            &[("container", e.metrics_label()), ("service", "add")],
+        )
+        .unwrap_or(0);
+    assert_eq!(deduped as usize, RACERS - 1);
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_keeps_the_journal_small_and_recoverable() {
+    use mathcloud_core::JobState;
+
+    let dir = journal_dir("compaction");
+    let journal = dir.join("jobs.jsonl");
+    let execs = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(AtomicBool::new(true));
+    let e = durable_container("compactee", &execs, &gate);
+    // Small threshold: ~1k jobs × 3 records each forces many compactions.
+    e.attach_job_journal_with(&journal, 128).unwrap();
+
+    const JOBS: usize = 1000;
+    let mut kept = Vec::new();
+    let mut peak = 0u64;
+    for i in 0..JOBS {
+        let rep = e
+            .submit_sync(
+                "add",
+                &json!({"a": (i as i64), "b": 1}),
+                None,
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        assert!(rep.state.is_terminal(), "job {i} did not finish in time");
+        peak = peak.max(std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0));
+        // Delete most terminal jobs as we go; keep every 20th.
+        if i % 20 == 0 {
+            kept.push((rep.id.as_str().to_string(), i as i64 + 1));
+        } else {
+            assert!(e.delete_job("add", rep.id.as_str()));
+        }
+    }
+    let store = e.job_store().unwrap();
+    store.compact();
+    let final_size = std::fs::metadata(&journal).unwrap().len();
+    assert!(
+        final_size < peak,
+        "the final rewrite shrinks the journal: {final_size} vs peak {peak}"
+    );
+    // 1k jobs × 3 records each is ~400 KB of raw log; periodic compaction
+    // must keep even the *peak* file size an order of magnitude below that.
+    assert!(
+        peak < 100_000,
+        "compaction bounds journal growth: peak {peak} bytes"
+    );
+    // After the final compaction the file holds exactly the meta line plus
+    // one consolidated record per kept job.
+    let lines = std::fs::read_to_string(&journal)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count();
+    assert_eq!(lines, kept.len() + 1);
+    let last_seq = store.last_seq();
+    assert!(
+        last_seq >= (JOBS * 3) as u64,
+        "sequence numbers are gapless-monotonic across compactions: {last_seq}"
+    );
+    drop(store);
+    drop(e);
+
+    // Recovery after compaction answers every kept terminal job.
+    let e2 = durable_container("compactee-2", &execs, &gate);
+    let report = e2.attach_job_journal_with(&journal, 128).unwrap();
+    assert_eq!(report.replayed, kept.len());
+    assert_eq!(report.requeued, 0);
+    for (id, sum) in &kept {
+        let rep = e2.representation("add", id).expect("kept job recovered");
+        assert_eq!(rep.state, JobState::Done);
+        assert_eq!(
+            rep.outputs.unwrap().get("sum").unwrap().as_i64(),
+            Some(*sum)
+        );
+    }
+    // The rewrite preserved the sequence and id watermarks: resuming the
+    // container appends after the old high-water mark, never inside it.
+    let store2 = e2.job_store().unwrap();
+    assert_eq!(store2.last_seq(), last_seq);
+    let fresh = e2
+        .submit_sync(
+            "add",
+            &json!({"a": 1, "b": 1}),
+            None,
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    let fresh_n: u64 = fresh
+        .id
+        .as_str()
+        .strip_prefix("j-")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        fresh_n > JOBS as u64,
+        "fresh ids sit past every recovered id"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
