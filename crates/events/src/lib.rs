@@ -246,6 +246,44 @@ pub mod jsonl {
         file.sync_data()
     }
 
+    /// Opens (or creates) `path` for appending, repairing a torn tail
+    /// first.
+    ///
+    /// A crash mid-append can leave the file ending in a partial line with
+    /// no trailing `\n`. Appending straight onto that fragment would
+    /// concatenate the next record into one unparseable line — silently
+    /// losing an acknowledged, fsync'd record on the *next* recovery, and
+    /// (when only the newline was lost) destroying a complete final record
+    /// that [`read_values`] had already replayed. Terminating the tail with
+    /// a single synced `\n` keeps a complete-but-unterminated record
+    /// readable and turns a true fragment into a corrupt line that
+    /// [`read_values`] skips.
+    ///
+    /// Every journal reopened for appending must come through here, not a
+    /// bare `OpenOptions::append`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open, metadata, read, write and sync failures.
+    pub fn open_append(path: &Path) -> io::Result<File> {
+        use std::io::{Seek, SeekFrom};
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        if file.metadata()?.len() > 0 {
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+                file.sync_data()?;
+            }
+        }
+        Ok(file)
+    }
+
     /// Reads every well-formed JSON line from `path`, oldest first.
     ///
     /// A missing file is an empty journal. Lines that are not valid UTF-8
@@ -382,7 +420,9 @@ impl Bus {
     /// Propagates I/O errors opening or reading the file.
     pub fn attach_journal(&self, path: &Path) -> io::Result<()> {
         let recovered = read_journal(path)?;
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        // `open_append` repairs a torn (newline-less) tail so the first
+        // post-recovery publish cannot concatenate onto the fragment.
+        let file = jsonl::open_append(path)?;
         let mut inner = self.inner.lock();
         if let Some(last) = recovered.last() {
             inner.next_id = inner.next_id.max(last.id);
@@ -671,6 +711,20 @@ mod tests {
         let bus = Bus::with_ring(8);
         bus.attach_journal(&path).unwrap();
         assert_eq!(bus.last_id(), 1);
+        // An event published after recovery must survive the *next*
+        // recovery: attach_journal newline-terminates the torn fragment, so
+        // the new record is not concatenated onto it.
+        assert_eq!(bus.publish("t.torn", None, json!({"post": true})), 2);
+        drop(bus);
+        let evs = read_journal(&path).unwrap();
+        assert_eq!(
+            evs.iter().map(|e| e.id).collect::<Vec<_>>(),
+            [1, 2],
+            "the post-recovery event survived reopen"
+        );
+        let bus = Bus::with_ring(8);
+        bus.attach_journal(&path).unwrap();
+        assert_eq!(bus.last_id(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -252,19 +252,27 @@ impl PoolConfig {
 ///
 /// ```json
 /// {
-///   "journal": { "path": "/var/lib/mathcloud/jobs.jsonl", "compact_every": 1024 },
+///   "journal": {
+///     "path": "/var/lib/mathcloud/jobs.jsonl",
+///     "compact_every": 1024,
+///     "retain_terminal": 10000
+///   },
 ///   "services": [ … ]
 /// }
 /// ```
 ///
 /// Absent means no journal: job state stays in memory only. `compact_every`
-/// defaults to [`crate::jobstore::DEFAULT_COMPACT_EVERY`].
+/// defaults to [`crate::jobstore::DEFAULT_COMPACT_EVERY`]. `retain_terminal`
+/// caps the terminal job records the container keeps
+/// ([`Everest::set_terminal_retention`]); absent means unlimited.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct JournalConfig {
     /// The journal file; `None` leaves the container in-memory.
     pub path: Option<std::path::PathBuf>,
     /// Appended records between compactions.
     pub compact_every: Option<usize>,
+    /// Terminal job records to retain; `None` means unlimited.
+    pub retain_terminal: Option<usize>,
 }
 
 impl JournalConfig {
@@ -294,9 +302,17 @@ impl JournalConfig {
                 _ => return Err(err("journal.compact_every must be a positive integer")),
             },
         };
+        let retain_terminal = match doc.get("retain_terminal") {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(n) if n > 0 => Some(n as usize),
+                _ => return Err(err("journal.retain_terminal must be a positive integer")),
+            },
+        };
         Ok(JournalConfig {
             path: Some(path),
             compact_every,
+            retain_terminal,
         })
     }
 
@@ -317,6 +333,11 @@ impl JournalConfig {
         let compact_every = self
             .compact_every
             .unwrap_or(crate::jobstore::DEFAULT_COMPACT_EVERY);
+        // Retention applies before recovery so a replayed history longer
+        // than the cap is trimmed as it is attached.
+        if let Some(cap) = self.retain_terminal {
+            everest.set_terminal_retention(cap);
+        }
         everest
             .attach_job_journal_with(path, compact_every)
             .map(Some)
@@ -815,10 +836,27 @@ mod tests {
                 json!({"journal": {"path": "/tmp/x", "compact_every": "lots"}}),
                 "compact_every",
             ),
+            (
+                json!({"journal": {"path": "/tmp/x", "retain_terminal": 0}}),
+                "retain_terminal",
+            ),
+            (
+                json!({"journal": {"path": "/tmp/x", "retain_terminal": "all"}}),
+                "retain_terminal",
+            ),
         ] {
             let e = JournalConfig::from_config(&config).unwrap_err();
             assert!(e.to_string().contains(needle), "{e} !~ {needle}");
         }
+
+        // Retention parses through; absent means unlimited.
+        let j = JournalConfig::from_config(
+            &json!({"journal": {"path": "/tmp/x", "retain_terminal": 500}}),
+        )
+        .unwrap();
+        assert_eq!(j.retain_terminal, Some(500));
+        let j = JournalConfig::from_config(&json!({"journal": {"path": "/tmp/x"}})).unwrap();
+        assert_eq!(j.retain_terminal, None);
 
         // End to end: a configured journal is armed and recovers across a
         // reload of the same document.

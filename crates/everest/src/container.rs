@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -154,6 +154,10 @@ struct JobRecord {
     /// correlation (`X-MC-Request-Id`).
     request_id: Option<String>,
     submitted_at: Instant,
+    /// Monotonic rank assigned when the job reached a terminal state;
+    /// `None` while live. Terminal-retention eviction removes the lowest
+    /// ranks (oldest-settled) first.
+    terminal_seq: Option<u64>,
 }
 
 /// Aggregate container statistics.
@@ -204,6 +208,10 @@ impl ContainerMetrics {
         );
         reg.describe("mc_job_transitions_total", "job state transitions");
         reg.describe("mc_jobs_submitted_total", "jobs accepted per service");
+        reg.describe(
+            "mc_jobs_evicted_total",
+            "terminal job records evicted by the retention cap",
+        );
         let l: &[(&str, &str)] = &[("container", &label)];
         ContainerMetrics {
             queue_depth: reg.gauge("mc_pool_queue_depth", l),
@@ -335,9 +343,20 @@ struct Shared {
     store: Mutex<Option<Arc<JobStore>>>,
     /// `(service, Idempotency-Key) → job id`: retried keyed submissions are
     /// answered from here instead of creating a second job. Rebuilt from
-    /// the journal on recovery. Lock order: `idem` before `jobs` before the
-    /// store, always.
-    idem: Mutex<HashMap<(String, String), String>>,
+    /// the journal on recovery. `None` is a reservation — a racing
+    /// submission won the key and is creating (and fsync-journaling) its
+    /// job *outside* this lock; losers wait on [`Shared::idem_filled`] for
+    /// the id. Lock order: `idem` before `jobs` before the store, always;
+    /// the lock is never held across a journal append.
+    idem: Mutex<HashMap<(String, String), Option<String>>>,
+    /// Signalled when a reservation in [`Shared::idem`] is filled with its
+    /// job id.
+    idem_filled: Condvar,
+    /// Maximum terminal job records retained; `usize::MAX` (the default)
+    /// keeps everything. See [`Everest::set_terminal_retention`].
+    retention: AtomicUsize,
+    /// Source of [`JobRecord::terminal_seq`] ranks.
+    next_terminal: AtomicU64,
 }
 
 impl Shared {
@@ -454,6 +473,9 @@ impl Everest {
             started: Instant::now(),
             store: Mutex::new(None),
             idem: Mutex::new(HashMap::new()),
+            idem_filled: Condvar::new(),
+            retention: AtomicUsize::new(usize::MAX),
+            next_terminal: AtomicU64::new(1),
         });
         let queue = Arc::new(JobQueue {
             state: Mutex::new(JobQueueState {
@@ -668,35 +690,58 @@ impl Everest {
         let Some(key) = idem_key else {
             return Ok((self.create_job(service, inputs, request_id, None), false));
         };
-        // The idem lock is held across lookup AND job creation, so N racing
-        // submissions with the same key serialize here and exactly one of
-        // them creates the job (lock order: idem → jobs → store).
+        // Exactly one of N racing submissions with the same key creates the
+        // job, but the fsync'd journal append must NOT happen under the
+        // idem lock — that would serialize every keyed submission on the
+        // container (all services, all distinct keys) behind one disk
+        // sync. The winner inserts a reservation and releases the lock;
+        // racers on the same key wait for the reservation to be filled,
+        // while distinct keys proceed untouched.
         let map_key = (service.to_string(), key.to_string());
         let mut idem = self.shared.idem.lock();
-        if let Some(existing) = idem.get(&map_key).cloned() {
-            if let Some(rep) = self.representation(service, &existing) {
-                drop(idem);
-                metrics::global()
-                    .counter(
-                        "mc_jobs_deduplicated_total",
-                        &[
-                            ("container", &self.shared.metrics.label),
-                            ("service", service),
-                        ],
-                    )
-                    .inc();
-                trace::info(
-                    "job.deduplicated",
-                    request_id,
-                    &[("service", service), ("job", &existing), ("key", key)],
-                );
-                return Ok((rep, true));
+        loop {
+            match idem.get(&map_key) {
+                Some(Some(existing)) => {
+                    let existing = existing.clone();
+                    if let Some(rep) = self.representation(service, &existing) {
+                        drop(idem);
+                        metrics::global()
+                            .counter(
+                                "mc_jobs_deduplicated_total",
+                                &[
+                                    ("container", &self.shared.metrics.label),
+                                    ("service", service),
+                                ],
+                            )
+                            .inc();
+                        trace::info(
+                            "job.deduplicated",
+                            request_id,
+                            &[("service", service), ("job", &existing), ("key", key)],
+                        );
+                        return Ok((rep, true));
+                    }
+                    // The mapped job's record was deleted: the key is free
+                    // again.
+                    idem.remove(&map_key);
+                    break;
+                }
+                Some(None) => {
+                    // A racing submission holds the reservation and is
+                    // journaling its job; wait for it to publish the id.
+                    self.shared.idem_filled.wait(&mut idem);
+                }
+                None => break,
             }
-            // The mapped job's record was deleted: the key is free again.
-            idem.remove(&map_key);
         }
+        idem.insert(map_key.clone(), None);
+        drop(idem);
         let rep = self.create_job(service, inputs, request_id, Some(key));
-        idem.insert(map_key, rep.id.as_str().to_string());
+        self.shared
+            .idem
+            .lock()
+            .insert(map_key, Some(rep.id.as_str().to_string()));
+        self.shared.idem_filled.notify_all();
         Ok((rep, false))
     }
 
@@ -725,6 +770,7 @@ impl Everest {
                     runtime_ms: None,
                     request_id: request_id.map(str::to_string),
                     submitted_at: Instant::now(),
+                    terminal_seq: None,
                 },
             );
             self.shared.journal(
@@ -846,8 +892,12 @@ impl Everest {
                 drop(jobs);
                 // The deleted job's Idempotency-Key (if any) is free again;
                 // taken after the jobs lock is released to respect the
-                // idem-before-jobs lock order.
-                self.shared.idem.lock().retain(|_, v| v != job_id);
+                // idem-before-jobs lock order. Reservations (None) belong
+                // to in-flight submissions and are kept.
+                self.shared
+                    .idem
+                    .lock()
+                    .retain(|_, v| v.as_deref() != Some(job_id));
                 self.shared.files.remove_job(service, job_id);
                 true
             }
@@ -860,6 +910,8 @@ impl Everest {
                 };
                 let rid = record.request_id.clone();
                 record.state = JobState::Cancelled;
+                record.terminal_seq =
+                    Some(self.shared.next_terminal.fetch_add(1, Ordering::Relaxed));
                 self.shared.journal(
                     service,
                     job_id,
@@ -886,6 +938,7 @@ impl Everest {
                     None,
                 );
                 self.shared.job_done.notify_all();
+                enforce_retention(&self.shared);
                 true
             }
         }
@@ -1079,7 +1132,7 @@ impl Everest {
                     continue;
                 }
                 if let Some(k) = &r.idem_key {
-                    idem.insert((r.service.clone(), k.clone()), r.job.clone());
+                    idem.insert((r.service.clone(), k.clone()), Some(r.job.clone()));
                     report.idem_keys += 1;
                 }
                 let terminal = r.state.is_terminal();
@@ -1095,6 +1148,8 @@ impl Everest {
                         runtime_ms: r.runtime_ms,
                         request_id: r.request_id.clone(),
                         submitted_at: Instant::now(),
+                        terminal_seq: terminal
+                            .then(|| self.shared.next_terminal.fetch_add(1, Ordering::Relaxed)),
                     },
                 );
                 let kind = match state {
@@ -1152,12 +1207,32 @@ impl Everest {
                 ("idem_keys", &report.idem_keys.to_string()),
             ],
         );
+        // A replayed history can itself exceed the retention cap.
+        enforce_retention(&self.shared);
         Ok(report)
     }
 
     /// The durable job store, when one is armed.
     pub fn job_store(&self) -> Option<Arc<JobStore>> {
         self.shared.store.lock().clone()
+    }
+
+    /// Bounds how many terminal (DONE/FAILED/CANCELLED) job records the
+    /// container retains; the default is unlimited.
+    ///
+    /// Without a bound, a long-running container accumulates terminal
+    /// records, their `Idempotency-Key` mappings, and — with a journal
+    /// armed — journal records carrying full inputs and outputs, all of
+    /// which replay into memory on every restart. With a cap of `n`
+    /// (clamped to at least 1), settling a job past the cap evicts the
+    /// oldest-settled terminal jobs: `GET /jobs/{id}` stops answering for
+    /// them, their keys become reusable, and their journal records get
+    /// `DELETED` tombstones so compaction reclaims the space. Live jobs
+    /// are never evicted. The cap is enforced immediately and on every
+    /// subsequent terminal transition.
+    pub fn set_terminal_retention(&self, cap: usize) {
+        self.shared.retention.store(cap.max(1), Ordering::Relaxed);
+        enforce_retention(&self.shared);
     }
 }
 
@@ -1193,6 +1268,66 @@ fn spawn_worker(shared: Arc<Shared>, queue: Arc<JobQueue>) {
             Popped::Retire | Popped::Closed => break,
         }
     });
+}
+
+/// Evicts the oldest-settled terminal jobs down to the configured retention
+/// cap: their records leave memory, their journal gets a `DELETED`
+/// tombstone (so the next compaction reclaims the space), their
+/// `Idempotency-Key` mappings and files are freed. Live (WAITING/RUNNING)
+/// jobs are never touched. A no-op at the default unlimited cap.
+fn enforce_retention(shared: &Shared) {
+    let cap = shared.retention.load(Ordering::Relaxed);
+    if cap == usize::MAX {
+        return;
+    }
+    let mut evicted: Vec<(String, String)> = Vec::new();
+    {
+        let mut jobs = shared.jobs.lock();
+        let mut terminal: Vec<(u64, (String, String))> = jobs
+            .iter()
+            .filter_map(|(k, r)| r.terminal_seq.map(|ts| (ts, k.clone())))
+            .collect();
+        if terminal.len() <= cap {
+            return;
+        }
+        terminal.sort_unstable();
+        let excess = terminal.len() - cap;
+        for (_, key) in terminal.into_iter().take(excess) {
+            jobs.remove(&key);
+            shared.journal(
+                &key.0,
+                &key.1,
+                TransitionState::Deleted,
+                TransitionDetail::default(),
+            );
+            evicted.push(key);
+        }
+    }
+    // Outside the jobs lock (same discipline as delete_job): free the
+    // evicted jobs' keys — reservations (None) belong to in-flight
+    // submissions and are kept — and their files.
+    shared.idem.lock().retain(|(svc, _), v| {
+        !evicted
+            .iter()
+            .any(|(es, ej)| es == svc && v.as_deref() == Some(ej))
+    });
+    for (service, job) in &evicted {
+        shared.files.remove_job(service, job);
+    }
+    metrics::global()
+        .counter(
+            "mc_jobs_evicted_total",
+            &[("container", &shared.metrics.label)],
+        )
+        .add(evicted.len() as u64);
+    trace::info(
+        "job.retention_evicted",
+        None,
+        &[
+            ("container", &shared.name),
+            ("evicted", &evicted.len().to_string()),
+        ],
+    );
 }
 
 fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
@@ -1284,6 +1419,7 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
     if let Some(record) = jobs.get_mut(&key) {
         record.runtime_ms = Some(runtime_ms);
         if record.state == JobState::Running {
+            record.terminal_seq = Some(shared.next_terminal.fetch_add(1, Ordering::Relaxed));
             match result {
                 Ok(outputs) => {
                     record.state = JobState::Done;
@@ -1331,6 +1467,7 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
     drop(jobs);
     // Publish before the condvar wake-up so a subscriber that reacts to the
     // event always finds the terminal record in place.
+    let settled = terminal.is_some();
     if let Some((kind, error)) = terminal {
         publish_job_event(
             kind,
@@ -1342,6 +1479,9 @@ fn run_job(shared: &Arc<Shared>, service: &str, job_id: &str) {
         );
     }
     shared.job_done.notify_all();
+    if settled {
+        enforce_retention(shared);
+    }
 }
 
 #[cfg(test)]
@@ -1641,6 +1781,85 @@ mod tests {
             ..report
         };
         assert_eq!(half.saturation(), 0.5);
+    }
+
+    #[test]
+    fn terminal_retention_evicts_oldest_and_tombstones_the_journal() {
+        let dir = std::env::temp_dir().join(format!(
+            "mc-retention-{}-{}",
+            std::process::id(),
+            mathcloud_telemetry::next_request_id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("jobs.jsonl");
+
+        let e = sum_container();
+        e.attach_job_journal(&journal).unwrap();
+        e.set_terminal_retention(3);
+        let mut ids = Vec::new();
+        for i in 0..8i64 {
+            let (rep, deduped) = e
+                .submit_idempotent(
+                    "sum",
+                    &json!({"a": i, "b": 1}),
+                    None,
+                    None,
+                    Some(&format!("key-{i}")),
+                )
+                .unwrap();
+            let done = e
+                .wait("sum", rep.id.as_str(), Duration::from_secs(5))
+                .unwrap();
+            assert!(done.state.is_terminal());
+            assert!(!deduped);
+            ids.push(rep.id.as_str().to_string());
+        }
+        // Workers enforce the cap after each terminal transition; this call
+        // enforces synchronously so the assertions below are race-free.
+        e.set_terminal_retention(3);
+
+        for id in &ids[..5] {
+            assert!(
+                e.representation("sum", id).is_none(),
+                "evicted job {id} still answers"
+            );
+        }
+        for (i, id) in ids[5..].iter().enumerate() {
+            let rep = e.representation("sum", id).expect("retained job answers");
+            assert_eq!(rep.state, JobState::Done);
+            assert_eq!(
+                rep.outputs.unwrap().get("total").unwrap().as_i64(),
+                Some(i as i64 + 5 + 1)
+            );
+        }
+        // A retained key still deduplicates; an evicted key is free again.
+        let (rep, deduped) = e
+            .submit_idempotent("sum", &json!({"a": 7, "b": 1}), None, None, Some("key-7"))
+            .unwrap();
+        assert!(deduped);
+        assert_eq!(rep.id.as_str(), ids[7]);
+        let (rep, deduped) = e
+            .submit_idempotent("sum", &json!({"a": 0, "b": 1}), None, None, Some("key-0"))
+            .unwrap();
+        assert!(!deduped, "the evicted key maps to no record");
+        assert_ne!(rep.id.as_str(), ids[0]);
+        e.wait("sum", rep.id.as_str(), Duration::from_secs(5))
+            .unwrap();
+        // Enforce synchronously again: the worker settling key-0's job may
+        // not have journaled its eviction tombstone yet.
+        e.set_terminal_retention(3);
+        drop(e);
+
+        // The tombstones hold across a restart: recovery replays only what
+        // retention kept (the 3 survivors may have rolled forward by the
+        // key-0 resubmission settling above).
+        let e2 = sum_container();
+        e2.set_terminal_retention(3);
+        let report = e2.attach_job_journal(&journal).unwrap();
+        assert_eq!(report.replayed, 3, "evicted jobs are not resurrected");
+        assert_eq!(report.requeued, 0);
+        assert!(e2.representation("sum", &ids[0]).is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -349,7 +349,10 @@ impl JobStore {
                 inner.fold(&t);
             }
         }
-        inner.file = Some(OpenOptions::new().create(true).append(true).open(path)?);
+        // `open_append` repairs a torn (newline-less) tail left by a crash
+        // mid-append, so the first post-recovery append cannot concatenate
+        // onto the fragment and corrupt an acknowledged record.
+        inner.file = Some(jsonl::open_append(path)?);
         Ok(JobStore {
             path: path.to_path_buf(),
             compact_every: compact_every.max(1),
@@ -413,6 +416,14 @@ impl JobStore {
             runtime_ms: detail.runtime_ms,
             time_ms: now_ms(),
         };
+        if inner.file.is_none() {
+            // The handle was dropped after a failed post-compaction reopen;
+            // retry so a transient failure costs records, not the journal.
+            match jsonl::open_append(&self.path) {
+                Ok(f) => inner.file = Some(f),
+                Err(e) => journal_error("reopen", &e),
+            }
+        }
         if let Some(file) = &mut inner.file {
             if let Err(e) = jsonl::append_value(file, &t.to_json()) {
                 journal_error("append", &e);
@@ -443,7 +454,7 @@ impl JobStore {
     /// mix.
     fn compact_locked(&self, inner: &mut StoreInner) {
         let tmp = self.path.with_extension("compact-tmp");
-        let result = (|| -> io::Result<()> {
+        let written = (|| -> io::Result<()> {
             let mut file = File::create(&tmp)?;
             jsonl::append_value(&mut file, &meta_line(inner.seq, inner.max_job))?;
             for t in inner.snapshot() {
@@ -451,26 +462,33 @@ impl JobStore {
             }
             file.sync_all()?;
             drop(file);
-            std::fs::rename(&tmp, &self.path)?;
-            inner.file = Some(OpenOptions::new().append(true).open(&self.path)?);
-            Ok(())
+            std::fs::rename(&tmp, &self.path)
         })();
-        match result {
-            Ok(()) => {
-                inner.appended = 0;
-                metrics::global()
-                    .counter("mc_job_journal_compactions_total", &[])
-                    .inc();
-                if let Ok(meta) = std::fs::metadata(&self.path) {
-                    metrics::global()
-                        .gauge("mc_job_journal_bytes", &[])
-                        .set(meta.len() as i64);
-                }
-            }
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            journal_error("compact", &e);
+            return;
+        }
+        // The rename is committed: the handle in `inner.file` now points at
+        // the old, unlinked inode. If the reopen fails the handle must be
+        // dropped, not kept — appends to it would fsync into the deleted
+        // file and silently vanish on the next restart while still being
+        // acknowledged.
+        match OpenOptions::new().append(true).open(&self.path) {
+            Ok(f) => inner.file = Some(f),
             Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
-                journal_error("compact", &e);
+                inner.file = None;
+                journal_error("compact-reopen", &e);
             }
+        }
+        inner.appended = 0;
+        metrics::global()
+            .counter("mc_job_journal_compactions_total", &[])
+            .inc();
+        if let Ok(meta) = std::fs::metadata(&self.path) {
+            metrics::global()
+                .gauge("mc_job_journal_bytes", &[])
+                .set(meta.len() as i64);
         }
     }
 }
@@ -757,6 +775,67 @@ mod tests {
             TransitionDetail::default(),
         );
         assert_eq!(seq, 2);
+        drop(store);
+        // The append after recovery must itself survive the next recovery:
+        // the torn fragment was newline-terminated on open, so the new
+        // record sits on its own line instead of being glued to it.
+        let store = JobStore::open(&path, 1024).unwrap();
+        let jobs = store.recovered();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(
+            jobs[0].state,
+            JobState::Running,
+            "the post-recovery transition survived its own recovery"
+        );
+        assert_eq!(store.last_seq(), 2);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn complete_record_missing_only_its_newline_survives_an_append() {
+        let path = tmp_path("no-newline");
+        let store = JobStore::open(&path, 1024).unwrap();
+        let ins = inputs();
+        store.append(
+            "sum",
+            "j-1",
+            TransitionState::Job(JobState::Waiting),
+            TransitionDetail {
+                inputs: Some(&ins),
+                ..Default::default()
+            },
+        );
+        store.append(
+            "sum",
+            "j-2",
+            TransitionState::Job(JobState::Waiting),
+            TransitionDetail {
+                inputs: Some(&ins),
+                ..Default::default()
+            },
+        );
+        drop(store);
+        // Chop exactly the trailing newline: the final record is complete
+        // and replays, but an unrepaired append would destroy it.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.last(), Some(&b'\n'));
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+
+        let store = JobStore::open(&path, 1024).unwrap();
+        assert_eq!(store.recovered().len(), 2, "complete tail record replays");
+        store.append(
+            "sum",
+            "j-2",
+            TransitionState::Job(JobState::Running),
+            TransitionDetail::default(),
+        );
+        drop(store);
+        let store = JobStore::open(&path, 1024).unwrap();
+        let jobs = store.recovered();
+        assert_eq!(jobs.len(), 2, "neither record was destroyed");
+        assert_eq!(jobs[1].job, "j-2");
+        assert_eq!(jobs[1].state, JobState::Running);
+        assert_eq!(store.last_seq(), 3);
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 }

@@ -151,6 +151,25 @@ fn truncation_at_every_offset_of_the_final_record_recovers_the_prefix() {
         );
         assert_eq!(seq, store.last_seq());
         assert!(seq > prefix_seq, "cut {cut}: seq {seq} reused");
+        // And the post-recovery append survives its own recovery: the torn
+        // tail was newline-terminated on open, so the new record cannot be
+        // glued to the fragment — nor can it destroy a complete final
+        // record that was only missing its newline (cut == len - 1).
+        drop(store);
+        let reopened = JobStore::open(&victim, usize::MAX)
+            .unwrap_or_else(|e| panic!("reopen failed at cut {cut}: {e}"));
+        let refold = fold_of(&reopened);
+        let expected: Vec<_> = if cut >= bytes.len() - 1 {
+            &full_fold
+        } else {
+            &prefix_fold
+        }
+        .iter()
+        .cloned()
+        .chain([("sum".to_string(), "j-100".to_string(), JobState::Waiting)])
+        .collect();
+        assert_eq!(refold, expected, "cut {cut}: appended record lost");
+        assert_eq!(reopened.last_seq(), seq, "cut {cut}");
     }
     std::fs::remove_dir_all(&dir).ok();
 }
