@@ -345,6 +345,76 @@ impl JournalConfig {
     }
 }
 
+/// Server-edge sizing from the top-level `"server"` object:
+///
+/// ```json
+/// {
+///   "server": {
+///     "workers": 8,
+///     "idle_timeout_ms": 10000,
+///     "read_timeout_ms": 30000,
+///     "max_connections": 1024,
+///     "max_header_bytes": 65536,
+///     "max_body_bytes": 1073741824
+///   },
+///   "services": [ … ]
+/// }
+/// ```
+///
+/// Every knob is optional and defaults to
+/// [`mathcloud_http::ServerConfig::default`]; an absent `"server"` object
+/// means all defaults. The result feeds [`crate::rest::serve_with_config`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerEdgeConfig {
+    /// The parsed edge settings, ready for `Server::bind_with_config`.
+    pub http: mathcloud_http::ServerConfig,
+}
+
+impl ServerEdgeConfig {
+    /// Parses the top-level `"server"` object; absent means defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending knob.
+    pub fn from_config(config: &Value) -> Result<Self, ConfigError> {
+        let mut http = mathcloud_http::ServerConfig::default();
+        let Some(doc) = config.get("server") else {
+            return Ok(ServerEdgeConfig { http });
+        };
+        if doc.as_object().is_none() {
+            return Err(err("\"server\" must be an object"));
+        }
+        fn positive(doc: &Value, key: &str) -> Result<Option<u64>, ConfigError> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(v) => match v.as_u64() {
+                    Some(n) if n > 0 => Ok(Some(n)),
+                    _ => Err(err(format!("server.{key} must be a positive integer"))),
+                },
+            }
+        }
+        if let Some(n) = positive(doc, "workers")? {
+            http.workers = n as usize;
+        }
+        if let Some(ms) = positive(doc, "idle_timeout_ms")? {
+            http.idle_timeout = std::time::Duration::from_millis(ms);
+        }
+        if let Some(ms) = positive(doc, "read_timeout_ms")? {
+            http.read_timeout = std::time::Duration::from_millis(ms);
+        }
+        if let Some(n) = positive(doc, "max_connections")? {
+            http.max_connections = n as usize;
+        }
+        if let Some(n) = positive(doc, "max_header_bytes")? {
+            http.max_header_bytes = n as usize;
+        }
+        if let Some(n) = positive(doc, "max_body_bytes")? {
+            http.max_body_bytes = n as usize;
+        }
+        Ok(ServerEdgeConfig { http })
+    }
+}
+
 /// Everything [`load_config_full`] produced from one configuration document.
 #[derive(Debug)]
 pub struct LoadedConfig {
@@ -358,6 +428,9 @@ pub struct LoadedConfig {
     pub journal: JournalConfig,
     /// What the journal recovered, when one was configured.
     pub recovery: Option<crate::container::RecoveryReport>,
+    /// The parsed server-edge sizing (defaults when the document had no
+    /// `"server"`), for [`crate::rest::serve_with_config`].
+    pub server: ServerEdgeConfig,
 }
 
 /// Parses a configuration document and deploys every service it describes.
@@ -396,6 +469,7 @@ pub fn load_config_full(
 ) -> Result<LoadedConfig, ConfigError> {
     let pool = PoolConfig::from_config(config)?;
     let journal = JournalConfig::from_config(config)?;
+    let server = ServerEdgeConfig::from_config(config)?;
     let services = config
         .get("services")
         .and_then(Value::as_array)
@@ -425,6 +499,7 @@ pub fn load_config_full(
         autoscaler,
         journal,
         recovery,
+        server,
     })
 }
 
@@ -896,6 +971,50 @@ mod tests {
             .state
             .is_terminal());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn server_edge_config_parses() {
+        // Absent: defaults throughout.
+        let s = ServerEdgeConfig::from_config(&json!({"services": []})).unwrap();
+        let defaults = mathcloud_http::ServerConfig::default();
+        assert_eq!(s.http.workers, defaults.workers);
+        assert_eq!(s.http.max_connections, defaults.max_connections);
+
+        let s = ServerEdgeConfig::from_config(&json!({
+            "server": {
+                "workers": 4,
+                "idle_timeout_ms": 2500,
+                "read_timeout_ms": 9000,
+                "max_connections": 64,
+                "max_header_bytes": 8192,
+                "max_body_bytes": 1048576
+            }
+        }))
+        .unwrap();
+        assert_eq!(s.http.workers, 4);
+        assert_eq!(s.http.idle_timeout, Duration::from_millis(2500));
+        assert_eq!(s.http.read_timeout, Duration::from_millis(9000));
+        assert_eq!(s.http.max_connections, 64);
+        assert_eq!(s.http.max_header_bytes, 8192);
+        assert_eq!(s.http.max_body_bytes, 1_048_576);
+
+        // Bad knobs are named.
+        for (config, needle) in [
+            (json!({"server": []}), "must be an object"),
+            (json!({"server": {"workers": 0}}), "server.workers"),
+            (
+                json!({"server": {"idle_timeout_ms": "fast"}}),
+                "server.idle_timeout_ms",
+            ),
+            (
+                json!({"server": {"max_connections": "many"}}),
+                "server.max_connections",
+            ),
+        ] {
+            let e = ServerEdgeConfig::from_config(&config).unwrap_err();
+            assert!(e.to_string().contains(needle), "{e} !~ {needle}");
+        }
     }
 
     #[test]

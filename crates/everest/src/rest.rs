@@ -256,6 +256,23 @@ pub fn serve(everest: Everest, addr: &str, auth: Option<AuthConfig>) -> std::io:
     Server::bind(addr, router(everest, auth))
 }
 
+/// [`serve`] under an explicit server-edge configuration (worker count,
+/// idle/read timeouts, connection cap, header/body limits) — typically the
+/// parsed top-level `"server"` object of a configuration document
+/// ([`crate::config::ServerEdgeConfig`]).
+///
+/// # Errors
+///
+/// Propagates socket errors from the HTTP server.
+pub fn serve_with_config(
+    everest: Everest,
+    addr: &str,
+    auth: Option<AuthConfig>,
+    config: mathcloud_http::ServerConfig,
+) -> std::io::Result<Server> {
+    Server::bind_with_config(addr, router(everest, auth), config)
+}
+
 fn caller_from(req: &Request) -> Caller {
     let identity = AuthConfig::identity_of(req);
     match AuthConfig::proxy_of(req) {

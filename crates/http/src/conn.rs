@@ -1,0 +1,224 @@
+//! Per-worker connection buffers, reused across keep-alive requests and
+//! across the connections a worker serves.
+//!
+//! The previous edge allocated a fresh `BufReader` + `BufWriter` (16 KiB of
+//! zeroed heap) for every accepted connection. Under keep-alive + high
+//! connection churn that allocation sits on the hot path; here each pool
+//! worker owns one [`ConnBuffers`] for its lifetime, and [`ConnReader`] /
+//! [`ConnWriter`] borrow those buffers per connection. Read state
+//! (`pos`/`filled`) lives in the reader so pipelined bytes survive between
+//! requests of one connection and are discarded between connections, while
+//! the backing storage is allocated exactly once per worker.
+//!
+//! The writer is a classic buffered writer with a write-through path:
+//! payloads at least as large as the buffer are flushed and written
+//! directly, so multi-megabyte result bodies never balloon the reusable
+//! buffer past [`WRITE_BUF`].
+
+use std::io::{self, BufRead, Read, Write};
+use std::net::TcpStream;
+
+/// Size of the reusable read buffer (header sections and small bodies).
+pub(crate) const READ_BUF: usize = 16 * 1024;
+
+/// Size of the reusable write buffer; larger writes go straight to the
+/// socket.
+pub(crate) const WRITE_BUF: usize = 64 * 1024;
+
+/// One worker's reusable buffer storage.
+pub(crate) struct ConnBuffers {
+    read: Vec<u8>,
+    write: Vec<u8>,
+}
+
+impl ConnBuffers {
+    pub(crate) fn new() -> ConnBuffers {
+        ConnBuffers {
+            read: vec![0u8; READ_BUF],
+            write: Vec::with_capacity(WRITE_BUF),
+        }
+    }
+
+    /// Splits into the per-connection reader/writer storage.
+    pub(crate) fn split(&mut self) -> (&mut Vec<u8>, &mut Vec<u8>) {
+        (&mut self.read, &mut self.write)
+    }
+}
+
+/// A buffered reader over a borrowed [`TcpStream`] using worker-owned
+/// storage.
+pub(crate) struct ConnReader<'a> {
+    stream: &'a TcpStream,
+    buf: &'a mut Vec<u8>,
+    pos: usize,
+    filled: usize,
+}
+
+impl<'a> ConnReader<'a> {
+    pub(crate) fn new(stream: &'a TcpStream, buf: &'a mut Vec<u8>) -> ConnReader<'a> {
+        if buf.len() < READ_BUF {
+            buf.resize(READ_BUF, 0);
+        }
+        ConnReader {
+            stream,
+            buf,
+            pos: 0,
+            filled: 0,
+        }
+    }
+
+    /// Bytes already read off the socket but not yet consumed (a pipelined
+    /// next request).
+    pub(crate) fn buffered(&self) -> usize {
+        self.filled - self.pos
+    }
+}
+
+impl Read for ConnReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.buffered() == 0 {
+            // Large reads (bodies) bypass the buffer entirely.
+            if out.len() >= self.buf.len() {
+                return self.stream.read(out);
+            }
+            self.fill_buf()?;
+        }
+        let n = self.buffered().min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for ConnReader<'_> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.pos >= self.filled {
+            self.filled = self.stream.read(self.buf)?;
+            self.pos = 0;
+        }
+        Ok(&self.buf[self.pos..self.filled])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.filled);
+    }
+}
+
+/// A buffered writer over a borrowed [`TcpStream`] using worker-owned
+/// storage; write-through for payloads of [`WRITE_BUF`] bytes or more.
+pub(crate) struct ConnWriter<'a> {
+    stream: &'a TcpStream,
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> ConnWriter<'a> {
+    pub(crate) fn new(stream: &'a TcpStream, buf: &'a mut Vec<u8>) -> ConnWriter<'a> {
+        buf.clear();
+        ConnWriter { stream, buf }
+    }
+
+    fn flush_buf(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.stream.write_all(self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+}
+
+impl Write for ConnWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if self.buf.len() + data.len() > WRITE_BUF {
+            self.flush_buf()?;
+        }
+        if data.len() >= WRITE_BUF {
+            self.stream.write_all(data)?;
+        } else {
+            self.buf.extend_from_slice(data);
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_buf()?;
+        self.stream.flush()
+    }
+}
+
+impl Drop for ConnWriter<'_> {
+    fn drop(&mut self) {
+        let _ = self.flush_buf();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn reader_preserves_pipelined_bytes_and_reuses_storage() {
+        let (client, server) = pair();
+        use std::io::Write as _;
+        (&client).write_all(b"firstsecond").unwrap();
+        let mut bufs = ConnBuffers::new();
+        let (read_buf, _) = bufs.split();
+        let mut reader = ConnReader::new(&server, read_buf);
+        let mut first = [0u8; 5];
+        reader.read_exact(&mut first).unwrap();
+        assert_eq!(&first, b"first");
+        assert_eq!(reader.buffered(), 6, "pipelined bytes retained");
+        let mut second = [0u8; 6];
+        reader.read_exact(&mut second).unwrap();
+        assert_eq!(&second, b"second");
+    }
+
+    #[test]
+    fn writer_write_through_keeps_buffer_bounded() {
+        let (client, server) = pair();
+        let big = vec![7u8; WRITE_BUF * 2];
+        let mut bufs = ConnBuffers::new();
+        {
+            let (_, write_buf) = bufs.split();
+            let mut writer = ConnWriter::new(&server, write_buf);
+            writer.write_all(b"head").unwrap();
+            writer.write_all(&big).unwrap();
+            writer.flush().unwrap();
+            assert!(
+                writer.buf.capacity() <= WRITE_BUF + 4096,
+                "buffer ballooned"
+            );
+        }
+        let mut got = vec![0u8; 4 + big.len()];
+        use std::io::Read as _;
+        (&client).read_exact(&mut got).unwrap();
+        assert_eq!(&got[..4], b"head");
+        assert_eq!(&got[4..], &big[..]);
+    }
+
+    #[test]
+    fn large_reads_bypass_the_buffer() {
+        let (client, server) = pair();
+        use std::io::Write as _;
+        let payload = vec![3u8; READ_BUF * 2];
+        let sender = {
+            let payload = payload.clone();
+            std::thread::spawn(move || (&client).write_all(&payload).unwrap())
+        };
+        let mut bufs = ConnBuffers::new();
+        let (read_buf, _) = bufs.split();
+        let mut reader = ConnReader::new(&server, read_buf);
+        let mut got = vec![0u8; payload.len()];
+        reader.read_exact(&mut got).unwrap();
+        assert_eq!(got, payload);
+        sender.join().unwrap();
+    }
+}

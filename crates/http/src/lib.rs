@@ -34,6 +34,7 @@
 //! ```
 
 pub mod client;
+mod conn;
 pub mod message;
 pub mod router;
 pub mod server;
@@ -44,9 +45,10 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use message::{
-    BodyStream, Headers, Method, Request, Response, StatusCode, IDEMPOTENCY_KEY_HEADER,
+    BodyStream, Headers, Method, Request, Response, StatusCode, StreamControl,
+    IDEMPOTENCY_KEY_HEADER,
 };
 pub use router::{PathParams, Router};
-pub use server::Server;
+pub use server::{Server, ServerConfig};
 pub use transport::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use url::{decode_query, encode_query, percent_decode, percent_encode, Url, UrlError};

@@ -109,6 +109,12 @@ impl StatusCode {
     pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
     /// `409 Conflict`
     pub const CONFLICT: StatusCode = StatusCode(409);
+    /// `408 Request Timeout`
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
+    /// `413 Payload Too Large`
+    pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    /// `431 Request Header Fields Too Large`
+    pub const HEADER_FIELDS_TOO_LARGE: StatusCode = StatusCode(431);
     /// `500 Internal Server Error`
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
     /// `503 Service Unavailable`
@@ -155,6 +161,8 @@ impl StatusCode {
             411 => "Length Required",
             413 => "Payload Too Large",
             415 => "Unsupported Media Type",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             501 => "Not Implemented",
             503 => "Service Unavailable",
@@ -340,23 +348,55 @@ impl Request {
     }
 }
 
+/// Cooperative stop signal handed to streaming response bodies.
+///
+/// The server sets it when it begins shutting down; long-lived streams
+/// (Server-Sent Events) poll it between writes and return promptly instead
+/// of holding their streamer thread until the next heartbeat.
+#[derive(Clone, Debug, Default)]
+pub struct StreamControl {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl StreamControl {
+    /// A fresh, un-signalled control (what tests and standalone
+    /// [`BodyStream::run`] callers pass).
+    pub fn new() -> Self {
+        StreamControl::default()
+    }
+
+    /// Signals every stream holding a clone of this control to finish.
+    pub fn stop(&self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether the server asked the stream to finish.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
 /// A streaming response body: a callback that takes over the connection's
 /// writer after the header section is sent (Server-Sent Events).
 ///
 /// The connection closes when the callback returns, so `Content-Length` is
 /// never needed; a write error means the client went away and the callback
-/// should simply return.
+/// should simply return. The [`StreamControl`] is the server's shutdown
+/// signal — well-behaved streams poll it between blocking waits.
 #[derive(Clone)]
-pub struct BodyStream(Arc<dyn Fn(&mut dyn io::Write) -> io::Result<()> + Send + Sync>);
+pub struct BodyStream(
+    Arc<dyn Fn(&mut dyn io::Write, &StreamControl) -> io::Result<()> + Send + Sync>,
+);
 
 impl BodyStream {
-    /// Runs the stream over `writer` until it finishes or the peer is gone.
+    /// Runs the stream over `writer` until it finishes, the peer goes away,
+    /// or `control` is stopped.
     ///
     /// # Errors
     ///
     /// Propagates the first write error (usually a vanished client).
-    pub fn run(&self, writer: &mut dyn io::Write) -> io::Result<()> {
-        (self.0)(writer)
+    pub fn run(&self, writer: &mut dyn io::Write, control: &StreamControl) -> io::Result<()> {
+        (self.0)(writer, control)
     }
 }
 
@@ -392,12 +432,13 @@ impl Response {
     }
 
     /// A streaming response: after the status line and headers, the server
-    /// calls `f` with the connection writer and closes the connection when
-    /// it returns. Used for `text/event-stream` endpoints.
+    /// calls `f` with the connection writer and a [`StreamControl`] shutdown
+    /// signal, closing the connection when it returns. Used for
+    /// `text/event-stream` endpoints.
     pub fn streaming(
         status: impl Into<StatusCode>,
         content_type: &str,
-        f: impl Fn(&mut dyn io::Write) -> io::Result<()> + Send + Sync + 'static,
+        f: impl Fn(&mut dyn io::Write, &StreamControl) -> io::Result<()> + Send + Sync + 'static,
     ) -> Self {
         let mut r = Response::empty(status);
         r.headers.set("Content-Type", content_type);

@@ -1,31 +1,171 @@
-//! A blocking HTTP/1.1 server with a worker thread pool.
+//! A blocking HTTP/1.1 server with a worker thread pool and an elastic
+//! streamer set.
+//!
+//! The connection core separates three concerns the old edge conflated:
+//!
+//! * **Acceptor** — accepts sockets, sheds load past the connection cap
+//!   (`503` + `Retry-After`), and hands connections to the pool over a
+//!   bounded queue with an interruptible timed handoff (shutdown can never
+//!   deadlock behind a full queue).
+//! * **Worker pool** — a fixed set of `workers` threads running the
+//!   keep-alive request loop on reusable per-worker buffers
+//!   ([`crate::conn`]). Idle keep-alive connections are bounded by a short
+//!   *idle* timeout, in-flight reads by a longer *read* timeout, so a quiet
+//!   peer is reclaimed quickly while a slow upload still completes.
+//! * **Streamer set** — streaming responses (Server-Sent Events) detach to
+//!   an elastic [`mathcloud_telemetry::workpool::WorkPool`] (the
+//!   fire-and-forget sibling of the exact kernels' persistent pool), so a
+//!   long-lived `GET /events` subscriber returns its pool worker before the
+//!   stream starts. Eight subscribers no longer deadlock an eight-worker
+//!   container.
+//!
+//! Connection accounting is exposed as `mc_http_connections{state=...}`
+//! (queued / active / streaming) and `mc_http_conn_rejected_total`.
 
-use std::io::{BufReader, BufWriter};
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use mathcloud_telemetry::workpool::WorkPool;
 use mathcloud_telemetry::{metrics, trace};
 
-use crate::message::Response;
+use crate::conn::{ConnBuffers, ConnReader, ConnWriter};
+use crate::message::{Response, StreamControl};
 use crate::router::Router;
 use crate::wire;
 
-/// Default number of connection-handling worker threads, mirroring the
+/// Default number of request-handling worker threads, mirroring the
 /// container's "configurable pool of handler threads" (§3.1 of the paper).
 const DEFAULT_WORKERS: usize = 8;
 
-/// Per-connection socket read timeout; bounds how long an idle keep-alive
-/// connection pins a worker.
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// How the server edge is sized and bounded.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_http::ServerConfig;
+/// use std::time::Duration;
+///
+/// let cfg = ServerConfig {
+///     workers: 4,
+///     idle_timeout: Duration::from_secs(2),
+///     ..ServerConfig::default()
+/// };
+/// assert_eq!(cfg.workers, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Request-handling pool threads.
+    pub workers: usize,
+    /// How long an idle keep-alive connection may wait for its next request
+    /// before being reclaimed. Short: an idle peer costs a worker for at
+    /// most this long.
+    pub idle_timeout: Duration,
+    /// Socket read timeout once a request has started arriving (slow
+    /// uploads get this much per read).
+    pub read_timeout: Duration,
+    /// Total connections (queued + active + streaming) before the acceptor
+    /// sheds new ones with `503` + `Retry-After`.
+    pub max_connections: usize,
+    /// Header-section cap; larger requests get `431`.
+    pub max_header_bytes: usize,
+    /// Body cap; larger requests get `413`.
+    pub max_body_bytes: usize,
+    /// How long [`Drop`] waits for workers and streamers to finish before
+    /// detaching them.
+    pub drain_grace: Duration,
+    /// Seconds advertised in the `Retry-After` header of shed responses.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: DEFAULT_WORKERS,
+            idle_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(30),
+            max_connections: 1024,
+            max_header_bytes: 64 * 1024,
+            max_body_bytes: 1 << 30,
+            drain_grace: Duration::from_secs(3),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Shared state of one server's edge.
+struct Edge {
+    router: Router,
+    config: ServerConfig,
+    limits: wire::Limits,
+    /// Connections currently tracked (queued + active + streaming).
+    total: AtomicUsize,
+    /// Set by [`Server::shutdown`]: stop accepting.
+    stop: AtomicBool,
+    /// Set by [`Drop`]: force `Connection: close` and cut idle waits short.
+    draining: AtomicBool,
+    /// Shutdown signal handed to every streaming response body.
+    stream_control: StreamControl,
+    /// The elastic streamer set for detached streaming responses.
+    streamers: WorkPool,
+}
+
+impl Edge {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+fn conn_gauge(state: &'static str) -> metrics::Gauge {
+    metrics::global().gauge("mc_http_connections", &[("state", state)])
+}
+
+/// One tracked connection: moves from the acceptor through the pool and
+/// possibly to the streamer set; its gauges and the total count are
+/// released on drop wherever it ends up.
+struct Conn {
+    stream: TcpStream,
+    edge: Arc<Edge>,
+    state: &'static str,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, edge: &Arc<Edge>) -> Conn {
+        edge.total.fetch_add(1, Ordering::SeqCst);
+        conn_gauge("queued").add(1);
+        Conn {
+            stream,
+            edge: Arc::clone(edge),
+            state: "queued",
+        }
+    }
+
+    fn transition(&mut self, to: &'static str) {
+        conn_gauge(self.state).sub(1);
+        conn_gauge(to).add(1);
+        self.state = to;
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        conn_gauge(self.state).sub(1);
+        self.edge.total.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A running HTTP server.
 ///
 /// Accepts connections on a background thread and handles each on a worker
-/// from a fixed pool. Dropping the server (or calling [`Server::shutdown`])
-/// stops the accept loop.
+/// from a fixed pool; streaming responses detach to an elastic streamer
+/// set. [`Server::shutdown`] stops the accept loop; dropping the server
+/// additionally drains queued connections (every queued request is still
+/// answered), winds down live streams, and joins workers under
+/// [`ServerConfig::drain_grace`].
 ///
 /// # Examples
 ///
@@ -44,19 +184,19 @@ const READ_TIMEOUT: Duration = Duration::from_secs(30);
 /// ```
 pub struct Server {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    edge: Arc<Edge>,
     accept_thread: Option<JoinHandle<()>>,
-    active: Arc<AtomicUsize>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds and starts serving with the default worker count.
+    /// Binds and starts serving with the default configuration.
     ///
     /// # Errors
     ///
     /// Propagates socket errors (bind failure, exhausted ports).
     pub fn bind<A: ToSocketAddrs>(addr: A, router: Router) -> std::io::Result<Server> {
-        Server::bind_with_workers(addr, router, DEFAULT_WORKERS)
+        Server::bind_with_config(addr, router, ServerConfig::default())
     }
 
     /// Binds and starts serving with an explicit worker-pool size.
@@ -73,58 +213,83 @@ impl Server {
         router: Router,
         workers: usize,
     ) -> std::io::Result<Server> {
-        assert!(workers > 0, "server needs at least one worker");
+        Server::bind_with_config(
+            addr,
+            router,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Binds and starts serving under an explicit [`ServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero.
+    pub fn bind_with_config<A: ToSocketAddrs>(
+        addr: A,
+        router: Router,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        assert!(config.workers > 0, "server needs at least one worker");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let active = Arc::new(AtomicUsize::new(0));
-        let router = Arc::new(router);
+        let limits = wire::Limits {
+            max_header_bytes: config.max_header_bytes,
+            max_body_bytes: config.max_body_bytes,
+        };
+        // Streamers are bounded by the connection cap: every stream holds a
+        // tracked connection anyway, so the cap can never be exceeded.
+        let streamers = WorkPool::new(
+            "mc-http-streamer",
+            config.max_connections.max(1),
+            Duration::from_secs(2),
+        )
+        .with_drain_grace(config.drain_grace);
+        let edge = Arc::new(Edge {
+            router,
+            limits,
+            total: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            stream_control: StreamControl::new(),
+            streamers,
+            config,
+        });
 
         // Bounded hand-off queue from the acceptor to the workers.
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 4);
+        let queue_depth = edge.config.workers * 4;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Conn>(queue_depth);
         let rx = Arc::new(mathcloud_telemetry::sync::Mutex::new(rx));
 
-        for _ in 0..workers {
-            let rx = Arc::clone(&rx);
-            let router = Arc::clone(&router);
-            let active = Arc::clone(&active);
-            std::thread::spawn(move || loop {
-                let stream = {
-                    let guard = rx.lock();
-                    guard.recv()
-                };
-                match stream {
-                    Ok(stream) => {
-                        active.fetch_add(1, Ordering::SeqCst);
-                        let _ = handle_connection(stream, &router);
-                        active.fetch_sub(1, Ordering::SeqCst);
-                    }
-                    Err(_) => return, // acceptor gone: shut down
-                }
-            });
-        }
+        let workers = (0..edge.config.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let edge = Arc::clone(&edge);
+                std::thread::Builder::new()
+                    .name(format!("mc-http-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &edge))
+                    .expect("spawn http worker")
+            })
+            .collect();
 
-        let stop_flag = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                if let Ok(stream) = stream {
-                    // If all workers are busy the bounded queue applies
-                    // back-pressure here, which is the desired behaviour.
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-            }
-        });
+        let accept_edge = Arc::clone(&edge);
+        let accept_thread = std::thread::Builder::new()
+            .name("mc-http-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &tx, &accept_edge))
+            .expect("spawn http acceptor");
 
         Ok(Server {
             addr,
-            stop,
+            edge,
             accept_thread: Some(accept_thread),
-            active,
+            workers,
         })
     }
 
@@ -138,30 +303,58 @@ impl Server {
         format!("http://{}", self.addr)
     }
 
-    /// Number of connections currently being handled.
+    /// Connections currently tracked (queued, being handled, or streaming).
     pub fn active_connections(&self) -> usize {
-        self.active.load(Ordering::SeqCst)
+        self.edge.total.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting connections and unblocks the acceptor.
+    /// Live streamer threads currently carrying detached streams.
+    pub fn live_streamers(&self) -> usize {
+        self.edge.streamers.live_workers()
+    }
+
+    /// Stops accepting connections and unblocks the acceptor — even when it
+    /// is parked on a full handoff queue.
     ///
     /// In-flight requests finish on their workers; this only tears down the
-    /// accept loop.
+    /// accept loop. Dropping the server performs the full graceful drain.
     pub fn shutdown(&self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
+        if self.edge.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Kick the blocking accept() with a no-op connection.
+        // Kick the blocking accept() with a no-op connection; the timed
+        // handoff loop re-checks the stop flag on its own.
         let _ = TcpStream::connect(self.addr);
     }
 }
 
 impl Drop for Server {
+    /// Graceful drain: stop accepting, answer every queued connection, wind
+    /// down live streams, and join workers under the drain grace. Workers
+    /// still mid-request past the deadline are detached (they exit after
+    /// their current exchange).
     fn drop(&mut self) {
         self.shutdown();
+        self.edge.draining.store(true, Ordering::SeqCst);
+        self.edge.stream_control.stop();
+        // Joining the acceptor drops the queue sender; workers then drain
+        // the remaining queued connections (each still gets its response)
+        // and exit on the disconnect.
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        let deadline = Instant::now() + self.edge.config.drain_grace;
+        for handle in self.workers.drain(..) {
+            while !handle.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+            // else: detached — it exits after its in-flight exchange.
+        }
+        // The streamer pool joins its threads in its own Drop (bounded by
+        // the same grace) when the last Edge reference goes away.
     }
 }
 
@@ -171,21 +364,190 @@ impl std::fmt::Debug for Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, router: &Router) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let mut req = match wire::read_request(&mut reader) {
-            Ok(Some(req)) => req,
-            Ok(None) => return Ok(()), // clean close
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                let resp = Response::error(400, &e.to_string());
-                let _ = wire::write_response(&mut writer, &resp);
-                return Ok(());
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<Conn>, edge: &Arc<Edge>) {
+    for stream in listener.incoming() {
+        if edge.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if edge.total.load(Ordering::SeqCst) >= edge.config.max_connections {
+            shed(&stream, edge);
+            continue;
+        }
+        let mut conn = Conn::new(stream, edge);
+        // Timed, interruptible handoff: back-pressure is still applied when
+        // all workers are busy, but shutdown always unblocks the acceptor —
+        // a full queue can no longer wedge `Server::shutdown`.
+        loop {
+            match tx.try_send(conn) {
+                Ok(()) => break,
+                Err(TrySendError::Full(returned)) => {
+                    if edge.stop.load(Ordering::SeqCst) {
+                        shed(&returned.stream, edge);
+                        break;
+                    }
+                    conn = returned;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(TrySendError::Disconnected(_)) => return,
             }
-            Err(_) => return Ok(()), // timeout / reset: drop silently
+        }
+    }
+}
+
+/// Over-capacity (or shutting-down) shed: a best-effort `503` with
+/// `Retry-After`, then close.
+fn shed(stream: &TcpStream, edge: &Edge) {
+    metrics::global()
+        .counter("mc_http_conn_rejected_total", &[])
+        .inc();
+    trace::info(
+        "http.conn.shed",
+        None,
+        &[("retry_after_s", &edge.config.retry_after_secs.to_string())],
+    );
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let resp = Response::error(503, "server at connection capacity")
+        .with_header("Retry-After", &edge.config.retry_after_secs.to_string())
+        .with_header("Connection", "close");
+    let mut w = std::io::BufWriter::new(stream);
+    let _ = wire::write_response(&mut w, &resp);
+    let _ = w.flush();
+}
+
+fn worker_loop(rx: &mathcloud_telemetry::sync::Mutex<Receiver<Conn>>, edge: &Arc<Edge>) {
+    let mut bufs = ConnBuffers::new();
+    loop {
+        let conn = {
+            let guard = rx.lock();
+            guard.recv()
+        };
+        match conn {
+            Ok(conn) => serve_connection(conn, edge, &mut bufs),
+            // Acceptor gone and queue fully drained: shut down.
+            Err(_) => return,
+        }
+    }
+}
+
+/// What one connection's request loop decided.
+enum Outcome {
+    /// Close the socket (clean end, error, timeout, or `Connection: close`).
+    Close,
+    /// A streaming response was dispatched: hand the connection to the
+    /// streamer set.
+    Detach(crate::message::BodyStream),
+}
+
+fn serve_connection(mut conn: Conn, edge: &Arc<Edge>, bufs: &mut ConnBuffers) {
+    conn.transition("active");
+    let _ = conn.stream.set_nodelay(true);
+    let _ = conn
+        .stream
+        .set_write_timeout(Some(edge.config.read_timeout));
+    let outcome = {
+        let (read_buf, write_buf) = bufs.split();
+        let mut reader = ConnReader::new(&conn.stream, read_buf);
+        let mut writer = ConnWriter::new(&conn.stream, write_buf);
+        request_loop(&conn.stream, &mut reader, &mut writer, edge)
+    };
+    match outcome {
+        Outcome::Close => {}
+        Outcome::Detach(body) => {
+            conn.transition("streaming");
+            let control = edge.stream_control.clone();
+            // Moving `conn` keeps its accounting alive for the stream's
+            // lifetime; if the pool refused (shutdown), dropping it closes
+            // the socket and releases the slot.
+            if !edge.streamers.spawn(move || {
+                let mut w = std::io::BufWriter::new(&conn.stream);
+                let _ = body.run(&mut w, &control);
+                let _ = w.flush();
+            }) {
+                trace::info("http.stream.rejected", None, &[]);
+            }
+        }
+    }
+}
+
+/// Waits for the first byte of the next request under the idle timeout,
+/// sliced so draining servers reclaim idle connections promptly.
+///
+/// Returns `Ok(true)` when request bytes are available, `Ok(false)` on a
+/// clean close / idle expiry / drain.
+fn await_next_request(
+    stream: &TcpStream,
+    reader: &mut ConnReader<'_>,
+    edge: &Edge,
+) -> std::io::Result<bool> {
+    use std::io::BufRead as _;
+    if reader.buffered() > 0 {
+        return Ok(true); // pipelined request already in the buffer
+    }
+    let idle = edge.config.idle_timeout;
+    let slice = idle.min(Duration::from_millis(250));
+    let started = Instant::now();
+    loop {
+        stream.set_read_timeout(Some(slice))?;
+        match reader.fill_buf() {
+            Ok([]) => return Ok(false), // clean EOF
+            Ok(_) => return Ok(true),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // The drain check sits *after* the read attempt so a queued
+                // connection whose request is already in the socket is
+                // still answered during shutdown; only truly idle
+                // keep-alives are cut short.
+                if edge.draining() || started.elapsed() >= idle {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn request_loop(
+    stream: &TcpStream,
+    reader: &mut ConnReader<'_>,
+    writer: &mut ConnWriter<'_>,
+    edge: &Arc<Edge>,
+) -> Outcome {
+    loop {
+        match await_next_request(stream, reader, edge) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return Outcome::Close,
+        }
+        if stream
+            .set_read_timeout(Some(edge.config.read_timeout))
+            .is_err()
+        {
+            return Outcome::Close;
+        }
+        let mut req = match wire::read_request_limited(reader, &edge.limits) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Outcome::Close, // clean close
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Protocol violation or cap breach: 400 / 413 / 431.
+                let status = wire::violation_status(&e);
+                let resp =
+                    Response::error(status, &e.to_string()).with_header("Connection", "close");
+                let _ = wire::write_response(writer, &resp);
+                return Outcome::Close;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Mid-request stall: best-effort 408, then close.
+                let resp = Response::error(408, "request read timed out")
+                    .with_header("Connection", "close");
+                let _ = wire::write_response(writer, &resp);
+                return Outcome::Close;
+            }
+            Err(_) => return Outcome::Close, // reset: drop silently
         };
         // The server edge is where request ids enter the platform: honor a
         // well-formed client-supplied X-MC-Request-Id, otherwise mint one.
@@ -196,10 +558,10 @@ fn handle_connection(stream: TcpStream, router: &Router) -> std::io::Result<()> 
         };
         req.headers.set(trace::REQUEST_ID_HEADER, &request_id);
         let method = req.method.as_str().to_string();
-        let keep = wire::keep_alive(&req);
+        let keep = wire::keep_alive(&req) && !edge.draining();
         let request_bytes = req.body.len();
         let started = Instant::now();
-        let (mut resp, route) = router.dispatch_labeled(&mut req);
+        let (mut resp, route) = edge.router.dispatch_labeled(&mut req);
         let labels: &[(&str, &str)] = &[("route", route), ("method", &method)];
         metrics::global()
             .histogram("mc_http_request_seconds", labels)
@@ -226,23 +588,25 @@ fn handle_connection(stream: TcpStream, router: &Router) -> std::io::Result<()> 
         if resp.headers.get(trace::REQUEST_ID_HEADER).is_none() {
             resp.headers.set(trace::REQUEST_ID_HEADER, &request_id);
         }
-        if let Some(stream) = resp.stream.take() {
+        if let Some(body) = resp.stream.take() {
             // Streaming response (Server-Sent Events): write the headers
-            // without a Content-Length, hand the connection to the stream
-            // callback, and close when it returns. The connection never
-            // re-enters the keep-alive loop.
+            // without a Content-Length and detach the connection to the
+            // streamer set — this worker goes straight back to the pool.
             resp.headers.set("Connection", "close");
             resp.headers.set("Cache-Control", "no-store");
-            wire::write_stream_head(&mut writer, &resp)?;
-            let _ = stream.run(&mut writer);
-            return Ok(());
+            if wire::write_stream_head(writer, &resp).is_err() {
+                return Outcome::Close;
+            }
+            return Outcome::Detach(body);
         }
         if !keep {
             resp.headers.set("Connection", "close");
         }
-        wire::write_response(&mut writer, &resp)?;
+        if wire::write_response(writer, &resp).is_err() {
+            return Outcome::Close;
+        }
         if !keep {
-            return Ok(());
+            return Outcome::Close;
         }
     }
 }
@@ -326,6 +690,20 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_are_all_answered() {
+        use std::io::{Read, Write};
+        let server = demo_server();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        // Two requests in one write; both responses must come back.
+        s.write_all(b"GET /ping HTTP/1.1\r\nHost: h\r\n\r\nGET /ping HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut buf = String::new();
+        let _ = s.read_to_string(&mut buf);
+        assert_eq!(buf.matches("HTTP/1.1 200").count(), 2, "{buf}");
+        assert_eq!(buf.matches("pong").count(), 2, "{buf}");
+    }
+
+    #[test]
     fn shutdown_is_idempotent() {
         let server = demo_server();
         server.shutdown();
@@ -341,5 +719,35 @@ mod tests {
         let mut buf = String::new();
         let _ = s.read_to_string(&mut buf);
         assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+
+    #[test]
+    fn idle_keep_alive_connection_is_reclaimed() {
+        use std::io::Read;
+        let mut router = Router::new();
+        router.get("/ping", |_r, _p: &PathParams| Response::text(200, "pong"));
+        let server = Server::bind_with_config(
+            "127.0.0.1:0",
+            router,
+            ServerConfig {
+                workers: 1,
+                idle_timeout: Duration::from_millis(100),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        // Never send a request: the server must close the socket after the
+        // idle timeout instead of pinning the worker for a full 30 s.
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let started = Instant::now();
+        let mut buf = [0u8; 1];
+        let n = s.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server should close the idle connection");
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "idle reclaim took {:?}",
+            started.elapsed()
+        );
     }
 }

@@ -72,7 +72,7 @@ pub fn events_response(req: &Request, bus: &'static Bus) -> Response {
             Duration::from_millis(ms.clamp(10, 600_000))
         });
 
-    Response::streaming(200, "text/event-stream", move |w| {
+    Response::streaming(200, "text/event-stream", move |w, ctl| {
         // Replay and live attachment happen atomically under the bus lock:
         // no event published in between can be missed or duplicated.
         let (backlog, sub) =
@@ -80,14 +80,29 @@ pub fn events_response(req: &Request, bus: &'static Bus) -> Response {
         for ev in &backlog {
             write_event(w, ev)?;
         }
+        // Waits are sliced so a stopping server is observed within ~250 ms
+        // even with a long heartbeat interval.
+        let slice = heartbeat.min(Duration::from_millis(250));
+        let mut quiet = Duration::ZERO;
         loop {
-            match sub.recv_timeout(heartbeat) {
-                Some(ev) => write_event(w, &ev)?,
-                // Comment heartbeat: ignored by clients, but the write fails
-                // once the peer is gone, ending the stream.
+            if ctl.is_stopped() {
+                return Ok(());
+            }
+            match sub.recv_timeout(slice) {
+                Some(ev) => {
+                    write_event(w, &ev)?;
+                    quiet = Duration::ZERO;
+                }
                 None => {
-                    w.write_all(b": hb\n\n")?;
-                    w.flush()?;
+                    quiet += slice;
+                    if quiet >= heartbeat {
+                        // Comment heartbeat: ignored by clients, but the
+                        // write fails once the peer is gone, ending the
+                        // stream and freeing the streamer thread.
+                        w.write_all(b": hb\n\n")?;
+                        w.flush()?;
+                        quiet = Duration::ZERO;
+                    }
                 }
             }
         }

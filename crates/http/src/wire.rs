@@ -11,7 +11,63 @@ const MAX_HEADER_BYTES: usize = 64 * 1024;
 /// payloads of hundreds of megabytes, so the limit is generous.
 const MAX_BODY_BYTES: usize = 1 << 30;
 
-/// Reads one request from a buffered stream.
+/// Per-message size caps enforced while parsing a request.
+///
+/// The server passes its configured caps; violations surface as typed
+/// errors that [`violation_status`] maps to `431` (header section) or `413`
+/// (body) instead of a generic `400`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Cap on the total header section (request line + header lines).
+    pub max_header_bytes: usize,
+    /// Cap on the declared or accumulated body size.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_header_bytes: MAX_HEADER_BYTES,
+            max_body_bytes: MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// A size-cap violation, carried inside the `io::Error` so the server can
+/// answer with the right status instead of a blanket `400`.
+#[derive(Debug)]
+struct Violation {
+    status: u16,
+    msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "http protocol error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+fn violation(status: u16, msg: impl Into<String>) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        Violation {
+            status,
+            msg: msg.into(),
+        },
+    )
+}
+
+/// The response status a parse error deserves: `431` for header-cap
+/// violations, `413` for body-cap violations, `400` for everything else.
+pub fn violation_status(e: &io::Error) -> u16 {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<Violation>())
+        .map_or(400, |v| v.status)
+}
+
+/// Reads one request from a buffered stream with default [`Limits`].
 ///
 /// Returns `Ok(None)` on a clean EOF before any bytes (client closed a
 /// keep-alive connection).
@@ -19,9 +75,21 @@ const MAX_BODY_BYTES: usize = 1 << 30;
 /// # Errors
 ///
 /// I/O errors and protocol violations are both reported as `io::Error`; the
-/// caller turns violations into `400` responses where possible.
+/// caller turns violations into `400`/`413`/`431` responses where possible.
 pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
-    let request_line = match read_line(reader, true)? {
+    read_request_limited(reader, &Limits::default())
+}
+
+/// [`read_request`] under explicit size caps.
+///
+/// # Errors
+///
+/// See [`read_request`]; cap violations answer to [`violation_status`].
+pub fn read_request_limited<R: BufRead>(
+    reader: &mut R,
+    limits: &Limits,
+) -> io::Result<Option<Request>> {
+    let request_line = match read_line_capped(reader, true, limits.max_header_bytes)? {
         Some(line) => line,
         None => return Ok(None),
     };
@@ -39,8 +107,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     if !version.starts_with("HTTP/1.") {
         return Err(protocol_error("unsupported http version"));
     }
-    let headers = read_headers(reader)?;
-    let body = read_body(reader, &headers)?;
+    let headers = read_headers(reader, limits)?;
+    let body = read_body(reader, &headers, limits)?;
     Ok(Some(Request {
         method: Method::from_token(method),
         target: target.to_string(),
@@ -65,8 +133,9 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
         .next()
         .and_then(|c| c.parse().ok())
         .ok_or_else(|| protocol_error("bad status code"))?;
-    let headers = read_headers(reader)?;
-    let body = read_body(reader, &headers)?;
+    let limits = Limits::default();
+    let headers = read_headers(reader, &limits)?;
+    let body = read_body(reader, &headers, &limits)?;
     Ok(Response {
         status: StatusCode::from(code),
         headers,
@@ -144,8 +213,16 @@ fn protocol_error(msg: &str) -> io::Error {
 /// Reads a CRLF- (or LF-) terminated line. `allow_eof` turns clean EOF at a
 /// line start into `None`.
 pub(crate) fn read_line<R: BufRead>(reader: &mut R, allow_eof: bool) -> io::Result<Option<String>> {
+    read_line_capped(reader, allow_eof, MAX_HEADER_BYTES)
+}
+
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    allow_eof: bool,
+    cap: usize,
+) -> io::Result<Option<String>> {
     let mut line = Vec::new();
-    let mut limited = reader.take(MAX_HEADER_BYTES as u64);
+    let mut limited = reader.take(cap.saturating_add(1) as u64);
     let n = limited.read_until(b'\n', &mut line)?;
     if n == 0 {
         return if allow_eof {
@@ -159,25 +236,29 @@ pub(crate) fn read_line<R: BufRead>(reader: &mut R, allow_eof: bool) -> io::Resu
         if line.last() == Some(&b'\r') {
             line.pop();
         }
-    } else if line.len() >= MAX_HEADER_BYTES {
-        return Err(protocol_error("header line too long"));
+        if line.len() > cap {
+            return Err(violation(431, "header line too long"));
+        }
+    } else if line.len() > cap {
+        return Err(violation(431, "header line too long"));
     }
     String::from_utf8(line)
         .map(Some)
         .map_err(|_| protocol_error("non-utf8 header data"))
 }
 
-fn read_headers<R: BufRead>(reader: &mut R) -> io::Result<Headers> {
+fn read_headers<R: BufRead>(reader: &mut R, limits: &Limits) -> io::Result<Headers> {
     let mut headers = Headers::new();
     let mut total = 0usize;
     loop {
-        let line = read_line(reader, false)?.expect("read_line(false) never yields None");
+        let line = read_line_capped(reader, false, limits.max_header_bytes)?
+            .expect("read_line(false) never yields None");
         if line.is_empty() {
             return Ok(headers);
         }
         total += line.len();
-        if total > MAX_HEADER_BYTES {
-            return Err(protocol_error("header section too large"));
+        if total > limits.max_header_bytes {
+            return Err(violation(431, "header section too large"));
         }
         let (name, value) = line
             .split_once(':')
@@ -186,12 +267,16 @@ fn read_headers<R: BufRead>(reader: &mut R) -> io::Result<Headers> {
     }
 }
 
-fn read_body<R: BufRead>(reader: &mut R, headers: &Headers) -> io::Result<Vec<u8>> {
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &Headers,
+    limits: &Limits,
+) -> io::Result<Vec<u8>> {
     if headers
         .get("transfer-encoding")
         .is_some_and(|te| te.to_ascii_lowercase().contains("chunked"))
     {
-        return read_chunked_body(reader);
+        return read_chunked_body(reader, limits);
     }
     let len: usize = match headers.get("content-length") {
         Some(v) => v
@@ -200,23 +285,23 @@ fn read_body<R: BufRead>(reader: &mut R, headers: &Headers) -> io::Result<Vec<u8
             .map_err(|_| protocol_error("invalid content-length"))?,
         None => 0,
     };
-    if len > MAX_BODY_BYTES {
-        return Err(protocol_error("body exceeds size limit"));
+    if len > limits.max_body_bytes {
+        return Err(violation(413, "body exceeds size limit"));
     }
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
     Ok(body)
 }
 
-fn read_chunked_body<R: BufRead>(reader: &mut R) -> io::Result<Vec<u8>> {
+fn read_chunked_body<R: BufRead>(reader: &mut R, limits: &Limits) -> io::Result<Vec<u8>> {
     let mut body = Vec::new();
     loop {
         let size_line = read_line(reader, false)?.expect("read_line(false) never yields None");
         let size_token = size_line.split(';').next().unwrap_or("").trim();
         let size = usize::from_str_radix(size_token, 16)
             .map_err(|_| protocol_error("invalid chunk size"))?;
-        if body.len() + size > MAX_BODY_BYTES {
-            return Err(protocol_error("chunked body exceeds size limit"));
+        if body.len() + size > limits.max_body_bytes {
+            return Err(violation(413, "chunked body exceeds size limit"));
         }
         if size == 0 {
             // Trailer section: read until the blank line.
@@ -361,5 +446,113 @@ mod tests {
         let raw = b"GET / HTTP/1.1\nHost: h\n\n";
         let req = read_request(&mut reader(raw)).unwrap().unwrap();
         assert_eq!(req.headers.get("host"), Some("h"));
+    }
+
+    fn status_of(e: &io::Error) -> u16 {
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+        violation_status(e)
+    }
+
+    /// Builds a request whose counted header bytes (`Host: h` plus the pad
+    /// line) total exactly `cap + excess`.
+    fn padded_headers(cap: usize, excess: isize) -> Vec<u8> {
+        let fixed = "Host: h".len() + "X-Pad: ".len();
+        let pad = (cap as isize + excess - fixed as isize) as usize;
+        format!(
+            "GET / HTTP/1.1\r\nHost: h\r\nX-Pad: {}\r\n\r\n",
+            "p".repeat(pad)
+        )
+        .into_bytes()
+    }
+
+    #[test]
+    fn header_section_at_the_cap_passes() {
+        let limits = Limits {
+            max_header_bytes: 256,
+            max_body_bytes: 1024,
+        };
+        let raw = padded_headers(limits.max_header_bytes, 0);
+        let req = read_request_limited(&mut reader(&raw), &limits)
+            .unwrap()
+            .unwrap();
+        assert!(req.headers.get("x-pad").is_some());
+    }
+
+    #[test]
+    fn one_byte_past_the_header_cap_is_431() {
+        let limits = Limits {
+            max_header_bytes: 256,
+            max_body_bytes: 1024,
+        };
+        let raw = padded_headers(limits.max_header_bytes, 1);
+        let err = read_request_limited(&mut reader(&raw), &limits).unwrap_err();
+        assert_eq!(status_of(&err), 431);
+    }
+
+    #[test]
+    fn single_oversized_header_line_is_431() {
+        let limits = Limits {
+            max_header_bytes: 128,
+            max_body_bytes: 1024,
+        };
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(512));
+        let err = read_request_limited(&mut reader(raw.as_bytes()), &limits).unwrap_err();
+        assert_eq!(status_of(&err), 431);
+    }
+
+    #[test]
+    fn body_at_the_cap_passes_and_one_past_is_413() {
+        let limits = Limits {
+            max_header_bytes: 1024,
+            max_body_bytes: 64,
+        };
+        let body = "b".repeat(limits.max_body_bytes);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = read_request_limited(&mut reader(raw.as_bytes()), &limits)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body.len(), limits.max_body_bytes);
+
+        let body = "b".repeat(limits.max_body_bytes + 1);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let err = read_request_limited(&mut reader(raw.as_bytes()), &limits).unwrap_err();
+        assert_eq!(status_of(&err), 413);
+    }
+
+    #[test]
+    fn huge_content_length_is_rejected_before_reading_the_body() {
+        let limits = Limits {
+            max_header_bytes: 1024,
+            max_body_bytes: 64,
+        };
+        // The declared length alone trips the cap: no body bytes follow.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        let err = read_request_limited(&mut reader(raw), &limits).unwrap_err();
+        assert_eq!(status_of(&err), 413);
+    }
+
+    #[test]
+    fn oversized_chunked_body_is_413() {
+        let limits = Limits {
+            max_header_bytes: 1024,
+            max_body_bytes: 8,
+        };
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nabcdef\r\n6\r\nghijkl\r\n0\r\n\r\n";
+        let err = read_request_limited(&mut reader(raw), &limits).unwrap_err();
+        assert_eq!(status_of(&err), 413);
+    }
+
+    #[test]
+    fn malformed_requests_still_map_to_400() {
+        let err = read_request(&mut reader(b"NOT A REQUEST\r\n\r\n")).unwrap_err();
+        assert_eq!(status_of(&err), 400);
     }
 }

@@ -39,6 +39,7 @@ pub mod metrics;
 pub mod rng;
 pub mod sync;
 pub mod trace;
+pub mod workpool;
 
 pub use autoscale::{
     AutoscaleConfig, AutoscaleHandle, PoolController, PoolStatus, ScalableTarget, ScaleDirection,

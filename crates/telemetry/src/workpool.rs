@@ -1,0 +1,334 @@
+//! An elastic, lazily-spawned pool for detached tasks.
+//!
+//! This is the fire-and-forget sibling of the exact kernels' persistent
+//! region pool (`crates/exact/src/parallel.rs`): the same worker lifecycle —
+//! workers spawn on demand, park on a condvar between tasks, retire past a
+//! watermark, and are joined when the pool drops — but tasks are `'static`
+//! and detached instead of forming a barriered region. The HTTP server uses
+//! one of these as its *streamer set*: long-lived streaming responses
+//! (Server-Sent Events) are handed off here so they stop pinning
+//! request-handling pool workers.
+//!
+//! Elasticity: a submitted task wakes an idle worker when one is parked,
+//! otherwise spawns a new worker (up to `max_workers`). Workers idle past
+//! `idle_ttl` retire, so a burst of long-lived streams does not pin threads
+//! forever once the streams end. Dropping the pool signals shutdown and
+//! joins workers under a deadline; workers that are still mid-task when the
+//! deadline passes are detached (their tasks keep a strong handle on the
+//! shared state, so they finish and exit cleanly on their own).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    tasks: VecDeque<Task>,
+    /// Handles of workers; finished ones are reaped on the next spawn.
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Workers currently in their run loop.
+    live: usize,
+    /// Workers parked on the condvar waiting for a task.
+    idle: usize,
+    /// Retire watermark: workers above this count exit once the queue is
+    /// empty.
+    max_workers: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals queued work, shutdown and shrink to parked workers.
+    work: Condvar,
+    /// Signals `live` reaching zero to a dropping owner.
+    drained: Condvar,
+    name: String,
+    idle_ttl: Duration,
+}
+
+/// An elastic pool executing detached `'static` tasks on named worker
+/// threads.
+///
+/// # Examples
+///
+/// ```
+/// use mathcloud_telemetry::workpool::WorkPool;
+/// use std::sync::mpsc;
+///
+/// let pool = WorkPool::new("demo", 4, std::time::Duration::from_millis(50));
+/// let (tx, rx) = mpsc::channel();
+/// assert!(pool.spawn(move || tx.send(42).unwrap()));
+/// assert_eq!(rx.recv().unwrap(), 42);
+/// ```
+pub struct WorkPool {
+    shared: Arc<Shared>,
+    /// Total workers ever spawned — the spawn-amortization counter.
+    spawned: AtomicUsize,
+    /// How long `Drop` waits for in-flight tasks before detaching workers.
+    drain_grace: Duration,
+}
+
+impl WorkPool {
+    /// Creates an empty pool growing on demand up to `max_workers`; workers
+    /// idle past `idle_ttl` retire.
+    pub fn new(name: &str, max_workers: usize, idle_ttl: Duration) -> WorkPool {
+        WorkPool {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    tasks: VecDeque::new(),
+                    handles: Vec::new(),
+                    live: 0,
+                    idle: 0,
+                    max_workers,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                drained: Condvar::new(),
+                name: name.to_string(),
+                idle_ttl,
+            }),
+            spawned: AtomicUsize::new(0),
+            drain_grace: Duration::from_secs(1),
+        }
+    }
+
+    /// Sets how long [`Drop`] waits for in-flight tasks (builder style).
+    pub fn with_drain_grace(mut self, grace: Duration) -> WorkPool {
+        self.drain_grace = grace;
+        self
+    }
+
+    /// Queues `task`, waking an idle worker or spawning one when all are
+    /// busy and the watermark allows. Returns `false` (dropping the task)
+    /// after shutdown began.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) -> bool {
+        let mut s = self.shared.state.lock().expect("workpool poisoned");
+        if s.shutdown {
+            return false;
+        }
+        s.tasks.push_back(Box::new(task));
+        if s.idle == 0 && s.live < s.max_workers {
+            // Reap finished handles so churn does not accumulate them.
+            let mut finished = Vec::new();
+            let mut i = 0;
+            while i < s.handles.len() {
+                if s.handles[i].is_finished() {
+                    finished.push(s.handles.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            let shared = Arc::clone(&self.shared);
+            let id = self.spawned.fetch_add(1, Ordering::SeqCst);
+            let handle = std::thread::Builder::new()
+                .name(format!("{}-{id}", self.shared.name))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn workpool worker");
+            s.handles.push(handle);
+            s.live += 1;
+            drop(s);
+            for h in finished {
+                let _ = h.join();
+            }
+        } else {
+            drop(s);
+        }
+        self.shared.work.notify_one();
+        true
+    }
+
+    /// Workers currently alive (parked or mid-task).
+    pub fn live_workers(&self) -> usize {
+        self.shared.state.lock().expect("workpool poisoned").live
+    }
+
+    /// Tasks queued but not yet picked up.
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("workpool poisoned")
+            .tasks
+            .len()
+    }
+
+    /// Total worker threads ever spawned by this pool.
+    pub fn spawned_total(&self) -> usize {
+        self.spawned.load(Ordering::SeqCst)
+    }
+
+    /// Sets the retire watermark. Surplus workers exit once the queue is
+    /// empty; growth stays lazy.
+    pub fn resize(&self, max_workers: usize) {
+        let mut s = self.shared.state.lock().expect("workpool poisoned");
+        s.max_workers = max_workers;
+        drop(s);
+        self.shared.work.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut s = shared.state.lock().expect("workpool poisoned");
+            loop {
+                if s.shutdown || s.live > s.max_workers {
+                    s.live -= 1;
+                    if s.live == 0 {
+                        shared.drained.notify_all();
+                    }
+                    return;
+                }
+                if let Some(task) = s.tasks.pop_front() {
+                    break task;
+                }
+                s.idle += 1;
+                let (guard, timeout) = shared
+                    .work
+                    .wait_timeout(s, shared.idle_ttl)
+                    .expect("workpool poisoned");
+                s = guard;
+                s.idle -= 1;
+                // Idle-retire: nothing arrived for a full TTL and nothing is
+                // queued now — this worker is surplus capacity.
+                if timeout.timed_out() && s.tasks.is_empty() && !s.shutdown {
+                    s.live -= 1;
+                    if s.live == 0 {
+                        shared.drained.notify_all();
+                    }
+                    return;
+                }
+            }
+        };
+        task();
+    }
+}
+
+impl Drop for WorkPool {
+    /// Signals shutdown, drops queued-but-unstarted tasks, and joins workers
+    /// that finish within the drain grace; stragglers are detached and exit
+    /// on their own once their task returns.
+    fn drop(&mut self) {
+        let deadline = Instant::now() + self.drain_grace;
+        let handles = {
+            let mut s = self.shared.state.lock().expect("workpool poisoned");
+            s.shutdown = true;
+            s.tasks.clear();
+            self.shared.work.notify_all();
+            while s.live > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .drained
+                    .wait_timeout(s, deadline - now)
+                    .expect("workpool poisoned");
+                s = guard;
+            }
+            std::mem::take(&mut s.handles)
+        };
+        for handle in handles {
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+            // Unfinished workers are detached: they hold an Arc of the
+            // shared state and exit as soon as their current task returns.
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool")
+            .field("name", &self.shared.name)
+            .field("live", &self.live_workers())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn tasks_run_and_results_arrive() {
+        let pool = WorkPool::new("wp-test", 4, Duration::from_millis(100));
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16 {
+            let tx = tx.clone();
+            assert!(pool.spawn(move || tx.send(i).unwrap()));
+        }
+        let mut got: Vec<i32> = (0..16).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        assert!(pool.spawned_total() <= 4, "bounded by the watermark");
+    }
+
+    #[test]
+    fn grows_elastically_for_concurrent_long_tasks() {
+        let pool = WorkPool::new("wp-grow", 8, Duration::from_millis(100));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..6 {
+            let gate = Arc::clone(&gate);
+            let tx = tx.clone();
+            pool.spawn(move || {
+                tx.send(()).unwrap();
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        // All six tasks must be running concurrently — none queued behind
+        // a busy worker.
+        for _ in 0..6 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(pool.live_workers(), 6);
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn idle_workers_retire_after_ttl() {
+        let pool = WorkPool::new("wp-retire", 4, Duration::from_millis(30));
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(()).unwrap());
+        rx.recv().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.live_workers() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(pool.live_workers(), 0, "idle worker did not retire");
+    }
+
+    #[test]
+    fn spawn_after_drop_signal_is_rejected() {
+        let pool = WorkPool::new("wp-shut", 2, Duration::from_millis(50));
+        let shared = Arc::clone(&pool.shared);
+        drop(pool);
+        assert!(shared.state.lock().unwrap().shutdown);
+    }
+
+    #[test]
+    fn drop_joins_parked_workers_promptly() {
+        let pool = WorkPool::new("wp-drop", 2, Duration::from_secs(60));
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(()).unwrap());
+        rx.recv().unwrap();
+        let start = Instant::now();
+        drop(pool);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drop must not wait out the idle TTL"
+        );
+    }
+}

@@ -131,4 +131,61 @@ print(f"BENCH_6.json OK: push cut status requests {report['reduction']:.1f}x "
       "per job)")
 EOF
 
+# The server-edge smoke proves SSE subscribers no longer starve the worker
+# pool: an 8-worker server answers a closed-loop /ping load with zero
+# errors while 12 live `GET /events` subscriptions are held open, and the
+# SSE-loaded p99/throughput stay within 20% of the bare run (median of
+# repeated pairs, with a 1ms epsilon so sub-millisecond jitter cannot
+# masquerade as a regression).
+echo "==> server edge RPS/latency smoke (release, 180s budget)"
+cargo build -q --release --offline -p mathcloud-bench --bin edge
+rm -f BENCH_7.json
+timeout 180 ./target/release/edge --smoke
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_7.json") as f:
+    report = json.load(f)
+scenarios = report["scenarios"]
+assert scenarios, "BENCH_7.json has no scenarios"
+for s in scenarios:
+    for key in ("connections", "sse_subscribers", "requests", "errors",
+                "rps", "p50_ms", "p99_ms"):
+        assert key in s, f"scenario missing {key}: {s}"
+    assert s["requests"] > 0, f"scenario measured nothing: {s}"
+    if s["errors"]:
+        sys.exit(
+            f"{s['errors']} failed requests at {s['connections']} conns "
+            f"with {s['sse_subscribers']} SSE subscribers"
+        )
+sse = [s for s in scenarios if s["sse_subscribers"] > 0]
+assert sse, "no SSE-loaded scenario measured"
+assert all(s["sse_events_received"] > 0 for s in sse), \
+    "held SSE streams received no events"
+# Recorded baseline: the seed smoke run's bare p99 sat well under 1ms on
+# this hardware; 25ms leaves headroom for shared CI runners while still
+# catching an edge that reintroduces serial accepts or per-request
+# allocation storms.
+if report["baseline_p99_ms"] > 25.0:
+    sys.exit(
+        f"bare p99 regressed to {report['baseline_p99_ms']:.2f}ms "
+        "(recorded baseline <1ms, gate 25ms)"
+    )
+if report["sse_p99_ratio"] > 1.2:
+    sys.exit(
+        f"SSE subscribers inflate p99 {report['sse_p99_ratio']:.2f}x "
+        f"({report['baseline_p99_ms']:.3f}ms -> "
+        f"{report['sse_p99_ms']:.3f}ms); gate is 1.2x"
+    )
+if report["sse_throughput_ratio"] < 0.8:
+    sys.exit(
+        f"SSE subscribers cut /ping throughput to "
+        f"{report['sse_throughput_ratio']:.2f}x; gate is 0.8x"
+    )
+print(f"BENCH_7.json OK: {report['sse_subscribers']} subscribers on "
+      f"{report['workers']} workers, p99 ratio "
+      f"{report['sse_p99_ratio']:.2f}, throughput ratio "
+      f"{report['sse_throughput_ratio']:.2f}")
+EOF
+
 echo "verify: OK"

@@ -480,5 +480,7 @@ fn oversized_request_bodies_are_rejected_not_buffered_forever() {
     let mut buf = [0u8; 256];
     let n = s.read(&mut buf).unwrap();
     let text = String::from_utf8_lossy(&buf[..n]);
-    assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    // The edge rejects on the declared length alone, with the typed
+    // payload-too-large status rather than a blanket 400.
+    assert!(text.starts_with("HTTP/1.1 413"), "{text}");
 }
