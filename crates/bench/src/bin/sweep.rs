@@ -1,0 +1,194 @@
+//! `sweep` — measures result memoization on an X-ray parameter sweep and
+//! writes `BENCH_8.json`.
+//!
+//! ```text
+//! sweep [--smoke]
+//! ```
+//!
+//! The workload mirrors the paper's second application (§4) run as a
+//! campaign: a grid of mixture-fitting problems where every grid point needs
+//! the Debye scattering curve of its candidate structure. Scatter curves
+//! repeat across grid points, and re-running the identical campaign repeats
+//! every job — the two layers where a content-addressed result cache pays.
+//!
+//! Two passes over the same grid against one memoizing container:
+//!
+//! * **cold** — first run: every fit executes; each distinct structure's
+//!   scatter curve executes once and later grid points hit the cache;
+//! * **warm** — the identical campaign re-submitted: every submission is
+//!   answered from the memo cache without touching the grid or cluster
+//!   adapters.
+//!
+//! CI gates on warm being at least 3x faster than cold and on the warm-pass
+//! hit rate staying above 0.5.
+
+use std::time::{Duration, Instant};
+
+use mathcloud_bench::xrayservices::deploy_xray_services;
+use mathcloud_client::ServiceClient;
+use mathcloud_everest::Everest;
+use mathcloud_json::{json, Value};
+use mathcloud_telemetry::metrics;
+
+fn cache_counter(name: &str, container: &str) -> u64 {
+    ["xray-scatter", "xray-fit"]
+        .iter()
+        .map(|svc| {
+            metrics::global()
+                .counter_value(name, &[("container", container), ("service", svc)])
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+fn f64s(v: &Value) -> Vec<f64> {
+    v.as_array()
+        .expect("array output")
+        .iter()
+        .map(|x| x.as_f64().expect("number"))
+        .collect()
+}
+
+/// One full pass over the grid. Returns the wall time.
+fn run_pass(
+    scatter: &ServiceClient,
+    fit: &ServiceClient,
+    structures: &[Value],
+    grid_points: usize,
+    q_points: i64,
+) -> Duration {
+    let timeout = Duration::from_secs(120);
+    let fetch_curve = |structure: &Value| -> Vec<f64> {
+        // The scatter stage: identical for every grid point sharing a
+        // structure, so within one pass only the first submission per
+        // structure executes.
+        let rep = scatter
+            .call(
+                &json!({"structure": (structure.clone()), "q_points": q_points}),
+                timeout,
+            )
+            .expect("scatter");
+        f64s(
+            rep.outputs
+                .expect("scatter outputs")
+                .get("curve")
+                .expect("curve"),
+        )
+    };
+    let start = Instant::now();
+    for g in 0..grid_points {
+        let a = fetch_curve(&structures[g % structures.len()]);
+        let b = fetch_curve(&structures[(g + 1) % structures.len()]);
+        // The fit stage: a deterministic per-grid-point two-component
+        // mixture problem with known ground truth.
+        let w = 0.25 + 0.5 * (g as f64 / grid_points.max(1) as f64);
+        let observed: Vec<f64> = a
+            .iter()
+            .zip(&b)
+            .map(|(ya, yb)| w * ya + (1.0 - w) * yb)
+            .collect();
+        let to_value = |xs: &[f64]| Value::Array(xs.iter().map(|&y| Value::from(y)).collect());
+        let fitted = fit
+            .call(
+                &json!({
+                    "observed": (to_value(&observed)),
+                    "basis": (Value::Array(vec![to_value(&a), to_value(&b)])),
+                }),
+                timeout,
+            )
+            .expect("fit")
+            .outputs
+            .expect("fit outputs");
+        let fractions = f64s(fitted.get("fractions").expect("fractions"));
+        assert!(
+            (fractions[0] - w).abs() < 0.05,
+            "grid point {g}: fit recovered {} for weight {w}",
+            fractions[0]
+        );
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Structure sizes set the cold-pass compute (Debye sums are
+    // O(atoms² · q)); the grid repeats each structure several times.
+    let (radii, grid_points, q_points): (&[f64], usize, i64) = if smoke {
+        (&[1.2, 1.4, 1.6], 6, 32)
+    } else {
+        (&[2.2, 2.5, 2.8, 3.1], 24, 96)
+    };
+    let structures: Vec<Value> = radii
+        .iter()
+        .map(|&r| json!({"kind": "sphere", "radius": r}))
+        .collect();
+
+    let e = Everest::with_handlers("sweep", 4);
+    deploy_xray_services(&e);
+    e.set_result_memoization(true);
+    let label = e.metrics_label().to_string();
+    let server = mathcloud_everest::serve(e, "127.0.0.1:0", None).expect("bind");
+    let base = server.base_url();
+    let scatter = ServiceClient::connect(&format!("{base}/services/xray-scatter")).expect("url");
+    let fit = ServiceClient::connect(&format!("{base}/services/xray-fit")).expect("url");
+
+    println!(
+        "== memoized x-ray sweep: {grid_points} grid points, {} structures, {q_points} q ==",
+        structures.len()
+    );
+
+    let cold = run_pass(&scatter, &fit, &structures, grid_points, q_points);
+    let cold_hits = cache_counter("mc_cache_hits_total", &label);
+    let cold_misses = cache_counter("mc_cache_misses_total", &label);
+
+    let warm = run_pass(&scatter, &fit, &structures, grid_points, q_points);
+    let warm_hits = cache_counter("mc_cache_hits_total", &label) - cold_hits;
+    let warm_misses = cache_counter("mc_cache_misses_total", &label) - cold_misses;
+
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    let warm_rate = warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64;
+    println!(
+        "{:>6} {:>10} {:>6} {:>8}",
+        "pass", "wall ms", "hits", "misses"
+    );
+    println!(
+        "{:>6} {:>10.1} {:>6} {:>8}",
+        "cold",
+        cold.as_secs_f64() * 1e3,
+        cold_hits,
+        cold_misses
+    );
+    println!(
+        "{:>6} {:>10.1} {:>6} {:>8}",
+        "warm",
+        warm.as_secs_f64() * 1e3,
+        warm_hits,
+        warm_misses
+    );
+    println!("speedup: {speedup:.1}x, warm hit rate: {warm_rate:.2}");
+
+    let report = json!({
+        "bench": "memo-sweep",
+        "smoke": smoke,
+        "grid_points": (grid_points as i64),
+        "structures": (structures.len() as i64),
+        "q_points": q_points,
+        "jobs_per_pass": ((3 * grid_points) as i64),
+        "cold": {
+            "wall_ms": (cold.as_secs_f64() * 1e3),
+            "hits": (cold_hits as i64),
+            "misses": (cold_misses as i64),
+        },
+        "warm": {
+            "wall_ms": (warm.as_secs_f64() * 1e3),
+            "hits": (warm_hits as i64),
+            "misses": (warm_misses as i64),
+        },
+        "speedup": (speedup),
+        "warm_hit_rate": (warm_rate),
+    });
+    std::fs::write("BENCH_8.json", report.to_pretty_string()).expect("write BENCH_8.json");
+    println!("wrote BENCH_8.json ({} jobs per pass)", 3 * grid_points);
+    server.shutdown();
+}

@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use mathcloud_core::{JobRepresentation, JobState, ServiceDescription};
 use mathcloud_http::sse;
-use mathcloud_http::{Client, Method, Request, Url};
+use mathcloud_http::{Client, Method, Request, Url, MEMO_HIT_HEADER};
 use mathcloud_json::Value;
 use mathcloud_security::cert::{Certificate, OpenIdToken};
 use mathcloud_security::middleware::CLIENT_CERT_HEADER;
@@ -283,6 +283,7 @@ impl ServiceClient {
             base: self.url.clone(),
             rep,
             request_id,
+            memo_hit: resp.headers.get(MEMO_HIT_HEADER).is_some(),
         })
     }
 
@@ -383,6 +384,7 @@ impl ServiceClient {
             base: self.url.clone(),
             rep,
             request_id,
+            memo_hit: false,
         })
     }
 }
@@ -394,6 +396,7 @@ pub struct JobHandle {
     base: Url,
     rep: JobRepresentation,
     request_id: String,
+    memo_hit: bool,
 }
 
 impl JobHandle {
@@ -407,6 +410,14 @@ impl JobHandle {
     /// `/metrics`-adjacent trace buffer are keyed by it.
     pub fn request_id(&self) -> &str {
         &self.request_id
+    }
+
+    /// Whether the submission was answered from the server's result memo
+    /// cache (`X-MC-Memo-Hit`): the handle points at an existing job —
+    /// usually already DONE — instead of a freshly created one. Always
+    /// `false` for handles reattached via [`ServiceClient::job`].
+    pub fn was_memo_hit(&self) -> bool {
+        self.memo_hit
     }
 
     /// The job's absolute URL.
@@ -703,6 +714,42 @@ mod tests {
     #[test]
     fn connect_rejects_garbage_urls() {
         assert!(ServiceClient::connect("ftp://nope").is_err());
+    }
+
+    #[test]
+    fn memo_hits_surface_on_the_handle() {
+        let e = Everest::new("memo-demo");
+        e.deploy(
+            ServiceDescription::new("sum", "adds")
+                .input(Parameter::new("a", Schema::integer()))
+                .input(Parameter::new("b", Schema::integer()))
+                .output(Parameter::new("total", Schema::integer())),
+            NativeAdapter::from_fn(|inputs, _| {
+                let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+                let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+                Ok([("total".to_string(), json!(a + b))].into_iter().collect())
+            }),
+        );
+        e.set_result_memoization(true);
+        let server = mathcloud_everest::serve(e, "127.0.0.1:0", None).unwrap();
+        let base = server.base_url();
+        let svc = ServiceClient::connect(&format!("{base}/services/sum")).unwrap();
+        let first = svc.submit(&json!({"a": 20, "b": 22})).unwrap();
+        assert!(!first.was_memo_hit(), "a cold submission is a miss");
+        let mut settled = first.clone();
+        while !settled.refresh().unwrap().state.is_terminal() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Same semantics, different wire accidents: reordered keys and a
+        // float spelling of the same integers.
+        let repeat = svc.submit(&json!({"b": 22.0, "a": 20.0})).unwrap();
+        assert!(repeat.was_memo_hit(), "identical resubmission hits");
+        assert_eq!(
+            repeat.representation().id.as_str(),
+            first.representation().id.as_str(),
+            "the hit reuses the original job"
+        );
+        assert_eq!(repeat.representation().state, JobState::Done);
     }
 
     #[test]

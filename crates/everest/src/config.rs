@@ -345,6 +345,54 @@ impl JournalConfig {
     }
 }
 
+/// Result-memoization settings from the top-level `"memo"` configuration
+/// object:
+///
+/// ```json
+/// {
+///   "memo": { "enabled": true },
+///   "services": [ … ]
+/// }
+/// ```
+///
+/// Absent means memoization stays off ([`Everest::set_result_memoization`]
+/// is opt-in: the cache assumes pure adapters). With a `"journal"`
+/// configured too, memo keys are journaled with their jobs, so cache hits
+/// survive restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoConfig {
+    /// Whether result memoization is switched on.
+    pub enabled: bool,
+}
+
+impl MemoConfig {
+    /// Parses the top-level `"memo"` object; absent means disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending knob.
+    pub fn from_config(config: &Value) -> Result<Self, ConfigError> {
+        let Some(doc) = config.get("memo") else {
+            return Ok(MemoConfig::default());
+        };
+        if doc.as_object().is_none() {
+            return Err(err("\"memo\" must be an object"));
+        }
+        let enabled = match doc.get("enabled") {
+            None => return Err(err("memo.enabled is required")),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| err("memo.enabled must be a boolean"))?,
+        };
+        Ok(MemoConfig { enabled })
+    }
+
+    /// Applies the switch to a container.
+    pub fn apply(&self, everest: &Everest) {
+        everest.set_result_memoization(self.enabled);
+    }
+}
+
 /// Server-edge sizing from the top-level `"server"` object:
 ///
 /// ```json
@@ -426,6 +474,9 @@ pub struct LoadedConfig {
     pub autoscaler: Option<AutoscaleHandle>,
     /// The parsed journal settings (empty when the document had none).
     pub journal: JournalConfig,
+    /// The parsed memoization switch (off when the document had no
+    /// `"memo"`).
+    pub memo: MemoConfig,
     /// What the journal recovered, when one was configured.
     pub recovery: Option<crate::container::RecoveryReport>,
     /// The parsed server-edge sizing (defaults when the document had no
@@ -469,6 +520,7 @@ pub fn load_config_full(
 ) -> Result<LoadedConfig, ConfigError> {
     let pool = PoolConfig::from_config(config)?;
     let journal = JournalConfig::from_config(config)?;
+    let memo = MemoConfig::from_config(config)?;
     let server = ServerEdgeConfig::from_config(config)?;
     let services = config
         .get("services")
@@ -489,8 +541,11 @@ pub fn load_config_full(
             .map_err(|e| err(format!("service {name:?}: {}", e.0)))?;
         deployed.push(name.to_string());
     }
-    // Journal recovery runs after every service deploys (re-queued jobs
-    // need their adapters) and before the pool is sized for traffic.
+    // The memo switch flips before journal recovery so a recovering
+    // container serves hits from replayed results immediately; recovery
+    // itself runs after every service deploys (re-queued jobs need their
+    // adapters) and before the pool is sized for traffic.
+    memo.apply(everest);
     let recovery = journal.apply(everest)?;
     let autoscaler = pool.apply(everest);
     Ok(LoadedConfig {
@@ -498,6 +553,7 @@ pub fn load_config_full(
         pool,
         autoscaler,
         journal,
+        memo,
         recovery,
         server,
     })
@@ -971,6 +1027,57 @@ mod tests {
             .state
             .is_terminal());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memo_config_parses_and_applies() {
+        // Absent: memoization stays off.
+        let m = MemoConfig::from_config(&json!({"services": []})).unwrap();
+        assert_eq!(m, MemoConfig::default());
+        assert!(!m.enabled);
+
+        // Bad knobs are named.
+        for (config, needle) in [
+            (json!({"memo": true}), "must be an object"),
+            (json!({"memo": {}}), "memo.enabled is required"),
+            (
+                json!({"memo": {"enabled": 1}}),
+                "memo.enabled must be a boolean",
+            ),
+            (
+                json!({"memo": {"enabled": "yes"}}),
+                "memo.enabled must be a boolean",
+            ),
+        ] {
+            let e = MemoConfig::from_config(&config).unwrap_err();
+            assert!(e.to_string().contains(needle), "{e} !~ {needle}");
+        }
+
+        // End to end: the switch reaches the container and a repeat
+        // submission is answered from the cache (same job id, no second
+        // execution).
+        let config = json!({
+            "memo": {"enabled": true},
+            "services": [{
+                "name": "noop",
+                "description": "",
+                "adapter": {"type": "command", "program": "/bin/true", "args": []}
+            }]
+        });
+        let everest = Everest::new("cfg-memo");
+        let loaded = load_config_full(&everest, &config, &AdapterRegistry::new()).unwrap();
+        assert!(loaded.memo.enabled);
+        assert!(everest.memoization_enabled());
+        let first = everest
+            .submit_sync("noop", &json!({}), None, Duration::from_secs(5))
+            .unwrap();
+        assert!(first.state.is_terminal());
+        let repeat = everest
+            .submit_full("noop", &json!({}), None, None, None)
+            .unwrap();
+        assert!(repeat.memo_hit, "identical resubmission hits the cache");
+        assert_eq!(repeat.rep.id, first.id);
+        assert_eq!(everest.stats().submitted, 1, "no second job was created");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use mathcloud_telemetry::{
 use crate::adapter::{Adapter, AdapterContext};
 use crate::filestore::FileStore;
 use crate::jobstore::{JobStore, TransitionDetail, TransitionState, DEFAULT_COMPACT_EVERY};
+use crate::memo;
 
 /// Default number of job handler threads ("a configurable pool of handler
 /// threads", §3.1).
@@ -212,6 +213,14 @@ impl ContainerMetrics {
             "mc_jobs_evicted_total",
             "terminal job records evicted by the retention cap",
         );
+        reg.describe(
+            "mc_cache_hits_total",
+            "submissions answered from the result memo cache (completed or coalesced)",
+        );
+        reg.describe(
+            "mc_cache_misses_total",
+            "memoized submissions that required a fresh execution",
+        );
         let l: &[(&str, &str)] = &[("container", &label)];
         ContainerMetrics {
             queue_depth: reg.gauge("mc_pool_queue_depth", l),
@@ -352,6 +361,20 @@ struct Shared {
     /// Signalled when a reservation in [`Shared::idem`] is filled with its
     /// job id.
     idem_filled: Condvar,
+    /// Result memoization switch (see [`Everest::set_result_memoization`]).
+    /// Off by default: memoization changes submission semantics (a repeat
+    /// of a completed request returns the *same* job), so it is opt-in.
+    memo_enabled: AtomicBool,
+    /// Canonical memo key (see [`crate::memo`]) → job id. A `Some` entry
+    /// points at the job that computed (or is computing) the key's result;
+    /// `None` is a reservation exactly like [`Shared::idem`]'s — the
+    /// winning submission is creating its job outside the lock, and racing
+    /// identical submissions wait on [`Shared::memo_filled`] so N storms
+    /// coalesce onto one execution. Lock order: `idem` before `memo`
+    /// before `jobs` before the store; never held across a journal append.
+    memo: Mutex<HashMap<String, Option<String>>>,
+    /// Signalled when a reservation in [`Shared::memo`] is filled.
+    memo_filled: Condvar,
     /// Maximum terminal job records retained; `usize::MAX` (the default)
     /// keeps everything. See [`Everest::set_terminal_retention`].
     retention: AtomicUsize,
@@ -386,6 +409,24 @@ pub struct RecoveryReport {
     pub replayed: usize,
     /// `Idempotency-Key` mappings restored.
     pub idem_keys: usize,
+    /// Result-memoization keys restored: completed jobs whose repeats will
+    /// hit the cache again, plus re-queued live jobs repeats will coalesce
+    /// onto.
+    pub memo_keys: usize,
+}
+
+/// The full outcome of one submission, as the REST layer needs it.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// The job answering the submission.
+    pub rep: JobRepresentation,
+    /// The submission repeated an `Idempotency-Key` and was answered with
+    /// the original job (`X-MC-Deduplicated`).
+    pub deduplicated: bool,
+    /// The submission was answered from the result memo cache — either a
+    /// completed job with the same canonical inputs, or an in-flight one it
+    /// coalesced onto (`X-MC-Memo-Hit`).
+    pub memo_hit: bool,
 }
 
 /// A point-in-time health report, served as `GET /health` on every container.
@@ -474,6 +515,9 @@ impl Everest {
             store: Mutex::new(None),
             idem: Mutex::new(HashMap::new()),
             idem_filled: Condvar::new(),
+            memo_enabled: AtomicBool::new(false),
+            memo: Mutex::new(HashMap::new()),
+            memo_filled: Condvar::new(),
             retention: AtomicUsize::new(usize::MAX),
             next_terminal: AtomicU64::new(1),
         });
@@ -671,6 +715,25 @@ impl Everest {
         request_id: Option<&str>,
         idem_key: Option<&str>,
     ) -> Result<(JobRepresentation, bool), SubmitRejection> {
+        self.submit_full(service, body, caller, request_id, idem_key)
+            .map(|o| (o.rep, o.deduplicated))
+    }
+
+    /// [`Everest::submit_idempotent`] returning the full [`SubmitOutcome`],
+    /// including whether the submission was answered from the result memo
+    /// cache (see [`Everest::set_result_memoization`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Everest::submit_idempotent`].
+    pub fn submit_full(
+        &self,
+        service: &str,
+        body: &Value,
+        caller: Option<&Caller>,
+        request_id: Option<&str>,
+        idem_key: Option<&str>,
+    ) -> Result<SubmitOutcome, SubmitRejection> {
         let anonymous = Caller::anonymous();
         let caller = caller.unwrap_or(&anonymous);
         self.authorize(service, caller)?;
@@ -688,7 +751,12 @@ impl Everest {
             })?;
 
         let Some(key) = idem_key else {
-            return Ok((self.create_job(service, inputs, request_id, None), false));
+            let (rep, memo_hit) = self.create_or_memoize(service, inputs, request_id, None);
+            return Ok(SubmitOutcome {
+                rep,
+                deduplicated: false,
+                memo_hit,
+            });
         };
         // Exactly one of N racing submissions with the same key creates the
         // job, but the fsync'd journal append must NOT happen under the
@@ -719,7 +787,11 @@ impl Everest {
                             request_id,
                             &[("service", service), ("job", &existing), ("key", key)],
                         );
-                        return Ok((rep, true));
+                        return Ok(SubmitOutcome {
+                            rep,
+                            deduplicated: true,
+                            memo_hit: false,
+                        });
                     }
                     // The mapped job's record was deleted: the key is free
                     // again.
@@ -736,13 +808,113 @@ impl Everest {
         }
         idem.insert(map_key.clone(), None);
         drop(idem);
-        let rep = self.create_job(service, inputs, request_id, Some(key));
+        // The memo layer may answer with an existing job instead of
+        // creating one; the key then maps to that job, so retries of this
+        // keyed POST keep deduplicating onto the memoized result.
+        let (rep, memo_hit) = self.create_or_memoize(service, inputs, request_id, Some(key));
         self.shared
             .idem
             .lock()
             .insert(map_key, Some(rep.id.as_str().to_string()));
         self.shared.idem_filled.notify_all();
-        Ok((rep, false))
+        Ok(SubmitOutcome {
+            rep,
+            deduplicated: false,
+            memo_hit,
+        })
+    }
+
+    /// Creates a job — unless result memoization is on and the canonical
+    /// memo key of `(service, inputs)` already maps to a usable job.
+    ///
+    /// A key mapped to a **completed** (`DONE`) job answers instantly with
+    /// that job; a key mapped to a still-live job *coalesces* — the caller
+    /// gets the in-flight job and waits on it like any other client, so N
+    /// concurrent identical submissions run the kernel once. A key mapped
+    /// to a failed, cancelled, or since-evicted job is stale: it is
+    /// dropped and the submission re-executes (errors are never memoized,
+    /// and a hit can never resurrect an evicted record). The `None`
+    /// reservation protocol mirrors the idempotency map: the fsync'd
+    /// journal append never happens under the memo lock.
+    ///
+    /// Returns the representation and whether it was a memo hit.
+    fn create_or_memoize(
+        &self,
+        service: &str,
+        inputs: Object,
+        request_id: Option<&str>,
+        idem_key: Option<&str>,
+    ) -> (JobRepresentation, bool) {
+        if !self.shared.memo_enabled.load(Ordering::Relaxed) {
+            return (
+                self.create_job(service, inputs, request_id, idem_key, None),
+                false,
+            );
+        }
+        let files = Arc::clone(&self.shared.files);
+        let resolve = move |id: &str| files.hash_of(id);
+        let key = memo::memo_key(service, &inputs, &resolve);
+        let m = &self.shared.metrics;
+        let mut memo = self.shared.memo.lock();
+        loop {
+            match memo.get(&key) {
+                Some(Some(job_id)) => {
+                    let job_id = job_id.clone();
+                    match self.representation(service, &job_id) {
+                        Some(rep) if rep.state == JobState::Done || !rep.state.is_terminal() => {
+                            drop(memo);
+                            let coalesced = rep.state != JobState::Done;
+                            metrics::global()
+                                .counter(
+                                    "mc_cache_hits_total",
+                                    &[("container", &m.label), ("service", service)],
+                                )
+                                .inc();
+                            trace::info(
+                                "job.memo_hit",
+                                request_id,
+                                &[
+                                    ("service", service),
+                                    ("job", &job_id),
+                                    ("key", &key),
+                                    ("coalesced", if coalesced { "true" } else { "false" }),
+                                ],
+                            );
+                            return (rep, true);
+                        }
+                        // Failed or cancelled results are never served from
+                        // the cache, and an evicted/deleted job frees its
+                        // key: fall through to a fresh execution.
+                        _ => {
+                            memo.remove(&key);
+                            break;
+                        }
+                    }
+                }
+                Some(None) => {
+                    // A racing identical submission holds the reservation
+                    // and is creating (and journaling) the job; coalesce
+                    // onto it once the id is published.
+                    self.shared.memo_filled.wait(&mut memo);
+                }
+                None => break,
+            }
+        }
+        memo.insert(key.clone(), None);
+        drop(memo);
+        metrics::global()
+            .counter(
+                "mc_cache_misses_total",
+                &[("container", &m.label), ("service", service)],
+            )
+            .inc();
+        let rep = self.create_job(service, inputs, request_id, idem_key, Some(&key));
+        self.shared
+            .memo
+            .lock()
+            .insert(key, Some(rep.id.as_str().to_string()));
+        self.shared.memo_filled.notify_all();
+        (rep, false)
     }
 
     /// Creates and enqueues a job whose inputs already validated. The
@@ -755,6 +927,7 @@ impl Everest {
         inputs: Object,
         request_id: Option<&str>,
         idem_key: Option<&str>,
+        memo_key: Option<&str>,
     ) -> JobRepresentation {
         let job_id = format!("j-{}", self.shared.next_job.fetch_add(1, Ordering::Relaxed));
         {
@@ -779,6 +952,7 @@ impl Everest {
                 TransitionState::Job(JobState::Waiting),
                 TransitionDetail {
                     idem_key,
+                    memo_key,
                     request_id,
                     inputs: Some(&inputs),
                     ..Default::default()
@@ -807,11 +981,16 @@ impl Everest {
             request_id,
             None,
         );
+        // Snapshot the WAITING representation *before* the queue push: once
+        // the job is queued it can run, finish, and even be evicted under a
+        // tight terminal-retention cap before this thread reads it back.
+        let rep = self
+            .representation(service, &job_id)
+            .expect("job just inserted");
         self.queue
             .0
             .push((service.to_string(), job_id.clone()), &m.queue_depth);
-        self.representation(service, &job_id)
-            .expect("job just inserted")
+        rep
     }
 
     /// Submit-and-wait: the synchronous mode of §2. If the job finishes
@@ -896,6 +1075,14 @@ impl Everest {
                 // to in-flight submissions and are kept.
                 self.shared
                     .idem
+                    .lock()
+                    .retain(|_, v| v.as_deref() != Some(job_id));
+                // Likewise its memo key: a later identical submission must
+                // re-execute, not resurrect the deleted record. The job's
+                // files drop one blob reference each; the bytes are freed
+                // only if no other job still points at them.
+                self.shared
+                    .memo
                     .lock()
                     .retain(|_, v| v.as_deref() != Some(job_id));
                 self.shared.files.remove_job(service, job_id);
@@ -1123,6 +1310,8 @@ impl Everest {
             Vec::new();
         {
             let mut idem = self.shared.idem.lock();
+            // Lock order: idem before memo before jobs (see `Shared::memo`).
+            let mut memo = self.shared.memo.lock();
             let mut jobs = self.shared.jobs.lock();
             for r in &recovered {
                 let key = (r.service.clone(), r.job.clone());
@@ -1134,6 +1323,21 @@ impl Everest {
                 if let Some(k) = &r.idem_key {
                     idem.insert((r.service.clone(), k.clone()), Some(r.job.clone()));
                     report.idem_keys += 1;
+                }
+                if let Some(mk) = &r.memo_key {
+                    // Completed results are restored unconditionally (a
+                    // DONE job beats any requeued one holding the key);
+                    // interrupted jobs reclaim their key only if nothing
+                    // else holds it, so their re-execution coalesces
+                    // identical submissions again. Failed and cancelled
+                    // jobs never map — errors are not memoized.
+                    if r.state == JobState::Done {
+                        memo.insert(mk.clone(), Some(r.job.clone()));
+                        report.memo_keys += 1;
+                    } else if !r.state.is_terminal() && !memo.contains_key(mk) {
+                        memo.insert(mk.clone(), Some(r.job.clone()));
+                        report.memo_keys += 1;
+                    }
                 }
                 let terminal = r.state.is_terminal();
                 let state = if terminal { r.state } else { JobState::Waiting };
@@ -1205,6 +1409,7 @@ impl Everest {
                 ("replayed", &report.replayed.to_string()),
                 ("requeued", &report.requeued.to_string()),
                 ("idem_keys", &report.idem_keys.to_string()),
+                ("memo_keys", &report.memo_keys.to_string()),
             ],
         );
         // A replayed history can itself exceed the retention cap.
@@ -1233,6 +1438,28 @@ impl Everest {
     pub fn set_terminal_retention(&self, cap: usize) {
         self.shared.retention.store(cap.max(1), Ordering::Relaxed);
         enforce_retention(&self.shared);
+    }
+
+    /// Switches result memoization on or off (default: off).
+    ///
+    /// With memoization on, a submission whose canonical `(service,
+    /// inputs)` memo key (see [`crate::memo`]) matches an already-completed
+    /// job is answered with that job — `DONE`, instantly, without running
+    /// the adapter — and concurrent identical submissions coalesce onto one
+    /// execution. Only successful results are memoized; failures,
+    /// cancellations, deletions and retention evictions all free their
+    /// keys. Memo keys ride the job journal, so hits survive a restart
+    /// when a journal is attached.
+    ///
+    /// Memoization assumes service adapters are *pure* — same inputs, same
+    /// outputs — which is why it is opt-in per container.
+    pub fn set_result_memoization(&self, enabled: bool) {
+        self.shared.memo_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether result memoization is on.
+    pub fn memoization_enabled(&self) -> bool {
+        self.shared.memo_enabled.load(Ordering::Relaxed)
     }
 }
 
@@ -1311,6 +1538,13 @@ fn enforce_retention(shared: &Shared) {
             .iter()
             .any(|(es, ej)| es == svc && v.as_deref() == Some(ej))
     });
+    // Memo keys of evicted jobs are freed too — the next identical
+    // submission is a miss that re-executes (a hit must never point at a
+    // record that no longer exists).
+    shared
+        .memo
+        .lock()
+        .retain(|_, v| !evicted.iter().any(|(_, ej)| v.as_deref() == Some(ej)));
     for (service, job) in &evicted {
         shared.files.remove_job(service, job);
     }

@@ -1,19 +1,57 @@
 //! The per-job file store backing `mc-file:` parameters.
+//!
+//! Storage is **content-addressed**: file bytes live in a blob table keyed
+//! by their SHA-256 digest, and each `(service, job, file-id)` entry is only
+//! a reference into that table. Identical payloads stored by different jobs
+//! share one blob; a blob's bytes are dropped only when the last referencing
+//! file is removed. This is what lets result memoization (see [`crate::memo`])
+//! treat "same file content" as "same input" and what keeps terminal-job
+//! eviction from freeing bytes another job still points at.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mathcloud_security::sha256;
 use mathcloud_telemetry::sync::RwLock;
 
-/// Files of one job, keyed by file id.
-type JobFiles = HashMap<String, Vec<u8>>;
+/// One stored payload plus the number of file entries pointing at it.
+#[derive(Debug)]
+struct Blob {
+    data: Vec<u8>,
+    refs: usize,
+}
 
-/// In-memory storage for job file resources.
+#[derive(Debug, Default)]
+struct Inner {
+    /// Blob table: SHA-256 hex digest -> payload + refcount.
+    blobs: HashMap<String, Blob>,
+    /// Per-job file listing: (service, job) -> file id -> blob digest.
+    jobs: HashMap<(String, String), HashMap<String, String>>,
+    /// Global file-id index (ids are unique across the store), used to
+    /// resolve `mc-file:` input references to content hashes without
+    /// knowing which job uploaded them.
+    ids: HashMap<String, String>,
+}
+
+impl Inner {
+    /// Drops one reference to `hash`, unlinking the blob at refcount zero.
+    fn release(&mut self, hash: &str) {
+        if let Some(blob) = self.blobs.get_mut(hash) {
+            blob.refs -= 1;
+            if blob.refs == 0 {
+                self.blobs.remove(hash);
+            }
+        }
+    }
+}
+
+/// In-memory content-addressed storage for job file resources.
 ///
 /// Files belong to a `(service, job)` pair and are destroyed together with
 /// the job resource, matching the subordinate-resource semantics of §2 of the
 /// paper ("this method destroys the job resource and its subordinate file
-/// resources").
+/// resources"). Underneath, bytes are deduplicated by SHA-256: removing a
+/// job only unlinks blobs no other job references.
 ///
 /// # Examples
 ///
@@ -28,7 +66,7 @@ type JobFiles = HashMap<String, Vec<u8>>;
 /// ```
 #[derive(Debug, Default)]
 pub struct FileStore {
-    files: RwLock<HashMap<(String, String), JobFiles>>,
+    inner: RwLock<Inner>,
     next_id: AtomicU64,
 }
 
@@ -39,49 +77,96 @@ impl FileStore {
     }
 
     /// Stores a file under a fresh id, returning the id.
+    ///
+    /// Identical payloads share one underlying blob regardless of which job
+    /// stored them; the blob's refcount tracks how many file entries point
+    /// at it.
     pub fn put(&self, service: &str, job: &str, data: Vec<u8>) -> String {
         let id = format!("f-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.files
-            .write()
+        let hash = sha256::to_hex(&sha256::digest(&data));
+        let mut inner = self.inner.write();
+        match inner.blobs.get_mut(&hash) {
+            Some(blob) => blob.refs += 1,
+            None => {
+                inner.blobs.insert(hash.clone(), Blob { data, refs: 1 });
+            }
+        }
+        inner
+            .jobs
             .entry((service.to_string(), job.to_string()))
             .or_default()
-            .insert(id.clone(), data);
+            .insert(id.clone(), hash.clone());
+        inner.ids.insert(id.clone(), hash);
         id
     }
 
     /// Reads a file.
     pub fn get(&self, service: &str, job: &str, file_id: &str) -> Option<Vec<u8>> {
-        self.files
-            .read()
+        let inner = self.inner.read();
+        let hash = inner
+            .jobs
             .get(&(service.to_string(), job.to_string()))
-            .and_then(|m| m.get(file_id))
-            .cloned()
+            .and_then(|m| m.get(file_id))?;
+        inner.blobs.get(hash).map(|b| b.data.clone())
     }
 
     /// Lists the file ids of a job.
     pub fn list(&self, service: &str, job: &str) -> Vec<String> {
-        self.files
+        self.inner
             .read()
+            .jobs
             .get(&(service.to_string(), job.to_string()))
             .map(|m| m.keys().cloned().collect())
             .unwrap_or_default()
     }
 
     /// Deletes every file of a job (job deletion semantics).
+    ///
+    /// Each file drops one reference to its blob; the bytes themselves are
+    /// unlinked only when no other job's file still points at them.
     pub fn remove_job(&self, service: &str, job: &str) {
-        self.files
-            .write()
-            .remove(&(service.to_string(), job.to_string()));
+        let mut inner = self.inner.write();
+        if let Some(files) = inner.jobs.remove(&(service.to_string(), job.to_string())) {
+            for (id, hash) in files {
+                inner.ids.remove(&id);
+                inner.release(&hash);
+            }
+        }
     }
 
-    /// Total bytes currently stored (capacity monitoring).
-    pub fn total_bytes(&self) -> usize {
-        self.files
+    /// The SHA-256 hex digest of a stored file, resolved by id alone.
+    ///
+    /// File ids are unique across the store, so this is what the memo layer
+    /// uses to canonicalize `mc-file:` input references down to content.
+    pub fn hash_of(&self, file_id: &str) -> Option<String> {
+        self.inner.read().ids.get(file_id).cloned()
+    }
+
+    /// The SHA-256 hex digest of one job's file.
+    pub fn content_hash(&self, service: &str, job: &str, file_id: &str) -> Option<String> {
+        self.inner
             .read()
-            .values()
-            .flat_map(|m| m.values())
-            .map(Vec::len)
-            .sum()
+            .jobs
+            .get(&(service.to_string(), job.to_string()))
+            .and_then(|m| m.get(file_id))
+            .cloned()
+    }
+
+    /// How many file entries currently reference the blob with this digest
+    /// (`None` once the blob has been unlinked).
+    pub fn blob_refs(&self, hash: &str) -> Option<usize> {
+        self.inner.read().blobs.get(hash).map(|b| b.refs)
+    }
+
+    /// Number of distinct blobs currently stored.
+    pub fn blob_count(&self) -> usize {
+        self.inner.read().blobs.len()
+    }
+
+    /// Total bytes currently stored (capacity monitoring). Deduplicated:
+    /// a blob referenced by many jobs counts once.
+    pub fn total_bytes(&self) -> usize {
+        self.inner.read().blobs.values().map(|b| b.data.len()).sum()
     }
 }
 
@@ -120,5 +205,46 @@ mod tests {
         assert!(s.get("svc", "j1", &a).is_none());
         assert_eq!(s.total_bytes(), 0);
         assert!(s.list("svc", "j1").is_empty());
+    }
+
+    #[test]
+    fn identical_payloads_share_one_blob() {
+        let s = FileStore::new();
+        let a = s.put("svc", "j1", vec![9; 64]);
+        let b = s.put("svc", "j2", vec![9; 64]);
+        assert_ne!(a, b, "file ids stay distinct even when content dedupes");
+        assert_eq!(s.blob_count(), 1);
+        assert_eq!(s.total_bytes(), 64, "bytes are counted once, not twice");
+        let hash = s.hash_of(&a).unwrap();
+        assert_eq!(s.hash_of(&b).as_deref(), Some(hash.as_str()));
+        assert_eq!(s.blob_refs(&hash), Some(2));
+    }
+
+    #[test]
+    fn removing_one_job_keeps_a_shared_blob_alive() {
+        let s = FileStore::new();
+        let a = s.put("svc", "j1", vec![5; 32]);
+        let b = s.put("svc", "j2", vec![5; 32]);
+        let hash = s.hash_of(&a).unwrap();
+        s.remove_job("svc", "j1");
+        assert!(s.get("svc", "j1", &a).is_none());
+        assert_eq!(s.get("svc", "j2", &b), Some(vec![5; 32]));
+        assert_eq!(s.blob_refs(&hash), Some(1));
+        s.remove_job("svc", "j2");
+        assert_eq!(s.blob_refs(&hash), None, "last reference unlinks the blob");
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn content_hash_matches_sha256_of_the_payload() {
+        let s = FileStore::new();
+        let id = s.put("svc", "j1", b"abc".to_vec());
+        let expect = sha256::to_hex(&sha256::digest(b"abc"));
+        assert_eq!(
+            s.content_hash("svc", "j1", &id).as_deref(),
+            Some(expect.as_str())
+        );
+        assert_eq!(s.hash_of(&id).as_deref(), Some(expect.as_str()));
+        assert!(s.content_hash("svc", "j2", &id).is_none());
     }
 }

@@ -85,6 +85,9 @@ pub struct JobTransition {
     pub state: TransitionState,
     /// The `Idempotency-Key` the submission carried, if any.
     pub idem_key: Option<String>,
+    /// The canonical result-memoization key of the submission, if the
+    /// container computed one (see [`crate::memo`]).
+    pub memo_key: Option<String>,
     /// The `X-MC-Request-Id` of the submission, if any.
     pub request_id: Option<String>,
     /// Validated inputs (on `WAITING` and consolidated records).
@@ -109,6 +112,9 @@ impl JobTransition {
         o.insert("state".into(), Value::from(self.state.as_str()));
         if let Some(k) = &self.idem_key {
             o.insert("idem_key".into(), Value::from(k.as_str()));
+        }
+        if let Some(k) = &self.memo_key {
+            o.insert("memo_key".into(), Value::from(k.as_str()));
         }
         if let Some(r) = &self.request_id {
             o.insert("request_id".into(), Value::from(r.as_str()));
@@ -148,6 +154,10 @@ impl JobTransition {
                 .get("idem_key")
                 .and_then(Value::as_str)
                 .map(str::to_string),
+            memo_key: v
+                .get("memo_key")
+                .and_then(Value::as_str)
+                .map(str::to_string),
             request_id: v
                 .get("request_id")
                 .and_then(Value::as_str)
@@ -173,6 +183,8 @@ pub struct RecoveredJob {
     pub state: JobState,
     /// The submission's `Idempotency-Key`, if any.
     pub idem_key: Option<String>,
+    /// The submission's canonical memo key, if any.
+    pub memo_key: Option<String>,
     /// The submission's request id, if any.
     pub request_id: Option<String>,
     /// Validated inputs (what re-execution needs).
@@ -217,6 +229,7 @@ impl StoreInner {
                     job: t.job.clone(),
                     state,
                     idem_key: None,
+                    memo_key: None,
                     request_id: None,
                     inputs: Object::new(),
                     outputs: None,
@@ -228,6 +241,9 @@ impl StoreInner {
                 entry.seq = t.seq;
                 if let Some(k) = &t.idem_key {
                     entry.idem_key = Some(k.clone());
+                }
+                if let Some(k) = &t.memo_key {
+                    entry.memo_key = Some(k.clone());
                 }
                 if let Some(r) = &t.request_id {
                     entry.request_id = Some(r.clone());
@@ -260,6 +276,7 @@ impl StoreInner {
                 job: j.job.clone(),
                 state: TransitionState::Job(j.state),
                 idem_key: j.idem_key.clone(),
+                memo_key: j.memo_key.clone(),
                 request_id: j.request_id.clone(),
                 inputs: Some(j.inputs.clone()),
                 outputs: j.outputs.clone(),
@@ -409,6 +426,7 @@ impl JobStore {
             job: job.to_string(),
             state,
             idem_key: detail.idem_key.map(str::to_string),
+            memo_key: detail.memo_key.map(str::to_string),
             request_id: detail.request_id.map(str::to_string),
             inputs: detail.inputs.cloned(),
             outputs: detail.outputs.cloned(),
@@ -499,6 +517,8 @@ impl JobStore {
 pub struct TransitionDetail<'a> {
     /// The submission's `Idempotency-Key`.
     pub idem_key: Option<&'a str>,
+    /// The submission's canonical memo key (see [`crate::memo`]).
+    pub memo_key: Option<&'a str>,
     /// The submission's request id.
     pub request_id: Option<&'a str>,
     /// Validated inputs (`WAITING` records).
@@ -581,6 +601,7 @@ mod tests {
             job: "j-4".into(),
             state: TransitionState::Job(JobState::Done),
             idem_key: Some("k1".into()),
+            memo_key: Some("ab12".into()),
             request_id: Some("rid".into()),
             inputs: Some(inputs()),
             outputs: Some(json!({"total": 3}).as_object().unwrap().clone()),
@@ -592,6 +613,7 @@ mod tests {
         let tomb = JobTransition {
             state: TransitionState::Deleted,
             idem_key: None,
+            memo_key: None,
             inputs: None,
             outputs: None,
             ..t
@@ -615,6 +637,7 @@ mod tests {
             TransitionState::Job(JobState::Waiting),
             TransitionDetail {
                 idem_key: Some("key-a"),
+                memo_key: Some("feed"),
                 inputs: Some(&ins),
                 ..Default::default()
             },
@@ -653,6 +676,11 @@ mod tests {
         assert_eq!(jobs[0].job, "j-1");
         assert_eq!(jobs[0].state, JobState::Done);
         assert_eq!(jobs[0].idem_key.as_deref(), Some("key-a"));
+        assert_eq!(
+            jobs[0].memo_key.as_deref(),
+            Some("feed"),
+            "memo key survives the fold across later transitions"
+        );
         assert_eq!(jobs[0].outputs, Some(outs));
         assert_eq!(jobs[0].runtime_ms, Some(7));
         assert_eq!(jobs[0].inputs, ins);

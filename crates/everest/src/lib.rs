@@ -47,6 +47,7 @@ pub mod config;
 pub mod container;
 pub mod filestore;
 pub mod jobstore;
+pub mod memo;
 pub mod paas;
 pub mod rest;
 pub mod webui;
@@ -54,9 +55,11 @@ pub mod webui;
 pub use adapter::{Adapter, AdapterContext};
 pub use config::{
     load_config, load_config_full, AdapterRegistry, ConfigError, JournalConfig, LoadedConfig,
-    PoolConfig,
+    MemoConfig, PoolConfig,
 };
-pub use container::{Caller, Everest, HealthReport, RecoveryReport, SubmitRejection};
+pub use container::{
+    Caller, Everest, HealthReport, RecoveryReport, SubmitOutcome, SubmitRejection,
+};
 pub use filestore::FileStore;
 pub use jobstore::{JobStore, RecoveredJob, DEFAULT_COMPACT_EVERY};
 pub use paas::Paas;

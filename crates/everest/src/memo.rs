@@ -1,0 +1,199 @@
+//! Result memoization: canonical memo keys over `(service, inputs)`.
+//!
+//! The paper's premise is that scientific services are *reused* — the same
+//! inverse, the same subproblem, the same scattering fit is submitted over
+//! and over. This module derives a SHA-256 **memo key** from a submission so
+//! the container can answer a repeat of an already-completed job instantly
+//! instead of re-running the kernel.
+//!
+//! Two submissions must map to the same key exactly when they are
+//! *semantically* the same request. The canonical form therefore erases
+//! every wire-level accident:
+//!
+//! * **Key order** — object members are sorted by key (recursively), so
+//!   `{"a":1,"b":2}` and `{"b":2,"a":1}` collide.
+//! * **Number spelling** — a float with zero fractional part in `i64` range
+//!   is folded to its integer spelling, so `1`, `1.0` and `1e0` collide.
+//! * **Whitespace** — keys are computed over parsed values, never raw text.
+//! * **File content** — an `mc-file:<id>` input is replaced by
+//!   `mc-blob:<sha256>` of the file's bytes, so two uploads of the same
+//!   payload under different ids collide (and the same id re-uploaded with
+//!   different bytes does not).
+//!
+//! Anything the canonical form does *not* erase — a flipped value, an added
+//! field, a different service name — must change the key; the
+//! `memo_canon` differential battery locks both directions down.
+
+use mathcloud_core::FileRef;
+use mathcloud_json::value::Object;
+use mathcloud_json::{Number, Value};
+use mathcloud_security::sha256;
+
+/// Scheme prefix a resolved file input canonicalizes to.
+const BLOB_SCHEME: &str = "mc-blob:";
+
+/// Rewrites a value into canonical form.
+///
+/// `resolve_file` maps a container-local file id to the hex digest of its
+/// content; unresolvable references are kept literal (two submissions naming
+/// the same dangling id still collide, which is the conservative choice:
+/// they would also fail identically at execution time).
+fn canonicalize(value: &Value, resolve_file: &dyn Fn(&str) -> Option<String>) -> Value {
+    match value {
+        Value::Object(map) => {
+            let mut entries: Vec<(&String, &Value)> = map.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k.clone(), canonicalize(v, resolve_file)))
+                    .collect::<Object>(),
+            )
+        }
+        Value::Array(items) => Value::Array(
+            items
+                .iter()
+                .map(|v| canonicalize(v, resolve_file))
+                .collect(),
+        ),
+        Value::Number(n) => Value::Number(canonical_number(n)),
+        Value::String(_) => match FileRef::detect(value) {
+            Some(FileRef::Local(id)) => match resolve_file(&id) {
+                Some(hash) => Value::from(format!("{BLOB_SCHEME}{hash}")),
+                None => value.clone(),
+            },
+            _ => value.clone(),
+        },
+        Value::Bool(_) | Value::Null => value.clone(),
+    }
+}
+
+/// Folds numeric spellings of the same quantity onto one representative:
+/// an integral float in `i64` range becomes the integer.
+fn canonical_number(n: &Number) -> Number {
+    match n.as_i64() {
+        Some(i) => Number::Int(i),
+        None => *n,
+    }
+}
+
+/// The canonical serialized form a memo key hashes over.
+///
+/// Exposed for the differential battery, which asserts textual equality of
+/// canonical forms as a stronger check than hash equality.
+pub fn canonical_string(
+    service: &str,
+    inputs: &Object,
+    resolve_file: &dyn Fn(&str) -> Option<String>,
+) -> String {
+    let canonical = canonicalize(&Value::Object(inputs.clone()), resolve_file);
+    format!("{service}\n{canonical}")
+}
+
+/// The SHA-256 memo key of a `(service, inputs)` submission, as lowercase
+/// hex.
+pub fn memo_key(
+    service: &str,
+    inputs: &Object,
+    resolve_file: &dyn Fn(&str) -> Option<String>,
+) -> String {
+    let canonical = canonical_string(service, inputs, resolve_file);
+    sha256::to_hex(&sha256::digest(canonical.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathcloud_json::{json, parse};
+
+    fn no_files(_: &str) -> Option<String> {
+        None
+    }
+
+    fn obj(text: &str) -> Object {
+        match parse(text).unwrap() {
+            Value::Object(o) => o,
+            other => panic!("not an object: {other}"),
+        }
+    }
+
+    #[test]
+    fn key_order_is_erased() {
+        let a = obj(r#"{"a": 1, "b": {"x": true, "y": [1, 2]}}"#);
+        let b = obj(r#"{"b": {"y": [1, 2], "x": true}, "a": 1}"#);
+        assert_eq!(
+            canonical_string("svc", &a, &no_files),
+            canonical_string("svc", &b, &no_files)
+        );
+    }
+
+    #[test]
+    fn numeric_spellings_collide() {
+        for spelling in ["1", "1.0", "1e0", "1.0e0", "10e-1"] {
+            let v = obj(&format!(r#"{{"n": {spelling}}}"#));
+            assert_eq!(
+                memo_key("svc", &v, &no_files),
+                memo_key("svc", &obj(r#"{"n": 1}"#), &no_files),
+                "spelling {spelling}"
+            );
+        }
+        // A genuinely fractional number must stay distinct.
+        assert_ne!(
+            memo_key("svc", &obj(r#"{"n": 1.5}"#), &no_files),
+            memo_key("svc", &obj(r#"{"n": 1}"#), &no_files)
+        );
+    }
+
+    #[test]
+    fn array_order_is_semantic() {
+        assert_ne!(
+            memo_key("svc", &obj(r#"{"v": [1, 2]}"#), &no_files),
+            memo_key("svc", &obj(r#"{"v": [2, 1]}"#), &no_files)
+        );
+    }
+
+    #[test]
+    fn service_name_is_part_of_the_key() {
+        let inputs = obj(r#"{"a": 1}"#);
+        assert_ne!(
+            memo_key("inverse", &inputs, &no_files),
+            memo_key("determinant", &inputs, &no_files)
+        );
+    }
+
+    #[test]
+    fn file_inputs_resolve_to_content() {
+        let resolve = |id: &str| match id {
+            "f-1" | "f-2" => Some("aabb".to_string()),
+            "f-3" => Some("ccdd".to_string()),
+            _ => None,
+        };
+        let by_id = |id: &str| {
+            let mut o = Object::new();
+            o.insert("m".to_string(), json!(format!("mc-file:{id}")));
+            o
+        };
+        // Different ids, same bytes: collide.
+        assert_eq!(
+            memo_key("svc", &by_id("f-1"), &resolve),
+            memo_key("svc", &by_id("f-2"), &resolve)
+        );
+        // Different bytes: distinct.
+        assert_ne!(
+            memo_key("svc", &by_id("f-1"), &resolve),
+            memo_key("svc", &by_id("f-3"), &resolve)
+        );
+        // Unresolvable references stay literal (and still differ from a
+        // resolved one).
+        assert_ne!(
+            memo_key("svc", &by_id("f-9"), &resolve),
+            memo_key("svc", &by_id("f-1"), &resolve)
+        );
+        // Plain strings and remote URLs are never rewritten.
+        let plain = obj(r#"{"m": "not a file"}"#);
+        assert_eq!(
+            canonical_string("svc", &plain, &resolve),
+            "svc\n{\"m\":\"not a file\"}"
+        );
+    }
+}

@@ -91,20 +91,28 @@ pub fn router(everest: Everest, auth: Option<AuthConfig>) -> Router {
         // into the job record so adapter spans correlate with this call.
         let request_id = req.headers.get(trace::REQUEST_ID_HEADER);
         let idem_key = req.headers.get(mathcloud_http::IDEMPOTENCY_KEY_HEADER);
-        match e.submit_idempotent(name, &body, Some(&caller), request_id, idem_key) {
-            Ok((rep, deduped)) => {
+        match e.submit_full(name, &body, Some(&caller), request_id, idem_key) {
+            Ok(outcome) => {
+                let rep = outcome.rep;
                 let rep = e.wait(name, rep.id.as_str(), SYNC_WAIT).unwrap_or(rep);
                 let location = rep.uri.clone();
-                // A deduplicated retry did not create a resource: 200 with
-                // the original job, marked so clients can tell.
-                let status = if deduped { 200 } else { 201 };
-                let resp = Response::json(status, &rep_to_wire(&e, req, name, rep))
-                    .with_header("Location", &location);
-                if deduped {
-                    resp.with_header("X-MC-Deduplicated", "true")
+                // Neither a deduplicated retry nor a memo hit created a
+                // resource: 200 with the existing job, marked so clients
+                // can tell which path answered them.
+                let status = if outcome.deduplicated || outcome.memo_hit {
+                    200
                 } else {
-                    resp
+                    201
+                };
+                let mut resp = Response::json(status, &rep_to_wire(&e, req, name, rep))
+                    .with_header("Location", &location);
+                if outcome.deduplicated {
+                    resp = resp.with_header("X-MC-Deduplicated", "true");
                 }
+                if outcome.memo_hit {
+                    resp = resp.with_header(mathcloud_http::MEMO_HIT_HEADER, "true");
+                }
+                resp
             }
             Err(rej) => Response::error(rej.status(), &rej.to_string()),
         }

@@ -77,6 +77,7 @@ fn build_reference(path: &Path) {
         TransitionState::Job(JobState::Waiting),
         TransitionDetail {
             idem_key: Some("torn-key"),
+            memo_key: Some("torn-memo-key"),
             request_id: Some("rid-torn"),
             inputs: Some(&ins),
             ..Default::default()
@@ -313,6 +314,119 @@ fn containers_attach_torn_journals_end_to_end() {
                 .wait("sum", "j-77", Duration::from_secs(10))
                 .expect("intact keyed job re-runs");
             assert_eq!(torn_job.state, JobState::Done);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tears a memoized job's DONE record at every byte offset and drives each
+/// victim through full container recovery with memoization enabled. The
+/// contract: an intact DONE record serves the identical resubmission as a
+/// hit with zero executions; a torn one degrades to exactly one clean
+/// re-execution — in neither case a wrong answer.
+#[test]
+fn torn_memo_done_records_degrade_to_a_miss_never_a_wrong_answer() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let dir = tmp_dir("memo");
+    let reference = dir.join("reference.jsonl");
+    let ins = json!({"a": 20, "b": 22}).as_object().unwrap().clone();
+    // The key the container will derive for these inputs (no file refs).
+    let key = mathcloud_everest::memo::memo_key("sum", &ins, &|_| None);
+    {
+        let store = JobStore::open(&reference, usize::MAX).unwrap();
+        let outs = json!({"sum": 42}).as_object().unwrap().clone();
+        store.append(
+            "sum",
+            "j-1",
+            TransitionState::Job(JobState::Waiting),
+            TransitionDetail {
+                inputs: Some(&ins),
+                memo_key: Some(&key),
+                ..Default::default()
+            },
+        );
+        // The record under test: the DONE transition carrying the outputs.
+        store.append(
+            "sum",
+            "j-1",
+            TransitionState::Job(JobState::Done),
+            TransitionDetail {
+                outputs: Some(&outs),
+                runtime_ms: Some(5),
+                ..Default::default()
+            },
+        );
+    }
+    let bytes = std::fs::read(&reference).unwrap();
+    let last_start = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap();
+
+    let victim = dir.join("victim.jsonl");
+    for cut in last_start..=bytes.len() {
+        std::fs::write(&victim, &bytes[..cut]).unwrap();
+        let execs = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&execs);
+        let e = Everest::with_handlers(&format!("memo-torn-{cut}"), 1);
+        e.deploy(
+            ServiceDescription::new("sum", "adds")
+                .input(Parameter::new("a", Schema::integer()))
+                .input(Parameter::new("b", Schema::integer()))
+                .output(Parameter::new("sum", Schema::integer())),
+            NativeAdapter::from_fn(move |inputs, _| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let a = inputs.get("a").and_then(Value::as_i64).unwrap_or(0);
+                let b = inputs.get("b").and_then(Value::as_i64).unwrap_or(0);
+                Ok([("sum".to_string(), json!(a + b))].into_iter().collect())
+            }),
+        );
+        e.set_result_memoization(true);
+        let report = e.attach_job_journal(&victim).unwrap();
+        let intact = cut >= bytes.len() - 1;
+        if intact {
+            assert_eq!(report.replayed, 1, "cut {cut}: intact DONE replays");
+        } else {
+            assert_eq!(report.requeued, 1, "cut {cut}: torn DONE re-queues");
+        }
+        assert_eq!(report.memo_keys, 1, "cut {cut}: the memo key folds back");
+
+        // The identical submission, respelled at the wire level.
+        let o = e
+            .submit_full("sum", &json!({"b": 22.0, "a": 20}), None, None, None)
+            .unwrap();
+        assert!(
+            o.memo_hit,
+            "cut {cut}: recovered key answers the resubmission"
+        );
+        assert_eq!(o.rep.id.as_str(), "j-1", "cut {cut}");
+        let rep = if o.rep.state.is_terminal() {
+            o.rep
+        } else {
+            e.wait("sum", "j-1", Duration::from_secs(10))
+                .expect("re-queued job finishes")
+        };
+        assert_eq!(rep.state, JobState::Done, "cut {cut}");
+        assert_eq!(
+            rep.outputs.unwrap().get("sum").unwrap().as_i64(),
+            Some(42),
+            "cut {cut}: never a wrong answer"
+        );
+        if intact {
+            assert_eq!(
+                execs.load(Ordering::SeqCst),
+                0,
+                "cut {cut}: an intact DONE record is served from the journal"
+            );
+        } else {
+            assert_eq!(
+                execs.load(Ordering::SeqCst),
+                1,
+                "cut {cut}: a torn DONE record re-executes exactly once"
+            );
         }
     }
     std::fs::remove_dir_all(&dir).ok();

@@ -46,7 +46,7 @@ pub mod wire;
 pub use client::{Client, ClientError};
 pub use message::{
     BodyStream, Headers, Method, Request, Response, StatusCode, StreamControl,
-    IDEMPOTENCY_KEY_HEADER,
+    IDEMPOTENCY_KEY_HEADER, MEMO_HIT_HEADER,
 };
 pub use router::{PathParams, Router};
 pub use server::{Server, ServerConfig};

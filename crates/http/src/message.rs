@@ -13,6 +13,12 @@ use mathcloud_json::Value;
 /// ([`crate::RetryPolicy`] honours this).
 pub const IDEMPOTENCY_KEY_HEADER: &str = "Idempotency-Key";
 
+/// The response header a container sets (value `"true"`) when a submission
+/// was answered from its result memo cache: the body carries an existing —
+/// usually already `DONE` — job with the same canonical inputs instead of a
+/// freshly created one.
+pub const MEMO_HIT_HEADER: &str = "X-MC-Memo-Hit";
+
 /// An HTTP request method.
 ///
 /// The MathCloud unified REST API (Table 1 of the paper) only needs `GET`,

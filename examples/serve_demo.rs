@@ -24,6 +24,9 @@ fn main() {
         .unwrap_or_else(|| "127.0.0.1:0".to_string());
 
     let everest = Everest::with_handlers("serve-demo", 4);
+    // Both demo services are pure, so repeat POSTs with the same inputs
+    // answer 200 + `X-MC-Memo-Hit: true` from the result cache.
+    everest.set_result_memoization(true);
     everest.deploy(
         ServiceDescription::new("double", "doubles an integer")
             .input(Parameter::new("n", Schema::integer()))

@@ -49,6 +49,16 @@ echo "==> job journal torn-write battery (release, 120s budget)"
 timeout 120 cargo test -q --offline --release \
   -p mathcloud-everest --test jobstore_torn
 
+# The memo-key canonicalization battery drives 1200 xorshift-generated
+# inputs through every equivalent rewrite (key order, number spellings,
+# whitespace, file-id aliasing) and every single semantic mutation; the
+# race battery parks 16 threads on one memo key and races hits against
+# terminal-job eviction. A canonicalizer that conflates distinct inputs or
+# a cache that deadlocks on the idem→memo→jobs lock chain must fail fast.
+echo "==> memo canonicalization + race battery (release, 120s budget)"
+timeout 120 cargo test -q --offline --release \
+  -p mathcloud-everest --test memo_canon --test memo_races
+
 # The differential multiplication battery cross-checks every tiered-mul
 # kernel, mul_threads, and Bareiss determinants against serial oracles on
 # ≥1000 xorshift-seeded cases. Release mode keeps the 500-limb schoolbook
@@ -186,6 +196,41 @@ print(f"BENCH_7.json OK: {report['sse_subscribers']} subscribers on "
       f"{report['workers']} workers, p99 ratio "
       f"{report['sse_p99_ratio']:.2f}, throughput ratio "
       f"{report['sse_throughput_ratio']:.2f}")
+EOF
+
+# The memoized-sweep smoke re-runs an identical X-ray campaign against a
+# memoizing container: the warm pass must be answered from the result
+# cache (hit rate >= 0.5 — in practice 1.0) and at least 3x faster than
+# the cold pass, or the cache is not actually displacing compute.
+echo "==> memoized sweep smoke (release, 120s budget)"
+cargo build -q --release --offline -p mathcloud-bench --bin sweep
+rm -f BENCH_8.json
+timeout 120 ./target/release/sweep --smoke
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_8.json") as f:
+    report = json.load(f)
+for section in ("cold", "warm"):
+    for key in ("wall_ms", "hits", "misses"):
+        assert key in report[section], f"{section} missing {key}: {report}"
+assert report["jobs_per_pass"] > 0, "no jobs measured"
+assert report["warm"]["hits"] > 0, "warm pass never hit the cache"
+if report["warm_hit_rate"] < 0.5:
+    sys.exit(
+        f"warm hit rate {report['warm_hit_rate']:.2f} "
+        f"({report['warm']['hits']} hits / {report['warm']['misses']} "
+        "misses); gate is 0.5"
+    )
+if report["speedup"] < 3.0:
+    sys.exit(
+        f"memoized re-run only {report['speedup']:.1f}x faster "
+        f"(cold {report['cold']['wall_ms']:.1f}ms vs warm "
+        f"{report['warm']['wall_ms']:.1f}ms); gate is 3x"
+    )
+print(f"BENCH_8.json OK: warm pass {report['speedup']:.1f}x faster, "
+      f"hit rate {report['warm_hit_rate']:.2f} over "
+      f"{report['jobs_per_pass']} jobs")
 EOF
 
 echo "verify: OK"

@@ -484,3 +484,80 @@ fn oversized_request_bodies_are_rejected_not_buffered_forever() {
     // payload-too-large status rather than a blanket 400.
     assert!(text.starts_with("HTTP/1.1 413"), "{text}");
 }
+
+#[test]
+fn memoized_results_survive_a_kill_and_restart() {
+    use mathcloud_core::JobState;
+
+    let dir = journal_dir("memo-restart");
+    let journal = dir.join("jobs.jsonl");
+    let execs = Arc::new(AtomicU64::new(0));
+
+    // ---- Instance one: memoize a result, then "crash". ----
+    let gate1 = Arc::new(AtomicBool::new(true));
+    let e1 = durable_container("memo-victim-1", &execs, &gate1);
+    e1.set_result_memoization(true);
+    e1.attach_job_journal(&journal).unwrap();
+
+    let cold = e1
+        .submit_full("add", &json!({"a": 20, "b": 22}), None, None, None)
+        .unwrap();
+    assert!(!cold.memo_hit);
+    let done = e1
+        .wait("add", cold.rep.id.as_str(), Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(done.state, JobState::Done);
+    assert_eq!(execs.load(Ordering::SeqCst), 1);
+
+    // Sanity: a reordered respelling hits in-process before the crash.
+    let warm = e1
+        .submit_full("add", &json!({"b": 22.0, "a": 20}), None, None, None)
+        .unwrap();
+    assert!(warm.memo_hit);
+    drop(e1); // the kill: nothing remains but the journal
+
+    // ---- Instance two: the memo entry is rebuilt from the journal. ----
+    let gate2 = Arc::new(AtomicBool::new(true));
+    let e2 = durable_container("memo-victim-2", &execs, &gate2);
+    e2.set_result_memoization(true);
+    let report = e2.attach_job_journal(&journal).unwrap();
+    assert_eq!(report.replayed, 1, "the Done job came back");
+    assert_eq!(
+        report.memo_keys, 1,
+        "its memo key was rebuilt from the WAITING record"
+    );
+
+    // The identical submission — yet another spelling — is a hit on the
+    // recovered record: same job, same outputs, no re-execution.
+    let replayed = e2
+        .submit_full("add", &json!({"b": 22, "a": 20.0}), None, None, None)
+        .unwrap();
+    assert!(replayed.memo_hit, "a memoized result survives the restart");
+    assert_eq!(replayed.rep.id.as_str(), done.id.as_str());
+    assert_eq!(replayed.rep.state, JobState::Done);
+    assert_eq!(
+        replayed
+            .rep
+            .outputs
+            .as_ref()
+            .and_then(|o| o.get("sum"))
+            .and_then(Value::as_i64),
+        Some(42)
+    );
+    assert_eq!(
+        execs.load(Ordering::SeqCst),
+        1,
+        "a journal-replayed hit must not re-run the adapter"
+    );
+
+    // A semantically different submission is still a miss that executes.
+    let other = e2
+        .submit_full("add", &json!({"a": 20, "b": 23}), None, None, None)
+        .unwrap();
+    assert!(!other.memo_hit);
+    e2.wait("add", other.rep.id.as_str(), Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(execs.load(Ordering::SeqCst), 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
